@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the six Table 4 algorithm columns over
+//! the full storage + execution stack.
+//!
+//! These complement the `table4` binary: Criterion gives statistically
+//! robust per-algorithm timings at a fixed configuration, while the
+//! binary reproduces the full grid with the paper's cost accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reldiv_core::api::DivisionConfig;
+use reldiv_core::Algorithm;
+use reldiv_workload::WorkloadSpec;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_columns");
+    group.sample_size(10);
+    for &(s, q) in &[(25u64, 100u64), (100, 100)] {
+        let w = WorkloadSpec {
+            divisor_size: s,
+            quotient_size: q,
+            ..Default::default()
+        }
+        .generate(11);
+        let config = DivisionConfig {
+            assume_unique: true,
+            ..Default::default()
+        };
+        for algorithm in Algorithm::table_columns() {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.label().replace(' ', "_"), format!("S{s}_Q{q}")),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        reldiv_bench::run_division_experiment(
+                            &w.dividend,
+                            &w.divisor,
+                            algorithm,
+                            &config,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_noise_sensitivity(c: &mut Criterion) {
+    // Section 4.6's speculation in micro-benchmark form: hash-division's
+    // early discard vs the semi-join plans as noise grows.
+    let mut group = c.benchmark_group("noise_sensitivity");
+    group.sample_size(10);
+    for noise in [0u64, 50, 200] {
+        let w = WorkloadSpec {
+            divisor_size: 50,
+            quotient_size: 100,
+            noise_per_group: noise,
+            ..Default::default()
+        }
+        .generate(5);
+        let config = DivisionConfig {
+            assume_unique: true,
+            ..Default::default()
+        };
+        for algorithm in [
+            Algorithm::HashAggregation { join: true },
+            Algorithm::HashDivision {
+                mode: reldiv_core::HashDivisionMode::Standard,
+            },
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.label().replace(' ', "_"), format!("noise{noise}")),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        reldiv_bench::run_division_experiment(
+                            &w.dividend,
+                            &w.divisor,
+                            algorithm,
+                            &config,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_noise_sensitivity);
+criterion_main!(benches);

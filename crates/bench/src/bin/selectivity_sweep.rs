@@ -1,0 +1,113 @@
+//! The Section 4.6 speculation, measured: "If we drop the assumption that
+//! `R = Q × S` ... we expect that hash-division always outperforms all
+//! other algorithms because tuples that do not match with any divisor
+//! tuple are eliminated early."
+//!
+//! Two sweeps over a fixed base workload (|S| = 100, 100 complete
+//! groups):
+//!
+//! 1. **noise sweep** — extra non-matching tuples per group (the physics
+//!    courses): hash-division discards them at the divisor-table probe;
+//!    aggregation without a join silently *miscounts* them (and is
+//!    therefore excluded), so the honest competitors all pay a join.
+//! 2. **incomplete-groups sweep** — extra quotient candidates that do not
+//!    participate: they inflate the quotient table but never qualify.
+//!
+//! ```text
+//! cargo run --release -p reldiv-bench --bin selectivity_sweep
+//! ```
+
+use reldiv_bench::{run_division_experiment, Measurement};
+use reldiv_core::api::DivisionConfig;
+use reldiv_core::{Algorithm, HashDivisionMode};
+use reldiv_workload::WorkloadSpec;
+
+/// The competitors that remain *correct* on dividends containing
+/// non-matching tuples: every aggregation plan needs its semi-join here.
+fn competitors() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Naive,
+        Algorithm::SortAggregation { join: true },
+        Algorithm::HashAggregation { join: true },
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+    ]
+}
+
+fn row(label: &str, w: &reldiv_workload::Workload) -> Vec<(Algorithm, Measurement)> {
+    let config = DivisionConfig {
+        assume_unique: true,
+        ..Default::default()
+    };
+    let out: Vec<(Algorithm, Measurement)> = competitors()
+        .into_iter()
+        .map(|a| {
+            (
+                a,
+                run_division_experiment(&w.dividend, &w.divisor, a, &config),
+            )
+        })
+        .collect();
+    print!("{label:>28} |R|={:>7}", w.dividend.cardinality());
+    for (_, m) in &out {
+        print!(" {:>10.0}", m.total_ms());
+    }
+    let hd = out.last().expect("hash-division last").1.total_ms();
+    let best_other = out[..out.len() - 1]
+        .iter()
+        .map(|(_, m)| m.total_ms())
+        .fold(f64::INFINITY, f64::min);
+    println!("   hd/best-other = {:.2}", hd / best_other);
+    out
+}
+
+fn main() {
+    println!(
+        "{:>28} {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "", "Naive", "SortAgg+J", "HashAgg+J", "HashDiv"
+    );
+    println!("{}", "-".repeat(100));
+
+    println!("-- noise sweep: non-matching tuples per complete group --");
+    let mut wins = 0;
+    let mut rows = 0;
+    for noise in [0u64, 25, 50, 100, 200] {
+        let spec = WorkloadSpec {
+            divisor_size: 100,
+            quotient_size: 100,
+            noise_per_group: noise,
+            ..Default::default()
+        };
+        let w = spec.generate(7 + noise);
+        let out = row(&format!("noise/group = {noise}"), &w);
+        let hd = out.last().expect("nonempty").1.total_ms();
+        rows += 1;
+        if out[..3].iter().all(|(_, m)| hd < m.total_ms()) {
+            wins += 1;
+        }
+    }
+
+    println!("-- incomplete-group sweep: candidates that do not participate --");
+    for incomplete in [0u64, 100, 200, 400, 800] {
+        let spec = WorkloadSpec {
+            divisor_size: 100,
+            quotient_size: 100,
+            incomplete_groups: incomplete,
+            incomplete_fill: 0.5,
+            ..Default::default()
+        };
+        let w = spec.generate(1000 + incomplete);
+        let out = row(&format!("incomplete groups = {incomplete}"), &w);
+        let hd = out.last().expect("nonempty").1.total_ms();
+        rows += 1;
+        if out[..3].iter().all(|(_, m)| hd < m.total_ms()) {
+            wins += 1;
+        }
+    }
+
+    println!(
+        "\nhash-division fastest in {wins}/{rows} rows \
+         (paper's speculation: it should win whenever R is a strict superset of Q x S)"
+    );
+}

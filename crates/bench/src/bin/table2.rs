@@ -1,0 +1,61 @@
+//! Regenerates the paper's Table 1 (cost units) and Table 2 (analytical
+//! cost of division), cross-checking every cell against the printed paper
+//! values.
+//!
+//! ```text
+//! cargo run -p reldiv-bench --bin table2
+//! ```
+
+use reldiv_costmodel::table2::{paper_table2, table2_row};
+use reldiv_costmodel::CostUnits;
+
+fn main() {
+    let u = CostUnits::paper();
+    println!("Table 1. Cost Units.");
+    let rows = [
+        ("RIO", u.rio, "random I/O, one page from or to disk"),
+        ("SIO", u.sio, "sequential I/O, one page from or to disk"),
+        ("Comp", u.comp, "comparison of two tuples"),
+        ("Hash", u.hash, "calculation of a hash value from a tuple"),
+        ("Move", u.mv, "memory to memory copy of one page"),
+        ("Bit", u.bit, "setting/clearing/scanning a bit in a bit map"),
+    ];
+    println!("{:<6} {:>8}  Description", "Unit", "ms");
+    for (unit, ms, description) in rows {
+        println!("{unit:<6} {ms:>8}  {description}");
+    }
+    println!();
+
+    println!("Table 2. Analytical Cost of Division (milliseconds).");
+    println!(
+        "{:>5} {:>5} | {:>10} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "|S|", "|Q|", "Naive", "SortAgg", "SortAgg+J", "HashAgg", "HashAgg+J", "HashDiv"
+    );
+    println!("{}", "-".repeat(92));
+    let mut mismatches = 0;
+    for expected in paper_table2() {
+        let got = table2_row(expected.divisor, expected.quotient);
+        println!(
+            "{:>5} {:>5} | {:>10} {:>10} {:>12} {:>10} {:>12} {:>10}",
+            got.divisor,
+            got.quotient,
+            got.naive,
+            got.sort_agg,
+            got.sort_agg_join,
+            got.hash_agg,
+            got.hash_agg_join,
+            got.hash_div
+        );
+        if got != expected {
+            mismatches += 1;
+            println!("  !! differs from the paper: expected {expected:?}");
+        }
+    }
+    println!();
+    if mismatches == 0 {
+        println!("All 54 cells match the paper's printed Table 2 exactly.");
+    } else {
+        println!("{mismatches} row(s) differ from the paper — see above.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,638 @@
+//! The engine-level division API.
+//!
+//! [`divide`] runs any of the four algorithms over [`Source`]s — relations
+//! stored in record files of a [`StorageManager`] or held in memory — and
+//! returns the quotient relation. [`divide_relations`] is the convenience
+//! wrapper used by examples and tests: it provisions a private storage
+//! manager with the paper's configuration.
+
+use std::rc::Rc;
+
+use reldiv_exec::op::{collect, BoxedOp};
+use reldiv_exec::scan::{FileScan, MemScan};
+use reldiv_exec::sort::SortConfig;
+use reldiv_rel::{Relation, Schema, Tuple};
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::{FileId, StorageManager, StorageRef};
+
+use crate::hash_division::{HashDivision, HashDivisionMode};
+use crate::naive::naive_division_plan;
+use crate::overflow;
+use crate::spec::DivisionSpec;
+use crate::{ExecError, Result};
+
+/// A re-scannable relation source: algorithms that need to read an input
+/// more than once (aggregation plans read the divisor for both the scalar
+/// count and the join; overflow retries re-read everything) open fresh
+/// scans from the source.
+#[derive(Clone)]
+pub enum Source {
+    /// A record file in the storage manager.
+    File {
+        /// The file holding the relation's records.
+        file: FileId,
+        /// Schema for decoding the records.
+        schema: Schema,
+    },
+    /// An in-memory relation (shared, so re-scans are cheap).
+    Mem {
+        /// The relation's schema.
+        schema: Schema,
+        /// The tuples, shared among scans.
+        tuples: Rc<Vec<Tuple>>,
+    },
+}
+
+impl Source {
+    /// Wraps an in-memory relation.
+    pub fn from_relation(relation: &Relation) -> Source {
+        Source::Mem {
+            schema: relation.schema().clone(),
+            tuples: Rc::new(relation.tuples().to_vec()),
+        }
+    }
+
+    /// Wraps a record file.
+    pub fn from_file(file: FileId, schema: Schema) -> Source {
+        Source::File { file, schema }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Source::File { schema, .. } | Source::Mem { schema, .. } => schema,
+        }
+    }
+
+    /// Opens a fresh scan over the relation.
+    pub fn scan(&self, storage: &StorageRef) -> BoxedOp {
+        match self {
+            Source::File { file, schema } => {
+                Box::new(FileScan::new(storage.clone(), *file, schema.clone()))
+            }
+            Source::Mem { schema, tuples } => {
+                Box::new(MemScan::shared(schema.clone(), tuples.clone()))
+            }
+        }
+    }
+}
+
+/// Algorithm selection — the four algorithms of the paper's title.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Naive sorted-merge division (Section 2.1).
+    Naive,
+    /// Division by sort-based aggregation (Section 2.2.1); `join` adds the
+    /// merge semi-join that restricts counting to valid divisor values.
+    SortAggregation {
+        /// Whether a semi-join precedes the aggregation.
+        join: bool,
+    },
+    /// Division by hash-based aggregation (Section 2.2.2); `join` adds the
+    /// hash semi-join.
+    HashAggregation {
+        /// Whether a semi-join precedes the aggregation.
+        join: bool,
+    },
+    /// Hash-division (Section 3).
+    HashDivision {
+        /// Variant selection.
+        mode: HashDivisionMode,
+    },
+}
+
+impl From<reldiv_costmodel::PlannedAlgorithm> for Algorithm {
+    fn from(p: reldiv_costmodel::PlannedAlgorithm) -> Algorithm {
+        use reldiv_costmodel::PlannedAlgorithm as P;
+        match p {
+            P::Naive => Algorithm::Naive,
+            P::SortAggregation { join } => Algorithm::SortAggregation { join },
+            P::HashAggregation { join } => Algorithm::HashAggregation { join },
+            P::HashDivision => Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        }
+    }
+}
+
+impl Algorithm {
+    /// Cost-based algorithm choice (Section 5.2: "the possible error in
+    /// the selectivity estimate makes it imperative to choose the
+    /// division algorithm very carefully").
+    ///
+    /// * `restricted_divisor`: the dividend may contain tuples whose
+    ///   divisor attributes are not in the divisor (divisor produced by a
+    ///   selection), forcing the aggregation plans to join;
+    /// * `duplicate_free`: both inputs are projections on keys, so no
+    ///   duplicate elimination is needed.
+    pub fn recommend(
+        divisor_size: u64,
+        quotient_size: u64,
+        dividend_size: Option<u64>,
+        restricted_divisor: bool,
+        duplicate_free: bool,
+    ) -> Algorithm {
+        reldiv_costmodel::recommend(&reldiv_costmodel::PlannerInput {
+            divisor_size,
+            quotient_size,
+            dividend_size,
+            restricted_divisor,
+            duplicate_free,
+        })
+        .into()
+    }
+
+    /// The six columns of the paper's Tables 2 and 4, in column order.
+    pub fn table_columns() -> [Algorithm; 6] {
+        [
+            Algorithm::Naive,
+            Algorithm::SortAggregation { join: false },
+            Algorithm::SortAggregation { join: true },
+            Algorithm::HashAggregation { join: false },
+            Algorithm::HashAggregation { join: true },
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        ]
+    }
+
+    /// Short label, matching the paper's table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "Naive Div.",
+            Algorithm::SortAggregation { join: false } => "Sort-Agg (no join)",
+            Algorithm::SortAggregation { join: true } => "Sort-Agg (with join)",
+            Algorithm::HashAggregation { join: false } => "Hash-Agg (no join)",
+            Algorithm::HashAggregation { join: true } => "Hash-Agg (with join)",
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            } => "Hash-Div.",
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::EarlyOut,
+            } => "Hash-Div. (early)",
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::CounterOnly,
+            } => "Hash-Div. (counter)",
+        }
+    }
+}
+
+/// What to do when hash-division's tables exceed the memory pool
+/// (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Surface `MemoryExhausted` to the caller.
+    Fail,
+    /// Partition the dividend on the quotient attributes into this many
+    /// clusters; the divisor table stays resident across all phases.
+    QuotientPartition {
+        /// Number of clusters.
+        partitions: usize,
+    },
+    /// Partition both inputs on the divisor attributes; a collection phase
+    /// divides the union of the quotient clusters by the phase numbers.
+    DivisorPartition {
+        /// Number of clusters.
+        partitions: usize,
+    },
+    /// Combined partitioning (Section 3.4's "combinations of the
+    /// techniques"): divisor partitioning whose phases are themselves
+    /// quotient-partitioned — for inputs where both the divisor and the
+    /// quotient exceed memory.
+    CombinedPartition {
+        /// Number of divisor-attribute clusters.
+        divisor_partitions: usize,
+        /// Number of quotient-attribute clusters per phase.
+        quotient_partitions: usize,
+    },
+    /// Try in memory, then retry with quotient partitioning, doubling the
+    /// cluster count until the division fits (up to 256 clusters).
+    #[default]
+    Auto,
+}
+
+/// Execution knobs shared by all algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct DivisionConfig {
+    /// Declare the inputs duplicate-free, skipping the duplicate
+    /// elimination steps the aggregate-based algorithms otherwise need.
+    /// (Hash-division never needs them.) The Table 4 experiments set this,
+    /// matching the paper's duplicate-free workloads.
+    pub assume_unique: bool,
+    /// Sort memory and fan-in for the sort-based algorithms.
+    pub sort: SortConfig,
+    /// Hash-table overflow handling for hash-division.
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for DivisionConfig {
+    fn default() -> Self {
+        DivisionConfig {
+            assume_unique: false,
+            sort: SortConfig::default(),
+            overflow: OverflowPolicy::Auto,
+        }
+    }
+}
+
+/// Runs `dividend ÷ divisor` with the chosen algorithm over the given
+/// storage manager. The quotient tuple order is algorithm-dependent (a
+/// bag-equality comparison is the right way to check results).
+pub fn divide(
+    storage: &StorageRef,
+    dividend: &Source,
+    divisor: &Source,
+    spec: &DivisionSpec,
+    algorithm: Algorithm,
+    config: &DivisionConfig,
+) -> Result<Relation> {
+    spec.validate(dividend.schema(), divisor.schema())?;
+    match algorithm {
+        Algorithm::Naive => {
+            let plan = naive_division_plan(
+                storage.clone(),
+                dividend.scan(storage),
+                divisor.scan(storage),
+                spec.clone(),
+                config.sort,
+            )?;
+            collect(plan)
+        }
+        Algorithm::SortAggregation { join } => {
+            crate::sort_agg::sort_agg_division(storage, dividend, divisor, spec, join, config)
+        }
+        Algorithm::HashAggregation { join } => {
+            crate::hash_agg::hash_agg_division(storage, dividend, divisor, spec, join, config)
+        }
+        Algorithm::HashDivision { mode } => {
+            hash_division_with_overflow(storage, dividend, divisor, spec, mode, config)
+        }
+    }
+}
+
+/// Hash-division with the configured overflow policy.
+fn hash_division_with_overflow(
+    storage: &StorageRef,
+    dividend: &Source,
+    divisor: &Source,
+    spec: &DivisionSpec,
+    mode: HashDivisionMode,
+    config: &DivisionConfig,
+) -> Result<Relation> {
+    let pool = storage.borrow().memory();
+    let in_memory = || -> Result<Relation> {
+        let op = HashDivision::new(
+            dividend.scan(storage),
+            divisor.scan(storage),
+            spec.clone(),
+            mode,
+            pool.clone(),
+        )?;
+        collect(Box::new(op))
+    };
+    match config.overflow {
+        OverflowPolicy::Fail => in_memory(),
+        OverflowPolicy::QuotientPartition { partitions } => overflow::quotient_partitioned(
+            storage,
+            dividend.scan(storage),
+            divisor.scan(storage),
+            spec,
+            mode,
+            partitions,
+        ),
+        OverflowPolicy::DivisorPartition { partitions } => overflow::divisor_partitioned(
+            storage,
+            dividend.scan(storage),
+            divisor.scan(storage),
+            spec,
+            partitions,
+        ),
+        OverflowPolicy::CombinedPartition {
+            divisor_partitions,
+            quotient_partitions,
+        } => overflow::combined_partitioned(
+            storage,
+            dividend.scan(storage),
+            divisor.scan(storage),
+            spec,
+            divisor_partitions,
+            quotient_partitions,
+        ),
+        OverflowPolicy::Auto => match in_memory() {
+            Ok(rel) => Ok(rel),
+            Err(e) if e.is_memory_exhausted() => {
+                let mut partitions = 2;
+                loop {
+                    match overflow::quotient_partitioned(
+                        storage,
+                        dividend.scan(storage),
+                        divisor.scan(storage),
+                        spec,
+                        mode,
+                        partitions,
+                    ) {
+                        Ok(rel) => return Ok(rel),
+                        Err(e) if e.is_memory_exhausted() && partitions < 256 => {
+                            partitions *= 2;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        },
+    }
+}
+
+/// Convenience: divides two in-memory relations with a private storage
+/// manager (the paper's configuration, but an ample memory pool).
+///
+/// The divisor columns are matched positionally against the *trailing*
+/// dividend columns, as in `Transcript(student-id, course-no) ÷
+/// Courses(course-no)`; use [`divide`] with an explicit [`DivisionSpec`]
+/// for other layouts.
+pub fn divide_relations(
+    dividend: &Relation,
+    divisor: &Relation,
+    algorithm: Algorithm,
+) -> Result<Relation> {
+    let storage = StorageManager::shared(StorageConfig::large());
+    let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema())?;
+    divide(
+        &storage,
+        &Source::from_relation(dividend),
+        &Source::from_relation(divisor),
+        &spec,
+        algorithm,
+        &DivisionConfig::default(),
+    )
+}
+
+/// Loads a relation into a record file and returns it as a source.
+pub fn load_source(storage: &StorageRef, relation: &Relation) -> Result<Source> {
+    let file = reldiv_exec::scan::load_relation(storage, relation)?;
+    Ok(Source::from_file(file, relation.schema().clone()))
+}
+
+/// Materializes an operator's output into a temporary record file,
+/// returning its file id and schema.
+///
+/// The aggregate-with-join plans use this between the semi-join and the
+/// aggregation: the paper's cost model charges the dividend scan twice in
+/// those plans (`r·SIO` appears in both the semi-join and the aggregation
+/// terms), which corresponds to a materialized intermediate. Small
+/// intermediates stay in the buffer pool and cost no transfers.
+///
+/// The caller owns the file and must `delete_file` it when done.
+pub fn materialize(storage: &StorageRef, mut op: BoxedOp) -> Result<(FileId, Schema)> {
+    let schema = op.schema().clone();
+    let codec = reldiv_rel::RecordCodec::new(schema.clone());
+    let file = storage.borrow_mut().create_file(StorageManager::DATA_DISK);
+    op.open()?;
+    let mut buf = Vec::with_capacity(codec.record_width());
+    while let Some(t) = op.next()? {
+        buf.clear();
+        codec.encode_into(&t, &mut buf).map_err(ExecError::from)?;
+        storage.borrow_mut().append(file, &buf)?;
+    }
+    op.close()?;
+    Ok((file, schema))
+}
+
+/// Guard for misuse: algorithms that cannot run meaningfully.
+pub fn validate_algorithm_for_inputs(algorithm: Algorithm, assume_unique: bool) -> Result<()> {
+    if let Algorithm::HashDivision {
+        mode: HashDivisionMode::CounterOnly,
+    } = algorithm
+    {
+        if !assume_unique {
+            return Err(ExecError::Plan(
+                "CounterOnly hash-division requires duplicate-free inputs \
+                 (set assume_unique or use the Standard mode)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Field::int("cno")]);
+        Relation::from_tuples(schema, nos.iter().map(|&n| ints(&[n])).collect()).unwrap()
+    }
+
+    fn all_algorithms() -> Vec<Algorithm> {
+        let mut v = Algorithm::table_columns().to_vec();
+        v.push(Algorithm::HashDivision {
+            mode: HashDivisionMode::EarlyOut,
+        });
+        v
+    }
+
+    #[test]
+    fn every_algorithm_agrees_on_the_running_example() {
+        let rows = [[1, 10], [1, 20], [2, 10], [3, 20], [3, 10], [4, 99]];
+        let dividend = transcript(&rows);
+        let divisor = courses(&[10, 20]);
+        for alg in all_algorithms() {
+            let q = divide_relations(&dividend, &divisor, alg).unwrap();
+            let mut sids: Vec<i64> = q
+                .tuples()
+                .iter()
+                .map(|t| t.value(0).as_int().unwrap())
+                .collect();
+            sids.sort_unstable();
+            assert_eq!(sids, vec![1, 3], "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn every_algorithm_agrees_on_empty_divisor() {
+        let dividend = transcript(&[[5, 10], [6, 20], [5, 30]]);
+        let divisor = courses(&[]);
+        for alg in all_algorithms() {
+            let q = divide_relations(&dividend, &divisor, alg).unwrap();
+            let mut sids: Vec<i64> = q
+                .tuples()
+                .iter()
+                .map(|t| t.value(0).as_int().unwrap())
+                .collect();
+            sids.sort_unstable();
+            assert_eq!(sids, vec![5, 6], "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn file_sources_match_memory_sources() {
+        let dividend = transcript(&[[1, 10], [1, 20], [2, 10]]);
+        let divisor = courses(&[10, 20]);
+        let storage = StorageManager::shared(StorageConfig::large());
+        let d_src = load_source(&storage, &dividend).unwrap();
+        let s_src = load_source(&storage, &divisor).unwrap();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for alg in all_algorithms() {
+            let q = divide(
+                &storage,
+                &d_src,
+                &s_src,
+                &spec,
+                alg,
+                &DivisionConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(q.cardinality(), 1, "{alg:?}");
+            assert_eq!(q.tuples()[0], ints(&[1]), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            all_algorithms().iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), all_algorithms().len());
+    }
+
+    #[test]
+    fn counter_mode_requires_unique_declaration() {
+        assert!(validate_algorithm_for_inputs(
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::CounterOnly
+            },
+            false
+        )
+        .is_err());
+        assert!(validate_algorithm_for_inputs(
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::CounterOnly
+            },
+            true
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn auto_overflow_recovers_from_small_pool() {
+        // A pool too small for the quotient table: Auto retries with
+        // quotient partitioning and still produces the right answer.
+        let mut rows = Vec::new();
+        for q in 0..2000 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig {
+            data_page_size: 8192,
+            run_page_size: 1024,
+            buffer_bytes: 1 << 22,
+            work_memory_bytes: 64 * 1024,
+        });
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let q = divide(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 2000);
+    }
+}
+
+#[cfg(test)]
+mod planner_tests {
+    use super::*;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+
+    #[test]
+    fn recommend_maps_planner_choices_onto_algorithms() {
+        // Unrestricted, duplicate-free: hash aggregation without join.
+        assert_eq!(
+            Algorithm::recommend(100, 100, None, false, true),
+            Algorithm::HashAggregation { join: false }
+        );
+        // Restricted divisor: hash-division.
+        assert_eq!(
+            Algorithm::recommend(100, 100, None, true, true),
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard
+            }
+        );
+        // Possible duplicates: hash-division ("fast and general").
+        assert_eq!(
+            Algorithm::recommend(100, 100, None, false, false),
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard
+            }
+        );
+    }
+
+    #[test]
+    fn recommended_algorithm_actually_divides() {
+        let dividend = Relation::from_tuples(
+            Schema::new(vec![Field::int("q"), Field::int("d")]),
+            vec![ints(&[1, 5]), ints(&[1, 6]), ints(&[2, 5])],
+        )
+        .unwrap();
+        let divisor = Relation::from_tuples(
+            Schema::new(vec![Field::int("d")]),
+            vec![ints(&[5]), ints(&[6])],
+        )
+        .unwrap();
+        let alg = Algorithm::recommend(2, 2, Some(3), true, false);
+        let q = divide_relations(&dividend, &divisor, alg).unwrap();
+        assert_eq!(q.cardinality(), 1);
+    }
+
+    #[test]
+    fn combined_partition_policy_runs_through_divide() {
+        let dividend = Relation::from_tuples(
+            Schema::new(vec![Field::int("q"), Field::int("d")]),
+            (0..200)
+                .flat_map(|q| (0..4).map(move |d| ints(&[q, d])))
+                .collect(),
+        )
+        .unwrap();
+        let divisor = Relation::from_tuples(
+            Schema::new(vec![Field::int("d")]),
+            (0..4).map(|d| ints(&[d])).collect(),
+        )
+        .unwrap();
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let q = divide(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig {
+                overflow: OverflowPolicy::CombinedPartition {
+                    divisor_partitions: 3,
+                    quotient_partitions: 4,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 200);
+    }
+}

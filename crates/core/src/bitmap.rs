@@ -1,0 +1,176 @@
+//! Bit maps for quotient candidates.
+//!
+//! "The algorithm requires efficient handling of bit maps, including a
+//! scan over a possibly large bit map. ... initializing a bit map and
+//! searching for a single zero in a bit map can be done by inspecting a
+//! word at a time." (Section 3.3.)
+//!
+//! Single-bit operations count one `Bit` each through
+//! [`reldiv_rel::counters`]; whole-map initialization and the final
+//! zero-scan count one `Bit` per *word*, reflecting the word-at-a-time
+//! implementation the paper assumes.
+
+use reldiv_rel::counters;
+
+/// A fixed-size bit map indexed by divisor numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl Bitmap {
+    /// Creates a map of `bits` zero bits (one per divisor tuple).
+    pub fn new(bits: usize) -> Self {
+        let words = bits.div_ceil(64);
+        counters::count_bitops(words.max(1) as u64); // word-at-a-time clear
+        Bitmap {
+            words: vec![0; words],
+            bits,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the map has zero bits (an empty divisor).
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Heap bytes a map of `bits` bits occupies, for memory accounting.
+    pub fn heap_bytes(bits: usize) -> usize {
+        bits.div_ceil(64) * 8
+    }
+
+    /// Sets bit `i`, returning its previous value.
+    ///
+    /// The early-output variant of hash-division "tests whether or not this
+    /// bit position is set already" before setting — one operation here.
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.bits, "bit {i} out of range {}", self.bits);
+        counters::count_bitops(1);
+        let (w, b) = (i / 64, i % 64);
+        let prior = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        prior
+    }
+
+    /// Tests bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        counters::count_bitops(1);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Tests the map for a zero bit, word at a time: `true` iff all bits
+    /// are set. An empty map is vacuously complete.
+    pub fn all_set(&self) -> bool {
+        counters::count_bitops(self.words.len().max(1) as u64);
+        if self.bits == 0 {
+            return true;
+        }
+        let full_words = self.bits / 64;
+        if self.words[..full_words].iter().any(|&w| w != u64::MAX) {
+            return false;
+        }
+        let rem = self.bits % 64;
+        if rem == 0 {
+            return true;
+        }
+        let mask = (1u64 << rem) - 1;
+        self.words[full_words] & mask == mask
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_map_is_all_zero() {
+        let b = Bitmap::new(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.all_set());
+        assert!(!b.get(0));
+        assert!(!b.get(99));
+    }
+
+    #[test]
+    fn set_returns_prior_value() {
+        let mut b = Bitmap::new(10);
+        assert!(!b.set(3));
+        assert!(b.set(3), "second set reports the bit was already set");
+        assert!(b.get(3));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn all_set_requires_every_bit() {
+        let mut b = Bitmap::new(5);
+        for i in 0..4 {
+            b.set(i);
+        }
+        assert!(!b.all_set());
+        b.set(4);
+        assert!(b.all_set());
+    }
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        // 64 and 65 bits exercise the full-word and partial-word paths.
+        for bits in [63, 64, 65, 128, 129] {
+            let mut b = Bitmap::new(bits);
+            for i in 0..bits {
+                assert!(!b.all_set(), "bits={bits}, missing {i}");
+                b.set(i);
+            }
+            assert!(b.all_set(), "bits={bits}");
+            assert_eq!(b.count_ones(), bits);
+        }
+    }
+
+    #[test]
+    fn empty_map_is_vacuously_complete() {
+        // An empty divisor means every quotient candidate qualifies.
+        let b = Bitmap::new(0);
+        assert!(b.all_set());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn stray_high_bits_cannot_fake_completeness() {
+        let mut b = Bitmap::new(3);
+        b.set(0);
+        b.set(2);
+        assert!(!b.all_set(), "bit 1 is still zero");
+    }
+
+    #[test]
+    fn heap_bytes_rounds_to_words() {
+        assert_eq!(Bitmap::heap_bytes(0), 0);
+        assert_eq!(Bitmap::heap_bytes(1), 8);
+        assert_eq!(Bitmap::heap_bytes(64), 8);
+        assert_eq!(Bitmap::heap_bytes(65), 16);
+        assert_eq!(Bitmap::heap_bytes(400), 56);
+    }
+
+    #[test]
+    fn bit_operations_are_counted() {
+        reldiv_rel::counters::reset();
+        let mut b = Bitmap::new(128); // 2 words to clear
+        b.set(5); // 1
+        b.get(5); // 1
+        b.all_set(); // 2 words
+        let ops = reldiv_rel::counters::snapshot().bitops;
+        assert_eq!(ops, 2 + 1 + 1 + 2);
+    }
+}

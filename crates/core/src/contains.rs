@@ -1,0 +1,259 @@
+//! The `contains` clause — universal quantification as a language
+//! construct.
+//!
+//! The paper's Section 5.2: "it is much easier to implement a query
+//! optimizer that rewrites a division operator into an aggregation
+//! operator than vice versa, universal quantification should be included
+//! as a language construct in database query languages, e.g., as a
+//! 'contains' clause." This module is that construct for `reldiv`: a
+//! declarative builder that states the for-all condition and lets the
+//! cost-based planner pick the algorithm.
+//!
+//! ```
+//! use reldiv_core::contains::Contains;
+//! use reldiv_rel::{Relation, Schema, schema::Field, tuple::ints};
+//!
+//! let transcript = Relation::from_tuples(
+//!     Schema::new(vec![Field::int("student-id"), Field::int("course-no")]),
+//!     vec![ints(&[1, 10]), ints(&[1, 20]), ints(&[2, 10])],
+//! ).unwrap();
+//! let courses = Relation::from_tuples(
+//!     Schema::new(vec![Field::int("course-no")]),
+//!     vec![ints(&[10]), ints(&[20])],
+//! ).unwrap();
+//!
+//! // "students whose transcripts CONTAIN all courses"
+//! let q = Contains::new(&transcript, &courses).run().unwrap();
+//! assert_eq!(q.cardinality(), 1);
+//! ```
+
+use reldiv_rel::Relation;
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::StorageManager;
+
+use crate::api::{divide, Algorithm, DivisionConfig, Source};
+use crate::spec::DivisionSpec;
+use crate::Result;
+
+/// A declarative for-all query: which groups of the dividend contain
+/// every tuple of the divisor?
+pub struct Contains<'a> {
+    dividend: &'a Relation,
+    divisor: &'a Relation,
+    spec: Option<DivisionSpec>,
+    restricted_divisor: bool,
+    duplicate_free: bool,
+    algorithm: Option<Algorithm>,
+}
+
+impl<'a> Contains<'a> {
+    /// Starts a contains query with the trailing-divisor column
+    /// convention (the divisor's columns are matched against the
+    /// dividend's trailing columns).
+    ///
+    /// Defaults are conservative: the divisor is assumed restricted (it
+    /// may have come from a selection) and the inputs may contain
+    /// duplicates — with those assumptions, the planner picks
+    /// hash-division, which is always safe.
+    pub fn new(dividend: &'a Relation, divisor: &'a Relation) -> Self {
+        Contains {
+            dividend,
+            divisor,
+            spec: None,
+            restricted_divisor: true,
+            duplicate_free: false,
+            algorithm: None,
+        }
+    }
+
+    /// Uses an explicit [`DivisionSpec`] instead of the trailing-divisor
+    /// convention (for interleaved column layouts).
+    pub fn with_spec(mut self, spec: DivisionSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Declares that every dividend tuple's divisor attributes appear in
+    /// the divisor (the divisor is unrestricted — the paper's first
+    /// example), enabling the cheaper no-join aggregation plans.
+    pub fn unrestricted_divisor(mut self) -> Self {
+        self.restricted_divisor = false;
+        self
+    }
+
+    /// Declares both inputs duplicate-free (projections on keys),
+    /// enabling hash aggregation and skipping duplicate elimination.
+    pub fn duplicate_free(mut self) -> Self {
+        self.duplicate_free = true;
+        self
+    }
+
+    /// Overrides the planner with a specific algorithm.
+    pub fn using(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// The algorithm the query will run with (planner choice unless
+    /// overridden) — exposed for EXPLAIN-style introspection.
+    pub fn plan(&self) -> Result<(DivisionSpec, Algorithm)> {
+        let spec = match &self.spec {
+            Some(s) => s.clone(),
+            None => DivisionSpec::trailing_divisor(self.dividend.schema(), self.divisor.schema())?,
+        };
+        let algorithm = self.algorithm.unwrap_or_else(|| {
+            // Cardinality estimates come straight from the inputs here;
+            // a real optimizer would use catalog statistics.
+            let divisor_size = self.divisor.cardinality() as u64;
+            let dividend_size = self.dividend.cardinality() as u64;
+            let quotient_estimate = dividend_size
+                .checked_div(divisor_size)
+                .unwrap_or(dividend_size)
+                .max(1);
+            Algorithm::recommend(
+                divisor_size.max(1),
+                quotient_estimate,
+                Some(dividend_size.max(1)),
+                self.restricted_divisor,
+                self.duplicate_free,
+            )
+        });
+        Ok((spec, algorithm))
+    }
+
+    /// Executes the query on a private storage manager.
+    pub fn run(self) -> Result<Relation> {
+        let storage = StorageManager::shared(StorageConfig::large());
+        let (spec, algorithm) = self.plan()?;
+        divide(
+            &storage,
+            &Source::from_relation(self.dividend),
+            &Source::from_relation(self.divisor),
+            &spec,
+            algorithm,
+            &DivisionConfig {
+                assume_unique: self.duplicate_free,
+                ..DivisionConfig::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_division::HashDivisionMode;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::Schema;
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        Relation::from_tuples(
+            Schema::new(vec![Field::int("sid"), Field::int("cno")]),
+            rows.iter().map(|r| ints(r)).collect(),
+        )
+        .unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        Relation::from_tuples(
+            Schema::new(vec![Field::int("cno")]),
+            nos.iter().map(|&n| ints(&[n])).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn default_contains_is_safe_on_messy_inputs() {
+        // Duplicates + noise: the conservative defaults must be correct.
+        let t = transcript(&[[1, 10], [1, 10], [1, 20], [2, 10], [3, 99]]);
+        let c = courses(&[10, 20, 10]);
+        let q = Contains::new(&t, &c).run().unwrap();
+        assert_eq!(q.cardinality(), 1);
+        assert_eq!(q.tuples()[0], ints(&[1]));
+    }
+
+    #[test]
+    fn plan_is_inspectable_and_respects_declarations() {
+        // Sizes large enough that the model's discrimination matters (at a
+        // handful of tuples the sort-based plans cost nothing and any
+        // choice is fine).
+        let rows: Vec<[i64; 2]> = (0..200)
+            .flat_map(|q| (0..20).map(move |c| [q, c]))
+            .collect();
+        let t = transcript(&rows);
+        let c = courses(&(0..20).collect::<Vec<_>>());
+        let (_, alg) = Contains::new(&t, &c).plan().unwrap();
+        assert!(
+            matches!(alg, Algorithm::HashDivision { .. }),
+            "conservative default: {alg:?}"
+        );
+        let (_, alg) = Contains::new(&t, &c)
+            .unrestricted_divisor()
+            .duplicate_free()
+            .plan()
+            .unwrap();
+        assert_eq!(alg, Algorithm::HashAggregation { join: false });
+    }
+
+    #[test]
+    fn using_overrides_the_planner() {
+        let t = transcript(&[[1, 10], [1, 20]]);
+        let c = courses(&[10, 20]);
+        let q = Contains::new(&t, &c).using(Algorithm::Naive).run().unwrap();
+        assert_eq!(q.cardinality(), 1);
+        let (_, alg) = Contains::new(&t, &c)
+            .using(Algorithm::Naive)
+            .plan()
+            .unwrap();
+        assert_eq!(alg, Algorithm::Naive);
+    }
+
+    #[test]
+    fn with_spec_supports_interleaved_layouts() {
+        // Dividend (d, q) with the divisor column leading.
+        let dividend = Relation::from_tuples(
+            Schema::new(vec![Field::int("d"), Field::int("q")]),
+            vec![ints(&[5, 1]), ints(&[6, 1]), ints(&[5, 2])],
+        )
+        .unwrap();
+        let divisor = Relation::from_tuples(
+            Schema::new(vec![Field::int("d")]),
+            vec![ints(&[5]), ints(&[6])],
+        )
+        .unwrap();
+        let spec =
+            DivisionSpec::new(dividend.schema(), divisor.schema(), vec![0], vec![1]).unwrap();
+        let q = Contains::new(&dividend, &divisor)
+            .with_spec(spec)
+            .run()
+            .unwrap();
+        assert_eq!(q.cardinality(), 1);
+        assert_eq!(q.tuples()[0], ints(&[1]));
+    }
+
+    #[test]
+    fn empty_divisor_is_vacuous_through_contains() {
+        let t = transcript(&[[1, 10], [2, 20]]);
+        let c = courses(&[]);
+        let q = Contains::new(&t, &c).run().unwrap();
+        assert_eq!(q.cardinality(), 2);
+    }
+
+    #[test]
+    fn every_explicit_algorithm_runs_through_contains() {
+        let t = transcript(&[[1, 10], [1, 20], [2, 10], [3, 20], [3, 10]]);
+        let c = courses(&[10, 20]);
+        for alg in [
+            Algorithm::Naive,
+            Algorithm::SortAggregation { join: true },
+            Algorithm::HashAggregation { join: true },
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::EarlyOut,
+            },
+        ] {
+            let q = Contains::new(&t, &c).using(alg).run().unwrap();
+            assert_eq!(q.cardinality(), 2, "{alg:?}");
+        }
+    }
+}

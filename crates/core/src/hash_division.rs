@@ -1,0 +1,749 @@
+//! Hash-division (Section 3, Figure 1) and its variants.
+//!
+//! The algorithm proceeds in three steps:
+//!
+//! 1. **Build the divisor table** ([`DivisorTable`]). Every divisor tuple
+//!    is inserted into a bucket-chained hash table and assigned a unique
+//!    *divisor number*; duplicates are eliminated on the fly.
+//! 2. **Build the quotient table** ([`QuotientTable`]). For each dividend
+//!    tuple: hash/match it on the divisor attributes against the divisor
+//!    table (no match ⇒ discard — e.g. a Transcript tuple for a physics
+//!    course); then hash/match its quotient attributes against the
+//!    quotient table, creating a new *quotient candidate* with a zeroed
+//!    bit map on a miss; finally set the bit indexed by the divisor
+//!    number. Duplicate dividend tuples are ignored automatically — "they
+//!    map to the same bit in the same bit map".
+//! 3. **Scan the quotient table**, emitting candidates whose bit map has
+//!    no remaining zero.
+//!
+//! [`HashDivision`] packages the three steps as an open-next-close
+//! operator; the tables are public so that the overflow strategies
+//! ([`crate::overflow`]) and the shared-nothing adaptation
+//! (`reldiv-parallel`) can compose them differently — e.g. one divisor
+//! table shared by many phases, or a collection phase that indexes bits by
+//! phase number instead of divisor number.
+//!
+//! [`HashDivisionMode`] selects among the paper's variants:
+//! * [`Standard`](HashDivisionMode::Standard) — the Figure 1 algorithm (a
+//!   stop-and-go operator),
+//! * [`EarlyOut`](HashDivisionMode::EarlyOut) — Section 3.3's incremental
+//!   modification: a counter per candidate lets the operator emit a
+//!   quotient tuple the moment its bit map completes, making it a usable
+//!   producer in a dataflow system,
+//! * [`CounterOnly`](HashDivisionMode::CounterOnly) — Section 3.3's sixth
+//!   observation: when the dividend is known duplicate-free, counters
+//!   replace divisor numbers and bit maps entirely.
+//!
+//! Memory for both hash tables, chain elements, and bit maps is accounted
+//! against the storage manager's memory pool; exhaustion surfaces as
+//! `MemoryExhausted`, the trigger for the overflow strategies.
+
+use reldiv_exec::hash_table::ChainedTable;
+use reldiv_exec::op::{BoxedOp, OpState, Operator};
+use reldiv_rel::{Schema, Tuple};
+use reldiv_storage::memory::Reservation;
+use reldiv_storage::MemoryPool;
+
+use crate::bitmap::Bitmap;
+use crate::spec::DivisionSpec;
+use crate::Result;
+
+/// Variant selection for [`HashDivision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashDivisionMode {
+    /// Figure 1: bit maps, quotient produced by a final table scan.
+    #[default]
+    Standard,
+    /// Bit maps plus per-candidate counters; quotient tuples are produced
+    /// incrementally while the dividend streams (Section 3.3).
+    EarlyOut,
+    /// Counters instead of bit maps; requires a duplicate-free dividend
+    /// (Section 3.3, sixth observation).
+    CounterOnly,
+}
+
+/// Statistics observable after a run, for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashDivisionStats {
+    /// Distinct divisor tuples (duplicates eliminated on the fly).
+    pub divisor_count: u64,
+    /// Divisor duplicates dropped during step 1.
+    pub divisor_duplicates: u64,
+    /// Dividend tuples discarded for lack of a divisor match.
+    pub dividend_discarded: u64,
+    /// Quotient candidates created.
+    pub candidates: u64,
+    /// Quotient tuples emitted.
+    pub emitted: u64,
+}
+
+/// Step 1's product: the divisor hash table with divisor numbers.
+pub struct DivisorTable {
+    table: ChainedTable<(Tuple, u32)>,
+    count: u32,
+    duplicates: u64,
+    /// Accounts the stored divisor tuples' bytes.
+    _payload: Reservation,
+}
+
+impl DivisorTable {
+    /// Builds the table by draining `divisor` (opened and closed here),
+    /// eliminating duplicates on the fly and numbering distinct tuples in
+    /// arrival order.
+    pub fn build(divisor: &mut BoxedOp, pool: &MemoryPool) -> Result<Self> {
+        divisor.open()?;
+        let width = divisor.schema().record_width();
+        let arity = divisor.schema().arity();
+        let mut table: ChainedTable<(Tuple, u32)> = ChainedTable::new(pool, 16)?;
+        let mut payload = pool.reserve(0)?;
+        let all: Vec<usize> = (0..arity).collect();
+        let mut count: u32 = 0;
+        let mut duplicates: u64 = 0;
+        while let Some(t) = divisor.next()? {
+            let h = t.hash_on(&all);
+            if table.find(h, |(s, _)| s.eq_on(&all, &t, &all)).is_some() {
+                duplicates += 1;
+                continue;
+            }
+            payload.grow(width)?;
+            table.insert(h, (t, count))?;
+            count += 1;
+        }
+        divisor.close()?;
+        Ok(DivisorTable {
+            table,
+            count,
+            duplicates,
+            _payload: payload,
+        })
+    }
+
+    /// Number of distinct divisor tuples (the width of every bit map).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Divisor duplicates dropped during the build.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Looks up the divisor number matching dividend tuple `t` on its
+    /// divisor-attribute columns `divisor_keys`.
+    pub fn lookup(&self, t: &Tuple, divisor_keys: &[usize]) -> Option<u32> {
+        let arity = divisor_keys.len();
+        let all: Vec<usize> = (0..arity).collect();
+        let h = t.hash_on(divisor_keys);
+        self.table
+            .find(h, |(s, _)| t.eq_on(divisor_keys, s, &all))
+            .map(|idx| self.table.get(idx).1)
+    }
+
+    /// Iterates the distinct divisor tuples with their numbers.
+    pub fn entries(&self) -> impl Iterator<Item = &(Tuple, u32)> {
+        self.table.items()
+    }
+}
+
+/// One quotient-table entry.
+struct QEntry {
+    tuple: Tuple,
+    bitmap: Bitmap,
+    count: u32,
+}
+
+/// Step 2/3's state: quotient candidates with bit maps.
+pub struct QuotientTable {
+    table: ChainedTable<QEntry>,
+    payload: Reservation,
+    mode: HashDivisionMode,
+    divisor_count: u32,
+    quotient_keys: Vec<usize>,
+    quotient_width: usize,
+    scan_pos: usize,
+    stats_candidates: u64,
+}
+
+impl QuotientTable {
+    /// Creates an empty quotient table for candidates projected onto
+    /// `quotient_keys` of the dividend, with `divisor_count`-bit maps.
+    pub fn new(
+        pool: &MemoryPool,
+        mode: HashDivisionMode,
+        divisor_count: u32,
+        quotient_keys: Vec<usize>,
+        quotient_width: usize,
+    ) -> Result<Self> {
+        Ok(QuotientTable {
+            table: ChainedTable::new(pool, 16)?,
+            payload: pool.reserve(0)?,
+            mode,
+            divisor_count,
+            quotient_keys,
+            quotient_width,
+            scan_pos: 0,
+            stats_candidates: 0,
+        })
+    }
+
+    /// Number of candidates.
+    pub fn candidates(&self) -> u64 {
+        self.stats_candidates
+    }
+
+    /// Absorbs one dividend tuple already matched to `divisor_no`
+    /// (`None` means the divisor is empty and the candidate is vacuously
+    /// complete). Returns a quotient tuple when the `EarlyOut` mode
+    /// completes a candidate.
+    pub fn absorb(&mut self, t: &Tuple, divisor_no: Option<u32>) -> Result<Option<Tuple>> {
+        debug_assert!(divisor_no.is_some() || self.divisor_count == 0);
+        let qcols: Vec<usize> = (0..self.quotient_keys.len()).collect();
+        let h = t.hash_on(&self.quotient_keys);
+        let found = self
+            .table
+            .find(h, |e| t.eq_on(&self.quotient_keys, &e.tuple, &qcols));
+        match found {
+            None => {
+                let bits = if self.mode == HashDivisionMode::CounterOnly {
+                    0
+                } else {
+                    self.divisor_count as usize
+                };
+                self.payload
+                    .grow(self.quotient_width + Bitmap::heap_bytes(bits))?;
+                let mut bitmap = Bitmap::new(bits);
+                let mut count = 0;
+                if let Some(d) = divisor_no {
+                    if self.mode != HashDivisionMode::CounterOnly {
+                        bitmap.set(d as usize);
+                    }
+                    count = 1;
+                }
+                let tuple = t.project(&self.quotient_keys);
+                self.stats_candidates += 1;
+                let complete = count == self.divisor_count;
+                let emit = tuple.clone();
+                self.table.insert(
+                    h,
+                    QEntry {
+                        tuple,
+                        bitmap,
+                        count,
+                    },
+                )?;
+                if self.mode == HashDivisionMode::EarlyOut && complete {
+                    return Ok(Some(emit));
+                }
+                Ok(None)
+            }
+            Some(idx) => {
+                let divisor_count = self.divisor_count;
+                let e = self.table.get_mut(idx);
+                match self.mode {
+                    HashDivisionMode::Standard => {
+                        if let Some(d) = divisor_no {
+                            e.bitmap.set(d as usize);
+                        }
+                        Ok(None)
+                    }
+                    HashDivisionMode::EarlyOut => {
+                        if let Some(d) = divisor_no {
+                            // Test-and-set: an already-set bit means a
+                            // duplicate dividend tuple — discard it.
+                            if !e.bitmap.set(d as usize) {
+                                e.count += 1;
+                                if e.count == divisor_count {
+                                    return Ok(Some(e.tuple.clone()));
+                                }
+                            }
+                        }
+                        Ok(None)
+                    }
+                    HashDivisionMode::CounterOnly => {
+                        if divisor_no.is_some() {
+                            e.count += 1;
+                        }
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Step 3: pulls the next complete candidate from the final table
+    /// scan. (Under `EarlyOut`, complete candidates were emitted during
+    /// the stream, so this scan yields nothing.)
+    pub fn next_complete(&mut self) -> Option<Tuple> {
+        while self.scan_pos < self.table.len() {
+            let idx = self.scan_pos as u32;
+            self.scan_pos += 1;
+            let e = self.table.get(idx);
+            let complete = match self.mode {
+                HashDivisionMode::Standard => e.bitmap.all_set(),
+                HashDivisionMode::EarlyOut => false,
+                HashDivisionMode::CounterOnly => e.count == self.divisor_count,
+            };
+            if complete {
+                return Some(e.tuple.clone());
+            }
+        }
+        None
+    }
+}
+
+/// The hash-division operator.
+pub struct HashDivision {
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: DivisionSpec,
+    mode: HashDivisionMode,
+    pool: MemoryPool,
+    schema: Schema,
+    state: OpState,
+    divisor_table: Option<DivisorTable>,
+    quotient_table: Option<QuotientTable>,
+    streaming: bool,
+    stats: HashDivisionStats,
+}
+
+impl HashDivision {
+    /// Creates a hash-division of `dividend ÷ divisor` described by `spec`.
+    pub fn new(
+        dividend: BoxedOp,
+        divisor: BoxedOp,
+        spec: DivisionSpec,
+        mode: HashDivisionMode,
+        pool: MemoryPool,
+    ) -> Result<Self> {
+        spec.validate(dividend.schema(), divisor.schema())?;
+        let schema = spec.quotient_schema(dividend.schema())?;
+        Ok(HashDivision {
+            dividend,
+            divisor,
+            spec,
+            mode,
+            pool,
+            schema,
+            state: OpState::Created,
+            divisor_table: None,
+            quotient_table: None,
+            streaming: false,
+            stats: HashDivisionStats::default(),
+        })
+    }
+
+    /// Run statistics (meaningful once the operator has been drained).
+    pub fn stats(&self) -> HashDivisionStats {
+        let mut s = self.stats;
+        if let Some(q) = &self.quotient_table {
+            s.candidates = q.candidates();
+        }
+        s
+    }
+
+    /// Steps 1+2 for one dividend tuple.
+    fn absorb(&mut self, t: Tuple) -> Result<Option<Tuple>> {
+        let dt = self.divisor_table.as_ref().expect("open builds tables");
+        let divisor_no = if dt.count() == 0 {
+            // Empty divisor: universal quantification is vacuous; every
+            // dividend tuple survives as a (complete) candidate.
+            None
+        } else {
+            match dt.lookup(&t, &self.spec.divisor_keys) {
+                Some(d) => Some(d),
+                None => {
+                    // No matching divisor tuple: discard immediately.
+                    self.stats.dividend_discarded += 1;
+                    return Ok(None);
+                }
+            }
+        };
+        let qt = self.quotient_table.as_mut().expect("open builds tables");
+        let out = qt.absorb(&t, divisor_no)?;
+        if out.is_some() {
+            self.stats.emitted += 1;
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for HashDivision {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.stats = HashDivisionStats::default();
+        let dt = DivisorTable::build(&mut self.divisor, &self.pool)?;
+        self.stats.divisor_count = dt.count() as u64;
+        self.stats.divisor_duplicates = dt.duplicates();
+        let qt = QuotientTable::new(
+            &self.pool,
+            self.mode,
+            dt.count(),
+            self.spec.quotient_keys.clone(),
+            self.schema.record_width(),
+        )?;
+        self.divisor_table = Some(dt);
+        self.quotient_table = Some(qt);
+        self.dividend.open()?;
+        match self.mode {
+            HashDivisionMode::Standard | HashDivisionMode::CounterOnly => {
+                // Stop-and-go: consume the whole dividend now.
+                while let Some(t) = self.dividend.next()? {
+                    self.absorb(t)?;
+                }
+                self.dividend.close()?;
+                // "free divisor table" — it is no longer needed, but keep
+                // the count for the final scan.
+                self.streaming = false;
+            }
+            HashDivisionMode::EarlyOut => {
+                self.streaming = true;
+            }
+        }
+        self.state = OpState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        self.state.require_open()?;
+        // EarlyOut: keep consuming the dividend until a candidate
+        // completes.
+        if self.streaming {
+            loop {
+                match self.dividend.next()? {
+                    Some(t) => {
+                        if let Some(q) = self.absorb(t)? {
+                            return Ok(Some(q));
+                        }
+                    }
+                    None => {
+                        self.dividend.close()?;
+                        self.streaming = false;
+                        // All complete candidates were already emitted.
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        // Step 3: scan the quotient table for bit maps with no zero.
+        let qt = self.quotient_table.as_mut().expect("open builds tables");
+        match qt.next_complete() {
+            Some(t) => {
+                self.stats.emitted += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        // "free divisor table ... free quotient table".
+        self.divisor_table = None;
+        self.quotient_table = None;
+        self.state = OpState::Closed;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_exec::scan::MemScan;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::{Relation, Value};
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("student-id"), Field::int("course-no")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Field::int("course-no")]);
+        Relation::from_tuples(schema, nos.iter().map(|&n| ints(&[n])).collect()).unwrap()
+    }
+
+    fn divide(
+        dividend: Relation,
+        divisor: Relation,
+        mode: HashDivisionMode,
+    ) -> (Vec<i64>, HashDivisionStats) {
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let mut op = HashDivision::new(
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            spec,
+            mode,
+            MemoryPool::unbounded(),
+        )
+        .unwrap();
+        op.open().unwrap();
+        let mut out = Vec::new();
+        while let Some(t) = op.next().unwrap() {
+            out.push(t.value(0).as_int().unwrap());
+        }
+        let stats = op.stats();
+        op.close().unwrap();
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    const MODES: [HashDivisionMode; 3] = [
+        HashDivisionMode::Standard,
+        HashDivisionMode::EarlyOut,
+        HashDivisionMode::CounterOnly,
+    ];
+
+    /// The paper's Figure 2 worked example: Ann and Barb's transcripts
+    /// divided by the two database courses yields exactly Ann.
+    #[test]
+    fn figure2_example() {
+        let schema_t = Schema::new(vec![Field::str("student", 8), Field::str("course", 12)]);
+        let schema_c = Schema::new(vec![Field::str("course", 12)]);
+        let t = Relation::from_tuples(
+            schema_t,
+            [
+                ("Ann", "Database1"),
+                ("Barb", "Database2"),
+                ("Ann", "Database2"),
+                ("Barb", "Optics"),
+            ]
+            .iter()
+            .map(|&(s, c)| Tuple::new(vec![Value::from(s), Value::from(c)]))
+            .collect(),
+        )
+        .unwrap();
+        let c = Relation::from_tuples(
+            schema_c,
+            vec![
+                Tuple::new(vec![Value::from("Database1")]),
+                Tuple::new(vec![Value::from("Database2")]),
+            ],
+        )
+        .unwrap();
+        let spec = DivisionSpec::trailing_divisor(t.schema(), c.schema()).unwrap();
+        let mut op = HashDivision::new(
+            Box::new(MemScan::new(t)),
+            Box::new(MemScan::new(c)),
+            spec,
+            HashDivisionMode::Standard,
+            MemoryPool::unbounded(),
+        )
+        .unwrap();
+        op.open().unwrap();
+        let mut names = Vec::new();
+        while let Some(q) = op.next().unwrap() {
+            names.push(q.value(0).as_str().unwrap().to_owned());
+        }
+        assert_eq!(names, vec!["Ann"], "only Ann took both database courses");
+        let stats = op.stats();
+        assert_eq!(stats.divisor_count, 2);
+        assert_eq!(stats.dividend_discarded, 1, "(Barb, Optics) is discarded");
+        assert_eq!(stats.candidates, 2, "Ann and Barb are candidates");
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn exact_product_all_modes() {
+        // R = Q x S: every student took every course.
+        let mut rows = Vec::new();
+        for q in 0..4 {
+            for s in 0..3 {
+                rows.push([q, 100 + s]);
+            }
+        }
+        for mode in MODES {
+            let (out, stats) = divide(transcript(&rows), courses(&[100, 101, 102]), mode);
+            assert_eq!(out, vec![0, 1, 2, 3], "{mode:?}");
+            assert_eq!(stats.emitted, 4);
+        }
+    }
+
+    #[test]
+    fn partial_groups_are_excluded() {
+        let rows = [[1, 10], [1, 20], [2, 10], [3, 20], [3, 10]];
+        for mode in MODES {
+            let (out, _) = divide(transcript(&rows), courses(&[10, 20]), mode);
+            assert_eq!(out, vec![1, 3], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn non_matching_dividend_tuples_are_discarded_early() {
+        let rows = [[1, 10], [1, 99], [2, 10], [2, 99]];
+        for mode in MODES {
+            let (out, stats) = divide(transcript(&rows), courses(&[10]), mode);
+            assert_eq!(out, vec![1, 2], "{mode:?}");
+            assert_eq!(stats.dividend_discarded, 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn divisor_duplicates_are_eliminated_on_the_fly() {
+        let rows = [[1, 10], [1, 20], [2, 10]];
+        for mode in MODES {
+            let (out, stats) = divide(transcript(&rows), courses(&[10, 20, 10, 20, 20]), mode);
+            assert_eq!(out, vec![1], "{mode:?}");
+            assert_eq!(stats.divisor_count, 2, "{mode:?}");
+            assert_eq!(stats.divisor_duplicates, 3, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn dividend_duplicates_are_ignored_by_bitmap_modes() {
+        // Student 2 has duplicate (2,10) rows but never took course 20:
+        // counting would wrongly qualify them; bit maps do not.
+        let rows = [[1, 10], [1, 20], [2, 10], [2, 10]];
+        for mode in [HashDivisionMode::Standard, HashDivisionMode::EarlyOut] {
+            let (out, _) = divide(transcript(&rows), courses(&[10, 20]), mode);
+            assert_eq!(out, vec![1], "{mode:?}");
+        }
+        // CounterOnly documents the opposite: duplicates corrupt counts.
+        let (out, _) = divide(
+            transcript(&rows),
+            courses(&[10, 20]),
+            HashDivisionMode::CounterOnly,
+        );
+        assert_eq!(out, vec![1, 2], "counter mode is fooled by duplicates");
+    }
+
+    #[test]
+    fn empty_divisor_yields_distinct_quotient_projection() {
+        let rows = [[1, 10], [2, 20], [1, 30]];
+        for mode in MODES {
+            let (out, _) = divide(transcript(&rows), courses(&[]), mode);
+            assert_eq!(out, vec![1, 2], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn empty_dividend_yields_empty_quotient() {
+        for mode in MODES {
+            let (out, _) = divide(transcript(&[]), courses(&[10]), mode);
+            assert!(out.is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn early_out_emits_before_dividend_is_exhausted() {
+        // Student 1 completes after the first two tuples; a long tail
+        // follows. The operator must emit 1 before consuming the tail.
+        let mut rows = vec![[1, 10], [1, 20]];
+        for i in 0..100 {
+            rows.push([2 + i, 10]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[10, 20]);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let mut op = HashDivision::new(
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            spec,
+            HashDivisionMode::EarlyOut,
+            MemoryPool::unbounded(),
+        )
+        .unwrap();
+        op.open().unwrap();
+        let first = op.next().unwrap().unwrap();
+        assert_eq!(first, ints(&[1]));
+        // At this point only 2 of 102 dividend tuples were needed; the
+        // candidate count proves the tail was not consumed.
+        assert!(op.stats().candidates <= 2);
+        assert!(op.next().unwrap().is_none());
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn memory_exhaustion_surfaces_for_overflow_handling() {
+        let mut rows = Vec::new();
+        for q in 0..10_000 {
+            rows.push([q, 1]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1]);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let mut op = HashDivision::new(
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            spec,
+            HashDivisionMode::Standard,
+            MemoryPool::new(4096),
+        )
+        .unwrap();
+        let err = op.open().unwrap_err();
+        assert!(err.is_memory_exhausted());
+    }
+
+    #[test]
+    fn multi_column_divisor_and_quotient() {
+        // Dividend (q1, q2, d1, d2) / divisor (d1, d2).
+        let dividend_schema = Schema::new(vec![
+            Field::int("q1"),
+            Field::int("q2"),
+            Field::int("d1"),
+            Field::int("d2"),
+        ]);
+        let divisor_schema = Schema::new(vec![Field::int("d1"), Field::int("d2")]);
+        let dividend = Relation::from_tuples(
+            dividend_schema,
+            vec![
+                ints(&[1, 1, 5, 50]),
+                ints(&[1, 1, 6, 60]),
+                ints(&[2, 2, 5, 50]),
+                // (2,2) missing (6,60); (2,2,6,61) must not count.
+                ints(&[2, 2, 6, 61]),
+            ],
+        )
+        .unwrap();
+        let divisor =
+            Relation::from_tuples(divisor_schema, vec![ints(&[5, 50]), ints(&[6, 60])]).unwrap();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let mut op = HashDivision::new(
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            spec,
+            HashDivisionMode::Standard,
+            MemoryPool::unbounded(),
+        )
+        .unwrap();
+        op.open().unwrap();
+        let mut out = Vec::new();
+        while let Some(t) = op.next().unwrap() {
+            out.push(t);
+        }
+        assert_eq!(out, vec![ints(&[1, 1])]);
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn bit_operations_are_counted() {
+        reldiv_rel::counters::reset();
+        let rows = [[1, 10], [1, 20]];
+        let (_, _) = divide(
+            transcript(&rows),
+            courses(&[10, 20]),
+            HashDivisionMode::Standard,
+        );
+        let snap = reldiv_rel::counters::snapshot();
+        assert!(
+            snap.bitops >= 2,
+            "at least one Bit per dividend tuple: {snap:?}"
+        );
+        assert!(snap.hashes >= 2 + 2 * 2, "divisor + 2 per dividend tuple");
+    }
+
+    #[test]
+    fn divisor_table_is_reusable_across_phases() {
+        // The overflow strategies keep one divisor table across phases.
+        let divisor = courses(&[10, 20, 30]);
+        let mut op: BoxedOp = Box::new(MemScan::new(divisor));
+        let dt = DivisorTable::build(&mut op, &MemoryPool::unbounded()).unwrap();
+        assert_eq!(dt.count(), 3);
+        let t = ints(&[7, 20]);
+        assert_eq!(dt.lookup(&t, &[1]), Some(1));
+        assert_eq!(dt.lookup(&ints(&[7, 99]), &[1]), None);
+        assert_eq!(dt.entries().count(), 3);
+    }
+}

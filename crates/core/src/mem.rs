@@ -1,0 +1,207 @@
+//! A self-contained, generic, in-memory hash-division API.
+//!
+//! For callers who want the paper's algorithm over ordinary Rust
+//! collections, without schemas, storage managers, or operators:
+//!
+//! ```
+//! use reldiv_core::mem::hash_divide;
+//!
+//! // Which students took ALL the listed courses?
+//! let transcript = [
+//!     ("Ann", "Database1"),
+//!     ("Barb", "Database2"),
+//!     ("Ann", "Database2"),
+//!     ("Barb", "Optics"),
+//! ];
+//! let courses = ["Database1", "Database2"];
+//! let q = hash_divide(transcript, courses);
+//! assert_eq!(q, vec!["Ann"]);
+//! ```
+//!
+//! The implementation is the Figure 1 algorithm verbatim: a divisor map
+//! assigning divisor numbers, a quotient map holding one bit map per
+//! candidate, and a final completeness scan. It inherits hash-division's
+//! semantics: duplicates in either input are harmless, and an empty
+//! divisor yields the distinct quotient values of the dividend.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Divides a dividend of `(quotient, divisor)` pairs by a divisor set.
+///
+/// Returns each quotient value `q` such that for *every* divisor value
+/// `d`, the pair `(q, d)` appears in the dividend. Output order follows
+/// first appearance of each qualifying quotient value in the dividend.
+pub fn hash_divide<Q, D>(
+    dividend: impl IntoIterator<Item = (Q, D)>,
+    divisor: impl IntoIterator<Item = D>,
+) -> Vec<Q>
+where
+    Q: Eq + Hash + Clone,
+    D: Eq + Hash,
+{
+    // Step 1: divisor table with divisor numbers (duplicates collapse).
+    let mut divisor_numbers: HashMap<D, usize> = HashMap::new();
+    for d in divisor {
+        let n = divisor_numbers.len();
+        divisor_numbers.entry(d).or_insert(n);
+    }
+    let divisor_count = divisor_numbers.len();
+    let words = divisor_count.div_ceil(64);
+
+    // Step 2: quotient table with bit maps; insertion order retained so
+    // output is deterministic.
+    let mut quotient_order: Vec<Q> = Vec::new();
+    let mut quotient_table: HashMap<Q, Vec<u64>> = HashMap::new();
+    for (q, d) in dividend {
+        let number = if divisor_count == 0 {
+            None // vacuous: candidate is complete with an empty bit map
+        } else {
+            match divisor_numbers.get(&d) {
+                Some(&n) => Some(n),
+                None => continue, // no matching divisor tuple: discard
+            }
+        };
+        let bitmap = quotient_table.entry(q.clone()).or_insert_with(|| {
+            quotient_order.push(q.clone());
+            vec![0u64; words]
+        });
+        if let Some(n) = number {
+            bitmap[n / 64] |= 1 << (n % 64);
+        }
+    }
+
+    // Step 3: emit candidates whose bit map has no zero.
+    quotient_order
+        .into_iter()
+        .filter(|q| {
+            let bitmap = &quotient_table[q];
+            (0..divisor_count).all(|i| bitmap[i / 64] & (1 << (i % 64)) != 0)
+        })
+        .collect()
+}
+
+/// Divides using counters instead of bit maps (the Section 3.3 variant for
+/// duplicate-free dividends). Exposed chiefly so benchmarks can measure
+/// the bit-map overhead; prefer [`hash_divide`] unless the dividend is
+/// certainly duplicate-free.
+pub fn hash_divide_counting<Q, D>(
+    dividend: impl IntoIterator<Item = (Q, D)>,
+    divisor: impl IntoIterator<Item = D>,
+) -> Vec<Q>
+where
+    Q: Eq + Hash + Clone,
+    D: Eq + Hash,
+{
+    let mut divisor_set: std::collections::HashSet<D> = std::collections::HashSet::new();
+    for d in divisor {
+        divisor_set.insert(d);
+    }
+    let divisor_count = divisor_set.len();
+    let mut order: Vec<Q> = Vec::new();
+    let mut counts: HashMap<Q, usize> = HashMap::new();
+    for (q, d) in dividend {
+        let matched = divisor_count == 0 || divisor_set.contains(&d);
+        if !matched {
+            continue;
+        }
+        let c = counts.entry(q.clone()).or_insert_with(|| {
+            order.push(q.clone());
+            0
+        });
+        if divisor_count > 0 {
+            *c += 1;
+        }
+    }
+    order
+        .into_iter()
+        .filter(|q| counts[q] == divisor_count)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_divides_to_ann() {
+        let transcript = [
+            ("Ann", "Database1"),
+            ("Barb", "Database2"),
+            ("Ann", "Database2"),
+            ("Barb", "Optics"),
+        ];
+        assert_eq!(
+            hash_divide(transcript, ["Database1", "Database2"]),
+            vec!["Ann"]
+        );
+    }
+
+    #[test]
+    fn output_order_is_first_appearance() {
+        let pairs = [(3, 'a'), (1, 'a'), (2, 'a')];
+        assert_eq!(hash_divide(pairs, ['a']), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn integer_payloads_work() {
+        let pairs: Vec<(i32, i32)> = (0..10).flat_map(|q| (0..5).map(move |d| (q, d))).collect();
+        let q = hash_divide(pairs, 0..5);
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn duplicates_everywhere_are_harmless() {
+        let pairs = [(1, 'x'), (1, 'x'), (1, 'y'), (2, 'x'), (2, 'x')];
+        assert_eq!(hash_divide(pairs, ['x', 'y', 'x', 'y']), vec![1]);
+    }
+
+    #[test]
+    fn empty_divisor_is_vacuous() {
+        let pairs = [(1, 'x'), (2, 'y'), (1, 'z')];
+        assert_eq!(hash_divide(pairs, []), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_dividend_is_empty() {
+        assert_eq!(hash_divide::<i32, i32>([], [1, 2]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn large_divisor_crosses_word_boundaries() {
+        // 130 divisor values exercise 3-word bit maps.
+        let divisor: Vec<u32> = (0..130).collect();
+        let full: Vec<(u8, u32)> = divisor.iter().map(|&d| (1u8, d)).collect();
+        let mut partial = full.clone();
+        partial.retain(|&(_, d)| d != 64); // drop exactly the boundary bit
+        let partial: Vec<(u8, u32)> = partial.into_iter().map(|(_, d)| (2u8, d)).collect();
+        let pairs: Vec<(u8, u32)> = full.into_iter().chain(partial).collect();
+        assert_eq!(hash_divide(pairs, divisor), vec![1]);
+    }
+
+    #[test]
+    fn counting_variant_agrees_on_duplicate_free_input() {
+        let pairs: Vec<(i32, i32)> = vec![(1, 10), (1, 20), (2, 10), (3, 20), (3, 10)];
+        let a = hash_divide(pairs.clone(), [10, 20]);
+        let b = hash_divide_counting(pairs, [10, 20]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 3]);
+    }
+
+    #[test]
+    fn counting_variant_empty_divisor() {
+        let pairs = [(1, 'x'), (2, 'q'), (1, 'x')];
+        assert_eq!(hash_divide_counting(pairs, []), vec![1, 2]);
+    }
+
+    #[test]
+    fn string_keys_with_owned_data() {
+        let pairs = vec![
+            ("s1".to_string(), "p1".to_string()),
+            ("s1".to_string(), "p2".to_string()),
+            ("s2".to_string(), "p1".to_string()),
+        ];
+        let q = hash_divide(pairs, vec!["p1".to_string(), "p2".to_string()]);
+        assert_eq!(q, vec!["s1".to_string()]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Naive division over sorted inputs (Section 2.1; essentially Smith 1975).
+//!
+//! "First, the dividend is sorted using the quotient attributes as major
+//! and the divisor attributes as minor sort keys. Second, the divisor is
+//! sorted on all its attributes. Third, the two sorted relations are
+//! scanned in a fashion similar to nested loops join ... when an equality
+//! match has been found, both relation scans can be advanced."
+//!
+//! Following the paper's implementation, the operator "first consumes the
+//! entire divisor relation, building a linked list of divisor tuples fixed
+//! in the buffer pool. It then consumes the dividend relation, advancing in
+//! the linked list of divisor tuples as matching dividend tuples are
+//! produced by the dividend input, and producing a quotient tuple each time
+//! the end of the divisor list is reached."
+//!
+//! [`NaiveDivision`] takes inputs that are *already sorted* (and
+//! duplicate-free); [`naive_division_plan`] wraps raw inputs in the
+//! required distinct sorts, which is where the naive algorithm's dominant
+//! cost lives.
+
+use std::cmp::Ordering;
+
+use reldiv_exec::op::{BoxedOp, OpState, Operator};
+use reldiv_exec::sort::{Sort, SortConfig, SortMode};
+use reldiv_rel::{Schema, Tuple};
+use reldiv_storage::StorageRef;
+
+use crate::spec::DivisionSpec;
+use crate::Result;
+
+/// The merge-scan division step over sorted, duplicate-free inputs.
+pub struct NaiveDivision {
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: DivisionSpec,
+    schema: Schema,
+    state: OpState,
+    /// The divisor, materialized in sorted order ("a linked list of divisor
+    /// tuples fixed in the buffer pool").
+    divisor_list: Vec<Tuple>,
+    /// Quotient-attribute values of the group being scanned.
+    current_group: Option<Tuple>,
+    /// Position in the divisor list for the current group.
+    divisor_pos: usize,
+    /// Whether the current group can still qualify (or already emitted).
+    group_alive: bool,
+    #[cfg(debug_assertions)]
+    last_dividend: Option<Tuple>,
+}
+
+impl NaiveDivision {
+    /// Creates the division step. `dividend` must be sorted on
+    /// `spec.quotient_keys` (major) then `spec.divisor_keys` (minor);
+    /// `divisor` must be sorted on all its columns; both duplicate-free.
+    pub fn new(dividend: BoxedOp, divisor: BoxedOp, spec: DivisionSpec) -> Result<Self> {
+        spec.validate(dividend.schema(), divisor.schema())?;
+        let schema = spec.quotient_schema(dividend.schema())?;
+        Ok(NaiveDivision {
+            dividend,
+            divisor,
+            spec,
+            schema,
+            state: OpState::Created,
+            divisor_list: Vec::new(),
+            current_group: None,
+            divisor_pos: 0,
+            group_alive: false,
+            #[cfg(debug_assertions)]
+            last_dividend: None,
+        })
+    }
+}
+
+impl Operator for NaiveDivision {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.divisor.open()?;
+        self.divisor_list.clear();
+        while let Some(t) = self.divisor.next()? {
+            #[cfg(debug_assertions)]
+            if let Some(prev) = self.divisor_list.last() {
+                let all = self.spec.divisor_all_columns();
+                debug_assert_eq!(
+                    prev.cmp_keys(&t, &all),
+                    Ordering::Less,
+                    "divisor input must be sorted and duplicate-free"
+                );
+            }
+            self.divisor_list.push(t);
+        }
+        self.divisor.close()?;
+        self.dividend.open()?;
+        self.current_group = None;
+        self.divisor_pos = 0;
+        self.group_alive = false;
+        self.state = OpState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        self.state.require_open()?;
+        let all = self.spec.divisor_all_columns();
+        loop {
+            let Some(t) = self.dividend.next()? else {
+                return Ok(None);
+            };
+            #[cfg(debug_assertions)]
+            {
+                let mut keys = self.spec.quotient_keys.clone();
+                keys.extend_from_slice(&self.spec.divisor_keys);
+                if let Some(prev) = &self.last_dividend {
+                    debug_assert_eq!(
+                        prev.cmp_keys(&t, &keys),
+                        Ordering::Less,
+                        "dividend input must be sorted and duplicate-free"
+                    );
+                }
+                self.last_dividend = Some(t.clone());
+            }
+
+            // Group boundary?
+            let same_group = self.current_group.as_ref().is_some_and(|g| {
+                let qcols: Vec<usize> = (0..self.spec.quotient_keys.len()).collect();
+                t.eq_on(&self.spec.quotient_keys, g, &qcols)
+            });
+            if !same_group {
+                self.current_group = Some(t.project(&self.spec.quotient_keys));
+                self.divisor_pos = 0;
+                self.group_alive = true;
+                // An empty divisor qualifies every group immediately.
+                if self.divisor_list.is_empty() {
+                    self.group_alive = false;
+                    return Ok(Some(self.current_group.clone().expect("just set")));
+                }
+            }
+            if !self.group_alive {
+                continue; // group already emitted or already failed
+            }
+
+            // Advance the divisor scan against this dividend tuple.
+            match t.cmp_on(
+                &self.spec.divisor_keys,
+                &self.divisor_list[self.divisor_pos],
+                &all,
+            ) {
+                Ordering::Less => {
+                    // Dividend value not in the divisor (e.g. a physics
+                    // course): skip the tuple, the group is still viable.
+                }
+                Ordering::Equal => {
+                    self.divisor_pos += 1;
+                    if self.divisor_pos == self.divisor_list.len() {
+                        // "producing a quotient tuple each time the end of
+                        // the divisor list is reached."
+                        self.group_alive = false;
+                        return Ok(Some(self.current_group.clone().expect("in a group")));
+                    }
+                }
+                Ordering::Greater => {
+                    // The expected divisor tuple is missing from the group.
+                    self.group_alive = false;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.dividend.close()?;
+        self.divisor_list.clear();
+        self.state = OpState::Closed;
+        Ok(())
+    }
+}
+
+/// The full naive-division plan: distinct sorts of both inputs (where the
+/// algorithm's dominant cost lies) feeding the merge-scan step.
+///
+/// `assume_unique` skips nothing here — the sorts are required for order
+/// regardless, and eliminating duplicates during a sort is free ("in the
+/// naive division algorithm ... duplicates can be conveniently eliminated
+/// during the initial sort phase").
+pub fn naive_division_plan(
+    storage: StorageRef,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: DivisionSpec,
+    sort_config: SortConfig,
+) -> Result<BoxedOp> {
+    let mut dividend_keys = spec.quotient_keys.clone();
+    dividend_keys.extend_from_slice(&spec.divisor_keys);
+    let sorted_dividend = Sort::new(
+        storage.clone(),
+        dividend,
+        dividend_keys,
+        SortMode::Distinct,
+        sort_config,
+    )?;
+    let divisor_keys = spec.divisor_all_columns();
+    let sorted_divisor = Sort::new(
+        storage,
+        divisor,
+        divisor_keys,
+        SortMode::Distinct,
+        sort_config,
+    )?;
+    Ok(Box::new(NaiveDivision::new(
+        Box::new(sorted_dividend),
+        Box::new(sorted_divisor),
+        spec,
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_exec::op::collect;
+    use reldiv_exec::scan::MemScan;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::Relation;
+    use reldiv_storage::manager::{StorageConfig, StorageManager};
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Field::int("cno")]);
+        Relation::from_tuples(schema, nos.iter().map(|&n| ints(&[n])).collect()).unwrap()
+    }
+
+    fn divide(dividend: Relation, divisor: Relation) -> Vec<i64> {
+        let storage = StorageManager::shared(StorageConfig::paper());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let plan = naive_division_plan(
+            storage,
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            spec,
+            SortConfig::default(),
+        )
+        .unwrap();
+        let mut out: Vec<i64> = collect(plan)
+            .unwrap()
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn exact_product_divides_cleanly() {
+        let mut rows = Vec::new();
+        for q in 0..5 {
+            for s in [10, 20, 30] {
+                rows.push([q, s]);
+            }
+        }
+        assert_eq!(
+            divide(transcript(&rows), courses(&[10, 20, 30])),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn partial_groups_fail() {
+        let rows = [[1, 10], [1, 20], [2, 10], [3, 20]];
+        assert_eq!(divide(transcript(&rows), courses(&[10, 20])), vec![1]);
+    }
+
+    #[test]
+    fn non_divisor_values_are_skipped_not_fatal() {
+        // Student 1 took physics (99) between the two database courses;
+        // the scan must skip it without failing the group.
+        let rows = [[1, 10], [1, 15], [1, 20], [2, 10], [2, 20]];
+        assert_eq!(divide(transcript(&rows), courses(&[10, 20])), vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_eliminated_by_the_sorts() {
+        // Duplicates in both inputs; the distinct sorts clean them up.
+        let rows = [[1, 10], [1, 10], [1, 20], [2, 10], [2, 10]];
+        assert_eq!(
+            divide(transcript(&rows), courses(&[10, 20, 20, 10])),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn empty_divisor_yields_distinct_projection() {
+        let rows = [[3, 10], [1, 20], [3, 30]];
+        assert_eq!(divide(transcript(&rows), courses(&[])), vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_dividend_yields_empty() {
+        assert_eq!(divide(transcript(&[]), courses(&[10])), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn group_exceeding_divisor_still_qualifies() {
+        // Student 1 took MORE courses than the divisor requires.
+        let rows = [[1, 5], [1, 10], [1, 20], [1, 25]];
+        assert_eq!(divide(transcript(&rows), courses(&[10, 20])), vec![1]);
+    }
+
+    #[test]
+    fn group_whose_last_divisor_value_is_missing_fails() {
+        // Group has 10 but then jumps past 20 to 30.
+        let rows = [[1, 10], [1, 30]];
+        assert_eq!(
+            divide(transcript(&rows), courses(&[10, 20])),
+            Vec::<i64>::new()
+        );
+    }
+
+    #[test]
+    fn sorted_input_invariant_is_debug_checked() {
+        // Feeding unsorted inputs directly into NaiveDivision (without the
+        // plan's sorts) trips the debug assertion.
+        let dividend = transcript(&[[2, 10], [1, 10]]);
+        let divisor = courses(&[10]);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let mut op = NaiveDivision::new(
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            spec,
+        )
+        .unwrap();
+        op.open().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while op.next().unwrap().is_some() {}
+        }));
+        assert!(
+            result.is_err(),
+            "unsorted dividend must be rejected in debug builds"
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Division by sort-based aggregation (Section 2.2.1).
+//!
+//! "First, the courses offered by the university are counted using a
+//! scalar aggregate operator. Second, for each student, the courses taken
+//! are counted using an aggregate function operator. Third, only those
+//! students whose number of courses taken is equal to the number of
+//! courses offered are selected to be included in the quotient."
+//!
+//! Two plan shapes:
+//!
+//! * **Without join** — valid only when every dividend tuple's divisor
+//!   attributes appear in the divisor (the paper's first example, where
+//!   the divisor is *all* courses). Counting then equals matching.
+//! * **With join** — the general shape (the paper's second example, where
+//!   the divisor is restricted by a selection): a merge semi-join
+//!   restricts the dividend to valid divisor values before counting,
+//!   which costs an additional sort of the dividend on *different*
+//!   attributes ("it must be sorted first on course-no's for the join and
+//!   then on student-id's for aggregation").
+
+use reldiv_exec::agg::{HavingCount, ScalarCount, SortCountAggregate};
+use reldiv_exec::merge_join::{JoinMode, MergeJoin};
+use reldiv_exec::op::{collect, BoxedOp};
+use reldiv_exec::sort::{Sort, SortMode};
+use reldiv_rel::Relation;
+use reldiv_storage::StorageRef;
+
+use crate::api::{DivisionConfig, Source};
+use crate::spec::DivisionSpec;
+use crate::{ExecError, Result};
+
+/// Counts the distinct divisor tuples with a scalar aggregate.
+///
+/// Under `assume_unique` this is a plain counting scan; otherwise a
+/// distinct sort feeds it (the paper's footnote: "a duplicate elimination
+/// step is explicitly requested and inserted into the query evaluation
+/// plan").
+pub(crate) fn divisor_count_sorted(
+    storage: &StorageRef,
+    divisor: &Source,
+    config: &DivisionConfig,
+) -> Result<i64> {
+    let scan = divisor.scan(storage);
+    let input: BoxedOp = if config.assume_unique {
+        scan
+    } else {
+        let all: Vec<usize> = (0..divisor.schema().arity()).collect();
+        Box::new(Sort::new(
+            storage.clone(),
+            scan,
+            all,
+            SortMode::Distinct,
+            config.sort,
+        )?)
+    };
+    let counted = collect(Box::new(ScalarCount::new(input, false)))?;
+    Ok(counted.tuples()[0].value(0).as_int().expect("count is Int"))
+}
+
+/// The vacuous case shared by the aggregate plans: an empty divisor means
+/// the quotient is the distinct quotient-attribute projection of the
+/// dividend. Aggregation alone cannot express this (no group ever counts
+/// to zero), so it is a separate plan.
+pub(crate) fn distinct_quotient_projection_sorted(
+    storage: &StorageRef,
+    dividend: &Source,
+    spec: &DivisionSpec,
+    config: &DivisionConfig,
+) -> Result<Relation> {
+    let projected =
+        reldiv_exec::project::Project::new(dividend.scan(storage), spec.quotient_keys.clone())?;
+    let arity = spec.quotient_keys.len();
+    let sorted = Sort::new(
+        storage.clone(),
+        Box::new(projected),
+        (0..arity).collect(),
+        SortMode::Distinct,
+        config.sort,
+    )?;
+    collect(Box::new(sorted))
+}
+
+/// Runs division by sort-based aggregation.
+pub fn sort_agg_division(
+    storage: &StorageRef,
+    dividend: &Source,
+    divisor: &Source,
+    spec: &DivisionSpec,
+    with_join: bool,
+    config: &DivisionConfig,
+) -> Result<Relation> {
+    // Step 1: scalar aggregate — count the (distinct) divisor.
+    let target = divisor_count_sorted(storage, divisor, config)?;
+    if target == 0 {
+        return distinct_quotient_projection_sorted(storage, dividend, spec, config);
+    }
+
+    // Step 2: count per group, optionally after a merge semi-join.
+    let agg_input: BoxedOp = if with_join {
+        // Sort the dividend on the divisor attributes for the join (minor
+        // keys: the quotient attributes, so Distinct mode deduplicates
+        // whole tuples), and the divisor on all its attributes.
+        let mut join_sort_keys = spec.divisor_keys.clone();
+        join_sort_keys.extend_from_slice(&spec.quotient_keys);
+        let dividend_mode = if config.assume_unique {
+            SortMode::Plain
+        } else {
+            SortMode::Distinct
+        };
+        let sorted_dividend = Sort::new(
+            storage.clone(),
+            dividend.scan(storage),
+            join_sort_keys,
+            dividend_mode,
+            config.sort,
+        )?;
+        let sorted_divisor = Sort::new(
+            storage.clone(),
+            divisor.scan(storage),
+            spec.divisor_all_columns(),
+            SortMode::Distinct,
+            config.sort,
+        )?;
+        Box::new(MergeJoin::new(
+            Box::new(sorted_dividend),
+            Box::new(sorted_divisor),
+            spec.divisor_keys.clone(),
+            spec.divisor_all_columns(),
+            JoinMode::LeftSemi,
+        )?)
+    } else {
+        dividend.scan(storage)
+    };
+
+    // The aggregate function: count (distinct) dividend tuples per group.
+    // After a semi-join over a deduplicated dividend the input is unique;
+    // without the join, uniqueness must be requested explicitly.
+    let need_distinct = !config.assume_unique && !with_join;
+    let agg = SortCountAggregate::new(
+        storage.clone(),
+        agg_input,
+        spec.quotient_keys.clone(),
+        need_distinct,
+        config.sort,
+    )?;
+
+    // Step 3: select the groups whose count equals the divisor count.
+    let having = HavingCount::new(Box::new(agg), target).map_err(|e| match e {
+        ExecError::Plan(m) => ExecError::Plan(format!("sort-agg division: {m}")),
+        other => other,
+    })?;
+    collect(Box::new(having))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::schema::{Field, Schema};
+    use reldiv_rel::tuple::ints;
+    use reldiv_storage::manager::{StorageConfig, StorageManager};
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Field::int("cno")]);
+        Relation::from_tuples(schema, nos.iter().map(|&n| ints(&[n])).collect()).unwrap()
+    }
+
+    fn run(
+        dividend: Relation,
+        divisor: Relation,
+        with_join: bool,
+        assume_unique: bool,
+    ) -> Vec<i64> {
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let config = DivisionConfig {
+            assume_unique,
+            ..DivisionConfig::default()
+        };
+        let rel = sort_agg_division(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            with_join,
+            &config,
+        )
+        .unwrap();
+        let mut out: Vec<i64> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn no_join_works_when_dividend_is_restricted_to_divisor() {
+        // Example 1: the divisor is all courses appearing anywhere.
+        let rows = [[1, 10], [1, 20], [2, 10], [3, 10], [3, 20]];
+        assert_eq!(
+            run(transcript(&rows), courses(&[10, 20]), false, true),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn with_join_handles_restricted_divisors() {
+        // Example 2: course 99 (physics) is not in the divisor. Without
+        // the join, student 2's physics tuple would inflate the count.
+        let rows = [[1, 10], [1, 20], [2, 10], [2, 99]];
+        assert_eq!(
+            run(transcript(&rows), courses(&[10, 20]), true, true),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn no_join_overcounts_without_the_restriction() {
+        // The documented failure mode of the no-join shape on unrestricted
+        // dividends: student 2 counts the physics course toward the total.
+        let rows = [[1, 10], [1, 20], [2, 10], [2, 99]];
+        assert_eq!(
+            run(transcript(&rows), courses(&[10, 20]), false, true),
+            vec![1, 2],
+            "this is precisely why the paper's second example needs a join"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_neutralized_when_not_assumed_unique() {
+        let rows = [[1, 10], [1, 10], [1, 20], [2, 10], [2, 10]];
+        assert_eq!(
+            run(transcript(&rows), courses(&[10, 20, 20]), true, false),
+            vec![1]
+        );
+        assert_eq!(
+            run(transcript(&rows), courses(&[10, 20, 20]), false, false),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn empty_divisor_yields_distinct_projection() {
+        let rows = [[7, 10], [8, 20], [7, 30]];
+        for with_join in [false, true] {
+            assert_eq!(
+                run(transcript(&rows), courses(&[]), with_join, false),
+                vec![7, 8]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dividend_yields_empty() {
+        for with_join in [false, true] {
+            assert_eq!(
+                run(transcript(&[]), courses(&[10]), with_join, false),
+                Vec::<i64>::new()
+            );
+        }
+    }
+
+    #[test]
+    fn divisor_count_sorted_counts_distinct() {
+        let storage = StorageManager::shared(StorageConfig::large());
+        let divisor = courses(&[10, 20, 10, 30, 20]);
+        let config = DivisionConfig::default();
+        let c = divisor_count_sorted(&storage, &Source::from_relation(&divisor), &config).unwrap();
+        assert_eq!(c, 3);
+        let config = DivisionConfig {
+            assume_unique: true,
+            ..config
+        };
+        let c = divisor_count_sorted(&storage, &Source::from_relation(&divisor), &config).unwrap();
+        assert_eq!(c, 5, "assume_unique takes the input at face value");
+    }
+}

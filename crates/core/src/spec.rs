@@ -1,0 +1,197 @@
+//! [`DivisionSpec`]: which dividend columns are divisor attributes and
+//! which form the quotient.
+
+use reldiv_exec::ExecError;
+use reldiv_rel::Schema;
+
+use crate::Result;
+
+/// Describes one division `R ÷ S` over concrete schemas.
+///
+/// In the paper's first example, `R` is
+/// `π(student-id, course-no)(Transcript)` and `S` is
+/// `π(course-no)(Courses)`; here `divisor_keys = [1]` (the dividend's
+/// `course-no` column, matched positionally against the divisor's columns)
+/// and `quotient_keys = [0]` (`student-id`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivisionSpec {
+    /// Dividend columns matched against the divisor's columns, in divisor
+    /// column order.
+    pub divisor_keys: Vec<usize>,
+    /// Dividend columns forming the quotient.
+    pub quotient_keys: Vec<usize>,
+}
+
+impl DivisionSpec {
+    /// Creates a spec and validates it against the two schemas:
+    /// * key lists must be disjoint and cover the dividend exactly (a
+    ///   dividend is a superset of `Q × S` — every column is either a
+    ///   quotient or a divisor attribute),
+    /// * `divisor_keys` must match the divisor's arity and column types.
+    pub fn new(
+        dividend: &Schema,
+        divisor: &Schema,
+        divisor_keys: Vec<usize>,
+        quotient_keys: Vec<usize>,
+    ) -> Result<Self> {
+        let spec = DivisionSpec {
+            divisor_keys,
+            quotient_keys,
+        };
+        spec.validate(dividend, divisor)?;
+        Ok(spec)
+    }
+
+    /// The common case: the dividend is `(quotient columns..., divisor
+    /// columns...)` with the divisor columns trailing, as in
+    /// `Transcript(student-id, course-no) ÷ Courses(course-no)`.
+    pub fn trailing_divisor(dividend: &Schema, divisor: &Schema) -> Result<Self> {
+        let d = divisor.arity();
+        let n = dividend.arity();
+        if d >= n {
+            return Err(ExecError::Plan(format!(
+                "divisor arity {d} must be smaller than dividend arity {n}"
+            )));
+        }
+        Self::new(
+            dividend,
+            divisor,
+            (n - d..n).collect(),
+            (0..n - d).collect(),
+        )
+    }
+
+    /// Validates the spec against concrete schemas.
+    pub fn validate(&self, dividend: &Schema, divisor: &Schema) -> Result<()> {
+        let n = dividend.arity();
+        if self.divisor_keys.len() != divisor.arity() {
+            return Err(ExecError::Plan(format!(
+                "divisor_keys has {} columns but divisor arity is {}",
+                self.divisor_keys.len(),
+                divisor.arity()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &k in self.divisor_keys.iter().chain(&self.quotient_keys) {
+            if k >= n {
+                return Err(ExecError::Plan(format!(
+                    "column {k} out of range for dividend arity {n}"
+                )));
+            }
+            if seen[k] {
+                return Err(ExecError::Plan(format!("column {k} listed twice in spec")));
+            }
+            seen[k] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(ExecError::Plan(
+                "divisor and quotient keys must cover every dividend column".into(),
+            ));
+        }
+        if self.quotient_keys.is_empty() {
+            return Err(ExecError::Plan(
+                "quotient must have at least one column".into(),
+            ));
+        }
+        for (i, &k) in self.divisor_keys.iter().enumerate() {
+            let dv = &dividend.fields()[k].ty;
+            let sv = &divisor.fields()[i].ty;
+            if dv != sv {
+                return Err(ExecError::Plan(format!(
+                    "divisor column {i} type {sv:?} does not match dividend column {k} type {dv:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The quotient schema: the dividend projected onto the quotient keys.
+    pub fn quotient_schema(&self, dividend: &Schema) -> Result<Schema> {
+        dividend
+            .project(&self.quotient_keys)
+            .map_err(ExecError::from)
+    }
+
+    /// Key list addressing all divisor columns (for hashing/comparing
+    /// divisor tuples themselves).
+    pub fn divisor_all_columns(&self) -> Vec<usize> {
+        (0..self.divisor_keys.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::schema::Field;
+
+    fn transcript() -> Schema {
+        Schema::new(vec![Field::int("student-id"), Field::int("course-no")])
+    }
+
+    fn courses() -> Schema {
+        Schema::new(vec![Field::int("course-no")])
+    }
+
+    #[test]
+    fn trailing_divisor_matches_running_example() {
+        let spec = DivisionSpec::trailing_divisor(&transcript(), &courses()).unwrap();
+        assert_eq!(spec.divisor_keys, vec![1]);
+        assert_eq!(spec.quotient_keys, vec![0]);
+        let q = spec.quotient_schema(&transcript()).unwrap();
+        assert_eq!(q.fields()[0].name, "student-id");
+    }
+
+    #[test]
+    fn interleaved_columns_are_allowed() {
+        // Dividend (d1, q, d2) ÷ divisor (d1, d2).
+        let dividend = Schema::new(vec![Field::int("d1"), Field::int("q"), Field::int("d2")]);
+        let divisor = Schema::new(vec![Field::int("d1"), Field::int("d2")]);
+        let spec = DivisionSpec::new(&dividend, &divisor, vec![0, 2], vec![1]).unwrap();
+        assert_eq!(
+            spec.quotient_schema(&dividend).unwrap().fields()[0].name,
+            "q"
+        );
+    }
+
+    #[test]
+    fn overlapping_keys_are_rejected() {
+        let e = DivisionSpec::new(&transcript(), &courses(), vec![1], vec![0, 1]);
+        assert!(matches!(e, Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn uncovered_columns_are_rejected() {
+        let dividend = Schema::new(vec![Field::int("q"), Field::int("d"), Field::int("extra")]);
+        let e = DivisionSpec::new(&dividend, &courses(), vec![1], vec![0]);
+        assert!(matches!(e, Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let dividend = Schema::new(vec![Field::int("q"), Field::str("d", 8)]);
+        let e = DivisionSpec::new(&dividend, &courses(), vec![1], vec![0]);
+        assert!(matches!(e, Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let divisor2 = Schema::new(vec![Field::int("a"), Field::int("b")]);
+        let e = DivisionSpec::new(&transcript(), &divisor2, vec![1], vec![0]);
+        assert!(matches!(e, Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn empty_quotient_is_rejected() {
+        let dividend = Schema::new(vec![Field::int("d")]);
+        let divisor = Schema::new(vec![Field::int("d")]);
+        let e = DivisionSpec::new(&dividend, &divisor, vec![0], vec![]);
+        assert!(matches!(e, Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn divisor_larger_than_dividend_rejected_by_trailing() {
+        let dividend = Schema::new(vec![Field::int("a")]);
+        let divisor = Schema::new(vec![Field::int("a"), Field::int("b")]);
+        assert!(DivisionSpec::trailing_divisor(&dividend, &divisor).is_err());
+    }
+}

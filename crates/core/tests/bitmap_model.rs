@@ -1,0 +1,53 @@
+//! Property test: the word-at-a-time bit map against a `HashSet` model.
+
+use proptest::prelude::*;
+use reldiv_core::Bitmap;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitmap_matches_a_set_model(
+        bits in 1usize..300,
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 0..400),
+    ) {
+        let mut bm = Bitmap::new(bits);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (raw, probe) in ops {
+            let i = raw as usize % bits;
+            if probe {
+                prop_assert_eq!(bm.get(i), model.contains(&i), "get({})", i);
+            } else {
+                let prior = bm.set(i);
+                prop_assert_eq!(prior, !model.insert(i), "set({}) prior value", i);
+            }
+            prop_assert_eq!(bm.count_ones(), model.len());
+            prop_assert_eq!(bm.all_set(), model.len() == bits);
+        }
+    }
+
+    /// Completing a map in an arbitrary order flips `all_set` exactly at
+    /// the last distinct index.
+    #[test]
+    fn all_set_flips_exactly_once(order in prop::collection::vec(any::<u16>(), 1..200)) {
+        let bits = 64 + (order[0] as usize % 100); // straddle word boundary
+        let mut bm = Bitmap::new(bits);
+        let mut distinct: HashSet<usize> = HashSet::new();
+        // Visit given order first, then fill the remainder ascending.
+        let sequence: Vec<usize> = order
+            .iter()
+            .map(|&r| r as usize % bits)
+            .chain(0..bits)
+            .collect();
+        for i in sequence {
+            prop_assert!(!bm.all_set() || distinct.len() == bits);
+            bm.set(i);
+            distinct.insert(i);
+            if distinct.len() == bits {
+                prop_assert!(bm.all_set(), "all bits set but all_set is false");
+            }
+        }
+        prop_assert!(bm.all_set());
+    }
+}

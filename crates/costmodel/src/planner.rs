@@ -1,0 +1,214 @@
+//! A cost-based algorithm chooser.
+//!
+//! Section 5.2: "If the dividend or the divisor are results of other
+//! database operations, e.g., selection or projection, the possible error
+//! in the selectivity estimate makes it imperative to choose the division
+//! algorithm very carefully." This module makes that choice the way a
+//! query optimizer would: enumerate the algorithms that are *correct* for
+//! the input's properties, price each with the Section 4 formulas, and
+//! pick the cheapest.
+//!
+//! The correctness constraints encode the paper's observations:
+//!
+//! * when the dividend may contain tuples whose divisor attributes are
+//!   not in the divisor (a *restricted* divisor, as in the second
+//!   example), the aggregation plans need their (semi-)join;
+//! * when the inputs may contain duplicates, hash aggregation is ruled
+//!   out (its duplicate elimination "may be impractical for a very large
+//!   dividend relation") — the sort-based plans eliminate duplicates for
+//!   free during sorting, and hash-division is insensitive by design.
+
+use crate::formulas::{CostModel, SizeConfig};
+use crate::units::CostUnits;
+
+/// The algorithm a plan should use (mirrors `reldiv_core::Algorithm`
+/// without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedAlgorithm {
+    /// Naive sorted-merge division.
+    Naive,
+    /// Sort-based aggregation; `join` = preceding merge semi-join.
+    SortAggregation {
+        /// Whether a semi-join precedes the aggregation.
+        join: bool,
+    },
+    /// Hash-based aggregation; `join` = preceding hash semi-join.
+    HashAggregation {
+        /// Whether a semi-join precedes the aggregation.
+        join: bool,
+    },
+    /// Hash-division.
+    HashDivision,
+}
+
+/// Statistics and properties the chooser needs.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerInput {
+    /// Estimated divisor cardinality `|S|`.
+    pub divisor_size: u64,
+    /// Estimated quotient cardinality `|Q|` (candidates, before the
+    /// for-all test).
+    pub quotient_size: u64,
+    /// Estimated dividend cardinality `|R|`; `None` assumes `|Q| · |S|`.
+    pub dividend_size: Option<u64>,
+    /// Whether the dividend may contain tuples whose divisor attributes
+    /// do not appear in the divisor (e.g. the divisor was restricted by a
+    /// selection). Forces the aggregation plans to join.
+    pub restricted_divisor: bool,
+    /// Whether the inputs are known duplicate-free (projections on keys).
+    pub duplicate_free: bool,
+}
+
+impl PlannerInput {
+    fn model(&self) -> CostModel {
+        let mut sizes = SizeConfig::paper(self.divisor_size, self.quotient_size);
+        sizes.dividend_override = self.dividend_size;
+        CostModel {
+            units: CostUnits::paper(),
+            sizes,
+        }
+    }
+}
+
+/// Enumerates the *correct* algorithms for the input with their estimated
+/// costs in model milliseconds, cheapest first.
+pub fn candidates(input: &PlannerInput) -> Vec<(PlannedAlgorithm, f64)> {
+    let m = input.model();
+    let mut out: Vec<(PlannedAlgorithm, f64)> = Vec::new();
+    out.push((PlannedAlgorithm::Naive, m.naive_division_ms()));
+    out.push((PlannedAlgorithm::HashDivision, m.hash_division_ms()));
+    if input.restricted_divisor {
+        out.push((
+            PlannedAlgorithm::SortAggregation { join: true },
+            m.sort_aggregation_with_join_ms(),
+        ));
+        if input.duplicate_free {
+            out.push((
+                PlannedAlgorithm::HashAggregation { join: true },
+                m.hash_aggregation_with_join_ms(),
+            ));
+        }
+    } else {
+        out.push((
+            PlannedAlgorithm::SortAggregation { join: false },
+            m.sort_aggregation_ms(),
+        ));
+        if input.duplicate_free {
+            out.push((
+                PlannedAlgorithm::HashAggregation { join: false },
+                m.hash_aggregation_ms(),
+            ));
+        }
+    }
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+/// Picks the cheapest correct algorithm.
+pub fn recommend(input: &PlannerInput) -> PlannedAlgorithm {
+    candidates(input)[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(restricted: bool, unique: bool) -> PlannerInput {
+        PlannerInput {
+            divisor_size: 100,
+            quotient_size: 100,
+            dividend_size: None,
+            restricted_divisor: restricted,
+            duplicate_free: unique,
+        }
+    }
+
+    #[test]
+    fn unrestricted_unique_inputs_pick_hash_aggregation() {
+        // The paper: hash aggregation without join is the fastest, ~10 %
+        // ahead of hash-division — but only applicable here.
+        assert_eq!(
+            recommend(&input(false, true)),
+            PlannedAlgorithm::HashAggregation { join: false }
+        );
+    }
+
+    #[test]
+    fn restricted_divisors_pick_hash_division() {
+        // With a required semi-join, the aggregation plans fall behind:
+        // "hash-division outperforms division by hash-based aggregation".
+        assert_eq!(
+            recommend(&input(true, true)),
+            PlannedAlgorithm::HashDivision
+        );
+    }
+
+    #[test]
+    fn duplicates_rule_out_hash_aggregation() {
+        let algs: Vec<PlannedAlgorithm> = candidates(&input(false, false))
+            .into_iter()
+            .map(|(a, _)| a)
+            .collect();
+        assert!(!algs
+            .iter()
+            .any(|a| matches!(a, PlannedAlgorithm::HashAggregation { .. })));
+        // Hash-division remains the choice: "both fast and general".
+        assert_eq!(
+            recommend(&input(false, false)),
+            PlannedAlgorithm::HashDivision
+        );
+        assert_eq!(
+            recommend(&input(true, false)),
+            PlannedAlgorithm::HashDivision
+        );
+    }
+
+    #[test]
+    fn candidates_are_sorted_cheapest_first() {
+        let c = candidates(&input(true, true));
+        for w in c.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(c.len() >= 3);
+    }
+
+    #[test]
+    fn sort_based_never_wins_at_table2_sizes() {
+        for (s, q) in crate::table2::table2_configs() {
+            let rec = recommend(&PlannerInput {
+                divisor_size: s,
+                quotient_size: q,
+                dividend_size: None,
+                restricted_divisor: false,
+                duplicate_free: true,
+            });
+            assert!(
+                matches!(
+                    rec,
+                    PlannedAlgorithm::HashAggregation { .. } | PlannedAlgorithm::HashDivision
+                ),
+                "|S|={s} |Q|={q}: {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dividend_override_flows_into_costs() {
+        let small = PlannerInput {
+            dividend_size: Some(1_000),
+            ..input(false, true)
+        };
+        let big = PlannerInput {
+            dividend_size: Some(1_000_000),
+            ..input(false, true)
+        };
+        let cost_of = |i: &PlannerInput| {
+            candidates(i)
+                .into_iter()
+                .find(|(a, _)| *a == PlannedAlgorithm::HashDivision)
+                .expect("hash-division is always a candidate")
+                .1
+        };
+        assert!(cost_of(&big) > 100.0 * cost_of(&small));
+    }
+}

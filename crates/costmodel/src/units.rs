@@ -1,0 +1,74 @@
+//! The cost units of the paper's Table 1.
+
+/// Cost units in milliseconds (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostUnits {
+    /// Random I/O, one page from or to disk.
+    pub rio: f64,
+    /// Sequential I/O, one page from or to disk.
+    pub sio: f64,
+    /// Comparison of two tuples.
+    pub comp: f64,
+    /// Calculation of a hash value from a tuple.
+    pub hash: f64,
+    /// Memory-to-memory copy of one page.
+    pub mv: f64,
+    /// Setting a bit in a bit map, and clearing and scanning a bit.
+    pub bit: f64,
+}
+
+impl CostUnits {
+    /// The exact values of the paper's Table 1.
+    pub fn paper() -> Self {
+        CostUnits {
+            rio: 30.0,
+            sio: 15.0,
+            comp: 0.03,
+            hash: 0.03,
+            mv: 0.4,
+            bit: 0.003,
+        }
+    }
+}
+
+impl Default for CostUnits {
+    fn default() -> Self {
+        CostUnits::paper()
+    }
+}
+
+/// Prices an operation-count snapshot (from `reldiv_rel::counters`) as CPU
+/// milliseconds, for the deterministic "modeled CPU" reproduction mode.
+///
+/// Only the four CPU units apply; I/O is priced separately from disk
+/// statistics.
+pub fn price_ops(units: &CostUnits, comparisons: u64, hashes: u64, moves: u64, bitops: u64) -> f64 {
+    comparisons as f64 * units.comp
+        + hashes as f64 * units.hash
+        + moves as f64 * units.mv
+        + bitops as f64 * units.bit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_1() {
+        let u = CostUnits::paper();
+        assert_eq!(u.rio, 30.0);
+        assert_eq!(u.sio, 15.0);
+        assert_eq!(u.comp, 0.03);
+        assert_eq!(u.hash, 0.03);
+        assert_eq!(u.mv, 0.4);
+        assert_eq!(u.bit, 0.003);
+    }
+
+    #[test]
+    fn price_ops_is_a_weighted_sum() {
+        let u = CostUnits::paper();
+        // 100 comps + 100 hashes + 10 moves + 1000 bitops
+        // = 3 + 3 + 4 + 3 = 13 ms.
+        assert!((price_ops(&u, 100, 100, 10, 1000) - 13.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the execution engine.
+
+use std::fmt;
+
+use reldiv_rel::RelError;
+use reldiv_storage::StorageError;
+
+/// Errors raised by query operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Error from the data layer (schemas, codecs).
+    Rel(RelError),
+    /// Error from the storage layer (disks, buffer, files).
+    Storage(StorageError),
+    /// An operator was used outside the open-next-close protocol
+    /// (e.g. `next` before `open`).
+    Protocol(&'static str),
+    /// A plan was malformed (mismatched key lists, wrong arities).
+    Plan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Rel(e) => write!(f, "data-layer error: {e}"),
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Protocol(msg) => write!(f, "iterator protocol violation: {msg}"),
+            ExecError::Plan(msg) => write!(f, "malformed plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Rel(e) => Some(e),
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for ExecError {
+    fn from(e: RelError) -> Self {
+        ExecError::Rel(e)
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl ExecError {
+    /// Whether this error is the memory-pool-exhausted signal that should
+    /// trigger hash-table overflow handling rather than failing the query.
+    pub fn is_memory_exhausted(&self) -> bool {
+        matches!(
+            self,
+            ExecError::Storage(StorageError::MemoryExhausted { .. })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExecError = RelError::Decode("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        let e: ExecError = StorageError::NoSuchFile(3).into();
+        assert!(e.to_string().contains("file: 3"));
+        assert!(ExecError::Protocol("next before open")
+            .to_string()
+            .contains("protocol"));
+        assert!(ExecError::Plan("x".into())
+            .to_string()
+            .contains("malformed"));
+    }
+
+    #[test]
+    fn memory_exhaustion_is_detectable() {
+        let e: ExecError = StorageError::MemoryExhausted {
+            requested: 10,
+            available: 0,
+        }
+        .into();
+        assert!(e.is_memory_exhausted());
+        assert!(!ExecError::Protocol("x").is_memory_exhausted());
+    }
+}

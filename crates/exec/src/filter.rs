@@ -1,0 +1,133 @@
+//! Selection.
+
+use reldiv_rel::{Schema, Tuple, Value};
+
+use crate::op::{BoxedOp, Operator};
+use crate::Result;
+
+/// A selection predicate.
+pub type Predicate = Box<dyn Fn(&Tuple) -> bool>;
+
+/// Filters tuples by a predicate.
+///
+/// The paper's second example restricts the divisor by "a prior selection"
+/// (courses whose title contains `"database"`); [`str_contains`] builds
+/// that predicate.
+pub struct Filter {
+    input: BoxedOp,
+    predicate: Predicate,
+}
+
+impl Filter {
+    /// Creates a filter over `input`.
+    pub fn new(input: BoxedOp, predicate: Predicate) -> Self {
+        Filter { input, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            if (self.predicate)(&t) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// Predicate: string column `column` contains `needle` (case-insensitive).
+///
+/// Mirrors the paper's "courses for which the title attribute contains the
+/// string 'database'".
+pub fn str_contains(column: usize, needle: &str) -> Predicate {
+    let needle = needle.to_ascii_lowercase();
+    Box::new(move |t: &Tuple| match t.value(column) {
+        Value::Str(s) => s.to_ascii_lowercase().contains(&needle),
+        Value::Int(_) => false,
+    })
+}
+
+/// Predicate: integer column `column` equals `target`.
+pub fn int_equals(column: usize, target: i64) -> Predicate {
+    Box::new(move |t: &Tuple| t.value(column).as_int() == Some(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::collect;
+    use crate::scan::MemScan;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::Relation;
+
+    fn courses() -> Relation {
+        let schema = Schema::new(vec![Field::int("course-no"), Field::str("title", 32)]);
+        let rows = [
+            (1, "Intro to Database Systems"),
+            (2, "Optics"),
+            (3, "database implementation"),
+            (4, "Compilers"),
+        ];
+        Relation::from_tuples(
+            schema,
+            rows.iter()
+                .map(|&(no, title)| Tuple::new(vec![Value::Int(no), Value::from(title)]))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn str_contains_selects_database_courses() {
+        let filtered = collect(Box::new(Filter::new(
+            Box::new(MemScan::new(courses())),
+            str_contains(1, "database"),
+        )))
+        .unwrap();
+        let nos: Vec<i64> = filtered
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(nos, vec![1, 3]);
+    }
+
+    #[test]
+    fn int_equals_selects_one_course() {
+        let filtered = collect(Box::new(Filter::new(
+            Box::new(MemScan::new(courses())),
+            int_equals(0, 2),
+        )))
+        .unwrap();
+        assert_eq!(filtered.cardinality(), 1);
+    }
+
+    #[test]
+    fn str_contains_on_int_column_matches_nothing() {
+        let filtered = collect(Box::new(Filter::new(
+            Box::new(MemScan::new(courses())),
+            str_contains(0, "1"),
+        )))
+        .unwrap();
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn filter_preserves_schema() {
+        let f = Filter::new(Box::new(MemScan::new(courses())), int_equals(0, 1));
+        assert_eq!(f.schema().arity(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! The open-next-close iterator protocol.
+
+use reldiv_rel::{Relation, Schema, Tuple};
+
+use crate::{ExecError, Result};
+
+/// A relational operator in a demand-driven dataflow plan.
+///
+/// The protocol follows the paper exactly: `open` prepares the operator
+/// (for a stop-and-go operator like sort this consumes the input), `next`
+/// produces one output tuple at a time, and `close` releases resources.
+/// Operators own their children, forming the tree-structured plan.
+pub trait Operator {
+    /// The schema of tuples this operator produces.
+    fn schema(&self) -> &Schema;
+
+    /// Prepares the operator (and, recursively, its inputs).
+    fn open(&mut self) -> Result<()>;
+
+    /// Produces the next output tuple, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+
+    /// Releases resources (and closes inputs). Idempotent.
+    fn close(&mut self) -> Result<()>;
+}
+
+/// A boxed operator — the edge type of plan trees.
+pub type BoxedOp = Box<dyn Operator>;
+
+/// Runs an operator to completion: open, drain, close; returns a relation.
+pub fn collect(mut op: BoxedOp) -> Result<Relation> {
+    op.open()?;
+    let mut out = Relation::empty(op.schema().clone());
+    while let Some(t) = op.next()? {
+        out.push(t).map_err(ExecError::from)?;
+    }
+    op.close()?;
+    Ok(out)
+}
+
+/// Guards against protocol misuse; embedded by operators with phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpState {
+    /// Constructed, not yet opened.
+    Created,
+    /// Open and producing.
+    Open,
+    /// Closed.
+    Closed,
+}
+
+impl OpState {
+    /// Asserts the operator is open, for `next` implementations.
+    pub fn require_open(self) -> Result<()> {
+        match self {
+            OpState::Open => Ok(()),
+            OpState::Created => Err(ExecError::Protocol("next before open")),
+            OpState::Closed => Err(ExecError::Protocol("next after close")),
+        }
+    }
+}

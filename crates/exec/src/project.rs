@@ -1,0 +1,100 @@
+//! Projection (bag semantics — no duplicate elimination).
+//!
+//! Duplicate elimination is deliberately a separate concern: the paper
+//! stresses that it "can be quite expensive, making an algorithm very
+//! desirable that is insensitive to duplicates in its inputs". When a
+//! duplicate-free projection is required, compose [`Project`] with a
+//! distinct sort ([`crate::sort::Sort`] in `Distinct` mode) or rely on
+//! hash-division's built-in insensitivity.
+
+use reldiv_rel::{Schema, Tuple};
+
+use crate::op::{BoxedOp, Operator};
+use crate::{ExecError, Result};
+
+/// Projects tuples onto a list of column indices (with reordering).
+pub struct Project {
+    input: BoxedOp,
+    columns: Vec<usize>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Creates a projection of `input` onto `columns`.
+    pub fn new(input: BoxedOp, columns: Vec<usize>) -> Result<Self> {
+        let schema = input
+            .schema()
+            .project(&columns)
+            .map_err(|e| ExecError::Plan(format!("projection: {e}")))?;
+        Ok(Project {
+            input,
+            columns,
+            schema,
+        })
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        Ok(self.input.next()?.map(|t| t.project(&self.columns)))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::collect;
+    use crate::scan::MemScan;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::Relation;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Field::int("sid"),
+            Field::int("cno"),
+            Field::int("grade"),
+        ]);
+        Relation::from_tuples(
+            schema,
+            vec![ints(&[1, 10, 4]), ints(&[2, 10, 3]), ints(&[1, 20, 4])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn project_selects_and_reorders_columns() {
+        let p = Project::new(Box::new(MemScan::new(rel())), vec![1, 0]).unwrap();
+        let out = collect(Box::new(p)).unwrap();
+        assert_eq!(out.schema().fields()[0].name, "cno");
+        assert_eq!(out.tuples()[0], ints(&[10, 1]));
+    }
+
+    #[test]
+    fn projection_keeps_duplicates() {
+        // Projecting transcripts onto course-no yields a bag with repeats.
+        let p = Project::new(Box::new(MemScan::new(rel())), vec![1]).unwrap();
+        let out = collect(Box::new(p)).unwrap();
+        assert_eq!(out.cardinality(), 3);
+    }
+
+    #[test]
+    fn invalid_column_is_a_plan_error() {
+        assert!(matches!(
+            Project::new(Box::new(MemScan::new(rel())), vec![7]),
+            Err(ExecError::Plan(_))
+        ));
+    }
+}

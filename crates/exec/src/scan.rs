@@ -1,0 +1,214 @@
+//! Scan operators: file scans over record files, and in-memory scans.
+
+use reldiv_rel::{RecordCodec, Relation, Schema, Tuple};
+use reldiv_storage::file::ScanCursor;
+use reldiv_storage::{FileId, StorageRef};
+
+use crate::op::{OpState, Operator};
+use crate::Result;
+
+/// Sequentially scans a record file, decoding records into tuples.
+pub struct FileScan {
+    storage: StorageRef,
+    file: FileId,
+    codec: RecordCodec,
+    cursor: Option<ScanCursor>,
+    state: OpState,
+}
+
+impl FileScan {
+    /// Creates a scan of `file`, decoding with `schema`.
+    pub fn new(storage: StorageRef, file: FileId, schema: Schema) -> Self {
+        FileScan {
+            storage,
+            file,
+            codec: RecordCodec::new(schema),
+            cursor: None,
+            state: OpState::Created,
+        }
+    }
+}
+
+impl Operator for FileScan {
+    fn schema(&self) -> &Schema {
+        self.codec.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.cursor = Some(ScanCursor::new(self.file));
+        self.state = OpState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        self.state.require_open()?;
+        let cursor = self.cursor.as_mut().expect("open sets cursor");
+        let mut sm = self.storage.borrow_mut();
+        match cursor.next(&mut sm)? {
+            Some((_rid, record)) => Ok(Some(self.codec.decode(&record)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.cursor = None;
+        self.state = OpState::Closed;
+        Ok(())
+    }
+}
+
+/// Scans an in-memory relation. Used by tests, by the in-memory division
+/// API, and as the rescan source for materialized intermediates.
+pub struct MemScan {
+    schema: Schema,
+    tuples: std::rc::Rc<Vec<Tuple>>,
+    pos: usize,
+    state: OpState,
+}
+
+impl MemScan {
+    /// Creates a scan over a relation.
+    pub fn new(relation: Relation) -> Self {
+        let schema = relation.schema().clone();
+        MemScan {
+            schema,
+            tuples: std::rc::Rc::new(relation.into_tuples()),
+            pos: 0,
+            state: OpState::Created,
+        }
+    }
+
+    /// Creates a scan sharing tuples with other scans (cheap re-scan).
+    pub fn shared(schema: Schema, tuples: std::rc::Rc<Vec<Tuple>>) -> Self {
+        MemScan {
+            schema,
+            tuples,
+            pos: 0,
+            state: OpState::Created,
+        }
+    }
+}
+
+impl Operator for MemScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        self.state = OpState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        self.state.require_open()?;
+        if self.pos < self.tuples.len() {
+            let t = self.tuples[self.pos].clone();
+            self.pos += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.state = OpState::Closed;
+        Ok(())
+    }
+}
+
+/// Loads a relation into a new record file on the data disk, returning the
+/// file id. The workload loaders and materializing operators use this.
+pub fn load_relation(storage: &StorageRef, relation: &Relation) -> Result<FileId> {
+    let codec = RecordCodec::new(relation.schema().clone());
+    let mut sm = storage.borrow_mut();
+    let file = sm.create_file(reldiv_storage::StorageManager::DATA_DISK);
+    let mut buf = Vec::with_capacity(codec.record_width());
+    for t in relation.tuples() {
+        buf.clear();
+        codec.encode_into(t, &mut buf)?;
+        sm.append(file, &buf)?;
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::collect;
+    use crate::ExecError;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_storage::manager::{StorageConfig, StorageManager};
+
+    fn two_col(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("a"), Field::int("b")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    #[test]
+    fn file_scan_roundtrips_relation() {
+        let storage = StorageManager::shared(StorageConfig::large());
+        let rel = two_col(&[[1, 2], [3, 4], [5, 6]]);
+        let file = load_relation(&storage, &rel).unwrap();
+        let scan = FileScan::new(storage, file, rel.schema().clone());
+        let got = collect(Box::new(scan)).unwrap();
+        assert_eq!(got, rel);
+    }
+
+    #[test]
+    fn file_scan_large_relation_spans_pages() {
+        let storage = StorageManager::shared(StorageConfig::paper());
+        let rows: Vec<[i64; 2]> = (0..5000).map(|i| [i, i * 2]).collect();
+        let rel = two_col(&rows);
+        let file = load_relation(&storage, &rel).unwrap();
+        {
+            let mut sm = storage.borrow_mut();
+            assert!(sm.page_count(file).unwrap() > 1);
+            sm.flush_all().unwrap();
+        }
+        let scan = FileScan::new(storage, file, rel.schema().clone());
+        let got = collect(Box::new(scan)).unwrap();
+        assert_eq!(got.cardinality(), 5000);
+        assert_eq!(got, rel);
+    }
+
+    #[test]
+    fn mem_scan_produces_all_tuples() {
+        let rel = two_col(&[[9, 8], [7, 6]]);
+        let got = collect(Box::new(MemScan::new(rel.clone()))).unwrap();
+        assert_eq!(got, rel);
+    }
+
+    #[test]
+    fn mem_scan_can_be_reopened() {
+        let rel = two_col(&[[1, 1]]);
+        let mut scan = MemScan::new(rel);
+        scan.open().unwrap();
+        assert!(scan.next().unwrap().is_some());
+        assert!(scan.next().unwrap().is_none());
+        scan.open().unwrap(); // rescan from the top
+        assert!(scan.next().unwrap().is_some());
+        scan.close().unwrap();
+    }
+
+    #[test]
+    fn next_before_open_is_a_protocol_error() {
+        let rel = two_col(&[[1, 1]]);
+        let mut scan = MemScan::new(rel);
+        assert!(matches!(scan.next(), Err(ExecError::Protocol(_))));
+        scan.open().unwrap();
+        scan.close().unwrap();
+        assert!(matches!(scan.next(), Err(ExecError::Protocol(_))));
+    }
+
+    #[test]
+    fn shared_mem_scans_do_not_clone_tuples() {
+        let rel = two_col(&[[1, 2], [3, 4]]);
+        let tuples = std::rc::Rc::new(rel.tuples().to_vec());
+        let a = MemScan::shared(rel.schema().clone(), tuples.clone());
+        let b = MemScan::shared(rel.schema().clone(), tuples.clone());
+        assert_eq!(collect(Box::new(a)).unwrap().cardinality(), 2);
+        assert_eq!(collect(Box::new(b)).unwrap().cardinality(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Bit-vector filtering (Section 6, after Babb 1979).
+//!
+//! "The bit vector can be used to avoid shipping tuples for which no
+//! divisor record exists ... the selection of tuples is only a heuristic
+//! \[false positives pass\]. Nevertheless, bit vector filters may reduce
+//! significantly the network cost for the dividend relation, which is the
+//! larger of the division operands."
+
+use reldiv_rel::Tuple;
+
+/// A bit-vector filter over divisor-attribute hash values.
+#[derive(Debug, Clone)]
+pub struct BitVectorFilter {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitVectorFilter {
+    /// Creates an empty filter of `bits` bits (rounded up to a word).
+    pub fn new(bits: usize) -> Self {
+        let bits = bits.max(64);
+        BitVectorFilter {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// Number of bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Inserts a divisor tuple (hashed on all its columns).
+    pub fn insert(&mut self, divisor_tuple: &Tuple) {
+        let all: Vec<usize> = (0..divisor_tuple.arity()).collect();
+        let h = divisor_tuple.hash_on(&all) as usize % self.bits;
+        self.words[h / 64] |= 1 << (h % 64);
+    }
+
+    /// Tests a dividend tuple on its divisor-attribute columns. `false`
+    /// means *definitely* no matching divisor tuple (safe to drop);
+    /// `true` may be a false positive.
+    pub fn may_match(&self, dividend_tuple: &Tuple, divisor_keys: &[usize]) -> bool {
+        let h = dividend_tuple.hash_on(divisor_keys) as usize % self.bits;
+        self.words[h / 64] & (1 << (h % 64)) != 0
+    }
+
+    /// Fraction of set bits (the false-positive rate for uniformly hashed
+    /// non-members).
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        ones as f64 / self.bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::tuple::ints;
+
+    #[test]
+    fn members_always_pass() {
+        let mut f = BitVectorFilter::new(256);
+        for d in 0..50 {
+            f.insert(&ints(&[d]));
+        }
+        for d in 0..50 {
+            // Dividend tuple (q, d): divisor key is column 1.
+            assert!(f.may_match(&ints(&[999, d]), &[1]), "member {d} must pass");
+        }
+    }
+
+    #[test]
+    fn most_non_members_are_dropped_when_filter_is_sparse() {
+        let mut f = BitVectorFilter::new(4096);
+        for d in 0..20 {
+            f.insert(&ints(&[d]));
+        }
+        let dropped = (1000..2000)
+            .filter(|&d| !f.may_match(&ints(&[0, d]), &[1]))
+            .count();
+        assert!(
+            dropped > 950,
+            "sparse filter should drop most non-members: {dropped}"
+        );
+        assert!(f.fill_ratio() < 0.01);
+    }
+
+    #[test]
+    fn false_positives_exist_for_tiny_filters() {
+        // The paper's caveat: "a Transcript tuple for an agriculture
+        // course will erroneously pass the bit vector filter if it maps to
+        // the same bit as one of the database courses."
+        let mut f = BitVectorFilter::new(64);
+        for d in 0..60 {
+            f.insert(&ints(&[d]));
+        }
+        let passing = (10_000..11_000)
+            .filter(|&d| f.may_match(&ints(&[0, d]), &[1]))
+            .count();
+        assert!(
+            passing > 0,
+            "a nearly full filter must admit false positives"
+        );
+    }
+
+    #[test]
+    fn minimum_size_is_one_word() {
+        let f = BitVectorFilter::new(1);
+        assert_eq!(f.bits(), 64);
+    }
+}

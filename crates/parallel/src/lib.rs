@@ -1,0 +1,872 @@
+//! # reldiv-parallel — hash-division on a shared-nothing machine
+//!
+//! Section 6 of the paper adapts hash-division to a GAMMA-style
+//! shared-nothing multi-processor. This crate simulates that machine:
+//! every node is a thread with its own storage manager and memory pool,
+//! and the interconnection network is a set of accounted channels
+//! ([`network`]), so the network traffic the paper reasons about is
+//! measurable.
+//!
+//! Both partitioning strategies are implemented:
+//!
+//! * [`Strategy::QuotientPartitioning`] — "the divisor table must be
+//!   replicated in the main memory of all participating processors. After
+//!   replication, all local hash-division operators work completely
+//!   independently of each other." The quotient is the concatenation of
+//!   the node results.
+//! * [`Strategy::DivisorPartitioning`] — both inputs are partitioned on
+//!   the divisor attributes; each node's quotient cluster is tagged with
+//!   its processor address and a **collection site** "divides the set of
+//!   all incoming tuples over the set of processor network addresses".
+//!
+//! [`filter`] adds Section 6's **bit-vector filtering**: the scan site
+//! drops dividend tuples that cannot match any divisor tuple before
+//!   shipping them, trading a heuristic filter (false positives pass and
+//! are caught later) for a large reduction in network traffic.
+
+#![deny(missing_docs)]
+
+pub mod filter;
+pub mod network;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use reldiv_core::api::{divide, DivisionConfig, Source};
+use reldiv_core::hash_division::{HashDivisionMode, QuotientTable};
+use reldiv_core::{Algorithm, DivisionSpec, ExecError};
+use reldiv_rel::{Relation, Tuple};
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::{MemoryPool, StorageManager};
+
+use filter::BitVectorFilter;
+use network::{build_links, build_result_link, Message, NetworkCounters, NetworkStats};
+
+/// Result alias shared with the core crate.
+pub type Result<T> = reldiv_core::Result<T>;
+
+/// Partitioning strategy for the parallel division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Replicate the divisor; partition the dividend on the quotient
+    /// attributes; concatenate node results.
+    QuotientPartitioning,
+    /// Partition both inputs on the divisor attributes; collect node
+    /// results with a final collection-phase division over node
+    /// addresses.
+    DivisorPartitioning,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (worker threads).
+    pub nodes: usize,
+    /// Partitioning strategy.
+    pub strategy: Strategy,
+    /// Per-node storage configuration (buffer pool, work memory). Each
+    /// node runs a full local engine, including overflow handling.
+    pub node_storage: StorageConfig,
+    /// Dividend tuples per network message.
+    pub batch_size: usize,
+    /// Bits of bit-vector filter applied at the scan site before shipping
+    /// dividend tuples (divisor partitioning only). `None` disables.
+    pub bit_vector_bits: Option<usize>,
+    /// Stream quotient tuples from the nodes as soon as their bit maps
+    /// complete (Section 3.3's early-output modification; Section 6: "the
+    /// collection phase can be overlapped with producing the clusters").
+    /// Streaming nodes absorb dividend batches as they arrive instead of
+    /// buffering their whole cluster, drawing table memory from the
+    /// node's work-memory pool.
+    pub streaming_nodes: bool,
+    /// Number of collection sites for divisor partitioning (Section 6:
+    /// "in the unlikely case that the central collection site becomes a
+    /// bottleneck, it is possible to decentralize the collection step
+    /// using quotient partitioning"). Each site runs the collection-phase
+    /// division over a quotient-hash partition of the tagged tuples, in
+    /// its own thread.
+    pub collection_sites: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            strategy: Strategy::QuotientPartitioning,
+            node_storage: StorageConfig::paper(),
+            batch_size: 512,
+            bit_vector_bits: None,
+            streaming_nodes: false,
+            collection_sites: 1,
+        }
+    }
+}
+
+/// Measurements from one parallel run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Network traffic (input distribution + result collection).
+    pub network: NetworkStats,
+    /// Nodes configured.
+    pub nodes: usize,
+    /// Nodes that received divisor tuples (divisor partitioning).
+    pub participating_nodes: usize,
+    /// Dividend tuples dropped at the scan site by the bit-vector filter.
+    pub filtered_tuples: u64,
+    /// Fill ratio of the bit-vector filter, if one was used.
+    pub filter_fill_ratio: Option<f64>,
+    /// Dividend tuples shipped to each node.
+    pub per_node_dividend: Vec<u64>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// A streaming node (Section 3.3 early output): builds the divisor table
+/// from the first message, absorbs dividend batches as they arrive, and
+/// ships completed quotient tuples immediately, overlapping downstream
+/// collection with upstream production.
+fn node_main_streaming(
+    node_id: usize,
+    rx: crossbeam::channel::Receiver<Message>,
+    result: network::ResultPort,
+    spec: DivisionSpec,
+    dividend_schema: reldiv_rel::Schema,
+    storage_config: StorageConfig,
+) -> Result<()> {
+    use reldiv_core::hash_division::DivisorTable;
+    let pool = MemoryPool::new(storage_config.work_memory_bytes.max(1 << 20));
+    let quotient_schema = spec.quotient_schema(&dividend_schema)?;
+    let mut divisor_table: Option<DivisorTable> = None;
+    let mut quotient_table: Option<QuotientTable> = None;
+    let mut outbox: Vec<Tuple> = Vec::new();
+    const SHIP_BATCH: usize = 256;
+    loop {
+        match rx.recv() {
+            Ok(Message::Divisor(v)) => {
+                // Step 1, once, from the replicated/partitioned fragment.
+                let rel = Relation::from_tuples(spec_divisor_schema(&spec, &dividend_schema), v)
+                    .map_err(ExecError::from)?;
+                let mut scan: reldiv_exec::BoxedOp = Box::new(reldiv_exec::scan::MemScan::new(rel));
+                let dt = DivisorTable::build(&mut scan, &pool)?;
+                quotient_table = Some(QuotientTable::new(
+                    &pool,
+                    HashDivisionMode::EarlyOut,
+                    dt.count(),
+                    spec.quotient_keys.clone(),
+                    quotient_schema.record_width(),
+                )?);
+                divisor_table = Some(dt);
+            }
+            Ok(Message::Dividend(v)) => {
+                let dt = divisor_table
+                    .as_ref()
+                    .ok_or_else(|| ExecError::Plan("dividend before divisor".into()))?;
+                let qt = quotient_table.as_mut().expect("built with divisor table");
+                for t in v {
+                    let dno = if dt.count() == 0 {
+                        Some(None)
+                    } else {
+                        dt.lookup(&t, &spec.divisor_keys).map(Some)
+                    };
+                    if let Some(dno) = dno {
+                        if let Some(q) = qt.absorb(&t, dno)? {
+                            outbox.push(q);
+                            if outbox.len() >= SHIP_BATCH {
+                                result.send(node_id, std::mem::take(&mut outbox));
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Message::End) | Err(_) => break,
+        }
+    }
+    if !outbox.is_empty() {
+        result.send(node_id, outbox);
+    }
+    Ok(())
+}
+
+/// Reconstructs the divisor schema from the spec and the dividend schema
+/// (the divisor columns are the dividend's divisor-key columns, in order).
+fn spec_divisor_schema(
+    spec: &DivisionSpec,
+    dividend_schema: &reldiv_rel::Schema,
+) -> reldiv_rel::Schema {
+    reldiv_rel::Schema::new(
+        spec.divisor_keys
+            .iter()
+            .map(|&k| dividend_schema.fields()[k].clone())
+            .collect(),
+    )
+}
+
+/// One node's worker: receive divisor and dividend, divide locally with a
+/// private engine (including local overflow handling), ship the quotient
+/// cluster to the collection site.
+fn node_main(
+    node_id: usize,
+    rx: crossbeam::channel::Receiver<Message>,
+    result: network::ResultPort,
+    spec: DivisionSpec,
+    dividend_schema: reldiv_rel::Schema,
+    divisor_schema: reldiv_rel::Schema,
+    storage_config: StorageConfig,
+) -> Result<()> {
+    let mut divisor_tuples: Vec<Tuple> = Vec::new();
+    let mut dividend_tuples: Vec<Tuple> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(Message::Divisor(v)) => divisor_tuples.extend(v),
+            Ok(Message::Dividend(v)) => dividend_tuples.extend(v),
+            Ok(Message::End) | Err(_) => break,
+        }
+    }
+    let dividend =
+        Relation::from_tuples(dividend_schema, dividend_tuples).map_err(ExecError::from)?;
+    let divisor = Relation::from_tuples(divisor_schema, divisor_tuples).map_err(ExecError::from)?;
+    let storage = StorageManager::shared(storage_config);
+    let quotient = divide(
+        &storage,
+        &Source::from_relation(&dividend),
+        &Source::from_relation(&divisor),
+        &spec,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        &DivisionConfig::default(),
+    )?;
+    result.send(node_id, quotient.into_tuples());
+    Ok(())
+}
+
+/// Runs `dividend ÷ divisor` across the simulated cluster.
+pub fn parallel_divide(
+    dividend: &Relation,
+    divisor: &Relation,
+    spec: &DivisionSpec,
+    config: &ClusterConfig,
+) -> Result<(Relation, RunReport)> {
+    if config.nodes == 0 {
+        return Err(ExecError::Plan("cluster needs at least one node".into()));
+    }
+    spec.validate(dividend.schema(), divisor.schema())?;
+    let quotient_schema = spec.quotient_schema(dividend.schema())?;
+    let start = Instant::now();
+
+    let counters = Arc::new(NetworkCounters::default());
+    let tuple_bytes = dividend.schema().record_width();
+    let (ports, receivers) = build_links(config.nodes, tuple_bytes, &counters);
+    let (result_port, result_rx) = build_result_link(quotient_schema.record_width(), &counters);
+
+    // Spawn the nodes.
+    let mut handles = Vec::with_capacity(config.nodes);
+    for (node_id, rx) in receivers.into_iter().enumerate() {
+        let result = result_port.clone();
+        let spec = spec.clone();
+        let dividend_schema = dividend.schema().clone();
+        let divisor_schema = divisor.schema().clone();
+        let storage_config = config.node_storage.clone();
+        let streaming = config.streaming_nodes;
+        handles.push(std::thread::spawn(move || {
+            if streaming {
+                node_main_streaming(node_id, rx, result, spec, dividend_schema, storage_config)
+            } else {
+                node_main(
+                    node_id,
+                    rx,
+                    result,
+                    spec,
+                    dividend_schema,
+                    divisor_schema,
+                    storage_config,
+                )
+            }
+        }));
+    }
+    drop(result_port); // collection channel closes when all nodes finish
+
+    let n = config.nodes;
+    let divisor_all: Vec<usize> = (0..divisor.schema().arity()).collect();
+    let mut per_node_dividend = vec![0u64; n];
+    let mut filtered_tuples = 0u64;
+    let mut filter_fill_ratio = None;
+    let participating: Vec<usize>;
+
+    match config.strategy {
+        Strategy::QuotientPartitioning => {
+            // Replicate the divisor to every node.
+            for port in &ports {
+                port.send(Message::Divisor(divisor.tuples().to_vec()));
+            }
+            // Partition the dividend on the quotient attributes.
+            let mut batches: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+            for t in dividend.tuples() {
+                let node = (t.hash_on(&spec.quotient_keys) as usize) % n;
+                per_node_dividend[node] += 1;
+                batches[node].push(t.clone());
+                if batches[node].len() >= config.batch_size {
+                    ports[node].send(Message::Dividend(std::mem::take(&mut batches[node])));
+                }
+            }
+            for (node, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    ports[node].send(Message::Dividend(batch));
+                }
+                ports[node].send(Message::End);
+            }
+            participating = (0..n).collect();
+        }
+        Strategy::DivisorPartitioning => {
+            // Partition the divisor; build the optional bit-vector filter
+            // while scanning it.
+            let mut divisor_clusters: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+            let mut bv = config.bit_vector_bits.map(BitVectorFilter::new);
+            for t in divisor.tuples() {
+                if let Some(f) = &mut bv {
+                    f.insert(t);
+                }
+                let node = (t.hash_on(&divisor_all) as usize) % n;
+                divisor_clusters[node].push(t.clone());
+            }
+            filter_fill_ratio = bv.as_ref().map(BitVectorFilter::fill_ratio);
+            let empty_divisor = divisor_clusters.iter().all(Vec::is_empty);
+            participating = if empty_divisor {
+                (0..n).collect()
+            } else {
+                (0..n)
+                    .filter(|&i| !divisor_clusters[i].is_empty())
+                    .collect()
+            };
+            for (node, cluster) in divisor_clusters.into_iter().enumerate() {
+                ports[node].send(Message::Divisor(cluster));
+            }
+            // Partition the dividend on the divisor attributes, dropping
+            // tuples the bit-vector filter proves unmatched and tuples
+            // bound for non-participating nodes.
+            let mut batches: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+            for t in dividend.tuples() {
+                if let Some(f) = &bv {
+                    if !empty_divisor && !f.may_match(t, &spec.divisor_keys) {
+                        filtered_tuples += 1;
+                        continue;
+                    }
+                }
+                let node = (t.hash_on(&spec.divisor_keys) as usize) % n;
+                if !participating.contains(&node) {
+                    // No divisor tuples live there; nothing to match.
+                    filtered_tuples += 1;
+                    continue;
+                }
+                per_node_dividend[node] += 1;
+                batches[node].push(t.clone());
+                if batches[node].len() >= config.batch_size {
+                    ports[node].send(Message::Dividend(std::mem::take(&mut batches[node])));
+                }
+            }
+            for (node, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    ports[node].send(Message::Dividend(batch));
+                }
+                ports[node].send(Message::End);
+            }
+        }
+    }
+
+    // Collection site.
+    let mut result = Relation::empty(quotient_schema.clone());
+    match config.strategy {
+        Strategy::QuotientPartitioning => {
+            // Clusters are disjoint in the quotient attributes: concatenate.
+            while let Ok((_, tuples)) = result_rx.recv() {
+                for t in tuples {
+                    result.push(t).map_err(ExecError::from)?;
+                }
+            }
+        }
+        Strategy::DivisorPartitioning => {
+            // "The collection site divides the set of all incoming tuples
+            // over the set of processor network addresses", reusing the
+            // quotient-table machinery with the node's dense tag as the
+            // bit index (step 1 of hash-division is skipped). With more
+            // than one collection site, the tagged tuples are themselves
+            // quotient-partitioned across sites — the paper's
+            // decentralized collection. (Nodes would hash-route their
+            // shipments directly in a real machine, so no extra network
+            // traffic is charged for the fan-out.)
+            let empty_divisor = divisor.is_empty();
+            let phase_count = if empty_divisor {
+                1
+            } else {
+                participating.len() as u32
+            };
+            let dense: std::collections::HashMap<usize, u32> = participating
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| (node, i as u32))
+                .collect();
+            let sites = config.collection_sites.max(1);
+            let qarity = quotient_schema.arity();
+            let qwidth = quotient_schema.record_width();
+            if sites == 1 {
+                let pool = MemoryPool::unbounded();
+                let mut collector = QuotientTable::new(
+                    &pool,
+                    HashDivisionMode::Standard,
+                    phase_count,
+                    (0..qarity).collect(),
+                    qwidth,
+                )?;
+                while let Ok((node, tuples)) = result_rx.recv() {
+                    let tag = if empty_divisor {
+                        0
+                    } else {
+                        match dense.get(&node) {
+                            Some(&t) => t,
+                            // Non-participating nodes report empty clusters.
+                            None => continue,
+                        }
+                    };
+                    for t in tuples {
+                        collector.absorb(&t, Some(tag))?;
+                    }
+                }
+                while let Some(t) = collector.next_complete() {
+                    result.push(t).map_err(ExecError::from)?;
+                }
+            } else {
+                // Decentralized: one collector thread per site, fed a
+                // quotient-hash partition of the tagged tuples.
+                let mut txs = Vec::with_capacity(sites);
+                let mut collectors = Vec::with_capacity(sites);
+                for _ in 0..sites {
+                    let (tx, rx) = crossbeam::channel::unbounded::<(u32, Tuple)>();
+                    txs.push(tx);
+                    collectors.push(std::thread::spawn(move || -> Result<Vec<Tuple>> {
+                        let pool = MemoryPool::unbounded();
+                        let mut collector = QuotientTable::new(
+                            &pool,
+                            HashDivisionMode::Standard,
+                            phase_count,
+                            (0..qarity).collect(),
+                            qwidth,
+                        )?;
+                        while let Ok((tag, t)) = rx.recv() {
+                            collector.absorb(&t, Some(tag))?;
+                        }
+                        let mut out = Vec::new();
+                        while let Some(t) = collector.next_complete() {
+                            out.push(t);
+                        }
+                        Ok(out)
+                    }));
+                }
+                let qcols: Vec<usize> = (0..qarity).collect();
+                while let Ok((node, tuples)) = result_rx.recv() {
+                    let tag = if empty_divisor {
+                        0
+                    } else {
+                        match dense.get(&node) {
+                            Some(&t) => t,
+                            None => continue,
+                        }
+                    };
+                    for t in tuples {
+                        let site = (t.hash_on(&qcols) as usize) % sites;
+                        let _ = txs[site].send((tag, t));
+                    }
+                }
+                drop(txs);
+                for handle in collectors {
+                    let partial = handle
+                        .join()
+                        .map_err(|_| ExecError::Plan("collection site panicked".into()))??;
+                    for t in partial {
+                        result.push(t).map_err(ExecError::from)?;
+                    }
+                }
+            }
+        }
+    }
+
+    // Surface node failures.
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| ExecError::Plan("node thread panicked".into()))??;
+    }
+
+    let report = RunReport {
+        network: counters.stats(),
+        nodes: n,
+        participating_nodes: participating.len(),
+        filtered_tuples,
+        filter_fill_ratio,
+        per_node_dividend,
+        elapsed: start.elapsed(),
+    };
+    Ok((result, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::schema::{Field, Schema};
+    use reldiv_rel::tuple::ints;
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Field::int("cno")]);
+        Relation::from_tuples(schema, nos.iter().map(|&n| ints(&[n])).collect()).unwrap()
+    }
+
+    fn workload() -> (Relation, Relation, Vec<i64>) {
+        let mut rows = Vec::new();
+        for s in 0..60i64 {
+            for c in 0..=(s % 11) {
+                rows.push([s, c]);
+            }
+            rows.push([s, 500 + s]); // noise, matches nothing
+        }
+        let expected: Vec<i64> = (0..60).filter(|s| s % 11 >= 6).collect();
+        (
+            transcript(&rows),
+            courses(&(0..7).collect::<Vec<_>>()),
+            expected,
+        )
+    }
+
+    fn run(config: &ClusterConfig) -> (Vec<i64>, RunReport) {
+        let (dividend, divisor, _) = workload();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (rel, report) = parallel_divide(&dividend, &divisor, &spec, config).unwrap();
+        let mut sids: Vec<i64> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        sids.sort_unstable();
+        (sids, report)
+    }
+
+    #[test]
+    fn quotient_partitioning_matches_serial_result() {
+        let (_, _, expected) = workload();
+        for nodes in [1, 2, 4, 8] {
+            let config = ClusterConfig {
+                nodes,
+                strategy: Strategy::QuotientPartitioning,
+                ..Default::default()
+            };
+            let (got, report) = run(&config);
+            assert_eq!(got, expected, "nodes={nodes}");
+            assert_eq!(report.participating_nodes, nodes);
+        }
+    }
+
+    #[test]
+    fn divisor_partitioning_matches_serial_result() {
+        let (_, _, expected) = workload();
+        for nodes in [1, 2, 4, 8] {
+            let config = ClusterConfig {
+                nodes,
+                strategy: Strategy::DivisorPartitioning,
+                ..Default::default()
+            };
+            let (got, _) = run(&config);
+            assert_eq!(got, expected, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn bit_vector_filter_cuts_traffic_without_changing_the_answer() {
+        let (_, _, expected) = workload();
+        let base = ClusterConfig {
+            nodes: 4,
+            strategy: Strategy::DivisorPartitioning,
+            ..Default::default()
+        };
+        let (got_plain, report_plain) = run(&base);
+        let filtered_config = ClusterConfig {
+            bit_vector_bits: Some(4096),
+            ..base
+        };
+        let (got_filtered, report_filtered) = run(&filtered_config);
+        assert_eq!(got_plain, expected);
+        assert_eq!(got_filtered, expected);
+        assert!(
+            report_filtered.filtered_tuples > 0,
+            "noise tuples must be dropped"
+        );
+        assert!(
+            report_filtered.network.tuples < report_plain.network.tuples,
+            "filtering must reduce shipped tuples: {} vs {}",
+            report_filtered.network.tuples,
+            report_plain.network.tuples
+        );
+        assert!(report_filtered.filter_fill_ratio.unwrap() < 0.5);
+    }
+
+    #[test]
+    fn divisor_replication_costs_scale_with_nodes() {
+        let (dividend, divisor, _) = workload();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let mut last = 0;
+        for nodes in [1, 2, 4] {
+            let config = ClusterConfig {
+                nodes,
+                strategy: Strategy::QuotientPartitioning,
+                ..Default::default()
+            };
+            let (_, report) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+            assert!(
+                report.network.tuples > last,
+                "replication traffic grows with node count"
+            );
+            last = report.network.tuples;
+        }
+    }
+
+    #[test]
+    fn empty_divisor_is_vacuous_in_parallel() {
+        let dividend = transcript(&[[1, 10], [2, 20], [1, 30]]);
+        let divisor = courses(&[]);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for strategy in [
+            Strategy::QuotientPartitioning,
+            Strategy::DivisorPartitioning,
+        ] {
+            let config = ClusterConfig {
+                nodes: 3,
+                strategy,
+                ..Default::default()
+            };
+            let (rel, _) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+            let mut sids: Vec<i64> = rel
+                .tuples()
+                .iter()
+                .map(|t| t.value(0).as_int().unwrap())
+                .collect();
+            sids.sort_unstable();
+            assert_eq!(sids, vec![1, 2], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_dividend_is_empty_in_parallel() {
+        let dividend = transcript(&[]);
+        let divisor = courses(&[1]);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for strategy in [
+            Strategy::QuotientPartitioning,
+            Strategy::DivisorPartitioning,
+        ] {
+            let config = ClusterConfig {
+                nodes: 3,
+                strategy,
+                ..Default::default()
+            };
+            let (rel, _) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+            assert!(rel.is_empty(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_nodes_is_a_plan_error() {
+        let dividend = transcript(&[[1, 1]]);
+        let divisor = courses(&[1]);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let config = ClusterConfig {
+            nodes: 0,
+            ..Default::default()
+        };
+        assert!(parallel_divide(&dividend, &divisor, &spec, &config).is_err());
+    }
+
+    #[test]
+    fn work_is_spread_across_nodes() {
+        let (got, report) = run(&ClusterConfig {
+            nodes: 4,
+            strategy: Strategy::QuotientPartitioning,
+            ..Default::default()
+        });
+        assert!(!got.is_empty());
+        let busy = report.per_node_dividend.iter().filter(|&&n| n > 0).count();
+        assert!(busy >= 3, "60 students should spread over >= 3 of 4 nodes");
+    }
+}
+
+#[cfg(test)]
+mod decentralized_tests {
+    use super::*;
+    use reldiv_rel::schema::{Field, Schema};
+    use reldiv_rel::tuple::ints;
+
+    fn workload() -> (Relation, Relation, Vec<i64>) {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        let mut rows = Vec::new();
+        for s in 0..80i64 {
+            for c in 0..=(s % 9) {
+                rows.push(ints(&[s, c]));
+            }
+        }
+        let dividend = Relation::from_tuples(schema, rows).unwrap();
+        let divisor = Relation::from_tuples(
+            Schema::new(vec![Field::int("cno")]),
+            (0..6).map(|c| ints(&[c])).collect(),
+        )
+        .unwrap();
+        let expected: Vec<i64> = (0..80).filter(|s| s % 9 >= 5).collect();
+        (dividend, divisor, expected)
+    }
+
+    #[test]
+    fn decentralized_collection_matches_central() {
+        let (dividend, divisor, expected) = workload();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for sites in [1usize, 2, 3, 5] {
+            let config = ClusterConfig {
+                nodes: 4,
+                strategy: Strategy::DivisorPartitioning,
+                collection_sites: sites,
+                ..Default::default()
+            };
+            let (rel, _) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+            let mut got: Vec<i64> = rel
+                .tuples()
+                .iter()
+                .map(|t| t.value(0).as_int().unwrap())
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "sites={sites}");
+        }
+    }
+
+    #[test]
+    fn decentralized_collection_with_empty_divisor() {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        let dividend =
+            Relation::from_tuples(schema, vec![ints(&[1, 10]), ints(&[2, 20]), ints(&[1, 30])])
+                .unwrap();
+        let divisor = Relation::from_tuples(Schema::new(vec![Field::int("cno")]), vec![]).unwrap();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let config = ClusterConfig {
+            nodes: 3,
+            strategy: Strategy::DivisorPartitioning,
+            collection_sites: 2,
+            ..Default::default()
+        };
+        let (rel, _) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+        let mut got: Vec<i64> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use reldiv_rel::schema::{Field, Schema};
+    use reldiv_rel::tuple::ints;
+
+    fn workload() -> (Relation, Relation, Vec<i64>) {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        let mut rows = Vec::new();
+        for s in 0..70i64 {
+            for c in 0..=(s % 8) {
+                rows.push(ints(&[s, c]));
+            }
+            rows.push(ints(&[s, 900 + s])); // noise
+        }
+        let dividend = Relation::from_tuples(schema, rows).unwrap();
+        let divisor = Relation::from_tuples(
+            Schema::new(vec![Field::int("cno")]),
+            (0..5).map(|c| ints(&[c])).collect(),
+        )
+        .unwrap();
+        let expected: Vec<i64> = (0..70).filter(|s| s % 8 >= 4).collect();
+        (dividend, divisor, expected)
+    }
+
+    #[test]
+    fn streaming_nodes_match_buffered_nodes() {
+        let (dividend, divisor, expected) = workload();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for strategy in [
+            Strategy::QuotientPartitioning,
+            Strategy::DivisorPartitioning,
+        ] {
+            for nodes in [1usize, 3] {
+                let config = ClusterConfig {
+                    nodes,
+                    strategy,
+                    streaming_nodes: true,
+                    ..Default::default()
+                };
+                let (rel, _) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+                let mut got: Vec<i64> = rel
+                    .tuples()
+                    .iter()
+                    .map(|t| t.value(0).as_int().unwrap())
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, expected, "{strategy:?} nodes={nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_with_decentralized_collection() {
+        let (dividend, divisor, expected) = workload();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let config = ClusterConfig {
+            nodes: 4,
+            strategy: Strategy::DivisorPartitioning,
+            streaming_nodes: true,
+            collection_sites: 3,
+            bit_vector_bits: Some(4096),
+            ..Default::default()
+        };
+        let (rel, report) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+        let mut got: Vec<i64> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(report.filtered_tuples > 0, "noise dropped by the filter");
+    }
+
+    #[test]
+    fn streaming_nodes_handle_empty_divisor() {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        let dividend =
+            Relation::from_tuples(schema, vec![ints(&[1, 10]), ints(&[2, 20]), ints(&[1, 30])])
+                .unwrap();
+        let divisor = Relation::from_tuples(Schema::new(vec![Field::int("cno")]), vec![]).unwrap();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let config = ClusterConfig {
+            nodes: 2,
+            strategy: Strategy::QuotientPartitioning,
+            streaming_nodes: true,
+            ..Default::default()
+        };
+        let (rel, _) = parallel_divide(&dividend, &divisor, &spec, &config).unwrap();
+        let mut got: Vec<i64> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The simulated interconnection network: crossbeam channels with
+//! message/tuple/byte accounting.
+//!
+//! Section 6 reasons about network activity as the scarce resource of a
+//! shared-nothing machine ("network activity can become a bottleneck");
+//! this module makes that activity observable so the benchmarks can show,
+//! e.g., how much traffic bit-vector filtering saves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use reldiv_rel::Tuple;
+
+/// Counters shared by every port of one simulated network.
+#[derive(Debug, Default)]
+pub struct NetworkCounters {
+    messages: AtomicU64,
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// A point-in-time view of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages sent (batches count once).
+    pub messages: u64,
+    /// Tuples shipped.
+    pub tuples: u64,
+    /// Payload bytes shipped (record-width accounting).
+    pub bytes: u64,
+}
+
+impl NetworkCounters {
+    /// Reads the counters.
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            tuples: self.tuples.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Messages exchanged between the coordinator and the nodes.
+#[derive(Debug)]
+pub enum Message {
+    /// The (replicated or partitioned) divisor fragment for the node.
+    Divisor(Vec<Tuple>),
+    /// A batch of dividend tuples.
+    Dividend(Vec<Tuple>),
+    /// No more input; produce your quotient cluster.
+    End,
+}
+
+/// The sending half of a node link, with accounting.
+pub struct Port {
+    sender: Sender<Message>,
+    counters: Arc<NetworkCounters>,
+    tuple_bytes: usize,
+}
+
+impl Port {
+    /// Ships a message, recording its size.
+    pub fn send(&self, msg: Message) {
+        let n = match &msg {
+            Message::Divisor(v) | Message::Dividend(v) => v.len(),
+            Message::End => 0,
+        };
+        self.counters.messages.fetch_add(1, Ordering::Relaxed);
+        self.counters.tuples.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add((n * self.tuple_bytes) as u64, Ordering::Relaxed);
+        // Receiver hang-up just means the node failed; the join below will
+        // surface its error.
+        let _ = self.sender.send(msg);
+    }
+}
+
+/// Builds `n` node links plus a result channel back to the coordinator.
+/// `tuple_bytes` prices each shipped tuple (the record width of the
+/// relation being shipped dominates; we charge the dividend width).
+pub fn build_links(
+    n: usize,
+    tuple_bytes: usize,
+    counters: &Arc<NetworkCounters>,
+) -> (Vec<Port>, Vec<Receiver<Message>>) {
+    let mut ports = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        ports.push(Port {
+            sender: tx,
+            counters: counters.clone(),
+            tuple_bytes,
+        });
+        receivers.push(rx);
+    }
+    (ports, receivers)
+}
+
+/// Result channel: nodes ship `(node_id, quotient tuples)` back; the
+/// shipment is also network traffic and is counted.
+pub struct ResultPort {
+    sender: Sender<(usize, Vec<Tuple>)>,
+    counters: Arc<NetworkCounters>,
+    tuple_bytes: usize,
+}
+
+impl ResultPort {
+    /// Ships a node's quotient cluster to the collection site.
+    pub fn send(&self, node: usize, tuples: Vec<Tuple>) {
+        self.counters.messages.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .tuples
+            .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add((tuples.len() * self.tuple_bytes) as u64, Ordering::Relaxed);
+        let _ = self.sender.send((node, tuples));
+    }
+}
+
+/// Builds the shared result channel.
+pub fn build_result_link(
+    tuple_bytes: usize,
+    counters: &Arc<NetworkCounters>,
+) -> (ResultPort, Receiver<(usize, Vec<Tuple>)>) {
+    let (tx, rx) = unbounded();
+    (
+        ResultPort {
+            sender: tx,
+            counters: counters.clone(),
+            tuple_bytes,
+        },
+        rx,
+    )
+}
+
+impl Clone for ResultPort {
+    fn clone(&self) -> Self {
+        ResultPort {
+            sender: self.sender.clone(),
+            counters: self.counters.clone(),
+            tuple_bytes: self.tuple_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::tuple::ints;
+
+    #[test]
+    fn sends_are_counted_in_messages_tuples_and_bytes() {
+        let counters = Arc::new(NetworkCounters::default());
+        let (ports, receivers) = build_links(2, 16, &counters);
+        ports[0].send(Message::Dividend(vec![ints(&[1, 2]), ints(&[3, 4])]));
+        ports[1].send(Message::End);
+        let stats = counters.stats();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.tuples, 2);
+        assert_eq!(stats.bytes, 32);
+        assert!(matches!(receivers[0].recv().unwrap(), Message::Dividend(v) if v.len() == 2));
+        assert!(matches!(receivers[1].recv().unwrap(), Message::End));
+    }
+
+    #[test]
+    fn result_shipments_are_counted_too() {
+        let counters = Arc::new(NetworkCounters::default());
+        let (port, rx) = build_result_link(8, &counters);
+        port.clone().send(3, vec![ints(&[9])]);
+        let (node, tuples) = rx.recv().unwrap();
+        assert_eq!(node, 3);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(counters.stats().bytes, 8);
+    }
+}

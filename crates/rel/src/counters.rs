@@ -1,0 +1,185 @@
+//! Thread-local counters for the abstract operations priced by the paper.
+//!
+//! Section 4 of the paper measures CPU cost in units of tuple comparisons
+//! (`Comp`), hash-value calculations (`Hash`), page-size memory moves
+//! (`Move`), and bit-map operations (`Bit`); Table 1 assigns each a cost in
+//! milliseconds. The experimental study (Section 5) instead measured real
+//! CPU time and *computed* I/O cost from file-system statistics.
+//!
+//! `reldiv` supports both methodologies. Every operator increments these
+//! counters as it performs the corresponding abstract operation, so a run
+//! can be priced deterministically with Table 1 units (useful for CI-stable
+//! reproduction of the paper's rankings) in addition to wall-clock/CPU
+//! measurement.
+//!
+//! Counters are thread-local: the shared-nothing simulation in
+//! `reldiv-parallel` snapshots them per worker thread and aggregates.
+
+use std::cell::Cell;
+
+thread_local! {
+    static COMPARISONS: Cell<u64> = const { Cell::new(0) };
+    static HASHES: Cell<u64> = const { Cell::new(0) };
+    static MOVES: Cell<u64> = const { Cell::new(0) };
+    static BITOPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the four abstract-operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Tuple comparisons (`Comp` in Table 1, 0.03 ms each).
+    pub comparisons: u64,
+    /// Hash-value calculations from a tuple (`Hash`, 0.03 ms each).
+    pub hashes: u64,
+    /// Memory-to-memory copies of one page (`Move`, 0.4 ms each).
+    pub moves: u64,
+    /// Bit-map operations: setting, clearing, or scanning a bit
+    /// (`Bit`, 0.003 ms each).
+    pub bitops: u64,
+}
+
+impl OpSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Used to attribute operations to a region of execution:
+    /// `let before = snapshot(); ...; let used = snapshot().since(&before);`
+    pub fn since(&self, earlier: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            comparisons: self.comparisons.saturating_sub(earlier.comparisons),
+            hashes: self.hashes.saturating_sub(earlier.hashes),
+            moves: self.moves.saturating_sub(earlier.moves),
+            bitops: self.bitops.saturating_sub(earlier.bitops),
+        }
+    }
+
+    /// Component-wise sum, for aggregating per-thread snapshots.
+    pub fn merge(&self, other: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            comparisons: self.comparisons + other.comparisons,
+            hashes: self.hashes + other.hashes,
+            moves: self.moves + other.moves,
+            bitops: self.bitops + other.bitops,
+        }
+    }
+}
+
+/// Records `n` tuple comparisons.
+#[inline]
+pub fn count_comparisons(n: u64) {
+    COMPARISONS.with(|c| c.set(c.get() + n));
+}
+
+/// Records `n` hash-value calculations.
+#[inline]
+pub fn count_hashes(n: u64) {
+    HASHES.with(|c| c.set(c.get() + n));
+}
+
+/// Records `n` page-sized memory moves.
+#[inline]
+pub fn count_moves(n: u64) {
+    MOVES.with(|c| c.set(c.get() + n));
+}
+
+/// Records `n` bit-map operations.
+#[inline]
+pub fn count_bitops(n: u64) {
+    BITOPS.with(|c| c.set(c.get() + n));
+}
+
+/// Reads the current thread's counters.
+pub fn snapshot() -> OpSnapshot {
+    OpSnapshot {
+        comparisons: COMPARISONS.with(Cell::get),
+        hashes: HASHES.with(Cell::get),
+        moves: MOVES.with(Cell::get),
+        bitops: BITOPS.with(Cell::get),
+    }
+}
+
+/// Resets the current thread's counters to zero.
+pub fn reset() {
+    COMPARISONS.with(|c| c.set(0));
+    HASHES.with(|c| c.set(0));
+    MOVES.with(|c| c.set(0));
+    BITOPS.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        reset();
+        count_comparisons(3);
+        count_hashes(2);
+        count_moves(1);
+        count_bitops(5);
+        let s = snapshot();
+        assert_eq!(
+            s,
+            OpSnapshot {
+                comparisons: 3,
+                hashes: 2,
+                moves: 1,
+                bitops: 5
+            }
+        );
+        reset();
+        assert_eq!(snapshot(), OpSnapshot::default());
+    }
+
+    #[test]
+    fn since_attributes_a_region() {
+        reset();
+        count_comparisons(10);
+        let before = snapshot();
+        count_comparisons(7);
+        count_bitops(1);
+        let used = snapshot().since(&before);
+        assert_eq!(used.comparisons, 7);
+        assert_eq!(used.bitops, 1);
+        assert_eq!(used.hashes, 0);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let a = OpSnapshot {
+            comparisons: 1,
+            hashes: 2,
+            moves: 3,
+            bitops: 4,
+        };
+        let b = OpSnapshot {
+            comparisons: 10,
+            hashes: 20,
+            moves: 30,
+            bitops: 40,
+        };
+        assert_eq!(
+            a.merge(&b),
+            OpSnapshot {
+                comparisons: 11,
+                hashes: 22,
+                moves: 33,
+                bitops: 44
+            }
+        );
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset();
+        count_comparisons(5);
+        let handle = std::thread::spawn(|| {
+            // Fresh thread starts at zero and its counts stay local.
+            assert_eq!(snapshot(), OpSnapshot::default());
+            count_comparisons(100);
+            snapshot()
+        });
+        let other = handle.join().unwrap();
+        assert_eq!(other.comparisons, 100);
+        assert_eq!(snapshot().comparisons, 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors raised by schema, tuple, and record-codec operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A tuple's arity does not match the schema it is used with.
+    ArityMismatch {
+        /// Number of fields the schema declares.
+        expected: usize,
+        /// Number of values the tuple carries.
+        actual: usize,
+    },
+    /// A value's type does not match the column type declared by the schema.
+    TypeMismatch {
+        /// Zero-based column index where the mismatch occurred.
+        column: usize,
+        /// Declared column type, rendered for display.
+        expected: String,
+        /// Actual value variant, rendered for display.
+        actual: String,
+    },
+    /// A fixed-width string column received a string longer than its width.
+    StringTooLong {
+        /// Zero-based column index.
+        column: usize,
+        /// Declared fixed width in bytes.
+        width: usize,
+        /// Length of the offending string in bytes.
+        len: usize,
+    },
+    /// A record could not be decoded (truncated or corrupt bytes).
+    Decode(String),
+    /// An attribute index referenced a column outside the schema.
+    ColumnOutOfRange {
+        /// The offending column index.
+        index: usize,
+        /// Number of columns in the schema.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} fields, tuple has {actual}"
+                )
+            }
+            RelError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in column {column}: expected {expected}, got {actual}"
+                )
+            }
+            RelError::StringTooLong { column, width, len } => {
+                write!(
+                    f,
+                    "string too long for column {column}: width {width}, got {len} bytes"
+                )
+            }
+            RelError::Decode(msg) => write!(f, "record decode error: {msg}"),
+            RelError::ColumnOutOfRange { index, arity } => {
+                write!(
+                    f,
+                    "column index {index} out of range for schema of arity {arity}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelError::ArityMismatch {
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("arity mismatch"));
+        let e = RelError::TypeMismatch {
+            column: 1,
+            expected: "Int".into(),
+            actual: "Str".into(),
+        };
+        assert!(e.to_string().contains("column 1"));
+        let e = RelError::StringTooLong {
+            column: 0,
+            width: 8,
+            len: 12,
+        };
+        assert!(e.to_string().contains("width 8"));
+        let e = RelError::Decode("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+        let e = RelError::ColumnOutOfRange { index: 5, arity: 2 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

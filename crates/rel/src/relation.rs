@@ -1,0 +1,194 @@
+//! In-memory relations.
+//!
+//! A [`Relation`] is a schema plus a bag (multiset) of tuples. It is the
+//! interchange format between workload generators, the in-memory division
+//! API, and the storage layer (which loads relations into record files).
+
+use std::collections::BTreeMap;
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// A schema and a bag of tuples.
+///
+/// Relations are bags, not sets: the paper devotes considerable attention to
+/// duplicate handling (hash-division ignores dividend duplicates and can
+/// eliminate divisor duplicates on the fly, while the other algorithms
+/// require duplicate-free inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from tuples, validating each against the schema.
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        for t in &tuples {
+            schema.validate(t.values())?;
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Tuple cardinality (`|R|` in the paper's notation).
+    pub fn cardinality(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consumes the relation, returning its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Appends a tuple after validating it.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        self.schema.validate(tuple.values())?;
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Page cardinality given `tuples_per_page` (the paper's `r`, `s`, `q`).
+    ///
+    /// Fractional pages round up: a relation never occupies part of a page
+    /// it has not allocated.
+    pub fn pages(&self, tuples_per_page: usize) -> usize {
+        self.tuples.len().div_ceil(tuples_per_page)
+    }
+
+    /// Sorts tuples in place on `keys` (major to minor), stably.
+    pub fn sort_by_keys(&mut self, keys: &[usize]) {
+        self.tuples.sort_by(|a, b| a.cmp_keys(b, keys));
+    }
+
+    /// Returns a relation with exact duplicates removed (first occurrence
+    /// kept), preserving order. Cost of this preprocessing is exactly what
+    /// hash-division avoids; tests use it to build duplicate-free oracles.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            if seen.insert(t.clone()) {
+                out.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples: out,
+        }
+    }
+
+    /// Projects the relation onto `indices` (bag projection: duplicates are
+    /// not removed, mirroring relational-algebra projection on bags).
+    pub fn project(&self, indices: &[usize]) -> Result<Relation> {
+        let schema = self.schema.project(indices)?;
+        let tuples = self.tuples.iter().map(|t| t.project(indices)).collect();
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Counts occurrences of each distinct tuple; used by tests to compare
+    /// bags irrespective of order.
+    pub fn bag_counts(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for t in &self.tuples {
+            *m.entry(t.to_string()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::tuple::ints;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        let arity = rows.first().map_or(1, |r| r.len());
+        let schema = Schema::new((0..arity).map(|i| Field::int(format!("c{i}"))).collect());
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    #[test]
+    fn from_tuples_validates() {
+        let schema = Schema::new(vec![Field::int("a")]);
+        assert!(Relation::from_tuples(schema.clone(), vec![ints(&[1, 2])]).is_err());
+        assert!(Relation::from_tuples(schema, vec![ints(&[1])]).is_ok());
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let r = rel(&[&[1], &[2], &[3]]);
+        // The paper: 10 S/Q tuples per page, 5 R tuples per page.
+        assert_eq!(r.pages(10), 1);
+        assert_eq!(r.pages(2), 2);
+        assert_eq!(r.pages(3), 1);
+        assert_eq!(Relation::empty(r.schema().clone()).pages(10), 0);
+    }
+
+    #[test]
+    fn sort_by_keys_major_minor() {
+        // Sort Transcript on student-id major, course-no minor — the naive
+        // algorithm's required dividend order.
+        let mut r = rel(&[&[2, 1], &[1, 2], &[1, 1], &[2, 0]]);
+        r.sort_by_keys(&[0, 1]);
+        let got: Vec<_> = r.tuples().iter().map(|t| t.to_string()).collect();
+        assert_eq!(got, vec!["(1, 1)", "(1, 2)", "(2, 0)", "(2, 1)"]);
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        let r = rel(&[&[1], &[2], &[1], &[3], &[2]]);
+        let d = r.distinct();
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.tuples()[0], ints(&[1]));
+    }
+
+    #[test]
+    fn project_is_bag_projection() {
+        let r = rel(&[&[1, 10], &[2, 10], &[1, 20]]);
+        let p = r.project(&[1]).unwrap();
+        assert_eq!(p.cardinality(), 3); // duplicates retained
+        assert_eq!(p.schema().arity(), 1);
+    }
+
+    #[test]
+    fn bag_counts_ignore_order() {
+        let a = rel(&[&[1], &[2], &[1]]);
+        let b = rel(&[&[2], &[1], &[1]]);
+        assert_eq!(a.bag_counts(), b.bag_counts());
+        let c = rel(&[&[1], &[2]]);
+        assert_ne!(a.bag_counts(), c.bag_counts());
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut r = rel(&[&[1, 2]]);
+        assert!(r.push(ints(&[3])).is_err());
+        assert!(r.push(ints(&[3, 4])).is_ok());
+        assert_eq!(r.cardinality(), 2);
+    }
+}

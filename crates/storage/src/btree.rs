@@ -1,0 +1,629 @@
+//! B+-trees over the buffered page abstraction.
+//!
+//! One of the "main services" of the paper's record-oriented file system
+//! ("extent-based files, records, B+-trees, scans, ..."). The trees map
+//! byte-string keys to [`Rid`]s; duplicate keys are permitted (the divisor
+//! of a division frequently arrives from a non-key projection). Index
+//! (semi-)joins in the execution engine use the trees, and examples use
+//! them to fetch dividend tuples by key.
+//!
+//! Deletion is *lazy* (entries are removed, but underfull nodes are not
+//! merged), the strategy of several production B-tree implementations;
+//! structural invariants — sorted keys, balanced height, separator
+//! consistency — are maintained by inserts and checked by `validate`.
+
+use crate::buffer::Reuse;
+use crate::disk::{DiskId, PageId};
+use crate::error::StorageError;
+use crate::file::Rid;
+use crate::manager::StorageManager;
+use crate::Result;
+
+const NO_LEAF: u64 = u64::MAX;
+
+/// A B+-tree rooted on a page of one disk.
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    disk: DiskId,
+    root: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        next: u64,
+        entries: Vec<(Vec<u8>, Rid)>,
+    },
+    Internal {
+        /// `children.len() == separators.len() + 1`.
+        separators: Vec<Vec<u8>>,
+        children: Vec<u64>,
+    },
+}
+
+impl Node {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                11 + entries.iter().map(|(k, _)| 2 + k.len() + 12).sum::<usize>()
+            }
+            Node::Internal { separators, .. } => {
+                11 + 8 + separators.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
+            }
+        }
+    }
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf.fill(0);
+        match self {
+            Node::Leaf { next, entries } => {
+                buf[0] = 1;
+                buf[1..9].copy_from_slice(&next.to_le_bytes());
+                buf[9..11].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                let mut at = 11;
+                for (k, rid) in entries {
+                    buf[at..at + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    at += 2;
+                    buf[at..at + k.len()].copy_from_slice(k);
+                    at += k.len();
+                    buf[at..at + 2].copy_from_slice(&(rid.page.disk.0 as u16).to_le_bytes());
+                    buf[at + 2..at + 10].copy_from_slice(&rid.page.page.to_le_bytes());
+                    buf[at + 10..at + 12].copy_from_slice(&rid.slot.to_le_bytes());
+                    at += 12;
+                }
+            }
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                buf[0] = 0;
+                buf[9..11].copy_from_slice(&(separators.len() as u16).to_le_bytes());
+                buf[11..19].copy_from_slice(&children[0].to_le_bytes());
+                let mut at = 19;
+                for (k, &child) in separators.iter().zip(&children[1..]) {
+                    buf[at..at + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    at += 2;
+                    buf[at..at + k.len()].copy_from_slice(k);
+                    at += k.len();
+                    buf[at..at + 8].copy_from_slice(&child.to_le_bytes());
+                    at += 8;
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let corrupt = |m: &str| StorageError::CorruptPage(format!("btree node: {m}"));
+        let count = u16::from_le_bytes([buf[9], buf[10]]) as usize;
+        if buf[0] == 1 {
+            let next = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+            let mut at = 11;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let klen = u16::from_le_bytes([buf[at], buf[at + 1]]) as usize;
+                at += 2;
+                if at + klen + 12 > buf.len() {
+                    return Err(corrupt("leaf entry overruns page"));
+                }
+                let key = buf[at..at + klen].to_vec();
+                at += klen;
+                let disk = u16::from_le_bytes([buf[at], buf[at + 1]]) as usize;
+                let page = u64::from_le_bytes(buf[at + 2..at + 10].try_into().expect("8 bytes"));
+                let slot = u16::from_le_bytes([buf[at + 10], buf[at + 11]]);
+                at += 12;
+                entries.push((
+                    key,
+                    Rid {
+                        page: PageId::new(DiskId(disk), page),
+                        slot,
+                    },
+                ));
+            }
+            Ok(Node::Leaf { next, entries })
+        } else {
+            let mut children = Vec::with_capacity(count + 1);
+            children.push(u64::from_le_bytes(buf[11..19].try_into().expect("8 bytes")));
+            let mut separators = Vec::with_capacity(count);
+            let mut at = 19;
+            for _ in 0..count {
+                let klen = u16::from_le_bytes([buf[at], buf[at + 1]]) as usize;
+                at += 2;
+                if at + klen + 8 > buf.len() {
+                    return Err(corrupt("internal entry overruns page"));
+                }
+                separators.push(buf[at..at + klen].to_vec());
+                at += klen;
+                children.push(u64::from_le_bytes(
+                    buf[at..at + 8].try_into().expect("8 bytes"),
+                ));
+                at += 8;
+            }
+            Ok(Node::Internal {
+                separators,
+                children,
+            })
+        }
+    }
+}
+
+impl BTree {
+    /// Creates an empty tree on `disk`.
+    pub fn create(sm: &mut StorageManager, disk: DiskId) -> Result<BTree> {
+        let root = Node::Leaf {
+            next: NO_LEAF,
+            entries: Vec::new(),
+        };
+        let (pid, fid) = sm.new_page(disk)?;
+        root.encode(sm.page_mut(fid)?);
+        sm.unfix(fid, Reuse::Lru)?;
+        Ok(BTree {
+            disk,
+            root: pid.page,
+        })
+    }
+
+    fn load(&self, sm: &mut StorageManager, page: u64) -> Result<Node> {
+        let fid = sm.fix(PageId::new(self.disk, page))?;
+        let node = Node::decode(sm.page(fid)?);
+        sm.unfix(fid, Reuse::Lru)?;
+        node
+    }
+
+    fn store(&self, sm: &mut StorageManager, page: u64, node: &Node) -> Result<()> {
+        debug_assert!(node.encoded_len() <= sm.page_size(self.disk));
+        let fid = sm.fix(PageId::new(self.disk, page))?;
+        node.encode(sm.page_mut(fid)?);
+        sm.unfix(fid, Reuse::Lru)
+    }
+
+    fn alloc(&self, sm: &mut StorageManager, node: &Node) -> Result<u64> {
+        let (pid, fid) = sm.new_page(self.disk)?;
+        node.encode(sm.page_mut(fid)?);
+        sm.unfix(fid, Reuse::Lru)?;
+        Ok(pid.page)
+    }
+
+    /// Inserts `(key, rid)`. Duplicate keys are allowed.
+    pub fn insert(&mut self, sm: &mut StorageManager, key: &[u8], rid: Rid) -> Result<()> {
+        let max = sm.page_size(self.disk);
+        if 11 + 2 + key.len() + 12 > max / 2 {
+            // A key must be small enough that a split always succeeds.
+            return Err(StorageError::RecordTooLarge {
+                record: key.len(),
+                max: max / 2 - 25,
+            });
+        }
+        if let Some((sep, right)) = self.insert_rec(sm, self.root, key, rid)? {
+            let new_root = Node::Internal {
+                separators: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.root = self.alloc(sm, &new_root)?;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        sm: &mut StorageManager,
+        page: u64,
+        key: &[u8],
+        rid: Rid,
+    ) -> Result<Option<(Vec<u8>, u64)>> {
+        let max = sm.page_size(self.disk);
+        match self.load(sm, page)? {
+            Node::Leaf { next, mut entries } => {
+                let at = entries.partition_point(|(k, r)| (k.as_slice(), r) <= (key, &rid));
+                entries.insert(at, (key.to_vec(), rid));
+                let node = Node::Leaf { next, entries };
+                if node.encoded_len() <= max {
+                    self.store(sm, page, &node)?;
+                    return Ok(None);
+                }
+                // Split: upper half moves to a new right sibling.
+                let Node::Leaf { next, mut entries } = node else {
+                    unreachable!()
+                };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right = self.alloc(
+                    sm,
+                    &Node::Leaf {
+                        next,
+                        entries: right_entries,
+                    },
+                )?;
+                self.store(
+                    sm,
+                    page,
+                    &Node::Leaf {
+                        next: right,
+                        entries,
+                    },
+                )?;
+                Ok(Some((sep, right)))
+            }
+            Node::Internal {
+                mut separators,
+                mut children,
+            } => {
+                let idx = separators.partition_point(|s| s.as_slice() <= key);
+                let split = self.insert_rec(sm, children[idx], key, rid)?;
+                let Some((sep, right)) = split else {
+                    return Ok(None);
+                };
+                separators.insert(idx, sep);
+                children.insert(idx + 1, right);
+                let node = Node::Internal {
+                    separators,
+                    children,
+                };
+                if node.encoded_len() <= max {
+                    self.store(sm, page, &node)?;
+                    return Ok(None);
+                }
+                let Node::Internal {
+                    mut separators,
+                    mut children,
+                } = node
+                else {
+                    unreachable!()
+                };
+                let mid = separators.len() / 2;
+                let promoted = separators[mid].clone();
+                let right_seps = separators.split_off(mid + 1);
+                separators.pop(); // the promoted separator moves up
+                let right_children = children.split_off(mid + 1);
+                let right = self.alloc(
+                    sm,
+                    &Node::Internal {
+                        separators: right_seps,
+                        children: right_children,
+                    },
+                )?;
+                self.store(
+                    sm,
+                    page,
+                    &Node::Internal {
+                        separators,
+                        children,
+                    },
+                )?;
+                Ok(Some((promoted, right)))
+            }
+        }
+    }
+
+    fn leaf_for(&self, sm: &mut StorageManager, key: &[u8]) -> Result<u64> {
+        let mut page = self.root;
+        loop {
+            match self.load(sm, page)? {
+                Node::Leaf { .. } => return Ok(page),
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    // Descend left of the first separator > key; duplicates
+                    // of `key` can only live at or right of this child.
+                    let idx = separators.partition_point(|s| s.as_slice() <= key);
+                    // For duplicate-spanning lookups we must start at the
+                    // leftmost child that can contain `key`.
+                    let idx_lo = separators.partition_point(|s| s.as_slice() < key);
+                    page = children[idx_lo.min(idx)];
+                }
+            }
+        }
+    }
+
+    /// Returns the RIDs of all entries with exactly `key`.
+    pub fn search(&self, sm: &mut StorageManager, key: &[u8]) -> Result<Vec<Rid>> {
+        let mut out = Vec::new();
+        let mut page = self.leaf_for(sm, key)?;
+        loop {
+            let Node::Leaf { next, entries } = self.load(sm, page)? else {
+                return Err(StorageError::CorruptTree(
+                    "leaf_for returned internal".into(),
+                ));
+            };
+            let mut past_key = false;
+            for (k, rid) in &entries {
+                match k.as_slice().cmp(key) {
+                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Equal => out.push(*rid),
+                    std::cmp::Ordering::Greater => {
+                        past_key = true;
+                        break;
+                    }
+                }
+            }
+            if past_key || next == NO_LEAF {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Returns all `(key, rid)` entries with `lo <= key < hi`, in key order.
+    pub fn range(
+        &self,
+        sm: &mut StorageManager,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Rid)>> {
+        let mut out = Vec::new();
+        if lo >= hi {
+            return Ok(out);
+        }
+        let mut page = self.leaf_for(sm, lo)?;
+        loop {
+            let Node::Leaf { next, entries } = self.load(sm, page)? else {
+                return Err(StorageError::CorruptTree(
+                    "leaf_for returned internal".into(),
+                ));
+            };
+            for (k, rid) in &entries {
+                if k.as_slice() >= hi {
+                    return Ok(out);
+                }
+                if k.as_slice() >= lo {
+                    out.push((k.clone(), *rid));
+                }
+            }
+            if next == NO_LEAF {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Removes the entry `(key, rid)`. Returns whether it was present.
+    pub fn delete(&mut self, sm: &mut StorageManager, key: &[u8], rid: Rid) -> Result<bool> {
+        let mut page = self.leaf_for(sm, key)?;
+        loop {
+            let Node::Leaf { next, mut entries } = self.load(sm, page)? else {
+                return Err(StorageError::CorruptTree(
+                    "leaf_for returned internal".into(),
+                ));
+            };
+            if let Some(pos) = entries
+                .iter()
+                .position(|(k, r)| k.as_slice() == key && *r == rid)
+            {
+                entries.remove(pos);
+                self.store(sm, page, &Node::Leaf { next, entries })?;
+                return Ok(true);
+            }
+            // Entry may be in a later leaf if duplicates span leaves.
+            let continue_right =
+                entries.last().is_none_or(|(k, _)| k.as_slice() <= key) && next != NO_LEAF;
+            if !continue_right {
+                return Ok(false);
+            }
+            page = next;
+        }
+    }
+
+    /// Walks the whole tree checking structural invariants; returns the
+    /// number of entries. Test and debugging aid.
+    pub fn validate(&self, sm: &mut StorageManager) -> Result<u64> {
+        fn walk(
+            tree: &BTree,
+            sm: &mut StorageManager,
+            page: u64,
+            lo: Option<&[u8]>,
+            hi: Option<&[u8]>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> Result<u64> {
+            let in_bounds = |k: &[u8]| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k <= h);
+            match tree.load(sm, page)? {
+                Node::Leaf { entries, .. } => {
+                    match leaf_depth {
+                        Some(d) if *d != depth => {
+                            return Err(StorageError::CorruptTree("unbalanced leaves".into()))
+                        }
+                        None => *leaf_depth = Some(depth),
+                        _ => {}
+                    }
+                    if !entries.windows(2).all(|w| w[0] <= w[1]) {
+                        return Err(StorageError::CorruptTree("unsorted leaf".into()));
+                    }
+                    if !entries.iter().all(|(k, _)| in_bounds(k)) {
+                        return Err(StorageError::CorruptTree("leaf key out of bounds".into()));
+                    }
+                    Ok(entries.len() as u64)
+                }
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    if children.len() != separators.len() + 1 || children.is_empty() {
+                        return Err(StorageError::CorruptTree("child/separator arity".into()));
+                    }
+                    if !separators.windows(2).all(|w| w[0] <= w[1]) {
+                        return Err(StorageError::CorruptTree("unsorted separators".into()));
+                    }
+                    let mut total = 0;
+                    for (i, &child) in children.iter().enumerate() {
+                        let clo = if i == 0 {
+                            lo
+                        } else {
+                            Some(separators[i - 1].as_slice())
+                        };
+                        let chi = if i == separators.len() {
+                            hi
+                        } else {
+                            Some(separators[i].as_slice())
+                        };
+                        total += walk(tree, sm, child, clo, chi, depth + 1, leaf_depth)?;
+                    }
+                    Ok(total)
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(self, sm, self.root, None, None, 0, &mut leaf_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::StorageConfig;
+
+    fn sm() -> StorageManager {
+        StorageManager::new(StorageConfig {
+            data_page_size: 256,
+            run_page_size: 128,
+            buffer_bytes: 1 << 20,
+            work_memory_bytes: 1 << 20,
+        })
+    }
+
+    fn rid(n: u64) -> Rid {
+        Rid {
+            page: PageId::new(DiskId(0), n),
+            slot: (n % 7) as u16,
+        }
+    }
+
+    fn key(n: u64) -> Vec<u8> {
+        // Big-endian so byte order == numeric order.
+        n.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let mut s = sm();
+        let t = BTree::create(&mut s, DiskId(0)).unwrap();
+        assert!(t.search(&mut s, &key(1)).unwrap().is_empty());
+        assert_eq!(t.validate(&mut s).unwrap(), 0);
+    }
+
+    #[test]
+    fn insert_and_search_single_leaf() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        for n in [5u64, 1, 3] {
+            t.insert(&mut s, &key(n), rid(n)).unwrap();
+        }
+        assert_eq!(t.search(&mut s, &key(3)).unwrap(), vec![rid(3)]);
+        assert!(t.search(&mut s, &key(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn many_inserts_force_splits_and_stay_consistent() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        // 256-byte pages hold ~11 leaf entries: 1000 keys force a deep tree.
+        let mut order: Vec<u64> = (0..1000).collect();
+        // Deterministic shuffle (LCG) to mix insert order.
+        let mut x = 12345u64;
+        for i in (1..order.len()).rev() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            order.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        for &n in &order {
+            t.insert(&mut s, &key(n), rid(n)).unwrap();
+        }
+        assert_eq!(t.validate(&mut s).unwrap(), 1000);
+        for n in (0..1000).step_by(97) {
+            assert_eq!(t.search(&mut s, &key(n)).unwrap(), vec![rid(n)], "key {n}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_all_returned() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        for i in 0..50 {
+            t.insert(&mut s, &key(7), rid(i)).unwrap();
+            t.insert(&mut s, &key(9), rid(100 + i)).unwrap();
+        }
+        let hits = t.search(&mut s, &key(7)).unwrap();
+        assert_eq!(hits.len(), 50);
+        assert_eq!(t.validate(&mut s).unwrap(), 100);
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_half_open() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        for n in 0..300u64 {
+            t.insert(&mut s, &key(n * 2), rid(n)).unwrap(); // even keys only
+        }
+        let out = t.range(&mut s, &key(10), &key(21)).unwrap();
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18, 20]);
+        assert!(t.range(&mut s, &key(21), &key(10)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_removes_exactly_one_matching_entry() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        for i in 0..30 {
+            t.insert(&mut s, &key(4), rid(i)).unwrap();
+        }
+        assert!(t.delete(&mut s, &key(4), rid(17)).unwrap());
+        assert!(!t.delete(&mut s, &key(4), rid(17)).unwrap());
+        let hits = t.search(&mut s, &key(4)).unwrap();
+        assert_eq!(hits.len(), 29);
+        assert!(!hits.contains(&rid(17)));
+    }
+
+    #[test]
+    fn delete_missing_key_is_false() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        t.insert(&mut s, &key(1), rid(1)).unwrap();
+        assert!(!t.delete(&mut s, &key(2), rid(2)).unwrap());
+    }
+
+    #[test]
+    fn insert_delete_mixed_workload_validates() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        for n in 0..500u64 {
+            t.insert(&mut s, &key(n), rid(n)).unwrap();
+        }
+        for n in (0..500u64).step_by(3) {
+            assert!(t.delete(&mut s, &key(n), rid(n)).unwrap());
+        }
+        let expected = 500 - 500u64.div_ceil(3);
+        assert_eq!(t.validate(&mut s).unwrap(), expected);
+        assert!(t.search(&mut s, &key(3)).unwrap().is_empty());
+        assert_eq!(t.search(&mut s, &key(4)).unwrap(), vec![rid(4)]);
+    }
+
+    #[test]
+    fn oversized_key_is_rejected() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        assert!(matches!(
+            t.insert(&mut s, &[0u8; 200], rid(0)),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn variable_length_keys_sort_bytewise() {
+        let mut s = sm();
+        let mut t = BTree::create(&mut s, DiskId(0)).unwrap();
+        for (i, k) in ["b", "a", "ab", "aa", "ba"].iter().enumerate() {
+            t.insert(&mut s, k.as_bytes(), rid(i as u64)).unwrap();
+        }
+        let out = t.range(&mut s, b"a", b"bz").unwrap();
+        let keys: Vec<&str> = out
+            .iter()
+            .map(|(k, _)| std::str::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(keys, vec!["a", "aa", "ab", "b", "ba"]);
+    }
+}

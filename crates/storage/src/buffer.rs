@@ -1,0 +1,608 @@
+//! The buffer manager.
+//!
+//! Modeled on the paper's description: "a fast buffer manager ... Copying
+//! is avoided as scans give memory addresses to records fixed in the buffer
+//! pool. When all buffer slots are fixed and a new request cannot be
+//! satisfied, the buffer pool grows dynamically until the main memory pool
+//! is exhausted ... An unfix call indicates whether the page can be replaced
+//! immediately or should be inserted into an LRU list."
+//!
+//! Frames are addressed by generation-checked [`FrameId`]s; a stale id
+//! (used after its frame was evicted) is detected rather than silently
+//! serving another page's bytes.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::disk::{DiskId, PageId, SimDisk};
+use crate::error::StorageError;
+use crate::Result;
+
+/// Sentinel disk id for virtual pages: buffered but never written to any
+/// disk. The paper: "the buffer manager also supports virtual devices,
+/// i.e., records can have a record identifier and can be fixed in the
+/// buffer pool but disappear when unfixed."
+pub const VIRTUAL_DISK: DiskId = DiskId(usize::MAX);
+
+/// Replacement hint given at unfix time.
+///
+/// The paper: "An unfix call indicates whether the page can be replaced
+/// immediately or should be inserted into an LRU list."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reuse {
+    /// Keep the page cached; insert at the most-recently-used end.
+    Lru,
+    /// The caller will not touch this page again; make it the preferred
+    /// eviction victim.
+    Immediate,
+}
+
+/// Handle to a fixed frame. Valid from `fix` until the matching `unfix`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameId {
+    index: usize,
+    gen: u64,
+}
+
+/// Buffer-pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Fix requests satisfied from the pool.
+    pub hits: u64,
+    /// Fix requests that had to read the page from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to disk on eviction or flush.
+    pub writebacks: u64,
+    /// High-water mark of pool size in bytes.
+    pub peak_bytes: usize,
+}
+
+struct Frame {
+    pid: PageId,
+    data: Box<[u8]>,
+    pin_count: u32,
+    dirty: bool,
+    gen: u64,
+}
+
+/// A fix/unfix buffer pool with LRU replacement and a byte budget.
+pub struct BufferManager {
+    slots: Vec<Option<Frame>>,
+    map: HashMap<PageId, usize>,
+    /// Unpinned frames eligible for replacement, LRU order (front = victim).
+    replace_queue: VecDeque<usize>,
+    free_slots: Vec<usize>,
+    budget_bytes: usize,
+    used_bytes: usize,
+    next_gen: u64,
+    next_virtual_page: u64,
+    stats: BufferStats,
+}
+
+impl BufferManager {
+    /// Creates a pool that may grow up to `budget_bytes` of page frames.
+    ///
+    /// The paper's experiments used an initial buffer of 256 KB; we treat
+    /// the budget as the pool's exhaustion point, growing on demand from
+    /// empty exactly as the paper's pool grows until the memory pool is
+    /// exhausted.
+    pub fn new(budget_bytes: usize) -> Self {
+        BufferManager {
+            slots: Vec::new(),
+            map: HashMap::new(),
+            replace_queue: VecDeque::new(),
+            free_slots: Vec::new(),
+            budget_bytes,
+            used_bytes: 0,
+            next_gen: 0,
+            next_virtual_page: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// The pool's byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Current pool size in bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Resets statistics (not pool contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+        self.stats.peak_bytes = self.used_bytes;
+    }
+
+    /// Fixes `pid` in the pool, reading it from disk on a miss.
+    pub fn fix(&mut self, disks: &mut [SimDisk], pid: PageId) -> Result<FrameId> {
+        if let Some(&idx) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            let frame = self.slots[idx].as_mut().expect("mapped frame exists");
+            if frame.pin_count == 0 {
+                // Leaving the replacement queue: it is pinned again.
+                self.replace_queue.retain(|&i| i != idx);
+            }
+            frame.pin_count += 1;
+            return Ok(FrameId {
+                index: idx,
+                gen: frame.gen,
+            });
+        }
+        self.stats.misses += 1;
+        let disk = disks
+            .get_mut(pid.disk.0)
+            .ok_or(StorageError::NoSuchDisk(pid.disk.0))?;
+        let page_size = disk.page_size();
+        let mut data = vec![0u8; page_size].into_boxed_slice();
+        disk.read(pid.page, &mut data)?;
+        self.install(disks, pid, data, false)
+    }
+
+    /// Allocates a fresh zeroed page on `disk` and fixes it without a read
+    /// transfer (its first contact with the disk is the eventual
+    /// write-back, if any).
+    pub fn new_page(
+        &mut self,
+        disks: &mut [SimDisk],
+        disk_id: crate::disk::DiskId,
+    ) -> Result<(PageId, FrameId)> {
+        let disk = disks
+            .get_mut(disk_id.0)
+            .ok_or(StorageError::NoSuchDisk(disk_id.0))?;
+        let page = disk.allocate();
+        let page_size = disk.page_size();
+        let pid = PageId::new(disk_id, page);
+        let data = vec![0u8; page_size].into_boxed_slice();
+        let fid = self.install(disks, pid, data, true)?;
+        Ok((pid, fid))
+    }
+
+    /// Installs a zeroed, dirty frame for a page known to be freshly
+    /// allocated (and therefore all zeroes on disk), skipping the read
+    /// transfer. Used by record files extending into a new extent page.
+    pub(crate) fn install_zeroed(&mut self, disks: &mut [SimDisk], pid: PageId) -> Result<FrameId> {
+        debug_assert!(!self.map.contains_key(&pid), "page already buffered");
+        let disk = disks
+            .get(pid.disk.0)
+            .ok_or(StorageError::NoSuchDisk(pid.disk.0))?;
+        let data = vec![0u8; disk.page_size()].into_boxed_slice();
+        self.install(disks, pid, data, true)
+    }
+
+    /// Allocates and fixes a *virtual* page of `page_size` bytes: it lives
+    /// only in the buffer pool and disappears when unfixed (or when the
+    /// pool evicts it while unpinned). Used for transient intermediate
+    /// records that must never touch a disk.
+    pub fn new_virtual_page(
+        &mut self,
+        disks: &mut [SimDisk],
+        page_size: usize,
+    ) -> Result<(PageId, FrameId)> {
+        let page = self.next_virtual_page;
+        self.next_virtual_page += 1;
+        let pid = PageId::new(VIRTUAL_DISK, page);
+        let data = vec![0u8; page_size].into_boxed_slice();
+        let fid = self.install(disks, pid, data, false)?;
+        Ok((pid, fid))
+    }
+
+    fn install(
+        &mut self,
+        disks: &mut [SimDisk],
+        pid: PageId,
+        data: Box<[u8]>,
+        dirty: bool,
+    ) -> Result<FrameId> {
+        let page_size = data.len();
+        self.make_room(disks, page_size)?;
+        self.next_gen += 1;
+        let frame = Frame {
+            pid,
+            data,
+            pin_count: 1,
+            dirty,
+            gen: self.next_gen,
+        };
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.slots[i] = Some(frame);
+                i
+            }
+            None => {
+                self.slots.push(Some(frame));
+                self.slots.len() - 1
+            }
+        };
+        self.used_bytes += page_size;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.used_bytes);
+        self.map.insert(pid, idx);
+        Ok(FrameId {
+            index: idx,
+            gen: self.next_gen,
+        })
+    }
+
+    /// Evicts LRU victims until `needed` more bytes fit within the budget.
+    fn make_room(&mut self, disks: &mut [SimDisk], needed: usize) -> Result<()> {
+        while self.used_bytes + needed > self.budget_bytes {
+            let victim = self
+                .replace_queue
+                .pop_front()
+                .ok_or(StorageError::BufferFull {
+                    frames: self.slots.iter().filter(|s| s.is_some()).count(),
+                })?;
+            self.evict(disks, victim)?;
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, disks: &mut [SimDisk], idx: usize) -> Result<()> {
+        let frame = self.slots[idx].take().expect("victim frame exists");
+        debug_assert_eq!(frame.pin_count, 0, "only unpinned frames are in the queue");
+        if frame.dirty && frame.pid.disk != VIRTUAL_DISK {
+            let disk = disks
+                .get_mut(frame.pid.disk.0)
+                .ok_or(StorageError::NoSuchDisk(frame.pid.disk.0))?;
+            disk.write(frame.pid.page, &frame.data)?;
+            self.stats.writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        self.used_bytes -= frame.data.len();
+        self.map.remove(&frame.pid);
+        self.free_slots.push(idx);
+        Ok(())
+    }
+
+    fn frame(&self, fid: FrameId) -> Result<&Frame> {
+        self.slots
+            .get(fid.index)
+            .and_then(|s| s.as_ref())
+            .filter(|f| f.gen == fid.gen)
+            .ok_or(StorageError::InvalidFrame)
+    }
+
+    fn frame_mut(&mut self, fid: FrameId) -> Result<&mut Frame> {
+        self.slots
+            .get_mut(fid.index)
+            .and_then(|s| s.as_mut())
+            .filter(|f| f.gen == fid.gen)
+            .ok_or(StorageError::InvalidFrame)
+    }
+
+    /// Read access to a fixed page's bytes.
+    pub fn page(&self, fid: FrameId) -> Result<&[u8]> {
+        Ok(&self.frame(fid)?.data)
+    }
+
+    /// Write access to a fixed page's bytes; marks the page dirty.
+    pub fn page_mut(&mut self, fid: FrameId) -> Result<&mut [u8]> {
+        let frame = self.frame_mut(fid)?;
+        frame.dirty = true;
+        Ok(&mut frame.data)
+    }
+
+    /// The page id a frame holds.
+    pub fn page_id(&self, fid: FrameId) -> Result<PageId> {
+        Ok(self.frame(fid)?.pid)
+    }
+
+    /// Unfixes a frame with a replacement hint. Virtual pages disappear
+    /// the moment their last fix is released.
+    pub fn unfix(&mut self, fid: FrameId, reuse: Reuse) -> Result<()> {
+        let frame = self.frame_mut(fid)?;
+        debug_assert!(frame.pin_count > 0, "unfix of unpinned frame");
+        frame.pin_count -= 1;
+        if frame.pin_count == 0 {
+            if frame.pid.disk == VIRTUAL_DISK {
+                let pid = frame.pid;
+                self.discard(pid);
+                return Ok(());
+            }
+            match reuse {
+                Reuse::Lru => self.replace_queue.push_back(fid.index),
+                Reuse::Immediate => self.replace_queue.push_front(fid.index),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops a page from the pool without write-back, if present and
+    /// unpinned. Used when temporary files are deleted: their pages need
+    /// never touch the disk, which is how the paper's small intermediate
+    /// results avoid I/O entirely.
+    pub fn discard(&mut self, pid: PageId) {
+        if let Some(&idx) = self.map.get(&pid) {
+            let frame = self.slots[idx].as_ref().expect("mapped frame exists");
+            if frame.pin_count > 0 {
+                return; // still in use; caller error, but not corrupting
+            }
+            let frame = self.slots[idx].take().expect("mapped frame exists");
+            self.used_bytes -= frame.data.len();
+            self.map.remove(&pid);
+            self.replace_queue.retain(|&i| i != idx);
+            self.free_slots.push(idx);
+        }
+    }
+
+    /// Flushes and then drops every unpinned frame — a cold-start helper
+    /// for experiments that must measure input reads from disk.
+    pub fn evict_all(&mut self, disks: &mut [SimDisk]) -> Result<()> {
+        self.flush_all(disks)?;
+        for idx in 0..self.slots.len() {
+            let unpinned = self.slots[idx].as_ref().is_some_and(|f| f.pin_count == 0);
+            if unpinned {
+                let frame = self.slots[idx].take().expect("checked above");
+                self.used_bytes -= frame.data.len();
+                self.map.remove(&frame.pid);
+                self.free_slots.push(idx);
+            }
+        }
+        self.replace_queue.clear();
+        Ok(())
+    }
+
+    /// Writes all dirty pages back to their disks (leaving them cached).
+    pub fn flush_all(&mut self, disks: &mut [SimDisk]) -> Result<()> {
+        for frame in self.slots.iter_mut().flatten() {
+            if frame.dirty && frame.pid.disk != VIRTUAL_DISK {
+                let disk = disks
+                    .get_mut(frame.pid.disk.0)
+                    .ok_or(StorageError::NoSuchDisk(frame.pid.disk.0))?;
+                disk.write(frame.pid.page, &frame.data)?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskId;
+
+    const PS: usize = 128;
+
+    fn setup(pages: u64, budget_frames: usize) -> (Vec<SimDisk>, BufferManager) {
+        let mut d = SimDisk::new(PS);
+        d.allocate_extent(pages);
+        (vec![d], BufferManager::new(budget_frames * PS))
+    }
+
+    fn pid(p: u64) -> PageId {
+        PageId::new(DiskId(0), p)
+    }
+
+    #[test]
+    fn fix_reads_once_then_hits() {
+        let (mut disks, mut bm) = setup(4, 4);
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.unfix(f, Reuse::Lru).unwrap();
+        let f2 = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.unfix(f2, Reuse::Lru).unwrap();
+        assert_eq!(bm.stats().misses, 1);
+        assert_eq!(bm.stats().hits, 1);
+        assert_eq!(disks[0].stats().reads, 1);
+    }
+
+    #[test]
+    fn dirty_page_written_back_on_eviction() {
+        let (mut disks, mut bm) = setup(3, 2);
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.page_mut(f).unwrap()[0] = 0xCC;
+        bm.unfix(f, Reuse::Lru).unwrap();
+        // Fill pool beyond budget to force eviction of page 0.
+        for p in 1..3 {
+            let f = bm.fix(&mut disks, pid(p)).unwrap();
+            bm.unfix(f, Reuse::Lru).unwrap();
+        }
+        assert_eq!(bm.stats().evictions, 1);
+        assert_eq!(bm.stats().writebacks, 1);
+        let mut buf = vec![0u8; PS];
+        disks[0].read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xCC);
+    }
+
+    #[test]
+    fn clean_page_evicted_without_writeback() {
+        let (mut disks, mut bm) = setup(3, 2);
+        for p in 0..3 {
+            let f = bm.fix(&mut disks, pid(p)).unwrap();
+            bm.unfix(f, Reuse::Lru).unwrap();
+        }
+        assert_eq!(bm.stats().evictions, 1);
+        assert_eq!(bm.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (mut disks, mut bm) = setup(3, 2);
+        let f0 = bm.fix(&mut disks, pid(0)).unwrap();
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        // Pool is full of pinned pages: a third fix must fail.
+        assert!(matches!(
+            bm.fix(&mut disks, pid(2)),
+            Err(StorageError::BufferFull { frames: 2 })
+        ));
+        bm.unfix(f0, Reuse::Lru).unwrap();
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        assert!(bm.fix(&mut disks, pid(2)).is_ok());
+    }
+
+    #[test]
+    fn immediate_reuse_is_preferred_victim() {
+        let (mut disks, mut bm) = setup(4, 3);
+        let f0 = bm.fix(&mut disks, pid(0)).unwrap();
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        let f2 = bm.fix(&mut disks, pid(2)).unwrap();
+        bm.unfix(f0, Reuse::Lru).unwrap();
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        bm.unfix(f2, Reuse::Immediate).unwrap(); // becomes front of queue
+        let f3 = bm.fix(&mut disks, pid(3)).unwrap();
+        bm.unfix(f3, Reuse::Lru).unwrap();
+        // Page 2 was evicted; pages 0 and 1 still hit.
+        bm.fix(&mut disks, pid(0))
+            .map(|f| bm.unfix(f, Reuse::Lru))
+            .unwrap()
+            .unwrap();
+        bm.fix(&mut disks, pid(1))
+            .map(|f| bm.unfix(f, Reuse::Lru))
+            .unwrap()
+            .unwrap();
+        assert_eq!(bm.stats().misses, 4, "pages 0..=3 each missed once");
+        assert_eq!(bm.stats().hits, 2);
+    }
+
+    #[test]
+    fn stale_frame_id_is_rejected() {
+        let (mut disks, mut bm) = setup(3, 1);
+        let f0 = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.unfix(f0, Reuse::Lru).unwrap();
+        // Evict page 0 by fixing page 1 (budget is a single frame).
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        assert!(matches!(bm.page(f0), Err(StorageError::InvalidFrame)));
+        bm.unfix(f1, Reuse::Lru).unwrap();
+    }
+
+    #[test]
+    fn refix_removes_from_replacement_queue() {
+        let (mut disks, mut bm) = setup(3, 2);
+        let f0 = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.unfix(f0, Reuse::Lru).unwrap();
+        // Refix page 0: it must no longer be an eviction candidate.
+        let f0b = bm.fix(&mut disks, pid(0)).unwrap();
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        assert!(matches!(
+            bm.fix(&mut disks, pid(2)),
+            Err(StorageError::BufferFull { .. })
+        ));
+        bm.unfix(f0b, Reuse::Lru).unwrap();
+        bm.unfix(f1, Reuse::Lru).unwrap();
+    }
+
+    #[test]
+    fn new_page_performs_no_read_transfer() {
+        let (mut disks, mut bm) = setup(0, 2);
+        let (pid, fid) = bm.new_page(&mut disks, DiskId(0)).unwrap();
+        assert_eq!(pid.page, 0);
+        bm.page_mut(fid).unwrap()[5] = 9;
+        bm.unfix(fid, Reuse::Lru).unwrap();
+        assert_eq!(disks[0].stats().reads, 0);
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let (mut disks, mut bm) = setup(0, 2);
+        let (p, f) = bm.new_page(&mut disks, DiskId(0)).unwrap();
+        bm.page_mut(f).unwrap()[0] = 1;
+        bm.unfix(f, Reuse::Lru).unwrap();
+        bm.discard(p);
+        assert_eq!(bm.used_bytes(), 0);
+        assert_eq!(disks[0].stats().writes, 0);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_pages_once() {
+        let (mut disks, mut bm) = setup(2, 2);
+        for p in 0..2 {
+            let f = bm.fix(&mut disks, pid(p)).unwrap();
+            bm.page_mut(f).unwrap()[0] = p as u8 + 1;
+            bm.unfix(f, Reuse::Lru).unwrap();
+        }
+        bm.flush_all(&mut disks).unwrap();
+        bm.flush_all(&mut disks).unwrap(); // second flush: nothing dirty
+        assert_eq!(bm.stats().writebacks, 2);
+        assert_eq!(disks[0].stats().writes, 2);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water_mark() {
+        let (mut disks, mut bm) = setup(4, 4);
+        for p in 0..3 {
+            let f = bm.fix(&mut disks, pid(p)).unwrap();
+            bm.unfix(f, Reuse::Lru).unwrap();
+        }
+        assert_eq!(bm.stats().peak_bytes, 3 * PS);
+    }
+
+    #[test]
+    fn pool_grows_dynamically_within_budget() {
+        let (mut disks, mut bm) = setup(4, 4);
+        assert_eq!(bm.used_bytes(), 0);
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        assert_eq!(bm.used_bytes(), PS);
+        bm.unfix(f, Reuse::Lru).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod virtual_tests {
+    use super::*;
+
+    #[test]
+    fn virtual_page_lives_while_fixed_and_disappears_on_unfix() {
+        let mut disks = vec![SimDisk::new(128)];
+        let mut bm = BufferManager::new(4 * 128);
+        let (pid, fid) = bm.new_virtual_page(&mut disks, 128).unwrap();
+        assert_eq!(pid.disk, VIRTUAL_DISK);
+        bm.page_mut(fid).unwrap()[0] = 0xEE;
+        assert_eq!(bm.page(fid).unwrap()[0], 0xEE);
+        bm.unfix(fid, Reuse::Lru).unwrap();
+        // Gone: re-fixing the id would need a disk read, which must fail
+        // (there is no disk usize::MAX), and the frame id is stale.
+        assert!(matches!(bm.page(fid), Err(StorageError::InvalidFrame)));
+        assert!(bm.fix(&mut disks, pid).is_err());
+        assert_eq!(bm.used_bytes(), 0);
+    }
+
+    #[test]
+    fn virtual_pages_never_touch_a_disk() {
+        let mut disks = vec![SimDisk::new(128)];
+        let mut bm = BufferManager::new(8 * 128);
+        for _ in 0..5 {
+            let (_, fid) = bm.new_virtual_page(&mut disks, 128).unwrap();
+            bm.page_mut(fid).unwrap()[1] = 7;
+            bm.unfix(fid, Reuse::Immediate).unwrap();
+        }
+        bm.flush_all(&mut disks).unwrap();
+        assert_eq!(disks[0].stats().transfers(), 0);
+        assert_eq!(bm.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn virtual_pages_count_against_the_budget_while_fixed() {
+        let mut disks = vec![SimDisk::new(128)];
+        let mut bm = BufferManager::new(2 * 128);
+        let (_, f1) = bm.new_virtual_page(&mut disks, 128).unwrap();
+        let (_, f2) = bm.new_virtual_page(&mut disks, 128).unwrap();
+        // Pool full of pinned virtual pages: no room for a third.
+        assert!(matches!(
+            bm.new_virtual_page(&mut disks, 128),
+            Err(StorageError::BufferFull { .. })
+        ));
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        bm.unfix(f2, Reuse::Lru).unwrap();
+        assert!(bm.new_virtual_page(&mut disks, 128).is_ok());
+    }
+
+    #[test]
+    fn each_virtual_page_gets_a_distinct_id() {
+        let mut disks = vec![SimDisk::new(128)];
+        let mut bm = BufferManager::new(4 * 128);
+        let (p1, f1) = bm.new_virtual_page(&mut disks, 128).unwrap();
+        let (p2, f2) = bm.new_virtual_page(&mut disks, 128).unwrap();
+        assert_ne!(p1, p2);
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        bm.unfix(f2, Reuse::Lru).unwrap();
+    }
+}

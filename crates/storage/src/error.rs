@@ -1,0 +1,134 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id referenced a page the disk has not allocated.
+    PageOutOfRange {
+        /// The offending page number.
+        page: u64,
+        /// Number of pages currently allocated on the disk.
+        allocated: u64,
+    },
+    /// A disk id referenced a disk that does not exist.
+    NoSuchDisk(usize),
+    /// A file id referenced a file that does not exist (or was dropped).
+    NoSuchFile(u64),
+    /// A RID referenced a slot that does not hold a record.
+    NoSuchRecord {
+        /// Page number of the RID.
+        page: u64,
+        /// Slot number of the RID.
+        slot: u16,
+    },
+    /// The buffer pool is at capacity and every frame is pinned.
+    BufferFull {
+        /// Number of frames, all pinned.
+        frames: usize,
+    },
+    /// A frame id was used after being unfixed, or was never issued.
+    InvalidFrame,
+    /// A record is too large to ever fit in a page of this disk.
+    RecordTooLarge {
+        /// Size of the record in bytes.
+        record: usize,
+        /// Maximum record payload a page can hold.
+        max: usize,
+    },
+    /// The main-memory pool is exhausted.
+    ///
+    /// For hash-based algorithms this is not fatal: it is the trigger for
+    /// the paper's hash-table overflow handling (Section 3.4).
+    MemoryExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available in the pool.
+        available: usize,
+    },
+    /// A page's slotted layout is corrupt.
+    CorruptPage(String),
+    /// B+-tree structural invariant violation (would indicate a bug).
+    CorruptTree(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfRange { page, allocated } => {
+                write!(f, "page {page} out of range ({allocated} allocated)")
+            }
+            StorageError::NoSuchDisk(d) => write!(f, "no such disk: {d}"),
+            StorageError::NoSuchFile(id) => write!(f, "no such file: {id}"),
+            StorageError::NoSuchRecord { page, slot } => {
+                write!(f, "no record at page {page}, slot {slot}")
+            }
+            StorageError::BufferFull { frames } => {
+                write!(f, "buffer pool full: all {frames} frames pinned")
+            }
+            StorageError::InvalidFrame => write!(f, "invalid or stale frame id"),
+            StorageError::RecordTooLarge { record, max } => {
+                write!(f, "record of {record} bytes exceeds page capacity {max}")
+            }
+            StorageError::MemoryExhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "memory pool exhausted: requested {requested}, available {available}"
+                )
+            }
+            StorageError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::CorruptTree(msg) => write!(f, "corrupt B+-tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (
+                StorageError::PageOutOfRange {
+                    page: 9,
+                    allocated: 4,
+                },
+                "page 9",
+            ),
+            (StorageError::NoSuchDisk(2), "disk: 2"),
+            (StorageError::NoSuchFile(7), "file: 7"),
+            (StorageError::NoSuchRecord { page: 1, slot: 3 }, "slot 3"),
+            (StorageError::BufferFull { frames: 8 }, "8 frames"),
+            (StorageError::InvalidFrame, "frame"),
+            (
+                StorageError::RecordTooLarge {
+                    record: 9000,
+                    max: 8180,
+                },
+                "9000",
+            ),
+            (
+                StorageError::MemoryExhausted {
+                    requested: 64,
+                    available: 8,
+                },
+                "requested 64",
+            ),
+            (StorageError::CorruptPage("x".into()), "corrupt page"),
+            (StorageError::CorruptTree("y".into()), "B+-tree"),
+        ];
+        for (e, needle) in cases {
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should contain {needle}"
+            );
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Extent-based record files.
+//!
+//! Files allocate disk space in extents (runs of physically contiguous
+//! pages), so a sequential scan of a file is a sequence of mostly
+//! sequential transfers — the property that lets hash-based algorithms
+//! "not require random I/O and thus allow efficient read-ahead of
+//! physically clustered or contiguous files" (Section 3.3).
+//!
+//! Records are addressed by [`Rid`]s (page id + slot number), which remain
+//! stable across page compaction.
+
+use crate::buffer::Reuse;
+use crate::disk::{DiskId, PageId};
+use crate::error::StorageError;
+use crate::manager::StorageManager;
+use crate::page::SlottedPage;
+use crate::Result;
+
+/// Number of pages allocated per extent.
+pub const EXTENT_PAGES: u64 = 8;
+
+/// Identifies a record file within a [`StorageManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// A record identifier: the page holding the record and its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// Catalog entry for one file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    pub(crate) disk: DiskId,
+    /// `(first_page, n_pages)` extents, in allocation order.
+    pub(crate) extents: Vec<(u64, u64)>,
+    /// Pages initialized for records so far.
+    pub(crate) pages_used: u64,
+    /// Live records.
+    pub(crate) record_count: u64,
+}
+
+impl FileMeta {
+    /// Page number (on the file's disk) of the `i`-th page of the file.
+    fn nth_page(&self, i: u64) -> u64 {
+        let mut remaining = i;
+        for &(first, len) in &self.extents {
+            if remaining < len {
+                return first + remaining;
+            }
+            remaining -= len;
+        }
+        unreachable!("page index {i} beyond allocated extents");
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        self.extents.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+impl StorageManager {
+    /// Creates an empty record file on `disk`.
+    pub fn create_file(&mut self, disk: DiskId) -> FileId {
+        let id = self.next_file;
+        self.next_file += 1;
+        self.files.insert(
+            id,
+            FileMeta {
+                disk,
+                extents: Vec::new(),
+                pages_used: 0,
+                record_count: 0,
+            },
+        );
+        FileId(id)
+    }
+
+    fn meta(&self, file: FileId) -> Result<&FileMeta> {
+        self.files
+            .get(&file.0)
+            .ok_or(StorageError::NoSuchFile(file.0))
+    }
+
+    /// Number of live records in `file`.
+    pub fn record_count(&self, file: FileId) -> Result<u64> {
+        Ok(self.meta(file)?.record_count)
+    }
+
+    /// Number of pages the file has put records on (its page cardinality,
+    /// the paper's `r`/`s`/`q`).
+    pub fn page_count(&self, file: FileId) -> Result<u64> {
+        Ok(self.meta(file)?.pages_used)
+    }
+
+    /// The disk a file lives on.
+    pub fn file_disk(&self, file: FileId) -> Result<DiskId> {
+        Ok(self.meta(file)?.disk)
+    }
+
+    /// Appends a record to the file, returning its RID.
+    ///
+    /// Appends go to the file's last page while it has room, then move to
+    /// the next page of the extent (allocating a new extent when
+    /// exhausted) — the bulk-load pattern of the workload loader and of
+    /// every operator that spools an intermediate result.
+    pub fn append(&mut self, file: FileId, record: &[u8]) -> Result<Rid> {
+        let meta = self.meta(file)?;
+        let disk = meta.disk;
+        let page_size = self.page_size(disk);
+        if record.len() > SlottedPage::max_record(page_size) {
+            return Err(StorageError::RecordTooLarge {
+                record: record.len(),
+                max: SlottedPage::max_record(page_size),
+            });
+        }
+        // Try the current last page first.
+        if meta.pages_used > 0 {
+            let page_no = meta.nth_page(meta.pages_used - 1);
+            let pid = PageId::new(disk, page_no);
+            let fid = self.fix(pid)?;
+            let fits = SlottedPage::fits(self.page(fid)?, record.len());
+            if fits {
+                let slot = SlottedPage::insert(self.page_mut(fid)?, record)?;
+                self.unfix(fid, Reuse::Lru)?;
+                self.files
+                    .get_mut(&file.0)
+                    .expect("meta checked")
+                    .record_count += 1;
+                return Ok(Rid { page: pid, slot });
+            }
+            self.unfix(fid, Reuse::Lru)?;
+        }
+        // Move to a fresh page, extending the file by an extent if needed.
+        let meta = self.files.get_mut(&file.0).expect("meta checked");
+        if meta.pages_used == meta.allocated_pages() {
+            let first = self.disks[disk.0].allocate_extent(EXTENT_PAGES);
+            meta.extents.push((first, EXTENT_PAGES));
+        }
+        let page_no = meta.nth_page(meta.pages_used);
+        meta.pages_used += 1;
+        meta.record_count += 1;
+        let pid = PageId::new(disk, page_no);
+        // The page is fresh from the allocator: initialize, no disk read.
+        let fid = self.fix_fresh(pid)?;
+        SlottedPage::init(self.page_mut(fid)?);
+        let slot = SlottedPage::insert(self.page_mut(fid)?, record)?;
+        self.unfix(fid, Reuse::Lru)?;
+        Ok(Rid { page: pid, slot })
+    }
+
+    /// Fixes a page known to be freshly allocated (never written), without
+    /// a read transfer.
+    fn fix_fresh(&mut self, pid: PageId) -> Result<crate::buffer::FrameId> {
+        // An allocated-but-never-read page is all zeroes on disk; loading it
+        // as a zeroed frame is equivalent and costs no transfer.
+        self.buffer.install_zeroed(&mut self.disks, pid)
+    }
+
+    /// Reads the record at `rid`.
+    pub fn get(&mut self, rid: Rid) -> Result<Vec<u8>> {
+        let fid = self.fix(rid.page)?;
+        let out = SlottedPage::get(self.page(fid)?, rid.slot).map(<[u8]>::to_vec);
+        self.unfix(fid, Reuse::Lru)?;
+        out.ok_or(StorageError::NoSuchRecord {
+            page: rid.page.page,
+            slot: rid.slot,
+        })
+    }
+
+    /// Deletes the record at `rid` from `file`.
+    pub fn delete_record(&mut self, file: FileId, rid: Rid) -> Result<()> {
+        self.meta(file)?;
+        let fid = self.fix(rid.page)?;
+        let deleted = SlottedPage::delete(self.page_mut(fid)?, rid.slot);
+        self.unfix(fid, Reuse::Lru)?;
+        if !deleted {
+            return Err(StorageError::NoSuchRecord {
+                page: rid.page.page,
+                slot: rid.slot,
+            });
+        }
+        self.files
+            .get_mut(&file.0)
+            .expect("meta checked")
+            .record_count -= 1;
+        Ok(())
+    }
+
+    /// Deletes a file: discards its buffered pages without write-back and
+    /// returns its extents to the disk's free list.
+    ///
+    /// Temporary files that never grew past the buffer pool therefore cost
+    /// no I/O at all — the buffer-pool effect the paper highlights when
+    /// explaining why small intermediate results are free.
+    pub fn delete_file(&mut self, file: FileId) -> Result<()> {
+        let meta = self
+            .files
+            .remove(&file.0)
+            .ok_or(StorageError::NoSuchFile(file.0))?;
+        for &(first, len) in &meta.extents {
+            for p in first..first + len {
+                self.buffer.discard(PageId::new(meta.disk, p));
+                self.disks[meta.disk.0].release(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Page id of the `i`-th page of the file (for scans).
+    pub fn file_page(&self, file: FileId, i: u64) -> Result<PageId> {
+        let meta = self.meta(file)?;
+        if i >= meta.pages_used {
+            return Err(StorageError::PageOutOfRange {
+                page: i,
+                allocated: meta.pages_used,
+            });
+        }
+        Ok(PageId::new(meta.disk, meta.nth_page(i)))
+    }
+}
+
+/// A pull cursor over all records of a file, page at a time.
+///
+/// The cursor copies one page's records out while the page is fixed and
+/// then unfixes it (`Reuse::Lru`), so a scan touches each page exactly
+/// once and leaves the buffer pool free to recycle frames behind it.
+pub struct ScanCursor {
+    file: FileId,
+    next_page: u64,
+    batch: std::vec::IntoIter<(Rid, Vec<u8>)>,
+    done: bool,
+}
+
+impl ScanCursor {
+    /// Opens a scan over `file`.
+    pub fn new(file: FileId) -> Self {
+        ScanCursor {
+            file,
+            next_page: 0,
+            batch: Vec::new().into_iter(),
+            done: false,
+        }
+    }
+
+    /// Returns the next `(rid, record)`, or `None` at end of file.
+    pub fn next(&mut self, sm: &mut StorageManager) -> Result<Option<(Rid, Vec<u8>)>> {
+        loop {
+            if let Some(item) = self.batch.next() {
+                return Ok(Some(item));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            let pages = sm.page_count(self.file)?;
+            if self.next_page >= pages {
+                self.done = true;
+                return Ok(None);
+            }
+            let pid = sm.file_page(self.file, self.next_page)?;
+            self.next_page += 1;
+            let fid = sm.fix(pid)?;
+            let records: Vec<(Rid, Vec<u8>)> = SlottedPage::records(sm.page(fid)?)
+                .map(|(slot, rec)| (Rid { page: pid, slot }, rec.to_vec()))
+                .collect();
+            sm.unfix(fid, Reuse::Lru)?;
+            self.batch = records.into_iter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::StorageConfig;
+
+    fn sm() -> StorageManager {
+        StorageManager::new(StorageConfig {
+            data_page_size: 256,
+            run_page_size: 128,
+            buffer_bytes: 8 * 256,
+            work_memory_bytes: 1 << 20,
+        })
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        let r1 = s.append(f, b"alpha").unwrap();
+        let r2 = s.append(f, b"beta").unwrap();
+        assert_eq!(s.get(r1).unwrap(), b"alpha");
+        assert_eq!(s.get(r2).unwrap(), b"beta");
+        assert_eq!(s.record_count(f).unwrap(), 2);
+    }
+
+    #[test]
+    fn appends_spill_across_pages_and_extents() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        // 256-byte pages hold ~17 records of 10 bytes; write enough to need
+        // more pages than one extent (8 pages).
+        let n = 400u32;
+        let rids: Vec<Rid> = (0..n)
+            .map(|i| s.append(f, format!("rec{i:06}").as_bytes()).unwrap())
+            .collect();
+        assert!(s.page_count(f).unwrap() > EXTENT_PAGES);
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(s.get(*rid).unwrap(), format!("rec{i:06}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn scan_returns_all_records_in_order() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        for i in 0..100u32 {
+            s.append(f, &i.to_le_bytes()).unwrap();
+        }
+        let mut cursor = ScanCursor::new(f);
+        let mut seen = Vec::new();
+        while let Some((_, rec)) = cursor.next(&mut s).unwrap() {
+            seen.push(u32::from_le_bytes(rec.try_into().unwrap()));
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_of_empty_file_is_empty() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        let mut cursor = ScanCursor::new(f);
+        assert!(cursor.next(&mut s).unwrap().is_none());
+    }
+
+    #[test]
+    fn delete_record_then_get_fails() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        let rid = s.append(f, b"x").unwrap();
+        s.delete_record(f, rid).unwrap();
+        assert!(matches!(s.get(rid), Err(StorageError::NoSuchRecord { .. })));
+        assert_eq!(s.record_count(f).unwrap(), 0);
+        assert!(matches!(
+            s.delete_record(f, rid),
+            Err(StorageError::NoSuchRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_skips_deleted_records() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        let rids: Vec<Rid> = (0..10u8).map(|i| s.append(f, &[i]).unwrap()).collect();
+        for rid in rids.iter().step_by(2) {
+            s.delete_record(f, *rid).unwrap();
+        }
+        let mut cursor = ScanCursor::new(f);
+        let mut seen = Vec::new();
+        while let Some((_, rec)) = cursor.next(&mut s).unwrap() {
+            seen.push(rec[0]);
+        }
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn deleted_file_is_gone_and_pages_reused() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        for i in 0..50u32 {
+            s.append(f, &i.to_le_bytes()).unwrap();
+        }
+        s.delete_file(f).unwrap();
+        assert!(matches!(
+            s.record_count(f),
+            Err(StorageError::NoSuchFile(_))
+        ));
+        // A new file reuses the released pages (the disk does not grow).
+        let before = s.disks[0].allocated_pages();
+        let g = s.create_file(StorageManager::DATA_DISK);
+        for i in 0..50u32 {
+            s.append(g, &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(s.disks[0].allocated_pages(), before);
+    }
+
+    #[test]
+    fn temp_file_within_buffer_costs_no_io() {
+        // The paper: temporary pages "remain in the buffer pool from run
+        // creation to merging and deletion" — no transfers at all.
+        let mut s = StorageManager::new(StorageConfig::large());
+        let f = s.create_file(StorageManager::DATA_DISK);
+        for i in 0..100u32 {
+            s.append(f, &i.to_le_bytes()).unwrap();
+        }
+        let mut cursor = ScanCursor::new(f);
+        while cursor.next(&mut s).unwrap().is_some() {}
+        s.delete_file(f).unwrap();
+        assert_eq!(s.io_stats().transfers(), 0);
+    }
+
+    #[test]
+    fn sequential_scan_after_eviction_reads_sequentially() {
+        // Tiny buffer (4 frames): a 100-record file cannot stay cached, so
+        // the scan must reread pages — sequentially, with few seeks.
+        let mut s = StorageManager::new(StorageConfig {
+            data_page_size: 256,
+            run_page_size: 128,
+            buffer_bytes: 4 * 256,
+            work_memory_bytes: 1 << 20,
+        });
+        let f = s.create_file(StorageManager::DATA_DISK);
+        for i in 0..300u32 {
+            s.append(f, &i.to_le_bytes()).unwrap();
+        }
+        s.flush_all().unwrap();
+        s.reset_stats();
+        let mut cursor = ScanCursor::new(f);
+        let mut n = 0;
+        while cursor.next(&mut s).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 300);
+        let stats = s.io_stats();
+        assert!(stats.reads > 0, "file larger than pool must read");
+        assert!(
+            stats.seeks * 4 <= stats.reads,
+            "extent-based scan should be mostly sequential: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut s = sm();
+        let f = s.create_file(StorageManager::DATA_DISK);
+        assert!(matches!(
+            s.append(f, &vec![0u8; 300]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+}

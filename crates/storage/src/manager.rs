@@ -1,0 +1,257 @@
+//! [`StorageManager`]: the façade over disks, buffer pool, file catalog,
+//! and memory pool — the equivalent of the paper's record-oriented file
+//! system instance.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::buffer::{BufferManager, BufferStats, FrameId, Reuse};
+use crate::disk::{DiskId, IoCostParams, IoStats, PageId, SimDisk};
+use crate::file::FileMeta;
+use crate::memory::MemoryPool;
+use crate::Result;
+
+/// Configuration of a storage manager instance.
+///
+/// Defaults follow the paper's experimental setup: 8 KB transfers ("except
+/// for sort runs where it was 1 KB to allow high fan-in"), a 256 KB buffer
+/// pool, and a 100 KB sort/work space.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Page (transfer) size of the data disk in bytes.
+    pub data_page_size: usize,
+    /// Page (transfer) size of the sort-run disk in bytes.
+    pub run_page_size: usize,
+    /// Buffer-pool byte budget.
+    pub buffer_bytes: usize,
+    /// Main-memory pool for sort space, hash tables, bit maps, and chain
+    /// elements.
+    pub work_memory_bytes: usize,
+}
+
+impl StorageConfig {
+    /// The paper's experimental configuration (Section 5.1).
+    pub fn paper() -> Self {
+        StorageConfig {
+            data_page_size: 8 * 1024,
+            run_page_size: 1024,
+            buffer_bytes: 256 * 1024,
+            work_memory_bytes: 100 * 1024,
+        }
+    }
+
+    /// A configuration with ample memory, for correctness tests that should
+    /// not exercise overflow or eviction paths.
+    pub fn large() -> Self {
+        StorageConfig {
+            data_page_size: 8 * 1024,
+            run_page_size: 1024,
+            buffer_bytes: 64 * 1024 * 1024,
+            work_memory_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig::paper()
+    }
+}
+
+/// The storage system: simulated disks, buffer manager, file catalog, and
+/// main-memory pool.
+pub struct StorageManager {
+    pub(crate) disks: Vec<SimDisk>,
+    pub(crate) buffer: BufferManager,
+    pub(crate) files: HashMap<u64, FileMeta>,
+    pub(crate) next_file: u64,
+    memory: MemoryPool,
+    config: StorageConfig,
+}
+
+/// Shared handle to a storage manager, used by query operators.
+///
+/// The execution engine is single-threaded per storage instance (the
+/// shared-nothing simulation gives each node its own instance), so `Rc` +
+/// `RefCell` is the appropriate sharing tool.
+pub type StorageRef = Rc<RefCell<StorageManager>>;
+
+impl StorageManager {
+    /// Disk 0: base data and temporary files, `data_page_size` transfers.
+    pub const DATA_DISK: DiskId = DiskId(0);
+    /// Disk 1: sort runs, `run_page_size` transfers for high merge fan-in.
+    pub const RUN_DISK: DiskId = DiskId(1);
+
+    /// Creates a storage manager with the given configuration.
+    pub fn new(config: StorageConfig) -> Self {
+        StorageManager {
+            disks: vec![
+                SimDisk::new(config.data_page_size),
+                SimDisk::new(config.run_page_size),
+            ],
+            buffer: BufferManager::new(config.buffer_bytes),
+            files: HashMap::new(),
+            next_file: 0,
+            memory: MemoryPool::new(config.work_memory_bytes),
+            config: config.clone(),
+        }
+    }
+
+    /// Creates a storage manager with the paper's configuration, wrapped in
+    /// the shared handle operators take.
+    pub fn shared(config: StorageConfig) -> StorageRef {
+        Rc::new(RefCell::new(StorageManager::new(config)))
+    }
+
+    /// The configuration this instance was created with.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// The main-memory pool for hash tables, bit maps, and sort space.
+    pub fn memory(&self) -> MemoryPool {
+        self.memory.clone()
+    }
+
+    /// Page size of `disk`.
+    pub fn page_size(&self, disk: DiskId) -> usize {
+        self.disks[disk.0].page_size()
+    }
+
+    /// Fixes a page in the buffer pool.
+    pub fn fix(&mut self, pid: PageId) -> Result<FrameId> {
+        self.buffer.fix(&mut self.disks, pid)
+    }
+
+    /// Allocates and fixes a fresh page on `disk`.
+    pub fn new_page(&mut self, disk: DiskId) -> Result<(PageId, FrameId)> {
+        self.buffer.new_page(&mut self.disks, disk)
+    }
+
+    /// Allocates and fixes a *virtual* page (data-disk sized): it exists
+    /// only while fixed in the buffer pool and never touches a disk — the
+    /// paper's "virtual devices" for transient intermediate records.
+    pub fn new_virtual_page(&mut self) -> Result<(PageId, FrameId)> {
+        let size = self.config.data_page_size;
+        self.buffer.new_virtual_page(&mut self.disks, size)
+    }
+
+    /// Unfixes a frame.
+    pub fn unfix(&mut self, fid: FrameId, reuse: Reuse) -> Result<()> {
+        self.buffer.unfix(fid, reuse)
+    }
+
+    /// Read access to a fixed page.
+    pub fn page(&self, fid: FrameId) -> Result<&[u8]> {
+        self.buffer.page(fid)
+    }
+
+    /// Write access to a fixed page (marks it dirty).
+    pub fn page_mut(&mut self, fid: FrameId) -> Result<&mut [u8]> {
+        self.buffer.page_mut(fid)
+    }
+
+    /// Writes all dirty pages to their disks.
+    pub fn flush_all(&mut self) -> Result<()> {
+        self.buffer.flush_all(&mut self.disks)
+    }
+
+    /// Flushes and empties the buffer pool (cold start): the next access
+    /// to any page is a real disk read. Experiments call this after
+    /// loading inputs so the measured run pays for reading them, exactly
+    /// as the paper's runs read their input files.
+    pub fn evict_all(&mut self) -> Result<()> {
+        self.buffer.evict_all(&mut self.disks)
+    }
+
+    /// Aggregate I/O statistics over all disks.
+    pub fn io_stats(&self) -> IoStats {
+        self.disks
+            .iter()
+            .fold(IoStats::default(), |acc, d| acc.merge(&d.stats()))
+    }
+
+    /// I/O statistics of one disk.
+    pub fn disk_stats(&self, disk: DiskId) -> IoStats {
+        self.disks[disk.0].stats()
+    }
+
+    /// Buffer-pool statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Prices the current aggregate I/O statistics with `params`, as the
+    /// paper priced its collected file-system statistics with Table 3.
+    pub fn io_cost_ms(&self, params: &IoCostParams) -> f64 {
+        params.cost_ms(&self.io_stats())
+    }
+
+    /// Resets disk and buffer statistics (not contents). Experiments call
+    /// this after loading inputs so measurement covers only the algorithm.
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.disks {
+            d.reset_stats();
+        }
+        self.buffer.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5() {
+        let c = StorageConfig::paper();
+        assert_eq!(c.data_page_size, 8192);
+        assert_eq!(c.run_page_size, 1024);
+        assert_eq!(c.buffer_bytes, 256 * 1024);
+        assert_eq!(c.work_memory_bytes, 100 * 1024);
+    }
+
+    #[test]
+    fn two_disks_with_distinct_page_sizes() {
+        let sm = StorageManager::new(StorageConfig::paper());
+        assert_eq!(sm.page_size(StorageManager::DATA_DISK), 8192);
+        assert_eq!(sm.page_size(StorageManager::RUN_DISK), 1024);
+    }
+
+    #[test]
+    fn fix_page_roundtrip_through_manager() {
+        let mut sm = StorageManager::new(StorageConfig::paper());
+        let (pid, fid) = sm.new_page(StorageManager::DATA_DISK).unwrap();
+        sm.page_mut(fid).unwrap()[0] = 42;
+        sm.unfix(fid, Reuse::Lru).unwrap();
+        let fid = sm.fix(pid).unwrap();
+        assert_eq!(sm.page(fid).unwrap()[0], 42);
+        sm.unfix(fid, Reuse::Lru).unwrap();
+    }
+
+    #[test]
+    fn io_cost_of_untouched_manager_is_zero() {
+        let sm = StorageManager::new(StorageConfig::paper());
+        assert_eq!(sm.io_cost_ms(&IoCostParams::paper()), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_disks_and_buffer() {
+        let mut sm = StorageManager::new(StorageConfig::paper());
+        let (_, fid) = sm.new_page(StorageManager::DATA_DISK).unwrap();
+        sm.unfix(fid, Reuse::Lru).unwrap();
+        sm.flush_all().unwrap();
+        assert!(sm.io_stats().writes > 0);
+        sm.reset_stats();
+        assert_eq!(sm.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn memory_pool_is_shared_across_handles() {
+        let sm = StorageManager::new(StorageConfig::paper());
+        let a = sm.memory();
+        let b = sm.memory();
+        let _r = a.reserve(100 * 1024).unwrap();
+        assert!(b.reserve(1).is_err());
+    }
+}

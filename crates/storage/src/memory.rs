@@ -1,0 +1,229 @@
+//! The main-memory manager.
+//!
+//! The paper's hash algorithms "use the file system's memory manager to
+//! allocate space for hash tables, bit maps, and chain elements", and
+//! hash-division "depends on sufficient main memory to hold both hash
+//! tables". [`MemoryPool`] is that manager: a budgeted pool that accounts
+//! for each allocation. When a reservation fails, the requesting algorithm
+//! must fall back to the paper's hash-table overflow handling (Section
+//! 3.4): quotient partitioning or divisor partitioning.
+//!
+//! The pool tracks bytes rather than handing out raw memory: Rust's
+//! allocator does the actual allocation, while the pool decides whether the
+//! algorithm is *allowed* to grow, which is the behaviour the paper's
+//! overflow logic keys on.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// Accounting sizes for the auxiliary structures of the hash algorithms,
+/// mirroring the paper's implementation notes.
+pub mod sizes {
+    /// A chain element: "a pointer to the next tuple in the bucket, a
+    /// tuple's record identifier and main memory address in the buffer
+    /// pool, and the divisor count or the pointer to the bit map" — four
+    /// words on a 64-bit machine.
+    pub const CHAIN_ELEMENT: usize = 32;
+    /// A hash-table bucket header: one pointer.
+    pub const BUCKET: usize = 8;
+}
+
+/// A budgeted, cloneable handle to a main-memory pool.
+///
+/// Cloning shares the pool: all holders draw from the same budget, just as
+/// the divisor table and quotient table of hash-division share the paper's
+/// single memory pool.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    inner: Rc<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    capacity: usize,
+    used: Cell<usize>,
+    peak: Cell<usize>,
+}
+
+impl MemoryPool {
+    /// Creates a pool with `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        MemoryPool {
+            inner: Rc::new(PoolInner {
+                capacity,
+                used: Cell::new(0),
+                peak: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A pool with effectively unlimited capacity, for callers that want
+    /// pure in-memory execution without overflow handling.
+    pub fn unbounded() -> Self {
+        MemoryPool::new(usize::MAX)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.inner.used.get()
+    }
+
+    /// High-water mark of reserved bytes.
+    pub fn peak(&self) -> usize {
+        self.inner.peak.get()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.inner.capacity - self.inner.used.get()
+    }
+
+    /// Reserves `bytes`, or reports exhaustion.
+    ///
+    /// Exhaustion is not fatal: it is the trigger for hash-table overflow
+    /// handling.
+    pub fn reserve(&self, bytes: usize) -> Result<Reservation> {
+        let used = self.inner.used.get();
+        if bytes > self.inner.capacity - used {
+            return Err(StorageError::MemoryExhausted {
+                requested: bytes,
+                available: self.inner.capacity - used,
+            });
+        }
+        let now = used + bytes;
+        self.inner.used.set(now);
+        if now > self.inner.peak.get() {
+            self.inner.peak.set(now);
+        }
+        Ok(Reservation {
+            pool: self.inner.clone(),
+            bytes,
+        })
+    }
+
+    /// Whether a reservation of `bytes` would currently succeed.
+    pub fn would_fit(&self, bytes: usize) -> bool {
+        bytes <= self.available()
+    }
+}
+
+/// An RAII reservation; dropping it returns the bytes to the pool.
+#[derive(Debug)]
+pub struct Reservation {
+    pool: Rc<PoolInner>,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// Size of this reservation in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grows the reservation by `more` bytes in place.
+    pub fn grow(&mut self, more: usize) -> Result<()> {
+        let used = self.pool.used.get();
+        if more > self.pool.capacity - used {
+            return Err(StorageError::MemoryExhausted {
+                requested: more,
+                available: self.pool.capacity - used,
+            });
+        }
+        self.pool.used.set(used + more);
+        if used + more > self.pool.peak.get() {
+            self.pool.peak.set(used + more);
+        }
+        self.bytes += more;
+        Ok(())
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.pool.used.set(self.pool.used.get() - self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_by_drop() {
+        let pool = MemoryPool::new(100);
+        let r = pool.reserve(60).unwrap();
+        assert_eq!(pool.used(), 60);
+        assert_eq!(pool.available(), 40);
+        drop(r);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.peak(), 60);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_panicked() {
+        let pool = MemoryPool::new(100);
+        let _r = pool.reserve(90).unwrap();
+        match pool.reserve(20) {
+            Err(StorageError::MemoryExhausted {
+                requested: 20,
+                available: 10,
+            }) => {}
+            other => panic!("expected MemoryExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_the_budget() {
+        let pool = MemoryPool::new(100);
+        let divisor_table = pool.clone();
+        let quotient_table = pool.clone();
+        let _a = divisor_table.reserve(50).unwrap();
+        let _b = quotient_table.reserve(50).unwrap();
+        assert!(pool.reserve(1).is_err());
+    }
+
+    #[test]
+    fn grow_extends_in_place() {
+        let pool = MemoryPool::new(100);
+        let mut r = pool.reserve(10).unwrap();
+        r.grow(20).unwrap();
+        assert_eq!(r.bytes(), 30);
+        assert_eq!(pool.used(), 30);
+        assert!(r.grow(80).is_err());
+        assert_eq!(r.bytes(), 30, "failed grow leaves reservation unchanged");
+        drop(r);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn peak_survives_release() {
+        let pool = MemoryPool::new(100);
+        {
+            let _r = pool.reserve(70).unwrap();
+        }
+        let _r2 = pool.reserve(10).unwrap();
+        assert_eq!(pool.peak(), 70);
+    }
+
+    #[test]
+    fn unbounded_pool_accepts_large_reservations() {
+        let pool = MemoryPool::unbounded();
+        let _r = pool.reserve(1 << 40).unwrap();
+        assert!(pool.would_fit(1 << 40));
+    }
+
+    #[test]
+    fn accounting_sizes_are_plausible() {
+        // Chain element: next ptr + RID + address + count/bitmap ptr.
+        assert_eq!(sizes::CHAIN_ELEMENT, 32);
+        assert_eq!(sizes::BUCKET, 8);
+    }
+}

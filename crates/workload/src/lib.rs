@@ -1,0 +1,529 @@
+//! # reldiv-workload — workload generators for the division experiments
+//!
+//! Generates the relations of the paper's analytical and experimental
+//! studies, plus the variations the paper reasons about but does not
+//! tabulate:
+//!
+//! * [`exact_product`] — the paper's assumed case `R = Q × S` (Section 4:
+//!   "all tuples of R participate in the quotient"), with 16-byte dividend
+//!   records and 8-byte divisor/quotient records, shuffled because
+//!   "neither R nor S are sorted originally";
+//! * [`WorkloadSpec`] — the general builder: non-matching "noise" tuples
+//!   (the physics courses of the paper's second example), incomplete
+//!   quotient groups, duplicates, and Zipf-skewed group sizes; every
+//!   generated workload carries its ground-truth quotient;
+//! * [`university`] — the running-example schema (Courses with titles
+//!   containing "database", Transcripts with grades) used by the examples.
+//!
+//! All generation is deterministic in the seed.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use reldiv_rel::schema::{Field, Schema};
+use reldiv_rel::tuple::ints;
+use reldiv_rel::{Relation, Tuple, Value};
+
+pub mod university;
+pub mod zipf;
+
+/// The dividend/divisor schemas of the experimental study: 16-byte
+/// dividend records `(quotient-id, divisor-id)` and 8-byte divisor
+/// records `(divisor-id)`.
+pub fn dividend_schema() -> Schema {
+    Schema::new(vec![Field::int("quotient-id"), Field::int("divisor-id")])
+}
+
+/// Divisor schema: a single 8-byte integer column.
+pub fn divisor_schema() -> Schema {
+    Schema::new(vec![Field::int("divisor-id")])
+}
+
+/// Generates the paper's assumed case `R = Q × S`: `quotient_size`
+/// quotient values each paired with all `divisor_size` divisor values.
+/// The dividend is shuffled with the seed.
+pub fn exact_product(divisor_size: u64, quotient_size: u64, seed: u64) -> (Relation, Relation) {
+    let spec = WorkloadSpec {
+        divisor_size,
+        quotient_size,
+        ..WorkloadSpec::default()
+    };
+    let w = spec.generate(seed);
+    (w.dividend, w.divisor)
+}
+
+/// A generated workload with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The dividend relation `R`.
+    pub dividend: Relation,
+    /// The divisor relation `S`.
+    pub divisor: Relation,
+    /// The quotient-id values that belong to the true quotient, sorted.
+    pub expected_quotient: Vec<i64>,
+}
+
+/// Declarative workload builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// `|S|`: number of distinct divisor values (ids `1_000_000 + i`).
+    pub divisor_size: u64,
+    /// Number of quotient values that take *all* divisor values
+    /// (the true quotient, ids `0..quotient_size`).
+    pub quotient_size: u64,
+    /// Additional quotient values with *incomplete* divisor sets; each
+    /// takes a random strict subset of the divisor (ids continue upward).
+    /// These are quotient candidates that do not participate — the case
+    /// the paper speculates makes hash-division "always outperform all
+    /// other algorithms".
+    pub incomplete_groups: u64,
+    /// Fraction of divisor values (rounded down) each incomplete group
+    /// takes; clamped to `divisor_size - 1` so the group stays incomplete.
+    pub incomplete_fill: f64,
+    /// Non-matching tuples appended per complete group: dividend tuples
+    /// whose divisor-id is outside the divisor (the physics courses),
+    /// discarded early by hash-division.
+    pub noise_per_group: u64,
+    /// Extra copies of each dividend tuple (1 = no duplicates). Exercises
+    /// duplicate insensitivity.
+    pub dividend_copies: u64,
+    /// Extra copies of each divisor tuple (1 = no duplicates).
+    pub divisor_copies: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            divisor_size: 25,
+            quotient_size: 25,
+            incomplete_groups: 0,
+            incomplete_fill: 0.5,
+            noise_per_group: 0,
+            dividend_copies: 1,
+            divisor_copies: 1,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    fn incomplete_take(&self) -> u64 {
+        ((self.divisor_size as f64 * self.incomplete_fill) as u64)
+            .min(self.divisor_size.saturating_sub(1))
+    }
+
+    /// Dividend cardinality this spec will generate.
+    pub fn dividend_cardinality(&self) -> u64 {
+        (self.quotient_size * (self.divisor_size + self.noise_per_group)
+            + self.incomplete_groups * self.incomplete_take())
+            * self.dividend_copies
+    }
+
+    /// Generates the workload deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let divisor_base = 1_000_000i64;
+        let noise_base = 2_000_000i64;
+
+        // Divisor: ids divisor_base..+divisor_size, with optional copies.
+        let mut divisor_rows: Vec<i64> = Vec::new();
+        for i in 0..self.divisor_size as i64 {
+            for _ in 0..self.divisor_copies {
+                divisor_rows.push(divisor_base + i);
+            }
+        }
+        divisor_rows.shuffle(&mut rng);
+        let divisor = Relation::from_tuples(
+            divisor_schema(),
+            divisor_rows.iter().map(|&d| ints(&[d])).collect(),
+        )
+        .expect("generated divisor conforms to schema");
+
+        // Dividend.
+        let mut rows: Vec<[i64; 2]> = Vec::new();
+        // Complete groups: the true quotient.
+        for q in 0..self.quotient_size as i64 {
+            for i in 0..self.divisor_size as i64 {
+                rows.push([q, divisor_base + i]);
+            }
+            for n in 0..self.noise_per_group as i64 {
+                // Non-matching divisor ids, unique per (group, n).
+                rows.push([q, noise_base + q * self.noise_per_group as i64 + n]);
+            }
+        }
+        // Incomplete groups: random strict subsets.
+        let incomplete_take = self.incomplete_take() as usize;
+        for g in 0..self.incomplete_groups as i64 {
+            let q = self.quotient_size as i64 + g;
+            let mut ids: Vec<i64> = (0..self.divisor_size as i64).collect();
+            ids.shuffle(&mut rng);
+            for &i in ids.iter().take(incomplete_take) {
+                rows.push([q, divisor_base + i]);
+            }
+        }
+        // Copies, then shuffle.
+        let mut all = Vec::with_capacity(rows.len() * self.dividend_copies as usize);
+        for _ in 0..self.dividend_copies {
+            all.extend_from_slice(&rows);
+        }
+        all.shuffle(&mut rng);
+        let dividend =
+            Relation::from_tuples(dividend_schema(), all.iter().map(|r| ints(r)).collect())
+                .expect("generated dividend conforms to schema");
+
+        // Ground truth. An empty divisor makes every group that appears in
+        // the dividend vacuously qualify.
+        let expected_quotient: Vec<i64> = if self.divisor_size == 0 {
+            (0..(self.quotient_size + self.incomplete_groups) as i64)
+                .filter(|&q| {
+                    let is_complete = q < self.quotient_size as i64;
+                    if is_complete {
+                        self.noise_per_group > 0 // only noise rows exist
+                    } else {
+                        incomplete_take > 0
+                    }
+                })
+                .collect()
+        } else {
+            (0..self.quotient_size as i64).collect()
+        };
+
+        Workload {
+            dividend,
+            divisor,
+            expected_quotient,
+        }
+    }
+}
+
+/// A workload with Zipf-skewed incomplete groups: group `g` takes a
+/// number of divisor values proportional to a Zipf sample, so a few
+/// groups are near-complete and most are tiny — the skew shape real
+/// for-all queries see.
+pub fn zipf_workload(
+    divisor_size: u64,
+    complete_groups: u64,
+    skewed_groups: u64,
+    theta: f64,
+    seed: u64,
+) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let divisor_base = 1_000_000i64;
+    let divisor = Relation::from_tuples(
+        divisor_schema(),
+        (0..divisor_size as i64)
+            .map(|i| ints(&[divisor_base + i]))
+            .collect(),
+    )
+    .expect("divisor conforms");
+
+    let mut rows: Vec<[i64; 2]> = Vec::new();
+    for q in 0..complete_groups as i64 {
+        for i in 0..divisor_size as i64 {
+            rows.push([q, divisor_base + i]);
+        }
+    }
+    let sampler = zipf::Zipf::new(divisor_size.max(1) as usize, theta);
+    for g in 0..skewed_groups as i64 {
+        let q = complete_groups as i64 + g;
+        // Zipf rank → group size in 1..divisor_size (strictly incomplete).
+        let take = (sampler.sample(&mut rng) as u64).min(divisor_size.saturating_sub(1));
+        let mut ids: Vec<i64> = (0..divisor_size as i64).collect();
+        ids.shuffle(&mut rng);
+        for &i in ids.iter().take(take as usize) {
+            rows.push([q, divisor_base + i]);
+        }
+    }
+    rows.shuffle(&mut rng);
+    let dividend = Relation::from_tuples(dividend_schema(), rows.iter().map(|r| ints(r)).collect())
+        .expect("dividend conforms");
+    Workload {
+        dividend,
+        divisor,
+        expected_quotient: (0..complete_groups as i64).collect(),
+    }
+}
+
+/// Computes the true quotient of arbitrary relations by brute force (for
+/// verifying algorithms on random inputs). Quadratic; test-sized inputs
+/// only.
+pub fn brute_force_divide(
+    dividend: &Relation,
+    divisor: &Relation,
+    divisor_keys: &[usize],
+    quotient_keys: &[usize],
+) -> Vec<Tuple> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let divisor_set: BTreeSet<Vec<String>> = divisor
+        .tuples()
+        .iter()
+        .map(|t| t.values().iter().map(Value::to_string).collect())
+        .collect();
+    let mut groups: BTreeMap<Vec<String>, (Tuple, BTreeSet<Vec<String>>)> = BTreeMap::new();
+    for t in dividend.tuples() {
+        let qkey: Vec<String> = quotient_keys
+            .iter()
+            .map(|&k| t.value(k).to_string())
+            .collect();
+        let dkey: Vec<String> = divisor_keys
+            .iter()
+            .map(|&k| t.value(k).to_string())
+            .collect();
+        let entry = groups
+            .entry(qkey)
+            .or_insert_with(|| (t.project(quotient_keys), BTreeSet::new()));
+        if divisor_set.contains(&dkey) {
+            entry.1.insert(dkey);
+        }
+    }
+    groups
+        .into_values()
+        .filter(|(_, have)| have.len() == divisor_set.len())
+        .map(|(t, _)| t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_product_has_expected_cardinalities() {
+        let (dividend, divisor) = exact_product(25, 100, 42);
+        assert_eq!(divisor.cardinality(), 25);
+        assert_eq!(dividend.cardinality(), 2500);
+        // Record sizes match the paper: 16-byte dividend, 8-byte divisor.
+        assert_eq!(dividend.schema().record_width(), 16);
+        assert_eq!(divisor.schema().record_width(), 8);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = WorkloadSpec::default().generate(7);
+        let b = WorkloadSpec::default().generate(7);
+        let c = WorkloadSpec::default().generate(8);
+        assert_eq!(a.dividend, b.dividend);
+        assert_eq!(a.divisor, b.divisor);
+        assert_ne!(a.dividend, c.dividend, "different seed, different shuffle");
+    }
+
+    #[test]
+    fn dividend_is_shuffled() {
+        let w = WorkloadSpec {
+            divisor_size: 10,
+            quotient_size: 10,
+            ..Default::default()
+        }
+        .generate(1);
+        let sorted = {
+            let mut r = w.dividend.clone();
+            r.sort_by_keys(&[0, 1]);
+            r
+        };
+        assert_ne!(
+            w.dividend.tuples(),
+            sorted.tuples(),
+            "input must not arrive sorted"
+        );
+    }
+
+    #[test]
+    fn noise_and_incomplete_groups_do_not_change_the_quotient() {
+        let spec = WorkloadSpec {
+            divisor_size: 8,
+            quotient_size: 5,
+            incomplete_groups: 7,
+            incomplete_fill: 0.5,
+            noise_per_group: 3,
+            ..Default::default()
+        };
+        let w = spec.generate(3);
+        assert_eq!(w.expected_quotient, vec![0, 1, 2, 3, 4]);
+        let brute = brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]);
+        let got: Vec<i64> = brute.iter().map(|t| t.value(0).as_int().unwrap()).collect();
+        assert_eq!(
+            got, w.expected_quotient,
+            "brute force agrees with ground truth"
+        );
+    }
+
+    #[test]
+    fn incomplete_groups_are_strictly_incomplete() {
+        let spec = WorkloadSpec {
+            divisor_size: 4,
+            quotient_size: 1,
+            incomplete_groups: 10,
+            incomplete_fill: 1.0, // clamped to divisor_size - 1
+            ..Default::default()
+        };
+        let w = spec.generate(9);
+        let brute = brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]);
+        assert_eq!(brute.len(), 1, "only the complete group qualifies");
+    }
+
+    #[test]
+    fn duplicates_multiply_cardinality_not_quotient() {
+        let spec = WorkloadSpec {
+            divisor_size: 5,
+            quotient_size: 3,
+            dividend_copies: 3,
+            divisor_copies: 2,
+            ..Default::default()
+        };
+        let w = spec.generate(11);
+        assert_eq!(w.dividend.cardinality(), 3 * 5 * 3);
+        assert_eq!(w.divisor.cardinality(), 10);
+        assert_eq!(w.expected_quotient, vec![0, 1, 2]);
+        assert_eq!(spec.dividend_cardinality(), w.dividend.cardinality() as u64);
+    }
+
+    #[test]
+    fn cardinality_formula_matches_generation() {
+        let spec = WorkloadSpec {
+            divisor_size: 10,
+            quotient_size: 4,
+            incomplete_groups: 6,
+            incomplete_fill: 0.3,
+            noise_per_group: 2,
+            dividend_copies: 2,
+            ..Default::default()
+        };
+        let w = spec.generate(5);
+        assert_eq!(spec.dividend_cardinality(), w.dividend.cardinality() as u64);
+    }
+
+    #[test]
+    fn zipf_workload_quotient_is_complete_groups() {
+        let w = zipf_workload(16, 4, 50, 1.1, 13);
+        let brute = brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]);
+        let got: Vec<i64> = brute.iter().map(|t| t.value(0).as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(w.expected_quotient, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_divisor_workload_ground_truth() {
+        let spec = WorkloadSpec {
+            divisor_size: 0,
+            quotient_size: 3,
+            noise_per_group: 2,
+            ..Default::default()
+        };
+        let w = spec.generate(2);
+        // Groups exist only via their noise tuples; all of them qualify
+        // vacuously.
+        assert_eq!(w.expected_quotient, vec![0, 1, 2]);
+        assert!(w.divisor.is_empty());
+    }
+
+    #[test]
+    fn brute_force_handles_duplicates_and_noise() {
+        use reldiv_rel::tuple::ints;
+        let dividend = Relation::from_tuples(
+            dividend_schema(),
+            vec![
+                ints(&[1, 10]),
+                ints(&[1, 10]),
+                ints(&[1, 20]),
+                ints(&[2, 10]),
+                ints(&[2, 10]),
+                ints(&[3, 99]),
+            ],
+        )
+        .unwrap();
+        let divisor = Relation::from_tuples(
+            divisor_schema(),
+            vec![ints(&[10]), ints(&[20]), ints(&[10])],
+        )
+        .unwrap();
+        let q = brute_force_divide(&dividend, &divisor, &[1], &[0]);
+        assert_eq!(q, vec![ints(&[1])]);
+    }
+}
+
+/// Schema for wide-record experiments: a fixed-width string quotient
+/// column of `quotient_width` bytes plus an 8-byte integer divisor
+/// column.
+///
+/// The paper's testbed was disk-constrained: "we had to restrict our
+/// record sizes to 8 bytes for the divisor and the quotient, and to 16
+/// bytes for the dividend." These schemas lift that restriction so the
+/// record-width dimension the paper could not explore becomes
+/// measurable.
+pub fn wide_dividend_schema(quotient_width: usize) -> Schema {
+    Schema::new(vec![
+        Field::str("quotient-key", quotient_width),
+        Field::int("divisor-id"),
+    ])
+}
+
+/// Generates `R = Q × S` with a string quotient key padded to
+/// `quotient_width` bytes (dividend records of `quotient_width + 8`
+/// bytes), shuffled deterministically.
+pub fn wide_exact_product(
+    divisor_size: u64,
+    quotient_size: u64,
+    quotient_width: usize,
+    seed: u64,
+) -> (Relation, Relation) {
+    assert!(quotient_width >= 12, "width must fit the q-key prefix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let divisor_base = 1_000_000i64;
+    let divisor = Relation::from_tuples(
+        divisor_schema(),
+        (0..divisor_size as i64)
+            .map(|i| ints(&[divisor_base + i]))
+            .collect(),
+    )
+    .expect("divisor conforms");
+    let pad = "x".repeat(quotient_width - 12);
+    let mut rows: Vec<Tuple> = Vec::with_capacity((quotient_size * divisor_size) as usize);
+    for q in 0..quotient_size {
+        let key = format!("q{q:09}{pad}xx");
+        debug_assert_eq!(key.len(), quotient_width);
+        for i in 0..divisor_size as i64 {
+            rows.push(Tuple::new(vec![
+                Value::from(key.clone()),
+                Value::Int(divisor_base + i),
+            ]));
+        }
+    }
+    rows.shuffle(&mut rng);
+    let dividend = Relation::from_tuples(wide_dividend_schema(quotient_width), rows)
+        .expect("dividend conforms");
+    (dividend, divisor)
+}
+
+#[cfg(test)]
+mod wide_tests {
+    use super::*;
+
+    #[test]
+    fn wide_records_have_the_requested_width() {
+        let (dividend, divisor) = wide_exact_product(5, 4, 64, 1);
+        assert_eq!(dividend.schema().record_width(), 64 + 8);
+        assert_eq!(divisor.schema().record_width(), 8);
+        assert_eq!(dividend.cardinality(), 20);
+    }
+
+    #[test]
+    fn wide_product_divides_to_q() {
+        let (dividend, divisor) = wide_exact_product(6, 7, 32, 2);
+        let brute = brute_force_divide(&dividend, &divisor, &[1], &[0]);
+        assert_eq!(brute.len(), 7);
+    }
+
+    #[test]
+    fn wide_generation_is_deterministic() {
+        let a = wide_exact_product(4, 4, 16, 9);
+        let b = wide_exact_product(4, 4, 16, 9);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must fit")]
+    fn undersized_width_is_rejected() {
+        let _ = wide_exact_product(2, 2, 8, 0);
+    }
+}

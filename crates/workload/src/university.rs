@@ -1,0 +1,260 @@
+//! The paper's running-example schema: a university database.
+//!
+//! `Courses(course-no, title)` and `Transcript(student-id, course-no,
+//! grade)` "with the obvious key attributes". A configurable fraction of
+//! course titles contain the string `"database"`, so the paper's second
+//! example — students who have taken *all database courses* — can be
+//! posed with a real selection on the title attribute.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use reldiv_rel::schema::{Field, Schema};
+use reldiv_rel::{Relation, Tuple, Value};
+
+/// Width of the fixed-width title column.
+pub const TITLE_WIDTH: usize = 32;
+
+/// `Courses(course-no, title)`.
+pub fn courses_schema() -> Schema {
+    Schema::new(vec![
+        Field::int("course-no"),
+        Field::str("title", TITLE_WIDTH),
+    ])
+}
+
+/// `Transcript(student-id, course-no, grade)`.
+pub fn transcript_schema() -> Schema {
+    Schema::new(vec![
+        Field::int("student-id"),
+        Field::int("course-no"),
+        Field::int("grade"),
+    ])
+}
+
+/// A generated university.
+#[derive(Debug, Clone)]
+pub struct University {
+    /// The `Courses` relation.
+    pub courses: Relation,
+    /// The `Transcript` relation.
+    pub transcript: Relation,
+    /// Course numbers whose title contains "database".
+    pub database_courses: Vec<i64>,
+    /// Students who took *every* course (example 1's quotient).
+    pub students_with_all_courses: Vec<i64>,
+    /// Students who took every database course (example 2's quotient).
+    pub students_with_all_database_courses: Vec<i64>,
+}
+
+/// Generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct UniversitysSpec {
+    /// Number of courses.
+    pub courses: u64,
+    /// Fraction of courses whose title contains "database".
+    pub database_fraction: f64,
+    /// Number of students.
+    pub students: u64,
+    /// Fraction of students enrolled in every course.
+    pub complete_fraction: f64,
+    /// For the remaining students, the fraction of courses they take
+    /// (sampled per student around this mean).
+    pub partial_fill: f64,
+}
+
+impl Default for UniversitysSpec {
+    fn default() -> Self {
+        UniversitysSpec {
+            courses: 20,
+            database_fraction: 0.25,
+            students: 100,
+            complete_fraction: 0.1,
+            partial_fill: 0.5,
+        }
+    }
+}
+
+const TITLE_STEMS: [&str; 6] = [
+    "Intro to",
+    "Advanced",
+    "Topics in",
+    "Seminar:",
+    "Applied",
+    "Found. of",
+];
+const TITLE_SUBJECTS: [&str; 5] = ["Databases", "Optics", "Compilers", "Graphics", "Logic"];
+
+/// Generates a university deterministically from `seed`.
+pub fn generate(spec: &UniversitysSpec, seed: u64) -> University {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Courses with titles; every "Databases" subject title contains the
+    // substring "database" case-insensitively.
+    let mut course_rows = Vec::new();
+    let mut database_courses = Vec::new();
+    for c in 0..spec.courses as i64 {
+        let is_db = (c as f64) < spec.courses as f64 * spec.database_fraction;
+        let subject = if is_db {
+            "Databases"
+        } else {
+            TITLE_SUBJECTS[1 + rng.gen_range(0..TITLE_SUBJECTS.len() - 1)]
+        };
+        let title = format!(
+            "{} {subject} {c}",
+            TITLE_STEMS[c as usize % TITLE_STEMS.len()]
+        );
+        debug_assert!(title.len() <= TITLE_WIDTH, "title fits the fixed width");
+        if is_db {
+            database_courses.push(c);
+        }
+        course_rows.push(Tuple::new(vec![Value::Int(c), Value::from(title)]));
+    }
+    let courses =
+        Relation::from_tuples(courses_schema(), course_rows).expect("courses conform to schema");
+
+    // Transcripts.
+    let mut transcript_rows = Vec::new();
+    let mut complete_students = Vec::new();
+    let mut db_complete_students = Vec::new();
+    for s in 0..spec.students as i64 {
+        let is_complete = (s as f64) < spec.students as f64 * spec.complete_fraction;
+        let taken: Vec<i64> = if is_complete {
+            complete_students.push(s);
+            (0..spec.courses as i64).collect()
+        } else {
+            let mut ids: Vec<i64> = (0..spec.courses as i64).collect();
+            ids.shuffle(&mut rng);
+            let k = ((spec.courses as f64 * spec.partial_fill) as usize)
+                .clamp(1, spec.courses as usize);
+            ids.truncate(rng.gen_range(1..=k));
+            ids
+        };
+        if !database_courses.is_empty() && database_courses.iter().all(|c| taken.contains(c)) {
+            db_complete_students.push(s);
+        }
+        for c in taken {
+            let grade = rng.gen_range(1..=4);
+            transcript_rows.push(Tuple::new(vec![
+                Value::Int(s),
+                Value::Int(c),
+                Value::Int(grade),
+            ]));
+        }
+    }
+    let mut transcript = Relation::from_tuples(transcript_schema(), transcript_rows)
+        .expect("transcript conforms to schema");
+    // Arrival order is not sorted by student.
+    let mut tuples = transcript.into_tuples();
+    tuples.shuffle(&mut rng);
+    transcript = Relation::from_tuples(transcript_schema(), tuples).expect("still conforms");
+
+    University {
+        courses,
+        transcript,
+        database_courses,
+        students_with_all_courses: complete_students,
+        students_with_all_database_courses: db_complete_students,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = UniversitysSpec::default();
+        let a = generate(&spec, 5);
+        let b = generate(&spec, 5);
+        assert_eq!(a.transcript, b.transcript);
+        assert_eq!(a.courses, b.courses);
+    }
+
+    #[test]
+    fn database_titles_contain_the_substring() {
+        let u = generate(&UniversitysSpec::default(), 1);
+        assert!(!u.database_courses.is_empty());
+        for t in u.courses.tuples() {
+            let no = t.value(0).as_int().unwrap();
+            let title = t.value(1).as_str().unwrap().to_ascii_lowercase();
+            assert_eq!(
+                title.contains("database"),
+                u.database_courses.contains(&no),
+                "course {no}: {title}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_students_take_every_course() {
+        let u = generate(&UniversitysSpec::default(), 2);
+        assert!(!u.students_with_all_courses.is_empty());
+        for &s in &u.students_with_all_courses {
+            let taken: std::collections::HashSet<i64> = u
+                .transcript
+                .tuples()
+                .iter()
+                .filter(|t| t.value(0).as_int().unwrap() == s)
+                .map(|t| t.value(1).as_int().unwrap())
+                .collect();
+            assert_eq!(taken.len(), 20);
+        }
+    }
+
+    #[test]
+    fn db_complete_is_superset_of_complete() {
+        let u = generate(&UniversitysSpec::default(), 3);
+        for s in &u.students_with_all_courses {
+            assert!(
+                u.students_with_all_database_courses.contains(s),
+                "all-course students also took all database courses"
+            );
+        }
+        // With partial_fill 0.5 some partial student usually qualifies
+        // for the database subset but not the full set.
+        assert!(u.students_with_all_database_courses.len() >= u.students_with_all_courses.len());
+    }
+
+    #[test]
+    fn ground_truth_matches_brute_force() {
+        let u = generate(&UniversitysSpec::default(), 4);
+        // Example 2 by brute force: dividend = transcript (sid, cno),
+        // divisor = database courses.
+        let dividend = u.transcript.project(&[0, 1]).unwrap();
+        let divisor = Relation::from_tuples(
+            reldiv_rel::Schema::new(vec![reldiv_rel::schema::Field::int("course-no")]),
+            u.database_courses
+                .iter()
+                .map(|&c| reldiv_rel::tuple::ints(&[c]))
+                .collect(),
+        )
+        .unwrap();
+        let brute = crate::brute_force_divide(&dividend, &divisor, &[1], &[0]);
+        let mut got: Vec<i64> = brute.iter().map(|t| t.value(0).as_int().unwrap()).collect();
+        got.sort_unstable();
+        let mut expected = u.students_with_all_database_courses.clone();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn titles_fit_fixed_width() {
+        let u = generate(&UniversitysSpecLong::default().0, 6);
+        for t in u.courses.tuples() {
+            assert!(t.value(1).as_str().unwrap().len() <= TITLE_WIDTH);
+        }
+    }
+
+    /// Largest config exercised by examples.
+    struct UniversitysSpecLong(UniversitysSpec);
+    impl Default for UniversitysSpecLong {
+        fn default() -> Self {
+            UniversitysSpecLong(UniversitysSpec {
+                courses: 500,
+                students: 50,
+                ..Default::default()
+            })
+        }
+    }
+}

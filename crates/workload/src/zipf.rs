@@ -1,0 +1,112 @@
+//! A Zipf(θ) sampler over ranks `1..=n`.
+//!
+//! Used to skew group sizes in synthetic division workloads. Sampling is
+//! by inverted cumulative distribution over the precomputed normalization,
+//! O(log n) per sample.
+
+use rand::Rng;
+
+/// Zipf distribution over `1..=n` with exponent `theta` (> 0).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over ranks `1..=n`. `theta` near 0 is almost
+    /// uniform; `theta` around 1 is classic Zipf; larger is more skewed.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(theta > 0.0, "theta must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `1..=n`; rank 1 is the most likely.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Probability of rank `k` (1-based), for tests.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1), "pmf must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits_low = (0..10_000).filter(|_| z.sample(&mut rng) <= 10).count();
+        assert!(
+            hits_low > 5_000,
+            "theta=1.2 should put most mass on the head: {hits_low}"
+        );
+    }
+
+    #[test]
+    fn near_uniform_for_tiny_theta() {
+        let z = Zipf::new(4, 0.01);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 0.02, "pmf({k}) = {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_one() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The cost-based algorithm chooser in action.
+//!
+//! Section 5.2 of the paper: "If the dividend or the divisor are results
+//! of other database operations ... the possible error in the selectivity
+//! estimate makes it imperative to choose the division algorithm very
+//! carefully." This example asks the analytical model for the cheapest
+//! *correct* algorithm under different input properties, then runs the
+//! choice to demonstrate it produces the right quotient.
+//!
+//! ```text
+//! cargo run --example optimizer
+//! ```
+
+use reldiv::costmodel::planner::candidates;
+use reldiv::costmodel::PlannerInput;
+use reldiv::workload::WorkloadSpec;
+use reldiv::{divide_relations, Algorithm};
+
+fn show(label: &str, input: &PlannerInput) -> Algorithm {
+    println!("\n{label}");
+    println!(
+        "  |S|={}, |Q|={}, |R|={}, restricted={}, duplicate-free={}",
+        input.divisor_size,
+        input.quotient_size,
+        input
+            .dividend_size
+            .unwrap_or(input.divisor_size * input.quotient_size),
+        input.restricted_divisor,
+        input.duplicate_free
+    );
+    let ranked = candidates(input);
+    for (i, (alg, cost)) in ranked.iter().enumerate() {
+        let marker = if i == 0 { "->" } else { "  " };
+        println!("  {marker} {alg:?}: {cost:.0} model-ms");
+    }
+    let chosen: Algorithm = ranked[0].0.into();
+    println!("  chosen: {}", chosen.label());
+    chosen
+}
+
+fn main() {
+    // Case 1: the paper's first example — the divisor is ALL courses, the
+    // inputs are key projections. Hash aggregation without a join wins
+    // (the paper: hash-division is "only about 10% slower than the
+    // fastest algorithm considered").
+    let case1 = PlannerInput {
+        divisor_size: 400,
+        quotient_size: 400,
+        dividend_size: None,
+        restricted_divisor: false,
+        duplicate_free: true,
+    };
+    let alg1 = show("case 1: unrestricted divisor, unique inputs", &case1);
+    assert_eq!(alg1, Algorithm::HashAggregation { join: false });
+
+    // Case 2: the paper's second example — the divisor was restricted by
+    // a selection (database courses only), so aggregation needs a
+    // semi-join and hash-division takes the lead.
+    let case2 = PlannerInput {
+        restricted_divisor: true,
+        ..case1
+    };
+    let alg2 = show("case 2: restricted divisor (selection upstream)", &case2);
+    assert!(matches!(alg2, Algorithm::HashDivision { .. }));
+
+    // Case 3: duplicates possible (inputs not key projections): hash
+    // aggregation is ruled out entirely; hash-division is "both fast and
+    // general".
+    let case3 = PlannerInput {
+        duplicate_free: false,
+        ..case2
+    };
+    let alg3 = show("case 3: restricted divisor AND possible duplicates", &case3);
+    assert!(matches!(alg3, Algorithm::HashDivision { .. }));
+
+    // Run the case-3 choice end to end on a workload with noise and
+    // duplicates to show the recommendation is safe.
+    let w = WorkloadSpec {
+        divisor_size: 40,
+        quotient_size: 60,
+        noise_per_group: 3,
+        incomplete_groups: 20,
+        dividend_copies: 2,
+        divisor_copies: 2,
+        ..Default::default()
+    }
+    .generate(8);
+    let q = divide_relations(&w.dividend, &w.divisor, alg3).expect("divide");
+    let mut got: Vec<i64> = q
+        .tuples()
+        .iter()
+        .map(|t| t.value(0).as_int().expect("int"))
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, w.expected_quotient);
+    println!(
+        "\nran case 3's choice on a noisy, duplicated workload: {} quotient tuples, correct.",
+        got.len()
+    );
+}

@@ -1,0 +1,83 @@
+//! Codd's classic division example: suppliers who supply *every* part in
+//! a project's bill of materials — with duplicates, irrelevant parts, and
+//! an empty bill, showing the semantics hash-division gives for free.
+//!
+//! ```text
+//! cargo run --example supplier_parts
+//! ```
+
+use reldiv::mem::hash_divide;
+use reldiv::rel::schema::Field;
+use reldiv::rel::{Relation, Schema, Tuple, Value};
+use reldiv::{divide_relations, Algorithm, HashDivisionMode};
+
+fn shipments() -> Vec<(&'static str, &'static str)> {
+    vec![
+        // Acme supplies everything, with a duplicated shipment row.
+        ("acme", "bolt"),
+        ("acme", "bolt"),
+        ("acme", "nut"),
+        ("acme", "washer"),
+        ("acme", "gear"),
+        // Bolts-R-Us sells bolts and nuts only.
+        ("bolts-r-us", "bolt"),
+        ("bolts-r-us", "nut"),
+        // Gears+ sells gears and an exotic part no project needs.
+        ("gears+", "gear"),
+        ("gears+", "flux-capacitor"),
+        // Widget Works covers the bill of materials exactly.
+        ("widget-works", "bolt"),
+        ("widget-works", "nut"),
+        ("widget-works", "washer"),
+    ]
+}
+
+fn main() {
+    let bill_of_materials = ["bolt", "nut", "washer"];
+
+    // ---- in-memory API: duplicates and noise are harmless -------------
+    let who = hash_divide(shipments(), bill_of_materials);
+    println!("suppliers covering {bill_of_materials:?}: {who:?}");
+    assert_eq!(who, vec!["acme", "widget-works"]);
+
+    // An empty bill of materials is vacuously covered by every supplier
+    // that appears at all.
+    let everyone = hash_divide(shipments(), Vec::<&str>::new());
+    println!("suppliers covering the empty bill:   {everyone:?}");
+    assert_eq!(everyone.len(), 4);
+
+    // ---- relational API across all algorithms --------------------------
+    let supplies = Relation::from_tuples(
+        Schema::new(vec![Field::str("supplier", 16), Field::str("part", 16)]),
+        shipments()
+            .into_iter()
+            .map(|(s, p)| Tuple::new(vec![Value::from(s), Value::from(p)]))
+            .collect(),
+    )
+    .expect("shipments conform");
+    let bom = Relation::from_tuples(
+        Schema::new(vec![Field::str("part", 16)]),
+        bill_of_materials
+            .iter()
+            .map(|&p| Tuple::new(vec![Value::from(p)]))
+            .collect(),
+    )
+    .expect("bill conforms");
+
+    println!("\nper-algorithm (the shipments table contains duplicates, so the");
+    println!("aggregate plans silently run their duplicate-elimination steps):");
+    for algorithm in [
+        Algorithm::Naive,
+        Algorithm::SortAggregation { join: true },
+        Algorithm::HashAggregation { join: true },
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+    ] {
+        let q = divide_relations(&supplies, &bom, algorithm).expect("divide");
+        let mut names: Vec<String> = q.tuples().iter().map(|t| t.value(0).to_string()).collect();
+        names.sort();
+        println!("  {:<30} -> {names:?}", algorithm.label());
+        assert_eq!(names, vec!["acme".to_string(), "widget-works".to_string()]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Property tests: all division algorithms compute the same quotient, and
+//! that quotient satisfies the algebraic laws of relational division.
+//!
+//! The oracle is a brute-force set implementation
+//! ([`reldiv::workload::brute_force_divide`]); inputs are drawn from small
+//! domains so duplicates, non-matching tuples, and complete groups all
+//! occur with high probability.
+
+use proptest::prelude::*;
+use reldiv::rel::schema::Field;
+use reldiv::rel::tuple::ints;
+use reldiv::rel::{Relation, Schema};
+use reldiv::workload::brute_force_divide;
+use reldiv::{divide_relations, Algorithm, HashDivisionMode};
+
+fn dividend_rel(rows: &[(i64, i64)]) -> Relation {
+    let schema = Schema::new(vec![Field::int("q"), Field::int("d")]);
+    Relation::from_tuples(schema, rows.iter().map(|&(q, d)| ints(&[q, d])).collect())
+        .expect("rows conform")
+}
+
+fn divisor_rel(vals: &[i64]) -> Relation {
+    let schema = Schema::new(vec![Field::int("d")]);
+    Relation::from_tuples(schema, vals.iter().map(|&d| ints(&[d])).collect()).expect("rows conform")
+}
+
+/// Every algorithm that is total on arbitrary bag inputs.
+fn general_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Naive,
+        Algorithm::SortAggregation { join: true },
+        Algorithm::HashAggregation { join: true },
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::EarlyOut,
+        },
+    ]
+}
+
+fn sorted_quotient(rel: &Relation) -> Vec<i64> {
+    let mut v: Vec<i64> = rel
+        .tuples()
+        .iter()
+        .map(|t| t.value(0).as_int().expect("int quotient"))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn oracle(dividend: &Relation, divisor: &Relation) -> Vec<i64> {
+    let mut v: Vec<i64> = brute_force_divide(dividend, divisor, &[1], &[0])
+        .iter()
+        .map(|t| t.value(0).as_int().expect("int quotient"))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central equivalence: on arbitrary bags (duplicates and noise
+    /// included) every general algorithm matches the brute-force oracle.
+    #[test]
+    fn all_algorithms_match_brute_force(
+        rows in prop::collection::vec((0i64..6, 0i64..8), 0..120),
+        divisor in prop::collection::vec(0i64..8, 0..12),
+    ) {
+        let dividend = dividend_rel(&rows);
+        let divisor = divisor_rel(&divisor);
+        let expected = oracle(&dividend, &divisor);
+        for alg in general_algorithms() {
+            let got = divide_relations(&dividend, &divisor, alg).expect("divide");
+            prop_assert_eq!(
+                sorted_quotient(&got),
+                expected.clone(),
+                "{:?} disagrees with the oracle",
+                alg
+            );
+        }
+    }
+
+    /// On duplicate-free inputs the no-join aggregation plans and the
+    /// counter-only hash-division variant also agree — provided the
+    /// dividend is restricted to divisor values (their documented
+    /// precondition).
+    #[test]
+    fn restricted_unique_inputs_admit_every_variant(
+        groups in prop::collection::btree_map(0i64..6, prop::collection::btree_set(0i64..6, 0..=6), 0..6),
+        divisor in prop::collection::btree_set(0i64..6, 0..=6),
+    ) {
+        // Build a duplicate-free dividend whose divisor attributes are
+        // all drawn from the divisor.
+        let divisor_vals: Vec<i64> = divisor.iter().copied().collect();
+        let mut rows = Vec::new();
+        for (q, ds) in &groups {
+            for d in ds {
+                if divisor.contains(d) {
+                    rows.push((*q, *d));
+                }
+            }
+        }
+        let dividend = dividend_rel(&rows);
+        let divisor = divisor_rel(&divisor_vals);
+        let expected = oracle(&dividend, &divisor);
+        let mut algs = general_algorithms();
+        algs.push(Algorithm::SortAggregation { join: false });
+        algs.push(Algorithm::HashAggregation { join: false });
+        algs.push(Algorithm::HashDivision { mode: HashDivisionMode::CounterOnly });
+        for alg in algs {
+            let got = divide_relations(&dividend, &divisor, alg).expect("divide");
+            prop_assert_eq!(
+                sorted_quotient(&got),
+                expected.clone(),
+                "{:?} disagrees on restricted unique inputs",
+                alg
+            );
+        }
+    }
+
+    /// Algebraic law: (Q × S) ÷ S = Q for non-empty S.
+    #[test]
+    fn exact_product_divides_to_q(
+        q_vals in prop::collection::btree_set(0i64..40, 1..20),
+        s_vals in prop::collection::btree_set(0i64..40, 1..20),
+    ) {
+        let rows: Vec<(i64, i64)> = q_vals
+            .iter()
+            .flat_map(|&q| s_vals.iter().map(move |&s| (q, s)))
+            .collect();
+        let dividend = dividend_rel(&rows);
+        let divisor = divisor_rel(&s_vals.iter().copied().collect::<Vec<_>>());
+        let expected: Vec<i64> = q_vals.into_iter().collect();
+        for alg in general_algorithms() {
+            let got = divide_relations(&dividend, &divisor, alg).expect("divide");
+            prop_assert_eq!(sorted_quotient(&got), expected.clone(), "{:?}", alg);
+        }
+    }
+
+    /// Monotonicity: growing the divisor can only shrink the quotient.
+    #[test]
+    fn growing_the_divisor_shrinks_the_quotient(
+        rows in prop::collection::vec((0i64..6, 0i64..8), 0..80),
+        divisor in prop::collection::btree_set(0i64..8, 0..8),
+        extra in 0i64..8,
+    ) {
+        let dividend = dividend_rel(&rows);
+        let small = divisor_rel(&divisor.iter().copied().collect::<Vec<_>>());
+        let mut grown = divisor.clone();
+        grown.insert(extra);
+        let big = divisor_rel(&grown.into_iter().collect::<Vec<_>>());
+        let alg = Algorithm::HashDivision { mode: HashDivisionMode::Standard };
+        let q_small = sorted_quotient(&divide_relations(&dividend, &small, alg).expect("divide"));
+        let q_big = sorted_quotient(&divide_relations(&dividend, &big, alg).expect("divide"));
+        for q in &q_big {
+            prop_assert!(q_small.contains(q), "quotient must shrink as the divisor grows");
+        }
+    }
+
+    /// Duplicate insensitivity: replicating input tuples never changes
+    /// the quotient of any general algorithm.
+    #[test]
+    fn duplicates_never_change_the_quotient(
+        rows in prop::collection::vec((0i64..5, 0i64..6), 0..40),
+        divisor in prop::collection::vec(0i64..6, 0..8),
+        copies in 2usize..4,
+    ) {
+        let base_dividend = dividend_rel(&rows);
+        let base_divisor = divisor_rel(&divisor);
+        let mut dup_rows = Vec::new();
+        for _ in 0..copies {
+            dup_rows.extend_from_slice(&rows);
+        }
+        let mut dup_divisor_vals = Vec::new();
+        for _ in 0..copies {
+            dup_divisor_vals.extend_from_slice(&divisor);
+        }
+        let dup_dividend = dividend_rel(&dup_rows);
+        let dup_divisor = divisor_rel(&dup_divisor_vals);
+        for alg in general_algorithms() {
+            let a = divide_relations(&base_dividend, &base_divisor, alg).expect("divide");
+            let b = divide_relations(&dup_dividend, &dup_divisor, alg).expect("divide");
+            prop_assert_eq!(sorted_quotient(&a), sorted_quotient(&b), "{:?}", alg);
+        }
+    }
+
+    /// The quotient never contains a value absent from the dividend, and
+    /// with a non-empty divisor every quotient value is paired with every
+    /// divisor value.
+    #[test]
+    fn quotient_soundness(
+        rows in prop::collection::vec((0i64..6, 0i64..8), 0..100),
+        divisor in prop::collection::vec(0i64..8, 1..10),
+    ) {
+        let dividend = dividend_rel(&rows);
+        let divisor_rel_ = divisor_rel(&divisor);
+        let alg = Algorithm::HashDivision { mode: HashDivisionMode::Standard };
+        let q = divide_relations(&dividend, &divisor_rel_, alg).expect("divide");
+        let pairs: std::collections::HashSet<(i64, i64)> = rows.iter().copied().collect();
+        for t in q.tuples() {
+            let qv = t.value(0).as_int().expect("int");
+            for &d in &divisor {
+                prop_assert!(
+                    pairs.contains(&(qv, d)),
+                    "quotient value {} is missing divisor value {}",
+                    qv, d
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic edge cases, pinned outside proptest.
+#[test]
+fn edge_cases_pin_down_conventions() {
+    let empty_dividend = dividend_rel(&[]);
+    let empty_divisor = divisor_rel(&[]);
+    let dividend = dividend_rel(&[(1, 5), (2, 5), (1, 6)]);
+    let divisor = divisor_rel(&[5, 6]);
+    for alg in general_algorithms() {
+        // ∅ ÷ ∅ = ∅
+        let q = divide_relations(&empty_dividend, &empty_divisor, alg).expect("divide");
+        assert!(q.is_empty(), "{alg:?}");
+        // ∅ ÷ S = ∅
+        let q = divide_relations(&empty_dividend, &divisor, alg).expect("divide");
+        assert!(q.is_empty(), "{alg:?}");
+        // R ÷ ∅ = distinct π_q(R)
+        let q = divide_relations(&dividend, &empty_divisor, alg).expect("divide");
+        assert_eq!(sorted_quotient(&q), vec![1, 2], "{alg:?}");
+        // The normal case.
+        let q = divide_relations(&dividend, &divisor, alg).expect("divide");
+        assert_eq!(sorted_quotient(&q), vec![1], "{alg:?}");
+    }
+}
+
+mod string_inputs {
+    use super::*;
+    use reldiv::rel::{Tuple, Value};
+
+    fn str_dividend(rows: &[(u8, u8)]) -> Relation {
+        // Small string domains force collisions; width-8 columns.
+        let schema = Schema::new(vec![Field::str("supplier", 8), Field::str("part", 8)]);
+        Relation::from_tuples(
+            schema,
+            rows.iter()
+                .map(|&(s, p)| {
+                    Tuple::new(vec![
+                        Value::from(format!("s{s}")),
+                        Value::from(format!("p{p}")),
+                    ])
+                })
+                .collect(),
+        )
+        .expect("rows conform")
+    }
+
+    fn str_divisor(vals: &[u8]) -> Relation {
+        let schema = Schema::new(vec![Field::str("part", 8)]);
+        Relation::from_tuples(
+            schema,
+            vals.iter()
+                .map(|&p| Tuple::new(vec![Value::from(format!("p{p}"))]))
+                .collect(),
+        )
+        .expect("rows conform")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// String-typed divisions agree across all general algorithms,
+        /// exercising the string comparison/hash/codec paths end to end.
+        #[test]
+        fn string_division_matches_brute_force(
+            rows in prop::collection::vec((0u8..5, 0u8..6), 0..80),
+            divisor in prop::collection::vec(0u8..6, 0..8),
+        ) {
+            let dividend = str_dividend(&rows);
+            let divisor = str_divisor(&divisor);
+            let brute = reldiv::workload::brute_force_divide(&dividend, &divisor, &[1], &[0]);
+            let mut expected: Vec<String> =
+                brute.iter().map(|t| t.value(0).to_string()).collect();
+            expected.sort();
+            for alg in crate::general_algorithms() {
+                let got = divide_relations(&dividend, &divisor, alg).expect("divide");
+                let mut names: Vec<String> =
+                    got.tuples().iter().map(|t| t.value(0).to_string()).collect();
+                names.sort();
+                prop_assert_eq!(&names, &expected, "{:?}", alg);
+            }
+        }
+    }
+}
