@@ -1,0 +1,378 @@
+//! `divload` — closed-loop load generator for the division query service.
+//!
+//! Drives an embedded [`reldiv_service::Service`] through the in-process
+//! client with a mix of repeated and distinct division queries while an
+//! updater thread re-registers relations underneath them, and verifies
+//! **every** response against a brute-force division of the exact input
+//! versions the service reports — a response computed from (or cached
+//! for) anything but the pinned versions fails the run.
+//!
+//! ```text
+//! cargo run --release -p reldiv-bench --bin divload -- \
+//!     [--queries N] [--clients N] [--workers N] [--queue N] [--cache N] \
+//!     [--update-every N] [--seed N]
+//! ```
+//!
+//! Prints throughput, latency percentiles, cache hit rate, rejection
+//! count, and the verification tally; exits non-zero on any incorrect
+//! quotient.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reldiv_core::{Algorithm, HashDivisionMode};
+use reldiv_rel::{RecordCodec, Relation, Tuple};
+use reldiv_service::{
+    DivideRequest, DivisionClient, InProcClient, Service, ServiceConfig, ServiceError,
+};
+use reldiv_workload::{brute_force_divide, WorkloadSpec};
+
+const DIVIDENDS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+const DIVISORS: [&str; 2] = ["s0", "s1"];
+
+/// Algorithms that are exactly correct for *any* input pair, including
+/// the restricted-divisor case this load mix produces (dividends and
+/// divisors update independently). The no-join aggregation columns are
+/// excluded by the same rule the paper's planner applies.
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Naive,
+    Algorithm::SortAggregation { join: true },
+    Algorithm::HashAggregation { join: true },
+    Algorithm::HashDivision {
+        mode: HashDivisionMode::Standard,
+    },
+    Algorithm::HashDivision {
+        mode: HashDivisionMode::EarlyOut,
+    },
+];
+
+struct Args {
+    queries: u64,
+    clients: usize,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    update_every: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            queries: 10_000,
+            clients: 8,
+            workers: 4,
+            queue: 16,
+            cache: 128,
+            update_every: 250,
+            seed: 1989,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: divload [--queries N] [--clients N] [--workers N] [--queue N] \
+         [--cache N] [--update-every N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args::default();
+    let mut args = std::env::args();
+    args.next();
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| -> u64 {
+            let Some(value) = args.next() else { usage() };
+            match value.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("bad value for {flag}: {value:?}");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--queries" => parsed.queries = next("--queries"),
+            "--clients" => parsed.clients = next("--clients") as usize,
+            "--workers" => parsed.workers = next("--workers") as usize,
+            "--queue" => parsed.queue = next("--queue") as usize,
+            "--cache" => parsed.cache = next("--cache") as usize,
+            "--update-every" => parsed.update_every = next("--update-every"),
+            "--seed" => parsed.seed = next("--seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+fn generate(name: &str, seed: u64) -> Relation {
+    let dividend = name.starts_with('r');
+    let w = WorkloadSpec {
+        divisor_size: 4 + seed % 5,
+        quotient_size: 20 + seed % 30,
+        incomplete_groups: seed % 10,
+        incomplete_fill: 0.5,
+        noise_per_group: 0,
+        ..WorkloadSpec::default()
+    }
+    .generate(seed);
+    if dividend {
+        w.dividend
+    } else {
+        w.divisor
+    }
+}
+
+/// Sorted record-encoded quotient for one (dividend, divisor) version pair.
+type CanonicalQuotient = Arc<Vec<Vec<u8>>>;
+
+/// Ground truth shared by clients and the updater: every relation
+/// version ever registered, plus memoized expected quotients per
+/// (dividend version, divisor version) pair.
+#[derive(Default)]
+struct Oracle {
+    versions: Mutex<HashMap<u64, Arc<Relation>>>,
+    expected: Mutex<HashMap<(u64, u64), CanonicalQuotient>>,
+}
+
+impl Oracle {
+    /// Registers `relation` under `name`, recording the version the
+    /// catalog assigned.
+    fn register(&self, client: &mut InProcClient, name: &str, relation: Relation) {
+        let relation = Arc::new(relation);
+        let version = client
+            .register(name, &relation)
+            .expect("registration only fails during shutdown");
+        self.versions.lock().unwrap().insert(version, relation);
+    }
+
+    /// The relation a version number refers to. A client can observe a
+    /// version a beat before the updater records it; spin briefly.
+    fn relation(&self, version: u64) -> Arc<Relation> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(r) = self.versions.lock().unwrap().get(&version) {
+                return r.clone();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "version {version} never appeared in the oracle"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Canonical byte image of the true quotient for a version pair.
+    fn expected(&self, dividend_v: u64, divisor_v: u64) -> CanonicalQuotient {
+        if let Some(hit) = self.expected.lock().unwrap().get(&(dividend_v, divisor_v)) {
+            return hit.clone();
+        }
+        let dividend = self.relation(dividend_v);
+        let divisor = self.relation(divisor_v);
+        let quotient = brute_force_divide(&dividend, &divisor, &[1], &[0]);
+        let schema = dividend
+            .schema()
+            .project(&[0])
+            .expect("dividend has a quotient column");
+        let bytes = Arc::new(canonical_bytes(&RecordCodec::new(schema), &quotient));
+        self.expected
+            .lock()
+            .unwrap()
+            .insert((dividend_v, divisor_v), bytes.clone());
+        bytes
+    }
+}
+
+fn canonical_bytes(codec: &RecordCodec, tuples: &[Tuple]) -> Vec<Vec<u8>> {
+    let mut records: Vec<Vec<u8>> = tuples
+        .iter()
+        .map(|t| codec.encode(t).expect("tuples fit their schema"))
+        .collect();
+    records.sort();
+    records
+}
+
+fn format_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let service = Service::start(ServiceConfig {
+        workers: args.workers,
+        queue_depth: args.queue,
+        cache_capacity: args.cache,
+        ..ServiceConfig::default()
+    });
+    let oracle = Arc::new(Oracle::default());
+
+    let mut setup = InProcClient::new(service.clone());
+    for (i, name) in DIVIDENDS.iter().chain(DIVISORS.iter()).enumerate() {
+        oracle.register(&mut setup, name, generate(name, args.seed + i as u64));
+    }
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let incorrect = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    // Updater: re-register a random relation every `update_every`
+    // completed queries, interleaving catalog updates (and the cache
+    // invalidations they trigger) with the query load at a fixed rate
+    // regardless of throughput.
+    let updates = {
+        let service = service.clone();
+        let oracle = oracle.clone();
+        let done = done.clone();
+        let completed = completed.clone();
+        let seed = args.seed;
+        let every = args.update_every.max(1);
+        std::thread::spawn(move || {
+            let mut client = InProcClient::new(service);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD171_DE00);
+            let mut updates = 0u64;
+            let mut threshold = every;
+            while !done.load(Ordering::Acquire) {
+                if completed.load(Ordering::Relaxed) < threshold {
+                    std::thread::sleep(Duration::from_micros(200));
+                    continue;
+                }
+                threshold += every;
+                let names: [&str; 6] = ["r0", "r1", "r2", "r3", "s0", "s1"];
+                let name = names[rng.gen_range(0..names.len())];
+                oracle.register(
+                    &mut client,
+                    name,
+                    generate(name, rng.gen_range(0..1u64 << 40)),
+                );
+                updates += 1;
+            }
+            updates
+        })
+    };
+
+    let clients: Vec<_> = (0..args.clients.max(1))
+        .map(|client_id| {
+            let service = service.clone();
+            let oracle = oracle.clone();
+            let completed = completed.clone();
+            let incorrect = incorrect.clone();
+            let target = args.queries;
+            let seed = args.seed;
+            std::thread::spawn(move || {
+                let mut client = InProcClient::new(service);
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client_id as u64 * 7919));
+                while completed.load(Ordering::Relaxed) < target {
+                    // Small key space → plenty of repeats (cache hits);
+                    // updates keep injecting distinct versions.
+                    let request = DivideRequest {
+                        dividend: DIVIDENDS[rng.gen_range(0..DIVIDENDS.len())].into(),
+                        divisor: DIVISORS[rng.gen_range(0..DIVISORS.len())].into(),
+                        algorithm: Some(ALGORITHMS[rng.gen_range(0..ALGORITHMS.len())]),
+                        assume_unique: false,
+                        spec: None,
+                    };
+                    match client.divide(&request) {
+                        Ok(reply) => {
+                            let got = canonical_bytes(
+                                &RecordCodec::new(reply.schema.clone()),
+                                &reply.tuples,
+                            );
+                            let want =
+                                oracle.expected(reply.dividend_version, reply.divisor_version);
+                            if got != *want {
+                                incorrect.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "INCORRECT quotient: {} ÷ {} ({:?}, cached {}, versions {}/{}): \
+                                     got {} tuples, want {}",
+                                    request.dividend,
+                                    request.divisor,
+                                    reply.algorithm,
+                                    reply.cached,
+                                    reply.dividend_version,
+                                    reply.divisor_version,
+                                    got.len(),
+                                    want.len()
+                                );
+                            }
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServiceError::Overloaded) => {
+                            // Shed: back off briefly and retry (closed loop).
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(ServiceError::ShuttingDown) => break,
+                        Err(other) => panic!("unexpected service error: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    done.store(true, Ordering::Release);
+    let update_count = updates.join().expect("updater thread");
+    service.shutdown();
+
+    let stats = service.stats();
+    let completed = completed.load(Ordering::Relaxed);
+    let incorrect = incorrect.load(Ordering::Relaxed);
+    let answered = stats.cache_hits + stats.cache_misses;
+    println!(
+        "divload: {completed} queries in {:.2} s ({:.0} q/s), {update_count} relation updates",
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "latency: p50 {} us, p95 {} us, p99 {} us (mean {} us)",
+        stats.latency_p50_us, stats.latency_p95_us, stats.latency_p99_us, stats.latency_mean_us
+    );
+    println!(
+        "cache:   {} hits / {} lookups ({:.1}%), {} entries resident",
+        stats.cache_hits,
+        answered,
+        100.0 * stats.hit_rate(),
+        service.cache_len(),
+    );
+    println!(
+        "load:    {} rejections (admission control), {} errors",
+        stats.rejections, stats.errors
+    );
+    println!(
+        "ops:     {} comparisons, {} hashes, {} moves, {} bitops",
+        format_count(stats.ops.comparisons),
+        format_count(stats.ops.hashes),
+        format_count(stats.ops.moves),
+        format_count(stats.ops.bitops)
+    );
+    println!(
+        "verify:  {}/{} correct quotients",
+        completed - incorrect,
+        completed
+    );
+    if incorrect > 0 {
+        eprintln!("divload: FAILED — {incorrect} incorrect quotients");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -108,12 +108,11 @@ pub fn try_run_division_experiment(
         sm.evict_all().expect("flush and evict loaded inputs");
         sm.reset_stats();
     }
-    counters::reset();
-    let before_ops = counters::snapshot();
+    let scope = counters::OpScope::begin();
     let start = Instant::now();
     let quotient = divide(&storage, &d_src, &s_src, &spec, algorithm, config)?;
     let cpu_ms_measured = start.elapsed().as_secs_f64() * 1000.0;
-    let ops = counters::snapshot().since(&before_ops);
+    let ops = scope.finish();
     let io = storage.borrow().io_stats();
     let units = CostUnits::paper();
     Ok(Measurement {

@@ -1,0 +1,126 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice-cursor surface it actually uses: [`Buf`] for
+//! reading little-endian integers off the front of a `&[u8]`, and
+//! [`BufMut`] for appending to a `Vec<u8>`. Semantics match the real
+//! crate for these methods (including panics on under-run), so swapping
+//! the real dependency back in is a one-line change.
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Bytes remaining ahead of the cursor.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// The bytes ahead of the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads a little-endian `i64` and advances past it.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        i64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64` and advances past it.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32` and advances past it.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads one byte and advances past it.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize);
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_i64_and_padding() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_i64_le(-7);
+        out.put_slice(b"ab");
+        out.put_bytes(0, 3);
+        assert_eq!(out.len(), 13);
+
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.get_i64_le(), -7);
+        assert_eq!(cur.remaining(), 5);
+        assert_eq!(&cur.chunk()[..2], b"ab");
+        cur.advance(5);
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Provides the [`channel`] module the workspace uses: multi-producer
+//! multi-consumer channels with `unbounded` and `bounded` constructors,
+//! cloneable senders *and* receivers, and crossbeam's disconnection
+//! semantics (send fails once every receiver is gone; recv fails once the
+//! queue is empty and every sender is gone). Built on a mutex-protected
+//! deque with two condition variables — not lock-free, but semantically
+//! faithful and plenty fast for the simulated cluster and the query
+//! service.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signaled when the queue gains an item or the last sender leaves.
+        not_empty: Condvar,
+        /// Signaled when the queue loses an item or the last receiver leaves.
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error for [`Sender::send`]: every receiver disconnected; the
+    /// unsent message is returned.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// Every receiver disconnected.
+        Disconnected(T),
+    }
+
+    /// Error for [`Receiver::recv`]: channel empty and every sender
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Channel empty and every sender disconnected.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// Channel empty and every sender disconnected.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    ///
+    /// `cap = 0` is modeled as capacity 1 (the stand-in has no
+    /// rendezvous mode; the workspace never uses zero-capacity channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    fn lock<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        chan.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full. Fails only
+        /// when every receiver has disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.chan);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self
+                            .chan
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(|p| p.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking; a full bounded channel yields
+        /// [`TrySendError::Full`] immediately.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = lock(&self.chan);
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = st.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            lock(&self.chan).queue.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking while the channel is empty. Fails only when
+        /// the channel is empty and every sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.chan);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.chan);
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.chan);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = g;
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            lock(&self.chan).queue.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator for [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.chan).senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.chan).receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.chan);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake receivers so they observe disconnection.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.chan);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake blocked senders so they observe disconnection.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_full() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn send_fails_when_receivers_gone() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_capacity_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn cloned_receivers_compete() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(7).unwrap();
+            tx.send(8).unwrap();
+            drop(tx);
+            let a = rx1.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            assert_eq!(a + b, 15);
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = unbounded::<i32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

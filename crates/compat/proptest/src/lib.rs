@@ -1,0 +1,119 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small property-testing harness with proptest's macro and
+//! combinator surface: `proptest! { #![proptest_config(..)] #[test] fn
+//! t(x in strategy) {..} }`, `prop_oneof!`, `prop_assert*!`, range and
+//! tuple strategies, `Just`, `any::<T>()`, `prop::collection::{vec,
+//! btree_map, btree_set}`, `prop::sample::select`, and
+//! `prop::option::of`.
+//!
+//! Differences from the real crate: generation is **deterministic** (the
+//! case seed is a hash of the test's module path and name plus the case
+//! index, so failures reproduce exactly across runs and machines) and
+//! there is **no shrinking** — a failing case panics with the ordinary
+//! assert message. Strategies generate values directly rather than value
+//! trees.
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property body.
+///
+/// Unlike real proptest (which records a failure and shrinks), this
+/// simply panics; the deterministic per-case seed makes the failure
+/// reproducible.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks among strategies, optionally weighted (`3 => strat`). All arms
+/// must produce the same value type; arms are boxed internally.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(pat in strategy, ..) { body }` becomes a `#[test]`
+/// (attributes written above the fn, including `#[test]`, are preserved)
+/// that runs the body `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pname:pat_param in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $pname =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    { $body }
+                }
+            }
+        )*
+    };
+}

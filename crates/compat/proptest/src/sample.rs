@@ -1,0 +1,38 @@
+//! Sampling strategies over explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly picks one of `values` (cloned per case).
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select needs at least one value");
+    Select { values }
+}
+
+/// The strategy returned by [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_hits_every_value() {
+        let mut rng = TestRng::new(6);
+        let s = select(vec![10usize, 20, 30]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

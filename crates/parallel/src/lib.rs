@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use reldiv_core::api::{divide, DivisionConfig, Source};
 use reldiv_core::hash_division::{HashDivisionMode, QuotientTable};
 use reldiv_core::{Algorithm, DivisionSpec, ExecError};
+use reldiv_rel::counters::{OpScope, OpSnapshot};
 use reldiv_rel::{Relation, Tuple};
 use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::{MemoryPool, StorageManager};
@@ -117,6 +118,11 @@ pub struct RunReport {
     pub filter_fill_ratio: Option<f64>,
     /// Dividend tuples shipped to each node.
     pub per_node_dividend: Vec<u64>,
+    /// Abstract operations performed by each node (scoped per node
+    /// thread, so a node's count covers exactly its own division work).
+    pub per_node_ops: Vec<OpSnapshot>,
+    /// Sum of the per-node operation counts.
+    pub total_ops: OpSnapshot,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -132,8 +138,9 @@ fn node_main_streaming(
     spec: DivisionSpec,
     dividend_schema: reldiv_rel::Schema,
     storage_config: StorageConfig,
-) -> Result<()> {
+) -> Result<OpSnapshot> {
     use reldiv_core::hash_division::DivisorTable;
+    let scope = OpScope::begin();
     let pool = MemoryPool::new(storage_config.work_memory_bytes.max(1 << 20));
     let quotient_schema = spec.quotient_schema(&dividend_schema)?;
     let mut divisor_table: Option<DivisorTable> = None;
@@ -184,7 +191,7 @@ fn node_main_streaming(
     if !outbox.is_empty() {
         result.send(node_id, outbox);
     }
-    Ok(())
+    Ok(scope.finish())
 }
 
 /// Reconstructs the divisor schema from the spec and the dividend schema
@@ -212,7 +219,8 @@ fn node_main(
     dividend_schema: reldiv_rel::Schema,
     divisor_schema: reldiv_rel::Schema,
     storage_config: StorageConfig,
-) -> Result<()> {
+) -> Result<OpSnapshot> {
+    let scope = OpScope::begin();
     let mut divisor_tuples: Vec<Tuple> = Vec::new();
     let mut dividend_tuples: Vec<Tuple> = Vec::new();
     loop {
@@ -237,7 +245,7 @@ fn node_main(
         &DivisionConfig::default(),
     )?;
     result.send(node_id, quotient.into_tuples());
-    Ok(())
+    Ok(scope.finish())
 }
 
 /// Runs `dividend ÷ divisor` across the simulated cluster.
@@ -489,12 +497,18 @@ pub fn parallel_divide(
         }
     }
 
-    // Surface node failures.
+    // Surface node failures; collect each node's operation counts.
+    let mut per_node_ops = Vec::with_capacity(handles.len());
     for handle in handles {
-        handle
-            .join()
-            .map_err(|_| ExecError::Plan("node thread panicked".into()))??;
+        per_node_ops.push(
+            handle
+                .join()
+                .map_err(|_| ExecError::Plan("node thread panicked".into()))??,
+        );
     }
+    let total_ops = per_node_ops
+        .iter()
+        .fold(OpSnapshot::default(), |acc, ops| acc.merge(ops));
 
     let report = RunReport {
         network: counters.stats(),
@@ -503,6 +517,8 @@ pub fn parallel_divide(
         filtered_tuples,
         filter_fill_ratio,
         per_node_dividend,
+        per_node_ops,
+        total_ops,
         elapsed: start.elapsed(),
     };
     Ok((result, report))

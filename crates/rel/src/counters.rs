@@ -16,6 +16,7 @@
 //! `reldiv-parallel` snapshots them per worker thread and aggregates.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static COMPARISONS: Cell<u64> = const { Cell::new(0) };
@@ -105,6 +106,118 @@ pub fn reset() {
     BITOPS.with(|c| c.set(0));
 }
 
+/// A scoped measurement of the current thread's counters.
+///
+/// Captures a baseline at construction; [`OpScope::delta`] and
+/// [`OpScope::finish`] report only the operations performed since then,
+/// so a scope never observes counts from earlier work on the same thread
+/// — the property that keeps pooled worker threads from leaking one
+/// request's operations into the next request's measurement.
+///
+/// With [`OpScope::with_sink`], the delta is also **published on drop**
+/// into a shared [`OpAccumulator`], even if the measured region exits by
+/// error or panic; callers that hand-rolled `snapshot()`/`since()` pairs
+/// (the bench harness, the parallel nodes, the query service) use this
+/// instead.
+#[must_use = "an unused scope measures nothing"]
+pub struct OpScope<'a> {
+    start: OpSnapshot,
+    sink: Option<&'a OpAccumulator>,
+    published: bool,
+}
+
+impl OpScope<'static> {
+    /// Starts measuring from the current counter values.
+    pub fn begin() -> OpScope<'static> {
+        OpScope {
+            start: snapshot(),
+            sink: None,
+            published: false,
+        }
+    }
+}
+
+impl<'a> OpScope<'a> {
+    /// Starts measuring; the delta is added to `sink` when the scope
+    /// ends (explicitly via [`OpScope::finish`] or implicitly on drop).
+    pub fn with_sink(sink: &'a OpAccumulator) -> OpScope<'a> {
+        OpScope {
+            start: snapshot(),
+            sink: Some(sink),
+            published: false,
+        }
+    }
+
+    /// Operations performed since the scope began.
+    pub fn delta(&self) -> OpSnapshot {
+        snapshot().since(&self.start)
+    }
+
+    /// Ends the scope, returning the delta (and publishing it to the
+    /// sink, if any).
+    pub fn finish(mut self) -> OpSnapshot {
+        let delta = self.delta();
+        if let Some(sink) = self.sink {
+            sink.add(&delta);
+        }
+        self.published = true;
+        delta
+    }
+}
+
+impl Drop for OpScope<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            if let Some(sink) = self.sink {
+                sink.add(&self.delta());
+            }
+        }
+    }
+}
+
+/// Runs `f`, returning its result and the operations it performed.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, OpSnapshot) {
+    let scope = OpScope::begin();
+    let result = f();
+    (result, scope.finish())
+}
+
+/// A thread-safe accumulator of [`OpSnapshot`]s, for aggregating
+/// measurements across worker threads (the parallel cluster's nodes, the
+/// query service's pool).
+#[derive(Debug, Default)]
+pub struct OpAccumulator {
+    comparisons: AtomicU64,
+    hashes: AtomicU64,
+    moves: AtomicU64,
+    bitops: AtomicU64,
+}
+
+impl OpAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> OpAccumulator {
+        OpAccumulator::default()
+    }
+
+    /// Adds a snapshot's counts.
+    pub fn add(&self, s: &OpSnapshot) {
+        self.comparisons.fetch_add(s.comparisons, Ordering::Relaxed);
+        self.hashes.fetch_add(s.hashes, Ordering::Relaxed);
+        self.moves.fetch_add(s.moves, Ordering::Relaxed);
+        self.bitops.fetch_add(s.bitops, Ordering::Relaxed);
+    }
+
+    /// Reads the accumulated totals.
+    pub fn totals(&self) -> OpSnapshot {
+        OpSnapshot {
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+            hashes: self.hashes.load(Ordering::Relaxed),
+            moves: self.moves.load(Ordering::Relaxed),
+            bitops: self.bitops.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +279,68 @@ mod tests {
                 bitops: 44
             }
         );
+    }
+
+    #[test]
+    fn scopes_do_not_leak_between_pooled_requests() {
+        // Two back-to-back scopes on one (reused) thread: each sees only
+        // its own operations, regardless of what ran before it.
+        count_comparisons(1000);
+        let first = OpScope::begin();
+        count_comparisons(3);
+        assert_eq!(first.finish().comparisons, 3);
+        let second = OpScope::begin();
+        count_comparisons(8);
+        count_hashes(2);
+        let d = second.finish();
+        assert_eq!(d.comparisons, 8);
+        assert_eq!(d.hashes, 2);
+    }
+
+    #[test]
+    fn scope_publishes_to_sink_on_drop() {
+        let sink = OpAccumulator::new();
+        {
+            let _scope = OpScope::with_sink(&sink);
+            count_moves(4);
+            // Dropped without finish(): delta still lands in the sink.
+        }
+        {
+            let scope = OpScope::with_sink(&sink);
+            count_moves(1);
+            assert_eq!(scope.finish().moves, 1);
+            // finish() published; drop must not double-count.
+        }
+        assert_eq!(sink.totals().moves, 5);
+    }
+
+    #[test]
+    fn measure_wraps_a_closure() {
+        let (value, ops) = measure(|| {
+            count_bitops(6);
+            "done"
+        });
+        assert_eq!(value, "done");
+        assert_eq!(ops.bitops, 6);
+    }
+
+    #[test]
+    fn accumulator_merges_across_threads() {
+        use std::sync::Arc;
+        let sink = Arc::new(OpAccumulator::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    let _scope = OpScope::with_sink(&sink);
+                    count_comparisons(10);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.totals().comparisons, 40);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! `reldiv-serve` — the division query server.
+//!
+//! ```text
+//! reldiv-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Serves the length-prefixed protocol of `docs/PROTOCOL.md` until a
+//! client sends a `Shutdown` request; shutdown is graceful (admitted
+//! queries complete, new ones are refused).
+
+use std::process::ExitCode;
+
+use reldiv_service::{ServerHandle, Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reldiv-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         defaults: --addr 127.0.0.1:7171 --workers 4 --queue 64 --cache 256"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(value) = args.next() else { usage() };
+    match value.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            eprintln!("bad value for {flag}: {value:?}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args();
+    args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&mut args, "--addr"),
+            "--workers" => config.workers = parse(&mut args, "--workers"),
+            "--queue" => config.queue_depth = parse(&mut args, "--queue"),
+            "--cache" => config.cache_capacity = parse(&mut args, "--cache"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let service = Service::start(config.clone());
+    let mut server = match ServerHandle::start(service, addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("reldiv-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "reldiv-serve listening on {} ({} workers, queue {}, cache {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth,
+        config.cache_capacity
+    );
+    server.wait_for_shutdown_request();
+    println!("reldiv-serve: shutdown requested, draining");
+    server.shutdown();
+    let stats = server.service().stats();
+    println!(
+        "reldiv-serve: served {} queries ({} cache hits, {} rejections), p99 {} us",
+        stats.queries, stats.cache_hits, stats.rejections, stats.latency_p99_us
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,200 @@
+//! The result cache.
+//!
+//! Keys embed the exact catalog versions of both inputs, the column
+//! spec, and the (resolved) algorithm, so a cached quotient can never be
+//! served for data it was not computed from: an update installs a new
+//! version number and the new key simply misses. Entries referencing a
+//! replaced or dropped relation are additionally purged eagerly so dead
+//! results do not occupy capacity until eviction reaches them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use reldiv_rel::counters::OpSnapshot;
+use reldiv_rel::{Schema, Tuple};
+
+/// Cache key: everything the quotient depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Dividend name and the exact version the query resolved.
+    pub dividend: (String, u64),
+    /// Divisor name and the exact version the query resolved.
+    pub divisor: (String, u64),
+    /// Dividend columns matched against the divisor.
+    pub divisor_keys: Vec<usize>,
+    /// Dividend columns forming the quotient.
+    pub quotient_keys: Vec<usize>,
+    /// Resolved algorithm, as its wire code (auto choices are resolved
+    /// before keying, so `auto` and the explicit pick share entries).
+    pub algorithm: u8,
+    /// Whether the inputs were declared duplicate-free (changes the
+    /// plans the aggregate algorithms run).
+    pub assume_unique: bool,
+}
+
+/// A cached quotient with the provenance the response reports.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Quotient schema.
+    pub schema: Schema,
+    /// Quotient tuples, shared with every response served from this
+    /// entry.
+    pub tuples: Arc<Vec<Tuple>>,
+    /// Abstract operations the original execution performed.
+    pub ops: OpSnapshot,
+}
+
+struct Entry {
+    value: Arc<CachedResult>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// A bounded LRU cache of division results.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up a result, refreshing its recency.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when at
+    /// capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Drops every entry that reads `relation` (as dividend or divisor),
+    /// whatever version. Called on catalog updates and drops.
+    pub fn invalidate_relation(&self, relation: &str) {
+        self.inner
+            .lock()
+            .map
+            .retain(|k, _| k.dividend.0 != relation && k.divisor.0 != relation);
+    }
+
+    /// Current number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+
+    fn key(r: &str, rv: u64, s: &str, sv: u64) -> CacheKey {
+        CacheKey {
+            dividend: (r.to_owned(), rv),
+            divisor: (s.to_owned(), sv),
+            divisor_keys: vec![1],
+            quotient_keys: vec![0],
+            algorithm: 5,
+            assume_unique: false,
+        }
+    }
+
+    fn result(v: i64) -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            schema: Schema::new(vec![Field::int("q")]),
+            tuples: Arc::new(vec![ints(&[v])]),
+            ops: OpSnapshot::default(),
+        })
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let c = ResultCache::new(4);
+        c.insert(key("r", 1, "s", 2), result(7));
+        let got = c.get(&key("r", 1, "s", 2)).unwrap();
+        assert_eq!(got.tuples[0], ints(&[7]));
+        assert!(c.get(&key("r", 2, "s", 2)).is_none(), "version mismatch");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let c = ResultCache::new(2);
+        c.insert(key("r", 1, "s", 1), result(1));
+        c.insert(key("r", 2, "s", 1), result(2));
+        c.get(&key("r", 1, "s", 1)); // refresh the first
+        c.insert(key("r", 3, "s", 1), result(3)); // evicts version 2
+        assert!(c.get(&key("r", 1, "s", 1)).is_some());
+        assert!(c.get(&key("r", 2, "s", 1)).is_none());
+        assert!(c.get(&key("r", 3, "s", 1)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_purges_both_roles() {
+        let c = ResultCache::new(8);
+        c.insert(key("a", 1, "b", 1), result(1));
+        c.insert(key("b", 1, "c", 1), result(2));
+        c.insert(key("c", 1, "d", 1), result(3));
+        c.invalidate_relation("b");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("c", 1, "d", 1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::new(0);
+        c.insert(key("r", 1, "s", 1), result(1));
+        assert!(c.get(&key("r", 1, "s", 1)).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Clients: in-process (sharing the [`Service`] handle) and TCP (speaking
+//! the wire protocol). Both implement [`DivisionClient`], so tests and
+//! the load generator run identically against either transport.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use reldiv_rel::Relation;
+
+use crate::error::{Result, ServiceError};
+use crate::metrics::MetricsSnapshot;
+use crate::proto::{self, DivideReply, DivideRequest, Reply, Request};
+use crate::service::{QueryOptions, Service};
+
+/// The operations a service client offers, transport-independent.
+pub trait DivisionClient {
+    /// Liveness probe.
+    fn ping(&mut self) -> Result<()>;
+    /// Installs (or replaces) a named relation; returns its version.
+    fn register(&mut self, name: &str, relation: &Relation) -> Result<u64>;
+    /// Removes a named relation.
+    fn drop_relation(&mut self, name: &str) -> Result<()>;
+    /// Runs a division query.
+    fn divide(&mut self, request: &DivideRequest) -> Result<DivideReply>;
+    /// Reads the service counters.
+    fn stats(&mut self) -> Result<MetricsSnapshot>;
+}
+
+/// A client calling straight into an embedded [`Service`].
+#[derive(Clone)]
+pub struct InProcClient {
+    service: Arc<Service>,
+}
+
+impl InProcClient {
+    /// Wraps a service handle.
+    pub fn new(service: Arc<Service>) -> InProcClient {
+        InProcClient { service }
+    }
+}
+
+impl DivisionClient for InProcClient {
+    fn ping(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn register(&mut self, name: &str, relation: &Relation) -> Result<u64> {
+        self.service.register(name, relation.clone())
+    }
+
+    fn drop_relation(&mut self, name: &str) -> Result<()> {
+        self.service.drop_relation(name)
+    }
+
+    fn divide(&mut self, request: &DivideRequest) -> Result<DivideReply> {
+        let options = QueryOptions {
+            algorithm: request.algorithm,
+            assume_unique: request.assume_unique,
+            spec: request.spec.clone(),
+        };
+        let r = self
+            .service
+            .divide(&request.dividend, &request.divisor, &options)?;
+        Ok(DivideReply {
+            algorithm: r.algorithm,
+            cached: r.cached,
+            dividend_version: r.dividend_version,
+            divisor_version: r.divisor_version,
+            micros: r.micros,
+            ops: r.ops,
+            schema: r.schema,
+            tuples: r.tuples,
+        })
+    }
+
+    fn stats(&mut self) -> Result<MetricsSnapshot> {
+        Ok(self.service.stats())
+    }
+}
+
+/// A client speaking the length-prefixed protocol over TCP.
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient { stream })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Reply> {
+        let payload = request.encode()?;
+        proto::write_frame(&mut self.stream, &payload).map_err(io_err)?;
+        let frame = proto::read_frame(&mut self.stream)
+            .map_err(io_err)?
+            .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
+        proto::decode_response(&frame)?
+    }
+
+    /// Asks the server to shut down gracefully. The server acknowledges,
+    /// stops accepting connections, and drains in-flight queries.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn io_err(e: io::Error) -> ServiceError {
+    ServiceError::Protocol(format!("transport: {e}"))
+}
+
+fn unexpected(reply: &Reply) -> ServiceError {
+    ServiceError::Protocol(format!("unexpected reply {reply:?}"))
+}
+
+impl DivisionClient for TcpClient {
+    fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn register(&mut self, name: &str, relation: &Relation) -> Result<u64> {
+        let request = Request::Register {
+            name: name.to_owned(),
+            schema: relation.schema().clone(),
+            tuples: relation.tuples().to_vec(),
+        };
+        match self.call(&request)? {
+            Reply::Registered { version } => Ok(version),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn drop_relation(&mut self, name: &str) -> Result<()> {
+        let request = Request::DropRelation {
+            name: name.to_owned(),
+        };
+        match self.call(&request)? {
+            Reply::Dropped => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn divide(&mut self, request: &DivideRequest) -> Result<DivideReply> {
+        match self.call(&Request::Divide(request.clone()))? {
+            Reply::Divided(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn stats(&mut self) -> Result<MetricsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+}

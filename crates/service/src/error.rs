@@ -1,0 +1,54 @@
+//! Service-level errors, including the admission-control rejection.
+
+use std::fmt;
+
+/// Errors surfaced by the query service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The submission queue is full: the request was rejected instead of
+    /// buffered. Retrying after a backoff is the expected response.
+    Overloaded,
+    /// The service is shutting down and refuses new queries (admitted
+    /// queries still complete).
+    ShuttingDown,
+    /// A named relation is not in the catalog.
+    UnknownRelation(String),
+    /// The request is malformed (bad spec, schema mismatch, bad
+    /// algorithm choice for the inputs).
+    BadRequest(String),
+    /// The division itself failed inside the engine.
+    Exec(String),
+    /// A wire-protocol or transport failure.
+    Protocol(String),
+    /// The worker executing the query died before replying.
+    Internal(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded => {
+                write!(f, "overloaded: submission queue full, request rejected")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::UnknownRelation(name) => {
+                write!(f, "unknown relation {name:?}")
+            }
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Exec(msg) => write!(f, "execution error: {msg}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<reldiv_core::ExecError> for ServiceError {
+    fn from(e: reldiv_core::ExecError) -> ServiceError {
+        ServiceError::Exec(e.to_string())
+    }
+}
+
+/// Service result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;

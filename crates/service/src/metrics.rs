@@ -1,0 +1,254 @@
+//! Service observability: latency histograms and request counters.
+//!
+//! The histogram is lock-free (an array of atomic buckets) so the worker
+//! pool and front-end threads record without contending; percentiles are
+//! computed on demand from the bucket counts. Buckets are logarithmic
+//! with eight sub-buckets per octave, bounding the relative quantile
+//! error at about 12.5% — plenty for p50/p95/p99 reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use reldiv_rel::counters::{OpAccumulator, OpSnapshot};
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Enough buckets for any u64 value under the scheme below.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB_COUNT as usize;
+
+fn bucket_index(value: u64) -> usize {
+    let v = value.max(1);
+    let msb = 63 - v.leading_zeros();
+    if msb < SUB_BITS {
+        return v as usize;
+    }
+    let sub = (v >> (msb - SUB_BITS)) & (SUB_COUNT - 1);
+    ((u64::from(msb - SUB_BITS + 1) << SUB_BITS) + sub) as usize
+}
+
+/// Midpoint of the value range covered by `index`.
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB_COUNT as usize {
+        return index as u64;
+    }
+    let group = (index >> SUB_BITS) as u32;
+    let sub = index as u64 & (SUB_COUNT - 1);
+    let exp = group + SUB_BITS - 1;
+    let base = (1u64 << exp) | (sub << (exp - SUB_BITS));
+    base + (1u64 << (exp - SUB_BITS)) / 2
+}
+
+/// A lock-free logarithmic histogram of `u64` samples (the service uses
+/// microseconds).
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// samples; 0 when empty. Accurate to one sub-bucket (≈12.5%).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// Point-in-time view of the service's counters, as returned by
+/// [`ServiceMetrics::snapshot`] and shipped over the wire by the `Stats`
+/// request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries answered (cache hits + executed), successes only.
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that missed the cache and were submitted for execution.
+    pub cache_misses: u64,
+    /// Queries rejected by admission control (`Overloaded`).
+    pub rejections: u64,
+    /// Queries refused because the service was shutting down.
+    pub shed_shutdown: u64,
+    /// Queries that failed in validation or execution.
+    pub errors: u64,
+    /// Latency quantiles in microseconds (p50, p95, p99) and the mean.
+    pub latency_p50_us: u64,
+    /// 95th percentile latency in microseconds.
+    pub latency_p95_us: u64,
+    /// 99th percentile latency in microseconds.
+    pub latency_p99_us: u64,
+    /// Mean latency in microseconds.
+    pub latency_mean_us: u64,
+    /// Abstract operations performed by the worker pool, aggregated from
+    /// the per-request [`OpScope`](reldiv_rel::counters::OpScope)s.
+    pub ops: OpSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over answered queries, `0.0` when none.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// All service counters, shared by the front-end threads and the worker
+/// pool.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    /// End-to-end latency of answered queries (queue wait included).
+    pub latency: LatencyHistogram,
+    /// Successful queries.
+    pub queries: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Admission-control rejections.
+    pub rejections: AtomicU64,
+    /// Refusals during shutdown.
+    pub shed_shutdown: AtomicU64,
+    /// Failed queries (validation or execution errors).
+    pub errors: AtomicU64,
+    /// Abstract-operation totals across all executed queries.
+    pub ops: OpAccumulator,
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    /// Reads every counter at once.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            shed_shutdown: self.shed_shutdown.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_p50_us: self.latency.quantile(0.50),
+            latency_p95_us: self.latency.quantile(0.95),
+            latency_p99_us: self.latency.quantile(0.99),
+            latency_mean_us: self.latency.mean(),
+            ops: self.ops.totals(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 7] {
+            // 0 shares a bucket with 1 (the histogram records micros ≥ 1).
+            assert_eq!(bucket_value(bucket_index(v)), v.max(1), "v={v}");
+        }
+        h.record(3);
+        assert_eq!(h.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn quantiles_are_within_sub_bucket_error() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!((400..=625).contains(&p50), "p50={p50}");
+        assert!((830..=1000).contains(&p95), "p95={p95}");
+        assert!((870..=1000).contains(&p99), "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let h = LatencyHistogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.99), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_hit_rate() {
+        let m = ServiceMetrics::new();
+        m.cache_hits.store(3, Ordering::Relaxed);
+        m.cache_misses.store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

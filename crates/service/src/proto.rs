@@ -1,0 +1,765 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! followed by the payload. The first payload byte is an opcode (requests)
+//! or a status byte (responses). Integers are little-endian; strings are
+//! `u16` length + UTF-8 bytes; tuples travel as the fixed-width records of
+//! [`RecordCodec`], so a relation's bytes on the wire are identical to its
+//! bytes in a record file. The full grammar is documented in
+//! `docs/PROTOCOL.md`.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use reldiv_core::{Algorithm, HashDivisionMode};
+use reldiv_rel::counters::OpSnapshot;
+use reldiv_rel::{ColumnType, Field, RecordCodec, Schema, Tuple};
+
+use crate::error::ServiceError;
+use crate::metrics::MetricsSnapshot;
+
+/// Frames larger than this are refused (a corrupt length prefix would
+/// otherwise ask for an absurd allocation).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Algorithm wire code for "let the service choose".
+pub const ALG_AUTO: u8 = 0xFF;
+
+/// Encodes an algorithm as its stable wire code.
+pub fn algorithm_code(alg: Algorithm) -> u8 {
+    match alg {
+        Algorithm::Naive => 0,
+        Algorithm::SortAggregation { join: false } => 1,
+        Algorithm::SortAggregation { join: true } => 2,
+        Algorithm::HashAggregation { join: false } => 3,
+        Algorithm::HashAggregation { join: true } => 4,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        } => 5,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::EarlyOut,
+        } => 6,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::CounterOnly,
+        } => 7,
+    }
+}
+
+/// Decodes an algorithm wire code ([`ALG_AUTO`] is not an algorithm and
+/// returns `None`, as do unknown codes).
+pub fn algorithm_from_code(code: u8) -> Option<Algorithm> {
+    Some(match code {
+        0 => Algorithm::Naive,
+        1 => Algorithm::SortAggregation { join: false },
+        2 => Algorithm::SortAggregation { join: true },
+        3 => Algorithm::HashAggregation { join: false },
+        4 => Algorithm::HashAggregation { join: true },
+        5 => Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        6 => Algorithm::HashDivision {
+            mode: HashDivisionMode::EarlyOut,
+        },
+        7 => Algorithm::HashDivision {
+            mode: HashDivisionMode::CounterOnly,
+        },
+        _ => return None,
+    })
+}
+
+/// Stable error codes for [`ServiceError`] on the wire.
+pub fn error_code(err: &ServiceError) -> u8 {
+    match err {
+        ServiceError::Overloaded => 1,
+        ServiceError::ShuttingDown => 2,
+        ServiceError::UnknownRelation(_) => 3,
+        ServiceError::BadRequest(_) => 4,
+        ServiceError::Exec(_) => 5,
+        ServiceError::Protocol(_) => 6,
+        ServiceError::Internal(_) => 7,
+    }
+}
+
+/// Reconstructs a [`ServiceError`] from its wire code and message.
+pub fn error_from_code(code: u8, message: String) -> ServiceError {
+    match code {
+        1 => ServiceError::Overloaded,
+        2 => ServiceError::ShuttingDown,
+        3 => ServiceError::UnknownRelation(message),
+        4 => ServiceError::BadRequest(message),
+        5 => ServiceError::Exec(message),
+        6 => ServiceError::Protocol(message),
+        _ => ServiceError::Internal(message),
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Install (or replace) a named relation.
+    Register {
+        /// Catalog name.
+        name: String,
+        /// Relation schema.
+        schema: Schema,
+        /// Relation tuples.
+        tuples: Vec<Tuple>,
+    },
+    /// Remove a named relation.
+    DropRelation {
+        /// Catalog name.
+        name: String,
+    },
+    /// Run a division query.
+    Divide(DivideRequest),
+    /// Read the service counters.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// The division query of a [`Request::Divide`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivideRequest {
+    /// Dividend relation name.
+    pub dividend: String,
+    /// Divisor relation name.
+    pub divisor: String,
+    /// Explicit algorithm, or `None` for the cost-based recommendation.
+    pub algorithm: Option<Algorithm>,
+    /// Declare the inputs duplicate-free.
+    pub assume_unique: bool,
+    /// Explicit `(divisor_keys, quotient_keys)`, or `None` for the
+    /// trailing-divisor convention.
+    pub spec: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+/// A successful server → client payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Register`].
+    Registered {
+        /// The catalog version installed.
+        version: u64,
+    },
+    /// Answer to [`Request::DropRelation`].
+    Dropped,
+    /// Answer to [`Request::Divide`].
+    Divided(DivideReply),
+    /// Answer to [`Request::Stats`].
+    Stats(MetricsSnapshot),
+    /// Acknowledges [`Request::Shutdown`]; the server stops accepting
+    /// connections after sending it.
+    ShuttingDown,
+}
+
+/// The quotient and its provenance, answering a division query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivideReply {
+    /// The algorithm that ran (the resolved choice when `auto` was
+    /// requested).
+    pub algorithm: Algorithm,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Dividend version the quotient was computed from.
+    pub dividend_version: u64,
+    /// Divisor version the quotient was computed from.
+    pub divisor_version: u64,
+    /// End-to-end service latency in microseconds.
+    pub micros: u64,
+    /// Abstract operations the execution performed (zero on cache hits).
+    pub ops: OpSnapshot,
+    /// Quotient schema.
+    pub schema: Schema,
+    /// Quotient tuples.
+    pub tuples: Arc<Vec<Tuple>>,
+}
+
+/// A server → client message: a [`Reply`] or an error.
+pub type Response = Result<Reply, ServiceError>;
+
+// ---------------------------------------------------------------------
+// Framing
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF before the length prefix.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoders / decoders
+
+type PResult<T> = Result<T, ServiceError>;
+
+fn perr(msg: impl Into<String>) -> ServiceError {
+    ServiceError::Protocol(msg.into())
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> PResult<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(perr(format!(
+                "truncated frame: wanted {n} bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> PResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> PResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> PResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> PResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> PResult<String> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| perr("string is not UTF-8"))
+    }
+
+    fn finish(&self) -> PResult<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(perr(format!("{} trailing bytes in frame", self.buf.len())))
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("string fits in a u16 length");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    let n = u16::try_from(schema.arity()).expect("schema arity fits in u16");
+    out.extend_from_slice(&n.to_le_bytes());
+    for field in schema.fields() {
+        match field.ty {
+            ColumnType::Int => out.push(0),
+            ColumnType::Str(width) => {
+                out.push(1);
+                out.extend_from_slice(&(width as u32).to_le_bytes());
+            }
+        }
+        put_str(out, &field.name);
+    }
+}
+
+fn get_schema(r: &mut Reader<'_>) -> PResult<Schema> {
+    let n = r.u16()? as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ty = match r.u8()? {
+            0 => ColumnType::Int,
+            1 => ColumnType::Str(r.u32()? as usize),
+            t => return Err(perr(format!("unknown column type tag {t}"))),
+        };
+        let name = r.str()?;
+        fields.push(Field::new(name, ty));
+    }
+    Ok(Schema::new(fields))
+}
+
+fn put_tuples(out: &mut Vec<u8>, schema: &Schema, tuples: &[Tuple]) -> PResult<()> {
+    let codec = RecordCodec::new(schema.clone());
+    let n = u32::try_from(tuples.len()).map_err(|_| perr("too many tuples for one frame"))?;
+    out.extend_from_slice(&n.to_le_bytes());
+    for t in tuples {
+        codec
+            .encode_into(t, out)
+            .map_err(|e| perr(format!("tuple does not fit the schema: {e}")))?;
+    }
+    Ok(())
+}
+
+fn get_tuples(r: &mut Reader<'_>, schema: &Schema) -> PResult<Vec<Tuple>> {
+    let codec = RecordCodec::new(schema.clone());
+    let n = r.u32()? as usize;
+    let width = codec.record_width();
+    let bytes = r.take(
+        n.checked_mul(width)
+            .ok_or_else(|| perr("tuple count overflow"))?,
+    )?;
+    let mut tuples = Vec::with_capacity(n);
+    for record in bytes.chunks_exact(width) {
+        tuples.push(
+            codec
+                .decode(record)
+                .map_err(|e| perr(format!("bad record: {e}")))?,
+        );
+    }
+    Ok(tuples)
+}
+
+fn put_keys(out: &mut Vec<u8>, keys: &[usize]) {
+    let n = u16::try_from(keys.len()).expect("key list fits in u16");
+    out.extend_from_slice(&n.to_le_bytes());
+    for &k in keys {
+        let k = u16::try_from(k).expect("column index fits in u16");
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}
+
+fn get_keys(r: &mut Reader<'_>) -> PResult<Vec<usize>> {
+    let n = r.u16()? as usize;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(r.u16()? as usize);
+    }
+    Ok(keys)
+}
+
+fn put_ops(out: &mut Vec<u8>, ops: &OpSnapshot) {
+    out.extend_from_slice(&ops.comparisons.to_le_bytes());
+    out.extend_from_slice(&ops.hashes.to_le_bytes());
+    out.extend_from_slice(&ops.moves.to_le_bytes());
+    out.extend_from_slice(&ops.bitops.to_le_bytes());
+}
+
+fn get_ops(r: &mut Reader<'_>) -> PResult<OpSnapshot> {
+    Ok(OpSnapshot {
+        comparisons: r.u64()?,
+        hashes: r.u64()?,
+        moves: r.u64()?,
+        bitops: r.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Requests
+
+const OP_PING: u8 = 0x01;
+const OP_REGISTER: u8 = 0x02;
+const OP_DROP: u8 = 0x03;
+const OP_DIVIDE: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> PResult<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(OP_PING),
+            Request::Register {
+                name,
+                schema,
+                tuples,
+            } => {
+                out.push(OP_REGISTER);
+                put_str(&mut out, name);
+                put_schema(&mut out, schema);
+                put_tuples(&mut out, schema, tuples)?;
+            }
+            Request::DropRelation { name } => {
+                out.push(OP_DROP);
+                put_str(&mut out, name);
+            }
+            Request::Divide(q) => {
+                out.push(OP_DIVIDE);
+                put_str(&mut out, &q.dividend);
+                put_str(&mut out, &q.divisor);
+                out.push(q.algorithm.map_or(ALG_AUTO, algorithm_code));
+                out.push(u8::from(q.assume_unique));
+                match &q.spec {
+                    None => out.push(0),
+                    Some((divisor_keys, quotient_keys)) => {
+                        out.push(1);
+                        put_keys(&mut out, divisor_keys);
+                        put_keys(&mut out, quotient_keys);
+                    }
+                }
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        Ok(out)
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> PResult<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            OP_PING => Request::Ping,
+            OP_REGISTER => {
+                let name = r.str()?;
+                let schema = get_schema(&mut r)?;
+                let tuples = get_tuples(&mut r, &schema)?;
+                Request::Register {
+                    name,
+                    schema,
+                    tuples,
+                }
+            }
+            OP_DROP => Request::DropRelation { name: r.str()? },
+            OP_DIVIDE => {
+                let dividend = r.str()?;
+                let divisor = r.str()?;
+                let alg = r.u8()?;
+                let algorithm = if alg == ALG_AUTO {
+                    None
+                } else {
+                    Some(
+                        algorithm_from_code(alg)
+                            .ok_or_else(|| perr(format!("unknown algorithm code {alg}")))?,
+                    )
+                };
+                let assume_unique = r.u8()? != 0;
+                let spec = match r.u8()? {
+                    0 => None,
+                    1 => Some((get_keys(&mut r)?, get_keys(&mut r)?)),
+                    t => return Err(perr(format!("unknown spec tag {t}"))),
+                };
+                Request::Divide(DivideRequest {
+                    dividend,
+                    divisor,
+                    algorithm,
+                    assume_unique,
+                    spec,
+                })
+            }
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(perr(format!("unknown request opcode {op:#04x}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+
+const STATUS_OK: u8 = 0x00;
+const STATUS_ERR: u8 = 0x01;
+
+const REPLY_PONG: u8 = 0x01;
+const REPLY_REGISTERED: u8 = 0x02;
+const REPLY_DROPPED: u8 = 0x03;
+const REPLY_DIVIDED: u8 = 0x04;
+const REPLY_STATS: u8 = 0x05;
+const REPLY_SHUTTING_DOWN: u8 = 0x06;
+
+/// Encodes a response as a frame payload.
+pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
+    let mut out = Vec::new();
+    match response {
+        Err(e) => {
+            out.push(STATUS_ERR);
+            out.push(error_code(e));
+            put_str(&mut out, &e.to_string());
+        }
+        Ok(reply) => {
+            out.push(STATUS_OK);
+            match reply {
+                Reply::Pong => out.push(REPLY_PONG),
+                Reply::Registered { version } => {
+                    out.push(REPLY_REGISTERED);
+                    out.extend_from_slice(&version.to_le_bytes());
+                }
+                Reply::Dropped => out.push(REPLY_DROPPED),
+                Reply::Divided(d) => {
+                    out.push(REPLY_DIVIDED);
+                    out.push(algorithm_code(d.algorithm));
+                    out.push(u8::from(d.cached));
+                    out.extend_from_slice(&d.dividend_version.to_le_bytes());
+                    out.extend_from_slice(&d.divisor_version.to_le_bytes());
+                    out.extend_from_slice(&d.micros.to_le_bytes());
+                    put_ops(&mut out, &d.ops);
+                    put_schema(&mut out, &d.schema);
+                    put_tuples(&mut out, &d.schema, &d.tuples)?;
+                }
+                Reply::Stats(s) => {
+                    out.push(REPLY_STATS);
+                    for v in [
+                        s.queries,
+                        s.cache_hits,
+                        s.cache_misses,
+                        s.rejections,
+                        s.shed_shutdown,
+                        s.errors,
+                        s.latency_p50_us,
+                        s.latency_p95_us,
+                        s.latency_p99_us,
+                        s.latency_mean_us,
+                    ] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    put_ops(&mut out, &s.ops);
+                }
+                Reply::ShuttingDown => out.push(REPLY_SHUTTING_DOWN),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a response frame payload.
+pub fn decode_response(payload: &[u8]) -> PResult<Response> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        STATUS_ERR => {
+            let code = r.u8()?;
+            let message = r.str()?;
+            r.finish()?;
+            Ok(Err(error_from_code(code, message)))
+        }
+        STATUS_OK => {
+            let reply = match r.u8()? {
+                REPLY_PONG => Reply::Pong,
+                REPLY_REGISTERED => Reply::Registered { version: r.u64()? },
+                REPLY_DROPPED => Reply::Dropped,
+                REPLY_DIVIDED => {
+                    let alg = r.u8()?;
+                    let algorithm = algorithm_from_code(alg)
+                        .ok_or_else(|| perr(format!("unknown algorithm code {alg}")))?;
+                    let cached = r.u8()? != 0;
+                    let dividend_version = r.u64()?;
+                    let divisor_version = r.u64()?;
+                    let micros = r.u64()?;
+                    let ops = get_ops(&mut r)?;
+                    let schema = get_schema(&mut r)?;
+                    let tuples = get_tuples(&mut r, &schema)?;
+                    Reply::Divided(DivideReply {
+                        algorithm,
+                        cached,
+                        dividend_version,
+                        divisor_version,
+                        micros,
+                        ops,
+                        schema,
+                        tuples: Arc::new(tuples),
+                    })
+                }
+                REPLY_STATS => {
+                    let mut vals = [0u64; 10];
+                    for v in &mut vals {
+                        *v = r.u64()?;
+                    }
+                    let ops = get_ops(&mut r)?;
+                    Reply::Stats(MetricsSnapshot {
+                        queries: vals[0],
+                        cache_hits: vals[1],
+                        cache_misses: vals[2],
+                        rejections: vals[3],
+                        shed_shutdown: vals[4],
+                        errors: vals[5],
+                        latency_p50_us: vals[6],
+                        latency_p95_us: vals[7],
+                        latency_p99_us: vals[8],
+                        latency_mean_us: vals[9],
+                        ops,
+                    })
+                }
+                REPLY_SHUTTING_DOWN => Reply::ShuttingDown,
+                t => return Err(perr(format!("unknown reply tag {t:#04x}"))),
+            };
+            r.finish()?;
+            Ok(Ok(reply))
+        }
+        s => Err(perr(format!("unknown status byte {s:#04x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_rel::tuple::ints;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![Field::int("q"), Field::int("d")])
+    }
+
+    #[test]
+    fn algorithm_codes_round_trip() {
+        for alg in Algorithm::table_columns() {
+            assert_eq!(algorithm_from_code(algorithm_code(alg)), Some(alg));
+        }
+        assert_eq!(algorithm_from_code(ALG_AUTO), None);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping,
+            Request::Register {
+                name: "transcript".into(),
+                schema: schema2(),
+                tuples: vec![ints(&[1, 10]), ints(&[2, 20])],
+            },
+            Request::DropRelation {
+                name: "transcript".into(),
+            },
+            Request::Divide(DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: Some(Algorithm::Naive),
+                assume_unique: true,
+                spec: Some((vec![1], vec![0])),
+            }),
+            Request::Divide(DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: None,
+                assume_unique: false,
+                spec: None,
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let bytes = req.encode().unwrap();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses: Vec<Response> = vec![
+            Ok(Reply::Pong),
+            Ok(Reply::Registered { version: 42 }),
+            Ok(Reply::Dropped),
+            Ok(Reply::Divided(DivideReply {
+                algorithm: Algorithm::HashDivision {
+                    mode: HashDivisionMode::Standard,
+                },
+                cached: true,
+                dividend_version: 3,
+                divisor_version: 4,
+                micros: 1234,
+                ops: OpSnapshot {
+                    comparisons: 1,
+                    hashes: 2,
+                    moves: 3,
+                    bitops: 4,
+                },
+                schema: Schema::new(vec![Field::int("q")]),
+                tuples: Arc::new(vec![ints(&[7]), ints(&[9])]),
+            })),
+            Ok(Reply::Stats(MetricsSnapshot {
+                queries: 10,
+                cache_hits: 4,
+                cache_misses: 6,
+                rejections: 1,
+                shed_shutdown: 0,
+                errors: 2,
+                latency_p50_us: 100,
+                latency_p95_us: 200,
+                latency_p99_us: 300,
+                latency_mean_us: 120,
+                ops: OpSnapshot::default(),
+            })),
+            Ok(Reply::ShuttingDown),
+            Err(ServiceError::Overloaded),
+            Err(ServiceError::UnknownRelation(
+                "unknown relation \"x\"".into(),
+            )),
+        ];
+        for resp in responses {
+            let bytes = encode_response(&resp).unwrap();
+            let decoded = decode_response(&bytes).unwrap();
+            match (&resp, &decoded) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(error_code(a), error_code(b)),
+                _ => panic!("status mismatch: {resp:?} vs {decoded:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn string_relations_round_trip() {
+        let schema = Schema::new(vec![Field::int("id"), Field::str("title", 16)]);
+        let tuples = vec![Tuple::new(vec![
+            reldiv_rel::Value::Int(1),
+            reldiv_rel::Value::Str("database".into()),
+        ])];
+        let req = Request::Register {
+            name: "courses".into(),
+            schema,
+            tuples,
+        };
+        let bytes = req.encode().unwrap();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn truncated_frames_are_protocol_errors() {
+        let bytes = Request::Stats.encode().unwrap();
+        assert!(matches!(
+            Request::decode(&bytes[..0]),
+            Err(ServiceError::Protocol(_))
+        ));
+        let mut with_trailing = bytes.clone();
+        with_trailing.push(0);
+        assert!(matches!(
+            Request::decode(&with_trailing),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,175 @@
+//! The TCP front end: length-prefixed frames over `std::net`.
+//!
+//! One thread accepts connections; each connection gets a handler thread
+//! that decodes [`Request`] frames, dispatches them to the shared
+//! [`Service`], and writes [`Response`] frames back. A `Shutdown` request
+//! is acknowledged and then surfaced to whoever is blocked in
+//! [`ServerHandle::wait_for_shutdown_request`] (the `reldiv-serve`
+//! binary), which stops the listener and drains the service.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+use reldiv_rel::Relation;
+
+use crate::error::ServiceError;
+use crate::proto::{self, DivideReply, Reply, Request, Response};
+use crate::service::{QueryOptions, Service};
+
+struct Shared {
+    service: Arc<Service>,
+    stopping: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running TCP server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `service`.
+    pub fn start(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            stopping: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("reldiv-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.shared.service
+    }
+
+    /// Blocks until some client sends a `Shutdown` request (or
+    /// [`ServerHandle::shutdown`] is called from another thread).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = self.shared.shutdown_requested.lock();
+        while !*requested {
+            self.shared.shutdown_cv.wait(&mut requested);
+        }
+    }
+
+    /// Stops accepting connections, then drains the service gracefully
+    /// (admitted queries complete; new ones are refused). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        *self.shared.shutdown_requested.lock() = true;
+        self.shared.shutdown_cv.notify_all();
+        // Nudge the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.service.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = shared.clone();
+        let _ = std::thread::Builder::new()
+            .name("reldiv-conn".into())
+            .spawn(move || handle_connection(stream, conn_shared));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match proto::read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return,
+        };
+        let (response, shutdown) = match Request::decode(&payload) {
+            Ok(request) => dispatch(&shared, request),
+            Err(e) => (Err(e), false),
+        };
+        let Ok(bytes) = proto::encode_response(&response) else {
+            return;
+        };
+        if proto::write_frame(&mut stream, &bytes).is_err() {
+            return;
+        }
+        if shutdown {
+            *shared.shutdown_requested.lock() = true;
+            shared.shutdown_cv.notify_all();
+            return;
+        }
+    }
+}
+
+/// Runs one request against the service; the boolean asks the server to
+/// begin shutting down after the response is sent.
+fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
+    let service = &shared.service;
+    let response = match request {
+        Request::Ping => Ok(Reply::Pong),
+        Request::Register {
+            name,
+            schema,
+            tuples,
+        } => Relation::from_tuples(schema, tuples)
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))
+            .and_then(|relation| service.register(&name, relation))
+            .map(|version| Reply::Registered { version }),
+        Request::DropRelation { name } => service.drop_relation(&name).map(|()| Reply::Dropped),
+        Request::Divide(q) => {
+            let options = QueryOptions {
+                algorithm: q.algorithm,
+                assume_unique: q.assume_unique,
+                spec: q.spec,
+            };
+            service.divide(&q.dividend, &q.divisor, &options).map(|r| {
+                Reply::Divided(DivideReply {
+                    algorithm: r.algorithm,
+                    cached: r.cached,
+                    dividend_version: r.dividend_version,
+                    divisor_version: r.divisor_version,
+                    micros: r.micros,
+                    ops: r.ops,
+                    schema: r.schema,
+                    tuples: r.tuples,
+                })
+            })
+        }
+        Request::Stats => Ok(Reply::Stats(service.stats())),
+        Request::Shutdown => return (Ok(Reply::ShuttingDown), true),
+    };
+    (response, false)
+}

@@ -1,0 +1,357 @@
+//! The query service: catalog + worker pool + admission control +
+//! result cache + metrics, behind one embeddable handle.
+//!
+//! Life of a query (`Service::divide`):
+//!
+//! 1. pin the current catalog versions of both relations,
+//! 2. resolve the column spec and (if `auto`) the algorithm via the
+//!    cost model's [`Algorithm::recommend`],
+//! 3. look up the result cache — the key embeds the pinned versions, so
+//!    hits are exact by construction,
+//! 4. on a miss, `try_send` the job into the **bounded** submission
+//!    queue: a full queue means the request is rejected *now* with
+//!    [`ServiceError::Overloaded`] instead of queueing without bound
+//!    (admission control),
+//! 5. block on the private reply channel; a worker thread executes the
+//!    division over its own storage manager and replies,
+//! 6. record latency and counters, install the result in the cache.
+//!
+//! [`Service::shutdown`] first flips the accept flag (new queries get
+//! [`ServiceError::ShuttingDown`]), then closes the queue; workers drain
+//! every admitted job before exiting, so shutdown is graceful by
+//! construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use reldiv_core::api::validate_algorithm_for_inputs;
+use reldiv_core::{Algorithm, DivisionSpec};
+use reldiv_rel::counters::OpSnapshot;
+use reldiv_rel::{Relation, Schema, Tuple};
+use reldiv_storage::manager::StorageConfig;
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::catalog::{Catalog, RelationVersion};
+use crate::error::{Result, ServiceError};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::proto::algorithm_code;
+use crate::worker::{worker_loop, QueryJob};
+
+/// Sizing knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing divisions.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue; a query arriving while
+    /// the queue holds this many is rejected with
+    /// [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Storage configuration for each worker's private manager.
+    pub storage: StorageConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+            storage: StorageConfig::large(),
+        }
+    }
+}
+
+/// How a query should run: the per-request options of
+/// [`Service::divide`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Explicit algorithm; `None` asks the cost model to choose.
+    pub algorithm: Option<Algorithm>,
+    /// Declare both inputs duplicate-free (skips the duplicate
+    /// elimination the aggregate algorithms otherwise plan).
+    pub assume_unique: bool,
+    /// Explicit `(divisor_keys, quotient_keys)`; `None` uses the
+    /// trailing-divisor convention.
+    pub spec: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+/// A served quotient with its provenance.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Quotient schema.
+    pub schema: Schema,
+    /// Quotient tuples (shared with the cache).
+    pub tuples: Arc<Vec<Tuple>>,
+    /// The algorithm that ran (the resolved choice under `auto`).
+    pub algorithm: Algorithm,
+    /// Whether the quotient came from the result cache.
+    pub cached: bool,
+    /// Dividend version the quotient was computed from.
+    pub dividend_version: u64,
+    /// Divisor version the quotient was computed from.
+    pub divisor_version: u64,
+    /// Abstract operations this execution performed (zero when cached).
+    pub ops: OpSnapshot,
+    /// End-to-end latency in microseconds.
+    pub micros: u64,
+}
+
+/// The embeddable division query service.
+pub struct Service {
+    catalog: Catalog,
+    cache: ResultCache,
+    metrics: Arc<ServiceMetrics>,
+    queue: Mutex<Option<Sender<QueryJob>>>,
+    accepting: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the worker pool and returns the service handle.
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let (tx, rx) = bounded::<QueryJob>(config.queue_depth.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let metrics = metrics.clone();
+                let storage = config.storage.clone();
+                std::thread::Builder::new()
+                    .name(format!("reldiv-worker-{i}"))
+                    .spawn(move || worker_loop(rx, metrics, storage))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Arc::new(Service {
+            catalog: Catalog::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics,
+            queue: Mutex::new(Some(tx)),
+            accepting: AtomicBool::new(true),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Starts a service with the default configuration.
+    pub fn start_default() -> Arc<Service> {
+        Service::start(ServiceConfig::default())
+    }
+
+    /// Installs (or replaces) a relation under `name`; returns its new
+    /// catalog version. Cached results reading the old version are
+    /// purged.
+    pub fn register(&self, name: &str, relation: Relation) -> Result<u64> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let version = self.catalog.register(name, relation);
+        self.cache.invalidate_relation(name);
+        Ok(version)
+    }
+
+    /// Removes `name` from the catalog and purges its cached results.
+    pub fn drop_relation(&self, name: &str) -> Result<()> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        self.catalog.drop_relation(name)?;
+        self.cache.invalidate_relation(name);
+        Ok(())
+    }
+
+    /// `(name, version, cardinality)` of every registered relation.
+    pub fn list_relations(&self) -> Vec<(String, u64, usize)> {
+        self.catalog.list()
+    }
+
+    /// Runs `dividend ÷ divisor`, blocking until the quotient is ready,
+    /// the request is rejected, or the query fails.
+    pub fn divide(
+        &self,
+        dividend: &str,
+        divisor: &str,
+        options: &QueryOptions,
+    ) -> Result<QueryResponse> {
+        let start = Instant::now();
+        match self.divide_inner(dividend, divisor, options, start) {
+            Ok(response) => {
+                self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .latency
+                    .record(start.elapsed().as_micros() as u64);
+                Ok(response)
+            }
+            Err(e) => {
+                match e {
+                    ServiceError::Overloaded => {
+                        self.metrics.rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServiceError::ShuttingDown => {
+                        self.metrics.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn divide_inner(
+        &self,
+        dividend: &str,
+        divisor: &str,
+        options: &QueryOptions,
+        start: Instant,
+    ) -> Result<QueryResponse> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let dividend = self.catalog.get(dividend)?;
+        let divisor = self.catalog.get(divisor)?;
+        let spec = self.resolve_spec(&dividend, &divisor, options)?;
+        let algorithm = self.resolve_algorithm(&dividend, &divisor, &spec, options);
+        validate_algorithm_for_inputs(algorithm, options.assume_unique)
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+
+        let key = CacheKey {
+            dividend: (dividend.name.clone(), dividend.version),
+            divisor: (divisor.name.clone(), divisor.version),
+            divisor_keys: spec.divisor_keys.clone(),
+            quotient_keys: spec.quotient_keys.clone(),
+            algorithm: algorithm_code(algorithm),
+            assume_unique: options.assume_unique,
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryResponse {
+                schema: hit.schema.clone(),
+                tuples: hit.tuples.clone(),
+                algorithm,
+                cached: true,
+                dividend_version: dividend.version,
+                divisor_version: divisor.version,
+                ops: OpSnapshot::default(),
+                micros: start.elapsed().as_micros() as u64,
+            });
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = QueryJob {
+            dividend,
+            divisor,
+            spec,
+            algorithm,
+            assume_unique: options.assume_unique,
+            submitted: start,
+            reply: reply_tx,
+        };
+        {
+            let queue = self.queue.lock();
+            let Some(tx) = queue.as_ref() else {
+                return Err(ServiceError::ShuttingDown);
+            };
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => return Err(ServiceError::Overloaded),
+                Err(TrySendError::Disconnected(_)) => return Err(ServiceError::ShuttingDown),
+            }
+        }
+        let response = reply_rx
+            .recv()
+            .map_err(|_| ServiceError::Internal("worker exited before replying".into()))??;
+        self.cache.insert(
+            key,
+            Arc::new(CachedResult {
+                schema: response.schema.clone(),
+                tuples: response.tuples.clone(),
+                ops: response.ops,
+            }),
+        );
+        Ok(response)
+    }
+
+    fn resolve_spec(
+        &self,
+        dividend: &RelationVersion,
+        divisor: &RelationVersion,
+        options: &QueryOptions,
+    ) -> Result<DivisionSpec> {
+        match &options.spec {
+            Some((divisor_keys, quotient_keys)) => DivisionSpec::new(
+                &dividend.schema,
+                &divisor.schema,
+                divisor_keys.clone(),
+                quotient_keys.clone(),
+            ),
+            None => DivisionSpec::trailing_divisor(&dividend.schema, &divisor.schema),
+        }
+        .map_err(|e| ServiceError::BadRequest(e.to_string()))
+    }
+
+    fn resolve_algorithm(
+        &self,
+        dividend: &RelationVersion,
+        divisor: &RelationVersion,
+        spec: &DivisionSpec,
+        options: &QueryOptions,
+    ) -> Algorithm {
+        if let Some(alg) = options.algorithm {
+            return alg;
+        }
+        // The paper's planner wants the quotient size; estimate it as the
+        // dividend's group count upper bound |R| / max(1, |S|).
+        let dividend_size = dividend.cardinality() as u64;
+        let divisor_size = divisor.cardinality() as u64;
+        let quotient_estimate = dividend_size / divisor_size.max(1);
+        let _ = spec;
+        Algorithm::recommend(
+            divisor_size,
+            quotient_estimate.max(1),
+            Some(dividend_size),
+            false,
+            options.assume_unique,
+        )
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of cached results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the service still accepts work.
+    pub fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: refuses new queries, then waits for every
+    /// admitted query to complete. Idempotent.
+    pub fn shutdown(&self) {
+        self.accepting.store(false, Ordering::Release);
+        // Dropping the sender closes the queue: workers drain what was
+        // admitted, then their receive loops end.
+        drop(self.queue.lock().take());
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

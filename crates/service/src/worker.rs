@@ -1,0 +1,137 @@
+//! The worker pool: each worker thread owns a private storage manager.
+//!
+//! `reldiv-storage`'s `StorageRef` is single-threaded by design (the
+//! paper's system ran one process per disk), so the pool gives every
+//! worker its own [`StorageManager`] and materializes catalog relations
+//! into *worker-local* record files on demand. Files are keyed by
+//! `(name, version)`; when a worker sees a newer version of a relation it
+//! deletes its stale file, so a worker never holds more than one
+//! materialization per catalog name.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+use reldiv_core::api::{self, Source};
+use reldiv_core::{Algorithm, DivisionConfig, DivisionSpec};
+use reldiv_rel::counters::OpScope;
+use reldiv_rel::RecordCodec;
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::{FileId, StorageManager, StorageRef};
+
+use crate::catalog::RelationVersion;
+use crate::error::{Result, ServiceError};
+use crate::metrics::ServiceMetrics;
+use crate::service::QueryResponse;
+
+/// One admitted query, travelling from the front end to a worker.
+pub(crate) struct QueryJob {
+    pub dividend: Arc<RelationVersion>,
+    pub divisor: Arc<RelationVersion>,
+    pub spec: DivisionSpec,
+    pub algorithm: Algorithm,
+    pub assume_unique: bool,
+    pub submitted: Instant,
+    pub reply: Sender<Result<QueryResponse>>,
+}
+
+/// Worker-local state: a private storage manager plus the record files it
+/// has materialized, keyed by catalog name and version.
+struct WorkerState {
+    storage: StorageRef,
+    files: HashMap<String, (u64, FileId)>,
+}
+
+impl WorkerState {
+    fn new(config: StorageConfig) -> WorkerState {
+        WorkerState {
+            storage: StorageManager::shared(config),
+            files: HashMap::new(),
+        }
+    }
+
+    /// Returns a file-backed [`Source`] for `relation`, materializing it
+    /// into a local record file on first use of this version (and
+    /// deleting the file of any older version of the same name).
+    fn source_for(&mut self, relation: &RelationVersion) -> Result<Source> {
+        if let Some(&(version, file)) = self.files.get(&relation.name) {
+            if version == relation.version {
+                return Ok(Source::from_file(file, relation.schema.clone()));
+            }
+            self.storage
+                .borrow_mut()
+                .delete_file(file)
+                .map_err(|e| ServiceError::Internal(format!("dropping stale file: {e}")))?;
+            self.files.remove(&relation.name);
+        }
+        let codec = RecordCodec::new(relation.schema.clone());
+        let file = self
+            .storage
+            .borrow_mut()
+            .create_file(StorageManager::DATA_DISK);
+        let mut buf = Vec::with_capacity(codec.record_width());
+        for tuple in relation.tuples.iter() {
+            buf.clear();
+            codec
+                .encode_into(tuple, &mut buf)
+                .map_err(|e| ServiceError::BadRequest(format!("tuple violates schema: {e}")))?;
+            self.storage
+                .borrow_mut()
+                .append(file, &buf)
+                .map_err(|e| ServiceError::Internal(format!("writing record file: {e}")))?;
+        }
+        self.files
+            .insert(relation.name.clone(), (relation.version, file));
+        Ok(Source::from_file(file, relation.schema.clone()))
+    }
+
+    fn execute(&mut self, job: &QueryJob, metrics: &ServiceMetrics) -> Result<QueryResponse> {
+        let dividend = self.source_for(&job.dividend)?;
+        let divisor = self.source_for(&job.divisor)?;
+        let config = DivisionConfig {
+            assume_unique: job.assume_unique,
+            ..DivisionConfig::default()
+        };
+        // Scope the abstract-operation counters to this request: pooled
+        // threads run many queries back to back, and the scope guarantees
+        // one request's counts never bleed into the next measurement. The
+        // delta lands in the shared accumulator even on error.
+        let scope = OpScope::with_sink(&metrics.ops);
+        let quotient = api::divide(
+            &self.storage,
+            &dividend,
+            &divisor,
+            &job.spec,
+            job.algorithm,
+            &config,
+        );
+        let ops = scope.finish();
+        let quotient = quotient?;
+        Ok(QueryResponse {
+            schema: quotient.schema().clone(),
+            tuples: Arc::new(quotient.into_tuples()),
+            algorithm: job.algorithm,
+            cached: false,
+            dividend_version: job.dividend.version,
+            divisor_version: job.divisor.version,
+            ops,
+            micros: job.submitted.elapsed().as_micros() as u64,
+        })
+    }
+}
+
+/// The worker main loop: drains the submission queue until every sender
+/// is gone (the shutdown signal), answering each admitted job.
+pub(crate) fn worker_loop(
+    rx: Receiver<QueryJob>,
+    metrics: Arc<ServiceMetrics>,
+    storage_config: StorageConfig,
+) {
+    let mut state = WorkerState::new(storage_config);
+    for job in rx.iter() {
+        let result = state.execute(&job, &metrics);
+        // A client that gave up on the reply is not an error.
+        let _ = job.reply.send(result);
+    }
+}
