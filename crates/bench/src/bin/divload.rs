@@ -30,6 +30,7 @@ use reldiv_rel::{RecordCodec, Relation, Tuple};
 use reldiv_service::{
     DivideRequest, DivisionClient, InProcClient, Service, ServiceConfig, ServiceError,
 };
+use reldiv_storage::FaultPlan;
 use reldiv_workload::{brute_force_divide, WorkloadSpec};
 
 const DIVIDENDS: [&str; 4] = ["r0", "r1", "r2", "r3"];
@@ -59,6 +60,8 @@ struct Args {
     cache: usize,
     update_every: u64,
     seed: u64,
+    fault_rate: f64,
+    deadline_ms: Option<u64>,
 }
 
 impl Default for Args {
@@ -71,6 +74,8 @@ impl Default for Args {
             cache: 128,
             update_every: 250,
             seed: 1989,
+            fault_rate: 0.0,
+            deadline_ms: None,
         }
     }
 }
@@ -78,7 +83,9 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: divload [--queries N] [--clients N] [--workers N] [--queue N] \
-         [--cache N] [--update-every N] [--seed N]"
+         [--cache N] [--update-every N] [--seed N] [--fault-rate P] [--deadline-ms MS]\n\
+         --fault-rate P injects transient disk faults with probability P per transfer\n\
+         --deadline-ms MS applies a per-query deadline"
     );
     std::process::exit(2);
 }
@@ -106,6 +113,17 @@ fn parse_args() -> Args {
             "--cache" => parsed.cache = next("--cache") as usize,
             "--update-every" => parsed.update_every = next("--update-every"),
             "--seed" => parsed.seed = next("--seed"),
+            "--fault-rate" => {
+                let Some(value) = args.next() else { usage() };
+                match value.parse() {
+                    Ok(v) => parsed.fault_rate = v,
+                    Err(_) => {
+                        eprintln!("bad value for --fault-rate: {value:?}");
+                        usage();
+                    }
+                }
+            }
+            "--deadline-ms" => parsed.deadline_ms = Some(next("--deadline-ms")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -215,12 +233,25 @@ fn format_count(n: u64) -> String {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let service = Service::start(ServiceConfig {
+    let storage_faults = (args.fault_rate > 0.0).then(|| {
+        FaultPlan::seeded(args.seed ^ 0xFA_017)
+            .with_read_error_rate(args.fault_rate)
+            .with_write_error_rate(args.fault_rate)
+    });
+    let service = match Service::start(ServiceConfig {
         workers: args.workers,
         queue_depth: args.queue,
         cache_capacity: args.cache,
+        storage_faults,
+        default_deadline: args.deadline_ms.map(Duration::from_millis),
         ..ServiceConfig::default()
-    });
+    }) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("divload: cannot start the service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let oracle = Arc::new(Oracle::default());
 
     let mut setup = InProcClient::new(service.clone());
@@ -230,6 +261,7 @@ fn main() -> ExitCode {
 
     let completed = Arc::new(AtomicU64::new(0));
     let incorrect = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
     let done = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
 
@@ -274,6 +306,8 @@ fn main() -> ExitCode {
             let oracle = oracle.clone();
             let completed = completed.clone();
             let incorrect = incorrect.clone();
+            let failed = failed.clone();
+            let faulty = args.fault_rate > 0.0 || args.deadline_ms.is_some();
             let target = args.queries;
             let seed = args.seed;
             std::thread::spawn(move || {
@@ -288,6 +322,7 @@ fn main() -> ExitCode {
                         algorithm: Some(ALGORITHMS[rng.gen_range(0..ALGORITHMS.len())]),
                         assume_unique: false,
                         spec: None,
+                        deadline_ms: None,
                     };
                     match client.divide(&request) {
                         Ok(reply) => {
@@ -319,6 +354,13 @@ fn main() -> ExitCode {
                             std::thread::sleep(Duration::from_micros(200));
                         }
                         Err(ServiceError::ShuttingDown) => break,
+                        Err(_other) if faulty => {
+                            // Under injected faults or deadlines some
+                            // queries legitimately fail; correctness is
+                            // judged only on completed replies.
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(other) => panic!("unexpected service error: {other}"),
                     }
                 }
@@ -358,6 +400,16 @@ fn main() -> ExitCode {
         "load:    {} rejections (admission control), {} errors",
         stats.rejections, stats.errors
     );
+    if args.fault_rate > 0.0 || args.deadline_ms.is_some() {
+        println!(
+            "faults:  {} queries failed under injection, {} timeouts, {} io retries absorbed, \
+             {} worker panics survived",
+            failed.load(Ordering::Relaxed),
+            stats.timeouts,
+            stats.io_retries,
+            stats.worker_panics,
+        );
+    }
     println!(
         "ops:     {} comparisons, {} hashes, {} moves, {} bitops",
         format_count(stats.ops.comparisons),
@@ -365,10 +417,11 @@ fn main() -> ExitCode {
         format_count(stats.ops.moves),
         format_count(stats.ops.bitops)
     );
+    let failed = failed.load(Ordering::Relaxed);
     println!(
-        "verify:  {}/{} correct quotients",
-        completed - incorrect,
-        completed
+        "verify:  {}/{} completed replies correct",
+        completed - failed - incorrect,
+        completed - failed,
     );
     if incorrect > 0 {
         eprintln!("divload: FAILED — {incorrect} incorrect quotients");

@@ -43,7 +43,7 @@ fn run(
         &DivisionConfig {
             assume_unique: true,
             overflow: policy,
-            sort: Default::default(),
+            ..Default::default()
         },
     );
     let cpu_ms = start.elapsed().as_secs_f64() * 1000.0;

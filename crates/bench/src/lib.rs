@@ -96,7 +96,21 @@ pub fn try_run_division_experiment(
     algorithm: Algorithm,
     config: &DivisionConfig,
 ) -> reldiv_core::Result<Measurement> {
+    try_run_division_experiment_checked(dividend, divisor, algorithm, config, true)
+}
+
+/// [`try_run_division_experiment`] with the disks' checksum verification
+/// toggled — the knob the robustness benchmark uses to price the
+/// fault-free overhead of per-page checksums.
+pub fn try_run_division_experiment_checked(
+    dividend: &Relation,
+    divisor: &Relation,
+    algorithm: Algorithm,
+    config: &DivisionConfig,
+    verify_checksums: bool,
+) -> reldiv_core::Result<Measurement> {
     let storage = StorageManager::shared(StorageConfig::paper());
+    storage.borrow_mut().set_checksums_enabled(verify_checksums);
     let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema())
         .expect("workload schemas always divide");
     let d_src = reldiv_core::api::load_source(&storage, dividend).expect("load dividend");

@@ -8,7 +8,8 @@
 
 use std::rc::Rc;
 
-use reldiv_exec::op::{collect, BoxedOp};
+use reldiv_exec::cancel::CancelToken;
+use reldiv_exec::op::BoxedOp;
 use reldiv_exec::scan::{FileScan, MemScan};
 use reldiv_exec::sort::SortConfig;
 use reldiv_rel::{Relation, Schema, Tuple};
@@ -18,6 +19,7 @@ use reldiv_storage::{FileId, StorageManager, StorageRef};
 use crate::hash_division::{HashDivision, HashDivisionMode};
 use crate::naive::naive_division_plan;
 use crate::overflow;
+use crate::report::DegradationReport;
 use crate::spec::DivisionSpec;
 use crate::{ExecError, Result};
 
@@ -223,6 +225,9 @@ pub struct DivisionConfig {
     pub sort: SortConfig,
     /// Hash-table overflow handling for hash-division.
     pub overflow: OverflowPolicy,
+    /// Cooperative cancellation token, polled in the per-tuple loops. The
+    /// default token never cancels.
+    pub cancel: CancelToken,
 }
 
 impl Default for DivisionConfig {
@@ -231,8 +236,22 @@ impl Default for DivisionConfig {
             assume_unique: false,
             sort: SortConfig::default(),
             overflow: OverflowPolicy::Auto,
+            cancel: CancelToken::none(),
         }
     }
+}
+
+/// Drains an operator into a relation, polling `cancel` between tuples.
+fn collect_cancel(mut op: BoxedOp, cancel: CancelToken) -> Result<Relation> {
+    op.open()?;
+    let mut rel = Relation::empty(op.schema().clone());
+    let mut budget = 0u32;
+    while let Some(t) = op.next()? {
+        cancel.checkpoint(&mut budget)?;
+        rel.push(t).map_err(ExecError::from)?;
+    }
+    op.close()?;
+    Ok(rel)
 }
 
 /// Runs `dividend ÷ divisor` with the chosen algorithm over the given
@@ -246,8 +265,25 @@ pub fn divide(
     algorithm: Algorithm,
     config: &DivisionConfig,
 ) -> Result<Relation> {
+    divide_with_report(storage, dividend, divisor, spec, algorithm, config).map(|(rel, _)| rel)
+}
+
+/// [`divide`], additionally returning a [`DegradationReport`] describing
+/// any graceful degradation the division needed — overflow phases walked,
+/// bytes spilled to cluster files, fallback retries. For algorithms other
+/// than hash-division and for divisions that fit in memory the report is
+/// clean (`degraded == false`).
+pub fn divide_with_report(
+    storage: &StorageRef,
+    dividend: &Source,
+    divisor: &Source,
+    spec: &DivisionSpec,
+    algorithm: Algorithm,
+    config: &DivisionConfig,
+) -> Result<(Relation, DegradationReport)> {
     spec.validate(dividend.schema(), divisor.schema())?;
-    match algorithm {
+    let mut report = DegradationReport::new();
+    let rel = match algorithm {
         Algorithm::Naive => {
             let plan = naive_division_plan(
                 storage.clone(),
@@ -256,21 +292,42 @@ pub fn divide(
                 spec.clone(),
                 config.sort,
             )?;
-            collect(plan)
+            collect_cancel(plan, config.cancel)?
         }
         Algorithm::SortAggregation { join } => {
-            crate::sort_agg::sort_agg_division(storage, dividend, divisor, spec, join, config)
+            crate::sort_agg::sort_agg_division(storage, dividend, divisor, spec, join, config)?
         }
         Algorithm::HashAggregation { join } => {
-            crate::hash_agg::hash_agg_division(storage, dividend, divisor, spec, join, config)
+            crate::hash_agg::hash_agg_division(storage, dividend, divisor, spec, join, config)?
         }
-        Algorithm::HashDivision { mode } => {
-            hash_division_with_overflow(storage, dividend, divisor, spec, mode, config)
-        }
+        Algorithm::HashDivision { mode } => hash_division_with_overflow(
+            storage,
+            dividend,
+            divisor,
+            spec,
+            mode,
+            config,
+            &mut report,
+        )?,
+    };
+    Ok((rel, report))
+}
+
+/// Appends a failure marker to the most recent phase in `report`.
+fn mark_exhausted(report: &mut DegradationReport) {
+    if let Some(last) = report.phases.last_mut() {
+        last.push_str(": memory exhausted");
     }
 }
 
 /// Hash-division with the configured overflow policy.
+///
+/// Under `Auto` this walks the Section 3.4 degradation ladder at runtime:
+/// in-memory first; on memory exhaustion quotient partitioning with the
+/// cluster count doubling 2 → 256; if even 256 quotient clusters exhaust
+/// memory (the divisor table itself does not fit), divisor partitioning
+/// 2 → 256; and finally combined partitioning with both cluster counts
+/// doubling 4 → 256. Every rung is recorded in `report`.
 fn hash_division_with_overflow(
     storage: &StorageRef,
     dividend: &Source,
@@ -278,69 +335,149 @@ fn hash_division_with_overflow(
     spec: &DivisionSpec,
     mode: HashDivisionMode,
     config: &DivisionConfig,
+    report: &mut DegradationReport,
 ) -> Result<Relation> {
     let pool = storage.borrow().memory();
-    let in_memory = || -> Result<Relation> {
-        let op = HashDivision::new(
+    let cancel = config.cancel;
+    let in_memory = |report: &mut DegradationReport| -> Result<Relation> {
+        report.note_phase("in-memory");
+        let mut op = HashDivision::new(
             dividend.scan(storage),
             divisor.scan(storage),
             spec.clone(),
             mode,
             pool.clone(),
         )?;
-        collect(Box::new(op))
+        op.set_cancel(cancel);
+        collect_cancel(Box::new(op), cancel)
     };
     match config.overflow {
-        OverflowPolicy::Fail => in_memory(),
-        OverflowPolicy::QuotientPartition { partitions } => overflow::quotient_partitioned(
-            storage,
-            dividend.scan(storage),
-            divisor.scan(storage),
-            spec,
-            mode,
-            partitions,
-        ),
-        OverflowPolicy::DivisorPartition { partitions } => overflow::divisor_partitioned(
-            storage,
-            dividend.scan(storage),
-            divisor.scan(storage),
-            spec,
-            partitions,
-        ),
+        OverflowPolicy::Fail => in_memory(report),
+        OverflowPolicy::QuotientPartition { partitions } => {
+            report.note_phase(format!("quotient-partitioned k={partitions}"));
+            overflow::quotient_partitioned_report(
+                storage,
+                dividend.scan(storage),
+                divisor.scan(storage),
+                spec,
+                mode,
+                partitions,
+                cancel,
+                report,
+            )
+        }
+        OverflowPolicy::DivisorPartition { partitions } => {
+            report.note_phase(format!("divisor-partitioned k={partitions}"));
+            overflow::divisor_partitioned_report(
+                storage,
+                dividend.scan(storage),
+                divisor.scan(storage),
+                spec,
+                partitions,
+                cancel,
+                report,
+            )
+        }
         OverflowPolicy::CombinedPartition {
             divisor_partitions,
             quotient_partitions,
-        } => overflow::combined_partitioned(
-            storage,
-            dividend.scan(storage),
-            divisor.scan(storage),
-            spec,
-            divisor_partitions,
-            quotient_partitions,
-        ),
-        OverflowPolicy::Auto => match in_memory() {
-            Ok(rel) => Ok(rel),
-            Err(e) if e.is_memory_exhausted() => {
-                let mut partitions = 2;
-                loop {
-                    match overflow::quotient_partitioned(
-                        storage,
-                        dividend.scan(storage),
-                        divisor.scan(storage),
-                        spec,
-                        mode,
-                        partitions,
-                    ) {
-                        Ok(rel) => return Ok(rel),
-                        Err(e) if e.is_memory_exhausted() && partitions < 256 => {
-                            partitions *= 2;
-                        }
-                        Err(e) => return Err(e),
+        } => {
+            report.note_phase(format!(
+                "combined-partitioned dk={divisor_partitions} qk={quotient_partitions}"
+            ));
+            overflow::combined_partitioned_report(
+                storage,
+                dividend.scan(storage),
+                divisor.scan(storage),
+                spec,
+                divisor_partitions,
+                quotient_partitions,
+                cancel,
+                report,
+            )
+        }
+        OverflowPolicy::Auto => {
+            let mut last = match in_memory(report) {
+                Ok(rel) => return Ok(rel),
+                Err(e) if e.is_memory_exhausted() => {
+                    mark_exhausted(report);
+                    e
+                }
+                Err(e) => return Err(e),
+            };
+            // Rung 1: quotient partitioning (divisor table stays resident).
+            let mut k = 2usize;
+            while k <= 256 {
+                report.note_retry();
+                report.note_phase(format!("quotient-partitioned k={k}"));
+                match overflow::quotient_partitioned_report(
+                    storage,
+                    dividend.scan(storage),
+                    divisor.scan(storage),
+                    spec,
+                    mode,
+                    k,
+                    cancel,
+                    report,
+                ) {
+                    Ok(rel) => return Ok(rel),
+                    Err(e) if e.is_memory_exhausted() => {
+                        mark_exhausted(report);
+                        last = e;
+                        k *= 2;
                     }
+                    Err(e) => return Err(e),
                 }
             }
-            Err(e) => Err(e),
-        },
+            // Rung 2: the divisor table itself does not fit — partition it.
+            let mut k = 2usize;
+            while k <= 256 {
+                report.note_retry();
+                report.note_phase(format!("divisor-partitioned k={k}"));
+                match overflow::divisor_partitioned_report(
+                    storage,
+                    dividend.scan(storage),
+                    divisor.scan(storage),
+                    spec,
+                    k,
+                    cancel,
+                    report,
+                ) {
+                    Ok(rel) => return Ok(rel),
+                    Err(e) if e.is_memory_exhausted() => {
+                        mark_exhausted(report);
+                        last = e;
+                        k *= 2;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Rung 3: both tables are too large — combine the strategies.
+            let mut k = 4usize;
+            while k <= 256 {
+                report.note_retry();
+                report.note_phase(format!("combined-partitioned dk={k} qk={k}"));
+                match overflow::combined_partitioned_report(
+                    storage,
+                    dividend.scan(storage),
+                    divisor.scan(storage),
+                    spec,
+                    k,
+                    k,
+                    cancel,
+                    report,
+                ) {
+                    Ok(rel) => return Ok(rel),
+                    Err(e) if e.is_memory_exhausted() => {
+                        mark_exhausted(report);
+                        last = e;
+                        k *= 2;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(last)
+        }
     }
 }
 
@@ -539,7 +676,7 @@ mod tests {
             work_memory_bytes: 64 * 1024,
         });
         let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
-        let q = divide(
+        let (q, report) = divide_with_report(
             &storage,
             &Source::from_relation(&dividend),
             &Source::from_relation(&divisor),
@@ -551,6 +688,67 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.cardinality(), 2000);
+        // The runtime fallback is visible in the degradation report: the
+        // in-memory attempt was abandoned and a partitioned phase won.
+        assert!(report.degraded);
+        assert!(report.retries >= 1);
+        assert_eq!(report.phases[0], "in-memory: memory exhausted");
+        let winner = report.final_phase().unwrap();
+        assert!(winner.starts_with("quotient-partitioned"), "{winner}");
+        assert!(report.spill_bytes > 0, "partitioned phases spool clusters");
+    }
+
+    #[test]
+    fn clean_division_reports_no_degradation() {
+        let dividend = transcript(&[[1, 1], [1, 2], [2, 1]]);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (q, report) = divide_with_report(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 1);
+        assert!(!report.degraded);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.final_phase(), Some("in-memory"));
+        assert_eq!(report.spill_bytes, 0);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_division() {
+        let dividend = transcript(&[[1, 1], [1, 2], [2, 1]]);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let config = DivisionConfig {
+            cancel: CancelToken::after(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        for algorithm in [
+            Algorithm::Naive,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        ] {
+            let err = divide(
+                &storage,
+                &Source::from_relation(&dividend),
+                &Source::from_relation(&divisor),
+                &spec,
+                algorithm,
+                &config,
+            )
+            .unwrap_err();
+            assert!(err.is_cancelled(), "{algorithm:?}: {err}");
+        }
     }
 }
 

@@ -38,6 +38,7 @@
 //! against the storage manager's memory pool; exhaustion surfaces as
 //! `MemoryExhausted`, the trigger for the overflow strategies.
 
+use reldiv_exec::cancel::CancelToken;
 use reldiv_exec::hash_table::ChainedTable;
 use reldiv_exec::op::{BoxedOp, OpState, Operator};
 use reldiv_rel::{Schema, Tuple};
@@ -304,6 +305,8 @@ pub struct HashDivision {
     quotient_table: Option<QuotientTable>,
     streaming: bool,
     stats: HashDivisionStats,
+    cancel: CancelToken,
+    cancel_budget: u32,
 }
 
 impl HashDivision {
@@ -329,7 +332,15 @@ impl HashDivision {
             quotient_table: None,
             streaming: false,
             stats: HashDivisionStats::default(),
+            cancel: CancelToken::none(),
+            cancel_budget: 0,
         })
+    }
+
+    /// Installs a cancellation token, polled cooperatively in the
+    /// per-tuple build and stream loops.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Run statistics (meaningful once the operator has been drained).
@@ -389,8 +400,10 @@ impl Operator for HashDivision {
         self.dividend.open()?;
         match self.mode {
             HashDivisionMode::Standard | HashDivisionMode::CounterOnly => {
-                // Stop-and-go: consume the whole dividend now.
+                // Stop-and-go: consume the whole dividend now, checking the
+                // deadline once per stride of tuples.
                 while let Some(t) = self.dividend.next()? {
+                    self.cancel.checkpoint(&mut self.cancel_budget)?;
                     self.absorb(t)?;
                 }
                 self.dividend.close()?;
@@ -412,6 +425,7 @@ impl Operator for HashDivision {
         // completes.
         if self.streaming {
             loop {
+                self.cancel.checkpoint(&mut self.cancel_budget)?;
                 match self.dividend.next()? {
                     Some(t) => {
                         if let Some(q) = self.absorb(t)? {

@@ -60,13 +60,15 @@ pub mod hash_division;
 pub mod mem;
 pub mod naive;
 pub mod overflow;
+pub mod report;
 pub mod sort_agg;
 pub mod spec;
 
-pub use api::{divide, divide_relations, Algorithm, DivisionConfig};
+pub use api::{divide, divide_relations, divide_with_report, Algorithm, DivisionConfig};
 pub use bitmap::Bitmap;
 pub use contains::Contains;
 pub use hash_division::{HashDivision, HashDivisionMode};
+pub use report::DegradationReport;
 pub use spec::DivisionSpec;
 
 /// Result alias; core reuses the execution engine's error type.

@@ -21,20 +21,23 @@
 //! Both strategies process clusters through temporary record files, whose
 //! pages often never leave the buffer pool.
 
+use reldiv_exec::cancel::CancelToken;
 use reldiv_exec::op::BoxedOp;
 use reldiv_rel::{RecordCodec, Relation, Schema, Tuple};
 use reldiv_storage::file::ScanCursor;
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
 use crate::hash_division::{DivisorTable, HashDivisionMode, QuotientTable};
+use crate::report::DegradationReport;
 use crate::spec::DivisionSpec;
 use crate::{ExecError, Result};
 
-/// Spools tuples into per-cluster temporary files.
+/// Spools tuples into per-cluster temporary files, counting spilled bytes.
 struct ClusterWriter {
     codec: RecordCodec,
     files: Vec<FileId>,
     buf: Vec<u8>,
+    spilled: u64,
 }
 
 impl ClusterWriter {
@@ -47,12 +50,14 @@ impl ClusterWriter {
             codec: RecordCodec::new(schema),
             files,
             buf: Vec::new(),
+            spilled: 0,
         }
     }
 
     fn write(&mut self, storage: &StorageRef, cluster: usize, t: &Tuple) -> Result<()> {
         self.buf.clear();
         self.codec.encode_into(t, &mut self.buf)?;
+        self.spilled += self.buf.len() as u64;
         storage
             .borrow_mut()
             .append(self.files[cluster], &self.buf)?;
@@ -96,11 +101,37 @@ fn for_each_record(
 /// main memory during all phases").
 pub fn quotient_partitioned(
     storage: &StorageRef,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: &DivisionSpec,
+    mode: HashDivisionMode,
+    partitions: usize,
+) -> Result<Relation> {
+    let mut report = DegradationReport::new();
+    quotient_partitioned_report(
+        storage,
+        dividend,
+        divisor,
+        spec,
+        mode,
+        partitions,
+        CancelToken::none(),
+        &mut report,
+    )
+}
+
+/// [`quotient_partitioned`] with cooperative cancellation and spill
+/// accounting into `report`.
+#[allow(clippy::too_many_arguments)] // mirrors quotient_partitioned + context
+pub fn quotient_partitioned_report(
+    storage: &StorageRef,
     mut dividend: BoxedOp,
     mut divisor: BoxedOp,
     spec: &DivisionSpec,
     mode: HashDivisionMode,
     partitions: usize,
+    cancel: CancelToken,
+    report: &mut DegradationReport,
 ) -> Result<Relation> {
     if partitions < 2 {
         return Err(ExecError::Plan(
@@ -139,8 +170,10 @@ pub fn quotient_partitioned(
         quotient_schema.record_width(),
     )?;
     let mut writer = ClusterWriter::new(storage, dividend.schema().clone(), partitions - 1);
+    let mut budget = 0u32;
     dividend.open()?;
     while let Some(t) = dividend.next()? {
+        cancel.checkpoint(&mut budget)?;
         let cluster = (t.hash_on(&spec.quotient_keys) as usize) % partitions;
         if cluster == 0 {
             if let Some(dno) = lookup(&t) {
@@ -169,6 +202,7 @@ pub fn quotient_partitioned(
         )?;
         let mut early: Vec<Tuple> = Vec::new();
         for_each_record(storage, writer.files[i], &codec, |t| {
+            cancel.checkpoint(&mut budget)?;
             if let Some(dno) = lookup(&t) {
                 if let Some(q) = qt.absorb(&t, dno)? {
                     early.push(q);
@@ -181,6 +215,7 @@ pub fn quotient_partitioned(
         }
         emit(&mut qt, &mut result)?;
     }
+    report.spill_bytes += writer.spilled;
     writer.delete_all(storage)?;
     Ok(result)
 }
@@ -188,10 +223,33 @@ pub fn quotient_partitioned(
 /// Hash-division with divisor partitioning and a collection phase.
 pub fn divisor_partitioned(
     storage: &StorageRef,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: &DivisionSpec,
+    partitions: usize,
+) -> Result<Relation> {
+    let mut report = DegradationReport::new();
+    divisor_partitioned_report(
+        storage,
+        dividend,
+        divisor,
+        spec,
+        partitions,
+        CancelToken::none(),
+        &mut report,
+    )
+}
+
+/// [`divisor_partitioned`] with cooperative cancellation and spill
+/// accounting into `report`.
+pub fn divisor_partitioned_report(
+    storage: &StorageRef,
     mut dividend: BoxedOp,
     mut divisor: BoxedOp,
     spec: &DivisionSpec,
     partitions: usize,
+    cancel: CancelToken,
+    report: &mut DegradationReport,
 ) -> Result<Relation> {
     if partitions < 1 {
         return Err(ExecError::Plan(
@@ -207,8 +265,10 @@ pub fn divisor_partitioned(
     let mut divisor_writer = ClusterWriter::new(storage, divisor.schema().clone(), partitions);
     let divisor_all = spec.divisor_all_columns();
     let mut divisor_cluster_sizes = vec![0u64; partitions];
+    let mut budget = 0u32;
     divisor.open()?;
     while let Some(t) = divisor.next()? {
+        cancel.checkpoint(&mut budget)?;
         let cluster = (t.hash_on(&divisor_all) as usize) % partitions;
         divisor_cluster_sizes[cluster] += 1;
         divisor_writer.write(storage, cluster, &t)?;
@@ -218,6 +278,7 @@ pub fn divisor_partitioned(
     let mut dividend_writer = ClusterWriter::new(storage, dividend.schema().clone(), partitions);
     dividend.open()?;
     while let Some(t) = dividend.next()? {
+        cancel.checkpoint(&mut budget)?;
         let cluster = (t.hash_on(&spec.divisor_keys) as usize) % partitions;
         dividend_writer.write(storage, cluster, &t)?;
     }
@@ -235,10 +296,12 @@ pub fn divisor_partitioned(
     let mut phase_count: u32 = 0;
     let divisor_codec = divisor_writer.codec.clone();
     let dividend_codec = dividend_writer.codec.clone();
-    let spool_q = |q: Tuple, phase: u32| -> Result<()> {
+    let mut collection_spilled = 0u64;
+    let mut spool_q = |q: Tuple, phase: u32| -> Result<()> {
         let mut vals = q.into_values();
         vals.push(reldiv_rel::Value::Int(phase as i64));
         let record = collection_codec.encode(&Tuple::new(vals))?;
+        collection_spilled += record.len() as u64;
         storage.borrow_mut().append(collection_file, &record)?;
         Ok(())
     };
@@ -270,6 +333,7 @@ pub fn divisor_partitioned(
             quotient_schema.record_width(),
         )?;
         for_each_record(storage, dividend_writer.files[i], &dividend_codec, |t| {
+            cancel.checkpoint(&mut budget)?;
             let dno = match &dt {
                 None => Some(None),
                 Some(dt) => dt.lookup(&t, &spec.divisor_keys).map(Some),
@@ -293,6 +357,7 @@ pub fn divisor_partitioned(
     if empty_divisor {
         phase_count = 1;
     }
+    report.spill_bytes += divisor_writer.spilled + dividend_writer.spilled + collection_spilled;
     divisor_writer.delete_all(storage)?;
     dividend_writer.delete_all(storage)?;
 
@@ -308,7 +373,12 @@ pub fn divisor_partitioned(
     )?;
     let phase_col = collection_schema.arity() - 1;
     for_each_record(storage, collection_file, &collection_codec, |t| {
-        let tag = t.value(phase_col).as_int().expect("phase tag is Int") as u32;
+        cancel.checkpoint(&mut budget)?;
+        let tag = t
+            .value(phase_col)
+            .as_int()
+            .ok_or_else(|| ExecError::Plan("collection-phase tag must be Int".into()))?
+            as u32;
         let dno = if phase_count == 0 { None } else { Some(tag) };
         let q = t.project(&(0..phase_col).collect::<Vec<_>>());
         collector.absorb(&q, dno)?;
@@ -337,11 +407,37 @@ pub fn divisor_partitioned(
 /// job.)
 pub fn combined_partitioned(
     storage: &StorageRef,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: &DivisionSpec,
+    divisor_partitions: usize,
+    quotient_partitions: usize,
+) -> Result<Relation> {
+    let mut report = DegradationReport::new();
+    combined_partitioned_report(
+        storage,
+        dividend,
+        divisor,
+        spec,
+        divisor_partitions,
+        quotient_partitions,
+        CancelToken::none(),
+        &mut report,
+    )
+}
+
+/// [`combined_partitioned`] with cooperative cancellation and spill
+/// accounting into `report`.
+#[allow(clippy::too_many_arguments)] // mirrors combined_partitioned + context
+pub fn combined_partitioned_report(
+    storage: &StorageRef,
     mut dividend: BoxedOp,
     mut divisor: BoxedOp,
     spec: &DivisionSpec,
     divisor_partitions: usize,
     quotient_partitions: usize,
+    cancel: CancelToken,
+    report: &mut DegradationReport,
 ) -> Result<Relation> {
     if divisor_partitions < 1 || quotient_partitions < 2 {
         return Err(ExecError::Plan(
@@ -358,8 +454,10 @@ pub fn combined_partitioned(
     let mut divisor_writer = ClusterWriter::new(storage, divisor.schema().clone(), k);
     let divisor_all = spec.divisor_all_columns();
     let mut divisor_cluster_sizes = vec![0u64; k];
+    let mut budget = 0u32;
     divisor.open()?;
     while let Some(t) = divisor.next()? {
+        cancel.checkpoint(&mut budget)?;
         let cluster = (t.hash_on(&divisor_all) as usize) % k;
         divisor_cluster_sizes[cluster] += 1;
         divisor_writer.write(storage, cluster, &t)?;
@@ -368,6 +466,7 @@ pub fn combined_partitioned(
     let mut dividend_writer = ClusterWriter::new(storage, dividend.schema().clone(), k);
     dividend.open()?;
     while let Some(t) = dividend.next()? {
+        cancel.checkpoint(&mut budget)?;
         let cluster = (t.hash_on(&spec.divisor_keys) as usize) % k;
         dividend_writer.write(storage, cluster, &t)?;
     }
@@ -398,19 +497,22 @@ pub fn combined_partitioned(
             divisor_writer.files[i],
             divisor_writer.codec.schema().clone(),
         ));
-        let phase_quotient = quotient_partitioned(
+        let phase_quotient = quotient_partitioned_report(
             storage,
             dividend_scan,
             divisor_scan,
             spec,
             HashDivisionMode::Standard,
             quotient_partitions,
+            cancel,
+            report,
         )?;
         let tag = if empty_divisor { 0 } else { phase_count };
         for q in phase_quotient.into_tuples() {
             let mut vals = q.into_values();
             vals.push(reldiv_rel::Value::Int(tag as i64));
             let record = collection_codec.encode(&Tuple::new(vals))?;
+            report.spill_bytes += record.len() as u64;
             storage.borrow_mut().append(collection_file, &record)?;
         }
         if !empty_divisor {
@@ -420,6 +522,7 @@ pub fn combined_partitioned(
     if empty_divisor {
         phase_count = 1;
     }
+    report.spill_bytes += divisor_writer.spilled + dividend_writer.spilled;
     divisor_writer.delete_all(storage)?;
     dividend_writer.delete_all(storage)?;
 
@@ -433,7 +536,12 @@ pub fn combined_partitioned(
     )?;
     let phase_col = collection_schema.arity() - 1;
     for_each_record(storage, collection_file, &collection_codec, |t| {
-        let tag = t.value(phase_col).as_int().expect("phase tag is Int") as u32;
+        cancel.checkpoint(&mut budget)?;
+        let tag = t
+            .value(phase_col)
+            .as_int()
+            .ok_or_else(|| ExecError::Plan("collection-phase tag must be Int".into()))?
+            as u32;
         let q = t.project(&(0..phase_col).collect::<Vec<_>>());
         collector.absorb(&q, Some(tag))?;
         Ok(())

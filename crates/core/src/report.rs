@@ -1,0 +1,76 @@
+//! Degradation reporting: what a division had to do to survive.
+//!
+//! When hash-division hits memory pressure mid-build, the `Auto` overflow
+//! policy walks the Section 3.4 ladder — in-memory, quotient-partitioned,
+//! divisor-partitioned, combined — until a rung fits. The
+//! [`DegradationReport`] returned alongside the quotient records that
+//! walk: which phases ran, how many rungs were abandoned, and how many
+//! bytes were spooled to temporary cluster files. A report with
+//! `degraded == false` and an empty phase list is the fast path.
+
+/// How a division degraded (or didn't) to produce its result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Whether any fallback beyond the first attempt was needed.
+    pub degraded: bool,
+    /// Human-readable phases attempted, in order (e.g. `"in-memory:
+    /// memory exhausted"`, `"quotient-partitioned k=4"`). The last entry
+    /// is the phase that produced the result.
+    pub phases: Vec<String>,
+    /// Bytes spooled to temporary cluster/collection files by the
+    /// partitioned phases.
+    pub spill_bytes: u64,
+    /// Fallback retries: attempts abandoned before the one that
+    /// succeeded (or before giving up).
+    pub retries: u32,
+}
+
+impl DegradationReport {
+    /// A fresh, non-degraded report.
+    pub fn new() -> DegradationReport {
+        DegradationReport::default()
+    }
+
+    /// Records a phase that ran (or was attempted).
+    pub fn note_phase(&mut self, phase: impl Into<String>) {
+        self.phases.push(phase.into());
+    }
+
+    /// Records that the previous phase was abandoned and another will be
+    /// attempted.
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
+        self.degraded = true;
+    }
+
+    /// The phase that produced the result, if any phase was recorded.
+    pub fn final_phase(&self) -> Option<&str> {
+        self.phases.last().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_report_is_clean() {
+        let r = DegradationReport::new();
+        assert!(!r.degraded);
+        assert!(r.phases.is_empty());
+        assert_eq!(r.spill_bytes, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.final_phase(), None);
+    }
+
+    #[test]
+    fn retries_mark_degradation() {
+        let mut r = DegradationReport::new();
+        r.note_phase("in-memory: memory exhausted");
+        r.note_retry();
+        r.note_phase("quotient-partitioned k=2");
+        assert!(r.degraded);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.final_phase(), Some("quotient-partitioned k=2"));
+    }
+}

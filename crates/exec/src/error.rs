@@ -17,6 +17,9 @@ pub enum ExecError {
     Protocol(&'static str),
     /// A plan was malformed (mismatched key lists, wrong arities).
     Plan(String),
+    /// The query was cooperatively cancelled (its deadline expired). Not a
+    /// data error: the inputs are fine, the caller just stopped waiting.
+    Cancelled,
 }
 
 impl fmt::Display for ExecError {
@@ -26,6 +29,7 @@ impl fmt::Display for ExecError {
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::Protocol(msg) => write!(f, "iterator protocol violation: {msg}"),
             ExecError::Plan(msg) => write!(f, "malformed plan: {msg}"),
+            ExecError::Cancelled => write!(f, "query cancelled: deadline exceeded"),
         }
     }
 }
@@ -61,6 +65,18 @@ impl ExecError {
             ExecError::Storage(StorageError::MemoryExhausted { .. })
         )
     }
+
+    /// Whether this error is a cooperative cancellation (deadline expiry)
+    /// rather than a failure of the query itself.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ExecError::Cancelled)
+    }
+
+    /// Whether this error wraps a transient storage fault whose retries
+    /// were exhausted — the class of failure a client may retry whole.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::Storage(e) if e.is_transient())
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +106,19 @@ mod tests {
         .into();
         assert!(e.is_memory_exhausted());
         assert!(!ExecError::Protocol("x").is_memory_exhausted());
+    }
+
+    #[test]
+    fn cancellation_and_transience_are_detectable() {
+        assert!(ExecError::Cancelled.is_cancelled());
+        assert!(ExecError::Cancelled.to_string().contains("deadline"));
+        assert!(!ExecError::Cancelled.is_memory_exhausted());
+        let e: ExecError = StorageError::Transient {
+            op: "read",
+            page: 1,
+        }
+        .into();
+        assert!(e.is_transient());
+        assert!(!ExecError::Cancelled.is_transient());
     }
 }

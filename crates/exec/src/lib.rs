@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 
 pub mod agg;
+pub mod cancel;
 pub mod error;
 pub mod filter;
 pub mod hash_join;
@@ -45,6 +46,7 @@ pub mod project;
 pub mod scan;
 pub mod sort;
 
+pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use op::{collect, BoxedOp, Operator};
 

@@ -14,8 +14,9 @@ use reldiv_service::{ServerHandle, Service, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reldiv-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-         defaults: --addr 127.0.0.1:7171 --workers 4 --queue 64 --cache 256"
+        "usage: reldiv-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+         [--deadline-ms MS]\n\
+         defaults: --addr 127.0.0.1:7171 --workers 4 --queue 64 --cache 256, no deadline"
     );
     std::process::exit(2);
 }
@@ -42,6 +43,12 @@ fn main() -> ExitCode {
             "--workers" => config.workers = parse(&mut args, "--workers"),
             "--queue" => config.queue_depth = parse(&mut args, "--queue"),
             "--cache" => config.cache_capacity = parse(&mut args, "--cache"),
+            "--deadline-ms" => {
+                config.default_deadline = Some(std::time::Duration::from_millis(parse(
+                    &mut args,
+                    "--deadline-ms",
+                )));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -50,7 +57,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let service = Service::start(config.clone());
+    let service = match Service::start(config.clone()) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("reldiv-serve: cannot start the worker pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut server = match ServerHandle::start(service, addr.as_str()) {
         Ok(server) => server,
         Err(e) => {

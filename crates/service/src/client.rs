@@ -5,6 +5,7 @@
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use reldiv_rel::Relation;
 
@@ -58,6 +59,7 @@ impl DivisionClient for InProcClient {
             algorithm: request.algorithm,
             assume_unique: request.assume_unique,
             spec: request.spec.clone(),
+            deadline: request.deadline_ms.map(Duration::from_millis),
         };
         let r = self
             .service
@@ -161,5 +163,254 @@ impl DivisionClient for TcpClient {
             Reply::Stats(stats) => Ok(stats),
             other => Err(unexpected(&other)),
         }
+    }
+}
+
+/// Retry schedule for [`RetryingClient`]: bounded attempts with jittered
+/// exponential backoff. The jitter (a deterministic splitmix64 stream
+/// seeded per client) keeps a fleet of clients retrying an overloaded
+/// server from stampeding it in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(250),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered delay before retry number `attempt` (1-based):
+    /// uniformly in `[half, full]` of the capped exponential step.
+    fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << (attempt - 1).min(20));
+        let full = exp.min(self.cap).as_nanos() as u64;
+        *rng = splitmix64(*rng);
+        let jittered = full / 2 + if full == 0 { 0 } else { *rng % (full / 2 + 1) };
+        Duration::from_nanos(jittered)
+    }
+}
+
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`DivisionClient`] decorator that retries
+/// [retryable](ServiceError::is_retryable) failures — admission-control
+/// rejections and worker deaths — with jittered exponential backoff.
+/// Non-retryable errors (bad requests, unknown relations, deadline
+/// exceeded, protocol faults) pass straight through.
+pub struct RetryingClient<C> {
+    inner: C,
+    policy: BackoffPolicy,
+    rng: u64,
+    retries_performed: u64,
+}
+
+impl<C: DivisionClient> RetryingClient<C> {
+    /// Wraps `inner` with the given retry schedule.
+    pub fn new(inner: C, policy: BackoffPolicy) -> RetryingClient<C> {
+        RetryingClient {
+            inner,
+            policy,
+            rng: splitmix64(policy.seed),
+            retries_performed: 0,
+        }
+    }
+
+    /// The wrapped client.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Total retries this client has performed (observability for load
+    /// generators and the chaos harness).
+    pub fn retries_performed(&self) -> u64 {
+        self.retries_performed
+    }
+
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut C) -> Result<T>) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut self.inner) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries_performed += 1;
+                    std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<C: DivisionClient> DivisionClient for RetryingClient<C> {
+    fn ping(&mut self) -> Result<()> {
+        self.with_retry(|c| c.ping())
+    }
+
+    fn register(&mut self, name: &str, relation: &Relation) -> Result<u64> {
+        // Registering is idempotent (it replaces), so retrying is safe.
+        self.with_retry(|c| c.register(name, relation))
+    }
+
+    fn drop_relation(&mut self, name: &str) -> Result<()> {
+        self.with_retry(|c| c.drop_relation(name))
+    }
+
+    fn divide(&mut self, request: &DivideRequest) -> Result<DivideReply> {
+        self.with_retry(|c| c.divide(request))
+    }
+
+    fn stats(&mut self) -> Result<MetricsSnapshot> {
+        self.with_retry(|c| c.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted client failing a fixed number of times per call.
+    struct Flaky {
+        failures_left: u32,
+        calls: u32,
+    }
+
+    impl DivisionClient for Flaky {
+        fn ping(&mut self) -> Result<()> {
+            self.calls += 1;
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                Err(ServiceError::Overloaded)
+            } else {
+                Ok(())
+            }
+        }
+        fn register(&mut self, _: &str, _: &Relation) -> Result<u64> {
+            unimplemented!()
+        }
+        fn drop_relation(&mut self, _: &str) -> Result<()> {
+            self.calls += 1;
+            Err(ServiceError::BadRequest("nope".into()))
+        }
+        fn divide(&mut self, _: &DivideRequest) -> Result<DivideReply> {
+            self.calls += 1;
+            Err(ServiceError::Overloaded)
+        }
+        fn stats(&mut self) -> Result<MetricsSnapshot> {
+            unimplemented!()
+        }
+    }
+
+    fn fast_policy(max_retries: u32) -> BackoffPolicy {
+        BackoffPolicy {
+            max_retries,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn retries_transient_failures_until_success() {
+        let mut c = RetryingClient::new(
+            Flaky {
+                failures_left: 3,
+                calls: 0,
+            },
+            fast_policy(4),
+        );
+        c.ping().unwrap();
+        assert_eq!(c.retries_performed(), 3);
+        assert_eq!(c.into_inner().calls, 4);
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let mut c = RetryingClient::new(
+            Flaky {
+                failures_left: u32::MAX,
+                calls: 0,
+            },
+            fast_policy(2),
+        );
+        assert_eq!(
+            c.divide(&DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: None,
+                assume_unique: false,
+                spec: None,
+                deadline_ms: None,
+            })
+            .unwrap_err(),
+            ServiceError::Overloaded
+        );
+        assert_eq!(c.into_inner().calls, 3, "1 attempt + 2 retries");
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through_immediately() {
+        let mut c = RetryingClient::new(
+            Flaky {
+                failures_left: 0,
+                calls: 0,
+            },
+            fast_policy(5),
+        );
+        assert!(matches!(
+            c.drop_relation("x"),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert_eq!(c.retries_performed(), 0);
+        assert_eq!(c.into_inner().calls, 1);
+    }
+
+    #[test]
+    fn backoff_is_jittered_within_the_exponential_envelope() {
+        let policy = BackoffPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(64),
+            seed: 42,
+        };
+        let mut rng = splitmix64(policy.seed);
+        let mut saw_distinct = false;
+        let mut prev = None;
+        for attempt in 1..=8 {
+            let exp = policy
+                .base
+                .saturating_mul(1 << (attempt - 1))
+                .min(policy.cap);
+            let d = policy.delay(attempt, &mut rng);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d:?} vs {exp:?}"
+            );
+            if prev.is_some() && prev != Some(d) {
+                saw_distinct = true;
+            }
+            prev = Some(d);
+        }
+        assert!(saw_distinct, "jitter should vary the delays");
     }
 }

@@ -22,6 +22,9 @@ pub enum ServiceError {
     Protocol(String),
     /// The worker executing the query died before replying.
     Internal(String),
+    /// The query's deadline elapsed before the quotient was ready. The
+    /// division was cancelled cooperatively; no partial result is served.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServiceError {
@@ -38,7 +41,20 @@ impl fmt::Display for ServiceError {
             ServiceError::Exec(msg) => write!(f, "execution error: {msg}"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded: query cancelled before completion")
+            }
         }
+    }
+}
+
+impl ServiceError {
+    /// Whether a client may reasonably retry the request after a backoff:
+    /// the failure reflects a transient service condition (a full
+    /// submission queue, a worker that died mid-query), not a property of
+    /// the request itself.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServiceError::Overloaded | ServiceError::Internal(_))
     }
 }
 
@@ -46,7 +62,11 @@ impl std::error::Error for ServiceError {}
 
 impl From<reldiv_core::ExecError> for ServiceError {
     fn from(e: reldiv_core::ExecError) -> ServiceError {
-        ServiceError::Exec(e.to_string())
+        if e.is_cancelled() {
+            ServiceError::DeadlineExceeded
+        } else {
+            ServiceError::Exec(e.to_string())
+        }
     }
 }
 

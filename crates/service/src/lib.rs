@@ -38,7 +38,7 @@ pub mod server;
 pub mod service;
 mod worker;
 
-pub use client::{DivisionClient, InProcClient, TcpClient};
+pub use client::{BackoffPolicy, DivisionClient, InProcClient, RetryingClient, TcpClient};
 pub use error::{Result, ServiceError};
 pub use metrics::MetricsSnapshot;
 pub use proto::{DivideReply, DivideRequest};

@@ -126,6 +126,14 @@ pub struct MetricsSnapshot {
     pub shed_shutdown: u64,
     /// Queries that failed in validation or execution.
     pub errors: u64,
+    /// Queries cancelled because their deadline elapsed.
+    pub timeouts: u64,
+    /// Worker panics survived: the panicking query got
+    /// `ServiceError::Internal` and the worker state was rebuilt.
+    pub worker_panics: u64,
+    /// Transient storage faults absorbed by buffer-manager retries while
+    /// executing queries (reads + writes).
+    pub io_retries: u64,
     /// Latency quantiles in microseconds (p50, p95, p99) and the mean.
     pub latency_p50_us: u64,
     /// 95th percentile latency in microseconds.
@@ -169,6 +177,12 @@ pub struct ServiceMetrics {
     pub shed_shutdown: AtomicU64,
     /// Failed queries (validation or execution errors).
     pub errors: AtomicU64,
+    /// Deadline-cancelled queries.
+    pub timeouts: AtomicU64,
+    /// Worker panics survived by the pool.
+    pub worker_panics: AtomicU64,
+    /// Transient storage faults absorbed by retries in worker storage.
+    pub io_retries: AtomicU64,
     /// Abstract-operation totals across all executed queries.
     pub ops: OpAccumulator,
 }
@@ -188,6 +202,9 @@ impl ServiceMetrics {
             rejections: self.rejections.load(Ordering::Relaxed),
             shed_shutdown: self.shed_shutdown.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
             latency_p50_us: self.latency.quantile(0.50),
             latency_p95_us: self.latency.quantile(0.95),
             latency_p99_us: self.latency.quantile(0.99),

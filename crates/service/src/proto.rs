@@ -77,6 +77,7 @@ pub fn error_code(err: &ServiceError) -> u8 {
         ServiceError::Exec(_) => 5,
         ServiceError::Protocol(_) => 6,
         ServiceError::Internal(_) => 7,
+        ServiceError::DeadlineExceeded => 8,
     }
 }
 
@@ -89,6 +90,7 @@ pub fn error_from_code(code: u8, message: String) -> ServiceError {
         4 => ServiceError::BadRequest(message),
         5 => ServiceError::Exec(message),
         6 => ServiceError::Protocol(message),
+        8 => ServiceError::DeadlineExceeded,
         _ => ServiceError::Internal(message),
     }
 }
@@ -134,6 +136,10 @@ pub struct DivideRequest {
     /// Explicit `(divisor_keys, quotient_keys)`, or `None` for the
     /// trailing-divisor convention.
     pub spec: Option<(Vec<usize>, Vec<usize>)>,
+    /// Per-query deadline in milliseconds (`None` uses the server's
+    /// default). An expired deadline cancels the division cooperatively
+    /// and the reply is error code 8 (`DeadlineExceeded`).
+    pub deadline_ms: Option<u64>,
 }
 
 /// A successful server → client payload.
@@ -249,15 +255,24 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> PResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        b.try_into()
+            .map(u16::from_le_bytes)
+            .map_err(|_| perr("internal: u16 slice length"))
     }
 
     fn u32(&mut self) -> PResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        b.try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| perr("internal: u32 slice length"))
     }
 
     fn u64(&mut self) -> PResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        b.try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| perr("internal: u64 slice length"))
     }
 
     fn str(&mut self) -> PResult<String> {
@@ -275,25 +290,35 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    let len = u16::try_from(s.len()).expect("string fits in a u16 length");
+fn put_str(out: &mut Vec<u8>, s: &str) -> PResult<()> {
+    let len = u16::try_from(s.len()).map_err(|_| {
+        perr(format!(
+            "string of {} bytes exceeds the u16 length",
+            s.len()
+        ))
+    })?;
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
-fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
-    let n = u16::try_from(schema.arity()).expect("schema arity fits in u16");
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) -> PResult<()> {
+    let n = u16::try_from(schema.arity())
+        .map_err(|_| perr(format!("schema arity {} exceeds u16", schema.arity())))?;
     out.extend_from_slice(&n.to_le_bytes());
     for field in schema.fields() {
         match field.ty {
             ColumnType::Int => out.push(0),
             ColumnType::Str(width) => {
                 out.push(1);
-                out.extend_from_slice(&(width as u32).to_le_bytes());
+                let width = u32::try_from(width)
+                    .map_err(|_| perr(format!("string width {width} exceeds u32")))?;
+                out.extend_from_slice(&width.to_le_bytes());
             }
         }
-        put_str(out, &field.name);
+        put_str(out, &field.name)?;
     }
+    Ok(())
 }
 
 fn get_schema(r: &mut Reader<'_>) -> PResult<Schema> {
@@ -342,13 +367,16 @@ fn get_tuples(r: &mut Reader<'_>, schema: &Schema) -> PResult<Vec<Tuple>> {
     Ok(tuples)
 }
 
-fn put_keys(out: &mut Vec<u8>, keys: &[usize]) {
-    let n = u16::try_from(keys.len()).expect("key list fits in u16");
+fn put_keys(out: &mut Vec<u8>, keys: &[usize]) -> PResult<()> {
+    let n = u16::try_from(keys.len())
+        .map_err(|_| perr(format!("key list of {} entries exceeds u16", keys.len())))?;
     out.extend_from_slice(&n.to_le_bytes());
     for &k in keys {
-        let k = u16::try_from(k).expect("column index fits in u16");
+        let k =
+            u16::try_from(k).map_err(|_| perr(format!("column index {k} exceeds the u16 wire")))?;
         out.extend_from_slice(&k.to_le_bytes());
     }
+    Ok(())
 }
 
 fn get_keys(r: &mut Reader<'_>) -> PResult<Vec<usize>> {
@@ -398,28 +426,30 @@ impl Request {
                 tuples,
             } => {
                 out.push(OP_REGISTER);
-                put_str(&mut out, name);
-                put_schema(&mut out, schema);
+                put_str(&mut out, name)?;
+                put_schema(&mut out, schema)?;
                 put_tuples(&mut out, schema, tuples)?;
             }
             Request::DropRelation { name } => {
                 out.push(OP_DROP);
-                put_str(&mut out, name);
+                put_str(&mut out, name)?;
             }
             Request::Divide(q) => {
                 out.push(OP_DIVIDE);
-                put_str(&mut out, &q.dividend);
-                put_str(&mut out, &q.divisor);
+                put_str(&mut out, &q.dividend)?;
+                put_str(&mut out, &q.divisor)?;
                 out.push(q.algorithm.map_or(ALG_AUTO, algorithm_code));
                 out.push(u8::from(q.assume_unique));
                 match &q.spec {
                     None => out.push(0),
                     Some((divisor_keys, quotient_keys)) => {
                         out.push(1);
-                        put_keys(&mut out, divisor_keys);
-                        put_keys(&mut out, quotient_keys);
+                        put_keys(&mut out, divisor_keys)?;
+                        put_keys(&mut out, quotient_keys)?;
                     }
                 }
+                // 0 on the wire means "no explicit deadline".
+                out.extend_from_slice(&q.deadline_ms.unwrap_or(0).to_le_bytes());
             }
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
@@ -461,12 +491,17 @@ impl Request {
                     1 => Some((get_keys(&mut r)?, get_keys(&mut r)?)),
                     t => return Err(perr(format!("unknown spec tag {t}"))),
                 };
+                let deadline_ms = match r.u64()? {
+                    0 => None,
+                    ms => Some(ms),
+                };
                 Request::Divide(DivideRequest {
                     dividend,
                     divisor,
                     algorithm,
                     assume_unique,
                     spec,
+                    deadline_ms,
                 })
             }
             OP_STATS => Request::Stats,
@@ -498,7 +533,7 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
         Err(e) => {
             out.push(STATUS_ERR);
             out.push(error_code(e));
-            put_str(&mut out, &e.to_string());
+            put_str(&mut out, &e.to_string())?;
         }
         Ok(reply) => {
             out.push(STATUS_OK);
@@ -517,7 +552,7 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
                     out.extend_from_slice(&d.divisor_version.to_le_bytes());
                     out.extend_from_slice(&d.micros.to_le_bytes());
                     put_ops(&mut out, &d.ops);
-                    put_schema(&mut out, &d.schema);
+                    put_schema(&mut out, &d.schema)?;
                     put_tuples(&mut out, &d.schema, &d.tuples)?;
                 }
                 Reply::Stats(s) => {
@@ -529,6 +564,9 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
                         s.rejections,
                         s.shed_shutdown,
                         s.errors,
+                        s.timeouts,
+                        s.worker_panics,
+                        s.io_retries,
                         s.latency_p50_us,
                         s.latency_p95_us,
                         s.latency_p99_us,
@@ -583,7 +621,7 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                     })
                 }
                 REPLY_STATS => {
-                    let mut vals = [0u64; 10];
+                    let mut vals = [0u64; 13];
                     for v in &mut vals {
                         *v = r.u64()?;
                     }
@@ -595,10 +633,13 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                         rejections: vals[3],
                         shed_shutdown: vals[4],
                         errors: vals[5],
-                        latency_p50_us: vals[6],
-                        latency_p95_us: vals[7],
-                        latency_p99_us: vals[8],
-                        latency_mean_us: vals[9],
+                        timeouts: vals[6],
+                        worker_panics: vals[7],
+                        io_retries: vals[8],
+                        latency_p50_us: vals[9],
+                        latency_p95_us: vals[10],
+                        latency_p99_us: vals[11],
+                        latency_mean_us: vals[12],
                         ops,
                     })
                 }
@@ -647,6 +688,7 @@ mod tests {
                 algorithm: Some(Algorithm::Naive),
                 assume_unique: true,
                 spec: Some((vec![1], vec![0])),
+                deadline_ms: Some(2_500),
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -654,6 +696,7 @@ mod tests {
                 algorithm: None,
                 assume_unique: false,
                 spec: None,
+                deadline_ms: None,
             }),
             Request::Stats,
             Request::Shutdown,
@@ -694,6 +737,9 @@ mod tests {
                 rejections: 1,
                 shed_shutdown: 0,
                 errors: 2,
+                timeouts: 5,
+                worker_panics: 1,
+                io_retries: 17,
                 latency_p50_us: 100,
                 latency_p95_us: 200,
                 latency_p99_us: 300,
@@ -702,6 +748,7 @@ mod tests {
             })),
             Ok(Reply::ShuttingDown),
             Err(ServiceError::Overloaded),
+            Err(ServiceError::DeadlineExceeded),
             Err(ServiceError::UnknownRelation(
                 "unknown relation \"x\"".into(),
             )),
@@ -761,5 +808,80 @@ mod tests {
             Request::decode(&with_trailing),
             Err(ServiceError::Protocol(_))
         ));
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hostile-client safety net: the decoders must return errors, never
+    /// panic, on arbitrary bytes — random garbage, every truncation of
+    /// valid frames, and valid frames with random byte flips.
+    #[test]
+    fn decoders_survive_hostile_frames() {
+        let mut rng = 0x5EED_u64;
+        // Pure garbage of assorted lengths.
+        for len in 0..=257usize {
+            let payload: Vec<u8> = (0..len).map(|_| splitmix64(&mut rng) as u8).collect();
+            let _ = Request::decode(&payload);
+            let _ = decode_response(&payload);
+        }
+        // Every prefix of every valid request, and single-byte mutations.
+        let valid = vec![
+            Request::Ping.encode().unwrap(),
+            Request::Register {
+                name: "r".into(),
+                schema: schema2(),
+                tuples: vec![ints(&[1, 2]), ints(&[3, 4])],
+            }
+            .encode()
+            .unwrap(),
+            Request::Divide(DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: None,
+                assume_unique: false,
+                spec: Some((vec![1], vec![0])),
+                deadline_ms: Some(100),
+            })
+            .encode()
+            .unwrap(),
+        ];
+        for bytes in &valid {
+            for cut in 0..bytes.len() {
+                let _ = Request::decode(&bytes[..cut]);
+            }
+            for _ in 0..64 {
+                let mut mutated = bytes.clone();
+                let at = (splitmix64(&mut rng) as usize) % mutated.len();
+                mutated[at] ^= (splitmix64(&mut rng) as u8) | 1;
+                let _ = Request::decode(&mutated);
+            }
+        }
+        // Same treatment for a valid response frame.
+        let resp = encode_response(&Ok(Reply::Divided(DivideReply {
+            algorithm: Algorithm::Naive,
+            cached: false,
+            dividend_version: 1,
+            divisor_version: 2,
+            micros: 3,
+            ops: OpSnapshot::default(),
+            schema: schema2(),
+            tuples: Arc::new(vec![ints(&[5, 6])]),
+        })))
+        .unwrap();
+        for cut in 0..resp.len() {
+            let _ = decode_response(&resp[..cut]);
+        }
+        for _ in 0..64 {
+            let mut mutated = resp.clone();
+            let at = (splitmix64(&mut rng) as usize) % mutated.len();
+            mutated[at] ^= (splitmix64(&mut rng) as u8) | 1;
+            let _ = decode_response(&mutated);
+        }
     }
 }

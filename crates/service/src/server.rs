@@ -114,7 +114,18 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     loop {
         let payload = match proto::read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // A hostile or corrupt length prefix (e.g. a 4 GiB frame):
+                // tell the client what happened, then drop the connection
+                // rather than allocate.
+                let response: Response = Err(ServiceError::Protocol(e.to_string()));
+                if let Ok(bytes) = proto::encode_response(&response) {
+                    let _ = proto::write_frame(&mut stream, &bytes);
+                }
+                return;
+            }
+            Err(_) => return,
         };
         let (response, shutdown) = match Request::decode(&payload) {
             Ok(request) => dispatch(&shared, request),
@@ -154,6 +165,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 algorithm: q.algorithm,
                 assume_unique: q.assume_unique,
                 spec: q.spec,
+                deadline: q.deadline_ms.map(std::time::Duration::from_millis),
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::Divided(DivideReply {

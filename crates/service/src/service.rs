@@ -23,7 +23,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -32,6 +32,7 @@ use reldiv_core::{Algorithm, DivisionSpec};
 use reldiv_rel::counters::OpSnapshot;
 use reldiv_rel::{Relation, Schema, Tuple};
 use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::FaultPlan;
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::catalog::{Catalog, RelationVersion};
@@ -53,6 +54,17 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Storage configuration for each worker's private manager.
     pub storage: StorageConfig,
+    /// Deadline applied to queries that do not carry their own; `None`
+    /// means queries without an explicit deadline run unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Fault plan installed (independently reseeded) on every worker's
+    /// simulated disks. `None` runs fault-free. Used by the chaos harness
+    /// and soak tests.
+    pub storage_faults: Option<FaultPlan>,
+    /// Chaos-testing hook: queries whose *dividend* has this catalog name
+    /// panic inside the worker, demonstrating panic isolation. `None`
+    /// (the default) disables the fail point.
+    pub fail_point_relation: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +74,9 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             cache_capacity: 256,
             storage: StorageConfig::large(),
+            default_deadline: None,
+            storage_faults: None,
+            fail_point_relation: None,
         }
     }
 }
@@ -78,6 +93,11 @@ pub struct QueryOptions {
     /// Explicit `(divisor_keys, quotient_keys)`; `None` uses the
     /// trailing-divisor convention.
     pub spec: Option<(Vec<usize>, Vec<usize>)>,
+    /// Per-query deadline, overriding the service's
+    /// [`default_deadline`](ServiceConfig::default_deadline). The division
+    /// is cancelled cooperatively once it elapses and the query fails
+    /// with [`ServiceError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 /// A served quotient with its provenance.
@@ -109,36 +129,52 @@ pub struct Service {
     queue: Mutex<Option<Sender<QueryJob>>>,
     accepting: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    default_deadline: Option<Duration>,
 }
 
 impl Service {
-    /// Starts the worker pool and returns the service handle.
-    pub fn start(config: ServiceConfig) -> Arc<Service> {
+    /// Starts the worker pool and returns the service handle. Fails with
+    /// [`ServiceError::Internal`] if the platform refuses to spawn the
+    /// worker threads (already-spawned workers are shut down cleanly).
+    pub fn start(config: ServiceConfig) -> Result<Arc<Service>> {
         let metrics = Arc::new(ServiceMetrics::new());
         let (tx, rx) = bounded::<QueryJob>(config.queue_depth.max(1));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let rx = rx.clone();
-                let metrics = metrics.clone();
-                let storage = config.storage.clone();
-                std::thread::Builder::new()
-                    .name(format!("reldiv-worker-{i}"))
-                    .spawn(move || worker_loop(rx, metrics, storage))
-                    .expect("spawning worker thread")
-            })
-            .collect();
-        Arc::new(Service {
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let worker_rx = rx.clone();
+            let metrics = metrics.clone();
+            let worker_config = config.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("reldiv-worker-{i}"))
+                .spawn(move || worker_loop(worker_rx, metrics, worker_config, i));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Closing the queue ends the workers spawned so far.
+                    drop(tx);
+                    drop(rx);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServiceError::Internal(format!(
+                        "spawning worker thread {i}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(Arc::new(Service {
             catalog: Catalog::new(),
             cache: ResultCache::new(config.cache_capacity),
             metrics,
             queue: Mutex::new(Some(tx)),
             accepting: AtomicBool::new(true),
             workers: Mutex::new(workers),
-        })
+            default_deadline: config.default_deadline,
+        }))
     }
 
     /// Starts a service with the default configuration.
-    pub fn start_default() -> Arc<Service> {
+    pub fn start_default() -> Result<Arc<Service>> {
         Service::start(ServiceConfig::default())
     }
 
@@ -194,6 +230,9 @@ impl Service {
                     ServiceError::ShuttingDown => {
                         self.metrics.shed_shutdown.fetch_add(1, Ordering::Relaxed);
                     }
+                    ServiceError::DeadlineExceeded => {
+                        self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
                     _ => {
                         self.metrics.errors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -212,6 +251,16 @@ impl Service {
     ) -> Result<QueryResponse> {
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
+        }
+        let deadline = options
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| start + d);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // A dead-on-arrival deadline is refused before any work — a
+            // cache hit must not resurrect a query the client already
+            // considers failed.
+            return Err(ServiceError::DeadlineExceeded);
         }
         let dividend = self.catalog.get(dividend)?;
         let divisor = self.catalog.get(divisor)?;
@@ -250,6 +299,7 @@ impl Service {
             spec,
             algorithm,
             assume_unique: options.assume_unique,
+            deadline,
             submitted: start,
             reply: reply_tx,
         };
@@ -312,11 +362,16 @@ impl Service {
         let divisor_size = divisor.cardinality() as u64;
         let quotient_estimate = dividend_size / divisor_size.max(1);
         let _ = spec;
+        // `restricted_divisor: true` — client relations carry no
+        // referential-integrity guarantee, and the no-join aggregation
+        // plans silently return a wrong quotient when dividend tuples
+        // reference values outside the divisor. Exactness beats the
+        // semi-join's cost.
         Algorithm::recommend(
             divisor_size,
             quotient_estimate.max(1),
             Some(dividend_size),
-            false,
+            true,
             options.assume_unique,
         )
     }

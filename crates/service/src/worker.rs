@@ -7,23 +7,43 @@
 //! `(name, version)`; when a worker sees a newer version of a relation it
 //! deletes its stale file, so a worker never holds more than one
 //! materialization per catalog name.
+//!
+//! ## Robustness
+//!
+//! Workers are the service's blast-radius boundary:
+//!
+//! * **Panic isolation** — a query that panics is caught with
+//!   [`std::panic::catch_unwind`]; the client gets
+//!   [`ServiceError::Internal`] and the worker rebuilds its storage state
+//!   from scratch before serving the next job, so one poisoned query
+//!   cannot take the pool down.
+//! * **Deadlines** — an admitted job carries an optional deadline; the
+//!   division runs under a cooperative
+//!   [`CancelToken`](reldiv_exec::CancelToken) and a query whose deadline
+//!   elapsed while queued is refused without executing at all.
+//! * **Fault injection** — a [`FaultPlan`](reldiv_storage::FaultPlan) in
+//!   the service config is installed (independently reseeded) on every
+//!   worker's simulated disks; transient faults absorbed by the buffer
+//!   manager's retries are rolled up into the `io_retries` metric.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Sender};
 use reldiv_core::api::{self, Source};
 use reldiv_core::{Algorithm, DivisionConfig, DivisionSpec};
+use reldiv_exec::CancelToken;
 use reldiv_rel::counters::OpScope;
 use reldiv_rel::RecordCodec;
-use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
 use crate::catalog::RelationVersion;
 use crate::error::{Result, ServiceError};
 use crate::metrics::ServiceMetrics;
-use crate::service::QueryResponse;
+use crate::service::{QueryResponse, ServiceConfig};
 
 /// One admitted query, travelling from the front end to a worker.
 pub(crate) struct QueryJob {
@@ -32,6 +52,7 @@ pub(crate) struct QueryJob {
     pub spec: DivisionSpec,
     pub algorithm: Algorithm,
     pub assume_unique: bool,
+    pub deadline: Option<Instant>,
     pub submitted: Instant,
     pub reply: Sender<Result<QueryResponse>>,
 }
@@ -41,13 +62,24 @@ pub(crate) struct QueryJob {
 struct WorkerState {
     storage: StorageRef,
     files: HashMap<String, (u64, FileId)>,
+    fail_point: Option<String>,
 }
 
 impl WorkerState {
-    fn new(config: StorageConfig) -> WorkerState {
+    fn new(config: &ServiceConfig, index: usize) -> WorkerState {
+        let storage = StorageManager::shared(config.storage.clone());
+        if let Some(plan) = &config.storage_faults {
+            // Derive an independent fault stream per worker so the pool
+            // does not fail in lockstep.
+            let seed = plan
+                .seed()
+                .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            storage.borrow_mut().inject_faults(&plan.reseeded(seed));
+        }
         WorkerState {
-            storage: StorageManager::shared(config),
+            storage,
             files: HashMap::new(),
+            fail_point: config.fail_point_relation.clone(),
         }
     }
 
@@ -87,11 +119,33 @@ impl WorkerState {
     }
 
     fn execute(&mut self, job: &QueryJob, metrics: &ServiceMetrics) -> Result<QueryResponse> {
+        if let Some(fp) = &self.fail_point {
+            if *fp == job.dividend.name {
+                // Chaos-testing hook: prove panic isolation end-to-end.
+                panic!("fail point hit: query on relation {fp:?}");
+            }
+        }
+        let cancel = match job.deadline {
+            Some(deadline) => {
+                if Instant::now() >= deadline {
+                    // The deadline elapsed while the job sat in the
+                    // submission queue: refuse without executing.
+                    return Err(ServiceError::DeadlineExceeded);
+                }
+                CancelToken::at(deadline)
+            }
+            None => CancelToken::none(),
+        };
         let dividend = self.source_for(&job.dividend)?;
         let divisor = self.source_for(&job.divisor)?;
         let config = DivisionConfig {
             assume_unique: job.assume_unique,
+            cancel,
             ..DivisionConfig::default()
+        };
+        let retries_before = {
+            let s = self.storage.borrow().buffer_stats();
+            s.read_retries + s.write_retries
         };
         // Scope the abstract-operation counters to this request: pooled
         // threads run many queries back to back, and the scope guarantees
@@ -107,6 +161,14 @@ impl WorkerState {
             &config,
         );
         let ops = scope.finish();
+        let retries_after = {
+            let s = self.storage.borrow().buffer_stats();
+            s.read_retries + s.write_retries
+        };
+        metrics.io_retries.fetch_add(
+            retries_after.saturating_sub(retries_before),
+            Ordering::Relaxed,
+        );
         let quotient = quotient?;
         Ok(QueryResponse {
             schema: quotient.schema().clone(),
@@ -122,15 +184,31 @@ impl WorkerState {
 }
 
 /// The worker main loop: drains the submission queue until every sender
-/// is gone (the shutdown signal), answering each admitted job.
+/// is gone (the shutdown signal), answering each admitted job. A panic
+/// inside a query is contained here: the job is answered with
+/// [`ServiceError::Internal`], the worker state is rebuilt, and the loop
+/// keeps serving.
 pub(crate) fn worker_loop(
     rx: Receiver<QueryJob>,
     metrics: Arc<ServiceMetrics>,
-    storage_config: StorageConfig,
+    config: ServiceConfig,
+    index: usize,
 ) {
-    let mut state = WorkerState::new(storage_config);
+    let mut state = WorkerState::new(&config, index);
     for job in rx.iter() {
-        let result = state.execute(&job, &metrics);
+        let outcome = catch_unwind(AssertUnwindSafe(|| state.execute(&job, &metrics)));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(_) => {
+                metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // The storage manager may be mid-operation; rebuild the
+                // worker's state from scratch rather than trust it.
+                state = WorkerState::new(&config, index);
+                Err(ServiceError::Internal(
+                    "worker panicked while executing the query; the worker was replaced".into(),
+                ))
+            }
+        };
         // A client that gave up on the reply is not an error.
         let _ = job.reply.send(result);
     }

@@ -36,6 +36,7 @@ fn slow_options() -> QueryOptions {
         algorithm: Some(Algorithm::Naive),
         assume_unique: false,
         spec: None,
+        deadline: None,
     }
 }
 
@@ -47,7 +48,8 @@ fn one_slot_queue_rejects_excess_load_with_overloaded() {
         queue_depth: 1,
         cache_capacity: 0, // every query must execute, none absorbed by the cache
         ..ServiceConfig::default()
-    });
+    })
+    .expect("start service");
     service.register("r", dividend).unwrap();
     service.register("s", divisor).unwrap();
 
@@ -99,7 +101,8 @@ fn rejected_queries_return_fast_while_a_slow_query_runs() {
         queue_depth: 1,
         cache_capacity: 0,
         ..ServiceConfig::default()
-    });
+    })
+    .expect("start service");
     service.register("r", dividend).unwrap();
     service.register("s", divisor).unwrap();
 
@@ -140,7 +143,8 @@ fn graceful_shutdown_completes_all_admitted_queries() {
         queue_depth: 8,
         cache_capacity: 0,
         ..ServiceConfig::default()
-    });
+    })
+    .expect("start service");
     service.register("r", dividend).unwrap();
     service.register("s", divisor).unwrap();
 
@@ -204,7 +208,8 @@ fn queue_depth_bounds_in_flight_work() {
         queue_depth: 2,
         cache_capacity: 0,
         ..ServiceConfig::default()
-    });
+    })
+    .expect("start service");
     service.register("r", dividend).unwrap();
     service.register("s", divisor).unwrap();
 

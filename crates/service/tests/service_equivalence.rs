@@ -49,6 +49,7 @@ fn check_all_columns(client: &mut impl DivisionClient) {
             algorithm: Some(algorithm),
             assume_unique: false,
             spec: None,
+            deadline_ms: None,
         };
         let served = client.divide(&request).unwrap();
         let direct = divide_relations(&dividend, &divisor, algorithm).unwrap();
@@ -76,7 +77,7 @@ fn check_all_columns(client: &mut impl DivisionClient) {
 
 #[test]
 fn all_six_columns_match_direct_execution_in_process() {
-    let service = Service::start(ServiceConfig::default());
+    let service = Service::start(ServiceConfig::default()).expect("start service");
     let mut client = InProcClient::new(service.clone());
     check_all_columns(&mut client);
     let stats = service.stats();
@@ -87,7 +88,7 @@ fn all_six_columns_match_direct_execution_in_process() {
 
 #[test]
 fn all_six_columns_match_direct_execution_over_tcp() {
-    let service = Service::start(ServiceConfig::default());
+    let service = Service::start(ServiceConfig::default()).expect("start service");
     let mut server = ServerHandle::start(service, "127.0.0.1:0").unwrap();
     let mut client = TcpClient::connect(server.local_addr()).unwrap();
     client.ping().unwrap();
@@ -97,7 +98,7 @@ fn all_six_columns_match_direct_execution_over_tcp() {
 
 #[test]
 fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
-    let service = Service::start(ServiceConfig::default());
+    let service = Service::start(ServiceConfig::default()).expect("start service");
     let mut client = InProcClient::new(service.clone());
     let (dividend, divisor) = workload();
     client.register("r", &dividend).unwrap();
@@ -109,6 +110,7 @@ fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
         algorithm: None,
         assume_unique: false,
         spec: None,
+        deadline_ms: None,
     };
     let first = client.divide(&auto).unwrap();
     assert!(!first.cached);
@@ -124,7 +126,7 @@ fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
 
 #[test]
 fn errors_travel_over_tcp() {
-    let service = Service::start(ServiceConfig::default());
+    let service = Service::start(ServiceConfig::default()).expect("start service");
     let mut server = ServerHandle::start(service, "127.0.0.1:0").unwrap();
     let mut client = TcpClient::connect(server.local_addr()).unwrap();
 
@@ -134,6 +136,7 @@ fn errors_travel_over_tcp() {
         algorithm: None,
         assume_unique: false,
         spec: None,
+        deadline_ms: None,
     };
     assert!(matches!(
         client.divide(&request),
@@ -150,7 +153,7 @@ fn errors_travel_over_tcp() {
 
 #[test]
 fn shutdown_request_stops_the_server() {
-    let service = Service::start(ServiceConfig::default());
+    let service = Service::start(ServiceConfig::default()).expect("start service");
     let mut server = ServerHandle::start(service, "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
     let mut client = TcpClient::connect(addr).unwrap();

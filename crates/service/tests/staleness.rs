@@ -51,7 +51,7 @@ proptest! {
             queue_depth: 16,
             cache_capacity: 8,
             ..ServiceConfig::default()
-        });
+        }).expect("start service");
         let mut client = InProcClient::new(service.clone());
 
         // The model: what the catalog should currently hold.
@@ -95,6 +95,7 @@ proptest! {
                         algorithm: Some(algorithm),
                         assume_unique: false,
                         spec: None,
+                        deadline_ms: None,
                     }).unwrap();
                     let expected = brute_force_divide(
                         &model_dividend,

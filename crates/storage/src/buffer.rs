@@ -12,10 +12,61 @@
 //! serving another page's bytes.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
 
 use crate::disk::{DiskId, PageId, SimDisk};
 use crate::error::StorageError;
 use crate::Result;
+
+/// How the buffer manager retries transient disk faults.
+///
+/// Transient faults ([`StorageError::Transient`]) are retried up to
+/// `max_retries` times with exponential backoff (`backoff_base · 2^k`,
+/// capped at `backoff_cap`) before the error escalates to the caller.
+/// Permanent faults and checksum mismatches are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every transient fault escalates
+    /// immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// Sleeps for the backoff of retry number `attempt` (1-based).
+    fn backoff(&self, attempt: u32) {
+        let exp = attempt.saturating_sub(1).min(20);
+        let sleep = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap);
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+}
 
 /// Sentinel disk id for virtual pages: buffered but never written to any
 /// disk. The paper: "the buffer manager also supports virtual devices,
@@ -56,6 +107,10 @@ pub struct BufferStats {
     pub writebacks: u64,
     /// High-water mark of pool size in bytes.
     pub peak_bytes: usize,
+    /// Read transfers re-issued after a transient fault.
+    pub read_retries: u64,
+    /// Write transfers re-issued after a transient fault.
+    pub write_retries: u64,
 }
 
 struct Frame {
@@ -78,6 +133,7 @@ pub struct BufferManager {
     next_gen: u64,
     next_virtual_page: u64,
     stats: BufferStats,
+    retry: RetryPolicy,
 }
 
 impl BufferManager {
@@ -98,6 +154,63 @@ impl BufferManager {
             next_gen: 0,
             next_virtual_page: 0,
             stats: BufferStats::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the transient-fault retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The current transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Reads `page` with bounded retry on transient faults, counting each
+    /// re-issued transfer in `stats.read_retries`.
+    fn read_with_retry(
+        disk: &mut SimDisk,
+        page: u64,
+        buf: &mut [u8],
+        stats: &mut BufferStats,
+        policy: RetryPolicy,
+    ) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match disk.read(page, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    stats.read_retries += 1;
+                    policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes `page` with bounded retry on transient faults, counting each
+    /// re-issued transfer in `stats.write_retries`.
+    fn write_with_retry(
+        disk: &mut SimDisk,
+        page: u64,
+        buf: &[u8],
+        stats: &mut BufferStats,
+        policy: RetryPolicy,
+    ) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match disk.write(page, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    stats.write_retries += 1;
+                    policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -143,7 +256,9 @@ impl BufferManager {
             .ok_or(StorageError::NoSuchDisk(pid.disk.0))?;
         let page_size = disk.page_size();
         let mut data = vec![0u8; page_size].into_boxed_slice();
-        disk.read(pid.page, &mut data)?;
+        // A failed read leaves the pool untouched: no frame was installed,
+        // so no pin can leak.
+        Self::read_with_retry(disk, pid.page, &mut data, &mut self.stats, self.retry)?;
         self.install(disks, pid, data, false)
     }
 
@@ -240,21 +355,41 @@ impl BufferManager {
                 .ok_or(StorageError::BufferFull {
                     frames: self.slots.iter().filter(|s| s.is_some()).count(),
                 })?;
-            self.evict(disks, victim)?;
+            if let Err(e) = self.evict(disks, victim) {
+                // The victim could not be written back: put it back at the
+                // front of the queue so it stays tracked (and remains the
+                // preferred victim for the next attempt) instead of
+                // leaking out of both the queue and the map.
+                self.replace_queue.push_front(victim);
+                return Err(e);
+            }
         }
         Ok(())
     }
 
     fn evict(&mut self, disks: &mut [SimDisk], idx: usize) -> Result<()> {
-        let frame = self.slots[idx].take().expect("victim frame exists");
-        debug_assert_eq!(frame.pin_count, 0, "only unpinned frames are in the queue");
-        if frame.dirty && frame.pid.disk != VIRTUAL_DISK {
-            let disk = disks
-                .get_mut(frame.pid.disk.0)
-                .ok_or(StorageError::NoSuchDisk(frame.pid.disk.0))?;
-            disk.write(frame.pid.page, &frame.data)?;
-            self.stats.writebacks += 1;
+        // Write back *before* detaching the frame: if the write exhausts
+        // its retries, the dirty page must stay in the pool rather than be
+        // lost with the taken frame.
+        {
+            let frame = self.slots[idx].as_mut().ok_or(StorageError::InvalidFrame)?;
+            debug_assert_eq!(frame.pin_count, 0, "only unpinned frames are in the queue");
+            if frame.dirty && frame.pid.disk != VIRTUAL_DISK {
+                let disk = disks
+                    .get_mut(frame.pid.disk.0)
+                    .ok_or(StorageError::NoSuchDisk(frame.pid.disk.0))?;
+                Self::write_with_retry(
+                    disk,
+                    frame.pid.page,
+                    &frame.data,
+                    &mut self.stats,
+                    self.retry,
+                )?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
         }
+        let frame = self.slots[idx].take().ok_or(StorageError::InvalidFrame)?;
         self.stats.evictions += 1;
         self.used_bytes -= frame.data.len();
         self.map.remove(&frame.pid);
@@ -351,13 +486,18 @@ impl BufferManager {
     }
 
     /// Writes all dirty pages back to their disks (leaving them cached).
+    ///
+    /// A page's dirty bit is cleared only after its write succeeds, so a
+    /// flush that fails part-way leaves the remaining dirty pages intact
+    /// for a later retry.
     pub fn flush_all(&mut self, disks: &mut [SimDisk]) -> Result<()> {
+        let retry = self.retry;
         for frame in self.slots.iter_mut().flatten() {
             if frame.dirty && frame.pid.disk != VIRTUAL_DISK {
                 let disk = disks
                     .get_mut(frame.pid.disk.0)
                     .ok_or(StorageError::NoSuchDisk(frame.pid.disk.0))?;
-                disk.write(frame.pid.page, &frame.data)?;
+                Self::write_with_retry(disk, frame.pid.page, &frame.data, &mut self.stats, retry)?;
                 frame.dirty = false;
                 self.stats.writebacks += 1;
             }
@@ -542,6 +682,160 @@ mod tests {
         let f = bm.fix(&mut disks, pid(0)).unwrap();
         assert_eq!(bm.used_bytes(), PS);
         bm.unfix(f, Reuse::Lru).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::disk::DiskId;
+    use crate::fault::FaultPlan;
+
+    const PS: usize = 128;
+
+    fn setup(pages: u64, budget_frames: usize) -> (Vec<SimDisk>, BufferManager) {
+        let mut d = SimDisk::new(PS);
+        d.allocate_extent(pages);
+        (vec![d], BufferManager::new(budget_frames * PS))
+    }
+
+    fn pid(p: u64) -> PageId {
+        PageId::new(DiskId(0), p)
+    }
+
+    /// A fast policy for tests: retries without sleeping.
+    fn instant_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried_and_counted() {
+        let (mut disks, mut bm) = setup(2, 2);
+        bm.set_retry_policy(instant_retry(3));
+        disks[0].set_fault_plan(FaultPlan::seeded(1).with_read_failure_at(0));
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.unfix(f, Reuse::Lru).unwrap();
+        assert_eq!(bm.stats().read_retries, 1);
+        assert_eq!(bm.stats().misses, 1);
+    }
+
+    #[test]
+    fn exhausted_read_retries_leak_no_pins() {
+        let (mut disks, mut bm) = setup(2, 2);
+        bm.set_retry_policy(instant_retry(2));
+        // Attempts 0, 1, 2 all fail: retries exhausted.
+        disks[0].set_fault_plan(
+            FaultPlan::seeded(1)
+                .with_read_failure_at(0)
+                .with_read_failure_at(1)
+                .with_read_failure_at(2),
+        );
+        assert!(matches!(
+            bm.fix(&mut disks, pid(0)),
+            Err(StorageError::Transient { op: "read", .. })
+        ));
+        assert_eq!(bm.stats().read_retries, 2);
+        assert_eq!(bm.used_bytes(), 0, "no frame installed for a failed fix");
+        // The pool is fully usable afterwards: both frames can be pinned.
+        disks[0].clear_fault_plan();
+        let f0 = bm.fix(&mut disks, pid(0)).unwrap();
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        bm.unfix(f0, Reuse::Lru).unwrap();
+        bm.unfix(f1, Reuse::Lru).unwrap();
+    }
+
+    #[test]
+    fn permanent_fault_is_not_retried() {
+        let (mut disks, mut bm) = setup(2, 2);
+        bm.set_retry_policy(instant_retry(5));
+        disks[0].set_fault_plan(FaultPlan::seeded(1).with_bad_page(0));
+        assert!(matches!(
+            bm.fix(&mut disks, pid(0)),
+            Err(StorageError::Permanent { op: "read", .. })
+        ));
+        assert_eq!(bm.stats().read_retries, 0);
+    }
+
+    #[test]
+    fn dirty_page_survives_failed_writeback_and_flushes_later() {
+        let (mut disks, mut bm) = setup(3, 2);
+        bm.set_retry_policy(RetryPolicy::none());
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.page_mut(f).unwrap()[0] = 0xAB;
+        bm.unfix(f, Reuse::Lru).unwrap();
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        // Force an eviction of dirty page 0 whose write-back fails.
+        disks[0].set_fault_plan(FaultPlan::seeded(1).with_write_failure_at(0));
+        assert!(matches!(
+            bm.fix(&mut disks, pid(2)),
+            Err(StorageError::Transient { op: "write", .. })
+        ));
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        // The dirty page was NOT lost: once the disk heals, its bytes make
+        // it back out.
+        disks[0].clear_fault_plan();
+        bm.flush_all(&mut disks).unwrap();
+        let mut buf = vec![0u8; PS];
+        disks[0].read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAB);
+    }
+
+    #[test]
+    fn failed_eviction_keeps_victim_in_replacement_queue() {
+        let (mut disks, mut bm) = setup(3, 2);
+        bm.set_retry_policy(RetryPolicy::none());
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.page_mut(f).unwrap()[0] = 0x77;
+        bm.unfix(f, Reuse::Lru).unwrap();
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        disks[0].set_fault_plan(FaultPlan::seeded(1).with_write_failure_at(0));
+        assert!(bm.fix(&mut disks, pid(2)).is_err());
+        // After the disk heals, the same fix succeeds: the victim was still
+        // queued, so making room works without manual intervention.
+        disks[0].clear_fault_plan();
+        let f2 = bm.fix(&mut disks, pid(2)).unwrap();
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        bm.unfix(f2, Reuse::Lru).unwrap();
+        let mut buf = vec![0u8; PS];
+        disks[0].read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x77, "dirty page written back by retried eviction");
+    }
+
+    #[test]
+    fn write_retries_rescue_transient_writeback_faults() {
+        let (mut disks, mut bm) = setup(3, 2);
+        bm.set_retry_policy(instant_retry(3));
+        let f = bm.fix(&mut disks, pid(0)).unwrap();
+        bm.page_mut(f).unwrap()[0] = 0x42;
+        bm.unfix(f, Reuse::Lru).unwrap();
+        disks[0].set_fault_plan(FaultPlan::seeded(1).with_write_failure_at(0));
+        // Eviction of page 0 hits one transient write fault, retries, and
+        // succeeds — fully transparent to the caller.
+        let f1 = bm.fix(&mut disks, pid(1)).unwrap();
+        let f2 = bm.fix(&mut disks, pid(2)).unwrap();
+        bm.unfix(f1, Reuse::Lru).unwrap();
+        bm.unfix(f2, Reuse::Lru).unwrap();
+        assert_eq!(bm.stats().write_retries, 1);
+        assert_eq!(bm.stats().writebacks, 1);
+        let mut buf = vec![0u8; PS];
+        disks[0].read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x42);
+    }
+
+    #[test]
+    fn checksum_mismatch_escalates_without_retry() {
+        let (mut disks, mut bm) = setup(2, 2);
+        bm.set_retry_policy(instant_retry(5));
+        disks[0].corrupt_page(0).unwrap();
+        assert!(matches!(
+            bm.fix(&mut disks, pid(0)),
+            Err(StorageError::ChecksumMismatch { page: 0, .. })
+        ));
+        assert_eq!(bm.stats().read_retries, 0, "corruption is not retryable");
     }
 }
 

@@ -10,7 +10,22 @@
 //! (next page in the direction of travel) from transfers requiring a seek.
 
 use crate::error::StorageError;
+use crate::fault::{FaultPlan, FaultStats, ReadFault, WriteFault};
 use crate::Result;
+
+/// FNV-1a 64-bit hash of a page's bytes — the per-page checksum.
+///
+/// Not cryptographic: the goal is detecting torn writes and bit rot in
+/// the simulation, where FNV's single multiply-xor per byte keeps the
+/// fault-free overhead negligible.
+pub(crate) fn page_checksum(buf: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in buf {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// Identifies one simulated disk within a [`crate::StorageManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -130,6 +145,15 @@ pub struct SimDisk {
     stats: IoStats,
     /// Page number of the last transfer, used to detect sequential access.
     last_page: Option<u64>,
+    /// Checksum of each page as recorded at write time (out of band, like
+    /// a controller's DIF bytes; the page payload itself is unchanged).
+    checksums: Vec<u64>,
+    /// Checksum of an all-zero page, precomputed once per disk.
+    zero_checksum: u64,
+    /// Whether reads verify the stored checksum.
+    verify_checksums: bool,
+    /// Installed fault plan, if any.
+    faults: Option<FaultPlan>,
 }
 
 impl SimDisk {
@@ -142,7 +166,45 @@ impl SimDisk {
             free: Vec::new(),
             stats: IoStats::default(),
             last_page: None,
+            checksums: Vec::new(),
+            zero_checksum: page_checksum(&vec![0u8; page_size]),
+            verify_checksums: true,
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan; subsequent transfers consult it. Replaces
+    /// any previous plan (and its statistics).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes the fault plan; the disk becomes reliable again.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// Statistics of the installed fault plan (zeroes when none).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultPlan::stats)
+            .unwrap_or_default()
+    }
+
+    /// Enables or disables checksum verification on reads. Writes always
+    /// record checksums; only the verify step is toggled (the knob the
+    /// robustness benchmark uses to measure checksum overhead).
+    pub fn set_checksums_enabled(&mut self, enabled: bool) {
+        self.verify_checksums = enabled;
+    }
+
+    /// Corrupts the stored bytes of `page` without updating its checksum,
+    /// simulating silent bit rot for tests.
+    pub fn corrupt_page(&mut self, page: u64) -> Result<()> {
+        self.check(page)?;
+        self.pages[page as usize][0] ^= 0xFF;
+        Ok(())
     }
 
     /// The disk's page size in bytes.
@@ -162,11 +224,13 @@ impl SimDisk {
     pub fn allocate(&mut self) -> u64 {
         if let Some(p) = self.free.pop() {
             self.pages[p as usize].fill(0);
+            self.checksums[p as usize] = self.zero_checksum;
             return p;
         }
         let p = self.pages.len() as u64;
         self.pages
             .push(vec![0u8; self.page_size].into_boxed_slice());
+        self.checksums.push(self.zero_checksum);
         p
     }
 
@@ -189,6 +253,7 @@ impl SimDisk {
                             self.free.drain(run_start..run_start + n as usize).collect();
                         for p in taken {
                             self.pages[p as usize].fill(0);
+                            self.checksums[p as usize] = self.zero_checksum;
                         }
                         return first;
                     }
@@ -200,6 +265,7 @@ impl SimDisk {
         for _ in 0..n {
             self.pages
                 .push(vec![0u8; self.page_size].into_boxed_slice());
+            self.checksums.push(self.zero_checksum);
         }
         first
     }
@@ -236,22 +302,69 @@ impl SimDisk {
 
     /// Reads a page into `buf` (which must be `page_size` long), recording
     /// one transfer.
+    ///
+    /// Consults the fault plan first — a failed transfer is not charged to
+    /// the I/O statistics — and verifies the page checksum after the copy,
+    /// so torn writes and bit rot surface as
+    /// [`StorageError::ChecksumMismatch`] instead of silently wrong data.
     pub fn read(&mut self, page: u64, buf: &mut [u8]) -> Result<()> {
         self.check(page)?;
         debug_assert_eq!(buf.len(), self.page_size);
+        if let Some(plan) = &mut self.faults {
+            match plan.on_read(page) {
+                ReadFault::None => {}
+                ReadFault::Transient => return Err(StorageError::Transient { op: "read", page }),
+                ReadFault::Permanent => return Err(StorageError::Permanent { op: "read", page }),
+            }
+        }
         self.account(page);
         self.stats.reads += 1;
         buf.copy_from_slice(&self.pages[page as usize]);
+        if self.verify_checksums {
+            let expected = self.checksums[page as usize];
+            let actual = page_checksum(buf);
+            if actual != expected {
+                if let Some(plan) = &mut self.faults {
+                    plan.note_checksum_failure();
+                }
+                return Err(StorageError::ChecksumMismatch {
+                    page,
+                    expected,
+                    actual,
+                });
+            }
+        }
         Ok(())
     }
 
-    /// Writes `buf` to a page, recording one transfer.
+    /// Writes `buf` to a page, recording one transfer and the page's new
+    /// checksum.
+    ///
+    /// A transiently failed write leaves the page untouched and uncharged.
+    /// A *torn* write reports success but persists only the first half of
+    /// the payload while recording the checksum of the full payload — the
+    /// damage is silent here and detected on the next [`SimDisk::read`].
     pub fn write(&mut self, page: u64, buf: &[u8]) -> Result<()> {
         self.check(page)?;
         debug_assert_eq!(buf.len(), self.page_size);
+        let mut torn = false;
+        if let Some(plan) = &mut self.faults {
+            match plan.on_write(page) {
+                WriteFault::None => {}
+                WriteFault::Transient => return Err(StorageError::Transient { op: "write", page }),
+                WriteFault::Permanent => return Err(StorageError::Permanent { op: "write", page }),
+                WriteFault::Torn => torn = true,
+            }
+        }
         self.account(page);
         self.stats.writes += 1;
-        self.pages[page as usize].copy_from_slice(buf);
+        if torn {
+            let half = self.page_size / 2;
+            self.pages[page as usize][..half].copy_from_slice(&buf[..half]);
+        } else {
+            self.pages[page as usize].copy_from_slice(buf);
+        }
+        self.checksums[page as usize] = page_checksum(buf);
         Ok(())
     }
 
@@ -396,6 +509,124 @@ mod tests {
             }
         );
         assert_eq!(a.merge(&b).transfers(), 33);
+    }
+
+    #[test]
+    fn transient_read_fault_is_uncharged_and_retry_succeeds() {
+        let mut d = SimDisk::new(128);
+        let p = d.allocate();
+        d.write(p, &[5u8; 128]).unwrap();
+        d.set_fault_plan(FaultPlan::seeded(1).with_read_failure_at(0));
+        let mut buf = vec![0u8; 128];
+        assert_eq!(
+            d.read(p, &mut buf),
+            Err(StorageError::Transient {
+                op: "read",
+                page: p
+            })
+        );
+        assert_eq!(d.stats().reads, 0, "failed transfer not charged");
+        d.read(p, &mut buf).unwrap();
+        assert_eq!(buf, vec![5u8; 128]);
+        assert_eq!(d.fault_stats().transient_reads, 1);
+    }
+
+    #[test]
+    fn transient_write_fault_leaves_page_untouched() {
+        let mut d = SimDisk::new(128);
+        let p = d.allocate();
+        d.write(p, &[1u8; 128]).unwrap();
+        d.set_fault_plan(FaultPlan::seeded(1).with_write_failure_at(0));
+        assert_eq!(
+            d.write(p, &[2u8; 128]),
+            Err(StorageError::Transient {
+                op: "write",
+                page: p
+            })
+        );
+        d.clear_fault_plan();
+        let mut buf = vec![0u8; 128];
+        d.read(p, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 128], "failed write must not tear the page");
+    }
+
+    #[test]
+    fn bad_page_fails_permanently_in_both_directions() {
+        let mut d = SimDisk::new(128);
+        let p = d.allocate();
+        d.set_fault_plan(FaultPlan::seeded(0).with_bad_page(p));
+        let mut buf = vec![0u8; 128];
+        assert_eq!(
+            d.read(p, &mut buf),
+            Err(StorageError::Permanent {
+                op: "read",
+                page: p
+            })
+        );
+        assert_eq!(
+            d.write(p, &buf),
+            Err(StorageError::Permanent {
+                op: "write",
+                page: p
+            })
+        );
+        assert_eq!(d.fault_stats().permanent_denials, 2);
+    }
+
+    #[test]
+    fn torn_write_is_silent_until_read_detects_it() {
+        let mut d = SimDisk::new(128);
+        let p = d.allocate();
+        d.set_fault_plan(FaultPlan::seeded(3).with_torn_write_rate(1.0));
+        // The torn write itself reports success.
+        d.write(p, &[9u8; 128]).unwrap();
+        let mut buf = vec![0u8; 128];
+        match d.read(p, &mut buf) {
+            Err(StorageError::ChecksumMismatch {
+                page,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(page, p);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        let fs = d.fault_stats();
+        assert_eq!(fs.torn_writes, 1);
+        assert_eq!(fs.checksum_failures, 1);
+    }
+
+    #[test]
+    fn silent_corruption_is_detected_only_with_checksums_on() {
+        let mut d = SimDisk::new(128);
+        let p = d.allocate();
+        d.write(p, &[4u8; 128]).unwrap();
+        d.corrupt_page(p).unwrap();
+        let mut buf = vec![0u8; 128];
+        assert!(matches!(
+            d.read(p, &mut buf),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        d.set_checksums_enabled(false);
+        d.read(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 4u8 ^ 0xFF, "without checksums the rot is served");
+    }
+
+    #[test]
+    fn reused_pages_get_fresh_checksums() {
+        let mut d = SimDisk::new(128);
+        let p = d.allocate();
+        d.write(p, &[8u8; 128]).unwrap();
+        d.release(p);
+        let q = d.allocate();
+        assert_eq!(p, q);
+        let mut buf = vec![1u8; 128];
+        d.read(q, &mut buf).unwrap(); // zeroed page verifies cleanly
+        let first = d.allocate_extent(2);
+        let mut buf2 = vec![2u8; 128];
+        d.read(first, &mut buf2).unwrap();
+        d.read(first + 1, &mut buf2).unwrap();
     }
 
     #[test]

@@ -51,6 +51,42 @@ pub enum StorageError {
     CorruptPage(String),
     /// B+-tree structural invariant violation (would indicate a bug).
     CorruptTree(String),
+    /// A transient I/O fault: the transfer failed, but retrying may
+    /// succeed. The buffer manager retries these with backoff before
+    /// escalating.
+    Transient {
+        /// The failed operation, `"read"` or `"write"`.
+        op: &'static str,
+        /// The page the transfer targeted.
+        page: u64,
+    },
+    /// A permanently bad page: every transfer to it fails, so retrying is
+    /// pointless.
+    Permanent {
+        /// The failed operation, `"read"` or `"write"`.
+        op: &'static str,
+        /// The unusable page.
+        page: u64,
+    },
+    /// The page's stored bytes do not match its checksum — a torn write
+    /// or silent corruption was *detected* instead of served.
+    ChecksumMismatch {
+        /// The corrupt page.
+        page: u64,
+        /// Checksum recorded when the page was last written.
+        expected: u64,
+        /// Checksum of the bytes actually stored.
+        actual: u64,
+    },
+}
+
+impl StorageError {
+    /// Whether a retry of the failed operation may succeed. Only
+    /// [`StorageError::Transient`] qualifies; permanent faults and
+    /// detected corruption do not heal by retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -82,6 +118,22 @@ impl fmt::Display for StorageError {
             }
             StorageError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
             StorageError::CorruptTree(msg) => write!(f, "corrupt B+-tree: {msg}"),
+            StorageError::Transient { op, page } => {
+                write!(f, "transient {op} fault on page {page} (retryable)")
+            }
+            StorageError::Permanent { op, page } => {
+                write!(f, "permanent {op} failure on page {page}")
+            }
+            StorageError::ChecksumMismatch {
+                page,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch on page {page}: stored {expected:#018x}, computed {actual:#018x}"
+                )
+            }
         }
     }
 }
@@ -123,6 +175,28 @@ mod tests {
             ),
             (StorageError::CorruptPage("x".into()), "corrupt page"),
             (StorageError::CorruptTree("y".into()), "B+-tree"),
+            (
+                StorageError::Transient {
+                    op: "read",
+                    page: 5,
+                },
+                "transient read",
+            ),
+            (
+                StorageError::Permanent {
+                    op: "write",
+                    page: 6,
+                },
+                "permanent write",
+            ),
+            (
+                StorageError::ChecksumMismatch {
+                    page: 7,
+                    expected: 1,
+                    actual: 2,
+                },
+                "checksum mismatch on page 7",
+            ),
         ];
         for (e, needle) in cases {
             assert!(

@@ -37,14 +37,16 @@ pub mod btree;
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod manager;
 pub mod memory;
 pub mod page;
 
-pub use buffer::{BufferStats, Reuse};
+pub use buffer::{BufferStats, RetryPolicy, Reuse};
 pub use disk::{DiskId, IoCostParams, IoStats, PageId};
 pub use error::StorageError;
+pub use fault::{FaultPlan, FaultStats};
 pub use file::{FileId, Rid};
 pub use manager::{StorageManager, StorageRef};
 pub use memory::MemoryPool;

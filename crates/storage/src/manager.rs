@@ -6,8 +6,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::buffer::{BufferManager, BufferStats, FrameId, Reuse};
+use crate::buffer::{BufferManager, BufferStats, FrameId, RetryPolicy, Reuse};
 use crate::disk::{DiskId, IoCostParams, IoStats, PageId, SimDisk};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::file::FileMeta;
 use crate::memory::MemoryPool;
 use crate::Result;
@@ -195,6 +196,57 @@ impl StorageManager {
             d.reset_stats();
         }
         self.buffer.reset_stats();
+    }
+
+    /// Installs `plan` on every disk, deriving an independent fault stream
+    /// per disk from the plan's seed. Replaces any previous plan.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            d.set_fault_plan(plan.reseeded(plan.seed().wrapping_add(i as u64)));
+        }
+    }
+
+    /// Removes fault plans from every disk.
+    pub fn clear_faults(&mut self) {
+        for d in &mut self.disks {
+            d.clear_fault_plan();
+        }
+    }
+
+    /// Sum of injected-fault statistics over all disks.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.disks.iter().fold(FaultStats::default(), |acc, d| {
+            let s = d.fault_stats();
+            FaultStats {
+                transient_reads: acc.transient_reads + s.transient_reads,
+                transient_writes: acc.transient_writes + s.transient_writes,
+                torn_writes: acc.torn_writes + s.torn_writes,
+                permanent_denials: acc.permanent_denials + s.permanent_denials,
+                checksum_failures: acc.checksum_failures + s.checksum_failures,
+            }
+        })
+    }
+
+    /// Replaces the buffer manager's transient-fault retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.buffer.set_retry_policy(policy);
+    }
+
+    /// Enables or disables per-page checksum verification on every disk
+    /// (the robustness benchmark's overhead knob).
+    pub fn set_checksums_enabled(&mut self, enabled: bool) {
+        for d in &mut self.disks {
+            d.set_checksums_enabled(enabled);
+        }
+    }
+
+    /// Corrupts a stored page without updating its checksum (test helper
+    /// for exercising detection paths).
+    pub fn corrupt_page(&mut self, pid: PageId) -> Result<()> {
+        self.disks
+            .get_mut(pid.disk.0)
+            .ok_or(crate::StorageError::NoSuchDisk(pid.disk.0))?
+            .corrupt_page(pid.page)
     }
 }
 
