@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 use reldiv_core::{Algorithm, HashDivisionMode};
 use reldiv_rel::{RecordCodec, Relation, Tuple};
 use reldiv_service::{
-    DivideRequest, DivisionClient, InProcClient, Service, ServiceConfig, ServiceError,
+    DivideRequest, DivisionClient, InProcClient, QueryProfile, Service, ServiceConfig, ServiceError,
 };
 use reldiv_storage::FaultPlan;
 use reldiv_workload::{brute_force_divide, WorkloadSpec};
@@ -62,6 +62,7 @@ struct Args {
     seed: u64,
     fault_rate: f64,
     deadline_ms: Option<u64>,
+    profile: bool,
 }
 
 impl Default for Args {
@@ -76,6 +77,7 @@ impl Default for Args {
             seed: 1989,
             fault_rate: 0.0,
             deadline_ms: None,
+            profile: false,
         }
     }
 }
@@ -83,9 +85,11 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: divload [--queries N] [--clients N] [--workers N] [--queue N] \
-         [--cache N] [--update-every N] [--seed N] [--fault-rate P] [--deadline-ms MS]\n\
+         [--cache N] [--update-every N] [--seed N] [--fault-rate P] [--deadline-ms MS] \
+         [--profile]\n\
          --fault-rate P injects transient disk faults with probability P per transfer\n\
-         --deadline-ms MS applies a per-query deadline"
+         --deadline-ms MS applies a per-query deadline\n\
+         --profile requests EXPLAIN ANALYZE span trees and prints one at the end"
     );
     std::process::exit(2);
 }
@@ -124,6 +128,7 @@ fn parse_args() -> Args {
                 }
             }
             "--deadline-ms" => parsed.deadline_ms = Some(next("--deadline-ms")),
+            "--profile" => parsed.profile = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -262,6 +267,8 @@ fn main() -> ExitCode {
     let completed = Arc::new(AtomicU64::new(0));
     let incorrect = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
+    let profiled = Arc::new(AtomicU64::new(0));
+    let sample_profile: Arc<Mutex<Option<QueryProfile>>> = Arc::new(Mutex::new(None));
     let done = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
 
@@ -307,9 +314,12 @@ fn main() -> ExitCode {
             let completed = completed.clone();
             let incorrect = incorrect.clone();
             let failed = failed.clone();
+            let profiled = profiled.clone();
+            let sample_profile = sample_profile.clone();
             let faulty = args.fault_rate > 0.0 || args.deadline_ms.is_some();
             let target = args.queries;
             let seed = args.seed;
+            let want_profile = args.profile;
             std::thread::spawn(move || {
                 let mut client = InProcClient::new(service);
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client_id as u64 * 7919));
@@ -323,9 +333,17 @@ fn main() -> ExitCode {
                         assume_unique: false,
                         spec: None,
                         deadline_ms: None,
+                        profile: want_profile,
                     };
                     match client.divide(&request) {
                         Ok(reply) => {
+                            if let Some(profile) = &reply.profile {
+                                profiled.fetch_add(1, Ordering::Relaxed);
+                                let mut sample = sample_profile.lock().unwrap();
+                                if sample.is_none() {
+                                    *sample = Some(profile.clone());
+                                }
+                            }
                             let got = canonical_bytes(
                                 &RecordCodec::new(reply.schema.clone()),
                                 &reply.tuples,
@@ -423,6 +441,15 @@ fn main() -> ExitCode {
         completed - failed - incorrect,
         completed - failed,
     );
+    if args.profile {
+        println!(
+            "profile: {} uncached queries returned span trees",
+            profiled.load(Ordering::Relaxed)
+        );
+        if let Some(profile) = sample_profile.lock().unwrap().as_ref() {
+            println!("--- sample query profile ---\n{}", profile.render());
+        }
+    }
     if incorrect > 0 {
         eprintln!("divload: FAILED — {incorrect} incorrect quotients");
         return ExitCode::FAILURE;

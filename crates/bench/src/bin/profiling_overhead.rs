@@ -1,0 +1,189 @@
+//! `profiling-overhead` — prices the `EXPLAIN ANALYZE` machinery (the
+//! tentpole's acceptance gate: **< 5 % on the Table 4 workloads**).
+//!
+//! Two configurations of every Table 4 cell (nine `(|S|, |Q|)` sizes ×
+//! six algorithm columns):
+//!
+//! * **baseline** — `profile: None`, the disabled path every ordinary
+//!   query runs: `maybe_profile` is an identity, no wrapper operators,
+//!   no dormant branches in per-tuple loops;
+//! * **profiled** — a live [`ProfileSink`] installed, span trees built
+//!   for every operator: the `--profile` path.
+//!
+//! The gate compares the two. Because the disabled path differs from a
+//! plumbing-free build only by one `Option` check at plan time, the
+//! *enabled* overhead is a strict upper bound on the disabled overhead —
+//! holding the enabled path under 5 % proves the "zero-cost when
+//! disabled" claim with margin.
+//!
+//! Each cell runs `--reps` times and keeps the *minimum* measured CPU
+//! (noise only ever inflates a run), prices I/O with the paper's Table 3
+//! parameters, and writes a JSON report to `--out`. Exits non-zero when
+//! the aggregate overhead breaches the gate.
+//!
+//! ```text
+//! profiling-overhead [--reps N] [--seed N] [--out PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` runs only the smallest cell (`|S| = |Q| = 25`) — the CI
+//! configuration.
+
+use reldiv_bench::{paper_sizes, try_run_division_experiment_checked, Measurement};
+use reldiv_core::api::DivisionConfig;
+use reldiv_core::{Algorithm, ProfileSink};
+use reldiv_rel::Relation;
+use reldiv_workload::WorkloadSpec;
+
+struct Cell {
+    divisor_size: u64,
+    quotient_size: u64,
+    algorithm: Algorithm,
+    baseline_ms: f64,
+    profiled_ms: f64,
+}
+
+impl Cell {
+    fn overhead_pct(&self) -> f64 {
+        (self.profiled_ms - self.baseline_ms) / self.baseline_ms * 100.0
+    }
+}
+
+/// Best (minimum-CPU) of `reps` runs; the config is rebuilt per run so a
+/// profiled run never accumulates spans across repetitions.
+fn best_of(
+    reps: u32,
+    dividend: &Relation,
+    divisor: &Relation,
+    algorithm: Algorithm,
+    profiled: bool,
+) -> Option<Measurement> {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps {
+        let config = DivisionConfig {
+            assume_unique: true,
+            profile: profiled.then(ProfileSink::new),
+            ..DivisionConfig::default()
+        };
+        let m = try_run_division_experiment_checked(dividend, divisor, algorithm, &config, false)
+            .ok()?;
+        match &best {
+            Some(b) if b.cpu_ms_measured <= m.cpu_ms_measured => {}
+            _ => best = Some(m),
+        }
+    }
+    best
+}
+
+fn usage() -> ! {
+    eprintln!("usage: profiling-overhead [--reps N] [--seed N] [--out PATH] [--smoke]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut reps = 3u32;
+    let mut seed = 42u64;
+    let mut out = String::from("BENCH_profiling_overhead.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--smoke" => smoke = true,
+            _ => usage(),
+        }
+    }
+
+    let sizes = if smoke {
+        vec![(25u64, 25u64)]
+    } else {
+        paper_sizes()
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for &(s, q) in &sizes {
+        let w = WorkloadSpec {
+            divisor_size: s,
+            quotient_size: q,
+            ..Default::default()
+        }
+        .generate(seed ^ (s << 32) ^ q);
+        for algorithm in Algorithm::table_columns() {
+            let baseline = best_of(reps, &w.dividend, &w.divisor, algorithm, false);
+            let profiled = best_of(reps, &w.dividend, &w.divisor, algorithm, true);
+            let (Some(baseline), Some(profiled)) = (baseline, profiled) else {
+                eprintln!("skip |S|={s} |Q|={q} {}", algorithm.label());
+                continue;
+            };
+            let cell = Cell {
+                divisor_size: s,
+                quotient_size: q,
+                algorithm,
+                baseline_ms: baseline.cpu_ms_measured + baseline.io_ms,
+                profiled_ms: profiled.cpu_ms_measured + profiled.io_ms,
+            };
+            println!(
+                "|S|={s:>4} |Q|={q:>4} {:<22} baseline {:>9.3} ms  profiled {:>9.3} ms  overhead {:>+6.2} %",
+                algorithm.label(),
+                cell.baseline_ms,
+                cell.profiled_ms,
+                cell.overhead_pct()
+            );
+            cells.push(cell);
+        }
+    }
+    if cells.is_empty() {
+        eprintln!("no cells ran");
+        std::process::exit(1);
+    }
+
+    let mean_overhead =
+        cells.iter().map(Cell::overhead_pct).sum::<f64>() / cells.len().max(1) as f64;
+    let baseline_total: f64 = cells.iter().map(|c| c.baseline_ms).sum();
+    let profiled_total: f64 = cells.iter().map(|c| c.profiled_ms).sum();
+    let aggregate_overhead = (profiled_total - baseline_total) / baseline_total * 100.0;
+    println!(
+        "\n{} cells: mean per-cell overhead {mean_overhead:+.2} %, aggregate {aggregate_overhead:+.2} % (gate: < 5 %)",
+        cells.len()
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"reps\": {reps},\n  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"mean_overhead_pct\": {mean_overhead:.4},\n  \"aggregate_overhead_pct\": {aggregate_overhead:.4},\n"
+    ));
+    json.push_str("  \"gate_pct\": 5.0,\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"divisor_size\": {}, \"quotient_size\": {}, \"algorithm\": \"{}\", \
+             \"baseline_ms\": {:.4}, \"profiled_ms\": {:.4}, \"overhead_pct\": {:.4}}}{}\n",
+            c.divisor_size,
+            c.quotient_size,
+            c.algorithm.label(),
+            c.baseline_ms,
+            c.profiled_ms,
+            c.overhead_pct(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    if aggregate_overhead >= 5.0 {
+        eprintln!("FAIL: aggregate profiling overhead {aggregate_overhead:.2} % >= 5 %");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,144 @@
+//! `reldiv-profile` — `EXPLAIN ANALYZE` from the command line.
+//!
+//! Generates a Table 4 style workload, runs one profiled division on the
+//! paper-configured storage stack, and prints the span tree: per-operator
+//! wall time, tuple flow, abstract-operation counts, page I/O, spill
+//! bytes, and partitioning phases.
+//!
+//! ```text
+//! reldiv-profile [--divisor-size N] [--quotient-size N] [--seed N]
+//!                [--algorithm NAME] [--json]
+//! ```
+//!
+//! Algorithm names: `naive`, `sort-agg`, `sort-agg-join`, `hash-agg`,
+//! `hash-agg-join`, `hash-div` (default), `hash-div-early`,
+//! `hash-div-counter`.
+
+use reldiv_core::api::{divide_profiled, load_source, DivisionConfig};
+use reldiv_core::{Algorithm, DivisionSpec, HashDivisionMode};
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::StorageManager;
+use reldiv_workload::WorkloadSpec;
+
+fn parse_algorithm(name: &str) -> Option<Algorithm> {
+    Some(match name {
+        "naive" => Algorithm::Naive,
+        "sort-agg" => Algorithm::SortAggregation { join: false },
+        "sort-agg-join" => Algorithm::SortAggregation { join: true },
+        "hash-agg" => Algorithm::HashAggregation { join: false },
+        "hash-agg-join" => Algorithm::HashAggregation { join: true },
+        "hash-div" => Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        "hash-div-early" => Algorithm::HashDivision {
+            mode: HashDivisionMode::EarlyOut,
+        },
+        "hash-div-counter" => Algorithm::HashDivision {
+            mode: HashDivisionMode::CounterOnly,
+        },
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reldiv-profile [--divisor-size N] [--quotient-size N] [--seed N] \
+         [--algorithm NAME] [--json]\n\
+         algorithms: naive, sort-agg, sort-agg-join, hash-agg, hash-agg-join, \
+         hash-div, hash-div-early, hash-div-counter"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut divisor_size = 25u64;
+    let mut quotient_size = 100u64;
+    let mut seed = 42u64;
+    let mut algorithm = Algorithm::HashDivision {
+        mode: HashDivisionMode::Standard,
+    };
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--divisor-size" => {
+                divisor_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quotient-size" => {
+                quotient_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--algorithm" => {
+                algorithm = args
+                    .next()
+                    .and_then(|v| parse_algorithm(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+
+    let w = WorkloadSpec {
+        divisor_size,
+        quotient_size,
+        ..Default::default()
+    }
+    .generate(seed);
+
+    // The paper's storage configuration, cold-started so the profile
+    // shows the real page I/O of reading the inputs.
+    let storage = StorageManager::shared(StorageConfig::paper());
+    let spec = DivisionSpec::trailing_divisor(w.dividend.schema(), w.divisor.schema())
+        .expect("workload schemas always divide");
+    let d_src = load_source(&storage, &w.dividend).expect("load dividend");
+    let s_src = load_source(&storage, &w.divisor).expect("load divisor");
+    {
+        let mut sm = storage.borrow_mut();
+        sm.evict_all().expect("flush and evict loaded inputs");
+        sm.reset_stats();
+    }
+
+    let config = DivisionConfig {
+        assume_unique: true,
+        ..DivisionConfig::default()
+    };
+    let (quotient, report, profile) =
+        match divide_profiled(&storage, &d_src, &s_src, &spec, algorithm, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("division failed: {e}");
+                std::process::exit(1);
+            }
+        };
+
+    if json {
+        println!("{}", profile.to_json());
+        return;
+    }
+    println!(
+        "{}  |S|={divisor_size} |Q|={quotient_size} |R|={}  quotient={}",
+        algorithm.label(),
+        w.dividend.cardinality(),
+        quotient.cardinality()
+    );
+    if report.degraded {
+        println!(
+            "(degraded after {} retries: {})",
+            report.retries,
+            report.final_phase().unwrap_or("unknown phase")
+        );
+    }
+    println!("{}", profile.render());
+}

@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use reldiv_exec::cancel::CancelToken;
 use reldiv_exec::op::BoxedOp;
+use reldiv_exec::profile::{maybe_profile, ProfileSink, QueryProfile, SpanKind, SpanScope};
 use reldiv_exec::scan::{FileScan, MemScan};
 use reldiv_exec::sort::SortConfig;
 use reldiv_rel::{Relation, Schema, Tuple};
@@ -17,7 +18,7 @@ use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
 use crate::hash_division::{HashDivision, HashDivisionMode};
-use crate::naive::naive_division_plan;
+use crate::naive::naive_division_plan_profiled;
 use crate::overflow;
 use crate::report::DegradationReport;
 use crate::spec::DivisionSpec;
@@ -214,7 +215,7 @@ pub enum OverflowPolicy {
 }
 
 /// Execution knobs shared by all algorithms.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DivisionConfig {
     /// Declare the inputs duplicate-free, skipping the duplicate
     /// elimination steps the aggregate-based algorithms otherwise need.
@@ -228,6 +229,10 @@ pub struct DivisionConfig {
     /// Cooperative cancellation token, polled in the per-tuple loops. The
     /// default token never cancels.
     pub cancel: CancelToken,
+    /// Per-operator profiling sink (`EXPLAIN ANALYZE`). `None` — the
+    /// default — builds exactly the unprofiled plan: no wrapper operators,
+    /// no dormant branches in per-tuple loops, zero cost.
+    pub profile: Option<ProfileSink>,
 }
 
 impl Default for DivisionConfig {
@@ -237,6 +242,7 @@ impl Default for DivisionConfig {
             sort: SortConfig::default(),
             overflow: OverflowPolicy::Auto,
             cancel: CancelToken::none(),
+            profile: None,
         }
     }
 }
@@ -283,14 +289,25 @@ pub fn divide_with_report(
 ) -> Result<(Relation, DegradationReport)> {
     spec.validate(dividend.schema(), divisor.schema())?;
     let mut report = DegradationReport::new();
+    // The root span covers the whole division, including plan construction;
+    // operator spans created while it is active become its children.
+    let root = config.profile.as_ref().map(|sink| {
+        SpanScope::enter(
+            sink,
+            format!("divide [{}]", algorithm.label()),
+            SpanKind::Query,
+            Some(storage.clone()),
+        )
+    });
     let rel = match algorithm {
         Algorithm::Naive => {
-            let plan = naive_division_plan(
+            let plan = naive_division_plan_profiled(
                 storage.clone(),
                 dividend.scan(storage),
                 divisor.scan(storage),
                 spec.clone(),
                 config.sort,
+                config.profile.as_ref(),
             )?;
             collect_cancel(plan, config.cancel)?
         }
@@ -310,7 +327,37 @@ pub fn divide_with_report(
             &mut report,
         )?,
     };
+    if let (Some(root), Some(sink)) = (root, config.profile.as_ref()) {
+        // Fold the degradation story into the root span: every ladder rung
+        // walked and the bytes spilled to cluster files along the way.
+        for phase in &report.phases {
+            root.note_phase(phase.clone());
+        }
+        sink.add_spill(root.id(), report.spill_bytes);
+        root.finish();
+    }
     Ok((rel, report))
+}
+
+/// [`divide_with_report`], with profiling forced on: runs the division
+/// with a fresh [`ProfileSink`] (any sink already present in `config` is
+/// replaced) and returns the finished per-operator [`QueryProfile`]
+/// alongside the quotient and the degradation report.
+pub fn divide_profiled(
+    storage: &StorageRef,
+    dividend: &Source,
+    divisor: &Source,
+    spec: &DivisionSpec,
+    algorithm: Algorithm,
+    config: &DivisionConfig,
+) -> Result<(Relation, DegradationReport, QueryProfile)> {
+    let sink = ProfileSink::new();
+    let config = DivisionConfig {
+        profile: Some(sink.clone()),
+        ..config.clone()
+    };
+    let (rel, report) = divide_with_report(storage, dividend, divisor, spec, algorithm, &config)?;
+    Ok((rel, report, sink.finish()))
 }
 
 /// Appends a failure marker to the most recent phase in `report`.
@@ -339,22 +386,54 @@ fn hash_division_with_overflow(
 ) -> Result<Relation> {
     let pool = storage.borrow().memory();
     let cancel = config.cancel;
+    let profile = config.profile.clone();
     let in_memory = |report: &mut DegradationReport| -> Result<Relation> {
         report.note_phase("in-memory");
-        let mut op = HashDivision::new(
+        let dividend_scan = maybe_profile(
             dividend.scan(storage),
+            profile.as_ref(),
+            "scan dividend",
+            SpanKind::Scan,
+            Some(storage),
+        );
+        let divisor_scan = maybe_profile(
             divisor.scan(storage),
+            profile.as_ref(),
+            "scan divisor",
+            SpanKind::Scan,
+            Some(storage),
+        );
+        let mut op = HashDivision::new(
+            dividend_scan,
+            divisor_scan,
             spec.clone(),
             mode,
             pool.clone(),
         )?;
         op.set_cancel(cancel);
-        collect_cancel(Box::new(op), cancel)
+        let op = maybe_profile(
+            Box::new(op),
+            profile.as_ref(),
+            "hash-division (in-memory)",
+            SpanKind::HashDivision,
+            Some(storage),
+        );
+        collect_cancel(op, cancel)
+    };
+    // Each overflow rung gets its own Partition span: the partitioned
+    // executions run entirely inside overflow.rs, so the span measures the
+    // whole rung (partitioning, phases, collection) as one region.
+    let rung = |label: &str| -> Option<SpanScope> {
+        config
+            .profile
+            .as_ref()
+            .map(|sink| SpanScope::enter(sink, label, SpanKind::Partition, Some(storage.clone())))
     };
     match config.overflow {
         OverflowPolicy::Fail => in_memory(report),
         OverflowPolicy::QuotientPartition { partitions } => {
             report.note_phase(format!("quotient-partitioned k={partitions}"));
+            let _rung = rung(&format!("quotient-partitioned k={partitions}"));
             overflow::quotient_partitioned_report(
                 storage,
                 dividend.scan(storage),
@@ -368,6 +447,7 @@ fn hash_division_with_overflow(
         }
         OverflowPolicy::DivisorPartition { partitions } => {
             report.note_phase(format!("divisor-partitioned k={partitions}"));
+            let _rung = rung(&format!("divisor-partitioned k={partitions}"));
             overflow::divisor_partitioned_report(
                 storage,
                 dividend.scan(storage),
@@ -383,6 +463,9 @@ fn hash_division_with_overflow(
             quotient_partitions,
         } => {
             report.note_phase(format!(
+                "combined-partitioned dk={divisor_partitions} qk={quotient_partitions}"
+            ));
+            let _rung = rung(&format!(
                 "combined-partitioned dk={divisor_partitions} qk={quotient_partitions}"
             ));
             overflow::combined_partitioned_report(
@@ -410,16 +493,20 @@ fn hash_division_with_overflow(
             while k <= 256 {
                 report.note_retry();
                 report.note_phase(format!("quotient-partitioned k={k}"));
-                match overflow::quotient_partitioned_report(
-                    storage,
-                    dividend.scan(storage),
-                    divisor.scan(storage),
-                    spec,
-                    mode,
-                    k,
-                    cancel,
-                    report,
-                ) {
+                let attempt = {
+                    let _rung = rung(&format!("quotient-partitioned k={k}"));
+                    overflow::quotient_partitioned_report(
+                        storage,
+                        dividend.scan(storage),
+                        divisor.scan(storage),
+                        spec,
+                        mode,
+                        k,
+                        cancel,
+                        report,
+                    )
+                };
+                match attempt {
                     Ok(rel) => return Ok(rel),
                     Err(e) if e.is_memory_exhausted() => {
                         mark_exhausted(report);
@@ -434,15 +521,19 @@ fn hash_division_with_overflow(
             while k <= 256 {
                 report.note_retry();
                 report.note_phase(format!("divisor-partitioned k={k}"));
-                match overflow::divisor_partitioned_report(
-                    storage,
-                    dividend.scan(storage),
-                    divisor.scan(storage),
-                    spec,
-                    k,
-                    cancel,
-                    report,
-                ) {
+                let attempt = {
+                    let _rung = rung(&format!("divisor-partitioned k={k}"));
+                    overflow::divisor_partitioned_report(
+                        storage,
+                        dividend.scan(storage),
+                        divisor.scan(storage),
+                        spec,
+                        k,
+                        cancel,
+                        report,
+                    )
+                };
+                match attempt {
                     Ok(rel) => return Ok(rel),
                     Err(e) if e.is_memory_exhausted() => {
                         mark_exhausted(report);
@@ -457,16 +548,20 @@ fn hash_division_with_overflow(
             while k <= 256 {
                 report.note_retry();
                 report.note_phase(format!("combined-partitioned dk={k} qk={k}"));
-                match overflow::combined_partitioned_report(
-                    storage,
-                    dividend.scan(storage),
-                    divisor.scan(storage),
-                    spec,
-                    k,
-                    k,
-                    cancel,
-                    report,
-                ) {
+                let attempt = {
+                    let _rung = rung(&format!("combined-partitioned dk={k} qk={k}"));
+                    overflow::combined_partitioned_report(
+                        storage,
+                        dividend.scan(storage),
+                        divisor.scan(storage),
+                        spec,
+                        k,
+                        k,
+                        cancel,
+                        report,
+                    )
+                };
+                match attempt {
                     Ok(rel) => return Ok(rel),
                     Err(e) if e.is_memory_exhausted() => {
                         mark_exhausted(report);
@@ -720,6 +815,88 @@ mod tests {
         assert_eq!(report.retries, 0);
         assert_eq!(report.final_phase(), Some("in-memory"));
         assert_eq!(report.spill_bytes, 0);
+    }
+
+    #[test]
+    fn divide_profiled_builds_a_span_tree_for_every_algorithm() {
+        let rows = [[1, 10], [1, 20], [2, 10], [3, 20], [3, 10], [4, 99]];
+        let dividend = transcript(&rows);
+        let divisor = courses(&[10, 20]);
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for alg in all_algorithms() {
+            let (q, _report, profile) = divide_profiled(
+                &storage,
+                &Source::from_relation(&dividend),
+                &Source::from_relation(&divisor),
+                &spec,
+                alg,
+                &DivisionConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(q.cardinality(), 2, "{alg:?}");
+            // Root is the query span; the plan's operators hang below it.
+            assert!(
+                profile.root.label.starts_with("divide ["),
+                "{alg:?}: {}",
+                profile.root.label
+            );
+            assert!(
+                profile.root.node_count() >= 3,
+                "{alg:?}: want operator spans, got\n{}",
+                profile.render()
+            );
+            // The in-memory path reports its phase on the root span.
+            if matches!(alg, Algorithm::HashDivision { .. }) {
+                assert_eq!(profile.root.phases, vec!["in-memory".to_owned()]);
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_overflow_ladder_gets_partition_spans() {
+        let mut rows = Vec::new();
+        for q in 0..2000 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig {
+            data_page_size: 8192,
+            run_page_size: 1024,
+            buffer_bytes: 1 << 22,
+            work_memory_bytes: 64 * 1024,
+        });
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (q, report, profile) = divide_profiled(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 2000);
+        assert!(report.degraded);
+        // Every ladder rung the report walked appears as a Partition span
+        // under the root, and the spill bytes land on the root span.
+        let rungs: Vec<&str> = profile
+            .root
+            .children
+            .iter()
+            .filter(|c| c.kind == reldiv_exec::profile::SpanKind::Partition)
+            .map(|c| c.label.as_str())
+            .collect();
+        assert!(
+            rungs.iter().any(|r| r.starts_with("quotient-partitioned")),
+            "{rungs:?}"
+        );
+        assert_eq!(profile.root.spill_bytes, report.spill_bytes);
+        assert_eq!(profile.root.phases.len(), report.phases.len());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use reldiv_exec::agg::{HashCountAggregate, HashDistinct, HavingCount, ScalarCoun
 use reldiv_exec::hash_join::HashJoin;
 use reldiv_exec::merge_join::JoinMode;
 use reldiv_exec::op::{collect, BoxedOp};
+use reldiv_exec::profile::{maybe_profile, SpanKind, SpanScope};
 use reldiv_rel::Relation;
 use reldiv_storage::StorageRef;
 
@@ -41,8 +42,23 @@ pub(crate) fn divisor_count_hashed(
     divisor: &Source,
     config: &DivisionConfig,
 ) -> Result<i64> {
-    let scan = divisor.scan(storage);
-    let counted = collect(Box::new(ScalarCount::new(scan, !config.assume_unique)))?;
+    let p = config.profile.as_ref();
+    let scan = maybe_profile(
+        divisor.scan(storage),
+        p,
+        "scan divisor",
+        SpanKind::Scan,
+        Some(storage),
+    );
+    let count: BoxedOp = Box::new(ScalarCount::new(scan, !config.assume_unique));
+    let count = maybe_profile(
+        count,
+        p,
+        "scalar count (divisor, hashed distinct)",
+        SpanKind::Aggregation,
+        Some(storage),
+    );
+    let counted = collect(count)?;
     Ok(counted.tuples()[0].value(0).as_int().expect("count is Int"))
 }
 
@@ -83,10 +99,25 @@ pub fn hash_agg_division(
     // Optional duplicate elimination on the dividend (expensive: holds the
     // entire input in the memory pool — the paper's argument for
     // hash-division's built-in duplicate insensitivity).
+    let p = config.profile.as_ref();
+    let dividend_scan = maybe_profile(
+        dividend.scan(storage),
+        p,
+        "scan dividend",
+        SpanKind::Scan,
+        Some(storage),
+    );
     let dividend_input: BoxedOp = if config.assume_unique {
-        dividend.scan(storage)
+        dividend_scan
     } else {
-        Box::new(HashDistinct::new(dividend.scan(storage), pool.clone()))
+        let distinct: BoxedOp = Box::new(HashDistinct::new(dividend_scan, pool.clone()));
+        maybe_profile(
+            distinct,
+            p,
+            "hash distinct (dividend)",
+            SpanKind::Aggregation,
+            Some(storage),
+        )
     };
 
     // Step 2: count per group, optionally after a hash semi-join. The
@@ -102,23 +133,62 @@ pub fn hash_agg_division(
             spec.divisor_all_columns(),
             JoinMode::LeftSemi,
         )?;
-        let (file, schema) =
-            crate::api::materialize(storage, Box::new(join.with_pool(pool.clone())))?;
+        let join = maybe_profile(
+            Box::new(join.with_pool(pool.clone())),
+            p,
+            "hash semi-join",
+            SpanKind::HashJoin,
+            Some(storage),
+        );
+        let scope = p.map(|sink| {
+            SpanScope::enter(
+                sink,
+                "materialize semi-join output",
+                SpanKind::Materialize,
+                Some(storage.clone()),
+            )
+        });
+        let (file, schema) = crate::api::materialize(storage, join)?;
+        if let Some(scope) = scope {
+            scope.finish();
+        }
         let scan: BoxedOp = Box::new(reldiv_exec::scan::FileScan::new(
             storage.clone(),
             file,
             schema,
         ));
+        let scan = maybe_profile(
+            scan,
+            p,
+            "scan materialized intermediate",
+            SpanKind::Scan,
+            Some(storage),
+        );
         (scan, Some(file))
     } else {
         (dividend_input, None)
     };
-    let agg = HashCountAggregate::new(agg_input, spec.quotient_keys.clone(), pool)?
-        .with_spill(storage.clone());
+    let agg: BoxedOp = Box::new(
+        HashCountAggregate::new(agg_input, spec.quotient_keys.clone(), pool)?
+            .with_spill(storage.clone()),
+    );
+    let agg = maybe_profile(
+        agg,
+        p,
+        "hash count aggregate",
+        SpanKind::Aggregation,
+        Some(storage),
+    );
 
     // Step 3: select the groups whose count equals the divisor count.
-    let having = HavingCount::new(Box::new(agg), target)?;
-    let result = collect(Box::new(having));
+    let having: BoxedOp = Box::new(HavingCount::new(agg, target)?);
+    let result = collect(maybe_profile(
+        having,
+        p,
+        "having count = |divisor|",
+        SpanKind::Other,
+        Some(storage),
+    ));
     if let Some(file) = intermediate {
         storage.borrow_mut().delete_file(file)?;
     }

@@ -64,10 +64,13 @@ pub mod report;
 pub mod sort_agg;
 pub mod spec;
 
-pub use api::{divide, divide_relations, divide_with_report, Algorithm, DivisionConfig};
+pub use api::{
+    divide, divide_profiled, divide_relations, divide_with_report, Algorithm, DivisionConfig,
+};
 pub use bitmap::Bitmap;
 pub use contains::Contains;
 pub use hash_division::{HashDivision, HashDivisionMode};
+pub use reldiv_exec::profile::{ProfileNode, ProfileSink, QueryProfile, SpanKind};
 pub use report::DegradationReport;
 pub use spec::DivisionSpec;
 

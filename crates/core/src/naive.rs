@@ -21,6 +21,7 @@
 use std::cmp::Ordering;
 
 use reldiv_exec::op::{BoxedOp, OpState, Operator};
+use reldiv_exec::profile::{maybe_profile, ProfileSink, SpanKind};
 use reldiv_exec::sort::{Sort, SortConfig, SortMode};
 use reldiv_rel::{Schema, Tuple};
 use reldiv_storage::StorageRef;
@@ -189,28 +190,58 @@ pub fn naive_division_plan(
     spec: DivisionSpec,
     sort_config: SortConfig,
 ) -> Result<BoxedOp> {
+    naive_division_plan_profiled(storage, dividend, divisor, spec, sort_config, None)
+}
+
+/// [`naive_division_plan`] with optional per-operator profiling: when
+/// `profile` is set, both sorts and the merge-scan step each get a span.
+pub fn naive_division_plan_profiled(
+    storage: StorageRef,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: DivisionSpec,
+    sort_config: SortConfig,
+    profile: Option<&ProfileSink>,
+) -> Result<BoxedOp> {
     let mut dividend_keys = spec.quotient_keys.clone();
     dividend_keys.extend_from_slice(&spec.divisor_keys);
-    let sorted_dividend = Sort::new(
+    let sorted_dividend: BoxedOp = Box::new(Sort::new(
         storage.clone(),
         dividend,
         dividend_keys,
         SortMode::Distinct,
         sort_config,
-    )?;
+    )?);
+    let sorted_dividend = maybe_profile(
+        sorted_dividend,
+        profile,
+        "sort dividend (distinct, quotient+divisor keys)",
+        SpanKind::Sort,
+        Some(&storage),
+    );
     let divisor_keys = spec.divisor_all_columns();
-    let sorted_divisor = Sort::new(
-        storage,
+    let sorted_divisor: BoxedOp = Box::new(Sort::new(
+        storage.clone(),
         divisor,
         divisor_keys,
         SortMode::Distinct,
         sort_config,
-    )?;
-    Ok(Box::new(NaiveDivision::new(
-        Box::new(sorted_dividend),
-        Box::new(sorted_divisor),
-        spec,
-    )?))
+    )?);
+    let sorted_divisor = maybe_profile(
+        sorted_divisor,
+        profile,
+        "sort divisor (distinct, all columns)",
+        SpanKind::Sort,
+        Some(&storage),
+    );
+    let division: BoxedOp = Box::new(NaiveDivision::new(sorted_dividend, sorted_divisor, spec)?);
+    Ok(maybe_profile(
+        division,
+        profile,
+        "naive merge-scan division",
+        SpanKind::NaiveDivision,
+        Some(&storage),
+    ))
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 use reldiv_exec::agg::{HavingCount, ScalarCount, SortCountAggregate};
 use reldiv_exec::merge_join::{JoinMode, MergeJoin};
 use reldiv_exec::op::{collect, BoxedOp};
+use reldiv_exec::profile::{maybe_profile, SpanKind};
 use reldiv_exec::sort::{Sort, SortMode};
 use reldiv_rel::Relation;
 use reldiv_storage::StorageRef;
@@ -40,20 +41,42 @@ pub(crate) fn divisor_count_sorted(
     divisor: &Source,
     config: &DivisionConfig,
 ) -> Result<i64> {
-    let scan = divisor.scan(storage);
+    let p = config.profile.as_ref();
+    let scan = maybe_profile(
+        divisor.scan(storage),
+        p,
+        "scan divisor",
+        SpanKind::Scan,
+        Some(storage),
+    );
     let input: BoxedOp = if config.assume_unique {
         scan
     } else {
         let all: Vec<usize> = (0..divisor.schema().arity()).collect();
-        Box::new(Sort::new(
+        let sort: BoxedOp = Box::new(Sort::new(
             storage.clone(),
             scan,
             all,
             SortMode::Distinct,
             config.sort,
-        )?)
+        )?);
+        maybe_profile(
+            sort,
+            p,
+            "sort divisor (distinct)",
+            SpanKind::Sort,
+            Some(storage),
+        )
     };
-    let counted = collect(Box::new(ScalarCount::new(input, false)))?;
+    let count: BoxedOp = Box::new(ScalarCount::new(input, false));
+    let count = maybe_profile(
+        count,
+        p,
+        "scalar count (divisor)",
+        SpanKind::Aggregation,
+        Some(storage),
+    );
+    let counted = collect(count)?;
     Ok(counted.tuples()[0].value(0).as_int().expect("count is Int"))
 }
 
@@ -70,14 +93,20 @@ pub(crate) fn distinct_quotient_projection_sorted(
     let projected =
         reldiv_exec::project::Project::new(dividend.scan(storage), spec.quotient_keys.clone())?;
     let arity = spec.quotient_keys.len();
-    let sorted = Sort::new(
+    let sorted: BoxedOp = Box::new(Sort::new(
         storage.clone(),
         Box::new(projected),
         (0..arity).collect(),
         SortMode::Distinct,
         config.sort,
-    )?;
-    collect(Box::new(sorted))
+    )?);
+    collect(maybe_profile(
+        sorted,
+        config.profile.as_ref(),
+        "sort distinct quotient projection",
+        SpanKind::Sort,
+        Some(storage),
+    ))
 }
 
 /// Runs division by sort-based aggregation.
@@ -96,6 +125,7 @@ pub fn sort_agg_division(
     }
 
     // Step 2: count per group, optionally after a merge semi-join.
+    let p = config.profile.as_ref();
     let agg_input: BoxedOp = if with_join {
         // Sort the dividend on the divisor attributes for the join (minor
         // keys: the quotient attributes, so Distinct mode deduplicates
@@ -107,49 +137,89 @@ pub fn sort_agg_division(
         } else {
             SortMode::Distinct
         };
-        let sorted_dividend = Sort::new(
+        let sorted_dividend: BoxedOp = Box::new(Sort::new(
             storage.clone(),
             dividend.scan(storage),
             join_sort_keys,
             dividend_mode,
             config.sort,
-        )?;
-        let sorted_divisor = Sort::new(
+        )?);
+        let sorted_dividend = maybe_profile(
+            sorted_dividend,
+            p,
+            "sort dividend (divisor+quotient keys)",
+            SpanKind::Sort,
+            Some(storage),
+        );
+        let sorted_divisor: BoxedOp = Box::new(Sort::new(
             storage.clone(),
             divisor.scan(storage),
             spec.divisor_all_columns(),
             SortMode::Distinct,
             config.sort,
-        )?;
-        Box::new(MergeJoin::new(
-            Box::new(sorted_dividend),
-            Box::new(sorted_divisor),
+        )?);
+        let sorted_divisor = maybe_profile(
+            sorted_divisor,
+            p,
+            "sort divisor (distinct)",
+            SpanKind::Sort,
+            Some(storage),
+        );
+        let join: BoxedOp = Box::new(MergeJoin::new(
+            sorted_dividend,
+            sorted_divisor,
             spec.divisor_keys.clone(),
             spec.divisor_all_columns(),
             JoinMode::LeftSemi,
-        )?)
+        )?);
+        maybe_profile(
+            join,
+            p,
+            "merge semi-join",
+            SpanKind::MergeJoin,
+            Some(storage),
+        )
     } else {
-        dividend.scan(storage)
+        maybe_profile(
+            dividend.scan(storage),
+            p,
+            "scan dividend",
+            SpanKind::Scan,
+            Some(storage),
+        )
     };
 
     // The aggregate function: count (distinct) dividend tuples per group.
     // After a semi-join over a deduplicated dividend the input is unique;
     // without the join, uniqueness must be requested explicitly.
     let need_distinct = !config.assume_unique && !with_join;
-    let agg = SortCountAggregate::new(
+    let agg: BoxedOp = Box::new(SortCountAggregate::new(
         storage.clone(),
         agg_input,
         spec.quotient_keys.clone(),
         need_distinct,
         config.sort,
-    )?;
+    )?);
+    let agg = maybe_profile(
+        agg,
+        p,
+        "sort-based count aggregate",
+        SpanKind::Aggregation,
+        Some(storage),
+    );
 
     // Step 3: select the groups whose count equals the divisor count.
-    let having = HavingCount::new(Box::new(agg), target).map_err(|e| match e {
+    let having: BoxedOp = Box::new(HavingCount::new(agg, target).map_err(|e| match e {
         ExecError::Plan(m) => ExecError::Plan(format!("sort-agg division: {m}")),
         other => other,
-    })?;
-    collect(Box::new(having))
+    })?);
+    collect(maybe_profile(
+        having,
+        p,
+        "having count = |divisor|",
+        SpanKind::Other,
+        Some(storage),
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,348 @@
+//! Predicted unit counts — the cost model decomposed for validation.
+//!
+//! Section 5 of the paper validates the Table 2 formulas against measured
+//! executions. To reproduce that comparison per cost unit (not just as one
+//! total), this module re-states every Section 4 formula as a vector of
+//! *unit counts* — how many RIO, SIO, Comp, Hash, Move, and Bit operations
+//! the model predicts — instead of a single priced millisecond figure.
+//!
+//! The decomposition is tied to the formulas by an identity test: for
+//! every Table 2 configuration and every algorithm,
+//! `UnitCounts::predict(..).price_ms(units)` equals the corresponding
+//! [`CostModel`] formula to floating-point precision. The `model_check`
+//! bench then compares each predicted count against the matching measured
+//! counter (abstract-operation counters for the CPU units, disk transfer
+//! statistics for the I/O units) and reports relative error per unit.
+
+use crate::formulas::CostModel;
+use crate::planner::PlannedAlgorithm;
+use crate::units::CostUnits;
+
+/// Predicted operation counts, one slot per Table 1 cost unit. Counts are
+/// `f64` because the paper's page cardinalities are fractional (`|S| = 25`
+/// occupies `s = 2.5` pages).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UnitCounts {
+    /// Random page I/Os.
+    pub rio: f64,
+    /// Sequential page I/Os.
+    pub sio: f64,
+    /// Tuple comparisons.
+    pub comp: f64,
+    /// Hash-value calculations.
+    pub hash: f64,
+    /// Page-sized memory moves.
+    pub mv: f64,
+    /// Bit-map operations.
+    pub bit: f64,
+}
+
+impl UnitCounts {
+    /// Component-wise sum.
+    pub fn add(&self, other: &UnitCounts) -> UnitCounts {
+        UnitCounts {
+            rio: self.rio + other.rio,
+            sio: self.sio + other.sio,
+            comp: self.comp + other.comp,
+            hash: self.hash + other.hash,
+            mv: self.mv + other.mv,
+            bit: self.bit + other.bit,
+        }
+    }
+
+    /// Component-wise scaling.
+    pub fn scale(&self, k: f64) -> UnitCounts {
+        UnitCounts {
+            rio: self.rio * k,
+            sio: self.sio * k,
+            comp: self.comp * k,
+            hash: self.hash * k,
+            mv: self.mv * k,
+            bit: self.bit * k,
+        }
+    }
+
+    /// Prices the counts with Table 1 units, in milliseconds. By the
+    /// identity tests below this reproduces the [`CostModel`] formulas
+    /// exactly.
+    pub fn price_ms(&self, units: &CostUnits) -> f64 {
+        self.rio * units.rio
+            + self.sio * units.sio
+            + self.comp * units.comp
+            + self.hash * units.hash
+            + self.mv * units.mv
+            + self.bit * units.bit
+    }
+
+    /// The six `(unit name, predicted count)` pairs in Table 1 order.
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("rio", self.rio),
+            ("sio", self.sio),
+            ("comp", self.comp),
+            ("hash", self.hash),
+            ("move", self.mv),
+            ("bit", self.bit),
+        ]
+    }
+
+    /// Predicted unit counts for one algorithm under the model's size
+    /// configuration — the Section 4 formulas with the unit prices left
+    /// symbolic.
+    pub fn predict(model: &CostModel, algorithm: PlannedAlgorithm) -> UnitCounts {
+        let s = &model.sizes;
+        let r_tuples = s.dividend();
+        match algorithm {
+            // Section 4.2: sorts + `(r+s)·SIO + |R|·Comp`.
+            PlannedAlgorithm::Naive => UnitCounts {
+                sio: s.r_pages() + s.s_pages(),
+                comp: r_tuples as f64,
+                ..UnitCounts::default()
+            }
+            .add(&sort_counts(model, r_tuples, s.r_pages()))
+            .add(&sort_counts(model, s.divisor, s.s_pages())),
+            // Section 4.3: sorts + `|R|·Comp + s·SIO`.
+            PlannedAlgorithm::SortAggregation { join: false } => UnitCounts {
+                sio: s.s_pages(),
+                comp: r_tuples as f64,
+                ..UnitCounts::default()
+            }
+            .add(&sort_counts(model, r_tuples, s.r_pages()))
+            .add(&sort_counts(model, s.divisor, s.s_pages())),
+            // Section 4.3 with join: `2·sort(R) + 2·sort(S) + (r+s)·SIO +
+            // |R|·|S|·Comp + 2·|R|·Comp + 2·s·SIO`.
+            PlannedAlgorithm::SortAggregation { join: true } => UnitCounts {
+                sio: s.r_pages() + s.s_pages() + 2.0 * s.s_pages(),
+                comp: (r_tuples * s.divisor) as f64 + 2.0 * r_tuples as f64,
+                ..UnitCounts::default()
+            }
+            .add(&sort_counts(model, r_tuples, s.r_pages()).scale(2.0))
+            .add(&sort_counts(model, s.divisor, s.s_pages()).scale(2.0)),
+            // Section 4.4: `r·SIO + |R|·(Hash + hbs·Comp) + s·SIO`.
+            PlannedAlgorithm::HashAggregation { join: false } => UnitCounts {
+                sio: s.r_pages() + s.s_pages(),
+                hash: r_tuples as f64,
+                comp: r_tuples as f64 * s.hbs,
+                ..UnitCounts::default()
+            },
+            // Section 4.4 with join: semi-join `(s+r)·SIO + |S|·Hash +
+            // |R|·(Hash + hbs·Comp)` plus the aggregation counts.
+            PlannedAlgorithm::HashAggregation { join: true } => UnitCounts {
+                sio: s.s_pages() + s.r_pages(),
+                hash: s.divisor as f64 + r_tuples as f64,
+                comp: r_tuples as f64 * s.hbs,
+                ..UnitCounts::default()
+            }
+            .add(&UnitCounts::predict(
+                model,
+                PlannedAlgorithm::HashAggregation { join: false },
+            )),
+            // Section 4.5: `(r+s)·SIO + |S|·Hash + |R|·(2·(Hash +
+            // hbs·Comp) + Bit)`.
+            PlannedAlgorithm::HashDivision => UnitCounts {
+                sio: s.r_pages() + s.s_pages(),
+                hash: s.divisor as f64 + 2.0 * r_tuples as f64,
+                comp: 2.0 * r_tuples as f64 * s.hbs,
+                bit: r_tuples as f64,
+                ..UnitCounts::default()
+            },
+        }
+    }
+}
+
+fn log2(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+/// The sort cost of Section 4.1 as unit counts: quicksort when the
+/// relation fits in memory (`2·n·log2(n)` comparisons), otherwise the disk
+/// merge sort (`passes·2·r` random I/Os, `passes·r` moves, and the two
+/// comparison terms).
+pub fn sort_counts(model: &CostModel, n: u64, pages: f64) -> UnitCounts {
+    let m = model.sizes.memory_pages;
+    if pages <= m {
+        UnitCounts {
+            comp: 2.0 * n as f64 * log2(n as f64),
+            ..UnitCounts::default()
+        }
+    } else {
+        let passes = model.merge_passes(pages);
+        UnitCounts {
+            rio: passes * 2.0 * pages,
+            mv: passes * pages,
+            comp: passes * n as f64 * log2(m) + 2.0 * n as f64 * log2(n as f64 * m / pages),
+            ..UnitCounts::default()
+        }
+    }
+}
+
+/// One predicted-vs-measured comparison, per cost unit or in total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitComparison {
+    /// Unit name (`"rio"`, `"sio"`, `"comp"`, `"hash"`, `"move"`,
+    /// `"bit"`) or `"total_ms"`.
+    pub unit: &'static str,
+    /// Model-predicted count (or milliseconds for `"total_ms"`).
+    pub predicted: f64,
+    /// Measured count (or milliseconds).
+    pub measured: f64,
+}
+
+impl UnitComparison {
+    /// Signed relative error `(measured - predicted) / predicted`.
+    /// When the model predicts zero: `0` if the measurement is also zero
+    /// (within rounding), infinite otherwise.
+    pub fn relative_error(&self) -> f64 {
+        if self.predicted.abs() > 1e-9 {
+            (self.measured - self.predicted) / self.predicted
+        } else if self.measured.abs() <= 1e-9 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Compares a predicted count vector against measured counts, pairing
+/// each unit, and appends a `"total_ms"` row priced with `units`.
+pub fn compare(
+    predicted: &UnitCounts,
+    measured: &UnitCounts,
+    units: &CostUnits,
+) -> Vec<UnitComparison> {
+    let mut rows: Vec<UnitComparison> = predicted
+        .named()
+        .iter()
+        .zip(measured.named().iter())
+        .map(|(&(unit, p), &(_, m))| UnitComparison {
+            unit,
+            predicted: p,
+            measured: m,
+        })
+        .collect();
+    rows.push(UnitComparison {
+        unit: "total_ms",
+        predicted: predicted.price_ms(units),
+        measured: measured.price_ms(units),
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> [PlannedAlgorithm; 6] {
+        [
+            PlannedAlgorithm::Naive,
+            PlannedAlgorithm::SortAggregation { join: false },
+            PlannedAlgorithm::SortAggregation { join: true },
+            PlannedAlgorithm::HashAggregation { join: false },
+            PlannedAlgorithm::HashAggregation { join: true },
+            PlannedAlgorithm::HashDivision,
+        ]
+    }
+
+    fn formula_ms(model: &CostModel, alg: PlannedAlgorithm) -> f64 {
+        match alg {
+            PlannedAlgorithm::Naive => model.naive_division_ms(),
+            PlannedAlgorithm::SortAggregation { join: false } => model.sort_aggregation_ms(),
+            PlannedAlgorithm::SortAggregation { join: true } => {
+                model.sort_aggregation_with_join_ms()
+            }
+            PlannedAlgorithm::HashAggregation { join: false } => model.hash_aggregation_ms(),
+            PlannedAlgorithm::HashAggregation { join: true } => {
+                model.hash_aggregation_with_join_ms()
+            }
+            PlannedAlgorithm::HashDivision => model.hash_division_ms(),
+        }
+    }
+
+    #[test]
+    fn decomposition_prices_back_to_the_formulas_for_all_table2_cells() {
+        // The identity that makes the per-unit validation trustworthy:
+        // summing count × unit-price reproduces every Table 2 formula.
+        for &s in &[25u64, 100, 400] {
+            for &q in &[25u64, 100, 400] {
+                let model = CostModel::paper(s, q);
+                for alg in columns() {
+                    let priced = UnitCounts::predict(&model, alg).price_ms(&model.units);
+                    let formula = formula_ms(&model, alg);
+                    let err = (priced - formula).abs() / formula.max(1.0);
+                    assert!(err < 1e-9, "|S|={s} |Q|={q} {alg:?}: {priced} vs {formula}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_division_counts_follow_section_4_5() {
+        let model = CostModel::paper(25, 25);
+        let c = UnitCounts::predict(&model, PlannedAlgorithm::HashDivision);
+        // r = 125, s = 2.5 pages; |S| = 25, |R| = 625.
+        assert!((c.sio - 127.5).abs() < 1e-9);
+        assert!((c.hash - (25.0 + 2.0 * 625.0)).abs() < 1e-9);
+        assert!((c.comp - 2.0 * 625.0 * 2.0).abs() < 1e-9);
+        assert!((c.bit - 625.0).abs() < 1e-9);
+        assert_eq!(c.rio, 0.0);
+        assert_eq!(c.mv, 0.0);
+    }
+
+    #[test]
+    fn in_memory_sort_is_pure_comparisons() {
+        let model = CostModel::paper(25, 25);
+        let c = sort_counts(&model, 25, 2.5);
+        assert_eq!(c.rio, 0.0);
+        assert_eq!(c.mv, 0.0);
+        assert!((c.comp - 2.0 * 25.0 * 25f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_sort_pays_random_io_and_moves() {
+        let model = CostModel::paper(25, 25);
+        // The dividend: 625 tuples on 125 pages > m = 100 pages.
+        let c = sort_counts(&model, 625, 125.0);
+        assert!((c.rio - 250.0).abs() < 1e-9, "one pass, 2 RIO per page");
+        assert!((c.mv - 125.0).abs() < 1e-9);
+        assert!(c.comp > 0.0);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        let exact = UnitComparison {
+            unit: "comp",
+            predicted: 100.0,
+            measured: 110.0,
+        };
+        assert!((exact.relative_error() - 0.1).abs() < 1e-12);
+        let both_zero = UnitComparison {
+            unit: "bit",
+            predicted: 0.0,
+            measured: 0.0,
+        };
+        assert_eq!(both_zero.relative_error(), 0.0);
+        let surprise = UnitComparison {
+            unit: "bit",
+            predicted: 0.0,
+            measured: 5.0,
+        };
+        assert!(surprise.relative_error().is_infinite());
+    }
+
+    #[test]
+    fn compare_pairs_all_units_plus_total() {
+        let model = CostModel::paper(25, 25);
+        let p = UnitCounts::predict(&model, PlannedAlgorithm::HashDivision);
+        let rows = compare(&p, &p, &model.units);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[6].unit, "total_ms");
+        for row in &rows {
+            assert_eq!(row.relative_error(), 0.0, "{}", row.unit);
+        }
+        assert!((rows[6].predicted - model.hash_division_ms()).abs() < 1e-9);
+    }
+}

@@ -24,7 +24,9 @@
 //!   aggregates, and the `HAVING count = N` filter used to express
 //!   division by aggregation,
 //! * [`hash_table`] — the bucket-chained hash table shared by the
-//!   hash-based operators and by hash-division in `reldiv-core`.
+//!   hash-based operators and by hash-division in `reldiv-core`,
+//! * [`profile`] — per-operator `EXPLAIN ANALYZE` spans (wall time,
+//!   tuples, abstract ops, physical page I/O), zero-cost when disabled.
 //!
 //! All operators draw scratch memory from the storage manager's
 //! [`reldiv_storage::MemoryPool`] and count abstract operations through
@@ -42,6 +44,7 @@ pub mod hash_table;
 pub mod index_join;
 pub mod merge_join;
 pub mod op;
+pub mod profile;
 pub mod project;
 pub mod scan;
 pub mod sort;
@@ -49,6 +52,7 @@ pub mod sort;
 pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use op::{collect, BoxedOp, Operator};
+pub use profile::{ProfileSink, QueryProfile, SpanKind};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, ExecError>;

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use reldiv_core::api::{divide, DivisionConfig, Source};
 use reldiv_core::hash_division::{HashDivisionMode, QuotientTable};
-use reldiv_core::{Algorithm, DivisionSpec, ExecError};
+use reldiv_core::{Algorithm, DivisionSpec, ExecError, ProfileNode, QueryProfile, SpanKind};
 use reldiv_rel::counters::{OpScope, OpSnapshot};
 use reldiv_rel::{Relation, Tuple};
 use reldiv_storage::manager::StorageConfig;
@@ -125,6 +125,62 @@ pub struct RunReport {
     pub total_ops: OpSnapshot,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// Folds the run's measurements into an `EXPLAIN ANALYZE`-style span
+    /// tree: a root span for the whole parallel division carrying the
+    /// network totals and wall time, with one child per node carrying the
+    /// dividend tuples shipped to it and the abstract operations it
+    /// performed. Lets parallel runs share the renderer and JSON codec of
+    /// single-site [`QueryProfile`]s.
+    pub fn to_profile(&self) -> QueryProfile {
+        let children = self
+            .per_node_ops
+            .iter()
+            .enumerate()
+            .map(|(i, &ops)| ProfileNode {
+                label: format!("node {i}"),
+                kind: SpanKind::Node,
+                wall_micros: 0,
+                tuples_in: self.per_node_dividend.get(i).copied().unwrap_or(0),
+                tuples_out: 0,
+                ops,
+                pages_read: 0,
+                pages_written: 0,
+                spill_bytes: 0,
+                network_bytes: 0,
+                phases: Vec::new(),
+                children: Vec::new(),
+            })
+            .collect();
+        let mut phases = vec![format!(
+            "{} of {} nodes participating",
+            self.participating_nodes, self.nodes
+        )];
+        if let Some(fill) = self.filter_fill_ratio {
+            phases.push(format!(
+                "bit-vector filter dropped {} tuples (fill {:.2})",
+                self.filtered_tuples, fill
+            ));
+        }
+        QueryProfile {
+            root: ProfileNode {
+                label: format!("parallel division ({} nodes)", self.nodes),
+                kind: SpanKind::Network,
+                wall_micros: self.elapsed.as_micros() as u64,
+                tuples_in: self.per_node_dividend.iter().sum(),
+                tuples_out: 0,
+                ops: self.total_ops,
+                pages_read: 0,
+                pages_written: 0,
+                spill_bytes: 0,
+                network_bytes: self.network.bytes,
+                phases,
+                children,
+            },
+        }
+    }
 }
 
 /// A streaming node (Section 3.3 early output): builds the divisor table
@@ -582,6 +638,40 @@ mod tests {
             assert_eq!(got, expected, "nodes={nodes}");
             assert_eq!(report.participating_nodes, nodes);
         }
+    }
+
+    #[test]
+    fn run_report_folds_into_a_profile_tree() {
+        let config = ClusterConfig {
+            nodes: 4,
+            strategy: Strategy::QuotientPartitioning,
+            ..Default::default()
+        };
+        let (_, report) = run(&config);
+        let profile = report.to_profile();
+        assert_eq!(profile.root.children.len(), 4, "one span per node");
+        assert_eq!(profile.root.network_bytes, report.network.bytes);
+        assert_eq!(
+            profile.root.tuples_in,
+            report.per_node_dividend.iter().sum::<u64>()
+        );
+        let child_ops = profile
+            .root
+            .children
+            .iter()
+            .fold(OpSnapshot::default(), |acc, c| acc.merge(&c.ops));
+        assert_eq!(child_ops, report.total_ops, "node spans carry the ops");
+        assert!(
+            profile.root.phases[0].contains("4 of 4 nodes"),
+            "{:?}",
+            profile.root.phases
+        );
+        // The shared renderer understands the folded tree.
+        let rendered = profile.render();
+        assert!(
+            rendered.contains("node 0") && rendered.contains("net="),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl DivisionClient for InProcClient {
             assume_unique: request.assume_unique,
             spec: request.spec.clone(),
             deadline: request.deadline_ms.map(Duration::from_millis),
+            profile: request.profile,
         };
         let r = self
             .service
@@ -73,6 +74,7 @@ impl DivisionClient for InProcClient {
             ops: r.ops,
             schema: r.schema,
             tuples: r.tuples,
+            profile: r.profile,
         })
     }
 
@@ -288,36 +290,65 @@ impl<C: DivisionClient> DivisionClient for RetryingClient<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use reldiv_core::Algorithm;
+    use reldiv_rel::counters::OpSnapshot;
+    use reldiv_rel::{Field, Schema};
 
-    /// A scripted client failing a fixed number of times per call.
+    /// A scripted client: *every* method fails `failures_left` times
+    /// with the configured (typed, cloneable) error, then succeeds with
+    /// a stub value. No method panics — a mock that `unimplemented!()`s
+    /// half the trait silently exempts those methods from coverage.
     struct Flaky {
         failures_left: u32,
         calls: u32,
+        error: ServiceError,
     }
 
-    impl DivisionClient for Flaky {
-        fn ping(&mut self) -> Result<()> {
+    impl Flaky {
+        fn new(failures_left: u32, error: ServiceError) -> Flaky {
+            Flaky {
+                failures_left,
+                calls: 0,
+                error,
+            }
+        }
+
+        fn step(&mut self) -> Result<()> {
             self.calls += 1;
             if self.failures_left > 0 {
                 self.failures_left -= 1;
-                Err(ServiceError::Overloaded)
+                Err(self.error.clone())
             } else {
                 Ok(())
             }
         }
+    }
+
+    impl DivisionClient for Flaky {
+        fn ping(&mut self) -> Result<()> {
+            self.step()
+        }
         fn register(&mut self, _: &str, _: &Relation) -> Result<u64> {
-            unimplemented!()
+            self.step().map(|()| 1)
         }
         fn drop_relation(&mut self, _: &str) -> Result<()> {
-            self.calls += 1;
-            Err(ServiceError::BadRequest("nope".into()))
+            self.step()
         }
         fn divide(&mut self, _: &DivideRequest) -> Result<DivideReply> {
-            self.calls += 1;
-            Err(ServiceError::Overloaded)
+            self.step().map(|()| DivideReply {
+                algorithm: Algorithm::Naive,
+                cached: false,
+                dividend_version: 1,
+                divisor_version: 1,
+                micros: 1,
+                ops: OpSnapshot::default(),
+                schema: Schema::new(vec![Field::int("q")]),
+                tuples: Arc::new(Vec::new()),
+                profile: None,
+            })
         }
         fn stats(&mut self) -> Result<MetricsSnapshot> {
-            unimplemented!()
+            self.step().map(|()| MetricsSnapshot::default())
         }
     }
 
@@ -330,59 +361,78 @@ mod tests {
         }
     }
 
-    #[test]
-    fn retries_transient_failures_until_success() {
-        let mut c = RetryingClient::new(
-            Flaky {
-                failures_left: 3,
-                calls: 0,
-            },
-            fast_policy(4),
-        );
-        c.ping().unwrap();
-        assert_eq!(c.retries_performed(), 3);
-        assert_eq!(c.into_inner().calls, 4);
+    fn sample_request() -> DivideRequest {
+        DivideRequest {
+            dividend: "r".into(),
+            divisor: "s".into(),
+            algorithm: None,
+            assume_unique: false,
+            spec: None,
+            deadline_ms: None,
+            profile: false,
+        }
+    }
+
+    /// A named exercise of one [`DivisionClient`] method.
+    type MethodCall = (&'static str, fn(&mut RetryingClient<Flaky>) -> Result<()>);
+
+    /// Every method a [`DivisionClient`] offers, as a callable the retry
+    /// tests can iterate over — so no method silently escapes coverage.
+    fn all_methods() -> Vec<MethodCall> {
+        vec![
+            ("ping", |c| c.ping()),
+            ("register", |c| {
+                let relation =
+                    Relation::from_tuples(Schema::new(vec![Field::int("q")]), vec![]).unwrap();
+                c.register("r", &relation).map(|_| ())
+            }),
+            ("drop_relation", |c| c.drop_relation("r")),
+            ("divide", |c| c.divide(&sample_request()).map(|_| ())),
+            ("stats", |c| c.stats().map(|_| ())),
+        ]
     }
 
     #[test]
-    fn gives_up_after_max_retries() {
-        let mut c = RetryingClient::new(
-            Flaky {
-                failures_left: u32::MAX,
-                calls: 0,
-            },
-            fast_policy(2),
-        );
-        assert_eq!(
-            c.divide(&DivideRequest {
-                dividend: "r".into(),
-                divisor: "s".into(),
-                algorithm: None,
-                assume_unique: false,
-                spec: None,
-                deadline_ms: None,
-            })
-            .unwrap_err(),
-            ServiceError::Overloaded
-        );
-        assert_eq!(c.into_inner().calls, 3, "1 attempt + 2 retries");
+    fn every_method_retries_transient_failures_until_success() {
+        for (name, call) in all_methods() {
+            let mut c =
+                RetryingClient::new(Flaky::new(3, ServiceError::Overloaded), fast_policy(4));
+            call(&mut c).unwrap_or_else(|e| panic!("{name} should recover: {e}"));
+            assert_eq!(c.retries_performed(), 3, "{name}");
+            assert_eq!(c.into_inner().calls, 4, "{name}: 1 attempt + 3 retries");
+        }
     }
 
     #[test]
-    fn non_retryable_errors_pass_through_immediately() {
-        let mut c = RetryingClient::new(
-            Flaky {
-                failures_left: 0,
-                calls: 0,
-            },
-            fast_policy(5),
-        );
-        assert!(matches!(
-            c.drop_relation("x"),
-            Err(ServiceError::BadRequest(_))
-        ));
-        assert_eq!(c.retries_performed(), 0);
-        assert_eq!(c.into_inner().calls, 1);
+    fn every_method_gives_up_after_max_retries() {
+        for (name, call) in all_methods() {
+            let mut c = RetryingClient::new(
+                Flaky::new(u32::MAX, ServiceError::Overloaded),
+                fast_policy(2),
+            );
+            assert_eq!(
+                call(&mut c).unwrap_err(),
+                ServiceError::Overloaded,
+                "{name}"
+            );
+            assert_eq!(c.into_inner().calls, 3, "{name}: 1 attempt + 2 retries");
+        }
+    }
+
+    #[test]
+    fn every_method_passes_non_retryable_errors_through_immediately() {
+        for (name, call) in all_methods() {
+            let mut c = RetryingClient::new(
+                Flaky::new(u32::MAX, ServiceError::BadRequest("nope".into())),
+                fast_policy(5),
+            );
+            assert!(
+                matches!(call(&mut c), Err(ServiceError::BadRequest(_))),
+                "{name}"
+            );
+            assert_eq!(c.retries_performed(), 0, "{name}");
+            assert_eq!(c.into_inner().calls, 1, "{name}");
+        }
     }
 
     #[test]

@@ -42,5 +42,6 @@ pub use client::{BackoffPolicy, DivisionClient, InProcClient, RetryingClient, Tc
 pub use error::{Result, ServiceError};
 pub use metrics::MetricsSnapshot;
 pub use proto::{DivideReply, DivideRequest};
+pub use reldiv_core::{ProfileNode, QueryProfile};
 pub use server::ServerHandle;
 pub use service::{QueryOptions, QueryResponse, Service, ServiceConfig};

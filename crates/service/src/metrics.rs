@@ -26,7 +26,15 @@ fn bucket_index(value: u64) -> usize {
     ((u64::from(msb - SUB_BITS + 1) << SUB_BITS) + sub) as usize
 }
 
-/// Midpoint of the value range covered by `index`.
+/// A representative value for bucket `index`: the floor midpoint of the
+/// value range the bucket covers, `lo + (width - 1) / 2`.
+///
+/// For the exact buckets (`index < 8`, one value each — including the
+/// first group of each octave) this is the value itself. The floor
+/// midpoint is always *inside* the bucket's range, a property the
+/// exhaustive test below asserts for all 496 buckets. (An earlier version
+/// returned `lo + width / 2`, which for two-value buckets was the upper
+/// bound, not a midpoint.)
 fn bucket_value(index: usize) -> u64 {
     if index < SUB_COUNT as usize {
         return index as u64;
@@ -35,7 +43,23 @@ fn bucket_value(index: usize) -> u64 {
     let sub = index as u64 & (SUB_COUNT - 1);
     let exp = group + SUB_BITS - 1;
     let base = (1u64 << exp) | (sub << (exp - SUB_BITS));
-    base + (1u64 << (exp - SUB_BITS)) / 2
+    base + ((1u64 << (exp - SUB_BITS)) - 1) / 2
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `index`.
+/// Test-support twin of [`bucket_index`] / [`bucket_value`].
+#[cfg(test)]
+fn bucket_range(index: usize) -> (u64, u64) {
+    if index < SUB_COUNT as usize {
+        // Exact buckets; bucket 1 additionally absorbs 0 via `v.max(1)`.
+        return (index as u64, index as u64);
+    }
+    let group = (index >> SUB_BITS) as u32;
+    let sub = index as u64 & (SUB_COUNT - 1);
+    let exp = group + SUB_BITS - 1;
+    let lo = (1u64 << exp) | (sub << (exp - SUB_BITS));
+    let width = 1u64 << (exp - SUB_BITS);
+    (lo, lo + (width - 1))
 }
 
 /// A lock-free logarithmic histogram of `u64` samples (the service uses
@@ -44,6 +68,7 @@ pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
     max: AtomicU64,
 }
 
@@ -53,6 +78,7 @@ impl Default for LatencyHistogram {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
@@ -69,6 +95,7 @@ impl LatencyHistogram {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -85,24 +112,46 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
     /// Largest recorded sample.
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
 
     /// The approximate `q`-quantile (`0.0 ..= 1.0`) of the recorded
-    /// samples; 0 when empty. Accurate to one sub-bucket (≈12.5%).
+    /// samples; 0 when empty. Accurate to one sub-bucket (≈12.5%),
+    /// clamped to the exact recorded extremes.
+    ///
+    /// `quantile(0.0)` is defined as the minimum recorded sample and is
+    /// returned exactly (it is not a silent alias for the rank-1 bucket
+    /// estimate, whose representative value can lie below the smallest
+    /// sample); `quantile(1.0)` is likewise the exact maximum.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max();
         }
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return bucket_value(i).min(self.max());
+                return bucket_value(i).clamp(self.min(), self.max());
             }
         }
         self.max()
@@ -142,6 +191,13 @@ pub struct MetricsSnapshot {
     pub latency_p99_us: u64,
     /// Mean latency in microseconds.
     pub latency_mean_us: u64,
+    /// Number of samples in the latency histogram. Latency is recorded
+    /// exactly once per successfully answered query, so this equals
+    /// `queries` — the invariant the latency-recording regression test
+    /// checks end to end.
+    pub latency_count: u64,
+    /// Queries that requested (and produced) an execution profile.
+    pub profiled_queries: u64,
     /// Abstract operations performed by the worker pool, aggregated from
     /// the per-request [`OpScope`](reldiv_rel::counters::OpScope)s.
     pub ops: OpSnapshot,
@@ -183,6 +239,8 @@ pub struct ServiceMetrics {
     pub worker_panics: AtomicU64,
     /// Transient storage faults absorbed by retries in worker storage.
     pub io_retries: AtomicU64,
+    /// Queries that requested an execution profile.
+    pub profiled_queries: AtomicU64,
     /// Abstract-operation totals across all executed queries.
     pub ops: OpAccumulator,
 }
@@ -209,6 +267,8 @@ impl ServiceMetrics {
             latency_p95_us: self.latency.quantile(0.95),
             latency_p99_us: self.latency.quantile(0.99),
             latency_mean_us: self.latency.mean(),
+            latency_count: self.latency.count(),
+            profiled_queries: self.profiled_queries.load(Ordering::Relaxed),
             ops: self.ops.totals(),
         }
     }
@@ -258,6 +318,75 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn every_bucket_value_is_inside_its_bucket_and_monotone() {
+        // Exhaustive property check over all 496 buckets: the
+        // representative value lies inside the bucket's analytic range,
+        // maps back to the same bucket, and is strictly monotone in the
+        // bucket index.
+        assert_eq!(BUCKETS, 496);
+        let mut prev: Option<u64> = None;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            let v = bucket_value(i);
+            assert!(
+                (lo..=hi).contains(&v),
+                "bucket {i}: value {v} outside [{lo}, {hi}]"
+            );
+            assert!(lo <= hi, "bucket {i}: inverted range");
+            // Boundary values land in this bucket (0 shares bucket 1).
+            if i >= 1 {
+                assert_eq!(bucket_index(lo), i, "bucket {i}: lo {lo}");
+                assert_eq!(bucket_index(hi), i, "bucket {i}: hi {hi}");
+                assert_eq!(bucket_index(v), i, "bucket {i}: value {v}");
+            }
+            if let Some(p) = prev {
+                assert!(v > p, "bucket {i}: {v} not monotone after {p}");
+            }
+            prev = Some(v);
+        }
+        // The buckets tile the whole u64 range with no gaps.
+        for i in 2..BUCKETS {
+            let (lo, _) = bucket_range(i);
+            let (_, prev_hi) = bucket_range(i - 1);
+            assert_eq!(lo, prev_hi + 1, "gap before bucket {i}");
+        }
+        assert_eq!(bucket_range(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantile_zero_is_the_exact_minimum() {
+        let h = LatencyHistogram::new();
+        for v in [500u64, 900, 1000] {
+            h.record(v);
+        }
+        // 500's bucket representative is 495 — below every sample. The
+        // 0-quantile must be the exact recorded minimum instead.
+        assert_eq!(h.quantile(0.0), 500);
+        assert_eq!(h.min(), 500);
+        assert_eq!(h.quantile(1.0), 1000);
+        // Interior quantiles are clamped into [min, max] too.
+        assert!(h.quantile(0.01) >= 500);
+    }
+
+    #[test]
+    fn min_of_empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn snapshot_carries_latency_count_and_profiled_queries() {
+        let m = ServiceMetrics::new();
+        m.latency.record(10);
+        m.latency.record(20);
+        m.profiled_queries.store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.latency_count, 2);
+        assert_eq!(s.profiled_queries, 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use reldiv_core::{Algorithm, HashDivisionMode};
+use reldiv_core::{Algorithm, HashDivisionMode, ProfileNode, QueryProfile, SpanKind};
 use reldiv_rel::counters::OpSnapshot;
 use reldiv_rel::{ColumnType, Field, RecordCodec, Schema, Tuple};
 
@@ -140,6 +140,10 @@ pub struct DivideRequest {
     /// default). An expired deadline cancels the division cooperatively
     /// and the reply is error code 8 (`DeadlineExceeded`).
     pub deadline_ms: Option<u64>,
+    /// Ask the server to profile the query and attach the per-operator
+    /// span tree to the reply (`EXPLAIN ANALYZE`). Encoded as a trailing
+    /// byte that old clients simply omit, so absence decodes as `false`.
+    pub profile: bool,
 }
 
 /// A successful server → client payload.
@@ -183,6 +187,11 @@ pub struct DivideReply {
     pub schema: Schema,
     /// Quotient tuples.
     pub tuples: Arc<Vec<Tuple>>,
+    /// The per-operator span tree, present only when the request asked
+    /// for it (and the execution was not a cache hit). Encoded as a
+    /// trailing section that old servers omit, so absence decodes as
+    /// `None`.
+    pub profile: Option<QueryProfile>,
 }
 
 /// A server → client message: a [`Reply`] or an error.
@@ -279,6 +288,13 @@ impl<'a> Reader<'a> {
         let n = self.u16()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| perr("string is not UTF-8"))
+    }
+
+    /// Bytes not yet consumed. Used to decode optional trailing sections
+    /// added by newer protocol revisions: an empty reader at that point
+    /// means the peer predates the extension.
+    fn remaining(&self) -> usize {
+        self.buf.len()
     }
 
     fn finish(&self) -> PResult<()> {
@@ -405,6 +421,110 @@ fn get_ops(r: &mut Reader<'_>) -> PResult<OpSnapshot> {
 }
 
 // ---------------------------------------------------------------------
+// Query profiles
+//
+// A profile is a tree of spans. Each node is encoded depth-first:
+// label, kind code, eight u64 metrics, a phase list, then a u16 child
+// count followed by the children. Hostile input is bounded two ways:
+// nesting deeper than [`MAX_PROFILE_DEPTH`] and trees larger than
+// [`MAX_PROFILE_NODES`] are typed protocol errors, never unbounded
+// recursion or allocation.
+
+/// Deepest span nesting accepted on the wire.
+pub const MAX_PROFILE_DEPTH: usize = 64;
+
+/// Largest span tree accepted on the wire.
+pub const MAX_PROFILE_NODES: usize = 65_536;
+
+fn put_profile_node(out: &mut Vec<u8>, node: &ProfileNode) -> PResult<()> {
+    put_str(out, &node.label)?;
+    out.push(node.kind.code());
+    for v in [
+        node.wall_micros,
+        node.tuples_in,
+        node.tuples_out,
+        node.pages_read,
+        node.pages_written,
+        node.spill_bytes,
+        node.network_bytes,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    put_ops(out, &node.ops);
+    let phases = u16::try_from(node.phases.len())
+        .map_err(|_| perr(format!("{} phase notes exceed u16", node.phases.len())))?;
+    out.extend_from_slice(&phases.to_le_bytes());
+    for phase in &node.phases {
+        put_str(out, phase)?;
+    }
+    let children = u16::try_from(node.children.len())
+        .map_err(|_| perr(format!("{} child spans exceed u16", node.children.len())))?;
+    out.extend_from_slice(&children.to_le_bytes());
+    for child in &node.children {
+        put_profile_node(out, child)?;
+    }
+    Ok(())
+}
+
+fn get_profile_node(r: &mut Reader<'_>, depth: usize, budget: &mut usize) -> PResult<ProfileNode> {
+    if depth > MAX_PROFILE_DEPTH {
+        return Err(perr(format!(
+            "profile nesting exceeds the depth limit of {MAX_PROFILE_DEPTH}"
+        )));
+    }
+    if *budget == 0 {
+        return Err(perr(format!(
+            "profile tree exceeds the {MAX_PROFILE_NODES}-node limit"
+        )));
+    }
+    *budget -= 1;
+    let label = r.str()?;
+    let kind = SpanKind::from_code(r.u8()?);
+    let wall_micros = r.u64()?;
+    let tuples_in = r.u64()?;
+    let tuples_out = r.u64()?;
+    let pages_read = r.u64()?;
+    let pages_written = r.u64()?;
+    let spill_bytes = r.u64()?;
+    let network_bytes = r.u64()?;
+    let ops = get_ops(r)?;
+    let n_phases = r.u16()? as usize;
+    let mut phases = Vec::with_capacity(n_phases.min(256));
+    for _ in 0..n_phases {
+        phases.push(r.str()?);
+    }
+    let n_children = r.u16()? as usize;
+    let mut children = Vec::with_capacity(n_children.min(256));
+    for _ in 0..n_children {
+        children.push(get_profile_node(r, depth + 1, budget)?);
+    }
+    Ok(ProfileNode {
+        label,
+        kind,
+        wall_micros,
+        tuples_in,
+        tuples_out,
+        ops,
+        pages_read,
+        pages_written,
+        spill_bytes,
+        network_bytes,
+        phases,
+        children,
+    })
+}
+
+fn put_profile(out: &mut Vec<u8>, profile: &QueryProfile) -> PResult<()> {
+    put_profile_node(out, &profile.root)
+}
+
+fn get_profile(r: &mut Reader<'_>) -> PResult<QueryProfile> {
+    let mut budget = MAX_PROFILE_NODES;
+    let root = get_profile_node(r, 0, &mut budget)?;
+    Ok(QueryProfile { root })
+}
+
+// ---------------------------------------------------------------------
 // Requests
 
 const OP_PING: u8 = 0x01;
@@ -450,6 +570,9 @@ impl Request {
                 }
                 // 0 on the wire means "no explicit deadline".
                 out.extend_from_slice(&q.deadline_ms.unwrap_or(0).to_le_bytes());
+                // Trailing extension (absent in the original revision):
+                // request a query profile with the reply.
+                out.push(u8::from(q.profile));
             }
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
@@ -495,6 +618,9 @@ impl Request {
                     0 => None,
                     ms => Some(ms),
                 };
+                // Original-revision clients stop here; absence of the
+                // trailing profile byte means "no profile".
+                let profile = r.remaining() > 0 && r.u8()? != 0;
                 Request::Divide(DivideRequest {
                     dividend,
                     divisor,
@@ -502,6 +628,7 @@ impl Request {
                     assume_unique,
                     spec,
                     deadline_ms,
+                    profile,
                 })
             }
             OP_STATS => Request::Stats,
@@ -525,6 +652,64 @@ const REPLY_DROPPED: u8 = 0x03;
 const REPLY_DIVIDED: u8 = 0x04;
 const REPLY_STATS: u8 = 0x05;
 const REPLY_SHUTTING_DOWN: u8 = 0x06;
+/// Versioned stats reply: a `u16` field count followed by that many
+/// `u64` counters in the canonical order, then the ops block. Decoders
+/// read the fields they know and skip unknown trailing fields, so the
+/// counter list can grow without another reply code. The unversioned
+/// [`REPLY_STATS`] (exactly 13 counters) is still decoded for replies
+/// from servers that predate the extension.
+const REPLY_STATS_V2: u8 = 0x07;
+
+/// Counters every stats frame must carry (the original 13); a `V2`
+/// frame announcing fewer is corrupt, not merely old.
+const STATS_REQUIRED_FIELDS: usize = 13;
+
+/// The canonical counter order of a stats frame. Append-only: new
+/// counters go at the end so old decoders skip them.
+fn stats_fields(s: &MetricsSnapshot) -> [u64; 15] {
+    [
+        s.queries,
+        s.cache_hits,
+        s.cache_misses,
+        s.rejections,
+        s.shed_shutdown,
+        s.errors,
+        s.timeouts,
+        s.worker_panics,
+        s.io_retries,
+        s.latency_p50_us,
+        s.latency_p95_us,
+        s.latency_p99_us,
+        s.latency_mean_us,
+        s.latency_count,
+        s.profiled_queries,
+    ]
+}
+
+/// Rebuilds a snapshot from wire counters in the canonical order.
+/// Counters beyond the caller's slice default to zero (an old peer that
+/// has never heard of them).
+fn stats_from_fields(vals: &[u64], ops: OpSnapshot) -> MetricsSnapshot {
+    let field = |i: usize| vals.get(i).copied().unwrap_or(0);
+    MetricsSnapshot {
+        queries: field(0),
+        cache_hits: field(1),
+        cache_misses: field(2),
+        rejections: field(3),
+        shed_shutdown: field(4),
+        errors: field(5),
+        timeouts: field(6),
+        worker_panics: field(7),
+        io_retries: field(8),
+        latency_p50_us: field(9),
+        latency_p95_us: field(10),
+        latency_p99_us: field(11),
+        latency_mean_us: field(12),
+        latency_count: field(13),
+        profiled_queries: field(14),
+        ops,
+    }
+}
 
 /// Encodes a response as a frame payload.
 pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
@@ -554,24 +739,23 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
                     put_ops(&mut out, &d.ops);
                     put_schema(&mut out, &d.schema)?;
                     put_tuples(&mut out, &d.schema, &d.tuples)?;
+                    // Trailing extension (absent in the original
+                    // revision): the query profile, when one was taken.
+                    match &d.profile {
+                        None => out.push(0),
+                        Some(profile) => {
+                            out.push(1);
+                            put_profile(&mut out, profile)?;
+                        }
+                    }
                 }
                 Reply::Stats(s) => {
-                    out.push(REPLY_STATS);
-                    for v in [
-                        s.queries,
-                        s.cache_hits,
-                        s.cache_misses,
-                        s.rejections,
-                        s.shed_shutdown,
-                        s.errors,
-                        s.timeouts,
-                        s.worker_panics,
-                        s.io_retries,
-                        s.latency_p50_us,
-                        s.latency_p95_us,
-                        s.latency_p99_us,
-                        s.latency_mean_us,
-                    ] {
+                    out.push(REPLY_STATS_V2);
+                    let fields = stats_fields(s);
+                    let n = u16::try_from(fields.len())
+                        .map_err(|_| perr("stats field count exceeds u16"))?;
+                    out.extend_from_slice(&n.to_le_bytes());
+                    for v in fields {
                         out.extend_from_slice(&v.to_le_bytes());
                     }
                     put_ops(&mut out, &s.ops);
@@ -609,6 +793,17 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                     let ops = get_ops(&mut r)?;
                     let schema = get_schema(&mut r)?;
                     let tuples = get_tuples(&mut r, &schema)?;
+                    // Original-revision servers stop here; absence of
+                    // the trailing profile tag means "no profile".
+                    let profile = if r.remaining() > 0 {
+                        match r.u8()? {
+                            0 => None,
+                            1 => Some(get_profile(&mut r)?),
+                            t => return Err(perr(format!("unknown profile tag {t}"))),
+                        }
+                    } else {
+                        None
+                    };
                     Reply::Divided(DivideReply {
                         algorithm,
                         cached,
@@ -618,30 +813,36 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                         ops,
                         schema,
                         tuples: Arc::new(tuples),
+                        profile,
                     })
                 }
                 REPLY_STATS => {
-                    let mut vals = [0u64; 13];
+                    // Unversioned legacy frame: exactly 13 counters.
+                    // Counters the old peer has never heard of stay 0.
+                    let mut vals = [0u64; STATS_REQUIRED_FIELDS];
                     for v in &mut vals {
                         *v = r.u64()?;
                     }
                     let ops = get_ops(&mut r)?;
-                    Reply::Stats(MetricsSnapshot {
-                        queries: vals[0],
-                        cache_hits: vals[1],
-                        cache_misses: vals[2],
-                        rejections: vals[3],
-                        shed_shutdown: vals[4],
-                        errors: vals[5],
-                        timeouts: vals[6],
-                        worker_panics: vals[7],
-                        io_retries: vals[8],
-                        latency_p50_us: vals[9],
-                        latency_p95_us: vals[10],
-                        latency_p99_us: vals[11],
-                        latency_mean_us: vals[12],
-                        ops,
-                    })
+                    Reply::Stats(stats_from_fields(&vals, ops))
+                }
+                REPLY_STATS_V2 => {
+                    let n = r.u16()? as usize;
+                    if n < STATS_REQUIRED_FIELDS {
+                        return Err(perr(format!(
+                            "stats frame announces {n} counters; at least \
+                             {STATS_REQUIRED_FIELDS} are required"
+                        )));
+                    }
+                    let mut vals = Vec::with_capacity(n.min(64));
+                    for _ in 0..n {
+                        vals.push(r.u64()?);
+                    }
+                    // Counters past the ones we know are a newer peer's
+                    // extensions; they were read (so the ops block lines
+                    // up) and are otherwise ignored.
+                    let ops = get_ops(&mut r)?;
+                    Reply::Stats(stats_from_fields(&vals, ops))
                 }
                 REPLY_SHUTTING_DOWN => Reply::ShuttingDown,
                 t => return Err(perr(format!("unknown reply tag {t:#04x}"))),
@@ -660,6 +861,231 @@ mod tests {
 
     fn schema2() -> Schema {
         Schema::new(vec![Field::int("q"), Field::int("d")])
+    }
+
+    /// A small but fully populated span tree: `depth` levels, two
+    /// children per level, every metric non-zero somewhere.
+    fn sample_profile_node(depth: usize) -> ProfileNode {
+        let children = if depth == 0 {
+            Vec::new()
+        } else {
+            vec![
+                sample_profile_node(depth - 1),
+                sample_profile_node(depth - 1),
+            ]
+        };
+        ProfileNode {
+            label: format!("span at depth {depth}"),
+            kind: if depth == 0 {
+                SpanKind::Scan
+            } else {
+                SpanKind::Query
+            },
+            wall_micros: 100 + depth as u64,
+            tuples_in: 7,
+            tuples_out: 5,
+            ops: OpSnapshot {
+                comparisons: 11,
+                hashes: 13,
+                moves: 17,
+                bitops: 19,
+            },
+            pages_read: 3,
+            pages_written: 2,
+            spill_bytes: 4096,
+            network_bytes: 0,
+            phases: vec!["in-memory".into()],
+            children,
+        }
+    }
+
+    /// A stats reply round-trips through the versioned frame, new
+    /// counters included.
+    #[test]
+    fn stats_reply_round_trips_with_new_counters() {
+        let snapshot = MetricsSnapshot {
+            queries: 9,
+            cache_hits: 2,
+            cache_misses: 7,
+            rejections: 0,
+            shed_shutdown: 0,
+            errors: 1,
+            timeouts: 0,
+            worker_panics: 0,
+            io_retries: 3,
+            latency_p50_us: 50,
+            latency_p95_us: 95,
+            latency_p99_us: 99,
+            latency_mean_us: 60,
+            latency_count: 9,
+            profiled_queries: 4,
+            ops: OpSnapshot {
+                comparisons: 1,
+                hashes: 2,
+                moves: 3,
+                bitops: 4,
+            },
+        };
+        let bytes = encode_response(&Ok(Reply::Stats(snapshot))).unwrap();
+        assert_eq!(
+            bytes[1], REPLY_STATS_V2,
+            "encoder emits the versioned frame"
+        );
+        match decode_response(&bytes).unwrap().unwrap() {
+            Reply::Stats(decoded) => assert_eq!(decoded, snapshot),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    /// A frame from a server that predates the versioned stats reply —
+    /// the unversioned tag and exactly 13 counters — still decodes; the
+    /// counters the old server has never heard of read as zero.
+    #[test]
+    fn legacy_stats_frame_decodes_with_new_counters_zero() {
+        let mut frame = vec![STATUS_OK, REPLY_STATS];
+        for v in 1..=13u64 {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        put_ops(&mut frame, &OpSnapshot::default());
+        match decode_response(&frame).unwrap().unwrap() {
+            Reply::Stats(s) => {
+                assert_eq!(s.queries, 1);
+                assert_eq!(s.latency_mean_us, 13);
+                assert_eq!(s.latency_count, 0, "unknown to the old server");
+                assert_eq!(s.profiled_queries, 0, "unknown to the old server");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    /// A versioned frame from a *newer* server that has grown counters
+    /// we do not know decodes cleanly: the known prefix is read, the
+    /// extras are skipped, and the ops block still lines up.
+    #[test]
+    fn future_stats_frame_with_extra_counters_decodes() {
+        let mut frame = vec![STATUS_OK, REPLY_STATS_V2];
+        frame.extend_from_slice(&20u16.to_le_bytes());
+        for v in 1..=20u64 {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        let ops = OpSnapshot {
+            comparisons: 40,
+            hashes: 41,
+            moves: 42,
+            bitops: 43,
+        };
+        put_ops(&mut frame, &ops);
+        match decode_response(&frame).unwrap().unwrap() {
+            Reply::Stats(s) => {
+                assert_eq!(s.queries, 1);
+                assert_eq!(s.latency_count, 14);
+                assert_eq!(s.profiled_queries, 15);
+                assert_eq!(s.ops, ops, "ops block read after skipping extras");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    /// A versioned frame announcing fewer than the 13 required counters
+    /// is a typed protocol error, not a short read or a misparse.
+    #[test]
+    fn short_stats_frame_is_a_typed_protocol_error() {
+        let mut frame = vec![STATUS_OK, REPLY_STATS_V2];
+        frame.extend_from_slice(&12u16.to_le_bytes());
+        for v in 1..=12u64 {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        put_ops(&mut frame, &OpSnapshot::default());
+        match decode_response(&frame) {
+            Err(ServiceError::Protocol(msg)) => {
+                assert!(msg.contains("12"), "names the bad count: {msg}");
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+
+    /// Divide requests and replies without the trailing profile bytes —
+    /// what original-revision peers send — still decode.
+    #[test]
+    fn profile_extension_is_optional_on_the_wire() {
+        // A request frame cut exactly before the trailing profile byte.
+        let req = Request::Divide(DivideRequest {
+            dividend: "r".into(),
+            divisor: "s".into(),
+            algorithm: None,
+            assume_unique: false,
+            spec: None,
+            deadline_ms: None,
+            profile: true,
+        });
+        let bytes = req.encode().unwrap();
+        match Request::decode(&bytes[..bytes.len() - 1]).unwrap() {
+            Request::Divide(q) => assert!(!q.profile, "absent byte decodes as false"),
+            other => panic!("expected divide, got {other:?}"),
+        }
+        // A reply frame cut exactly before the trailing profile tag.
+        let reply = Ok(Reply::Divided(DivideReply {
+            algorithm: Algorithm::Naive,
+            cached: false,
+            dividend_version: 1,
+            divisor_version: 1,
+            micros: 10,
+            ops: OpSnapshot::default(),
+            schema: schema2(),
+            tuples: Arc::new(vec![ints(&[1, 2])]),
+            profile: None,
+        }));
+        let bytes = encode_response(&reply).unwrap();
+        match decode_response(&bytes[..bytes.len() - 1]).unwrap().unwrap() {
+            Reply::Divided(d) => assert_eq!(d.profile, None),
+            other => panic!("expected divided, got {other:?}"),
+        }
+    }
+
+    /// Hostile profile payloads hit the typed depth and node limits
+    /// instead of recursing or allocating without bound.
+    #[test]
+    fn profile_limits_are_enforced() {
+        // Depth: a chain one deeper than the limit.
+        let mut node = ProfileNode {
+            children: Vec::new(),
+            ..sample_profile_node(0)
+        };
+        for _ in 0..=MAX_PROFILE_DEPTH {
+            node = ProfileNode {
+                children: vec![node],
+                ..sample_profile_node(0)
+            };
+        }
+        let mut out = Vec::new();
+        put_profile_node(&mut out, &node).unwrap();
+        let mut r = Reader::new(&out);
+        match get_profile(&mut r) {
+            Err(ServiceError::Protocol(msg)) => assert!(msg.contains("depth")),
+            other => panic!("expected a depth error, got {other:?}"),
+        }
+
+        // Node count: a star two levels deep that exceeds the budget.
+        let leaf = ProfileNode {
+            children: Vec::new(),
+            ..sample_profile_node(0)
+        };
+        let arm = ProfileNode {
+            children: vec![leaf.clone(); 600],
+            ..sample_profile_node(0)
+        };
+        let wide = ProfileNode {
+            children: vec![arm; 200],
+            ..sample_profile_node(0)
+        };
+        assert!(wide.node_count() > MAX_PROFILE_NODES);
+        let mut out = Vec::new();
+        put_profile_node(&mut out, &wide).unwrap();
+        let mut r = Reader::new(&out);
+        match get_profile(&mut r) {
+            Err(ServiceError::Protocol(msg)) => assert!(msg.contains("node")),
+            other => panic!("expected a node-limit error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -689,6 +1115,7 @@ mod tests {
                 assume_unique: true,
                 spec: Some((vec![1], vec![0])),
                 deadline_ms: Some(2_500),
+                profile: true,
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -697,6 +1124,7 @@ mod tests {
                 assume_unique: false,
                 spec: None,
                 deadline_ms: None,
+                profile: false,
             }),
             Request::Stats,
             Request::Shutdown,
@@ -729,6 +1157,9 @@ mod tests {
                 },
                 schema: Schema::new(vec![Field::int("q")]),
                 tuples: Arc::new(vec![ints(&[7]), ints(&[9])]),
+                profile: Some(QueryProfile {
+                    root: sample_profile_node(2),
+                }),
             })),
             Ok(Reply::Stats(MetricsSnapshot {
                 queries: 10,
@@ -744,6 +1175,8 @@ mod tests {
                 latency_p95_us: 200,
                 latency_p99_us: 300,
                 latency_mean_us: 120,
+                latency_count: 10,
+                profiled_queries: 3,
                 ops: OpSnapshot::default(),
             })),
             Ok(Reply::ShuttingDown),
@@ -847,6 +1280,7 @@ mod tests {
                 assume_unique: false,
                 spec: Some((vec![1], vec![0])),
                 deadline_ms: Some(100),
+                profile: true,
             })
             .encode()
             .unwrap(),
@@ -872,6 +1306,9 @@ mod tests {
             ops: OpSnapshot::default(),
             schema: schema2(),
             tuples: Arc::new(vec![ints(&[5, 6])]),
+            profile: Some(QueryProfile {
+                root: sample_profile_node(3),
+            }),
         })))
         .unwrap();
         for cut in 0..resp.len() {

@@ -166,6 +166,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 assume_unique: q.assume_unique,
                 spec: q.spec,
                 deadline: q.deadline_ms.map(std::time::Duration::from_millis),
+                profile: q.profile,
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::Divided(DivideReply {
@@ -177,6 +178,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                     ops: r.ops,
                     schema: r.schema,
                     tuples: r.tuples,
+                    profile: r.profile,
                 })
             })
         }

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use reldiv_core::api::validate_algorithm_for_inputs;
-use reldiv_core::{Algorithm, DivisionSpec};
+use reldiv_core::{Algorithm, DivisionSpec, QueryProfile};
 use reldiv_rel::counters::OpSnapshot;
 use reldiv_rel::{Relation, Schema, Tuple};
 use reldiv_storage::manager::StorageConfig;
@@ -98,6 +98,10 @@ pub struct QueryOptions {
     /// is cancelled cooperatively once it elapses and the query fails
     /// with [`ServiceError::DeadlineExceeded`].
     pub deadline: Option<Duration>,
+    /// Profile the query (`EXPLAIN ANALYZE`): the worker attaches a
+    /// per-operator span tree to [`QueryResponse::profile`]. Cache hits
+    /// execute nothing and therefore carry no profile.
+    pub profile: bool,
 }
 
 /// A served quotient with its provenance.
@@ -117,8 +121,14 @@ pub struct QueryResponse {
     pub divisor_version: u64,
     /// Abstract operations this execution performed (zero when cached).
     pub ops: OpSnapshot,
-    /// End-to-end latency in microseconds.
+    /// End-to-end latency in microseconds: admission through reply,
+    /// queue wait included. Stamped exactly once by [`Service::divide`]
+    /// — the same value it records into the latency histogram, so the
+    /// histogram and the responses can never disagree.
     pub micros: u64,
+    /// The per-operator span tree, when the query asked for one and the
+    /// quotient was actually computed (cache hits execute nothing).
+    pub profile: Option<QueryProfile>,
 }
 
 /// The embeddable division query service.
@@ -215,11 +225,21 @@ impl Service {
     ) -> Result<QueryResponse> {
         let start = Instant::now();
         match self.divide_inner(dividend, divisor, options, start) {
-            Ok(response) => {
+            Ok(mut response) => {
+                // End-to-end latency is defined *here*, once: admission
+                // through reply, queue wait included. The same value is
+                // stamped on the response and recorded in the histogram —
+                // workers and the cache path deliberately do not record
+                // latency, so each query contributes exactly one sample.
+                let micros = start.elapsed().as_micros() as u64;
+                response.micros = micros;
                 self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-                self.metrics
-                    .latency
-                    .record(start.elapsed().as_micros() as u64);
+                self.metrics.latency.record(micros);
+                if response.profile.is_some() {
+                    self.metrics
+                        .profiled_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(response)
             }
             Err(e) => {
@@ -287,7 +307,9 @@ impl Service {
                 dividend_version: dividend.version,
                 divisor_version: divisor.version,
                 ops: OpSnapshot::default(),
-                micros: start.elapsed().as_micros() as u64,
+                // Placeholder: `divide` stamps the end-to-end latency.
+                micros: 0,
+                profile: None,
             });
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -300,7 +322,7 @@ impl Service {
             algorithm,
             assume_unique: options.assume_unique,
             deadline,
-            submitted: start,
+            profile: options.profile,
             reply: reply_tx,
         };
         {

@@ -53,7 +53,7 @@ pub(crate) struct QueryJob {
     pub algorithm: Algorithm,
     pub assume_unique: bool,
     pub deadline: Option<Instant>,
-    pub submitted: Instant,
+    pub profile: bool,
     pub reply: Sender<Result<QueryResponse>>,
 }
 
@@ -152,14 +152,27 @@ impl WorkerState {
         // one request's counts never bleed into the next measurement. The
         // delta lands in the shared accumulator even on error.
         let scope = OpScope::with_sink(&metrics.ops);
-        let quotient = api::divide(
-            &self.storage,
-            &dividend,
-            &divisor,
-            &job.spec,
-            job.algorithm,
-            &config,
-        );
+        let outcome = if job.profile {
+            api::divide_profiled(
+                &self.storage,
+                &dividend,
+                &divisor,
+                &job.spec,
+                job.algorithm,
+                &config,
+            )
+            .map(|(quotient, _report, profile)| (quotient, Some(profile)))
+        } else {
+            api::divide(
+                &self.storage,
+                &dividend,
+                &divisor,
+                &job.spec,
+                job.algorithm,
+                &config,
+            )
+            .map(|quotient| (quotient, None))
+        };
         let ops = scope.finish();
         let retries_after = {
             let s = self.storage.borrow().buffer_stats();
@@ -169,7 +182,7 @@ impl WorkerState {
             retries_after.saturating_sub(retries_before),
             Ordering::Relaxed,
         );
-        let quotient = quotient?;
+        let (quotient, profile) = outcome?;
         Ok(QueryResponse {
             schema: quotient.schema().clone(),
             tuples: Arc::new(quotient.into_tuples()),
@@ -178,7 +191,12 @@ impl WorkerState {
             dividend_version: job.dividend.version,
             divisor_version: job.divisor.version,
             ops,
-            micros: job.submitted.elapsed().as_micros() as u64,
+            // Placeholder: the front end stamps the queue-inclusive
+            // end-to-end latency once, in `Service::divide` — a worker
+            // clock would stop before the reply-channel hop and disagree
+            // with the histogram.
+            micros: 0,
+            profile,
         })
     }
 }

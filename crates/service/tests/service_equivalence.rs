@@ -50,6 +50,7 @@ fn check_all_columns(client: &mut impl DivisionClient) {
             assume_unique: false,
             spec: None,
             deadline_ms: None,
+            profile: false,
         };
         let served = client.divide(&request).unwrap();
         let direct = divide_relations(&dividend, &divisor, algorithm).unwrap();
@@ -111,6 +112,7 @@ fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
         assume_unique: false,
         spec: None,
         deadline_ms: None,
+        profile: false,
     };
     let first = client.divide(&auto).unwrap();
     assert!(!first.cached);
@@ -137,6 +139,7 @@ fn errors_travel_over_tcp() {
         assume_unique: false,
         spec: None,
         deadline_ms: None,
+        profile: false,
     };
     assert!(matches!(
         client.divide(&request),

@@ -96,6 +96,7 @@ proptest! {
                         assume_unique: false,
                         spec: None,
                         deadline_ms: None,
+                        profile: false,
                     }).unwrap();
                     let expected = brute_force_divide(
                         &model_dividend,

@@ -113,6 +113,26 @@ pub struct BufferStats {
     pub write_retries: u64,
 }
 
+impl BufferStats {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Attributes buffer activity to a region of execution: capture
+    /// `stats()` before and after, then `after.since(&before)`. The
+    /// `peak_bytes` high-water mark is not a counter and is carried over
+    /// from `self` unchanged.
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            peak_bytes: self.peak_bytes,
+            read_retries: self.read_retries.saturating_sub(earlier.read_retries),
+            write_retries: self.write_retries.saturating_sub(earlier.write_retries),
+        }
+    }
+}
+
 struct Frame {
     pid: PageId,
     data: Box<[u8]>,

@@ -77,10 +77,13 @@ pub use reldiv_rel as rel;
 pub use reldiv_storage as storage;
 pub use reldiv_workload as workload;
 
-pub use reldiv_core::api::{divide, divide_relations, DivisionConfig, OverflowPolicy, Source};
+pub use reldiv_core::api::{
+    divide, divide_profiled, divide_relations, DivisionConfig, OverflowPolicy, Source,
+};
 pub use reldiv_core::mem;
 pub use reldiv_core::Contains;
 pub use reldiv_core::{Algorithm, DivisionSpec, HashDivision, HashDivisionMode};
+pub use reldiv_core::{ProfileNode, QueryProfile};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,156 @@
+//! Profile-correctness suite: the `EXPLAIN ANALYZE` span trees must
+//! *agree with independent instruments*, not merely exist.
+//!
+//! For every algorithm column of the paper's tables, over file-backed
+//! inputs on a paper-sized (small) buffer pool:
+//!
+//! * the root span's physical page reads/writes equal the buffer
+//!   manager's own miss/writeback deltas **exactly** — the profiler and
+//!   [`BufferStats`](reldiv::storage::buffer::BufferStats) are two views
+//!   of the same events;
+//! * the root span's abstract-operation counts equal the thread-local
+//!   counter deltas around the call;
+//! * wall time is consistent: children never (modulo timer granularity)
+//!   sum past their parent, recursively, and the root never exceeds the
+//!   externally clocked elapsed time;
+//! * the profiled quotient is the same relation the unprofiled path
+//!   computes, and disabling profiling really builds the bare plan
+//!   (`profile: None` adds zero spans — checked via a fresh sink).
+
+use std::time::Instant;
+
+use reldiv::exec::scan::load_relation;
+use reldiv::rel::counters;
+use reldiv::rel::schema::Field;
+use reldiv::rel::tuple::ints;
+use reldiv::rel::{Relation, Schema};
+use reldiv::storage::manager::StorageConfig;
+use reldiv::storage::StorageManager;
+use reldiv::{divide_profiled, DivisionConfig, DivisionSpec, ProfileNode, Source};
+use reldiv::{divide_relations, Algorithm};
+
+fn workload() -> (Relation, Relation) {
+    let mut rows = Vec::new();
+    for q in 0..80i64 {
+        for d in 0..=(q % 13) {
+            rows.push(ints(&[q, d]));
+        }
+        rows.push(ints(&[q, 900 + q])); // noise column value
+    }
+    let dividend =
+        Relation::from_tuples(Schema::new(vec![Field::int("q"), Field::int("d")]), rows).unwrap();
+    let divisor = Relation::from_tuples(
+        Schema::new(vec![Field::int("d")]),
+        (0..9i64).map(|d| ints(&[d])).collect(),
+    )
+    .unwrap();
+    (dividend, divisor)
+}
+
+/// Children must not (beyond timer slack) outlast their parent, at every
+/// level of the tree.
+fn assert_wall_nesting(node: &ProfileNode, slack_micros: u64) {
+    let child_sum: u64 = node.children.iter().map(|c| c.wall_micros).sum();
+    assert!(
+        child_sum <= node.wall_micros + slack_micros,
+        "span {:?}: children sum to {child_sum}us, parent is {}us",
+        node.label,
+        node.wall_micros
+    );
+    for child in &node.children {
+        assert_wall_nesting(child, slack_micros);
+    }
+}
+
+#[test]
+fn profiled_io_matches_buffer_stats_exactly_for_every_algorithm() {
+    let (dividend, divisor) = workload();
+    for algorithm in Algorithm::table_columns() {
+        // A small pool so sorts and hash tables do real page I/O.
+        let storage = StorageManager::shared(StorageConfig::paper());
+        let dividend_file = load_relation(&storage, &dividend).unwrap();
+        let divisor_file = load_relation(&storage, &divisor).unwrap();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+
+        let before_io = storage.borrow().buffer_stats();
+        let before_ops = counters::snapshot();
+        let clock = Instant::now();
+        let (quotient, _report, profile) = divide_profiled(
+            &storage,
+            &Source::from_file(dividend_file, dividend.schema().clone()),
+            &Source::from_file(divisor_file, divisor.schema().clone()),
+            &spec,
+            algorithm,
+            &DivisionConfig::default(),
+        )
+        .unwrap();
+        let elapsed = clock.elapsed().as_micros() as u64;
+        let ops_delta = counters::snapshot().since(&before_ops);
+        let io_delta = storage.borrow().buffer_stats().since(&before_io);
+
+        let root = &profile.root;
+        // The instrument check: profiler page counts ARE the buffer
+        // manager's miss/writeback deltas, to the page.
+        assert_eq!(
+            root.pages_read, io_delta.misses,
+            "{algorithm:?}: profiled reads vs buffer misses"
+        );
+        assert_eq!(
+            root.pages_written, io_delta.writebacks,
+            "{algorithm:?}: profiled writes vs buffer writebacks"
+        );
+        // The root span opens after spec validation and closes after the
+        // quotient is materialized; nothing else runs on this thread, so
+        // the abstract-operation deltas agree exactly too.
+        assert_eq!(root.ops, ops_delta, "{algorithm:?}: profiled ops");
+
+        // Wall-clock consistency, recursively.
+        assert!(root.wall_micros <= elapsed, "{algorithm:?}");
+        assert_wall_nesting(root, 1_000);
+
+        // The profiled plan computes the same quotient.
+        let direct = divide_relations(&dividend, &divisor, algorithm).unwrap();
+        let mut got: Vec<i64> = quotient
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        let mut want: Vec<i64> = direct
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "{algorithm:?}: profiled quotient differs");
+
+        // The tree is substantial: root plus the plan's operators.
+        assert!(
+            root.node_count() >= 3,
+            "{algorithm:?}: only {} spans",
+            root.node_count()
+        );
+    }
+}
+
+/// `profile: None` must build exactly the unprofiled plan: a sink that
+/// is never installed sees zero spans, and the plan still answers.
+#[test]
+fn disabled_profiling_creates_no_spans() {
+    let (dividend, divisor) = workload();
+    let storage = StorageManager::shared(StorageConfig::paper());
+    let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+    let sink = reldiv::core::ProfileSink::new();
+    let config = DivisionConfig::default();
+    assert!(config.profile.is_none(), "profiling is opt-in");
+    reldiv::divide(
+        &storage,
+        &Source::from_relation(&dividend),
+        &Source::from_relation(&divisor),
+        &spec,
+        Algorithm::Naive,
+        &config,
+    )
+    .unwrap();
+    assert_eq!(sink.span_count(), 0, "no span leaked into an unused sink");
+}
