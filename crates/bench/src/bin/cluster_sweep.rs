@@ -1,0 +1,379 @@
+//! `cluster-sweep` — the distributed-division scaling curve
+//! (`BENCH_cluster.json`).
+//!
+//! For each workload cell and node count it runs both Section 6
+//! strategies through a real TCP cluster ([`LocalCluster`]: every node a
+//! full storage+exec+service stack on loopback), with and without
+//! bit-vector filtering, and records:
+//!
+//! * **cold** and **warm** query latency (the first query ships the
+//!   divisor replica / repartition temps; repeats hit the coordinator's
+//!   placement caches),
+//! * **bytes and messages on the wire**, per variant, so the report can
+//!   price the traffic the paper's Section 6 reasons about,
+//! * the **bytes-shipped reduction** bit-vector filtering buys on the
+//!   divisor-partitioning path, and
+//! * **speedup vs node count**, normalized to the 1-node cluster (same
+//!   wire stack, no parallelism) and anchored against the in-process
+//!   single-node divide.
+//!
+//! Every cluster reply is verified against a brute-force oracle; any
+//! mismatch fails the run.
+//!
+//! ```text
+//! cluster-sweep [--reps N] [--seed N] [--out PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid to seconds for CI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use reldiv_cluster::{ClusterQueryOptions, LocalCluster, Strategy};
+use reldiv_rel::Tuple;
+use reldiv_workload::{brute_force_divide, WorkloadSpec};
+
+struct Args {
+    reps: u32,
+    seed: u64,
+    out: String,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cluster-sweep [--reps N] [--seed N] [--out PATH] [--smoke]\n\
+         defaults: --reps 3 --seed 1989 --out BENCH_cluster.json"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        reps: 3,
+        seed: 1989,
+        out: "BENCH_cluster.json".into(),
+        smoke: false,
+    };
+    let mut args = std::env::args();
+    args.next();
+    while let Some(arg) = args.next() {
+        let mut next = || -> String {
+            match args.next() {
+                Some(v) => v,
+                None => usage(),
+            }
+        };
+        match arg.as_str() {
+            "--reps" => parsed.reps = next().parse().unwrap_or_else(|_| usage()),
+            "--seed" => parsed.seed = next().parse().unwrap_or_else(|_| usage()),
+            "--out" => parsed.out = next(),
+            "--smoke" => parsed.smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if parsed.reps == 0 {
+        parsed.reps = 1;
+    }
+    parsed
+}
+
+fn canon(tuples: &[Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = tuples.iter().map(|t| format!("{t:?}")).collect();
+    out.sort();
+    out
+}
+
+struct Variant {
+    label: &'static str,
+    strategy: Strategy,
+    filter_bits: Option<usize>,
+}
+
+struct Row {
+    nodes: usize,
+    variant: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_bytes: u64,
+    warm_bytes: u64,
+    messages: u64,
+    filtered_tuples: u64,
+    filter_fill: Option<f64>,
+}
+
+struct CellReport {
+    divisor_size: u64,
+    quotient_size: u64,
+    dividend_tuples: usize,
+    filter_bits: usize,
+    single_node_ms: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = parse_args();
+    let node_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let cells: &[(u64, u64)] = if args.smoke {
+        &[(4, 10)]
+    } else {
+        // Three Table 4 cells plus one large enough that per-node
+        // division work dominates the constant wire overhead — the cell
+        // where the GAMMA speedup story is visible.
+        &[(25, 100), (100, 100), (100, 400), (100, 1600)]
+    };
+    // Size the filter to the divisor: ~2-3% fill keeps false positives
+    // negligible while the filter itself stays small enough to ship to
+    // every node without eating its own savings.
+    let bits_for = |s: u64| ((s as usize) * 40).next_power_of_two().max(1024);
+    let mut reports = Vec::new();
+    for &(s, q) in cells {
+        let bits = bits_for(s);
+        let variants = [
+            Variant {
+                label: "quotient",
+                strategy: Strategy::QuotientPartitioning,
+                filter_bits: None,
+            },
+            Variant {
+                label: "divisor",
+                strategy: Strategy::DivisorPartitioning,
+                filter_bits: None,
+            },
+            Variant {
+                label: "divisor_filtered",
+                strategy: Strategy::DivisorPartitioning,
+                filter_bits: Some(bits),
+            },
+        ];
+        let w = WorkloadSpec {
+            divisor_size: s,
+            quotient_size: q,
+            incomplete_groups: q / 4,
+            incomplete_fill: 0.5,
+            // Noise tuples reference divisor values outside the divisor —
+            // exactly what the bit-vector filter exists to keep off the
+            // wire.
+            noise_per_group: 20,
+            ..WorkloadSpec::default()
+        }
+        .generate(args.seed ^ (s * 1000 + q));
+        let expected = canon(&brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]));
+
+        // In-process single-node anchor: the same division with no wire.
+        let mut single_node_ms = f64::MAX;
+        for _ in 0..args.reps {
+            let t = Instant::now();
+            std::hint::black_box(brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]));
+            single_node_ms = single_node_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let mut rows = Vec::new();
+        for &nodes in node_counts {
+            for variant in &variants {
+                // A fresh cluster per variant: placement caches must not
+                // leak between measurements.
+                let cluster = LocalCluster::start(nodes).expect("start nodes");
+                let mut coord = cluster.coordinator(None).expect("connect");
+                coord.register("r", &w.dividend, &[0]).expect("register r");
+                coord.register("s", &w.divisor, &[0]).expect("register s");
+                let options = ClusterQueryOptions {
+                    strategy: variant.strategy,
+                    bit_vector_bits: variant.filter_bits,
+                    spec: None,
+                    profile: false,
+                };
+                let mut cold_ms = 0.0;
+                let mut cold_bytes = 0;
+                let mut messages = 0;
+                let mut filtered_tuples = 0;
+                let mut filter_fill = None;
+                let mut warm_ms = f64::MAX;
+                let mut warm_bytes = u64::MAX;
+                for rep in 0..args.reps.max(2) {
+                    let response = coord.divide("r", "s", &options).expect("divide");
+                    assert_eq!(
+                        canon(&response.tuples),
+                        expected,
+                        "cluster reply diverged from the oracle \
+                         (|S|={s}, |Q|={q}, {} nodes, {})",
+                        nodes,
+                        variant.label
+                    );
+                    let ms = response.report.elapsed.as_secs_f64() * 1e3;
+                    if rep == 0 {
+                        cold_ms = ms;
+                        cold_bytes = response.report.bytes;
+                        messages = response.report.messages;
+                        filtered_tuples = response.report.filtered_tuples;
+                        filter_fill = response.report.filter_fill_ratio;
+                    } else {
+                        warm_ms = warm_ms.min(ms);
+                        warm_bytes = warm_bytes.min(response.report.bytes);
+                    }
+                }
+                rows.push(Row {
+                    nodes,
+                    variant: variant.label,
+                    cold_ms,
+                    warm_ms,
+                    cold_bytes,
+                    warm_bytes,
+                    messages,
+                    filtered_tuples,
+                    filter_fill,
+                });
+                eprintln!(
+                    "|S|={s} |Q|={q} nodes={nodes} {:<16} cold {:8.2} ms  warm {:8.2} ms  \
+                     {:>9} B shipped cold ({} tuples filtered)",
+                    variant.label, cold_ms, warm_ms, cold_bytes, filtered_tuples
+                );
+            }
+        }
+        reports.push(CellReport {
+            divisor_size: s,
+            quotient_size: q,
+            dividend_tuples: w.dividend.tuples().len(),
+            filter_bits: bits,
+            single_node_ms,
+            rows,
+        });
+    }
+
+    // Headline numbers: filtering's bytes reduction (cold runs, every
+    // node count) and the best *cold* speedup vs the 1-node cluster —
+    // cold is where the parallel division work actually happens; warm
+    // runs measure the placement caches, not the machine.
+    let mut reductions = Vec::new();
+    let mut best_speedup = (0.0f64, 0usize);
+    for cell in &reports {
+        for &n in node_counts {
+            let plain = cell
+                .rows
+                .iter()
+                .find(|r| r.nodes == n && r.variant == "divisor");
+            let filtered = cell
+                .rows
+                .iter()
+                .find(|r| r.nodes == n && r.variant == "divisor_filtered");
+            if let (Some(p), Some(f)) = (plain, filtered) {
+                if p.cold_bytes > 0 {
+                    reductions.push(
+                        (p.cold_bytes as f64 - f.cold_bytes as f64) / p.cold_bytes as f64 * 100.0,
+                    );
+                }
+            }
+        }
+        for variant in ["quotient", "divisor"] {
+            let one = cell
+                .rows
+                .iter()
+                .find(|r| r.nodes == 1 && r.variant == variant);
+            for row in cell.rows.iter().filter(|r| r.variant == variant) {
+                if let Some(one) = one {
+                    let speedup = one.cold_ms / row.cold_ms.max(1e-9);
+                    if speedup > best_speedup.0 {
+                        best_speedup = (speedup, row.nodes);
+                    }
+                }
+            }
+        }
+    }
+    let mean_reduction = if reductions.is_empty() {
+        0.0
+    } else {
+        reductions.iter().sum::<f64>() / reductions.len() as f64
+    };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    // The speedup curve is bounded by physical parallelism: N node
+    // processes on fewer cores time-slice one machine, so readers need
+    // the host's core count to interpret it.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_cpus\": {cpus},");
+    let _ = writeln!(
+        json,
+        "  \"node_counts\": [{}],",
+        node_counts
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"mean_filter_bytes_reduction_pct\": {mean_reduction:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"best_cold_speedup\": {{\"speedup\": {:.3}, \"nodes\": {}}},",
+        best_speedup.0, best_speedup.1
+    );
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, cell) in reports.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"divisor_size\": {},", cell.divisor_size);
+        let _ = writeln!(json, "      \"quotient_size\": {},", cell.quotient_size);
+        let _ = writeln!(json, "      \"dividend_tuples\": {},", cell.dividend_tuples);
+        let _ = writeln!(json, "      \"filter_bits\": {},", cell.filter_bits);
+        let _ = writeln!(
+            json,
+            "      \"single_node_ms\": {:.4},",
+            cell.single_node_ms
+        );
+        let _ = writeln!(json, "      \"rows\": [");
+        for (j, row) in cell.rows.iter().enumerate() {
+            let one_node = cell
+                .rows
+                .iter()
+                .find(|r| r.nodes == 1 && r.variant == row.variant);
+            let _ = write!(
+                json,
+                "        {{\"nodes\": {}, \"variant\": \"{}\", \"cold_ms\": {:.4}, \
+                 \"warm_ms\": {:.4}, \"cold_bytes\": {}, \"warm_bytes\": {}, \
+                 \"messages\": {}, \"filtered_tuples\": {}, \"filter_fill\": {}, \
+                 \"cold_speedup_vs_one_node\": {:.3}, \"warm_speedup_vs_one_node\": {:.3}}}",
+                row.nodes,
+                row.variant,
+                row.cold_ms,
+                row.warm_ms,
+                row.cold_bytes,
+                row.warm_bytes,
+                row.messages,
+                row.filtered_tuples,
+                row.filter_fill
+                    .map_or("null".to_string(), |f| format!("{f:.4}")),
+                one_node.map_or(row.cold_ms, |r| r.cold_ms) / row.cold_ms.max(1e-9),
+                one_node.map_or(row.warm_ms, |r| r.warm_ms) / row.warm_ms.max(1e-9),
+            );
+            let _ = writeln!(json, "{}", if j + 1 < cell.rows.len() { "," } else { "" });
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < reports.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write report");
+    println!(
+        "cluster-sweep: wrote {} ({} cells × {} node counts × 3 variants); \
+         mean filter reduction {mean_reduction:.1}% of bytes shipped, \
+         best cold speedup {:.2}x at {} nodes",
+        args.out,
+        reports.len(),
+        node_counts.len(),
+        best_speedup.0,
+        best_speedup.1
+    );
+}

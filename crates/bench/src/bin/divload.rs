@@ -16,6 +16,16 @@
 //! Prints throughput, latency percentiles, cache hit rate, rejection
 //! count, and the verification tally; exits non-zero on any incorrect
 //! quotient.
+//!
+//! **Cluster mode** drives a shared-nothing deployment instead of the
+//! embedded service: `--cluster N` spawns N in-process TCP nodes, or
+//! `--node HOST:PORT` (repeatable) connects to already-running
+//! `reldiv-serve` processes. Queries go through the distributed
+//! coordinator with `--strategy quotient|divisor|both` and optional
+//! `--filter-bits N` bit-vector filtering; every reply is verified
+//! against a brute-force oracle and per-link wire traffic is reported.
+//! `--shutdown-nodes` sends each external node a clean shutdown at the
+//! end (the CI smoke job's teardown).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -52,6 +62,13 @@ const ALGORITHMS: [Algorithm; 5] = [
     },
 ];
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StrategyChoice {
+    Quotient,
+    Divisor,
+    Both,
+}
+
 struct Args {
     queries: u64,
     clients: usize,
@@ -63,6 +80,11 @@ struct Args {
     fault_rate: f64,
     deadline_ms: Option<u64>,
     profile: bool,
+    cluster: usize,
+    nodes: Vec<String>,
+    strategy: StrategyChoice,
+    filter_bits: Option<usize>,
+    shutdown_nodes: bool,
 }
 
 impl Default for Args {
@@ -78,6 +100,11 @@ impl Default for Args {
             fault_rate: 0.0,
             deadline_ms: None,
             profile: false,
+            cluster: 0,
+            nodes: Vec::new(),
+            strategy: StrategyChoice::Both,
+            filter_bits: None,
+            shutdown_nodes: false,
         }
     }
 }
@@ -87,9 +114,15 @@ fn usage() -> ! {
         "usage: divload [--queries N] [--clients N] [--workers N] [--queue N] \
          [--cache N] [--update-every N] [--seed N] [--fault-rate P] [--deadline-ms MS] \
          [--profile]\n\
+         cluster mode: [--cluster N | --node HOST:PORT ...] [--strategy quotient|divisor|both] \
+         [--filter-bits N] [--shutdown-nodes]\n\
          --fault-rate P injects transient disk faults with probability P per transfer\n\
          --deadline-ms MS applies a per-query deadline\n\
-         --profile requests EXPLAIN ANALYZE span trees and prints one at the end"
+         --profile requests EXPLAIN ANALYZE span trees and prints one at the end\n\
+         --cluster N spawns N in-process TCP nodes and divides through the coordinator\n\
+         --node HOST:PORT uses an already-running node server (repeat per node)\n\
+         --filter-bits N applies bit-vector filtering before tuples are shipped\n\
+         --shutdown-nodes sends every node a clean shutdown when the run ends"
     );
     std::process::exit(2);
 }
@@ -129,6 +162,25 @@ fn parse_args() -> Args {
             }
             "--deadline-ms" => parsed.deadline_ms = Some(next("--deadline-ms")),
             "--profile" => parsed.profile = true,
+            "--cluster" => parsed.cluster = next("--cluster") as usize,
+            "--node" => {
+                let Some(addr) = args.next() else { usage() };
+                parsed.nodes.push(addr);
+            }
+            "--strategy" => {
+                let Some(value) = args.next() else { usage() };
+                parsed.strategy = match value.as_str() {
+                    "quotient" => StrategyChoice::Quotient,
+                    "divisor" => StrategyChoice::Divisor,
+                    "both" => StrategyChoice::Both,
+                    other => {
+                        eprintln!("bad value for --strategy: {other:?}");
+                        usage();
+                    }
+                };
+            }
+            "--filter-bits" => parsed.filter_bits = Some(next("--filter-bits") as usize),
+            "--shutdown-nodes" => parsed.shutdown_nodes = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -226,6 +278,200 @@ fn canonical_bytes(codec: &RecordCodec, tuples: &[Tuple]) -> Vec<Vec<u8>> {
     records
 }
 
+/// Drives an N-node cluster through the distributed coordinator: the
+/// same closed-loop verify-everything discipline as the in-process run,
+/// but with relations sharded across TCP nodes, catalog updates going
+/// through `register`, and wire traffic accounted per link.
+fn run_cluster(args: &Args) -> ExitCode {
+    use reldiv_cluster::{ClusterQueryOptions, Coordinator, LocalCluster, Strategy};
+
+    // Spawn local nodes or resolve external ones; either way the
+    // coordinator only ever speaks TCP frames to them.
+    let local;
+    let mut coordinator = if args.nodes.is_empty() {
+        local = match LocalCluster::start_with(args.cluster, |_| ServiceConfig {
+            workers: args.workers,
+            queue_depth: args.queue,
+            cache_capacity: args.cache,
+            ..ServiceConfig::default()
+        }) {
+            Ok(cluster) => cluster,
+            Err(e) => {
+                eprintln!("divload: cannot start the cluster: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match local.coordinator(Some(Duration::from_secs(60))) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("divload: cannot connect the coordinator: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        use std::net::ToSocketAddrs;
+        let mut addrs = Vec::new();
+        for node in &args.nodes {
+            match node.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+                Some(addr) => addrs.push(addr),
+                None => {
+                    eprintln!("divload: cannot resolve node address {node:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        match Coordinator::connect(&addrs, Some(Duration::from_secs(60))) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("divload: cannot connect to the nodes: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Current contents of every named relation, for oracle checks; the
+    // expected-quotient memo is invalidated whenever a name updates.
+    let mut current: HashMap<&'static str, Relation> = HashMap::new();
+    let mut expected: HashMap<(String, String), Arc<Vec<String>>> = HashMap::new();
+    for (i, name) in DIVIDENDS.iter().chain(DIVISORS.iter()).enumerate() {
+        let relation = generate(name, args.seed + i as u64);
+        if let Err(e) = coordinator.register(name, &relation, &[0]) {
+            eprintln!("divload: register {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+        current.insert(name, relation);
+    }
+    let canon = |tuples: &[Tuple]| -> Vec<String> {
+        let mut out: Vec<String> = tuples.iter().map(|t| format!("{t:?}")).collect();
+        out.sort();
+        out
+    };
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0C10_57E2);
+    let mut incorrect = 0u64;
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(args.queries as usize);
+    let mut bytes = 0u64;
+    let mut messages = 0u64;
+    let mut filtered = 0u64;
+    let every = args.update_every.max(1);
+    let start = Instant::now();
+    for q in 0..args.queries {
+        if q > 0 && q % every == 0 {
+            // Catalog churn: replace one relation under the running load.
+            let names: [&'static str; 6] = ["r0", "r1", "r2", "r3", "s0", "s1"];
+            let name = names[rng.gen_range(0..names.len())];
+            let relation = generate(name, rng.gen_range(0..1u64 << 40));
+            if let Err(e) = coordinator.register(name, &relation, &[0]) {
+                eprintln!("divload: re-register {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+            current.insert(name, relation);
+            expected.retain(|(d, s), _| d != name && s != name);
+        }
+        let dividend = DIVIDENDS[rng.gen_range(0..DIVIDENDS.len())];
+        let divisor = DIVISORS[rng.gen_range(0..DIVISORS.len())];
+        let strategy = match args.strategy {
+            StrategyChoice::Quotient => Strategy::QuotientPartitioning,
+            StrategyChoice::Divisor => Strategy::DivisorPartitioning,
+            StrategyChoice::Both if q % 2 == 0 => Strategy::QuotientPartitioning,
+            StrategyChoice::Both => Strategy::DivisorPartitioning,
+        };
+        let options = ClusterQueryOptions {
+            strategy,
+            // Filtering is a divisor-partitioning mechanism.
+            bit_vector_bits: (strategy == Strategy::DivisorPartitioning)
+                .then_some(args.filter_bits)
+                .flatten(),
+            spec: None,
+            profile: false,
+        };
+        let response = match coordinator.divide(dividend, divisor, &options) {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!("divload: {dividend} ÷ {divisor} ({strategy:?}): {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let key = (dividend.to_string(), divisor.to_string());
+        let want = expected
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(canon(&brute_force_divide(
+                    &current[dividend],
+                    &current[divisor],
+                    &[1],
+                    &[0],
+                )))
+            })
+            .clone();
+        if canon(&response.tuples) != *want {
+            incorrect += 1;
+            eprintln!(
+                "INCORRECT quotient: {dividend} ÷ {divisor} ({strategy:?}): got {} tuples, want {}",
+                response.tuples.len(),
+                want.len()
+            );
+        }
+        latencies_us.push(response.report.elapsed.as_micros() as u64);
+        bytes += response.report.bytes;
+        messages += response.report.messages;
+        filtered += response.report.filtered_tuples;
+    }
+    let elapsed = start.elapsed();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            0
+        } else {
+            latencies_us[((latencies_us.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let completed = args.queries;
+    println!(
+        "divload: {completed} cluster queries across {} nodes in {:.2} s ({:.0} q/s)",
+        coordinator.nodes(),
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "latency: p50 {} us, p95 {} us, p99 {} us",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99)
+    );
+    println!(
+        "wire:    {} bytes in {} messages ({} tuples filtered before shipping)",
+        format_count(bytes),
+        format_count(messages),
+        format_count(filtered)
+    );
+    for (node, link) in coordinator.link_stats().iter().enumerate() {
+        println!(
+            "  node {node}: sent {} msgs / {} B, received {} msgs / {} B",
+            link.messages_sent, link.bytes_sent, link.messages_received, link.bytes_received
+        );
+    }
+    println!(
+        "verify:  {}/{completed} completed replies correct",
+        completed - incorrect
+    );
+    if args.shutdown_nodes {
+        for (node, result) in coordinator.shutdown_nodes().into_iter().enumerate() {
+            if let Err(e) = result {
+                eprintln!("divload: shutdown node {node}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("nodes:   all {} acknowledged shutdown", coordinator.nodes());
+    }
+    if incorrect > 0 {
+        eprintln!("divload: FAILED — {incorrect} incorrect quotients");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn format_count(n: u64) -> String {
     if n >= 10_000_000 {
         format!("{:.1}M", n as f64 / 1e6)
@@ -238,6 +484,13 @@ fn format_count(n: u64) -> String {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.cluster > 0 && !args.nodes.is_empty() {
+        eprintln!("divload: --cluster and --node are mutually exclusive");
+        usage();
+    }
+    if args.cluster > 0 || !args.nodes.is_empty() {
+        return run_cluster(&args);
+    }
     let storage_faults = (args.fault_rate > 0.0).then(|| {
         FaultPlan::seeded(args.seed ^ 0xFA_017)
             .with_read_error_rate(args.fault_rate)
@@ -334,6 +587,7 @@ fn main() -> ExitCode {
                         spec: None,
                         deadline_ms: None,
                         profile: want_profile,
+                        distribute: None,
                     };
                     match client.divide(&request) {
                         Ok(reply) => {

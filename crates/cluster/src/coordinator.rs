@@ -1,0 +1,954 @@
+//! The coordinator: a sharded catalog plus the two Section 6 strategies
+//! executed over real TCP links.
+//!
+//! The coordinator owns no tuple data between queries — relations live
+//! hash-partitioned across the node services, placed by the same
+//! [`route`] the thread machine uses (FNV-1a on the shard keys), so a
+//! relation registered through the coordinator and one partitioned by
+//! the in-process machine land identically.
+//!
+//! ## Quotient partitioning on the wire
+//!
+//! "The divisor table must be replicated in the main memory of all
+//! participating processors. After replication, all local hash-division
+//! operators work completely independently of each other." The
+//! coordinator fetches every node's divisor fragment, concatenates them,
+//! and installs the full divisor on every node under a version-stamped
+//! replica name (so a re-run against unchanged inputs skips the
+//! replication entirely). If the dividend is not already sharded on the
+//! quotient attributes it is transparently repartitioned first — quotient
+//! partitioning is only correct when no quotient value spans nodes. Each
+//! node then runs one local hash division and the quotients concatenate.
+//!
+//! ## Divisor partitioning on the wire
+//!
+//! Both inputs are repartitioned on the divisor attributes *where they
+//! live*: each node buckets its own shard ([`Request::Repartition`]) and
+//! only the buckets cross the network, coordinator-switched to their
+//! owner nodes. Each participating node divides its bucket pair locally
+//! and tags the partial quotient; the coordinator runs the paper's
+//! collection-phase division ([`CollectionSite`]) over the tagged
+//! streams: a quotient value survives only if every participating node
+//! reported it.
+//!
+//! ## Bit-vector filtering
+//!
+//! With a filter size configured, each divisor-owning node builds a
+//! filter over its fragment ([`Request::BuildFilter`]), the coordinator
+//! ORs them ([`BitVectorFilter::union`]), and the union rides inside the
+//! dividend repartition requests: dividend tuples that cannot match any
+//! divisor tuple are dropped at the node that holds them. Bits cross the
+//! network; the tuples they exclude never do.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use reldiv_core::hash_division::HashDivisionMode;
+use reldiv_core::{Algorithm, DivisionSpec, ProfileNode, QueryProfile, SpanKind};
+use reldiv_parallel::filter::BitVectorFilter;
+use reldiv_parallel::strategy::CollectionSite;
+use reldiv_parallel::{route, Strategy};
+use reldiv_rel::{Relation, Schema, Tuple};
+use reldiv_service::proto::{
+    DivideRequest, PartialQuotientReply, RepartitionRequest, Reply, Request, ShardRequest,
+};
+use reldiv_service::MetricsSnapshot;
+
+use crate::link::{LinkStats, NodeLink};
+use crate::{ClusterError, Result};
+
+/// How a cluster division should run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterQueryOptions {
+    /// Which Section 6 strategy to execute.
+    pub strategy: Strategy,
+    /// Bit-vector filter size applied at the sending sites (divisor
+    /// partitioning only). `None` ships every dividend tuple.
+    pub bit_vector_bits: Option<usize>,
+    /// Explicit `(divisor_keys, quotient_keys)`; `None` uses the
+    /// trailing-divisor convention.
+    pub spec: Option<(Vec<usize>, Vec<usize>)>,
+    /// Collect per-node span trees and graft them under a cluster-level
+    /// network root.
+    pub profile: bool,
+}
+
+/// What the coordinator knows about a sharded relation.
+#[derive(Debug, Clone)]
+pub struct ShardedRelation {
+    /// Relation schema (identical on every node).
+    pub schema: Schema,
+    /// Columns the relation is hash-partitioned on.
+    pub shard_keys: Vec<usize>,
+    /// Per-node catalog versions returned by the nodes.
+    pub versions: Vec<u64>,
+    /// Total tuples registered across all shards.
+    pub cardinality: usize,
+    /// Per-node shard cardinalities.
+    pub per_node: Vec<usize>,
+    /// Coordinator-side version stamp, embedded in the names of derived
+    /// temporaries (replicas, repartitions) so stale derivations are
+    /// never reused after an update.
+    pub stamp: u64,
+}
+
+/// Measurements from one cluster division.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Nodes that held divisor data and ran local divisions (all nodes
+    /// under quotient partitioning or an empty divisor).
+    pub participating: Vec<usize>,
+    /// Dividend tuples dropped at the sending sites — by the bit-vector
+    /// filter, or because their divisor cluster is empty and they cannot
+    /// influence the quotient.
+    pub filtered_tuples: u64,
+    /// Fill ratio of the merged bit-vector filter, if one was used.
+    pub filter_fill_ratio: Option<f64>,
+    /// Per-link traffic for this query (frames and bytes, both ways).
+    pub per_link: Vec<LinkStats>,
+    /// Total frames across all links for this query.
+    pub messages: u64,
+    /// Total bytes across all links for this query.
+    pub bytes: u64,
+    /// Quotient tuples each node contributed.
+    pub per_node_quotient: Vec<u64>,
+    /// Wall-clock time of the whole distributed query.
+    pub elapsed: Duration,
+    /// The merged profile: a network root with one span per node, each
+    /// grafting the node's own span tree. Present when requested.
+    pub profile: Option<QueryProfile>,
+}
+
+/// The quotient a cluster division produced.
+#[derive(Debug, Clone)]
+pub struct ClusterResponse {
+    /// Quotient schema.
+    pub schema: Schema,
+    /// Quotient tuples.
+    pub tuples: Vec<Tuple>,
+    /// Traffic and participation measurements.
+    pub report: ClusterReport,
+}
+
+/// The cluster coordinator: sharded catalog + strategy execution over
+/// counted TCP links.
+pub struct Coordinator {
+    links: Vec<NodeLink>,
+    catalog: HashMap<String, ShardedRelation>,
+    /// `(node, temp name)` pairs already installed, so replication and
+    /// repartitioning are skipped when the inputs have not changed.
+    installed: HashSet<(usize, String)>,
+    next_stamp: u64,
+}
+
+impl Coordinator {
+    /// Connects to the nodes at `addrs` (node index = position).
+    pub fn connect(
+        addrs: &[std::net::SocketAddr],
+        read_timeout: Option<Duration>,
+    ) -> Result<Coordinator> {
+        if addrs.is_empty() {
+            return Err(ClusterError::BadRequest(
+                "cluster needs at least one node".into(),
+            ));
+        }
+        let mut links = Vec::with_capacity(addrs.len());
+        for (node, addr) in addrs.iter().enumerate() {
+            links.push(NodeLink::connect(node, addr, read_timeout)?);
+        }
+        Ok(Coordinator {
+            links,
+            catalog: HashMap::new(),
+            installed: HashSet::new(),
+            next_stamp: 0,
+        })
+    }
+
+    /// Wraps already-connected links (used by [`LocalCluster`]).
+    ///
+    /// [`LocalCluster`]: crate::local::LocalCluster
+    pub fn from_links(links: Vec<NodeLink>) -> Result<Coordinator> {
+        if links.is_empty() {
+            return Err(ClusterError::BadRequest(
+                "cluster needs at least one node".into(),
+            ));
+        }
+        Ok(Coordinator {
+            links,
+            catalog: HashMap::new(),
+            installed: HashSet::new(),
+            next_stamp: 0,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Cumulative per-link traffic since connection.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links.iter().map(|l| l.stats()).collect()
+    }
+
+    /// The coordinator's view of a registered relation.
+    pub fn relation(&self, name: &str) -> Option<&ShardedRelation> {
+        self.catalog.get(name)
+    }
+
+    /// Hash-partitions `relation` on `shard_keys` across the nodes and
+    /// installs one shard per node. Replaces any previous version; stale
+    /// derived temporaries are forgotten so they are rebuilt on demand.
+    pub fn register(
+        &mut self,
+        name: &str,
+        relation: &Relation,
+        shard_keys: &[usize],
+    ) -> Result<()> {
+        let arity = relation.schema().arity();
+        if shard_keys.is_empty() {
+            return Err(ClusterError::BadRequest("empty shard key set".into()));
+        }
+        if let Some(&k) = shard_keys.iter().find(|&&k| k >= arity) {
+            return Err(ClusterError::BadRequest(format!(
+                "shard key {k} out of range for arity {arity}"
+            )));
+        }
+        let n = self.links.len();
+        let mut shards: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        for tuple in relation.tuples() {
+            shards[route(tuple, shard_keys, n)].push(tuple.clone());
+        }
+        let per_node: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let schema = relation.schema().clone();
+        let requests: Vec<Option<Request>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(node, tuples)| {
+                Some(Request::Shard(ShardRequest {
+                    name: name.to_owned(),
+                    shard: node as u16,
+                    of: n as u16,
+                    shard_keys: shard_keys.to_vec(),
+                    schema: schema.clone(),
+                    tuples,
+                }))
+            })
+            .collect();
+        let mut versions = vec![0u64; n];
+        for (node, reply) in self.fan_out(requests)?.into_iter().enumerate() {
+            match reply {
+                Some(Reply::Sharded { version }) => versions[node] = version,
+                Some(other) => {
+                    return Err(unexpected(node, &other));
+                }
+                None => unreachable!("every node got a shard"),
+            }
+        }
+        self.next_stamp += 1;
+        self.catalog.insert(
+            name.to_owned(),
+            ShardedRelation {
+                schema,
+                shard_keys: shard_keys.to_vec(),
+                versions,
+                cardinality: relation.tuples().len(),
+                per_node,
+                stamp: self.next_stamp,
+            },
+        );
+        // Anything derived from the old version is stale.
+        let prefix_repl = format!(".repl.{name}.");
+        let prefix_part = format!(".part.{name}.");
+        self.installed
+            .retain(|(_, t)| !t.starts_with(&prefix_repl) && !t.starts_with(&prefix_part));
+        Ok(())
+    }
+
+    /// Runs `dividend ÷ divisor` across the cluster.
+    pub fn divide(
+        &mut self,
+        dividend: &str,
+        divisor: &str,
+        options: &ClusterQueryOptions,
+    ) -> Result<ClusterResponse> {
+        let start = Instant::now();
+        let before: Vec<LinkStats> = self.links.iter().map(|l| l.stats()).collect();
+        let dividend_rel = self.lookup(dividend)?;
+        let divisor_rel = self.lookup(divisor)?;
+        let spec = match &options.spec {
+            Some((dk, qk)) => DivisionSpec::new(
+                &dividend_rel.schema,
+                &divisor_rel.schema,
+                dk.clone(),
+                qk.clone(),
+            ),
+            None => DivisionSpec::trailing_divisor(&dividend_rel.schema, &divisor_rel.schema),
+        }
+        .map_err(|e| ClusterError::BadRequest(e.to_string()))?;
+        let quotient_schema = spec
+            .quotient_schema(&dividend_rel.schema)
+            .map_err(|e| ClusterError::BadRequest(e.to_string()))?;
+
+        let outcome = match options.strategy {
+            Strategy::QuotientPartitioning => {
+                self.divide_quotient_partitioned(dividend, divisor, &spec, options)?
+            }
+            Strategy::DivisorPartitioning => {
+                self.divide_divisor_partitioned(dividend, divisor, &spec, options)?
+            }
+        };
+        let StrategyOutcome {
+            tuples,
+            participating,
+            filtered_tuples,
+            filter_fill_ratio,
+            partials,
+        } = outcome;
+
+        let after: Vec<LinkStats> = self.links.iter().map(|l| l.stats()).collect();
+        let per_link: Vec<LinkStats> = before
+            .iter()
+            .zip(&after)
+            .map(|(b, a)| LinkStats {
+                messages_sent: a.messages_sent - b.messages_sent,
+                bytes_sent: a.bytes_sent - b.bytes_sent,
+                messages_received: a.messages_received - b.messages_received,
+                bytes_received: a.bytes_received - b.bytes_received,
+            })
+            .collect();
+        let (messages, bytes) = per_link.iter().fold((0, 0), |(m, b), l| {
+            let (lm, lb) = l.total();
+            (m + lm, b + lb)
+        });
+        let mut per_node_quotient = vec![0u64; self.links.len()];
+        for p in &partials {
+            per_node_quotient[p.node] = p.reply.tuples.len() as u64;
+        }
+        let elapsed = start.elapsed();
+        let profile = options.profile.then(|| {
+            merge_profiles(
+                options.strategy,
+                self.links.len(),
+                &participating,
+                filtered_tuples,
+                filter_fill_ratio,
+                &per_link,
+                bytes,
+                elapsed,
+                &partials,
+            )
+        });
+        Ok(ClusterResponse {
+            schema: quotient_schema,
+            tuples,
+            report: ClusterReport {
+                strategy: options.strategy,
+                nodes: self.links.len(),
+                participating,
+                filtered_tuples,
+                filter_fill_ratio,
+                per_link,
+                messages,
+                bytes,
+                per_node_quotient,
+                elapsed,
+                profile,
+            },
+        })
+    }
+
+    /// Reads one node's service counters.
+    pub fn node_stats(&mut self, node: usize) -> Result<MetricsSnapshot> {
+        let link = self
+            .links
+            .get_mut(node)
+            .ok_or_else(|| ClusterError::BadRequest(format!("no node {node}")))?;
+        match link.call(&Request::Stats)? {
+            Reply::Stats(stats) => Ok(stats),
+            other => Err(unexpected(node, &other)),
+        }
+    }
+
+    /// Asks every node to shut down gracefully. Node failures are
+    /// collected, not short-circuited, so one dead node does not leave
+    /// the rest running.
+    pub fn shutdown_nodes(&mut self) -> Vec<Result<()>> {
+        self.links
+            .iter_mut()
+            .map(|link| match link.call(&Request::Shutdown) {
+                Ok(Reply::ShuttingDown) => Ok(()),
+                Ok(other) => Err(unexpected(link.node(), &other)),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Strategy drivers
+
+    fn divide_quotient_partitioned(
+        &mut self,
+        dividend: &str,
+        divisor: &str,
+        spec: &DivisionSpec,
+        options: &ClusterQueryOptions,
+    ) -> Result<StrategyOutcome> {
+        // Quotient partitioning is only correct when no quotient value
+        // spans nodes: repartition the dividend on the quotient keys
+        // unless it is already sharded that way.
+        let dividend_rel = self.lookup(dividend)?.clone();
+        let local_dividend = if dividend_rel.shard_keys == spec.quotient_keys {
+            dividend.to_owned()
+        } else {
+            self.repartition_to_temp(dividend, &spec.quotient_keys, None, "")?
+                .0
+        };
+        // Replicate the divisor, cached by the catalog stamp.
+        let divisor_rel = self.lookup(divisor)?.clone();
+        let repl = format!(".repl.{divisor}.{}", divisor_rel.stamp);
+        let nodes = self.links.len();
+        let all_installed = (0..nodes).all(|n| self.installed.contains(&(n, repl.clone())));
+        if !all_installed {
+            let fragments = self.fetch_fragments(divisor, &divisor_rel)?;
+            let all_cols: Vec<usize> = (0..divisor_rel.schema.arity()).collect();
+            let requests: Vec<Option<Request>> = (0..nodes)
+                .map(|_| {
+                    Some(Request::Shard(ShardRequest {
+                        name: repl.clone(),
+                        shard: 0,
+                        of: 1,
+                        shard_keys: all_cols.clone(),
+                        schema: divisor_rel.schema.clone(),
+                        tuples: fragments.clone(),
+                    }))
+                })
+                .collect();
+            for (node, reply) in self.fan_out(requests)?.into_iter().enumerate() {
+                match reply {
+                    Some(Reply::Sharded { .. }) => {
+                        self.installed.insert((node, repl.clone()));
+                    }
+                    Some(other) => return Err(unexpected(node, &other)),
+                    None => unreachable!("every node got the replica"),
+                }
+            }
+        }
+        // One independent local division per node; quotients concatenate.
+        let participating: Vec<usize> = (0..nodes).collect();
+        let partials = self.divide_partial(
+            &participating,
+            &local_dividend,
+            &repl,
+            spec,
+            options.profile,
+        )?;
+        let mut tuples = Vec::new();
+        for p in &partials {
+            tuples.extend(p.reply.tuples.iter().cloned());
+        }
+        Ok(StrategyOutcome {
+            tuples,
+            participating,
+            filtered_tuples: 0,
+            filter_fill_ratio: None,
+            partials,
+        })
+    }
+
+    fn divide_divisor_partitioned(
+        &mut self,
+        dividend: &str,
+        divisor: &str,
+        spec: &DivisionSpec,
+        options: &ClusterQueryOptions,
+    ) -> Result<StrategyOutcome> {
+        let divisor_rel = self.lookup(divisor)?.clone();
+        let empty_divisor = divisor_rel.cardinality == 0;
+        let nodes = self.links.len();
+        // Build and merge the per-fragment bit-vector filters. An empty
+        // divisor makes the division vacuous (every quotient value
+        // qualifies), so filtering would wrongly drop everything.
+        let filter = match options.bit_vector_bits {
+            Some(bits) if !empty_divisor => {
+                Some(self.merged_filter(divisor, &divisor_rel, bits)?)
+            }
+            _ => None,
+        };
+        let filter_fill_ratio = filter.as_ref().map(|f| f.fill_ratio());
+        // Repartition the divisor on all its columns; the owner of bucket
+        // j is node j.
+        let all_cols: Vec<usize> = (0..divisor_rel.schema.arity()).collect();
+        let (divisor_parts, _) = self.repartition_to_temp(divisor, &all_cols, None, "")?;
+        let divisor_per_node = self.lookup(&divisor_parts)?.per_node.clone();
+        let participating: Vec<usize> = if empty_divisor {
+            (0..nodes).collect()
+        } else {
+            (0..nodes).filter(|&n| divisor_per_node[n] > 0).collect()
+        };
+        // Repartition the dividend on the divisor attributes, filter
+        // applied at the sending sites. Tuples routed to a node with no
+        // divisor cluster cannot influence the quotient and are dropped
+        // at the coordinator switch (counted, never shipped onward).
+        // A filtered temp's contents depend on the divisor that built the
+        // filter, so its cache identity must carry that divisor's name
+        // and stamp — otherwise dividing the same dividend by a different
+        // divisor would reuse tuples pruned against the wrong one.
+        let filter_tag = if filter.is_some() {
+            format!(".{divisor}.{}", divisor_rel.stamp)
+        } else {
+            String::new()
+        };
+        let (dividend_parts, filtered_tuples) = self.repartition_to_temp_participating(
+            dividend,
+            spec,
+            filter,
+            &filter_tag,
+            &participating,
+        )?;
+        let partials = self.divide_partial(
+            &participating,
+            &dividend_parts,
+            &divisor_parts,
+            spec,
+            options.profile,
+        )?;
+        // The collection-phase division, shared verbatim with the thread
+        // machine: a quotient value survives only if every participating
+        // node reported it.
+        let quotient_schema = spec
+            .quotient_schema(&self.lookup(dividend)?.schema)
+            .map_err(|e| ClusterError::BadRequest(e.to_string()))?;
+        let mut site = CollectionSite::new(&quotient_schema, &participating, empty_divisor)
+            .map_err(|e| ClusterError::Exec(e.to_string()))?;
+        for p in &partials {
+            for t in &p.reply.tuples {
+                site.absorb(p.node, t)
+                    .map_err(|e| ClusterError::Exec(e.to_string()))?;
+            }
+        }
+        Ok(StrategyOutcome {
+            tuples: site.finish(),
+            participating,
+            filtered_tuples,
+            filter_fill_ratio,
+            partials,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Wire phases
+
+    /// Runs one request per node concurrently (one scoped thread per
+    /// link with work). `None` entries are skipped. Any node failure
+    /// fails the whole phase — a missing shard would silently corrupt
+    /// the quotient.
+    fn fan_out(&mut self, requests: Vec<Option<Request>>) -> Result<Vec<Option<Reply>>> {
+        debug_assert_eq!(requests.len(), self.links.len());
+        let results: Vec<Option<Result<Reply>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .links
+                .iter_mut()
+                .zip(requests)
+                .map(|(link, request)| request.map(|request| s.spawn(move || link.call(&request))))
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(node, handle)| {
+                    handle.map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(ClusterError::NodeFailed {
+                                node,
+                                detail: "link thread panicked".into(),
+                            })
+                        })
+                    })
+                })
+                .collect()
+        });
+        results
+            .into_iter()
+            .map(|r| r.transpose())
+            .collect::<Result<Vec<Option<Reply>>>>()
+    }
+
+    fn lookup(&self, name: &str) -> Result<&ShardedRelation> {
+        self.catalog
+            .get(name)
+            .ok_or_else(|| ClusterError::BadRequest(format!("unknown relation {name:?}")))
+    }
+
+    /// Fetches every node's local fragment of `name` (a one-bucket
+    /// repartition) and concatenates them in node order.
+    fn fetch_fragments(&mut self, name: &str, rel: &ShardedRelation) -> Result<Vec<Tuple>> {
+        let keys: Vec<usize> = rel.shard_keys.clone();
+        let requests: Vec<Option<Request>> = (0..self.links.len())
+            .map(|_| {
+                Some(Request::Repartition(RepartitionRequest {
+                    name: name.to_owned(),
+                    keys: keys.clone(),
+                    parts: 1,
+                    filter: None,
+                }))
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (node, reply) in self.fan_out(requests)?.into_iter().enumerate() {
+            match reply {
+                Some(Reply::Repartitioned { mut buckets, .. }) => {
+                    out.append(&mut buckets.remove(0));
+                }
+                Some(other) => return Err(unexpected(node, &other)),
+                None => unreachable!("every node was asked"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Asks every node to build a filter over its local fragment of
+    /// `name` and ORs the fragments' filters together.
+    fn merged_filter(
+        &mut self,
+        name: &str,
+        rel: &ShardedRelation,
+        bits: usize,
+    ) -> Result<BitVectorFilter> {
+        let keys: Vec<usize> = (0..rel.schema.arity()).collect();
+        let requests: Vec<Option<Request>> = (0..self.links.len())
+            .map(|_| {
+                Some(Request::BuildFilter {
+                    name: name.to_owned(),
+                    keys: keys.clone(),
+                    bits: bits as u32,
+                })
+            })
+            .collect();
+        let mut merged: Option<BitVectorFilter> = None;
+        for (node, reply) in self.fan_out(requests)?.into_iter().enumerate() {
+            match reply {
+                Some(Reply::Filter { filter, .. }) => match &mut merged {
+                    None => merged = Some(filter),
+                    Some(m) => {
+                        if !m.union(&filter) {
+                            return Err(ClusterError::NodeFailed {
+                                node,
+                                detail: format!(
+                                    "filter geometry mismatch: {} vs {} bits",
+                                    m.bits(),
+                                    filter.bits()
+                                ),
+                            });
+                        }
+                    }
+                },
+                Some(other) => return Err(unexpected(node, &other)),
+                None => unreachable!("every node was asked"),
+            }
+        }
+        merged.ok_or_else(|| ClusterError::BadRequest("cluster has no nodes".into()))
+    }
+
+    /// Repartitions `name` on `keys` across all nodes into a temp
+    /// relation; returns `(temp name, tuples filtered at the senders)`.
+    /// Cached by the source relation's stamp: if every node already holds
+    /// the temp shards, nothing crosses the network.
+    fn repartition_to_temp(
+        &mut self,
+        name: &str,
+        keys: &[usize],
+        filter: Option<BitVectorFilter>,
+        filter_tag: &str,
+    ) -> Result<(String, u64)> {
+        let participating: Vec<usize> = (0..self.links.len()).collect();
+        self.repartition_keys_to(name, keys, filter, filter_tag, &participating)
+    }
+
+    /// Like [`Self::repartition_to_temp`] but on the division spec's
+    /// divisor keys and shipping only to `participating` nodes; buckets
+    /// owned by non-participating nodes are dropped and counted.
+    fn repartition_to_temp_participating(
+        &mut self,
+        name: &str,
+        spec: &DivisionSpec,
+        filter: Option<BitVectorFilter>,
+        filter_tag: &str,
+        participating: &[usize],
+    ) -> Result<(String, u64)> {
+        self.repartition_keys_to(name, &spec.divisor_keys, filter, filter_tag, participating)
+    }
+
+    fn repartition_keys_to(
+        &mut self,
+        name: &str,
+        keys: &[usize],
+        filter: Option<BitVectorFilter>,
+        filter_tag: &str,
+        participating: &[usize],
+    ) -> Result<(String, u64)> {
+        let rel = self.lookup(name)?.clone();
+        let nodes = self.links.len();
+        let fbits = filter.as_ref().map_or(0, |f| f.bits());
+        let key_tag: String = keys
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("_");
+        // `filter_tag` names the divisor (and its stamp) whose filter
+        // pruned the tuples; unfiltered temps carry no tag.
+        let temp = format!(
+            ".part.{name}.{}.{nodes}.{key_tag}.{fbits}{filter_tag}",
+            rel.stamp
+        );
+        let cached = participating
+            .iter()
+            .all(|&n| self.installed.contains(&(n, temp.clone())));
+        if cached {
+            return Ok((temp, 0));
+        }
+        // Phase 1: every node buckets its local shard (filter applied at
+        // the sender).
+        let requests: Vec<Option<Request>> = (0..nodes)
+            .map(|_| {
+                Some(Request::Repartition(RepartitionRequest {
+                    name: name.to_owned(),
+                    keys: keys.to_vec(),
+                    parts: nodes as u16,
+                    filter: filter.clone(),
+                }))
+            })
+            .collect();
+        let mut dest: Vec<Vec<Tuple>> = vec![Vec::new(); nodes];
+        let mut filtered = 0u64;
+        for (node, reply) in self.fan_out(requests)?.into_iter().enumerate() {
+            match reply {
+                Some(Reply::Repartitioned {
+                    buckets,
+                    filtered: f,
+                    ..
+                }) => {
+                    if buckets.len() != nodes {
+                        return Err(ClusterError::NodeFailed {
+                            node,
+                            detail: format!("{} buckets for {nodes} nodes", buckets.len()),
+                        });
+                    }
+                    filtered += f;
+                    for (j, mut bucket) in buckets.into_iter().enumerate() {
+                        dest[j].append(&mut bucket);
+                    }
+                }
+                Some(other) => return Err(unexpected(node, &other)),
+                None => unreachable!("every node was asked"),
+            }
+        }
+        // Phase 2: switch each aggregated bucket to its owner node.
+        // Buckets owned by non-participating nodes are dropped here —
+        // their divisor cluster is empty, so their tuples cannot appear
+        // in the quotient.
+        let is_participating: Vec<bool> = {
+            let mut v = vec![false; nodes];
+            for &p in participating {
+                v[p] = true;
+            }
+            v
+        };
+        let mut requests: Vec<Option<Request>> = vec![None; nodes];
+        let mut per_node = vec![0usize; nodes];
+        for (j, bucket) in dest.into_iter().enumerate() {
+            if !is_participating[j] {
+                filtered += bucket.len() as u64;
+                continue;
+            }
+            per_node[j] = bucket.len();
+            requests[j] = Some(Request::Shard(ShardRequest {
+                name: temp.clone(),
+                shard: j as u16,
+                of: nodes as u16,
+                shard_keys: keys.to_vec(),
+                schema: rel.schema.clone(),
+                tuples: bucket,
+            }));
+        }
+        let replies = self.fan_out(requests)?;
+        let mut versions = vec![0u64; nodes];
+        for (node, reply) in replies.into_iter().enumerate() {
+            match reply {
+                Some(Reply::Sharded { version }) => {
+                    versions[node] = version;
+                    self.installed.insert((node, temp.clone()));
+                }
+                Some(other) => return Err(unexpected(node, &other)),
+                None => {}
+            }
+        }
+        // Record the temp in the coordinator catalog so later phases can
+        // resolve its schema and per-node occupancy (the participation
+        // decision for divisor partitioning reads it).
+        self.next_stamp += 1;
+        self.catalog.insert(
+            temp.clone(),
+            ShardedRelation {
+                schema: rel.schema.clone(),
+                shard_keys: keys.to_vec(),
+                versions,
+                cardinality: per_node.iter().sum(),
+                per_node,
+                stamp: self.next_stamp,
+            },
+        );
+        Ok((temp, filtered))
+    }
+
+    /// Runs `DividePartial` on each participating node concurrently,
+    /// with dense tags in participation order, and verifies the echo.
+    fn divide_partial(
+        &mut self,
+        participating: &[usize],
+        dividend: &str,
+        divisor: &str,
+        spec: &DivisionSpec,
+        profile: bool,
+    ) -> Result<Vec<Partial>> {
+        let nodes = self.links.len();
+        let mut requests: Vec<Option<Request>> = vec![None; nodes];
+        let mut tag_of = vec![u16::MAX; nodes];
+        for (tag, &node) in participating.iter().enumerate() {
+            tag_of[node] = tag as u16;
+            requests[node] = Some(Request::DividePartial {
+                tag: tag as u16,
+                query: DivideRequest {
+                    dividend: dividend.to_owned(),
+                    divisor: divisor.to_owned(),
+                    algorithm: Some(Algorithm::HashDivision {
+                        mode: HashDivisionMode::Standard,
+                    }),
+                    assume_unique: false,
+                    spec: Some((spec.divisor_keys.clone(), spec.quotient_keys.clone())),
+                    deadline_ms: None,
+                    profile,
+                    distribute: None,
+                },
+            });
+        }
+        let mut partials = Vec::with_capacity(participating.len());
+        for (node, reply) in self.fan_out(requests)?.into_iter().enumerate() {
+            match reply {
+                Some(Reply::PartialQuotient(reply)) => {
+                    if reply.tag != tag_of[node] {
+                        return Err(ClusterError::NodeFailed {
+                            node,
+                            detail: format!(
+                                "tag mismatch: sent {} got {}",
+                                tag_of[node], reply.tag
+                            ),
+                        });
+                    }
+                    partials.push(Partial { node, reply });
+                }
+                Some(other) => return Err(unexpected(node, &other)),
+                None => {}
+            }
+        }
+        Ok(partials)
+    }
+}
+
+struct Partial {
+    node: usize,
+    reply: PartialQuotientReply,
+}
+
+struct StrategyOutcome {
+    tuples: Vec<Tuple>,
+    participating: Vec<usize>,
+    filtered_tuples: u64,
+    filter_fill_ratio: Option<f64>,
+    partials: Vec<Partial>,
+}
+
+fn unexpected(node: usize, reply: &Reply) -> ClusterError {
+    ClusterError::NodeFailed {
+        node,
+        detail: format!("unexpected reply {reply:?}"),
+    }
+}
+
+/// Folds a cluster run into one `EXPLAIN ANALYZE` tree: a network root
+/// carrying the query's total wire traffic, one child span per
+/// participating node carrying its link traffic and local measurements,
+/// with the node's own span tree grafted beneath it.
+#[allow(clippy::too_many_arguments)]
+fn merge_profiles(
+    strategy: Strategy,
+    nodes: usize,
+    participating: &[usize],
+    filtered_tuples: u64,
+    filter_fill_ratio: Option<f64>,
+    per_link: &[LinkStats],
+    bytes: u64,
+    elapsed: Duration,
+    partials: &[Partial],
+) -> QueryProfile {
+    let children = partials
+        .iter()
+        .map(|p| {
+            let link = per_link.get(p.node).copied().unwrap_or_default();
+            ProfileNode {
+                label: format!("node {}", p.node),
+                kind: SpanKind::Node,
+                wall_micros: p.reply.micros,
+                tuples_in: 0,
+                tuples_out: p.reply.tuples.len() as u64,
+                ops: p.reply.ops,
+                pages_read: 0,
+                pages_written: 0,
+                spill_bytes: 0,
+                network_bytes: link.total().1,
+                phases: Vec::new(),
+                children: p
+                    .reply
+                    .profile
+                    .clone()
+                    .map(|q| q.root)
+                    .into_iter()
+                    .collect(),
+            }
+        })
+        .collect();
+    let mut phases = vec![
+        format!("{strategy:?} over TCP"),
+        format!("{} of {nodes} nodes participating", participating.len()),
+    ];
+    if let Some(fill) = filter_fill_ratio {
+        phases.push(format!(
+            "bit-vector filter dropped {filtered_tuples} tuples (fill {fill:.2})"
+        ));
+    } else if filtered_tuples > 0 {
+        phases.push(format!("{filtered_tuples} tuples dropped at the switch"));
+    }
+    QueryProfile {
+        root: ProfileNode {
+            label: format!("cluster division ({nodes} nodes)"),
+            kind: SpanKind::Network,
+            wall_micros: elapsed.as_micros() as u64,
+            tuples_in: 0,
+            tuples_out: partials.iter().map(|p| p.reply.tuples.len() as u64).sum(),
+            ops: partials
+                .iter()
+                .fold(reldiv_rel::counters::OpSnapshot::default(), |acc, p| {
+                    acc.merge(&p.reply.ops)
+                }),
+            pages_read: 0,
+            pages_written: 0,
+            spill_bytes: 0,
+            network_bytes: bytes,
+            phases,
+            children,
+        },
+    }
+}

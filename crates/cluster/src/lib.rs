@@ -1,0 +1,102 @@
+//! # reldiv-cluster — distributed division over real TCP
+//!
+//! Section 6 of the paper runs hash-division on a GAMMA-style
+//! shared-nothing machine. `reldiv-parallel` simulates that machine with
+//! threads and channels; this crate *deploys* it: every node is a full
+//! `reldiv-service` process (storage, execution, admission control,
+//! metrics) reached over the length-prefixed TCP protocol, and the
+//! coordinator is a real process on the other end of real sockets.
+//!
+//! * [`Coordinator`] — owns the sharded catalog (relations
+//!   hash-partitioned across the nodes with the same
+//!   [`route`](reldiv_parallel::route) the thread machine uses) and
+//!   executes `R ÷ S` with either Section 6 strategy **on the wire**:
+//!   - [`Strategy::QuotientPartitioning`] — the divisor is replicated to
+//!     every node (cached by catalog version), each node divides its
+//!     dividend shard locally, and the quotients concatenate.
+//!   - [`Strategy::DivisorPartitioning`] — both inputs are repartitioned
+//!     on the divisor attributes *where they live* (each node buckets its
+//!     own shard; only buckets cross the network), and the coordinator
+//!     runs the paper's collection-phase division over the tagged partial
+//!     quotients — the same [`CollectionSite`] the thread machine uses.
+//! * **Bit-vector filtering** ([`filter`](reldiv_parallel::filter)) —
+//!   each divisor-owning node builds a filter over its fragment, the
+//!   coordinator ORs them, and the union rides inside the dividend
+//!   repartition requests so non-matching tuples are dropped *at the
+//!   sending site*: bits move over the network, tuples don't.
+//! * [`NodeLink`] — a counted connection: per-link message and byte
+//!   totals in both directions, so the traffic Section 6 reasons about is
+//!   measurable per wire, and a read deadline so a dead node surfaces as
+//!   a typed [`ClusterError::NodeFailed`] instead of a hang.
+//! * [`LocalCluster`] — spawns N in-process node servers on loopback for
+//!   tests and benchmarks, with a [`kill`](LocalCluster::kill) switch for
+//!   chaos testing.
+//!
+//! [`Strategy::QuotientPartitioning`]: reldiv_parallel::Strategy::QuotientPartitioning
+//! [`Strategy::DivisorPartitioning`]: reldiv_parallel::Strategy::DivisorPartitioning
+//! [`CollectionSite`]: reldiv_parallel::strategy::CollectionSite
+
+#![deny(missing_docs)]
+
+pub mod coordinator;
+pub mod link;
+pub mod local;
+
+use std::fmt;
+
+use reldiv_service::ServiceError;
+
+pub use coordinator::{
+    ClusterQueryOptions, ClusterReport, ClusterResponse, Coordinator, ShardedRelation,
+};
+pub use link::{LinkStats, NodeLink};
+pub use local::LocalCluster;
+pub use reldiv_parallel::Strategy;
+
+/// Errors surfaced by the cluster coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A node stopped answering: the connection broke, timed out, or
+    /// returned bytes that do not parse. The query cannot complete; the
+    /// coordinator's catalog still names the node so a retry after
+    /// recovery is possible.
+    NodeFailed {
+        /// Index of the failed node.
+        node: usize,
+        /// What the link observed.
+        detail: String,
+    },
+    /// A node answered with a typed service error (bad request, unknown
+    /// relation, overload, …).
+    Node {
+        /// Index of the answering node.
+        node: usize,
+        /// The node's error.
+        error: ServiceError,
+    },
+    /// The request is malformed at the coordinator (unknown relation,
+    /// bad spec, zero nodes).
+    BadRequest(String),
+    /// The coordinator-side collection phase failed.
+    Exec(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NodeFailed { node, detail } => {
+                write!(f, "node {node} failed: {detail}")
+            }
+            ClusterError::Node { node, error } => {
+                write!(f, "node {node} refused: {error}")
+            }
+            ClusterError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ClusterError::Exec(msg) => write!(f, "collection phase: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Cluster result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,141 @@
+//! A counted TCP link to one node.
+//!
+//! The paper's Section 6 argument is about *network traffic*: how many
+//! tuples each strategy ships, and how much bit-vector filtering saves.
+//! Every frame a [`NodeLink`] sends or receives is therefore counted —
+//! messages and bytes, per direction, per link — so a cluster run can
+//! report exactly what crossed each wire.
+//!
+//! Reads carry a deadline. A node that dies mid-query (process killed,
+//! cable pulled) surfaces as a typed [`ClusterError::NodeFailed`] when
+//! the read times out or the socket breaks — never as a hang.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use reldiv_service::proto::{self, Reply, Request};
+
+use crate::{ClusterError, Result};
+
+/// Per-link traffic counters. Byte counts cover the whole frame: the
+/// 4-byte length prefix plus the payload.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames sent to the node.
+    pub messages_sent: u64,
+    /// Bytes sent to the node.
+    pub bytes_sent: u64,
+    /// Frames received from the node.
+    pub messages_received: u64,
+    /// Bytes received from the node.
+    pub bytes_received: u64,
+}
+
+impl LinkStats {
+    /// Totals of both directions: `(messages, bytes)`.
+    pub fn total(&self) -> (u64, u64) {
+        (
+            self.messages_sent + self.messages_received,
+            self.bytes_sent + self.bytes_received,
+        )
+    }
+
+    /// Accumulates another link's counters into this one.
+    pub fn absorb(&mut self, other: &LinkStats) {
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+/// One coordinator → node connection with traffic accounting and a read
+/// deadline.
+pub struct NodeLink {
+    node: usize,
+    addr: SocketAddr,
+    stream: TcpStream,
+    stats: LinkStats,
+}
+
+impl NodeLink {
+    /// Connects to the node at `addr`. `read_timeout` bounds every reply
+    /// wait; `None` waits forever (tests only — a real deployment should
+    /// always bound it).
+    pub fn connect(
+        node: usize,
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+    ) -> Result<NodeLink> {
+        let fail = |detail: String| ClusterError::NodeFailed { node, detail };
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| fail(format!("bad address: {e}")))?
+            .next()
+            .ok_or_else(|| fail("address resolves to nothing".into()))?;
+        let stream = TcpStream::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| fail(format!("nodelay: {e}")))?;
+        stream
+            .set_read_timeout(read_timeout)
+            .map_err(|e| fail(format!("read timeout: {e}")))?;
+        Ok(NodeLink {
+            node,
+            addr,
+            stream,
+            stats: LinkStats::default(),
+        })
+    }
+
+    /// The node index this link serves.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The node's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Sends one request and waits for the reply. Transport failures
+    /// (broken socket, timeout, unparseable bytes) become
+    /// [`ClusterError::NodeFailed`]; a well-formed error reply becomes
+    /// [`ClusterError::Node`] with the node's typed error.
+    pub fn call(&mut self, request: &Request) -> Result<Reply> {
+        let node = self.node;
+        let fail = |detail: String| ClusterError::NodeFailed { node, detail };
+        let payload = request
+            .encode()
+            .map_err(|e| ClusterError::BadRequest(format!("encoding request: {e}")))?;
+        proto::write_frame(&mut self.stream, &payload).map_err(|e| fail(format!("send: {e}")))?;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64 + 4;
+        let frame = read_reply_frame(&mut self.stream).map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                fail("reply timed out".into())
+            } else {
+                fail(format!("receive: {e}"))
+            }
+        })?;
+        let frame = frame.ok_or_else(|| fail("node closed the connection".into()))?;
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += frame.len() as u64 + 4;
+        match proto::decode_response(&frame) {
+            Ok(Ok(reply)) => Ok(reply),
+            Ok(Err(error)) => Err(ClusterError::Node { node, error }),
+            Err(e) => Err(fail(format!("unparseable reply: {e}"))),
+        }
+    }
+}
+
+/// Reads one reply frame, distinguishing clean EOF (`None`).
+fn read_reply_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    proto::read_frame(stream)
+}

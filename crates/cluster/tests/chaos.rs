@@ -1,0 +1,294 @@
+//! Cluster chaos: nodes with fault-injecting disks, and nodes that die
+//! mid-stream. The contract under all of it:
+//!
+//! * a reply that arrives is *correct* (oracle-verified — retries and
+//!   typed failures, never silently wrong quotients),
+//! * a node that cannot answer surfaces as a typed error at the
+//!   coordinator — [`ClusterError::Node`] for a node-side refusal,
+//!   [`ClusterError::NodeFailed`] for a dead link — never as a hang,
+//! * the coordinator's traffic accounting stays internally consistent
+//!   through every failure.
+
+use std::time::{Duration, Instant};
+
+use reldiv_cluster::{ClusterError, ClusterQueryOptions, LocalCluster, Strategy};
+use reldiv_core::hash_division::HashDivisionMode;
+use reldiv_core::{divide_relations, Algorithm};
+use reldiv_rel::Tuple;
+use reldiv_service::ServiceConfig;
+use reldiv_storage::FaultPlan;
+use reldiv_workload::WorkloadSpec;
+
+fn canon(tuples: &[Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = tuples.iter().map(|t| format!("{t:?}")).collect();
+    out.sort();
+    out
+}
+
+fn options(strategy: Strategy, bits: Option<usize>) -> ClusterQueryOptions {
+    ClusterQueryOptions {
+        strategy,
+        bit_vector_bits: bits,
+        spec: None,
+        profile: false,
+    }
+}
+
+#[test]
+fn dead_node_is_a_typed_error_not_a_hang() {
+    let w = WorkloadSpec {
+        divisor_size: 10,
+        quotient_size: 20,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    }
+    .generate(41);
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.register("r", &w.dividend, &[0]).unwrap();
+    coord.register("s", &w.divisor, &[0]).unwrap();
+
+    // Healthy first: the cluster answers.
+    coord
+        .divide("r", "s", &options(Strategy::QuotientPartitioning, None))
+        .expect("healthy run");
+
+    cluster.kill(1);
+
+    // Dead node: every strategy fails with a typed error naming the
+    // node, promptly (well under the hang horizon).
+    for strategy in [
+        Strategy::QuotientPartitioning,
+        Strategy::DivisorPartitioning,
+    ] {
+        let start = Instant::now();
+        let err = coord
+            .divide("r", "s", &options(strategy, Some(4096)))
+            .expect_err("a dead node cannot produce a full quotient");
+        let elapsed = start.elapsed();
+        match err {
+            ClusterError::NodeFailed { node, .. } => assert_eq!(node, 1, "{strategy:?}"),
+            other => panic!("{strategy:?}: wanted NodeFailed, got {other}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "{strategy:?}: failure took {elapsed:?}; node death must not hang"
+        );
+    }
+
+    // The surviving nodes still answer direct probes: the failure was
+    // contained to the dead link.
+    coord.node_stats(0).expect("node 0 alive");
+    coord.node_stats(2).expect("node 2 alive");
+    assert!(coord.node_stats(1).is_err());
+}
+
+#[test]
+fn node_killed_mid_query_fails_typed() {
+    // Kill a node *while* a query stream is running against it. The
+    // coordinator must come back with NodeFailed on the broken link —
+    // whichever phase the kill lands in — and never stall.
+    let w = WorkloadSpec {
+        divisor_size: 50,
+        quotient_size: 200,
+        incomplete_groups: 50,
+        incomplete_fill: 0.5,
+        noise_per_group: 4,
+        ..WorkloadSpec::default()
+    }
+    .generate(43);
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.register("r", &w.dividend, &[0]).unwrap();
+    coord.register("s", &w.divisor, &[0]).unwrap();
+    let expected = canon(
+        divide_relations(
+            &w.dividend,
+            &w.divisor,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        )
+        .unwrap()
+        .tuples(),
+    );
+
+    let killer = std::thread::spawn({
+        // LocalCluster::kill needs &mut; hand the whole cluster to the
+        // killer thread and take it back when it is done.
+        move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cluster.kill(2);
+            cluster
+        }
+    });
+    // Run queries until the kill lands. Each one either completes
+    // correctly or fails typed on node 2; no third outcome, no hang.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut saw_failure = false;
+    let mut strategies = [
+        Strategy::QuotientPartitioning,
+        Strategy::DivisorPartitioning,
+    ]
+    .into_iter()
+    .cycle();
+    while !saw_failure {
+        assert!(Instant::now() < deadline, "kill never surfaced");
+        match coord.divide("r", "s", &options(strategies.next().unwrap(), None)) {
+            Ok(response) => assert_eq!(canon(&response.tuples), expected),
+            Err(ClusterError::NodeFailed { node, .. }) => {
+                assert_eq!(node, 2);
+                saw_failure = true;
+            }
+            // Narrow window: the node may answer one last typed refusal
+            // between the kill flag and its socket being severed.
+            Err(ClusterError::Node { node, .. }) => assert_eq!(node, 2),
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    let _cluster = killer.join().expect("killer thread");
+}
+
+#[test]
+fn seeded_disk_faults_never_corrupt_a_quotient() {
+    // Every node runs on fault-injecting disks with an independent seed.
+    // Transient faults are mostly absorbed by the buffer manager's
+    // retries; the ones that escalate must come back as typed node
+    // errors. Whatever comes back OK must equal the oracle.
+    let w = WorkloadSpec {
+        divisor_size: 12,
+        quotient_size: 30,
+        incomplete_groups: 10,
+        incomplete_fill: 0.5,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    }
+    .generate(47);
+    let expected = canon(
+        divide_relations(
+            &w.dividend,
+            &w.divisor,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        )
+        .unwrap()
+        .tuples(),
+    );
+
+    let mut completed = 0u32;
+    let mut refused = 0u32;
+    for seed in 0..4u64 {
+        let cluster = LocalCluster::start_with(3, |node| ServiceConfig {
+            storage_faults: Some(
+                FaultPlan::seeded(seed * 31 + node as u64)
+                    .with_read_error_rate(0.04)
+                    .with_write_error_rate(0.04),
+            ),
+            ..ServiceConfig::default()
+        })
+        .expect("start nodes");
+        let mut coord = cluster
+            .coordinator(Some(Duration::from_secs(30)))
+            .expect("connect");
+        coord.register("r", &w.dividend, &[0]).unwrap();
+        coord.register("s", &w.divisor, &[0]).unwrap();
+        for (strategy, bits) in [
+            (Strategy::QuotientPartitioning, None),
+            (Strategy::DivisorPartitioning, None),
+            (Strategy::DivisorPartitioning, Some(4096)),
+        ] {
+            match coord.divide("r", "s", &options(strategy, bits)) {
+                Ok(response) => {
+                    assert_eq!(
+                        canon(&response.tuples),
+                        expected,
+                        "seed {seed} {strategy:?}: a fault must never warp the quotient"
+                    );
+                    completed += 1;
+                }
+                // A node-side refusal (storage fault escalated past the
+                // retry budget) is acceptable — but only as a typed error.
+                Err(ClusterError::Node { .. }) => refused += 1,
+                Err(other) => panic!("seed {seed} {strategy:?}: {other}"),
+            }
+        }
+    }
+    assert!(
+        completed >= 1,
+        "retries should carry at least one query through ({refused} refused)"
+    );
+}
+
+#[test]
+fn traffic_accounting_stays_consistent_through_failures() {
+    let w = WorkloadSpec {
+        divisor_size: 10,
+        quotient_size: 25,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    }
+    .generate(53);
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.register("r", &w.dividend, &[0]).unwrap();
+    coord.register("s", &w.divisor, &[0]).unwrap();
+
+    let before = coord.link_stats();
+    let mut reported = 0u64;
+    for (strategy, bits) in [
+        (Strategy::QuotientPartitioning, None),
+        (Strategy::DivisorPartitioning, None),
+        (Strategy::DivisorPartitioning, Some(1024)),
+        (Strategy::QuotientPartitioning, None),
+    ] {
+        let response = coord.divide("r", "s", &options(strategy, bits)).unwrap();
+        let report = &response.report;
+        // Per-query internal consistency: per-link deltas sum to the
+        // query totals, and every request frame saw a reply frame.
+        let (msgs, bytes) = report.per_link.iter().fold((0, 0), |(m, b), l| {
+            let (lm, lb) = l.total();
+            (m + lm, b + lb)
+        });
+        assert_eq!(msgs, report.messages);
+        assert_eq!(bytes, report.bytes);
+        for link in &report.per_link {
+            assert_eq!(link.messages_sent, link.messages_received);
+        }
+        reported += report.bytes;
+    }
+    // Cross-query consistency: the cumulative link counters advanced by
+    // exactly the sum of the per-query reports (divide is the only
+    // traffic between the two snapshots).
+    let after = coord.link_stats();
+    let cumulative: u64 = before
+        .iter()
+        .zip(&after)
+        .map(|(b, a)| a.total().1 - b.total().1)
+        .sum();
+    assert_eq!(cumulative, reported);
+
+    // Failures still count their traffic: a query against a dead node
+    // sends frames that the counters must not lose.
+    cluster.kill(0);
+    let before = coord.link_stats();
+    let _ = coord
+        .divide("r", "s", &options(Strategy::QuotientPartitioning, None))
+        .expect_err("dead node");
+    let after = coord.link_stats();
+    let sent_after_kill: u64 = before
+        .iter()
+        .zip(&after)
+        .map(|(b, a)| a.messages_sent + a.messages_received - b.messages_sent - b.messages_received)
+        .sum();
+    assert!(
+        sent_after_kill > 0,
+        "the failed attempt's frames are still accounted"
+    );
+}

@@ -9,7 +9,7 @@
 use reldiv_rel::Tuple;
 
 /// A bit-vector filter over divisor-attribute hash values.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitVectorFilter {
     words: Vec<u64>,
     bits: usize,
@@ -33,7 +33,14 @@ impl BitVectorFilter {
     /// Inserts a divisor tuple (hashed on all its columns).
     pub fn insert(&mut self, divisor_tuple: &Tuple) {
         let all: Vec<usize> = (0..divisor_tuple.arity()).collect();
-        let h = divisor_tuple.hash_on(&all) as usize % self.bits;
+        self.insert_on(divisor_tuple, &all);
+    }
+
+    /// Inserts a tuple hashed on an explicit key set — the node-side
+    /// `BuildFilter` handler inserts divisor fragments on the same
+    /// columns [`may_match`](Self::may_match) later tests.
+    pub fn insert_on(&mut self, tuple: &Tuple, keys: &[usize]) {
+        let h = tuple.hash_on(keys) as usize % self.bits;
         self.words[h / 64] |= 1 << (h % 64);
     }
 
@@ -50,6 +57,35 @@ impl BitVectorFilter {
     pub fn fill_ratio(&self) -> f64 {
         let ones: u32 = self.words.iter().map(|w| w.count_ones()).sum();
         ones as f64 / self.bits as f64
+    }
+
+    /// The backing words, for wire serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a filter from its wire parts. `None` if the word count
+    /// does not match the bit count (hostile or corrupt input) or the bit
+    /// count is below the one-word minimum.
+    pub fn from_parts(bits: usize, words: Vec<u64>) -> Option<Self> {
+        if bits < 64 || words.len() != bits.div_ceil(64) {
+            return None;
+        }
+        Some(BitVectorFilter { words, bits })
+    }
+
+    /// ORs another filter of the same geometry into this one — how a
+    /// coordinator merges the filters that each divisor-owning node built
+    /// over its local fragment. `false` (no-op) on a size mismatch.
+    #[must_use]
+    pub fn union(&mut self, other: &BitVectorFilter) -> bool {
+        if self.bits != other.bits {
+            return false;
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        true
     }
 }
 
@@ -108,5 +144,32 @@ mod tests {
     fn minimum_size_is_one_word() {
         let f = BitVectorFilter::new(1);
         assert_eq!(f.bits(), 64);
+    }
+
+    #[test]
+    fn wire_parts_round_trip() {
+        let mut f = BitVectorFilter::new(1024);
+        for d in 0..30 {
+            f.insert(&ints(&[d]));
+        }
+        let rebuilt = BitVectorFilter::from_parts(f.bits(), f.words().to_vec()).unwrap();
+        assert_eq!(rebuilt, f);
+        // Mismatched word counts are rejected, not mis-sized.
+        assert!(BitVectorFilter::from_parts(1024, vec![0; 15]).is_none());
+        assert!(BitVectorFilter::from_parts(0, vec![]).is_none());
+    }
+
+    #[test]
+    fn union_merges_fragment_filters() {
+        let mut a = BitVectorFilter::new(512);
+        let mut b = BitVectorFilter::new(512);
+        a.insert(&ints(&[1]));
+        b.insert(&ints(&[2]));
+        assert!(a.union(&b));
+        for d in [1, 2] {
+            assert!(a.may_match(&ints(&[0, d]), &[1]), "member {d} after union");
+        }
+        let other_geometry = BitVectorFilter::new(1024);
+        assert!(!a.union(&other_geometry), "size mismatch refused");
     }
 }

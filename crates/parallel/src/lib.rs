@@ -28,6 +28,8 @@
 
 pub mod filter;
 pub mod network;
+pub mod partition;
+pub mod strategy;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,23 +42,14 @@ use reldiv_rel::{Relation, Tuple};
 use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::{MemoryPool, StorageManager};
 
-use filter::BitVectorFilter;
-use network::{build_links, build_result_link, Message, NetworkCounters, NetworkStats};
+use network::{build_links, build_result_link, Message, NetworkCounters, NetworkStats, Port};
+use strategy::{distribute, CollectionSite, Transport};
+
+pub use partition::route;
+pub use strategy::{Distribution, Strategy};
 
 /// Result alias shared with the core crate.
 pub type Result<T> = reldiv_core::Result<T>;
-
-/// Partitioning strategy for the parallel division.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strategy {
-    /// Replicate the divisor; partition the dividend on the quotient
-    /// attributes; concatenate node results.
-    QuotientPartitioning,
-    /// Partition both inputs on the divisor attributes; collect node
-    /// results with a final collection-phase division over node
-    /// addresses.
-    DivisorPartitioning,
-}
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -304,6 +297,40 @@ fn node_main(
     Ok(scope.finish())
 }
 
+/// The thread machine's [`Transport`]: accounted in-process channels.
+/// Sends cannot fail — a hung-up receiver means the node died, and the
+/// thread join below surfaces its error.
+struct ChannelTransport<'a> {
+    ports: &'a [Port],
+}
+
+impl Transport for ChannelTransport<'_> {
+    type Error = std::convert::Infallible;
+
+    fn ship_divisor(
+        &mut self,
+        node: usize,
+        tuples: Vec<Tuple>,
+    ) -> std::result::Result<(), Self::Error> {
+        self.ports[node].send(Message::Divisor(tuples));
+        Ok(())
+    }
+
+    fn ship_dividend(
+        &mut self,
+        node: usize,
+        tuples: Vec<Tuple>,
+    ) -> std::result::Result<(), Self::Error> {
+        self.ports[node].send(Message::Dividend(tuples));
+        Ok(())
+    }
+
+    fn end(&mut self, node: usize) -> std::result::Result<(), Self::Error> {
+        self.ports[node].send(Message::End);
+        Ok(())
+    }
+}
+
 /// Runs `dividend ÷ divisor` across the simulated cluster.
 pub fn parallel_divide(
     dividend: &Relation,
@@ -351,91 +378,25 @@ pub fn parallel_divide(
     drop(result_port); // collection channel closes when all nodes finish
 
     let n = config.nodes;
-    let divisor_all: Vec<usize> = (0..divisor.schema().arity()).collect();
-    let mut per_node_dividend = vec![0u64; n];
-    let mut filtered_tuples = 0u64;
-    let mut filter_fill_ratio = None;
-    let participating: Vec<usize>;
-
-    match config.strategy {
-        Strategy::QuotientPartitioning => {
-            // Replicate the divisor to every node.
-            for port in &ports {
-                port.send(Message::Divisor(divisor.tuples().to_vec()));
-            }
-            // Partition the dividend on the quotient attributes.
-            let mut batches: Vec<Vec<Tuple>> = vec![Vec::new(); n];
-            for t in dividend.tuples() {
-                let node = (t.hash_on(&spec.quotient_keys) as usize) % n;
-                per_node_dividend[node] += 1;
-                batches[node].push(t.clone());
-                if batches[node].len() >= config.batch_size {
-                    ports[node].send(Message::Dividend(std::mem::take(&mut batches[node])));
-                }
-            }
-            for (node, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    ports[node].send(Message::Dividend(batch));
-                }
-                ports[node].send(Message::End);
-            }
-            participating = (0..n).collect();
-        }
-        Strategy::DivisorPartitioning => {
-            // Partition the divisor; build the optional bit-vector filter
-            // while scanning it.
-            let mut divisor_clusters: Vec<Vec<Tuple>> = vec![Vec::new(); n];
-            let mut bv = config.bit_vector_bits.map(BitVectorFilter::new);
-            for t in divisor.tuples() {
-                if let Some(f) = &mut bv {
-                    f.insert(t);
-                }
-                let node = (t.hash_on(&divisor_all) as usize) % n;
-                divisor_clusters[node].push(t.clone());
-            }
-            filter_fill_ratio = bv.as_ref().map(BitVectorFilter::fill_ratio);
-            let empty_divisor = divisor_clusters.iter().all(Vec::is_empty);
-            participating = if empty_divisor {
-                (0..n).collect()
-            } else {
-                (0..n)
-                    .filter(|&i| !divisor_clusters[i].is_empty())
-                    .collect()
-            };
-            for (node, cluster) in divisor_clusters.into_iter().enumerate() {
-                ports[node].send(Message::Divisor(cluster));
-            }
-            // Partition the dividend on the divisor attributes, dropping
-            // tuples the bit-vector filter proves unmatched and tuples
-            // bound for non-participating nodes.
-            let mut batches: Vec<Vec<Tuple>> = vec![Vec::new(); n];
-            for t in dividend.tuples() {
-                if let Some(f) = &bv {
-                    if !empty_divisor && !f.may_match(t, &spec.divisor_keys) {
-                        filtered_tuples += 1;
-                        continue;
-                    }
-                }
-                let node = (t.hash_on(&spec.divisor_keys) as usize) % n;
-                if !participating.contains(&node) {
-                    // No divisor tuples live there; nothing to match.
-                    filtered_tuples += 1;
-                    continue;
-                }
-                per_node_dividend[node] += 1;
-                batches[node].push(t.clone());
-                if batches[node].len() >= config.batch_size {
-                    ports[node].send(Message::Dividend(std::mem::take(&mut batches[node])));
-                }
-            }
-            for (node, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    ports[node].send(Message::Dividend(batch));
-                }
-                ports[node].send(Message::End);
-            }
-        }
-    }
+    // The scan site: the shared strategy driver over the accounted
+    // channels. The TCP cluster runs the identical driver over its links,
+    // so the two backends cannot drift apart.
+    let mut transport = ChannelTransport { ports: &ports };
+    let dist = distribute(
+        &mut transport,
+        Distribution {
+            strategy: config.strategy,
+            nodes: n,
+            bit_vector_bits: config.bit_vector_bits,
+        },
+        spec,
+        dividend.tuples(),
+        divisor.tuples(),
+        divisor.schema().arity(),
+        config.batch_size,
+    )
+    .expect("channel transport is infallible");
+    let participating = dist.participating.clone();
 
     // Collection site.
     let mut result = Relation::empty(quotient_schema.clone());
@@ -450,52 +411,24 @@ pub fn parallel_divide(
         }
         Strategy::DivisorPartitioning => {
             // "The collection site divides the set of all incoming tuples
-            // over the set of processor network addresses", reusing the
-            // quotient-table machinery with the node's dense tag as the
-            // bit index (step 1 of hash-division is skipped). With more
-            // than one collection site, the tagged tuples are themselves
-            // quotient-partitioned across sites — the paper's
+            // over the set of processor network addresses" — the shared
+            // [`CollectionSite`], also used verbatim by the TCP cluster's
+            // coordinator. With more than one site, the tagged tuples are
+            // themselves quotient-partitioned across sites — the paper's
             // decentralized collection. (Nodes would hash-route their
             // shipments directly in a real machine, so no extra network
             // traffic is charged for the fan-out.)
-            let empty_divisor = divisor.is_empty();
-            let phase_count = if empty_divisor {
-                1
-            } else {
-                participating.len() as u32
-            };
-            let dense: std::collections::HashMap<usize, u32> = participating
-                .iter()
-                .enumerate()
-                .map(|(i, &node)| (node, i as u32))
-                .collect();
             let sites = config.collection_sites.max(1);
             let qarity = quotient_schema.arity();
-            let qwidth = quotient_schema.record_width();
             if sites == 1 {
-                let pool = MemoryPool::unbounded();
-                let mut collector = QuotientTable::new(
-                    &pool,
-                    HashDivisionMode::Standard,
-                    phase_count,
-                    (0..qarity).collect(),
-                    qwidth,
-                )?;
+                let mut site =
+                    CollectionSite::new(&quotient_schema, &participating, dist.empty_divisor)?;
                 while let Ok((node, tuples)) = result_rx.recv() {
-                    let tag = if empty_divisor {
-                        0
-                    } else {
-                        match dense.get(&node) {
-                            Some(&t) => t,
-                            // Non-participating nodes report empty clusters.
-                            None => continue,
-                        }
-                    };
                     for t in tuples {
-                        collector.absorb(&t, Some(tag))?;
+                        site.absorb(node, &t)?;
                     }
                 }
-                while let Some(t) = collector.next_complete() {
+                for t in site.finish() {
                     result.push(t).map_err(ExecError::from)?;
                 }
             } else {
@@ -504,40 +437,24 @@ pub fn parallel_divide(
                 let mut txs = Vec::with_capacity(sites);
                 let mut collectors = Vec::with_capacity(sites);
                 for _ in 0..sites {
-                    let (tx, rx) = crossbeam::channel::unbounded::<(u32, Tuple)>();
+                    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Tuple)>();
                     txs.push(tx);
+                    let schema = quotient_schema.clone();
+                    let participating = participating.clone();
+                    let empty_divisor = dist.empty_divisor;
                     collectors.push(std::thread::spawn(move || -> Result<Vec<Tuple>> {
-                        let pool = MemoryPool::unbounded();
-                        let mut collector = QuotientTable::new(
-                            &pool,
-                            HashDivisionMode::Standard,
-                            phase_count,
-                            (0..qarity).collect(),
-                            qwidth,
-                        )?;
-                        while let Ok((tag, t)) = rx.recv() {
-                            collector.absorb(&t, Some(tag))?;
+                        let mut site = CollectionSite::new(&schema, &participating, empty_divisor)?;
+                        while let Ok((node, t)) = rx.recv() {
+                            site.absorb(node, &t)?;
                         }
-                        let mut out = Vec::new();
-                        while let Some(t) = collector.next_complete() {
-                            out.push(t);
-                        }
-                        Ok(out)
+                        Ok(site.finish())
                     }));
                 }
                 let qcols: Vec<usize> = (0..qarity).collect();
                 while let Ok((node, tuples)) = result_rx.recv() {
-                    let tag = if empty_divisor {
-                        0
-                    } else {
-                        match dense.get(&node) {
-                            Some(&t) => t,
-                            None => continue,
-                        }
-                    };
                     for t in tuples {
                         let site = (t.hash_on(&qcols) as usize) % sites;
-                        let _ = txs[site].send((tag, t));
+                        let _ = txs[site].send((node, t));
                     }
                 }
                 drop(txs);
@@ -570,9 +487,9 @@ pub fn parallel_divide(
         network: counters.stats(),
         nodes: n,
         participating_nodes: participating.len(),
-        filtered_tuples,
-        filter_fill_ratio,
-        per_node_dividend,
+        filtered_tuples: dist.filtered_tuples,
+        filter_fill_ratio: dist.filter_fill_ratio,
+        per_node_dividend: dist.per_node_dividend,
         per_node_ops,
         total_ops,
         elapsed: start.elapsed(),

@@ -7,11 +7,15 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
-use reldiv_rel::Relation;
+use reldiv_parallel::filter::BitVectorFilter;
+use reldiv_rel::{Relation, Schema, Tuple};
 
 use crate::error::{Result, ServiceError};
 use crate::metrics::MetricsSnapshot;
-use crate::proto::{self, DivideReply, DivideRequest, Reply, Request};
+use crate::proto::{
+    self, DivideReply, DivideRequest, PartialQuotientReply, RepartitionRequest, Reply, Request,
+    ShardRequest,
+};
 use crate::service::{QueryOptions, Service};
 
 /// The operations a service client offers, transport-independent.
@@ -61,6 +65,7 @@ impl DivisionClient for InProcClient {
             spec: request.spec.clone(),
             deadline: request.deadline_ms.map(Duration::from_millis),
             profile: request.profile,
+            distribute: request.distribute,
         };
         let r = self
             .service
@@ -110,6 +115,67 @@ impl TcpClient {
     pub fn shutdown_server(&mut self) -> Result<()> {
         match self.call(&Request::Shutdown)? {
             Reply::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Installs one shard of a hash-partitioned relation on the node;
+    /// returns the node's catalog version for it.
+    pub fn shard(&mut self, request: &ShardRequest) -> Result<u64> {
+        match self.call(&Request::Shard(request.clone()))? {
+            Reply::Sharded { version } => Ok(version),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the node to hash-partition a stored relation's local tuples;
+    /// returns `(schema, buckets, filtered)`.
+    pub fn repartition(
+        &mut self,
+        request: &RepartitionRequest,
+    ) -> Result<(Schema, Vec<Vec<Tuple>>, u64)> {
+        match self.call(&Request::Repartition(request.clone()))? {
+            Reply::Repartitioned {
+                schema,
+                buckets,
+                filtered,
+            } => Ok((schema, buckets, filtered)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the node to build a bit-vector filter over a stored
+    /// relation's local tuples; returns `(filter, insertions)`.
+    pub fn build_filter(
+        &mut self,
+        name: &str,
+        keys: &[usize],
+        bits: u32,
+    ) -> Result<(BitVectorFilter, u64)> {
+        let request = Request::BuildFilter {
+            name: name.to_owned(),
+            keys: keys.to_vec(),
+            bits,
+        };
+        match self.call(&request)? {
+            Reply::Filter { filter, insertions } => Ok((filter, insertions)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs one node's share of a cluster division; the tag is echoed in
+    /// the reply so a collection site can map it back.
+    pub fn divide_partial(
+        &mut self,
+        tag: u16,
+        query: &DivideRequest,
+    ) -> Result<PartialQuotientReply> {
+        let request = Request::DividePartial {
+            tag,
+            query: query.clone(),
+        };
+        match self.call(&request)? {
+            Reply::PartialQuotient(reply) => Ok(reply),
             other => Err(unexpected(&other)),
         }
     }
@@ -370,6 +436,7 @@ mod tests {
             spec: None,
             deadline_ms: None,
             profile: false,
+            distribute: None,
         }
     }
 

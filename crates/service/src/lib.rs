@@ -41,7 +41,9 @@ mod worker;
 pub use client::{BackoffPolicy, DivisionClient, InProcClient, RetryingClient, TcpClient};
 pub use error::{Result, ServiceError};
 pub use metrics::MetricsSnapshot;
-pub use proto::{DivideReply, DivideRequest};
+pub use proto::{
+    DivideReply, DivideRequest, PartialQuotientReply, RepartitionRequest, ShardRequest,
+};
 pub use reldiv_core::{ProfileNode, QueryProfile};
 pub use server::ServerHandle;
-pub use service::{QueryOptions, QueryResponse, Service, ServiceConfig};
+pub use service::{QueryOptions, QueryResponse, Service, ServiceConfig, ShardInfo};

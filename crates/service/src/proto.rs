@@ -12,6 +12,8 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use reldiv_core::{Algorithm, HashDivisionMode, ProfileNode, QueryProfile, SpanKind};
+use reldiv_parallel::filter::BitVectorFilter;
+use reldiv_parallel::{Distribution, Strategy};
 use reldiv_rel::counters::OpSnapshot;
 use reldiv_rel::{ColumnType, Field, RecordCodec, Schema, Tuple};
 
@@ -21,6 +23,13 @@ use crate::metrics::MetricsSnapshot;
 /// Frames larger than this are refused (a corrupt length prefix would
 /// otherwise ask for an absurd allocation).
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Largest shard/repartition fan-out accepted on the wire. A corrupt
+/// `parts` field would otherwise ask for an absurd bucket allocation.
+pub const MAX_CLUSTER_NODES: usize = 1024;
+
+/// Largest bit-vector filter accepted on the wire (8 MiB of words).
+pub const MAX_FILTER_BITS: usize = 1 << 26;
 
 /// Algorithm wire code for "let the service choose".
 pub const ALG_AUTO: u8 = 0xFF;
@@ -120,6 +129,69 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Install one shard of a hash-partitioned relation (cluster node
+    /// role): the node stores the tuples as an ordinary relation plus the
+    /// shard coordinates, so a coordinator can later verify placement.
+    Shard(ShardRequest),
+    /// Hash-partition a stored relation's tuples on a key set into
+    /// `parts` buckets, optionally dropping tuples through a bit-vector
+    /// filter first — the sending-site half of divisor partitioning,
+    /// executed where the data lives.
+    Repartition(RepartitionRequest),
+    /// Build a bit-vector filter over a stored relation's tuples hashed
+    /// on `keys`. The coordinator ORs the per-node filters together and
+    /// ships the union back inside [`Request::Repartition`] — bits move,
+    /// tuples don't.
+    BuildFilter {
+        /// Relation to scan.
+        name: String,
+        /// Columns to hash each tuple on.
+        keys: Vec<usize>,
+        /// Filter size in bits (bounded by [`MAX_FILTER_BITS`]).
+        bits: u32,
+    },
+    /// Run a local division and tag the reply — one node's share of a
+    /// cluster query. The tag travels back verbatim in
+    /// [`Reply::PartialQuotient`] so the collection site can map the
+    /// reply to its dense node index even over reordered links.
+    DividePartial {
+        /// Collection-site tag assigned by the coordinator.
+        tag: u16,
+        /// The local division to run.
+        query: DivideRequest,
+    },
+}
+
+/// The shard-install payload of a [`Request::Shard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Catalog name (shared by all shards of the relation).
+    pub name: String,
+    /// This shard's index, `< of`.
+    pub shard: u16,
+    /// Total shard count (bounded by [`MAX_CLUSTER_NODES`]).
+    pub of: u16,
+    /// Columns the relation is hash-partitioned on.
+    pub shard_keys: Vec<usize>,
+    /// Relation schema (identical across shards).
+    pub schema: Schema,
+    /// This shard's tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+/// The repartition payload of a [`Request::Repartition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepartitionRequest {
+    /// Relation whose local tuples to partition.
+    pub name: String,
+    /// Columns to hash on — also the columns the filter (if any) tests.
+    pub keys: Vec<usize>,
+    /// Bucket count (bounded by [`MAX_CLUSTER_NODES`]).
+    pub parts: u16,
+    /// Bit-vector filter applied before bucketing: tuples whose `keys`
+    /// projection misses the filter are dropped at this site and only
+    /// counted, never shipped.
+    pub filter: Option<BitVectorFilter>,
 }
 
 /// The division query of a [`Request::Divide`].
@@ -144,6 +216,11 @@ pub struct DivideRequest {
     /// span tree to the reply (`EXPLAIN ANALYZE`). Encoded as a trailing
     /// byte that old clients simply omit, so absence decodes as `false`.
     pub profile: bool,
+    /// Run the division over the in-process parallel machine (Section 6
+    /// strategy, node count, optional bit-vector filter) instead of a
+    /// single operator. Encoded as a trailing section after the profile
+    /// byte; peers that predate it omit it and absence decodes as `None`.
+    pub distribute: Option<Distribution>,
 }
 
 /// A successful server → client payload.
@@ -165,6 +242,56 @@ pub enum Reply {
     /// Acknowledges [`Request::Shutdown`]; the server stops accepting
     /// connections after sending it.
     ShuttingDown,
+    /// Answer to [`Request::Shard`].
+    Sharded {
+        /// The catalog version installed for this shard.
+        version: u64,
+    },
+    /// Answer to [`Request::Repartition`]: the local tuples bucketed on
+    /// the requested keys, plus how many the filter dropped at this site.
+    Repartitioned {
+        /// Relation schema (buckets share it).
+        schema: Schema,
+        /// One bucket per part, in part order.
+        buckets: Vec<Vec<Tuple>>,
+        /// Tuples dropped by the bit-vector filter before bucketing.
+        filtered: u64,
+    },
+    /// Answer to [`Request::BuildFilter`].
+    Filter {
+        /// The filter over this node's local tuples.
+        filter: BitVectorFilter,
+        /// Tuples inserted (the local cardinality scanned).
+        insertions: u64,
+    },
+    /// Answer to [`Request::DividePartial`].
+    PartialQuotient(PartialQuotientReply),
+}
+
+/// One node's share of a cluster division, answering
+/// [`Request::DividePartial`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialQuotientReply {
+    /// The coordinator-assigned tag, echoed verbatim.
+    pub tag: u16,
+    /// The algorithm that ran locally.
+    pub algorithm: Algorithm,
+    /// Local dividend version the partial quotient was computed from.
+    pub dividend_version: u64,
+    /// Local divisor version the partial quotient was computed from.
+    pub divisor_version: u64,
+    /// Node-local service latency in microseconds.
+    pub micros: u64,
+    /// Abstract operations the local execution performed.
+    pub ops: OpSnapshot,
+    /// Quotient schema.
+    pub schema: Schema,
+    /// This node's quotient cluster.
+    pub tuples: Vec<Tuple>,
+    /// The node-local span tree, when the request asked for one. The
+    /// coordinator grafts these under its network root to form the merged
+    /// cluster profile.
+    pub profile: Option<QueryProfile>,
 }
 
 /// The quotient and its provenance, answering a division query.
@@ -525,6 +652,51 @@ fn get_profile(r: &mut Reader<'_>) -> PResult<QueryProfile> {
 }
 
 // ---------------------------------------------------------------------
+// Bit-vector filters
+//
+// Wire form: u32 bit count, u32 word count, then the words as u64s. The
+// word count is redundant (it must equal ceil(bits/64)) and exists so a
+// corrupt frame is caught by arithmetic, not by a misaligned read of
+// whatever follows. Bounded by [`MAX_FILTER_BITS`].
+
+fn put_filter(out: &mut Vec<u8>, filter: &BitVectorFilter) -> PResult<()> {
+    if filter.bits() > MAX_FILTER_BITS {
+        return Err(perr(format!(
+            "filter of {} bits exceeds the {MAX_FILTER_BITS}-bit limit",
+            filter.bits()
+        )));
+    }
+    out.extend_from_slice(&(filter.bits() as u32).to_le_bytes());
+    let words = filter.words();
+    out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    Ok(())
+}
+
+fn get_filter(r: &mut Reader<'_>) -> PResult<BitVectorFilter> {
+    let bits = r.u32()? as usize;
+    if bits > MAX_FILTER_BITS {
+        return Err(perr(format!(
+            "filter of {bits} bits exceeds the {MAX_FILTER_BITS}-bit limit"
+        )));
+    }
+    let n_words = r.u32()? as usize;
+    if n_words != bits.div_ceil(64) {
+        return Err(perr(format!(
+            "filter word count {n_words} does not match {bits} bits"
+        )));
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(r.u64()?);
+    }
+    BitVectorFilter::from_parts(bits, words)
+        .ok_or_else(|| perr("filter geometry rejected".to_string()))
+}
+
+// ---------------------------------------------------------------------
 // Requests
 
 const OP_PING: u8 = 0x01;
@@ -533,6 +705,126 @@ const OP_DROP: u8 = 0x03;
 const OP_DIVIDE: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_SHARD: u8 = 0x07;
+const OP_REPARTITION: u8 = 0x08;
+const OP_BUILD_FILTER: u8 = 0x09;
+const OP_DIVIDE_PARTIAL: u8 = 0x0A;
+
+/// Encodes the body of a divide request (everything after the opcode),
+/// shared by [`Request::Divide`] and [`Request::DividePartial`].
+fn put_divide_body(out: &mut Vec<u8>, q: &DivideRequest) -> PResult<()> {
+    put_str(out, &q.dividend)?;
+    put_str(out, &q.divisor)?;
+    out.push(q.algorithm.map_or(ALG_AUTO, algorithm_code));
+    out.push(u8::from(q.assume_unique));
+    match &q.spec {
+        None => out.push(0),
+        Some((divisor_keys, quotient_keys)) => {
+            out.push(1);
+            put_keys(out, divisor_keys)?;
+            put_keys(out, quotient_keys)?;
+        }
+    }
+    // 0 on the wire means "no explicit deadline".
+    out.extend_from_slice(&q.deadline_ms.unwrap_or(0).to_le_bytes());
+    // Trailing extension (absent in the original revision): request a
+    // query profile with the reply.
+    out.push(u8::from(q.profile));
+    // Trailing extension (absent before the cluster revision): run the
+    // division over the in-process parallel machine.
+    match &q.distribute {
+        None => out.push(0),
+        Some(d) => {
+            if d.nodes == 0 || d.nodes > MAX_CLUSTER_NODES {
+                return Err(perr(format!(
+                    "distribution over {} nodes is outside 1..={MAX_CLUSTER_NODES}",
+                    d.nodes
+                )));
+            }
+            out.push(1);
+            out.push(d.strategy.code());
+            out.extend_from_slice(&(d.nodes as u16).to_le_bytes());
+            let bits = d.bit_vector_bits.unwrap_or(0);
+            if bits > MAX_FILTER_BITS {
+                return Err(perr(format!(
+                    "filter of {bits} bits exceeds the {MAX_FILTER_BITS}-bit limit"
+                )));
+            }
+            out.extend_from_slice(&(bits as u64).to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a divide-request body. Both trailing extensions (profile
+/// byte, distribution section) may be absent: old peers stop early.
+fn get_divide_body(r: &mut Reader<'_>) -> PResult<DivideRequest> {
+    let dividend = r.str()?;
+    let divisor = r.str()?;
+    let alg = r.u8()?;
+    let algorithm = if alg == ALG_AUTO {
+        None
+    } else {
+        Some(
+            algorithm_from_code(alg)
+                .ok_or_else(|| perr(format!("unknown algorithm code {alg}")))?,
+        )
+    };
+    let assume_unique = r.u8()? != 0;
+    let spec = match r.u8()? {
+        0 => None,
+        1 => Some((get_keys(r)?, get_keys(r)?)),
+        t => return Err(perr(format!("unknown spec tag {t}"))),
+    };
+    let deadline_ms = match r.u64()? {
+        0 => None,
+        ms => Some(ms),
+    };
+    // Original-revision clients stop here; absence of the trailing
+    // profile byte means "no profile".
+    let profile = r.remaining() > 0 && r.u8()? != 0;
+    // Pre-cluster clients stop here; absence means "not distributed".
+    let distribute = if r.remaining() > 0 {
+        match r.u8()? {
+            0 => None,
+            1 => {
+                let code = r.u8()?;
+                let strategy = Strategy::from_code(code)
+                    .ok_or_else(|| perr(format!("unknown strategy code {code}")))?;
+                let nodes = r.u16()? as usize;
+                if nodes == 0 || nodes > MAX_CLUSTER_NODES {
+                    return Err(perr(format!(
+                        "distribution over {nodes} nodes is outside 1..={MAX_CLUSTER_NODES}"
+                    )));
+                }
+                let bits = r.u64()? as usize;
+                if bits > MAX_FILTER_BITS {
+                    return Err(perr(format!(
+                        "filter of {bits} bits exceeds the {MAX_FILTER_BITS}-bit limit"
+                    )));
+                }
+                Some(Distribution {
+                    strategy,
+                    nodes,
+                    bit_vector_bits: if bits == 0 { None } else { Some(bits) },
+                })
+            }
+            t => return Err(perr(format!("unknown distribution tag {t}"))),
+        }
+    } else {
+        None
+    };
+    Ok(DivideRequest {
+        dividend,
+        divisor,
+        algorithm,
+        assume_unique,
+        spec,
+        deadline_ms,
+        profile,
+        distribute,
+    })
+}
 
 impl Request {
     /// Encodes the request as a frame payload.
@@ -556,26 +848,60 @@ impl Request {
             }
             Request::Divide(q) => {
                 out.push(OP_DIVIDE);
-                put_str(&mut out, &q.dividend)?;
-                put_str(&mut out, &q.divisor)?;
-                out.push(q.algorithm.map_or(ALG_AUTO, algorithm_code));
-                out.push(u8::from(q.assume_unique));
-                match &q.spec {
-                    None => out.push(0),
-                    Some((divisor_keys, quotient_keys)) => {
-                        out.push(1);
-                        put_keys(&mut out, divisor_keys)?;
-                        put_keys(&mut out, quotient_keys)?;
-                    }
-                }
-                // 0 on the wire means "no explicit deadline".
-                out.extend_from_slice(&q.deadline_ms.unwrap_or(0).to_le_bytes());
-                // Trailing extension (absent in the original revision):
-                // request a query profile with the reply.
-                out.push(u8::from(q.profile));
+                put_divide_body(&mut out, q)?;
             }
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::Shard(s) => {
+                out.push(OP_SHARD);
+                if s.of == 0 || s.of as usize > MAX_CLUSTER_NODES || s.shard >= s.of {
+                    return Err(perr(format!(
+                        "shard {}/{} is not a valid placement",
+                        s.shard, s.of
+                    )));
+                }
+                put_str(&mut out, &s.name)?;
+                out.extend_from_slice(&s.shard.to_le_bytes());
+                out.extend_from_slice(&s.of.to_le_bytes());
+                put_keys(&mut out, &s.shard_keys)?;
+                put_schema(&mut out, &s.schema)?;
+                put_tuples(&mut out, &s.schema, &s.tuples)?;
+            }
+            Request::Repartition(p) => {
+                out.push(OP_REPARTITION);
+                if p.parts == 0 || p.parts as usize > MAX_CLUSTER_NODES {
+                    return Err(perr(format!(
+                        "repartition into {} parts is outside 1..={MAX_CLUSTER_NODES}",
+                        p.parts
+                    )));
+                }
+                put_str(&mut out, &p.name)?;
+                put_keys(&mut out, &p.keys)?;
+                out.extend_from_slice(&p.parts.to_le_bytes());
+                match &p.filter {
+                    None => out.push(0),
+                    Some(f) => {
+                        out.push(1);
+                        put_filter(&mut out, f)?;
+                    }
+                }
+            }
+            Request::BuildFilter { name, keys, bits } => {
+                out.push(OP_BUILD_FILTER);
+                if *bits == 0 || *bits as usize > MAX_FILTER_BITS {
+                    return Err(perr(format!(
+                        "filter of {bits} bits is outside 1..={MAX_FILTER_BITS}"
+                    )));
+                }
+                put_str(&mut out, name)?;
+                put_keys(&mut out, keys)?;
+                out.extend_from_slice(&bits.to_le_bytes());
+            }
+            Request::DividePartial { tag, query } => {
+                out.push(OP_DIVIDE_PARTIAL);
+                out.extend_from_slice(&tag.to_le_bytes());
+                put_divide_body(&mut out, query)?;
+            }
         }
         Ok(out)
     }
@@ -596,43 +922,67 @@ impl Request {
                 }
             }
             OP_DROP => Request::DropRelation { name: r.str()? },
-            OP_DIVIDE => {
-                let dividend = r.str()?;
-                let divisor = r.str()?;
-                let alg = r.u8()?;
-                let algorithm = if alg == ALG_AUTO {
-                    None
-                } else {
-                    Some(
-                        algorithm_from_code(alg)
-                            .ok_or_else(|| perr(format!("unknown algorithm code {alg}")))?,
-                    )
-                };
-                let assume_unique = r.u8()? != 0;
-                let spec = match r.u8()? {
-                    0 => None,
-                    1 => Some((get_keys(&mut r)?, get_keys(&mut r)?)),
-                    t => return Err(perr(format!("unknown spec tag {t}"))),
-                };
-                let deadline_ms = match r.u64()? {
-                    0 => None,
-                    ms => Some(ms),
-                };
-                // Original-revision clients stop here; absence of the
-                // trailing profile byte means "no profile".
-                let profile = r.remaining() > 0 && r.u8()? != 0;
-                Request::Divide(DivideRequest {
-                    dividend,
-                    divisor,
-                    algorithm,
-                    assume_unique,
-                    spec,
-                    deadline_ms,
-                    profile,
-                })
-            }
+            OP_DIVIDE => Request::Divide(get_divide_body(&mut r)?),
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_SHARD => {
+                let name = r.str()?;
+                let shard = r.u16()?;
+                let of = r.u16()?;
+                if of == 0 || of as usize > MAX_CLUSTER_NODES || shard >= of {
+                    return Err(perr(format!("shard {shard}/{of} is not a valid placement")));
+                }
+                let shard_keys = get_keys(&mut r)?;
+                let schema = get_schema(&mut r)?;
+                let tuples = get_tuples(&mut r, &schema)?;
+                Request::Shard(ShardRequest {
+                    name,
+                    shard,
+                    of,
+                    shard_keys,
+                    schema,
+                    tuples,
+                })
+            }
+            OP_REPARTITION => {
+                let name = r.str()?;
+                let keys = get_keys(&mut r)?;
+                let parts = r.u16()?;
+                if parts == 0 || parts as usize > MAX_CLUSTER_NODES {
+                    return Err(perr(format!(
+                        "repartition into {parts} parts is outside 1..={MAX_CLUSTER_NODES}"
+                    )));
+                }
+                let filter = match r.u8()? {
+                    0 => None,
+                    1 => Some(get_filter(&mut r)?),
+                    t => return Err(perr(format!("unknown filter tag {t}"))),
+                };
+                Request::Repartition(RepartitionRequest {
+                    name,
+                    keys,
+                    parts,
+                    filter,
+                })
+            }
+            OP_BUILD_FILTER => {
+                let name = r.str()?;
+                let keys = get_keys(&mut r)?;
+                let bits = r.u32()?;
+                if bits == 0 || bits as usize > MAX_FILTER_BITS {
+                    return Err(perr(format!(
+                        "filter of {bits} bits is outside 1..={MAX_FILTER_BITS}"
+                    )));
+                }
+                Request::BuildFilter { name, keys, bits }
+            }
+            OP_DIVIDE_PARTIAL => {
+                let tag = r.u16()?;
+                Request::DividePartial {
+                    tag,
+                    query: get_divide_body(&mut r)?,
+                }
+            }
             op => return Err(perr(format!("unknown request opcode {op:#04x}"))),
         };
         r.finish()?;
@@ -659,6 +1009,10 @@ const REPLY_SHUTTING_DOWN: u8 = 0x06;
 /// [`REPLY_STATS`] (exactly 13 counters) is still decoded for replies
 /// from servers that predate the extension.
 const REPLY_STATS_V2: u8 = 0x07;
+const REPLY_SHARDED: u8 = 0x08;
+const REPLY_REPARTITIONED: u8 = 0x09;
+const REPLY_FILTER: u8 = 0x0A;
+const REPLY_PARTIAL_QUOTIENT: u8 = 0x0B;
 
 /// Counters every stats frame must carry (the original 13); a `V2`
 /// frame announcing fewer is corrupt, not merely old.
@@ -761,6 +1115,52 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
                     put_ops(&mut out, &s.ops);
                 }
                 Reply::ShuttingDown => out.push(REPLY_SHUTTING_DOWN),
+                Reply::Sharded { version } => {
+                    out.push(REPLY_SHARDED);
+                    out.extend_from_slice(&version.to_le_bytes());
+                }
+                Reply::Repartitioned {
+                    schema,
+                    buckets,
+                    filtered,
+                } => {
+                    out.push(REPLY_REPARTITIONED);
+                    if buckets.is_empty() || buckets.len() > MAX_CLUSTER_NODES {
+                        return Err(perr(format!(
+                            "{} buckets is outside 1..={MAX_CLUSTER_NODES}",
+                            buckets.len()
+                        )));
+                    }
+                    put_schema(&mut out, schema)?;
+                    out.extend_from_slice(&(buckets.len() as u16).to_le_bytes());
+                    for bucket in buckets {
+                        put_tuples(&mut out, schema, bucket)?;
+                    }
+                    out.extend_from_slice(&filtered.to_le_bytes());
+                }
+                Reply::Filter { filter, insertions } => {
+                    out.push(REPLY_FILTER);
+                    put_filter(&mut out, filter)?;
+                    out.extend_from_slice(&insertions.to_le_bytes());
+                }
+                Reply::PartialQuotient(p) => {
+                    out.push(REPLY_PARTIAL_QUOTIENT);
+                    out.extend_from_slice(&p.tag.to_le_bytes());
+                    out.push(algorithm_code(p.algorithm));
+                    out.extend_from_slice(&p.dividend_version.to_le_bytes());
+                    out.extend_from_slice(&p.divisor_version.to_le_bytes());
+                    out.extend_from_slice(&p.micros.to_le_bytes());
+                    put_ops(&mut out, &p.ops);
+                    put_schema(&mut out, &p.schema)?;
+                    put_tuples(&mut out, &p.schema, &p.tuples)?;
+                    match &p.profile {
+                        None => out.push(0),
+                        Some(profile) => {
+                            out.push(1);
+                            put_profile(&mut out, profile)?;
+                        }
+                    }
+                }
             }
         }
     }
@@ -845,6 +1245,59 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                     Reply::Stats(stats_from_fields(&vals, ops))
                 }
                 REPLY_SHUTTING_DOWN => Reply::ShuttingDown,
+                REPLY_SHARDED => Reply::Sharded { version: r.u64()? },
+                REPLY_REPARTITIONED => {
+                    let schema = get_schema(&mut r)?;
+                    let parts = r.u16()? as usize;
+                    if parts == 0 || parts > MAX_CLUSTER_NODES {
+                        return Err(perr(format!(
+                            "{parts} buckets is outside 1..={MAX_CLUSTER_NODES}"
+                        )));
+                    }
+                    let mut buckets = Vec::with_capacity(parts);
+                    for _ in 0..parts {
+                        buckets.push(get_tuples(&mut r, &schema)?);
+                    }
+                    let filtered = r.u64()?;
+                    Reply::Repartitioned {
+                        schema,
+                        buckets,
+                        filtered,
+                    }
+                }
+                REPLY_FILTER => {
+                    let filter = get_filter(&mut r)?;
+                    let insertions = r.u64()?;
+                    Reply::Filter { filter, insertions }
+                }
+                REPLY_PARTIAL_QUOTIENT => {
+                    let tag = r.u16()?;
+                    let alg = r.u8()?;
+                    let algorithm = algorithm_from_code(alg)
+                        .ok_or_else(|| perr(format!("unknown algorithm code {alg}")))?;
+                    let dividend_version = r.u64()?;
+                    let divisor_version = r.u64()?;
+                    let micros = r.u64()?;
+                    let ops = get_ops(&mut r)?;
+                    let schema = get_schema(&mut r)?;
+                    let tuples = get_tuples(&mut r, &schema)?;
+                    let profile = match r.u8()? {
+                        0 => None,
+                        1 => Some(get_profile(&mut r)?),
+                        t => return Err(perr(format!("unknown profile tag {t}"))),
+                    };
+                    Reply::PartialQuotient(PartialQuotientReply {
+                        tag,
+                        algorithm,
+                        dividend_version,
+                        divisor_version,
+                        micros,
+                        ops,
+                        schema,
+                        tuples,
+                        profile,
+                    })
+                }
                 t => return Err(perr(format!("unknown reply tag {t:#04x}"))),
             };
             r.finish()?;
@@ -1017,10 +1470,24 @@ mod tests {
             spec: None,
             deadline_ms: None,
             profile: true,
+            distribute: None,
         });
         let bytes = req.encode().unwrap();
+        // Cut the trailing distribution tag only (a profile-era peer):
+        // the profile byte still decodes, distribution defaults to none.
         match Request::decode(&bytes[..bytes.len() - 1]).unwrap() {
-            Request::Divide(q) => assert!(!q.profile, "absent byte decodes as false"),
+            Request::Divide(q) => {
+                assert!(q.profile, "profile byte survives the shorter frame");
+                assert_eq!(q.distribute, None, "absent section decodes as None");
+            }
+            other => panic!("expected divide, got {other:?}"),
+        }
+        // Cut both trailing extensions (an original-revision peer).
+        match Request::decode(&bytes[..bytes.len() - 2]).unwrap() {
+            Request::Divide(q) => {
+                assert!(!q.profile, "absent byte decodes as false");
+                assert_eq!(q.distribute, None);
+            }
             other => panic!("expected divide, got {other:?}"),
         }
         // A reply frame cut exactly before the trailing profile tag.
@@ -1116,6 +1583,7 @@ mod tests {
                 spec: Some((vec![1], vec![0])),
                 deadline_ms: Some(2_500),
                 profile: true,
+                distribute: None,
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -1125,14 +1593,77 @@ mod tests {
                 spec: None,
                 deadline_ms: None,
                 profile: false,
+                distribute: None,
+            }),
+            Request::Divide(DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: None,
+                assume_unique: false,
+                spec: None,
+                deadline_ms: None,
+                profile: false,
+                distribute: Some(Distribution {
+                    strategy: Strategy::DivisorPartitioning,
+                    nodes: 8,
+                    bit_vector_bits: Some(4096),
+                }),
             }),
             Request::Stats,
             Request::Shutdown,
+            Request::Shard(ShardRequest {
+                name: "transcript".into(),
+                shard: 2,
+                of: 4,
+                shard_keys: vec![0],
+                schema: schema2(),
+                tuples: vec![ints(&[1, 10]), ints(&[5, 50])],
+            }),
+            Request::Repartition(RepartitionRequest {
+                name: "transcript".into(),
+                keys: vec![1],
+                parts: 4,
+                filter: None,
+            }),
+            Request::Repartition(RepartitionRequest {
+                name: "transcript".into(),
+                keys: vec![1],
+                parts: 3,
+                filter: Some(sample_filter()),
+            }),
+            Request::BuildFilter {
+                name: "courses".into(),
+                keys: vec![0],
+                bits: 1024,
+            },
+            Request::DividePartial {
+                tag: 7,
+                query: DivideRequest {
+                    dividend: ".part.r.3".into(),
+                    divisor: ".repl.s.9".into(),
+                    algorithm: Some(Algorithm::HashDivision {
+                        mode: HashDivisionMode::Standard,
+                    }),
+                    assume_unique: false,
+                    spec: None,
+                    deadline_ms: Some(5_000),
+                    profile: true,
+                    distribute: None,
+                },
+            },
         ];
         for req in requests {
             let bytes = req.encode().unwrap();
             assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
         }
+    }
+
+    fn sample_filter() -> BitVectorFilter {
+        let mut f = BitVectorFilter::new(512);
+        for d in 0..40 {
+            f.insert(&ints(&[d]));
+        }
+        f
     }
 
     #[test]
@@ -1180,6 +1711,51 @@ mod tests {
                 ops: OpSnapshot::default(),
             })),
             Ok(Reply::ShuttingDown),
+            Ok(Reply::Sharded { version: 99 }),
+            Ok(Reply::Repartitioned {
+                schema: schema2(),
+                buckets: vec![
+                    vec![ints(&[1, 10]), ints(&[2, 20])],
+                    vec![],
+                    vec![ints(&[3, 30])],
+                ],
+                filtered: 12,
+            }),
+            Ok(Reply::Filter {
+                filter: sample_filter(),
+                insertions: 40,
+            }),
+            Ok(Reply::PartialQuotient(PartialQuotientReply {
+                tag: 3,
+                algorithm: Algorithm::HashDivision {
+                    mode: HashDivisionMode::Standard,
+                },
+                dividend_version: 11,
+                divisor_version: 12,
+                micros: 777,
+                ops: OpSnapshot {
+                    comparisons: 5,
+                    hashes: 6,
+                    moves: 7,
+                    bitops: 8,
+                },
+                schema: Schema::new(vec![Field::int("q")]),
+                tuples: vec![ints(&[4]), ints(&[5])],
+                profile: Some(QueryProfile {
+                    root: sample_profile_node(1),
+                }),
+            })),
+            Ok(Reply::PartialQuotient(PartialQuotientReply {
+                tag: 0,
+                algorithm: Algorithm::Naive,
+                dividend_version: 1,
+                divisor_version: 2,
+                micros: 1,
+                ops: OpSnapshot::default(),
+                schema: Schema::new(vec![Field::int("q")]),
+                tuples: vec![],
+                profile: None,
+            })),
             Err(ServiceError::Overloaded),
             Err(ServiceError::DeadlineExceeded),
             Err(ServiceError::UnknownRelation(
@@ -1243,6 +1819,123 @@ mod tests {
         ));
     }
 
+    /// Every cluster frame rejects out-of-range geometry with a typed
+    /// protocol error, on the encode side (bad values never hit the wire)
+    /// and the decode side (hostile frames never allocate per a lying
+    /// count). Frames are hand-built so the decode checks are exercised
+    /// even for values the encoder refuses to produce.
+    #[test]
+    fn cluster_frames_reject_bad_geometry() {
+        let protocol_err = |r: PResult<Request>| {
+            assert!(matches!(r, Err(ServiceError::Protocol(_))), "{r:?}");
+        };
+        // Shard placement: shard >= of, of = 0, of > MAX_CLUSTER_NODES.
+        for (shard, of) in [(4u16, 4u16), (0, 0), (0, MAX_CLUSTER_NODES as u16 + 1)] {
+            let req = Request::Shard(ShardRequest {
+                name: "r".into(),
+                shard,
+                of,
+                shard_keys: vec![0],
+                schema: schema2(),
+                tuples: vec![],
+            });
+            protocol_err(req.encode().map(|_| Request::Ping));
+            let mut frame = vec![OP_SHARD];
+            put_str(&mut frame, "r").unwrap();
+            frame.extend_from_slice(&shard.to_le_bytes());
+            frame.extend_from_slice(&of.to_le_bytes());
+            protocol_err(Request::decode(&frame));
+        }
+        // Repartition parts: 0 and > MAX_CLUSTER_NODES.
+        for parts in [0u16, MAX_CLUSTER_NODES as u16 + 1] {
+            let req = Request::Repartition(RepartitionRequest {
+                name: "r".into(),
+                keys: vec![0],
+                parts,
+                filter: None,
+            });
+            protocol_err(req.encode().map(|_| Request::Ping));
+            let mut frame = vec![OP_REPARTITION];
+            put_str(&mut frame, "r").unwrap();
+            put_keys(&mut frame, &[0]).unwrap();
+            frame.extend_from_slice(&parts.to_le_bytes());
+            frame.push(0);
+            protocol_err(Request::decode(&frame));
+        }
+        // Filter geometry inside a repartition: oversize bit counts and a
+        // word count that does not match the bit count.
+        let mut prefix = vec![OP_REPARTITION];
+        put_str(&mut prefix, "r").unwrap();
+        put_keys(&mut prefix, &[0]).unwrap();
+        prefix.extend_from_slice(&2u16.to_le_bytes());
+        prefix.push(1); // filter present
+        let mut oversize = prefix.clone();
+        oversize.extend_from_slice(&(MAX_FILTER_BITS as u32 + 1).to_le_bytes());
+        oversize.extend_from_slice(&0u32.to_le_bytes());
+        protocol_err(Request::decode(&oversize));
+        let mut mismatched = prefix.clone();
+        mismatched.extend_from_slice(&128u32.to_le_bytes());
+        // 128 bits need 2 words; a hostile frame claiming 65_535 must be
+        // refused by arithmetic before any allocation happens.
+        mismatched.extend_from_slice(&65_535u32.to_le_bytes());
+        protocol_err(Request::decode(&mismatched));
+        let mut truncated = prefix.clone();
+        truncated.extend_from_slice(&128u32.to_le_bytes());
+        truncated.extend_from_slice(&2u32.to_le_bytes());
+        truncated.extend_from_slice(&1u64.to_le_bytes()); // 1 of 2 words
+        protocol_err(Request::decode(&truncated));
+        // BuildFilter bit bounds: 0 and > MAX_FILTER_BITS.
+        for bits in [0u32, MAX_FILTER_BITS as u32 + 1] {
+            let req = Request::BuildFilter {
+                name: "r".into(),
+                keys: vec![0],
+                bits,
+            };
+            protocol_err(req.encode().map(|_| Request::Ping));
+            let mut frame = vec![OP_BUILD_FILTER];
+            put_str(&mut frame, "r").unwrap();
+            put_keys(&mut frame, &[0]).unwrap();
+            frame.extend_from_slice(&bits.to_le_bytes());
+            protocol_err(Request::decode(&frame));
+        }
+        // Distribution section: node count 0, node count over the limit,
+        // and an unknown strategy code.
+        for (strategy, nodes) in [(0u8, 0u16), (0, MAX_CLUSTER_NODES as u16 + 1), (9, 4)] {
+            let mut frame = vec![OP_DIVIDE];
+            put_str(&mut frame, "r").unwrap();
+            put_str(&mut frame, "s").unwrap();
+            frame.push(ALG_AUTO);
+            frame.push(0); // assume_unique
+            frame.push(0); // no spec
+            frame.extend_from_slice(&0u64.to_le_bytes()); // no deadline
+            frame.push(0); // no profile
+            frame.push(1); // distribution present
+            frame.push(strategy);
+            frame.extend_from_slice(&nodes.to_le_bytes());
+            frame.extend_from_slice(&0u64.to_le_bytes()); // no filter bits
+            protocol_err(Request::decode(&frame));
+        }
+        // Repartitioned reply: bucket counts 0 and > MAX_CLUSTER_NODES.
+        for parts in [0u16, MAX_CLUSTER_NODES as u16 + 1] {
+            let mut frame = vec![STATUS_OK, REPLY_REPARTITIONED];
+            put_schema(&mut frame, &schema2()).unwrap();
+            frame.extend_from_slice(&parts.to_le_bytes());
+            assert!(matches!(
+                decode_response(&frame),
+                Err(ServiceError::Protocol(_))
+            ));
+        }
+        let oversized_reply = Reply::Repartitioned {
+            schema: schema2(),
+            buckets: vec![Vec::new(); MAX_CLUSTER_NODES + 1],
+            filtered: 0,
+        };
+        assert!(matches!(
+            encode_response(&Ok(oversized_reply)),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *state;
@@ -1281,7 +1974,64 @@ mod tests {
                 spec: Some((vec![1], vec![0])),
                 deadline_ms: Some(100),
                 profile: true,
+                distribute: None,
             })
+            .encode()
+            .unwrap(),
+            Request::Divide(DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: None,
+                assume_unique: false,
+                spec: None,
+                deadline_ms: None,
+                profile: false,
+                distribute: Some(Distribution {
+                    strategy: Strategy::QuotientPartitioning,
+                    nodes: 4,
+                    bit_vector_bits: Some(1 << 12),
+                }),
+            })
+            .encode()
+            .unwrap(),
+            Request::Shard(ShardRequest {
+                name: "r".into(),
+                shard: 1,
+                of: 3,
+                shard_keys: vec![0, 1],
+                schema: schema2(),
+                tuples: vec![ints(&[1, 2]), ints(&[3, 4])],
+            })
+            .encode()
+            .unwrap(),
+            Request::Repartition(RepartitionRequest {
+                name: "r".into(),
+                keys: vec![1],
+                parts: 4,
+                filter: Some(sample_filter()),
+            })
+            .encode()
+            .unwrap(),
+            Request::BuildFilter {
+                name: "s".into(),
+                keys: vec![0],
+                bits: 2048,
+            }
+            .encode()
+            .unwrap(),
+            Request::DividePartial {
+                tag: 2,
+                query: DivideRequest {
+                    dividend: "r".into(),
+                    divisor: "s".into(),
+                    algorithm: None,
+                    assume_unique: false,
+                    spec: None,
+                    deadline_ms: None,
+                    profile: false,
+                    distribute: None,
+                },
+            }
             .encode()
             .unwrap(),
         ];
@@ -1311,14 +2061,43 @@ mod tests {
             }),
         })))
         .unwrap();
-        for cut in 0..resp.len() {
-            let _ = decode_response(&resp[..cut]);
-        }
-        for _ in 0..64 {
-            let mut mutated = resp.clone();
-            let at = (splitmix64(&mut rng) as usize) % mutated.len();
-            mutated[at] ^= (splitmix64(&mut rng) as u8) | 1;
-            let _ = decode_response(&mutated);
+        let cluster_replies = vec![
+            encode_response(&Ok(Reply::Repartitioned {
+                schema: schema2(),
+                buckets: vec![vec![ints(&[1, 2])], vec![], vec![ints(&[3, 4])]],
+                filtered: 5,
+            }))
+            .unwrap(),
+            encode_response(&Ok(Reply::Filter {
+                filter: sample_filter(),
+                insertions: 40,
+            }))
+            .unwrap(),
+            encode_response(&Ok(Reply::PartialQuotient(PartialQuotientReply {
+                tag: 1,
+                algorithm: Algorithm::Naive,
+                dividend_version: 1,
+                divisor_version: 2,
+                micros: 3,
+                ops: OpSnapshot::default(),
+                schema: schema2(),
+                tuples: vec![ints(&[5, 6])],
+                profile: Some(QueryProfile {
+                    root: sample_profile_node(1),
+                }),
+            })))
+            .unwrap(),
+        ];
+        for resp in std::iter::once(&resp).chain(&cluster_replies) {
+            for cut in 0..resp.len() {
+                let _ = decode_response(&resp[..cut]);
+            }
+            for _ in 0..64 {
+                let mut mutated = resp.clone();
+                let at = (splitmix64(&mut rng) as usize) % mutated.len();
+                mutated[at] ^= (splitmix64(&mut rng) as u8) | 1;
+                let _ = decode_response(&mutated);
+            }
         }
     }
 }

@@ -7,9 +7,10 @@
 //! [`ServerHandle::wait_for_shutdown_request`] (the `reldiv-serve`
 //! binary), which stops the listener and drains the service.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -17,14 +18,17 @@ use parking_lot::{Condvar, Mutex};
 use reldiv_rel::Relation;
 
 use crate::error::ServiceError;
-use crate::proto::{self, DivideReply, Reply, Request, Response};
-use crate::service::{QueryOptions, Service};
+use crate::proto::{self, DivideReply, PartialQuotientReply, Reply, Request, Response};
+use crate::service::{QueryOptions, Service, ShardInfo};
 
 struct Shared {
     service: Arc<Service>,
     stopping: AtomicBool,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
+    // Live connection sockets, so `kill` can sever them mid-frame.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
 }
 
 /// A running TCP server.
@@ -44,6 +48,8 @@ impl ServerHandle {
             stopping: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::Builder::new()
@@ -88,6 +94,23 @@ impl ServerHandle {
         }
         self.shared.service.shutdown();
     }
+
+    /// Simulates node death: stops accepting and severs every live
+    /// connection mid-frame, so clients see a closed socket rather than
+    /// a graceful `ShuttingDown` refusal. Idempotent.
+    pub fn kill(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        *self.shared.shutdown_requested.lock() = true;
+        self.shared.shutdown_cv.notify_all();
+        let _ = TcpStream::connect(self.addr);
+        for (_, stream) in self.shared.conns.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.service.shutdown();
+    }
 }
 
 impl Drop for ServerHandle {
@@ -111,6 +134,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().insert(conn_id, clone);
+    }
+    // Deregister on every exit path so the registry stays bounded.
+    struct Deregister<'a>(&'a Shared, u64);
+    impl Drop for Deregister<'_> {
+        fn drop(&mut self) {
+            self.0.conns.lock().remove(&self.1);
+        }
+    }
+    let _guard = Deregister(&shared, conn_id);
     loop {
         let payload = match proto::read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
@@ -167,6 +202,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 spec: q.spec,
                 deadline: q.deadline_ms.map(std::time::Duration::from_millis),
                 profile: q.profile,
+                distribute: q.distribute,
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::Divided(DivideReply {
@@ -178,6 +214,53 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                     ops: r.ops,
                     schema: r.schema,
                     tuples: r.tuples,
+                    profile: r.profile,
+                })
+            })
+        }
+        Request::Shard(s) => Relation::from_tuples(s.schema, s.tuples)
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))
+            .and_then(|relation| {
+                service.install_shard(
+                    &s.name,
+                    relation,
+                    ShardInfo {
+                        shard: s.shard,
+                        of: s.of,
+                        shard_keys: s.shard_keys,
+                    },
+                )
+            })
+            .map(|version| Reply::Sharded { version }),
+        Request::Repartition(r) => service
+            .repartition(&r.name, &r.keys, r.parts as usize, r.filter.as_ref())
+            .map(|(schema, buckets, filtered)| Reply::Repartitioned {
+                schema,
+                buckets,
+                filtered,
+            }),
+        Request::BuildFilter { name, keys, bits } => service
+            .build_filter(&name, &keys, bits as usize)
+            .map(|(filter, insertions)| Reply::Filter { filter, insertions }),
+        Request::DividePartial { tag, query: q } => {
+            let options = QueryOptions {
+                algorithm: q.algorithm,
+                assume_unique: q.assume_unique,
+                spec: q.spec,
+                deadline: q.deadline_ms.map(std::time::Duration::from_millis),
+                profile: q.profile,
+                distribute: q.distribute,
+            };
+            service.divide(&q.dividend, &q.divisor, &options).map(|r| {
+                Reply::PartialQuotient(PartialQuotientReply {
+                    tag,
+                    algorithm: r.algorithm,
+                    dividend_version: r.dividend_version,
+                    divisor_version: r.divisor_version,
+                    micros: r.micros,
+                    ops: r.ops,
+                    schema: r.schema,
+                    tuples: r.tuples.as_ref().clone(),
                     profile: r.profile,
                 })
             })

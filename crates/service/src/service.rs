@@ -21,6 +21,7 @@
 //! every admitted job before exiting, so shutdown is graceful by
 //! construction.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,7 +29,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use reldiv_core::api::validate_algorithm_for_inputs;
+use reldiv_core::hash_division::HashDivisionMode;
 use reldiv_core::{Algorithm, DivisionSpec, QueryProfile};
+use reldiv_parallel::filter::BitVectorFilter;
+use reldiv_parallel::{route, Distribution};
 use reldiv_rel::counters::OpSnapshot;
 use reldiv_rel::{Relation, Schema, Tuple};
 use reldiv_storage::manager::StorageConfig;
@@ -102,6 +106,24 @@ pub struct QueryOptions {
     /// per-operator span tree to [`QueryResponse::profile`]. Cache hits
     /// execute nothing and therefore carry no profile.
     pub profile: bool,
+    /// Run the division over the in-process parallel machine (Section 6
+    /// strategy, node count, optional bit-vector filter) instead of a
+    /// single operator. Forces the algorithm to hash division — the
+    /// parallel machine implements nothing else — so an explicit
+    /// conflicting `algorithm` is a [`ServiceError::BadRequest`].
+    pub distribute: Option<Distribution>,
+}
+
+/// Shard coordinates recorded by [`Service::install_shard`]: which slice
+/// of a hash-partitioned relation this node holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// This node's shard index, `< of`.
+    pub shard: u16,
+    /// Total shard count.
+    pub of: u16,
+    /// Columns the relation is hash-partitioned on.
+    pub shard_keys: Vec<usize>,
 }
 
 /// A served quotient with its provenance.
@@ -140,6 +162,7 @@ pub struct Service {
     accepting: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     default_deadline: Option<Duration>,
+    shards: Mutex<HashMap<String, ShardInfo>>,
 }
 
 impl Service {
@@ -180,6 +203,7 @@ impl Service {
             accepting: AtomicBool::new(true),
             workers: Mutex::new(workers),
             default_deadline: config.default_deadline,
+            shards: Mutex::new(HashMap::new()),
         }))
     }
 
@@ -196,6 +220,9 @@ impl Service {
             return Err(ServiceError::ShuttingDown);
         }
         let version = self.catalog.register(name, relation);
+        // A plain register replaces whatever was there — including a
+        // shard, whose coordinates no longer describe the new contents.
+        self.shards.lock().remove(name);
         self.cache.invalidate_relation(name);
         Ok(version)
     }
@@ -206,8 +233,118 @@ impl Service {
             return Err(ServiceError::ShuttingDown);
         }
         self.catalog.drop_relation(name)?;
+        self.shards.lock().remove(name);
         self.cache.invalidate_relation(name);
         Ok(())
+    }
+
+    /// Installs one shard of a hash-partitioned relation (the cluster
+    /// node role): the tuples become an ordinary catalog relation under
+    /// `name`, and the shard coordinates are recorded for
+    /// [`Service::shard_info`]. Returns the catalog version.
+    pub fn install_shard(&self, name: &str, relation: Relation, info: ShardInfo) -> Result<u64> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if info.of == 0 || info.shard >= info.of {
+            return Err(ServiceError::BadRequest(format!(
+                "shard {} of {} is out of range",
+                info.shard, info.of
+            )));
+        }
+        let arity = relation.schema().arity();
+        if let Some(&k) = info.shard_keys.iter().find(|&&k| k >= arity) {
+            return Err(ServiceError::BadRequest(format!(
+                "shard key {k} out of range for arity {arity}"
+            )));
+        }
+        let version = self.catalog.register(name, relation);
+        self.shards.lock().insert(name.to_owned(), info);
+        self.cache.invalidate_relation(name);
+        Ok(version)
+    }
+
+    /// The shard coordinates of `name`, when it was installed via
+    /// [`Service::install_shard`] (a plain register clears them).
+    pub fn shard_info(&self, name: &str) -> Option<ShardInfo> {
+        self.shards.lock().get(name).cloned()
+    }
+
+    /// Hash-partitions the stored relation's local tuples on `keys` into
+    /// `parts` buckets, optionally dropping tuples through a bit-vector
+    /// filter first (tested on the same `keys`). This is the sending-site
+    /// half of divisor partitioning, executed where the data lives;
+    /// returns the schema, one bucket per part, and the filtered count.
+    pub fn repartition(
+        &self,
+        name: &str,
+        keys: &[usize],
+        parts: usize,
+        filter: Option<&BitVectorFilter>,
+    ) -> Result<(Schema, Vec<Vec<Tuple>>, u64)> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if parts == 0 {
+            return Err(ServiceError::BadRequest("zero parts".into()));
+        }
+        if keys.is_empty() {
+            return Err(ServiceError::BadRequest("empty key set".into()));
+        }
+        let relation = self.catalog.get(name)?;
+        let arity = relation.schema.arity();
+        if let Some(&k) = keys.iter().find(|&&k| k >= arity) {
+            return Err(ServiceError::BadRequest(format!(
+                "partition key {k} out of range for arity {arity}"
+            )));
+        }
+        let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); parts];
+        let mut filtered = 0u64;
+        for tuple in relation.tuples.iter() {
+            if let Some(f) = filter {
+                if !f.may_match(tuple, keys) {
+                    filtered += 1;
+                    continue;
+                }
+            }
+            buckets[route(tuple, keys, parts)].push(tuple.clone());
+        }
+        Ok((relation.schema.clone(), buckets, filtered))
+    }
+
+    /// Builds a bit-vector filter over the stored relation's local tuples
+    /// hashed on `keys`; returns the filter and the insertion count. The
+    /// coordinator ORs the per-node filters and ships the union back with
+    /// its repartition requests — bits move, tuples don't.
+    pub fn build_filter(
+        &self,
+        name: &str,
+        keys: &[usize],
+        bits: usize,
+    ) -> Result<(BitVectorFilter, u64)> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if bits == 0 || bits > crate::proto::MAX_FILTER_BITS {
+            return Err(ServiceError::BadRequest(format!(
+                "filter size {bits} out of range"
+            )));
+        }
+        if keys.is_empty() {
+            return Err(ServiceError::BadRequest("empty key set".into()));
+        }
+        let relation = self.catalog.get(name)?;
+        let arity = relation.schema.arity();
+        if let Some(&k) = keys.iter().find(|&&k| k >= arity) {
+            return Err(ServiceError::BadRequest(format!(
+                "filter key {k} out of range for arity {arity}"
+            )));
+        }
+        let mut filter = BitVectorFilter::new(bits);
+        for tuple in relation.tuples.iter() {
+            filter.insert_on(tuple, keys);
+        }
+        Ok((filter, relation.tuples.len() as u64))
     }
 
     /// `(name, version, cardinality)` of every registered relation.
@@ -285,7 +422,31 @@ impl Service {
         let dividend = self.catalog.get(dividend)?;
         let divisor = self.catalog.get(divisor)?;
         let spec = self.resolve_spec(&dividend, &divisor, options)?;
-        let algorithm = self.resolve_algorithm(&dividend, &divisor, &spec, options);
+        let algorithm = match options.distribute {
+            None => self.resolve_algorithm(&dividend, &divisor, &spec, options),
+            Some(dist) => {
+                // The parallel machine runs hash division on every node;
+                // an explicit conflicting algorithm is unsatisfiable.
+                if dist.nodes == 0 || dist.nodes > crate::proto::MAX_CLUSTER_NODES {
+                    return Err(ServiceError::BadRequest(format!(
+                        "distributed node count {} out of range",
+                        dist.nodes
+                    )));
+                }
+                let forced = Algorithm::HashDivision {
+                    mode: HashDivisionMode::Standard,
+                };
+                match options.algorithm {
+                    None => forced,
+                    Some(alg) if alg == forced => forced,
+                    Some(alg) => {
+                        return Err(ServiceError::BadRequest(format!(
+                            "distributed execution implements hash division only, not {alg:?}"
+                        )))
+                    }
+                }
+            }
+        };
         validate_algorithm_for_inputs(algorithm, options.assume_unique)
             .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
 
@@ -323,6 +484,7 @@ impl Service {
             assume_unique: options.assume_unique,
             deadline,
             profile: options.profile,
+            distribute: options.distribute,
             reply: reply_tx,
         };
         {

@@ -36,8 +36,9 @@ use crossbeam::channel::{Receiver, Sender};
 use reldiv_core::api::{self, Source};
 use reldiv_core::{Algorithm, DivisionConfig, DivisionSpec};
 use reldiv_exec::CancelToken;
+use reldiv_parallel::{parallel_divide, ClusterConfig, Distribution};
 use reldiv_rel::counters::OpScope;
-use reldiv_rel::RecordCodec;
+use reldiv_rel::{RecordCodec, Relation};
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
 use crate::catalog::RelationVersion;
@@ -54,6 +55,7 @@ pub(crate) struct QueryJob {
     pub assume_unique: bool,
     pub deadline: Option<Instant>,
     pub profile: bool,
+    pub distribute: Option<Distribution>,
     pub reply: Sender<Result<QueryResponse>>,
 }
 
@@ -136,6 +138,9 @@ impl WorkerState {
             }
             None => CancelToken::none(),
         };
+        if let Some(dist) = job.distribute {
+            return execute_distributed(job, dist, metrics);
+        }
         let dividend = self.source_for(&job.dividend)?;
         let divisor = self.source_for(&job.divisor)?;
         let config = DivisionConfig {
@@ -199,6 +204,49 @@ impl WorkerState {
             profile,
         })
     }
+}
+
+/// Runs a query over the in-process parallel machine (Section 6):
+/// distribution and collection happen on this worker thread, node work on
+/// the machine's own threads. The inputs are served straight from the
+/// pinned catalog tuples — no worker-local record files are involved —
+/// and the per-node operation totals land in the shared metrics sink so
+/// distributed and single-operator queries aggregate identically.
+fn execute_distributed(
+    job: &QueryJob,
+    dist: Distribution,
+    metrics: &ServiceMetrics,
+) -> Result<QueryResponse> {
+    let dividend = Relation::from_tuples(
+        job.dividend.schema.clone(),
+        job.dividend.tuples.as_ref().clone(),
+    )
+    .map_err(|e| ServiceError::BadRequest(format!("dividend violates schema: {e}")))?;
+    let divisor = Relation::from_tuples(
+        job.divisor.schema.clone(),
+        job.divisor.tuples.as_ref().clone(),
+    )
+    .map_err(|e| ServiceError::BadRequest(format!("divisor violates schema: {e}")))?;
+    let config = ClusterConfig {
+        nodes: dist.nodes,
+        strategy: dist.strategy,
+        bit_vector_bits: dist.bit_vector_bits,
+        ..ClusterConfig::default()
+    };
+    let (quotient, report) = parallel_divide(&dividend, &divisor, &job.spec, &config)?;
+    metrics.ops.add(&report.total_ops);
+    let profile = job.profile.then(|| report.to_profile());
+    Ok(QueryResponse {
+        schema: quotient.schema().clone(),
+        tuples: Arc::new(quotient.into_tuples()),
+        algorithm: job.algorithm,
+        cached: false,
+        dividend_version: job.dividend.version,
+        divisor_version: job.divisor.version,
+        ops: report.total_ops,
+        micros: 0,
+        profile,
+    })
 }
 
 /// The worker main loop: drains the submission queue until every sender

@@ -164,6 +164,7 @@ fn profiles_and_new_counters_travel_over_tcp() {
         spec: None,
         deadline_ms: None,
         profile: true,
+        distribute: None,
     };
     let reply = client.divide(&request).unwrap();
     let profile = reply
@@ -185,6 +186,7 @@ fn profiles_and_new_counters_travel_over_tcp() {
             spec: None,
             deadline_ms: None,
             profile: true,
+            distribute: None,
         })
         .unwrap();
     // The second identical request hits the cache → no profile; compare

@@ -38,6 +38,7 @@ fn slow_options() -> QueryOptions {
         spec: None,
         deadline: None,
         profile: false,
+        distribute: None,
     }
 }
 

@@ -51,6 +51,7 @@ fn check_all_columns(client: &mut impl DivisionClient) {
             spec: None,
             deadline_ms: None,
             profile: false,
+            distribute: None,
         };
         let served = client.divide(&request).unwrap();
         let direct = divide_relations(&dividend, &divisor, algorithm).unwrap();
@@ -113,6 +114,7 @@ fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
         spec: None,
         deadline_ms: None,
         profile: false,
+        distribute: None,
     };
     let first = client.divide(&auto).unwrap();
     assert!(!first.cached);
@@ -140,6 +142,7 @@ fn errors_travel_over_tcp() {
         spec: None,
         deadline_ms: None,
         profile: false,
+        distribute: None,
     };
     assert!(matches!(
         client.divide(&request),

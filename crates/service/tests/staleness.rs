@@ -97,6 +97,7 @@ proptest! {
                         spec: None,
                         deadline_ms: None,
                         profile: false,
+                        distribute: None,
                     }).unwrap();
                     let expected = brute_force_divide(
                         &model_dividend,

@@ -139,14 +139,22 @@ struct Frame {
     pin_count: u32,
     dirty: bool,
     gen: u64,
+    /// Whether a `(slot, gen)` entry for this frame sits in the
+    /// replacement queue. Queue entries are invalidated lazily — checked
+    /// when popped, never searched for — so re-fixing a cached page is
+    /// O(1) instead of O(queue).
+    queued: bool,
 }
 
 /// A fix/unfix buffer pool with LRU replacement and a byte budget.
 pub struct BufferManager {
     slots: Vec<Option<Frame>>,
     map: HashMap<PageId, usize>,
-    /// Unpinned frames eligible for replacement, LRU order (front = victim).
-    replace_queue: VecDeque<usize>,
+    /// Replacement candidates in LRU order (front = victim), as
+    /// `(slot, frame generation)` pairs. Entries can go stale (frame
+    /// re-pinned, discarded, or evicted via a duplicate entry); they are
+    /// validated against the live frame when popped.
+    replace_queue: VecDeque<(usize, u64)>,
     free_slots: Vec<usize>,
     budget_bytes: usize,
     used_bytes: usize,
@@ -260,10 +268,8 @@ impl BufferManager {
         if let Some(&idx) = self.map.get(&pid) {
             self.stats.hits += 1;
             let frame = self.slots[idx].as_mut().expect("mapped frame exists");
-            if frame.pin_count == 0 {
-                // Leaving the replacement queue: it is pinned again.
-                self.replace_queue.retain(|&i| i != idx);
-            }
+            // A queue entry for this frame (if any) is now stale; it is
+            // skipped when popped rather than searched out here.
             frame.pin_count += 1;
             return Ok(FrameId {
                 index: idx,
@@ -346,6 +352,7 @@ impl BufferManager {
             pin_count: 1,
             dirty,
             gen: self.next_gen,
+            queued: false,
         };
         let idx = match self.free_slots.pop() {
             Some(i) => {
@@ -369,18 +376,32 @@ impl BufferManager {
     /// Evicts LRU victims until `needed` more bytes fit within the budget.
     fn make_room(&mut self, disks: &mut [SimDisk], needed: usize) -> Result<()> {
         while self.used_bytes + needed > self.budget_bytes {
-            let victim = self
+            let entry = self
                 .replace_queue
                 .pop_front()
                 .ok_or(StorageError::BufferFull {
                     frames: self.slots.iter().filter(|s| s.is_some()).count(),
                 })?;
-            if let Err(e) = self.evict(disks, victim) {
+            let (idx, gen) = entry;
+            match self.slots.get_mut(idx).and_then(Option::as_mut) {
+                // Live unpinned frame: a real victim.
+                Some(f) if f.gen == gen && f.pin_count == 0 => {}
+                // Re-pinned since it was queued: drop the stale entry and
+                // let the next unfix re-queue the frame.
+                Some(f) if f.gen == gen => {
+                    f.queued = false;
+                    continue;
+                }
+                // The slot was recycled or emptied (eviction through a
+                // duplicate entry, discard, delete): nothing to do.
+                _ => continue,
+            }
+            if let Err(e) = self.evict(disks, idx) {
                 // The victim could not be written back: put it back at the
                 // front of the queue so it stays tracked (and remains the
                 // preferred victim for the next attempt) instead of
                 // leaking out of both the queue and the map.
-                self.replace_queue.push_front(victim);
+                self.replace_queue.push_front(entry);
                 return Err(e);
             }
         }
@@ -463,8 +484,23 @@ impl BufferManager {
                 return Ok(());
             }
             match reuse {
-                Reuse::Lru => self.replace_queue.push_back(fid.index),
-                Reuse::Immediate => self.replace_queue.push_front(fid.index),
+                // Already queued (stale position from an earlier unfix):
+                // keep that entry rather than scan it out. The LRU order
+                // is approximate for re-fixed pages, which the paper's
+                // hint-based interface tolerates.
+                Reuse::Lru => {
+                    if !frame.queued {
+                        frame.queued = true;
+                        self.replace_queue.push_back((fid.index, fid.gen));
+                    }
+                }
+                // Preferred victim: always push to the front so the hint
+                // takes effect even if an older entry exists further back
+                // (the duplicate goes stale once the frame is evicted).
+                Reuse::Immediate => {
+                    frame.queued = true;
+                    self.replace_queue.push_front((fid.index, fid.gen));
+                }
             }
         }
         Ok(())
@@ -483,7 +519,8 @@ impl BufferManager {
             let frame = self.slots[idx].take().expect("mapped frame exists");
             self.used_bytes -= frame.data.len();
             self.map.remove(&pid);
-            self.replace_queue.retain(|&i| i != idx);
+            // Any queue entry for this frame fails its generation check
+            // when popped; no need to search it out.
             self.free_slots.push(idx);
         }
     }
@@ -499,6 +536,11 @@ impl BufferManager {
                 self.used_bytes -= frame.data.len();
                 self.map.remove(&frame.pid);
                 self.free_slots.push(idx);
+            } else if let Some(f) = self.slots[idx].as_mut() {
+                // The queue is about to be cleared wholesale: surviving
+                // (pinned) frames must be re-queueable on their next
+                // unfix or they would become unevictable.
+                f.queued = false;
             }
         }
         self.replace_queue.clear();

@@ -64,9 +64,18 @@ impl SlottedPage {
 
     /// Whether a record of `len` bytes fits (possibly after compaction).
     pub fn fits(buf: &[u8], len: usize) -> bool {
-        // Reusable deleted slots don't need a new directory entry.
-        let has_free_slot = Self::iter_slots(buf).any(|(_, s)| s.is_none());
+        // Reusable deleted slots don't need a new directory entry; one
+        // exists exactly when the directory is larger than the live count.
+        let has_free_slot = Self::slot_count(buf) > Self::record_count(buf);
         let slot_cost = if has_free_slot { 0 } else { SLOT };
+        // Fast path: the contiguous free region suffices. This is the
+        // bulk-append case, and it must not scan the directory — appends
+        // would otherwise cost O(records-per-page) each.
+        if Self::contiguous_free(buf) >= len + slot_cost {
+            return true;
+        }
+        // Slow path: sum live payloads to see whether compaction would
+        // reclaim enough fragmented space.
         let live: usize = Self::iter_slots(buf)
             .filter_map(|(_, s)| s.map(|(_, l)| l as usize))
             .sum();
@@ -88,10 +97,16 @@ impl SlottedPage {
         // Reuse a deleted slot if one exists, else grow the directory.
         // Compaction must happen BEFORE the directory grows: the new
         // directory entry's bytes may currently hold live payload, and
-        // compaction must not read an uninitialized entry.
-        let free_slot = Self::iter_slots(buf)
-            .find(|(_, s)| s.is_none())
-            .map(|(i, _)| i);
+        // compaction must not read an uninitialized entry. The directory
+        // is scanned only when the counts prove a deleted slot exists,
+        // keeping pure appends O(1).
+        let free_slot = if Self::slot_count(buf) > Self::record_count(buf) {
+            Self::iter_slots(buf)
+                .find(|(_, s)| s.is_none())
+                .map(|(i, _)| i)
+        } else {
+            None
+        };
         let needed = record.len() + if free_slot.is_none() { SLOT } else { 0 };
         if Self::contiguous_free(buf) < needed {
             Self::compact(buf);
