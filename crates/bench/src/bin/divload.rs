@@ -26,6 +26,15 @@
 //! against a brute-force oracle and per-link wire traffic is reported.
 //! `--shutdown-nodes` sends each external node a clean shutdown at the
 //! end (the CI smoke job's teardown).
+//!
+//! **Plan mode** (`--plan`) drives `ExecPlan` instead of plain
+//! divisions: a mix of composed plans — filters, joins, projections,
+//! divisions, HAVING COUNT — over the paper's university relations,
+//! with catalog churn underneath, every reply verified against the
+//! `reldiv-plan` reference interpreter at the exact relation versions
+//! the service reports it pinned. Runs against the embedded service, or
+//! against one already-running `reldiv-serve` with `--node HOST:PORT`
+//! (the CI plan-smoke job).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -85,6 +94,7 @@ struct Args {
     strategy: StrategyChoice,
     filter_bits: Option<usize>,
     shutdown_nodes: bool,
+    plan_mode: bool,
 }
 
 impl Default for Args {
@@ -105,6 +115,7 @@ impl Default for Args {
             strategy: StrategyChoice::Both,
             filter_bits: None,
             shutdown_nodes: false,
+            plan_mode: false,
         }
     }
 }
@@ -116,9 +127,11 @@ fn usage() -> ! {
          [--profile]\n\
          cluster mode: [--cluster N | --node HOST:PORT ...] [--strategy quotient|divisor|both] \
          [--filter-bits N] [--shutdown-nodes]\n\
+         plan mode: --plan [--node HOST:PORT] [--queries N] ...\n\
          --fault-rate P injects transient disk faults with probability P per transfer\n\
          --deadline-ms MS applies a per-query deadline\n\
          --profile requests EXPLAIN ANALYZE span trees and prints one at the end\n\
+         --plan drives ExecPlan with a composed-plan mix, oracle-verified per pinned version\n\
          --cluster N spawns N in-process TCP nodes and divides through the coordinator\n\
          --node HOST:PORT uses an already-running node server (repeat per node)\n\
          --filter-bits N applies bit-vector filtering before tuples are shipped\n\
@@ -181,6 +194,7 @@ fn parse_args() -> Args {
             }
             "--filter-bits" => parsed.filter_bits = Some(next("--filter-bits") as usize),
             "--shutdown-nodes" => parsed.shutdown_nodes = true,
+            "--plan" => parsed.plan_mode = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -472,6 +486,272 @@ fn run_cluster(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Composed plans over `transcript(student-id, course-no, grade)` and
+/// `courses(course-no, title)` — every plan-node type appears in the
+/// mix, and three of the five contain divisions the planner must choose
+/// algorithms for.
+const PLAN_MIX: [&str; 5] = [
+    // The motivating query: students who took all database courses.
+    "(divide (on course-no) \
+       (project (student-id course-no) (scan transcript)) \
+       (project (course-no) (filter (contains title \"database\") (scan courses))))",
+    // Students who took every course.
+    "(divide (on course-no) \
+       (project (student-id course-no) (scan transcript)) \
+       (project (course-no) (scan courses)))",
+    // HAVING COUNT over a grouped aggregate.
+    "(having-count >= 5 (group-count (student-id) (scan transcript)))",
+    // Duplicate elimination over a projection.
+    "(distinct (project (course-no) (scan transcript)))",
+    // Filter + join + division + HAVING COUNT in one tree.
+    "(having-count >= 2 \
+       (group-count (student-id) \
+         (join (on (student-id student-id)) \
+           (divide (on course-no) \
+             (project (student-id course-no) (scan transcript)) \
+             (project (course-no) (filter (contains title \"database\") (scan courses)))) \
+           (project (student-id) (scan transcript)))))",
+];
+
+/// Closed-loop `ExecPlan` driver: a plan mix over the university
+/// relations with catalog churn, every reply verified against the
+/// reference interpreter at the exact versions the service pinned.
+fn run_plans(args: &Args) -> ExitCode {
+    use reldiv_plan::{bind, canonical_bytes as plan_bytes, evaluate, parse, MemCatalog};
+    use reldiv_service::{ExecPlanRequest, TcpClient};
+    use reldiv_workload::university::{generate as university, UniversitysSpec};
+
+    let relation_for = |name: &str, seed: u64| -> Relation {
+        let u = university(&UniversitysSpec::default(), seed);
+        if name == "transcript" {
+            u.transcript
+        } else {
+            u.courses
+        }
+    };
+
+    // Either one external `reldiv-serve` node or an embedded service.
+    let embedded;
+    let mut client: Box<dyn DivisionClient> = if let Some(node) = args.nodes.first() {
+        match TcpClient::connect(node.as_str()) {
+            Ok(c) => Box::new(c),
+            Err(e) => {
+                eprintln!("divload: cannot connect to {node}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let storage_faults = (args.fault_rate > 0.0).then(|| {
+            FaultPlan::seeded(args.seed ^ 0xFA_017)
+                .with_read_error_rate(args.fault_rate)
+                .with_write_error_rate(args.fault_rate)
+        });
+        embedded = match Service::start(ServiceConfig {
+            workers: args.workers,
+            queue_depth: args.queue,
+            cache_capacity: args.cache,
+            storage_faults,
+            default_deadline: args.deadline_ms.map(Duration::from_millis),
+            ..ServiceConfig::default()
+        }) {
+            Ok(service) => service,
+            Err(e) => {
+                eprintln!("divload: cannot start the service: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Box::new(InProcClient::new(embedded.clone()))
+    };
+
+    // Version → relation contents (catalog versions are globally unique),
+    // and memoized expected answers per (plan, exact version pins).
+    type ExpectedKey = (usize, Vec<(String, u64)>);
+    let mut versions: HashMap<u64, Relation> = HashMap::new();
+    let mut expected: HashMap<ExpectedKey, Arc<Vec<Vec<u8>>>> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x9_1A7);
+    for name in ["transcript", "courses"] {
+        let relation = relation_for(name, args.seed);
+        let version = match client.register(name, &relation) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("divload: register {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        versions.insert(version, relation);
+    }
+
+    let faulty = args.fault_rate > 0.0 || args.deadline_ms.is_some();
+    let every = args.update_every.max(1);
+    let mut incorrect = 0u64;
+    let mut failed = 0u64;
+    let mut cached = 0u64;
+    let mut algorithms: HashMap<String, u64> = HashMap::new();
+    let mut sample_profile: Option<QueryProfile> = None;
+    let mut profiled = 0u64;
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(args.queries as usize);
+    let start = Instant::now();
+    let mut completed = 0u64;
+    let mut next_churn = every;
+    while completed < args.queries {
+        if completed >= next_churn {
+            next_churn += every;
+            // Catalog churn: replace one relation under the plan load.
+            let name = if rng.gen_bool(0.5) {
+                "transcript"
+            } else {
+                "courses"
+            };
+            let relation = relation_for(name, rng.gen_range(0..1u64 << 40));
+            match client.register(name, &relation) {
+                Ok(version) => {
+                    versions.insert(version, relation);
+                }
+                Err(e) => {
+                    eprintln!("divload: re-register {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let plan_idx = rng.gen_range(0..PLAN_MIX.len());
+        let request = ExecPlanRequest {
+            plan: PLAN_MIX[plan_idx].to_owned(),
+            deadline_ms: None,
+            profile: args.profile,
+        };
+        let sent = Instant::now();
+        let reply = match client.exec_plan(&request) {
+            Ok(reply) => reply,
+            Err(ServiceError::Overloaded) => {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            Err(_) if faulty => {
+                failed += 1;
+                completed += 1;
+                latencies_us.push(sent.elapsed().as_micros() as u64);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("divload: plan {plan_idx}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        latencies_us.push(sent.elapsed().as_micros() as u64);
+        completed += 1;
+        if reply.cached {
+            cached += 1;
+        }
+        for algorithm in &reply.algorithms {
+            *algorithms.entry(algorithm.label().to_owned()).or_default() += 1;
+        }
+        if let Some(profile) = &reply.profile {
+            profiled += 1;
+            if sample_profile.is_none() {
+                sample_profile = Some(profile.clone());
+            }
+        }
+
+        // Oracle check at the exact versions the service says it pinned.
+        let want = match expected.entry((plan_idx, reply.relations.clone())) {
+            std::collections::hash_map::Entry::Occupied(hit) => hit.get().clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let mut catalog = MemCatalog::new();
+                for (name, version) in &reply.relations {
+                    let Some(relation) = versions.get(version) else {
+                        eprintln!("divload: reply pinned unknown version {name}@{version}");
+                        return ExitCode::FAILURE;
+                    };
+                    catalog.insert(name.clone(), relation.clone());
+                }
+                let answer = parse(PLAN_MIX[plan_idx])
+                    .and_then(|plan| bind(&plan, &catalog))
+                    .and_then(|bound| evaluate(&bound, &catalog));
+                match answer {
+                    Ok(relation) => slot.insert(Arc::new(plan_bytes(&relation))).clone(),
+                    Err(e) => {
+                        eprintln!("divload: reference evaluation of plan {plan_idx}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+        let got = match Relation::from_tuples(reply.schema.clone(), reply.tuples.to_vec()) {
+            Ok(relation) => plan_bytes(&relation),
+            Err(e) => {
+                eprintln!("divload: reply tuples do not fit their schema: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if got != *want {
+            incorrect += 1;
+            eprintln!(
+                "INCORRECT plan result: plan {plan_idx} at {:?} (cached {}): got {} tuples, want {}",
+                reply.relations,
+                reply.cached,
+                got.len(),
+                want.len()
+            );
+        }
+    }
+    let elapsed = start.elapsed();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            0
+        } else {
+            latencies_us[((latencies_us.len() - 1) as f64 * p) as usize]
+        }
+    };
+    println!(
+        "divload: {completed} plan queries in {:.2} s ({:.0} q/s)",
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "latency: p50 {} us, p95 {} us, p99 {} us",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99)
+    );
+    println!(
+        "cache:   {} plan-cache hits / {} queries ({:.1}%)",
+        cached,
+        completed,
+        100.0 * cached as f64 / completed.max(1) as f64
+    );
+    let mut chosen: Vec<(String, u64)> = algorithms.into_iter().collect();
+    chosen.sort();
+    println!(
+        "chosen:  {}",
+        chosen
+            .iter()
+            .map(|(label, n)| format!("{label} ×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if faulty {
+        println!("faults:  {failed} plan queries failed under injection/deadlines");
+    }
+    println!(
+        "verify:  {}/{} completed replies correct",
+        completed - failed - incorrect,
+        completed - failed,
+    );
+    if args.profile {
+        println!("profile: {profiled} uncached plans returned span trees");
+        if let Some(profile) = &sample_profile {
+            println!("--- sample plan profile ---\n{}", profile.render());
+        }
+    }
+    if incorrect > 0 {
+        eprintln!("divload: FAILED — {incorrect} incorrect plan results");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn format_count(n: u64) -> String {
     if n >= 10_000_000 {
         format!("{:.1}M", n as f64 / 1e6)
@@ -487,6 +767,13 @@ fn main() -> ExitCode {
     if args.cluster > 0 && !args.nodes.is_empty() {
         eprintln!("divload: --cluster and --node are mutually exclusive");
         usage();
+    }
+    if args.plan_mode {
+        if args.cluster > 0 || args.nodes.len() > 1 {
+            eprintln!("divload: plan mode drives one service (embedded or a single --node)");
+            usage();
+        }
+        return run_plans(&args);
     }
     if args.cluster > 0 || !args.nodes.is_empty() {
         return run_cluster(&args);
@@ -588,6 +875,7 @@ fn main() -> ExitCode {
                         deadline_ms: None,
                         profile: want_profile,
                         distribute: None,
+                        restricted: None,
                     };
                     match client.divide(&request) {
                         Ok(reply) => {

@@ -1,0 +1,238 @@
+//! `reldiv_plan` — run composed query plans from the command line.
+//!
+//! Generates the paper's university database (`Transcript(student-id,
+//! course-no, grade)`, `Courses(course-no, title)`), then parses,
+//! validates, and executes a plan in the `reldiv-plan` s-expression
+//! language, printing the canonical plan text, every division's
+//! cost-model decision, and the result. Without a plan argument it runs
+//! the paper's motivating query — students who have taken all courses
+//! whose title contains "database".
+//!
+//! ```text
+//! reldiv_plan [--courses N] [--students N] [--seed N] [--limit N]
+//!             [--explain] [--json] [--verify] [--print] [PLAN]
+//! ```
+//!
+//! * `--explain` — attach a profiling sink and print the whole-plan
+//!   `EXPLAIN ANALYZE` span tree.
+//! * `--json` — with `--explain`, print the span tree as JSON instead.
+//! * `--verify` — also evaluate the plan with the brute-force reference
+//!   interpreter and fail unless the engine's answer is byte-identical.
+//! * `--print` — print the canonical plan text and exit without running.
+
+use std::process::ExitCode;
+
+use reldiv_exec::profile::ProfileSink;
+use reldiv_plan::{bind, canonical_bytes, evaluate, execute, parse, ExecOptions, MemCatalog};
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::StorageManager;
+use reldiv_workload::university::{generate, UniversitysSpec};
+
+const MOTIVATING: &str = "(divide (on course-no) \
+     (project (student-id course-no) (scan transcript)) \
+     (project (course-no) \
+       (filter (contains title \"database\") (scan courses))))";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reldiv_plan [--courses N] [--students N] [--seed N] [--limit N] \
+         [--explain] [--json] [--verify] [--print] [PLAN]\n\
+         PLAN is a reldiv-plan s-expression over the generated relations\n\
+         `transcript` (student-id, course-no, grade) and `courses` (course-no, title);\n\
+         it defaults to the paper's motivating query. See docs/PLANS.md."
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    courses: u64,
+    students: u64,
+    seed: u64,
+    limit: usize,
+    explain: bool,
+    json: bool,
+    verify: bool,
+    print: bool,
+    plan: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        courses: 20,
+        students: 100,
+        seed: 1989,
+        limit: 20,
+        explain: false,
+        json: false,
+        verify: false,
+        print: false,
+        plan: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| -> u64 {
+            let Some(value) = args.next() else { usage() };
+            match value.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("bad value for {flag}: {value:?}");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--courses" => parsed.courses = next("--courses"),
+            "--students" => parsed.students = next("--students"),
+            "--seed" => parsed.seed = next("--seed"),
+            "--limit" => parsed.limit = next("--limit") as usize,
+            "--explain" => parsed.explain = true,
+            "--json" => parsed.json = true,
+            "--verify" => parsed.verify = true,
+            "--print" => parsed.print = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+            text if parsed.plan.is_none() => parsed.plan = Some(text.to_owned()),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let text = args.plan.as_deref().unwrap_or(MOTIVATING);
+
+    let plan = match parse(text) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("reldiv_plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.print {
+        println!("{}", plan.print());
+        return ExitCode::SUCCESS;
+    }
+
+    let university = generate(
+        &UniversitysSpec {
+            courses: args.courses,
+            students: args.students,
+            ..UniversitysSpec::default()
+        },
+        args.seed,
+    );
+    let mut catalog = MemCatalog::new();
+    catalog.insert("transcript", university.transcript);
+    catalog.insert("courses", university.courses);
+
+    let bound = match bind(&plan, &catalog) {
+        Ok(bound) => bound,
+        Err(e) => {
+            eprintln!("reldiv_plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = ExecOptions::new(StorageManager::shared(StorageConfig::paper()));
+    let sink = args.explain.then(ProfileSink::new);
+    opts.profile = sink.clone();
+    let mut provider = catalog.clone();
+    let output = match execute(&bound, &mut provider, &opts) {
+        Ok(output) => output,
+        Err(e) => {
+            eprintln!("reldiv_plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("plan:    {}", plan.print());
+    println!(
+        "result:  {} rows over ({})",
+        output.relation.cardinality(),
+        output
+            .relation
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (i, choice) in output.choices.iter().enumerate() {
+        println!(
+            "divide {}: {} ({}) — |S|={} |Q|~{} |R|={} restricted={} unique={}",
+            i + 1,
+            choice.algorithm.label(),
+            if choice.pinned {
+                "pinned by hint"
+            } else {
+                "cost model"
+            },
+            choice.divisor_rows,
+            choice.quotient_rows,
+            choice.dividend_rows,
+            choice.restricted,
+            choice.duplicate_free,
+        );
+    }
+    let mut rows: Vec<String> = output
+        .relation
+        .tuples()
+        .iter()
+        .map(|t| {
+            let values: Vec<String> = t
+                .values()
+                .iter()
+                .map(|v| match v {
+                    reldiv_rel::Value::Int(i) => i.to_string(),
+                    reldiv_rel::Value::Str(s) => format!("{s:?}"),
+                })
+                .collect();
+            format!("({})", values.join(", "))
+        })
+        .collect();
+    rows.sort();
+    for row in rows.iter().take(args.limit) {
+        println!("  {row}");
+    }
+    if rows.len() > args.limit {
+        println!(
+            "  ... {} more rows (raise --limit)",
+            rows.len() - args.limit
+        );
+    }
+
+    if args.verify {
+        let oracle = match evaluate(&bound, &catalog) {
+            Ok(relation) => relation,
+            Err(e) => {
+                eprintln!("reldiv_plan: reference interpreter failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if canonical_bytes(&output.relation) == canonical_bytes(&oracle) {
+            println!("verify:  OK — byte-identical to the brute-force reference");
+        } else {
+            eprintln!(
+                "verify:  MISMATCH — engine returned {} rows, reference {}",
+                output.relation.cardinality(),
+                oracle.cardinality()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(sink) = sink {
+        let profile = sink.finish();
+        if args.json {
+            println!("{}", profile.to_json());
+        } else {
+            println!("--- EXPLAIN ANALYZE ---\n{}", profile.render());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -8,16 +8,25 @@
 //! ```text
 //! reldiv-profile [--divisor-size N] [--quotient-size N] [--seed N]
 //!                [--algorithm NAME] [--json]
+//! reldiv-profile --plan PLAN [--seed N] [--json]
 //! ```
 //!
 //! Algorithm names: `naive`, `sort-agg`, `sort-agg-join`, `hash-agg`,
 //! `hash-agg-join`, `hash-div` (default), `hash-div-early`,
 //! `hash-div-counter`.
+//!
+//! `--plan` profiles a whole composed plan (the `reldiv-plan`
+//! s-expression language, see `docs/PLANS.md`) over the paper's
+//! university relations `transcript` and `courses` instead of a single
+//! division; every plan operator — scans, filters, projections, joins,
+//! aggregations, divisions — renders as a named span.
 
 use reldiv_core::api::{divide_profiled, load_source, DivisionConfig};
 use reldiv_core::{Algorithm, DivisionSpec, HashDivisionMode};
+use reldiv_exec::profile::ProfileSink;
 use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::StorageManager;
+use reldiv_workload::university::{generate, UniversitysSpec};
 use reldiv_workload::WorkloadSpec;
 
 fn parse_algorithm(name: &str) -> Option<Algorithm> {
@@ -44,10 +53,59 @@ fn usage() -> ! {
     eprintln!(
         "usage: reldiv-profile [--divisor-size N] [--quotient-size N] [--seed N] \
          [--algorithm NAME] [--json]\n\
+         \x20      reldiv-profile --plan PLAN [--seed N] [--json]\n\
          algorithms: naive, sort-agg, sort-agg-join, hash-agg, hash-agg-join, \
-         hash-div, hash-div-early, hash-div-counter"
+         hash-div, hash-div-early, hash-div-counter\n\
+         --plan profiles a composed reldiv-plan query over the university\n\
+         relations `transcript` and `courses` (see docs/PLANS.md)"
     );
     std::process::exit(2);
+}
+
+/// Profiles a composed plan over the generated university catalog and
+/// prints the whole-plan span tree.
+fn profile_plan(text: &str, seed: u64, json: bool) -> ! {
+    let university = generate(&UniversitysSpec::default(), seed);
+    let mut catalog = reldiv_plan::MemCatalog::new();
+    catalog.insert("transcript", university.transcript);
+    catalog.insert("courses", university.courses);
+    let bound = reldiv_plan::parse(text)
+        .and_then(|plan| reldiv_plan::bind(&plan, &catalog))
+        .unwrap_or_else(|e| {
+            eprintln!("plan failed: {e}");
+            std::process::exit(1);
+        });
+    let sink = ProfileSink::new();
+    let mut opts = reldiv_plan::ExecOptions::new(StorageManager::shared(StorageConfig::paper()));
+    opts.profile = Some(sink.clone());
+    let mut provider = catalog.clone();
+    let output = reldiv_plan::execute(&bound, &mut provider, &opts).unwrap_or_else(|e| {
+        eprintln!("plan failed: {e}");
+        std::process::exit(1);
+    });
+    let profile = sink.finish();
+    if json {
+        println!("{}", profile.to_json());
+    } else {
+        for (i, choice) in output.choices.iter().enumerate() {
+            println!(
+                "divide {}: {} ({})",
+                i + 1,
+                choice.algorithm.label(),
+                if choice.pinned {
+                    "pinned by hint"
+                } else {
+                    "cost model"
+                }
+            );
+        }
+        println!(
+            "result: {} rows\n{}",
+            output.relation.cardinality(),
+            profile.render()
+        );
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -58,9 +116,11 @@ fn main() {
         mode: HashDivisionMode::Standard,
     };
     let mut json = false;
+    let mut plan: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--plan" => plan = Some(args.next().unwrap_or_else(|| usage())),
             "--divisor-size" => {
                 divisor_size = args
                     .next()
@@ -88,6 +148,9 @@ fn main() {
             "--json" => json = true,
             _ => usage(),
         }
+    }
+    if let Some(text) = plan {
+        profile_plan(&text, seed, json);
     }
 
     let w = WorkloadSpec {

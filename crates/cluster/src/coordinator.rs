@@ -832,6 +832,7 @@ impl Coordinator {
                     deadline_ms: None,
                     profile,
                     distribute: None,
+                    restricted: None,
                 },
             });
         }

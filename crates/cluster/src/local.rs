@@ -8,7 +8,7 @@
 //!
 //! [`LocalCluster::kill`] hard-stops one node mid-run, which is how the
 //! chaos tests prove a dead node surfaces as a typed
-//! [`ClusterError::NodeFailed`](crate::ClusterError::NodeFailed) at the
+//! [`ClusterError::NodeFailed`] at the
 //! coordinator instead of a hang.
 
 use std::net::SocketAddr;

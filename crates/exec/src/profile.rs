@@ -67,8 +67,16 @@ pub enum SpanKind {
     Network,
     /// One node of the parallel cluster.
     Node,
-    /// Anything else (projection, filter, having, queue wait, ...).
+    /// Anything else (queue wait, service bookkeeping, ...).
     Other,
+    /// A selection in a composed plan.
+    Filter,
+    /// A projection in a composed plan.
+    Project,
+    /// Duplicate elimination in a composed plan.
+    Distinct,
+    /// A `HAVING COUNT` post-filter in a composed plan.
+    Having,
 }
 
 impl SpanKind {
@@ -88,6 +96,10 @@ impl SpanKind {
             SpanKind::Network => 10,
             SpanKind::Node => 11,
             SpanKind::Other => 12,
+            SpanKind::Filter => 13,
+            SpanKind::Project => 14,
+            SpanKind::Distinct => 15,
+            SpanKind::Having => 16,
         }
     }
 
@@ -107,6 +119,10 @@ impl SpanKind {
             9 => SpanKind::Materialize,
             10 => SpanKind::Network,
             11 => SpanKind::Node,
+            13 => SpanKind::Filter,
+            14 => SpanKind::Project,
+            15 => SpanKind::Distinct,
+            16 => SpanKind::Having,
             _ => SpanKind::Other,
         }
     }
@@ -127,6 +143,10 @@ impl SpanKind {
             SpanKind::Network => "network",
             SpanKind::Node => "node",
             SpanKind::Other => "other",
+            SpanKind::Filter => "filter",
+            SpanKind::Project => "project",
+            SpanKind::Distinct => "distinct",
+            SpanKind::Having => "having",
         }
     }
 }
@@ -857,6 +877,10 @@ mod tests {
             SpanKind::Network,
             SpanKind::Node,
             SpanKind::Other,
+            SpanKind::Filter,
+            SpanKind::Project,
+            SpanKind::Distinct,
+            SpanKind::Having,
         ] {
             assert_eq!(SpanKind::from_code(kind.code()), kind);
         }

@@ -1,0 +1,43 @@
+//! Plan-layer errors.
+
+use reldiv_exec::ExecError;
+
+/// Errors from parsing, validating, or executing a plan.
+#[derive(Debug)]
+pub enum PlanError {
+    /// The plan text is not well-formed.
+    Parse(String),
+    /// The plan is well-formed but does not type-check against the
+    /// catalog (unknown relation/column, arity or type mismatch, ...).
+    Validate(String),
+    /// The engine failed while executing the lowered plan.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Parse(msg) => write!(f, "plan parse error: {msg}"),
+            PlanError::Validate(msg) => write!(f, "plan validation error: {msg}"),
+            PlanError::Exec(e) => write!(f, "plan execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for PlanError {
+    fn from(e: ExecError) -> PlanError {
+        PlanError::Exec(e)
+    }
+}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -1,0 +1,711 @@
+//! The plan parser: s-expression text → [`Plan`].
+//!
+//! Hand-written tokenizer and recursive-descent parser with hard bounds
+//! (input length, nesting depth, node count) so hostile input from the
+//! wire cannot blow the stack or allocate without limit. Errors carry the
+//! byte offset they were detected at.
+
+use crate::ast::{AlgorithmHint, Cmp, ColRef, DivideHints, Lit, Plan, Pred, Tri};
+use crate::error::{PlanError, Result};
+
+/// Longest accepted plan text, in bytes. The wire codec enforces the same
+/// bound before the parser ever sees hostile input.
+pub const MAX_PLAN_TEXT: usize = 1 << 20;
+/// Deepest accepted plan nesting.
+pub const MAX_PLAN_DEPTH: usize = 64;
+/// Most plan nodes accepted in one text.
+pub const MAX_PLAN_NODES: usize = 4096;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    /// Identifier or operator token (`scan`, `course-no`, `<=`, ...).
+    Ident(String),
+    Int(i64),
+    Str(String),
+    /// Positional column reference `#3`.
+    Hash(usize),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PlanError {
+        PlanError::Parse(format!("{} at byte {}", msg.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b';' => {
+                    // Comment to end of line.
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn is_ident_byte(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'
+    }
+
+    fn next(&mut self) -> Result<Option<Tok>> {
+        self.skip_ws();
+        let Some(&b) = self.src.get(self.pos) else {
+            return Ok(None);
+        };
+        match b {
+            b'(' => {
+                self.pos += 1;
+                Ok(Some(Tok::LParen))
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(Some(Tok::RParen))
+            }
+            b'"' => self.string().map(Some),
+            b'#' => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(self.err("expected digits after '#'"));
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                let idx: usize = text
+                    .parse()
+                    .map_err(|_| self.err(format!("column index {text} out of range")))?;
+                Ok(Some(Tok::Hash(idx)))
+            }
+            b'=' | b'!' | b'<' | b'>' => {
+                let start = self.pos;
+                self.pos += 1;
+                if self.src.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                if Cmp::from_token(text).is_none() {
+                    return Err(self.err(format!("unknown operator {text:?}")));
+                }
+                Ok(Some(Tok::Ident(text.to_owned())))
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("bad integer {text:?}")))?;
+                Ok(Some(Tok::Int(value)))
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len() && Self::is_ident_byte(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in identifier"))?;
+                Ok(Some(Tok::Ident(text.to_owned())))
+            }
+            _ => Err(self.err(format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok> {
+        debug_assert_eq!(self.src[self.pos], b'"');
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.src.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(Tok::Str(out)),
+                b'\\' => {
+                    let Some(&e) = self.src.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        _ => return Err(self.err(format!("unknown escape \\{}", e as char))),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.src.len() && (self.src[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.src[start..end])
+                            .map_err(|_| self.err("invalid utf-8 in string"))?;
+                        out.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    nodes: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> PlanError {
+        PlanError::Parse(format!("{} (token {})", msg.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let tok = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect_lparen(&mut self) -> Result<()> {
+        match self.next()? {
+            Tok::LParen => Ok(()),
+            t => Err(self.err(format!("expected '(', found {t:?}"))),
+        }
+    }
+
+    fn expect_rparen(&mut self) -> Result<()> {
+        match self.next()? {
+            Tok::RParen => Ok(()),
+            t => Err(self.err(format!("expected ')', found {t:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.next()? {
+            Tok::Int(v) => Ok(v),
+            t => Err(self.err(format!("expected integer, found {t:?}"))),
+        }
+    }
+
+    fn col(&mut self) -> Result<ColRef> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(ColRef::Name(s)),
+            Tok::Hash(i) => Ok(ColRef::Index(i)),
+            t => Err(self.err(format!("expected column reference, found {t:?}"))),
+        }
+    }
+
+    /// `(col col ...)` — a parenthesized, possibly empty column list.
+    fn col_list(&mut self) -> Result<Vec<ColRef>> {
+        self.expect_lparen()?;
+        let mut cols = Vec::new();
+        while !matches!(self.peek(), Some(Tok::RParen)) {
+            cols.push(self.col()?);
+        }
+        self.expect_rparen()?;
+        Ok(cols)
+    }
+
+    fn lit(&mut self) -> Result<Lit> {
+        match self.next()? {
+            Tok::Int(v) => Ok(Lit::Int(v)),
+            Tok::Str(s) => Ok(Lit::Str(s)),
+            t => Err(self.err(format!("expected literal, found {t:?}"))),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred> {
+        self.expect_lparen()?;
+        let head = self.ident()?;
+        let pred = if head == "contains" {
+            let col = self.col()?;
+            let needle = match self.next()? {
+                Tok::Str(s) => s,
+                t => return Err(self.err(format!("contains needs a string, found {t:?}"))),
+            };
+            Pred::Contains { col, needle }
+        } else if let Some(cmp) = Cmp::from_token(&head) {
+            let col = self.col()?;
+            let value = self.lit()?;
+            Pred::Compare { col, cmp, value }
+        } else {
+            return Err(self.err(format!("unknown predicate {head:?}")));
+        };
+        self.expect_rparen()?;
+        Ok(pred)
+    }
+
+    fn plan(&mut self, depth: usize) -> Result<Plan> {
+        if depth >= MAX_PLAN_DEPTH {
+            return Err(self.err(format!("plan nesting exceeds {MAX_PLAN_DEPTH}")));
+        }
+        self.nodes += 1;
+        if self.nodes > MAX_PLAN_NODES {
+            return Err(self.err(format!("plan exceeds {MAX_PLAN_NODES} nodes")));
+        }
+        self.expect_lparen()?;
+        let head = self.ident()?;
+        let plan = match head.as_str() {
+            "scan" => Plan::Scan {
+                relation: self.ident()?,
+            },
+            "filter" => {
+                let pred = self.pred()?;
+                let input = Box::new(self.plan(depth + 1)?);
+                Plan::Filter { pred, input }
+            }
+            "project" => {
+                let columns = self.col_list()?;
+                if columns.is_empty() {
+                    return Err(self.err("project needs at least one column"));
+                }
+                let input = Box::new(self.plan(depth + 1)?);
+                Plan::Project { columns, input }
+            }
+            "distinct" => Plan::Distinct {
+                input: Box::new(self.plan(depth + 1)?),
+            },
+            "join" => {
+                self.expect_lparen()?;
+                let kw = self.ident()?;
+                if kw != "on" {
+                    return Err(self.err(format!("join expects (on ...), found {kw:?}")));
+                }
+                let mut on = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RParen)) {
+                    self.expect_lparen()?;
+                    let l = self.col()?;
+                    let r = self.col()?;
+                    self.expect_rparen()?;
+                    on.push((l, r));
+                }
+                self.expect_rparen()?;
+                if on.is_empty() {
+                    return Err(self.err("join needs at least one key pair"));
+                }
+                let left = Box::new(self.plan(depth + 1)?);
+                let right = Box::new(self.plan(depth + 1)?);
+                Plan::Join { on, left, right }
+            }
+            "group-count" => {
+                let keys = self.col_list()?;
+                if keys.is_empty() {
+                    return Err(self.err("group-count needs at least one key"));
+                }
+                let input = Box::new(self.plan(depth + 1)?);
+                Plan::GroupCount { keys, input }
+            }
+            "having-count" => {
+                let op = self.ident()?;
+                let cmp = Cmp::from_token(&op)
+                    .ok_or_else(|| self.err(format!("unknown comparison {op:?}")))?;
+                let target = self.int()?;
+                let input = Box::new(self.plan(depth + 1)?);
+                Plan::HavingCount { cmp, target, input }
+            }
+            "divide" => self.divide(depth)?,
+            other => return Err(self.err(format!("unknown plan node {other:?}"))),
+        };
+        self.expect_rparen()?;
+        Ok(plan)
+    }
+
+    /// The body of `(divide ...)` after the head identifier: an `(on ...)`
+    /// group, optional `(quotient ...)`/hint groups in any order, then the
+    /// dividend and divisor subplans.
+    fn divide(&mut self, depth: usize) -> Result<Plan> {
+        let mut on: Option<Vec<ColRef>> = None;
+        let mut quotient: Option<Vec<ColRef>> = None;
+        let mut hints = DivideHints::default();
+        loop {
+            // Option groups are `(keyword ...)`; the first group whose
+            // keyword is a plan-node head starts the subplans instead.
+            let save = self.pos;
+            self.expect_lparen()?;
+            let head = self.ident()?;
+            match head.as_str() {
+                "on" => {
+                    let mut cols = Vec::new();
+                    while !matches!(self.peek(), Some(Tok::RParen)) {
+                        cols.push(self.col()?);
+                    }
+                    self.expect_rparen()?;
+                    if cols.is_empty() {
+                        return Err(self.err("divide (on ...) needs at least one column"));
+                    }
+                    if on.replace(cols).is_some() {
+                        return Err(self.err("duplicate (on ...) group"));
+                    }
+                }
+                "quotient" => {
+                    let mut cols = Vec::new();
+                    while !matches!(self.peek(), Some(Tok::RParen)) {
+                        cols.push(self.col()?);
+                    }
+                    self.expect_rparen()?;
+                    if cols.is_empty() {
+                        return Err(self.err("divide (quotient ...) needs at least one column"));
+                    }
+                    if quotient.replace(cols).is_some() {
+                        return Err(self.err("duplicate (quotient ...) group"));
+                    }
+                }
+                "algorithm" => {
+                    let tok = self.ident()?;
+                    hints.algorithm = AlgorithmHint::from_token(&tok)
+                        .ok_or_else(|| self.err(format!("unknown algorithm {tok:?}")))?;
+                    self.expect_rparen()?;
+                }
+                "restricted" => {
+                    let tok = self.ident()?;
+                    hints.restricted = Tri::from_token(&tok).ok_or_else(|| {
+                        self.err(format!("restricted expects yes/no/auto, found {tok:?}"))
+                    })?;
+                    self.expect_rparen()?;
+                }
+                "unique" => {
+                    let tok = self.ident()?;
+                    hints.unique = Tri::from_token(&tok).ok_or_else(|| {
+                        self.err(format!("unique expects yes/no/auto, found {tok:?}"))
+                    })?;
+                    self.expect_rparen()?;
+                }
+                _ => {
+                    // Not an option group: rewind and parse the subplans.
+                    self.pos = save;
+                    break;
+                }
+            }
+        }
+        let on = on.ok_or_else(|| self.err("divide needs an (on ...) group"))?;
+        let dividend = Box::new(self.plan(depth + 1)?);
+        let divisor = Box::new(self.plan(depth + 1)?);
+        Ok(Plan::Divide {
+            on,
+            quotient,
+            hints,
+            dividend,
+            divisor,
+        })
+    }
+}
+
+/// Parses a plan text into a [`Plan`].
+pub fn parse(text: &str) -> Result<Plan> {
+    if text.len() > MAX_PLAN_TEXT {
+        return Err(PlanError::Parse(format!(
+            "plan text of {} bytes exceeds the {MAX_PLAN_TEXT}-byte limit",
+            text.len()
+        )));
+    }
+    let mut lexer = Lexer::new(text);
+    let mut toks = Vec::new();
+    while let Some(tok) = lexer.next()? {
+        toks.push(tok);
+    }
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        nodes: 0,
+    };
+    let plan = parser.plan(0)?;
+    if parser.pos != parser.toks.len() {
+        return Err(parser.err("trailing tokens after plan"));
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(text: &str) -> Plan {
+        let plan = parse(text).expect("parse");
+        let printed = plan.print();
+        let again = parse(&printed).expect("reparse");
+        assert_eq!(plan, again, "print→parse changed the plan: {printed}");
+        plan
+    }
+
+    #[test]
+    fn parses_the_paper_query() {
+        let plan = roundtrip(
+            r#"(divide (on course-no)
+                 (project (student-id course-no) (scan transcript))
+                 (project (course-no)
+                   (filter (contains title "database") (scan courses))))"#,
+        );
+        assert_eq!(plan.relations(), vec!["courses", "transcript"]);
+        assert_eq!(plan.node_count(), 6);
+    }
+
+    #[test]
+    fn parses_hints_in_any_order() {
+        let a = parse(
+            "(divide (on b) (quotient a) (algorithm hash-div) (restricted no) (scan r) (scan s))",
+        )
+        .unwrap();
+        let b = parse(
+            "(divide (restricted no) (algorithm hash-div) (quotient a) (on b) (scan r) (scan s))",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.print(), b.print());
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let plan = roundtrip("(scan r) ; trailing comment\n");
+        assert_eq!(
+            plan,
+            Plan::Scan {
+                relation: "r".into()
+            }
+        );
+    }
+
+    #[test]
+    fn positional_columns_round_trip() {
+        let plan = roundtrip("(project (#0 #2) (scan r))");
+        match plan {
+            Plan::Project { columns, .. } => {
+                assert_eq!(columns, vec![ColRef::Index(0), ColRef::Index(2)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        roundtrip(r#"(filter (contains title "say \"db\"\n\t\\") (scan r))"#);
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in [
+            "",
+            "(",
+            ")",
+            "(scan)",
+            "(scan r) junk",
+            "(scan r) (scan s)",
+            "(filter (= a) (scan r))",
+            "(filter (~ a 1) (scan r))",
+            "(project () (scan r))",
+            "(join (on) (scan r) (scan s))",
+            "(divide (scan r) (scan s))",
+            "(divide (on) (scan r) (scan s))",
+            "(divide (on a) (algorithm warp) (scan r) (scan s))",
+            "(having-count ? 3 (scan r))",
+            "(frobnicate (scan r))",
+            "(scan \u{1F980})",
+            "(filter (contains title \"unterminated) (scan r))",
+            "#",
+            "(scan r",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_and_node_bounds_hold() {
+        let mut deep = String::new();
+        for _ in 0..(MAX_PLAN_DEPTH + 1) {
+            deep.push_str("(distinct ");
+        }
+        deep.push_str("(scan r)");
+        for _ in 0..(MAX_PLAN_DEPTH + 1) {
+            deep.push(')');
+        }
+        assert!(parse(&deep).is_err());
+        assert!(parse(&"x".repeat(MAX_PLAN_TEXT + 1)).is_err());
+    }
+
+    // ---- property test: parse → print → parse is the identity ----
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        prop::sample::select(vec![
+            "r",
+            "s",
+            "transcript",
+            "courses",
+            "a-b",
+            "x_1",
+            "col.v2",
+        ])
+        .prop_map(|s: &str| s.to_owned())
+    }
+
+    fn arb_col() -> impl Strategy<Value = ColRef> {
+        prop_oneof![
+            arb_name().prop_map(ColRef::Name),
+            (0usize..8).prop_map(ColRef::Index),
+        ]
+    }
+
+    fn arb_cmp() -> impl Strategy<Value = Cmp> {
+        prop::sample::select(vec![Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge])
+    }
+
+    fn arb_lit() -> impl Strategy<Value = Lit> {
+        prop_oneof![
+            any::<i64>().prop_map(Lit::Int),
+            prop::sample::select(vec!["", "db", "say \"db\"", "tab\tand\nnewline", "π ≠ 3"])
+                .prop_map(|s: &str| Lit::Str(s.to_owned())),
+        ]
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Pred> {
+        prop_oneof![
+            (arb_col(), arb_cmp(), arb_lit()).prop_map(|(col, cmp, value)| Pred::Compare {
+                col,
+                cmp,
+                value
+            }),
+            (arb_col(), arb_lit()).prop_map(|(col, lit)| Pred::Contains {
+                col,
+                needle: match lit {
+                    Lit::Str(s) => s,
+                    Lit::Int(v) => v.to_string(),
+                },
+            }),
+        ]
+    }
+
+    fn arb_hints() -> impl Strategy<Value = DivideHints> {
+        (
+            prop::sample::select(vec![
+                AlgorithmHint::Auto,
+                AlgorithmHint::Naive,
+                AlgorithmHint::SortAggJoin,
+                AlgorithmHint::HashAgg,
+                AlgorithmHint::HashDivEarly,
+                AlgorithmHint::HashDivCounter,
+            ]),
+            prop::sample::select(vec![Tri::Auto, Tri::Yes, Tri::No]),
+            prop::sample::select(vec![Tri::Auto, Tri::Yes, Tri::No]),
+        )
+            .prop_map(|(algorithm, restricted, unique)| DivideHints {
+                algorithm,
+                restricted,
+                unique,
+            })
+    }
+
+    /// A random plan of bounded depth. `depth` counts down to scans.
+    fn arb_plan(depth: usize) -> BoxedStrategy<Plan> {
+        if depth == 0 {
+            return arb_name()
+                .prop_map(|relation| Plan::Scan { relation })
+                .boxed();
+        }
+        // The vendored proptest's strategies are not Clone, so each arm
+        // builds its own fresh sub-strategies via these constructors.
+        let inner = || arb_plan(depth - 1);
+        let cols = || prop::collection::vec(arb_col(), 1..3);
+        prop_oneof![
+            arb_name().prop_map(|relation| Plan::Scan { relation }),
+            (arb_pred(), inner()).prop_map(|(pred, input)| Plan::Filter {
+                pred,
+                input: Box::new(input)
+            }),
+            (cols(), inner()).prop_map(|(columns, input)| Plan::Project {
+                columns,
+                input: Box::new(input)
+            }),
+            inner().prop_map(|input| Plan::Distinct {
+                input: Box::new(input)
+            }),
+            (
+                prop::collection::vec((arb_col(), arb_col()), 1..3),
+                inner(),
+                inner()
+            )
+                .prop_map(|(on, left, right)| Plan::Join {
+                    on,
+                    left: Box::new(left),
+                    right: Box::new(right)
+                }),
+            (cols(), inner()).prop_map(|(keys, input)| Plan::GroupCount {
+                keys,
+                input: Box::new(input)
+            }),
+            (arb_cmp(), any::<i64>(), inner()).prop_map(|(cmp, target, input)| {
+                Plan::HavingCount {
+                    cmp,
+                    target,
+                    input: Box::new(input),
+                }
+            }),
+            (
+                cols(),
+                prop::option::of(cols()),
+                arb_hints(),
+                inner(),
+                inner()
+            )
+                .prop_map(|(on, quotient, hints, dividend, divisor)| Plan::Divide {
+                    on,
+                    quotient,
+                    hints,
+                    dividend: Box::new(dividend),
+                    divisor: Box::new(divisor)
+                }),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn parse_print_parse_is_identity(plan in arb_plan(3)) {
+            let printed = plan.print();
+            let reparsed = parse(&printed).expect("canonical form parses");
+            prop_assert_eq!(&reparsed, &plan, "text: {}", printed);
+            prop_assert_eq!(reparsed.print(), printed);
+        }
+    }
+}

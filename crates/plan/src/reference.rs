@@ -1,0 +1,258 @@
+//! Brute-force reference evaluation — the oracle the engine is checked
+//! against.
+//!
+//! Every node is interpreted directly over in-memory relations with the
+//! most obvious possible implementation (nested-loop join, group maps,
+//! set-containment division), sharing no code with the execution engine.
+//! Output *order* is unspecified on both sides, so comparisons go through
+//! [`canonical_bytes`]: the sorted record encodings of a relation, which
+//! are byte-identical exactly when two relations are bag-equal.
+
+use std::collections::BTreeMap;
+
+use reldiv_rel::{RecordCodec, Relation, Tuple, Value};
+
+use crate::error::{PlanError, Result};
+use crate::validate::{Bound, BoundNode, BoundPred};
+
+/// Where the oracle finds base relations (in memory — the oracle never
+/// touches storage).
+pub trait RelationSource {
+    /// A copy of relation `name`.
+    fn relation(&self, name: &str) -> Option<Relation>;
+}
+
+fn pred_holds(pred: &BoundPred, t: &Tuple) -> bool {
+    match pred {
+        BoundPred::Compare { col, cmp, value } => match (t.value(*col), value) {
+            (Value::Int(v), crate::ast::Lit::Int(target)) => cmp.eval(v.cmp(target)),
+            (Value::Str(s), crate::ast::Lit::Str(target)) => {
+                cmp.eval(s.as_str().cmp(target.as_str()))
+            }
+            _ => false,
+        },
+        BoundPred::Contains { col, needle } => match t.value(*col) {
+            Value::Str(s) => s
+                .to_ascii_lowercase()
+                .contains(&needle.to_ascii_lowercase()),
+            Value::Int(_) => false,
+        },
+    }
+}
+
+/// A total-order sort key for grouping (mirrors `Value::total_cmp`).
+type GroupKey = Vec<(u8, i64, String)>;
+
+fn group_key(t: &Tuple, cols: &[usize]) -> GroupKey {
+    cols.iter()
+        .map(|&c| match t.value(c) {
+            Value::Int(i) => (0u8, *i, String::new()),
+            Value::Str(s) => (1u8, 0, s.clone()),
+        })
+        .collect()
+}
+
+/// Evaluates a bound plan by brute force. Quadratic joins and divisions;
+/// test-sized inputs only.
+pub fn evaluate(bound: &Bound, src: &dyn RelationSource) -> Result<Relation> {
+    let tuples = match &bound.node {
+        BoundNode::Scan { relation } => src
+            .relation(relation)
+            .ok_or_else(|| PlanError::Validate(format!("unknown relation {relation:?}")))?
+            .into_tuples(),
+        BoundNode::Filter { pred, input } => evaluate(input, src)?
+            .into_tuples()
+            .into_iter()
+            .filter(|t| pred_holds(pred, t))
+            .collect(),
+        BoundNode::Project { columns, input } => evaluate(input, src)?
+            .tuples()
+            .iter()
+            .map(|t| t.project(columns))
+            .collect(),
+        BoundNode::Distinct { input } => {
+            let mut seen = BTreeMap::new();
+            for t in evaluate(input, src)?.into_tuples() {
+                let all: Vec<usize> = (0..t.arity()).collect();
+                seen.entry(group_key(&t, &all)).or_insert(t);
+            }
+            seen.into_values().collect()
+        }
+        BoundNode::Join {
+            left_keys,
+            right_keys,
+            left,
+            right,
+        } => {
+            let l = evaluate(left, src)?;
+            let r = evaluate(right, src)?;
+            let mut out = Vec::new();
+            for lt in l.tuples() {
+                for rt in r.tuples() {
+                    if lt.eq_on(left_keys, rt, right_keys) {
+                        let mut values = lt.values().to_vec();
+                        values.extend(rt.values().iter().cloned());
+                        out.push(Tuple::new(values));
+                    }
+                }
+            }
+            out
+        }
+        BoundNode::GroupCount { keys, input } => {
+            let mut groups: BTreeMap<GroupKey, (Tuple, i64)> = BTreeMap::new();
+            for t in evaluate(input, src)?.into_tuples() {
+                groups
+                    .entry(group_key(&t, keys))
+                    .or_insert_with(|| (t.project(keys), 0))
+                    .1 += 1;
+            }
+            groups
+                .into_values()
+                .map(|(rep, count)| {
+                    let mut values = rep.into_values();
+                    values.push(Value::Int(count));
+                    Tuple::new(values)
+                })
+                .collect()
+        }
+        BoundNode::HavingCount { cmp, target, input } => {
+            let rel = evaluate(input, src)?;
+            let count_col = rel.schema().arity() - 1;
+            let keep: Vec<usize> = (0..count_col).collect();
+            rel.tuples()
+                .iter()
+                .filter(|t| match t.value(count_col) {
+                    Value::Int(c) => cmp.eval(c.cmp(target)),
+                    Value::Str(_) => false,
+                })
+                .map(|t| t.project(&keep))
+                .collect()
+        }
+        BoundNode::Divide(d) => {
+            let dividend = evaluate(&d.dividend, src)?;
+            let divisor = evaluate(&d.divisor, src)?;
+            // S = the distinct divisor tuples; a quotient group qualifies
+            // when its set of divisor-attribute combinations covers S.
+            // An empty divisor admits every group (universal quantification
+            // over the empty set), matching the engine and the workload
+            // crate's brute_force_divide.
+            let divisor_set: std::collections::BTreeSet<GroupKey> = divisor
+                .tuples()
+                .iter()
+                .map(|t| group_key(t, &(0..t.arity()).collect::<Vec<_>>()))
+                .collect();
+            let mut groups: BTreeMap<GroupKey, (Tuple, std::collections::BTreeSet<GroupKey>)> =
+                BTreeMap::new();
+            for t in dividend.tuples() {
+                let entry = groups
+                    .entry(group_key(t, &d.quotient_keys))
+                    .or_insert_with(|| (t.project(&d.quotient_keys), Default::default()));
+                let dkey = group_key(t, &d.divisor_keys);
+                if divisor_set.contains(&dkey) {
+                    entry.1.insert(dkey);
+                }
+            }
+            groups
+                .into_values()
+                .filter(|(_, have)| have.len() == divisor_set.len())
+                .map(|(t, _)| t)
+                .collect()
+        }
+    };
+    Relation::from_tuples(bound.schema.clone(), tuples)
+        .map_err(|e| PlanError::Validate(format!("reference evaluation: {e}")))
+}
+
+/// The sorted record encodings of `rel` — a canonical byte form: two
+/// relations are bag-equal iff their canonical bytes are identical.
+pub fn canonical_bytes(rel: &Relation) -> Vec<Vec<u8>> {
+    let codec = RecordCodec::new(rel.schema().clone());
+    let mut rows: Vec<Vec<u8>> = rel
+        .tuples()
+        .iter()
+        .map(|t| {
+            let mut buf = Vec::with_capacity(codec.record_width());
+            codec
+                .encode_into(t, &mut buf)
+                .expect("tuple conforms to its schema");
+            buf
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{execute, ExecOptions};
+    use crate::parse::parse;
+    use crate::validate::bind;
+    use crate::MemCatalog;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::Schema;
+    use reldiv_storage::manager::StorageConfig;
+    use reldiv_storage::StorageManager;
+
+    fn catalog() -> MemCatalog {
+        let mut c = MemCatalog::new();
+        // A dividend with duplicates and groups of varying completeness.
+        let r = Relation::from_tuples(
+            Schema::new(vec![Field::int("q"), Field::int("s")]),
+            vec![
+                ints(&[1, 1]),
+                ints(&[1, 2]),
+                ints(&[1, 2]),
+                ints(&[2, 1]),
+                ints(&[3, 1]),
+                ints(&[3, 2]),
+                ints(&[3, 3]),
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::new(vec![Field::int("s")]),
+            vec![ints(&[1]), ints(&[2])],
+        )
+        .unwrap();
+        c.insert("r", r);
+        c.insert("s", s);
+        c
+    }
+
+    #[test]
+    fn reference_agrees_with_the_engine_on_composed_plans() {
+        let storage = StorageManager::shared(StorageConfig::large());
+        for text in [
+            "(divide (on s) (scan r) (scan s))",
+            "(divide (on s) (filter (>= q 2) (scan r)) (scan s))",
+            "(group-count (q) (scan r))",
+            "(having-count >= 2 (group-count (q) (scan r)))",
+            "(distinct (project (q) (scan r)))",
+            "(join (on (q q)) (scan r) (scan r))",
+            "(divide (on s) (distinct (scan r)) (distinct (scan s)))",
+        ] {
+            let bound = bind(&parse(text).unwrap(), &catalog()).unwrap();
+            let oracle = evaluate(&bound, &catalog()).unwrap();
+            let mut provider = catalog();
+            let engine = execute(&bound, &mut provider, &ExecOptions::new(storage.clone()))
+                .unwrap()
+                .relation;
+            assert_eq!(
+                canonical_bytes(&oracle),
+                canonical_bytes(&engine),
+                "plan {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_divisor_admits_every_group() {
+        let mut c = catalog();
+        c.insert("empty", Relation::empty(Schema::new(vec![Field::int("s")])));
+        let bound = bind(&parse("(divide (on s) (scan r) (scan empty))").unwrap(), &c).unwrap();
+        let oracle = evaluate(&bound, &c).unwrap();
+        assert_eq!(oracle.cardinality(), 3, "groups 1, 2, 3 all qualify");
+    }
+}

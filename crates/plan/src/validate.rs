@@ -1,0 +1,589 @@
+//! Semantic analysis: [`Plan`] → [`Bound`].
+//!
+//! Binding resolves column names against the catalog's schemas, checks
+//! types, computes every node's output schema, and annotates each node
+//! with the two statistics the Section 4 cost model needs downstream:
+//! a cardinality estimate and a duplicate-freeness guarantee.
+//!
+//! Division nodes are normalized during binding: the paper's
+//! [`DivisionSpec`](reldiv_core::DivisionSpec) requires the dividend's
+//! columns to be exactly quotient ∪ divisor attributes, so a dividend
+//! carrying extra columns (or columns in a different order) gets an
+//! implicit projection to `(quotient..., on...)` — visible in `EXPLAIN
+//! ANALYZE` as a real projection operator.
+
+use reldiv_rel::schema::ColumnType;
+use reldiv_rel::Schema;
+
+use crate::ast::{Cmp, ColRef, DivideHints, Lit, Plan, Pred};
+use crate::error::{PlanError, Result};
+
+/// Where the validator finds relation schemas and cardinalities. The
+/// service implements this over pinned catalog versions; tests and the
+/// CLI use [`MemCatalog`](crate::MemCatalog).
+pub trait CatalogSource {
+    /// The schema and cardinality of `name`, or `None` when unknown.
+    fn lookup(&self, name: &str) -> Option<(Schema, u64)>;
+}
+
+/// A bound (validated) predicate: columns resolved to indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundPred {
+    /// Compare column `col` against a literal.
+    Compare {
+        /// Resolved column index.
+        col: usize,
+        /// The comparison.
+        cmp: Cmp,
+        /// The literal.
+        value: Lit,
+    },
+    /// Case-insensitive substring match on a string column.
+    Contains {
+        /// Resolved column index.
+        col: usize,
+        /// The needle.
+        needle: String,
+    },
+}
+
+impl BoundPred {
+    /// A short rendering for span labels.
+    pub fn describe(&self, schema: &Schema) -> String {
+        match self {
+            BoundPred::Compare { col, cmp, value } => {
+                let name = &schema.fields()[*col].name;
+                match value {
+                    Lit::Int(v) => format!("{name} {} {v}", cmp.token()),
+                    Lit::Str(s) => format!("{name} {} {s:?}", cmp.token()),
+                }
+            }
+            BoundPred::Contains { col, needle } => {
+                format!("{} contains {needle:?}", schema.fields()[*col].name)
+            }
+        }
+    }
+}
+
+/// A bound division node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundDivide {
+    /// Dividend columns matched against the divisor, in divisor column
+    /// order (indices into the bound dividend's schema).
+    pub divisor_keys: Vec<usize>,
+    /// Dividend columns forming the quotient.
+    pub quotient_keys: Vec<usize>,
+    /// Planner hints from the plan text.
+    pub hints: DivideHints,
+    /// The dividend plan (already normalized to cover exactly
+    /// `quotient ∪ divisor` columns).
+    pub dividend: Box<Bound>,
+    /// The divisor plan.
+    pub divisor: Box<Bound>,
+}
+
+/// A bound plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundNode {
+    /// Scan of a catalog relation.
+    Scan {
+        /// The catalog name.
+        relation: String,
+    },
+    /// Selection.
+    Filter {
+        /// The bound predicate.
+        pred: BoundPred,
+        /// The input.
+        input: Box<Bound>,
+    },
+    /// Projection (bag semantics).
+    Project {
+        /// Resolved column indices, in output order.
+        columns: Vec<usize>,
+        /// The input.
+        input: Box<Bound>,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// The input.
+        input: Box<Bound>,
+    },
+    /// Inner equi-join (left fields ++ right fields).
+    Join {
+        /// Resolved left key columns.
+        left_keys: Vec<usize>,
+        /// Resolved right key columns.
+        right_keys: Vec<usize>,
+        /// The left (probe) input.
+        left: Box<Bound>,
+        /// The right (build) input.
+        right: Box<Bound>,
+    },
+    /// Grouped `COUNT(*)`, appending an integer `count` column.
+    GroupCount {
+        /// Resolved grouping columns.
+        keys: Vec<usize>,
+        /// The input.
+        input: Box<Bound>,
+    },
+    /// `HAVING COUNT(*) cmp target`: filter by the trailing count column,
+    /// then project it away.
+    HavingCount {
+        /// The comparison.
+        cmp: Cmp,
+        /// The target count.
+        target: i64,
+        /// The input (last column must be an integer count).
+        input: Box<Bound>,
+    },
+    /// Relational division.
+    Divide(BoundDivide),
+}
+
+/// A validated plan node with its output schema and planner statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bound {
+    /// The node.
+    pub node: BoundNode,
+    /// The node's output schema.
+    pub schema: Schema,
+    /// Estimated output cardinality (see `docs/PLANS.md` for the
+    /// selectivity rules).
+    pub rows: u64,
+    /// Whether the output is guaranteed duplicate-free.
+    pub unique: bool,
+}
+
+fn verr(msg: impl Into<String>) -> PlanError {
+    PlanError::Validate(msg.into())
+}
+
+/// Resolves a column reference against a schema (leftmost name match).
+fn resolve(col: &ColRef, schema: &Schema, ctx: &str) -> Result<usize> {
+    match col {
+        ColRef::Index(i) => {
+            if *i < schema.arity() {
+                Ok(*i)
+            } else {
+                Err(verr(format!(
+                    "{ctx}: column #{i} out of range for arity {}",
+                    schema.arity()
+                )))
+            }
+        }
+        ColRef::Name(name) => schema
+            .fields()
+            .iter()
+            .position(|f| &f.name == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+                verr(format!("{ctx}: unknown column {name:?} (have {known:?})"))
+            }),
+    }
+}
+
+fn resolve_all(cols: &[ColRef], schema: &Schema, ctx: &str) -> Result<Vec<usize>> {
+    cols.iter().map(|c| resolve(c, schema, ctx)).collect()
+}
+
+/// Selectivity guesses for filter estimates, in the absence of real
+/// statistics. Documented in `docs/PLANS.md`; deliberately crude — the
+/// point (Section 5.2) is that the chooser must behave sensibly *despite*
+/// estimate error.
+fn filter_estimate(rows: u64, pred: &BoundPred) -> u64 {
+    let est = match pred {
+        BoundPred::Compare { cmp: Cmp::Eq, .. } => rows / 10,
+        BoundPred::Compare { cmp: Cmp::Ne, .. } => rows,
+        BoundPred::Compare { .. } => rows / 3,
+        BoundPred::Contains { .. } => rows / 4,
+    };
+    est.max(1).min(rows.max(1))
+}
+
+/// Validates `plan` against `catalog`, producing a [`Bound`] tree.
+pub fn bind(plan: &Plan, catalog: &dyn CatalogSource) -> Result<Bound> {
+    match plan {
+        Plan::Scan { relation } => {
+            let (schema, rows) = catalog
+                .lookup(relation)
+                .ok_or_else(|| verr(format!("unknown relation {relation:?}")))?;
+            if schema.arity() == 0 {
+                return Err(verr(format!("relation {relation:?} has no columns")));
+            }
+            Ok(Bound {
+                node: BoundNode::Scan {
+                    relation: relation.clone(),
+                },
+                schema,
+                rows,
+                unique: false,
+            })
+        }
+        Plan::Filter { pred, input } => {
+            let input = bind(input, catalog)?;
+            let bound_pred = match pred {
+                Pred::Compare { col, cmp, value } => {
+                    let col = resolve(col, &input.schema, "filter")?;
+                    let ty = input.schema.fields()[col].ty;
+                    match (ty, value) {
+                        (ColumnType::Int, Lit::Int(_)) | (ColumnType::Str(_), Lit::Str(_)) => {}
+                        (ty, value) => {
+                            return Err(verr(format!(
+                                "filter: cannot compare column of type {ty:?} with {value:?}"
+                            )))
+                        }
+                    }
+                    BoundPred::Compare {
+                        col,
+                        cmp: *cmp,
+                        value: value.clone(),
+                    }
+                }
+                Pred::Contains { col, needle } => {
+                    let col = resolve(col, &input.schema, "filter")?;
+                    if !matches!(input.schema.fields()[col].ty, ColumnType::Str(_)) {
+                        return Err(verr("filter: contains needs a string column".to_owned()));
+                    }
+                    BoundPred::Contains {
+                        col,
+                        needle: needle.clone(),
+                    }
+                }
+            };
+            let rows = filter_estimate(input.rows, &bound_pred);
+            Ok(Bound {
+                schema: input.schema.clone(),
+                rows,
+                unique: input.unique,
+                node: BoundNode::Filter {
+                    pred: bound_pred,
+                    input: Box::new(input),
+                },
+            })
+        }
+        Plan::Project { columns, input } => {
+            let input = bind(input, catalog)?;
+            let cols = resolve_all(columns, &input.schema, "project")?;
+            let schema = input
+                .schema
+                .project(&cols)
+                .map_err(|e| verr(format!("project: {e}")))?;
+            Ok(Bound {
+                schema,
+                rows: input.rows,
+                // A projection can introduce duplicates even over unique
+                // input (unless it keeps every column, which we don't
+                // bother detecting).
+                unique: false,
+                node: BoundNode::Project {
+                    columns: cols,
+                    input: Box::new(input),
+                },
+            })
+        }
+        Plan::Distinct { input } => {
+            let input = bind(input, catalog)?;
+            Ok(Bound {
+                schema: input.schema.clone(),
+                rows: input.rows,
+                unique: true,
+                node: BoundNode::Distinct {
+                    input: Box::new(input),
+                },
+            })
+        }
+        Plan::Join { on, left, right } => {
+            let left = bind(left, catalog)?;
+            let right = bind(right, catalog)?;
+            let mut left_keys = Vec::with_capacity(on.len());
+            let mut right_keys = Vec::with_capacity(on.len());
+            for (l, r) in on {
+                let li = resolve(l, &left.schema, "join left")?;
+                let ri = resolve(r, &right.schema, "join right")?;
+                let lt = left.schema.fields()[li].ty;
+                let rt = right.schema.fields()[ri].ty;
+                if lt != rt {
+                    return Err(verr(format!("join: key types differ ({lt:?} vs {rt:?})")));
+                }
+                left_keys.push(li);
+                right_keys.push(ri);
+            }
+            let mut fields = left.schema.fields().to_vec();
+            fields.extend(right.schema.fields().iter().cloned());
+            let schema = Schema::new(fields);
+            // Foreign-key-ish estimate: every tuple of the bigger side
+            // matches about once.
+            let rows =
+                (left.rows.saturating_mul(right.rows) / left.rows.max(right.rows).max(1)).max(1);
+            let unique = left.unique && right.unique;
+            Ok(Bound {
+                schema,
+                rows,
+                unique,
+                node: BoundNode::Join {
+                    left_keys,
+                    right_keys,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            })
+        }
+        Plan::GroupCount { keys, input } => {
+            let input = bind(input, catalog)?;
+            let cols = resolve_all(keys, &input.schema, "group-count")?;
+            let mut fields: Vec<_> = cols
+                .iter()
+                .map(|&c| input.schema.fields()[c].clone())
+                .collect();
+            fields.push(reldiv_rel::schema::Field::int("count"));
+            let schema = Schema::new(fields);
+            Ok(Bound {
+                schema,
+                rows: (input.rows / 2).max(1),
+                unique: true,
+                node: BoundNode::GroupCount {
+                    keys: cols,
+                    input: Box::new(input),
+                },
+            })
+        }
+        Plan::HavingCount { cmp, target, input } => {
+            let input = bind(input, catalog)?;
+            let arity = input.schema.arity();
+            if arity < 2 {
+                return Err(verr(
+                    "having-count: input needs group columns plus a count".to_owned(),
+                ));
+            }
+            if input.schema.fields()[arity - 1].ty != ColumnType::Int {
+                return Err(verr(
+                    "having-count: the input's last column must be an integer count".to_owned(),
+                ));
+            }
+            let keep: Vec<usize> = (0..arity - 1).collect();
+            let schema = input
+                .schema
+                .project(&keep)
+                .map_err(|e| verr(format!("having-count: {e}")))?;
+            Ok(Bound {
+                schema,
+                rows: (input.rows / 3).max(1),
+                unique: input.unique,
+                node: BoundNode::HavingCount {
+                    cmp: *cmp,
+                    target: *target,
+                    input: Box::new(input),
+                },
+            })
+        }
+        Plan::Divide {
+            on,
+            quotient,
+            hints,
+            dividend,
+            divisor,
+        } => {
+            let mut dividend = bind(dividend, catalog)?;
+            let divisor = bind(divisor, catalog)?;
+            let on_keys = resolve_all(on, &dividend.schema, "divide (on)")?;
+            let quotient_keys = match quotient {
+                Some(cols) => resolve_all(cols, &dividend.schema, "divide (quotient)")?,
+                None => (0..dividend.schema.arity())
+                    .filter(|i| !on_keys.contains(i))
+                    .collect(),
+            };
+            if quotient_keys.is_empty() {
+                return Err(verr(
+                    "divide: the quotient needs at least one column".to_owned(),
+                ));
+            }
+            for k in &on_keys {
+                if quotient_keys.contains(k) {
+                    return Err(verr(format!(
+                        "divide: column {} is both a divisor and a quotient attribute",
+                        dividend.schema.fields()[*k].name
+                    )));
+                }
+            }
+            if on_keys.len() != divisor.schema.arity() {
+                return Err(verr(format!(
+                    "divide: (on ...) names {} columns but the divisor has {}",
+                    on_keys.len(),
+                    divisor.schema.arity()
+                )));
+            }
+            for (i, &k) in on_keys.iter().enumerate() {
+                let dt = dividend.schema.fields()[k].ty;
+                let st = divisor.schema.fields()[i].ty;
+                if dt != st {
+                    return Err(verr(format!(
+                        "divide: dividend column {:?} has type {dt:?} but divisor column {i} has {st:?}",
+                        dividend.schema.fields()[k].name
+                    )));
+                }
+            }
+            // Normalize the dividend to (quotient..., on...) so the spec
+            // covers it exactly; skip the projection when it already does.
+            let wanted: Vec<usize> = quotient_keys
+                .iter()
+                .chain(on_keys.iter())
+                .copied()
+                .collect();
+            let identity = wanted.len() == dividend.schema.arity()
+                && wanted.iter().enumerate().all(|(i, &c)| i == c);
+            let (divisor_keys, quotient_keys) = if identity {
+                (on_keys, quotient_keys)
+            } else {
+                let schema = dividend
+                    .schema
+                    .project(&wanted)
+                    .map_err(|e| verr(format!("divide: {e}")))?;
+                let rows = dividend.rows;
+                dividend = Bound {
+                    schema,
+                    rows,
+                    unique: false,
+                    node: BoundNode::Project {
+                        columns: wanted,
+                        input: Box::new(dividend),
+                    },
+                };
+                let q = quotient_keys.len();
+                ((q..q + on_keys.len()).collect(), (0..q).collect())
+            };
+            let schema = dividend
+                .schema
+                .project(&quotient_keys)
+                .map_err(|e| verr(format!("divide: {e}")))?;
+            let rows = (dividend.rows / divisor.rows.max(1)).max(1);
+            Ok(Bound {
+                schema,
+                rows,
+                unique: true,
+                node: BoundNode::Divide(BoundDivide {
+                    divisor_keys,
+                    quotient_keys,
+                    hints: *hints,
+                    dividend: Box::new(dividend),
+                    divisor: Box::new(divisor),
+                }),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::MemCatalog;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::Relation;
+
+    fn catalog() -> MemCatalog {
+        let mut c = MemCatalog::new();
+        let transcript = Relation::from_tuples(
+            Schema::new(vec![Field::int("student-id"), Field::int("course-no")]),
+            vec![ints(&[1, 10]), ints(&[1, 11]), ints(&[2, 10])],
+        )
+        .unwrap();
+        let courses = Relation::from_tuples(
+            Schema::new(vec![Field::int("course-no"), Field::str("title", 16)]),
+            vec![],
+        )
+        .unwrap();
+        c.insert("transcript", transcript);
+        c.insert("courses", courses);
+        c
+    }
+
+    fn bind_text(text: &str) -> Result<Bound> {
+        bind(&parse(text).unwrap(), &catalog())
+    }
+
+    #[test]
+    fn binds_and_normalizes_the_division() {
+        let b = bind_text(
+            "(divide (on course-no) (scan transcript) (project (course-no) (scan courses)))",
+        )
+        .unwrap();
+        assert_eq!(b.schema.fields()[0].name, "student-id");
+        assert!(b.unique);
+        match &b.node {
+            BoundNode::Divide(d) => {
+                // transcript is already (quotient, on): no implicit project.
+                assert!(matches!(d.dividend.node, BoundNode::Scan { .. }));
+                assert_eq!(d.divisor_keys, vec![1]);
+                assert_eq!(d.quotient_keys, vec![0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_dividend_gets_an_implicit_projection() {
+        let b = bind_text(
+            "(divide (on #0) (quotient #1) (scan transcript) (project (student-id) (scan transcript)))",
+        )
+        .unwrap();
+        match &b.node {
+            BoundNode::Divide(d) => {
+                assert!(matches!(d.dividend.node, BoundNode::Project { .. }));
+                assert_eq!(d.quotient_keys, vec![0]);
+                assert_eq!(d.divisor_keys, vec![1]);
+                assert_eq!(d.dividend.schema.fields()[0].name, "course-no");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_semantic_errors() {
+        for (bad, want) in [
+            ("(scan nowhere)", "unknown relation"),
+            ("(filter (= missing 1) (scan transcript))", "unknown column"),
+            (
+                "(filter (= student-id \"x\") (scan transcript))",
+                "cannot compare",
+            ),
+            (
+                "(filter (contains student-id \"x\") (scan transcript))",
+                "string column",
+            ),
+            ("(project (#7) (scan transcript))", "out of range"),
+            (
+                "(join (on (student-id title)) (scan transcript) (scan courses))",
+                "key types differ",
+            ),
+            ("(having-count = 2 (scan courses))", "integer count"),
+            (
+                "(divide (on course-no student-id) (scan transcript) (scan courses))",
+                "quotient needs at least one column",
+            ),
+            (
+                "(divide (on course-no) (quotient student-id) (scan transcript) (scan courses))",
+                "divisor has",
+            ),
+            (
+                "(divide (on course-no) (quotient course-no) (scan transcript) (project (course-no) (scan courses)))",
+                "both a divisor and a quotient",
+            ),
+        ] {
+            let err = bind_text(bad).unwrap_err().to_string();
+            assert!(err.contains(want), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn statistics_flow_bottom_up() {
+        let b = bind_text("(filter (= course-no 10) (scan transcript))").unwrap();
+        assert_eq!(b.rows, 1, "3 rows / 10 clamps to 1");
+        let b = bind_text("(distinct (scan transcript))").unwrap();
+        assert!(b.unique);
+        let b = bind_text("(group-count (student-id) (scan transcript))").unwrap();
+        assert_eq!(b.schema.fields().last().unwrap().name, "count");
+        assert!(b.unique);
+    }
+}

@@ -1,20 +1,23 @@
-//! The result cache.
+//! The result caches (single divisions and whole plans).
 //!
-//! Keys embed the exact catalog versions of both inputs, the column
-//! spec, and the (resolved) algorithm, so a cached quotient can never be
-//! served for data it was not computed from: an update installs a new
-//! version number and the new key simply misses. Entries referencing a
-//! replaced or dropped relation are additionally purged eagerly so dead
-//! results do not occupy capacity until eviction reaches them.
+//! Keys embed the exact catalog versions of every input, the column
+//! spec, and the (resolved) algorithm — or, for plans, the canonical
+//! plan text — so a cached result can never be served for data it was
+//! not computed from: an update installs a new version number and the
+//! new key simply misses. Entries referencing a replaced or dropped
+//! relation are additionally purged eagerly so dead results do not
+//! occupy capacity until eviction reaches them.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use reldiv_core::Algorithm;
 use reldiv_rel::counters::OpSnapshot;
 use reldiv_rel::{Schema, Tuple};
 
-/// Cache key: everything the quotient depends on.
+/// Cache key: everything a division quotient depends on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Dividend name and the exact version the query resolved.
@@ -45,26 +48,49 @@ pub struct CachedResult {
     pub ops: OpSnapshot,
 }
 
-struct Entry {
-    value: Arc<CachedResult>,
+/// Cache key for a whole plan: the canonical plan text (so formatting
+/// variants of the same plan share an entry) plus the exact catalog
+/// version of every relation the plan reads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// Canonical plan text (the parser's round-trip print).
+    pub text: String,
+    /// `(name, version)` of every relation read, sorted by name.
+    pub pins: Vec<(String, u64)>,
+}
+
+/// A cached plan result.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// Result schema.
+    pub schema: Schema,
+    /// Result tuples, shared with every response served from this entry.
+    pub tuples: Arc<Vec<Tuple>>,
+    /// The algorithm each division ran with, in execution order.
+    pub algorithms: Vec<Algorithm>,
+    /// Abstract operations the original execution performed.
+    pub ops: OpSnapshot,
+}
+
+struct Entry<V> {
+    value: Arc<V>,
     last_used: u64,
 }
 
-struct Inner {
-    map: HashMap<CacheKey, Entry>,
+struct Inner<K, V> {
+    map: HashMap<K, Entry<V>>,
     clock: u64,
 }
 
-/// A bounded LRU cache of division results.
-pub struct ResultCache {
-    inner: Mutex<Inner>,
+/// The shared LRU machinery both caches are built on.
+struct Lru<K, V> {
+    inner: Mutex<Inner<K, V>>,
     capacity: usize,
 }
 
-impl ResultCache {
-    /// A cache holding at most `capacity` results (0 disables caching).
-    pub fn new(capacity: usize) -> ResultCache {
-        ResultCache {
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 clock: 0,
@@ -73,8 +99,7 @@ impl ResultCache {
         }
     }
 
-    /// Looks up a result, refreshing its recency.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+    fn get(&self, key: &K) -> Option<Arc<V>> {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -84,9 +109,7 @@ impl ResultCache {
         })
     }
 
-    /// Inserts a result, evicting the least-recently-used entry when at
-    /// capacity.
-    pub fn insert(&self, key: CacheKey, value: Arc<CachedResult>) {
+    fn insert(&self, key: K, value: Arc<V>) {
         if self.capacity == 0 {
             return;
         }
@@ -112,23 +135,96 @@ impl ResultCache {
         );
     }
 
+    fn retain(&self, keep: impl FnMut(&K) -> bool) {
+        let mut keep = keep;
+        self.inner.lock().map.retain(|k, _| keep(k));
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+/// A bounded LRU cache of division results.
+pub struct ResultCache {
+    lru: Lru<CacheKey, CachedResult>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            lru: Lru::new(capacity),
+        }
+    }
+
+    /// Looks up a result, refreshing its recency.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        self.lru.get(key)
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when at
+    /// capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedResult>) {
+        self.lru.insert(key, value);
+    }
+
     /// Drops every entry that reads `relation` (as dividend or divisor),
     /// whatever version. Called on catalog updates and drops.
     pub fn invalidate_relation(&self, relation: &str) {
-        self.inner
-            .lock()
-            .map
-            .retain(|k, _| k.dividend.0 != relation && k.divisor.0 != relation);
+        self.lru
+            .retain(|k| k.dividend.0 != relation && k.divisor.0 != relation);
     }
 
     /// Current number of cached results.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.lru.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A bounded LRU cache of whole-plan results.
+pub struct PlanCache {
+    lru: Lru<PlanCacheKey, CachedPlan>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            lru: Lru::new(capacity),
+        }
+    }
+
+    /// Looks up a plan result, refreshing its recency.
+    pub fn get(&self, key: &PlanCacheKey) -> Option<Arc<CachedPlan>> {
+        self.lru.get(key)
+    }
+
+    /// Inserts a plan result, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&self, key: PlanCacheKey, value: Arc<CachedPlan>) {
+        self.lru.insert(key, value);
+    }
+
+    /// Drops every entry whose plan reads `relation`, whatever version.
+    pub fn invalidate_relation(&self, relation: &str) {
+        self.lru
+            .retain(|k| k.pins.iter().all(|(name, _)| name != relation));
+    }
+
+    /// Current number of cached plan results.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache holds no plan results.
+    pub fn is_empty(&self) -> bool {
+        self.lru.len() == 0
     }
 }
 
@@ -196,5 +292,51 @@ mod tests {
         c.insert(key("r", 1, "s", 1), result(1));
         assert!(c.get(&key("r", 1, "s", 1)).is_none());
         assert!(c.is_empty());
+    }
+
+    fn plan_key(text: &str, pins: &[(&str, u64)]) -> PlanCacheKey {
+        PlanCacheKey {
+            text: text.to_owned(),
+            pins: pins.iter().map(|(n, v)| ((*n).to_owned(), *v)).collect(),
+        }
+    }
+
+    fn plan_result(v: i64) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            schema: Schema::new(vec![Field::int("q")]),
+            tuples: Arc::new(vec![ints(&[v])]),
+            algorithms: vec![reldiv_core::Algorithm::Naive],
+            ops: OpSnapshot::default(),
+        })
+    }
+
+    #[test]
+    fn plan_cache_keys_on_text_and_pins() {
+        let c = PlanCache::new(4);
+        let k = plan_key("(scan r)", &[("r", 3)]);
+        c.insert(k.clone(), plan_result(1));
+        assert!(c.get(&k).is_some());
+        assert!(
+            c.get(&plan_key("(scan r)", &[("r", 4)])).is_none(),
+            "a new relation version must miss"
+        );
+        assert!(
+            c.get(&plan_key("(distinct (scan r))", &[("r", 3)]))
+                .is_none(),
+            "a different plan must miss"
+        );
+    }
+
+    #[test]
+    fn plan_cache_invalidates_any_pinned_relation() {
+        let c = PlanCache::new(8);
+        c.insert(
+            plan_key("(join (on (a a)) (scan r) (scan s))", &[("r", 1), ("s", 1)]),
+            plan_result(1),
+        );
+        c.insert(plan_key("(scan t)", &[("t", 1)]), plan_result(2));
+        c.invalidate_relation("s");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&plan_key("(scan t)", &[("t", 1)])).is_some());
     }
 }

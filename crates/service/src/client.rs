@@ -13,10 +13,10 @@ use reldiv_rel::{Relation, Schema, Tuple};
 use crate::error::{Result, ServiceError};
 use crate::metrics::MetricsSnapshot;
 use crate::proto::{
-    self, DivideReply, DivideRequest, PartialQuotientReply, RepartitionRequest, Reply, Request,
-    ShardRequest,
+    self, DivideReply, DivideRequest, ExecPlanRequest, PartialQuotientReply, PlanReply,
+    RepartitionRequest, Reply, Request, ShardRequest,
 };
-use crate::service::{QueryOptions, Service};
+use crate::service::{PlanOptions, QueryOptions, Service};
 
 /// The operations a service client offers, transport-independent.
 pub trait DivisionClient {
@@ -28,6 +28,8 @@ pub trait DivisionClient {
     fn drop_relation(&mut self, name: &str) -> Result<()>;
     /// Runs a division query.
     fn divide(&mut self, request: &DivideRequest) -> Result<DivideReply>;
+    /// Executes a composed query plan.
+    fn exec_plan(&mut self, request: &ExecPlanRequest) -> Result<PlanReply>;
     /// Reads the service counters.
     fn stats(&mut self) -> Result<MetricsSnapshot>;
 }
@@ -66,6 +68,7 @@ impl DivisionClient for InProcClient {
             deadline: request.deadline_ms.map(Duration::from_millis),
             profile: request.profile,
             distribute: request.distribute,
+            restricted_divisor: request.restricted,
         };
         let r = self
             .service
@@ -77,6 +80,24 @@ impl DivisionClient for InProcClient {
             divisor_version: r.divisor_version,
             micros: r.micros,
             ops: r.ops,
+            schema: r.schema,
+            tuples: r.tuples,
+            profile: r.profile,
+        })
+    }
+
+    fn exec_plan(&mut self, request: &ExecPlanRequest) -> Result<PlanReply> {
+        let options = PlanOptions {
+            deadline: request.deadline_ms.map(Duration::from_millis),
+            profile: request.profile,
+        };
+        let r = self.service.exec_plan(&request.plan, &options)?;
+        Ok(PlanReply {
+            algorithms: r.algorithms,
+            cached: r.cached,
+            micros: r.micros,
+            ops: r.ops,
+            relations: r.relations,
             schema: r.schema,
             tuples: r.tuples,
             profile: r.profile,
@@ -226,6 +247,13 @@ impl DivisionClient for TcpClient {
         }
     }
 
+    fn exec_plan(&mut self, request: &ExecPlanRequest) -> Result<PlanReply> {
+        match self.call(&Request::ExecPlan(request.clone()))? {
+            Reply::Plan(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     fn stats(&mut self) -> Result<MetricsSnapshot> {
         match self.call(&Request::Stats)? {
             Reply::Stats(stats) => Ok(stats),
@@ -348,6 +376,10 @@ impl<C: DivisionClient> DivisionClient for RetryingClient<C> {
         self.with_retry(|c| c.divide(request))
     }
 
+    fn exec_plan(&mut self, request: &ExecPlanRequest) -> Result<PlanReply> {
+        self.with_retry(|c| c.exec_plan(request))
+    }
+
     fn stats(&mut self) -> Result<MetricsSnapshot> {
         self.with_retry(|c| c.stats())
     }
@@ -413,6 +445,18 @@ mod tests {
                 profile: None,
             })
         }
+        fn exec_plan(&mut self, _: &ExecPlanRequest) -> Result<PlanReply> {
+            self.step().map(|()| PlanReply {
+                algorithms: Vec::new(),
+                cached: false,
+                micros: 1,
+                ops: OpSnapshot::default(),
+                relations: Vec::new(),
+                schema: Schema::new(vec![Field::int("q")]),
+                tuples: Arc::new(Vec::new()),
+                profile: None,
+            })
+        }
         fn stats(&mut self) -> Result<MetricsSnapshot> {
             self.step().map(|()| MetricsSnapshot::default())
         }
@@ -437,6 +481,7 @@ mod tests {
             deadline_ms: None,
             profile: false,
             distribute: None,
+            restricted: None,
         }
     }
 
@@ -455,6 +500,14 @@ mod tests {
             }),
             ("drop_relation", |c| c.drop_relation("r")),
             ("divide", |c| c.divide(&sample_request()).map(|_| ())),
+            ("exec_plan", |c| {
+                let request = ExecPlanRequest {
+                    plan: "(scan r)".into(),
+                    deadline_ms: None,
+                    profile: false,
+                };
+                c.exec_plan(&request).map(|_| ())
+            }),
             ("stats", |c| c.stats().map(|_| ())),
         ]
     }

@@ -20,6 +20,10 @@
 //! * [`server`] / [`client`] — a length-prefixed TCP protocol
 //!   ([`proto`], documented in `docs/PROTOCOL.md`) plus an in-process
 //!   client; both transports implement [`DivisionClient`].
+//! * [`Service::exec_plan`] — composed query plans (`reldiv-plan`'s
+//!   s-expression language, documented in `docs/PLANS.md`): filters,
+//!   joins, projections, divisions, and HAVING COUNT run as one query,
+//!   with per-plan version pinning, caching, and profiling.
 //!
 //! The concurrency model respects the engine's single-threaded storage
 //! layer (the paper's system ran one process per disk): each worker
@@ -42,8 +46,11 @@ pub use client::{BackoffPolicy, DivisionClient, InProcClient, RetryingClient, Tc
 pub use error::{Result, ServiceError};
 pub use metrics::MetricsSnapshot;
 pub use proto::{
-    DivideReply, DivideRequest, PartialQuotientReply, RepartitionRequest, ShardRequest,
+    DivideReply, DivideRequest, ExecPlanRequest, PartialQuotientReply, PlanReply,
+    RepartitionRequest, ShardRequest,
 };
 pub use reldiv_core::{ProfileNode, QueryProfile};
 pub use server::ServerHandle;
-pub use service::{QueryOptions, QueryResponse, Service, ServiceConfig, ShardInfo};
+pub use service::{
+    PlanOptions, PlanResponse, QueryOptions, QueryResponse, Service, ServiceConfig, ShardInfo,
+};

@@ -34,6 +34,14 @@ pub const MAX_FILTER_BITS: usize = 1 << 26;
 /// Algorithm wire code for "let the service choose".
 pub const ALG_AUTO: u8 = 0xFF;
 
+/// Wire code for an absent tri-state assertion (the restricted-divisor
+/// byte of a divide request).
+pub const TRI_AUTO: u8 = 0xFF;
+
+/// Largest plan text accepted on the wire, matching the parser's own
+/// bound ([`reldiv_plan::parse::MAX_PLAN_TEXT`]).
+pub const MAX_PLAN_WIRE: usize = 1 << 20;
+
 /// Encodes an algorithm as its stable wire code.
 pub fn algorithm_code(alg: Algorithm) -> u8 {
     match alg {
@@ -160,6 +168,23 @@ pub enum Request {
         /// The local division to run.
         query: DivideRequest,
     },
+    /// Parse, validate, and execute a composed query plan (filters,
+    /// joins, projections, divisions, HAVING COUNT) over the catalog.
+    ExecPlan(ExecPlanRequest),
+}
+
+/// The plan-execution payload of a [`Request::ExecPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPlanRequest {
+    /// The plan text (the s-expression language of `reldiv-plan`,
+    /// documented in `docs/PLANS.md`). Bounded by [`MAX_PLAN_WIRE`].
+    pub plan: String,
+    /// Per-query deadline in milliseconds (`None` uses the server's
+    /// default).
+    pub deadline_ms: Option<u64>,
+    /// Ask the server to profile the whole plan and attach the
+    /// per-operator span tree to the reply (`EXPLAIN ANALYZE`).
+    pub profile: bool,
 }
 
 /// The shard-install payload of a [`Request::Shard`].
@@ -221,6 +246,14 @@ pub struct DivideRequest {
     /// single operator. Encoded as a trailing section after the profile
     /// byte; peers that predate it omit it and absence decodes as `None`.
     pub distribute: Option<Distribution>,
+    /// Client assertion about the restricted-divisor property (`None`
+    /// keeps the server's conservative default of `true`). `Some(false)`
+    /// promises every dividend divisor-value appears in the divisor,
+    /// unlocking the cheaper no-join aggregation plans; the server only
+    /// honors the promise when no fault injection is active. Encoded as a
+    /// trailing byte after the distribution section; peers that predate
+    /// it omit it and absence decodes as `None`.
+    pub restricted: Option<bool>,
 }
 
 /// A successful server → client payload.
@@ -266,6 +299,32 @@ pub enum Reply {
     },
     /// Answer to [`Request::DividePartial`].
     PartialQuotient(PartialQuotientReply),
+    /// Answer to [`Request::ExecPlan`].
+    Plan(PlanReply),
+}
+
+/// The result of a composed plan, answering [`Request::ExecPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReply {
+    /// The algorithm each division in the plan ran with, in execution
+    /// order (empty for plans without a division).
+    pub algorithms: Vec<Algorithm>,
+    /// Whether the result came from the plan cache.
+    pub cached: bool,
+    /// End-to-end service latency in microseconds.
+    pub micros: u64,
+    /// Abstract operations the execution performed (zero on cache hits).
+    pub ops: OpSnapshot,
+    /// The catalog relations the plan read and the versions it was
+    /// pinned to, sorted by name.
+    pub relations: Vec<(String, u64)>,
+    /// Result schema.
+    pub schema: Schema,
+    /// Result tuples.
+    pub tuples: Arc<Vec<Tuple>>,
+    /// The whole-plan span tree, present only when the request asked for
+    /// it (and the execution was not a cache hit).
+    pub profile: Option<QueryProfile>,
 }
 
 /// One node's share of a cluster division, answering
@@ -709,6 +768,7 @@ const OP_SHARD: u8 = 0x07;
 const OP_REPARTITION: u8 = 0x08;
 const OP_BUILD_FILTER: u8 = 0x09;
 const OP_DIVIDE_PARTIAL: u8 = 0x0A;
+const OP_EXEC_PLAN: u8 = 0x0B;
 
 /// Encodes the body of a divide request (everything after the opcode),
 /// shared by [`Request::Divide`] and [`Request::DividePartial`].
@@ -753,6 +813,13 @@ fn put_divide_body(out: &mut Vec<u8>, q: &DivideRequest) -> PResult<()> {
             out.extend_from_slice(&(bits as u64).to_le_bytes());
         }
     }
+    // Trailing extension (absent before the plan revision): the
+    // restricted-divisor assertion, 0xFF for "no assertion".
+    out.push(match q.restricted {
+        None => TRI_AUTO,
+        Some(false) => 0,
+        Some(true) => 1,
+    });
     Ok(())
 }
 
@@ -814,6 +881,17 @@ fn get_divide_body(r: &mut Reader<'_>) -> PResult<DivideRequest> {
     } else {
         None
     };
+    // Pre-plan-revision clients stop here; absence means "no assertion".
+    let restricted = if r.remaining() > 0 {
+        match r.u8()? {
+            TRI_AUTO => None,
+            0 => Some(false),
+            1 => Some(true),
+            t => return Err(perr(format!("unknown restricted tag {t:#04x}"))),
+        }
+    } else {
+        None
+    };
     Ok(DivideRequest {
         dividend,
         divisor,
@@ -823,6 +901,7 @@ fn get_divide_body(r: &mut Reader<'_>) -> PResult<DivideRequest> {
         deadline_ms,
         profile,
         distribute,
+        restricted,
     })
 }
 
@@ -901,6 +980,19 @@ impl Request {
                 out.push(OP_DIVIDE_PARTIAL);
                 out.extend_from_slice(&tag.to_le_bytes());
                 put_divide_body(&mut out, query)?;
+            }
+            Request::ExecPlan(p) => {
+                out.push(OP_EXEC_PLAN);
+                if p.plan.len() > MAX_PLAN_WIRE {
+                    return Err(perr(format!(
+                        "plan text of {} bytes exceeds the {MAX_PLAN_WIRE}-byte limit",
+                        p.plan.len()
+                    )));
+                }
+                out.extend_from_slice(&(p.plan.len() as u32).to_le_bytes());
+                out.extend_from_slice(p.plan.as_bytes());
+                out.extend_from_slice(&p.deadline_ms.unwrap_or(0).to_le_bytes());
+                out.push(u8::from(p.profile));
             }
         }
         Ok(out)
@@ -983,6 +1075,26 @@ impl Request {
                     query: get_divide_body(&mut r)?,
                 }
             }
+            OP_EXEC_PLAN => {
+                let n = r.u32()? as usize;
+                if n > MAX_PLAN_WIRE {
+                    return Err(perr(format!(
+                        "plan text of {n} bytes exceeds the {MAX_PLAN_WIRE}-byte limit"
+                    )));
+                }
+                let plan = String::from_utf8(r.take(n)?.to_vec())
+                    .map_err(|_| perr("plan text is not UTF-8"))?;
+                let deadline_ms = match r.u64()? {
+                    0 => None,
+                    ms => Some(ms),
+                };
+                let profile = r.u8()? != 0;
+                Request::ExecPlan(ExecPlanRequest {
+                    plan,
+                    deadline_ms,
+                    profile,
+                })
+            }
             op => return Err(perr(format!("unknown request opcode {op:#04x}"))),
         };
         r.finish()?;
@@ -1013,6 +1125,15 @@ const REPLY_SHARDED: u8 = 0x08;
 const REPLY_REPARTITIONED: u8 = 0x09;
 const REPLY_FILTER: u8 = 0x0A;
 const REPLY_PARTIAL_QUOTIENT: u8 = 0x0B;
+const REPLY_PLAN: u8 = 0x0C;
+
+/// Largest algorithm list accepted in a plan reply (a plan has at most
+/// [`MAX_PLAN_WIRE`]-bounded text, so thousands of divisions is already
+/// absurd; this bound stops a lying count from allocating further).
+const MAX_PLAN_ALGORITHMS: usize = 4096;
+
+/// Largest pinned-relation list accepted in a plan reply.
+const MAX_PLAN_RELATIONS: usize = 4096;
 
 /// Counters every stats frame must carry (the original 13); a `V2`
 /// frame announcing fewer is corrupt, not merely old.
@@ -1143,6 +1264,42 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
                     put_filter(&mut out, filter)?;
                     out.extend_from_slice(&insertions.to_le_bytes());
                 }
+                Reply::Plan(p) => {
+                    out.push(REPLY_PLAN);
+                    if p.algorithms.len() > MAX_PLAN_ALGORITHMS {
+                        return Err(perr(format!(
+                            "{} division algorithms exceed the plan-reply limit",
+                            p.algorithms.len()
+                        )));
+                    }
+                    out.extend_from_slice(&(p.algorithms.len() as u16).to_le_bytes());
+                    for &alg in &p.algorithms {
+                        out.push(algorithm_code(alg));
+                    }
+                    out.push(u8::from(p.cached));
+                    out.extend_from_slice(&p.micros.to_le_bytes());
+                    put_ops(&mut out, &p.ops);
+                    if p.relations.len() > MAX_PLAN_RELATIONS {
+                        return Err(perr(format!(
+                            "{} pinned relations exceed the plan-reply limit",
+                            p.relations.len()
+                        )));
+                    }
+                    out.extend_from_slice(&(p.relations.len() as u16).to_le_bytes());
+                    for (name, version) in &p.relations {
+                        put_str(&mut out, name)?;
+                        out.extend_from_slice(&version.to_le_bytes());
+                    }
+                    put_schema(&mut out, &p.schema)?;
+                    put_tuples(&mut out, &p.schema, &p.tuples)?;
+                    match &p.profile {
+                        None => out.push(0),
+                        Some(profile) => {
+                            out.push(1);
+                            put_profile(&mut out, profile)?;
+                        }
+                    }
+                }
                 Reply::PartialQuotient(p) => {
                     out.push(REPLY_PARTIAL_QUOTIENT);
                     out.extend_from_slice(&p.tag.to_le_bytes());
@@ -1269,6 +1426,54 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                     let filter = get_filter(&mut r)?;
                     let insertions = r.u64()?;
                     Reply::Filter { filter, insertions }
+                }
+                REPLY_PLAN => {
+                    let n_algs = r.u16()? as usize;
+                    if n_algs > MAX_PLAN_ALGORITHMS {
+                        return Err(perr(format!(
+                            "{n_algs} division algorithms exceed the plan-reply limit"
+                        )));
+                    }
+                    let mut algorithms = Vec::with_capacity(n_algs);
+                    for _ in 0..n_algs {
+                        let code = r.u8()?;
+                        algorithms.push(
+                            algorithm_from_code(code)
+                                .ok_or_else(|| perr(format!("unknown algorithm code {code}")))?,
+                        );
+                    }
+                    let cached = r.u8()? != 0;
+                    let micros = r.u64()?;
+                    let ops = get_ops(&mut r)?;
+                    let n_rels = r.u16()? as usize;
+                    if n_rels > MAX_PLAN_RELATIONS {
+                        return Err(perr(format!(
+                            "{n_rels} pinned relations exceed the plan-reply limit"
+                        )));
+                    }
+                    let mut relations = Vec::with_capacity(n_rels);
+                    for _ in 0..n_rels {
+                        let name = r.str()?;
+                        let version = r.u64()?;
+                        relations.push((name, version));
+                    }
+                    let schema = get_schema(&mut r)?;
+                    let tuples = get_tuples(&mut r, &schema)?;
+                    let profile = match r.u8()? {
+                        0 => None,
+                        1 => Some(get_profile(&mut r)?),
+                        t => return Err(perr(format!("unknown profile tag {t}"))),
+                    };
+                    Reply::Plan(PlanReply {
+                        algorithms,
+                        cached,
+                        micros,
+                        ops,
+                        relations,
+                        schema,
+                        tuples: Arc::new(tuples),
+                        profile,
+                    })
                 }
                 REPLY_PARTIAL_QUOTIENT => {
                     let tag = r.u16()?;
@@ -1471,22 +1676,35 @@ mod tests {
             deadline_ms: None,
             profile: true,
             distribute: None,
+            restricted: None,
         });
         let bytes = req.encode().unwrap();
-        // Cut the trailing distribution tag only (a profile-era peer):
-        // the profile byte still decodes, distribution defaults to none.
+        // The frame tail is three trailing extensions, newest last:
+        // [profile byte][distribution tag][restricted byte]. Cut the
+        // restricted byte only (a distribution-era peer).
         match Request::decode(&bytes[..bytes.len() - 1]).unwrap() {
             Request::Divide(q) => {
                 assert!(q.profile, "profile byte survives the shorter frame");
                 assert_eq!(q.distribute, None, "absent section decodes as None");
+                assert_eq!(q.restricted, None, "absent byte decodes as None");
             }
             other => panic!("expected divide, got {other:?}"),
         }
-        // Cut both trailing extensions (an original-revision peer).
+        // Cut the distribution tag too (a profile-era peer).
         match Request::decode(&bytes[..bytes.len() - 2]).unwrap() {
+            Request::Divide(q) => {
+                assert!(q.profile, "profile byte survives the shorter frame");
+                assert_eq!(q.distribute, None, "absent section decodes as None");
+                assert_eq!(q.restricted, None);
+            }
+            other => panic!("expected divide, got {other:?}"),
+        }
+        // Cut all three trailing extensions (an original-revision peer).
+        match Request::decode(&bytes[..bytes.len() - 3]).unwrap() {
             Request::Divide(q) => {
                 assert!(!q.profile, "absent byte decodes as false");
                 assert_eq!(q.distribute, None);
+                assert_eq!(q.restricted, None);
             }
             other => panic!("expected divide, got {other:?}"),
         }
@@ -1584,6 +1802,7 @@ mod tests {
                 deadline_ms: Some(2_500),
                 profile: true,
                 distribute: None,
+                restricted: None,
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -1594,6 +1813,7 @@ mod tests {
                 deadline_ms: None,
                 profile: false,
                 distribute: None,
+                restricted: None,
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -1608,6 +1828,7 @@ mod tests {
                     nodes: 8,
                     bit_vector_bits: Some(4096),
                 }),
+                restricted: Some(false),
             }),
             Request::Stats,
             Request::Shutdown,
@@ -1649,12 +1870,71 @@ mod tests {
                     deadline_ms: Some(5_000),
                     profile: true,
                     distribute: None,
+                    restricted: Some(true),
                 },
             },
+            Request::ExecPlan(ExecPlanRequest {
+                plan: "(divide (on course-no) (scan transcript) \
+                       (project (course-no) (filter (contains title \"database\") \
+                       (scan courses))))"
+                    .into(),
+                deadline_ms: Some(3_000),
+                profile: true,
+            }),
+            Request::ExecPlan(ExecPlanRequest {
+                plan: "(scan r)".into(),
+                deadline_ms: None,
+                profile: false,
+            }),
         ];
         for req in requests {
             let bytes = req.encode().unwrap();
             assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    /// The plan-text size cap is enforced symmetrically: encode refuses
+    /// to build an oversize frame, decode refuses a hostile length claim
+    /// before allocating.
+    #[test]
+    fn plan_frames_enforce_the_size_cap() {
+        let oversize = Request::ExecPlan(ExecPlanRequest {
+            plan: "x".repeat(MAX_PLAN_WIRE + 1),
+            deadline_ms: None,
+            profile: false,
+        });
+        assert!(oversize.encode().is_err());
+
+        let mut hostile = vec![0x0B];
+        hostile.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(Request::decode(&hostile).is_err(), "length claim rejected");
+    }
+
+    /// The restricted-divisor trailing byte: 0xFF means "no assertion",
+    /// 0/1 are the explicit claims, anything else is a protocol error.
+    #[test]
+    fn restricted_byte_rejects_unknown_tags() {
+        let bytes = Request::Divide(DivideRequest {
+            dividend: "r".into(),
+            divisor: "s".into(),
+            algorithm: None,
+            assume_unique: false,
+            spec: None,
+            deadline_ms: None,
+            profile: false,
+            distribute: None,
+            restricted: Some(false),
+        })
+        .encode()
+        .unwrap();
+        assert_eq!(bytes[bytes.len() - 1], 0, "Some(false) encodes as 0");
+        let mut mutated = bytes.clone();
+        *mutated.last_mut().unwrap() = 2;
+        assert!(Request::decode(&mutated).is_err());
+        *mutated.last_mut().unwrap() = TRI_AUTO;
+        match Request::decode(&mutated).unwrap() {
+            Request::Divide(q) => assert_eq!(q.restricted, None),
+            other => panic!("expected divide, got {other:?}"),
         }
     }
 
@@ -1754,6 +2034,38 @@ mod tests {
                 ops: OpSnapshot::default(),
                 schema: Schema::new(vec![Field::int("q")]),
                 tuples: vec![],
+                profile: None,
+            })),
+            Ok(Reply::Plan(PlanReply {
+                algorithms: vec![
+                    Algorithm::SortAggregation { join: true },
+                    Algorithm::HashDivision {
+                        mode: HashDivisionMode::Standard,
+                    },
+                ],
+                cached: false,
+                micros: 4321,
+                ops: OpSnapshot {
+                    comparisons: 9,
+                    hashes: 10,
+                    moves: 11,
+                    bitops: 12,
+                },
+                relations: vec![("courses".into(), 7), ("transcript".into(), 5)],
+                schema: Schema::new(vec![Field::int("student-id")]),
+                tuples: Arc::new(vec![ints(&[1]), ints(&[3])]),
+                profile: Some(QueryProfile {
+                    root: sample_profile_node(2),
+                }),
+            })),
+            Ok(Reply::Plan(PlanReply {
+                algorithms: vec![],
+                cached: true,
+                micros: 2,
+                ops: OpSnapshot::default(),
+                relations: vec![("r".into(), 1)],
+                schema: Schema::new(vec![Field::int("q")]),
+                tuples: Arc::new(vec![]),
                 profile: None,
             })),
             Err(ServiceError::Overloaded),
@@ -1975,6 +2287,7 @@ mod tests {
                 deadline_ms: Some(100),
                 profile: true,
                 distribute: None,
+                restricted: None,
             })
             .encode()
             .unwrap(),
@@ -1991,6 +2304,7 @@ mod tests {
                     nodes: 4,
                     bit_vector_bits: Some(1 << 12),
                 }),
+                restricted: Some(true),
             })
             .encode()
             .unwrap(),
@@ -2030,8 +2344,16 @@ mod tests {
                     deadline_ms: None,
                     profile: false,
                     distribute: None,
+                    restricted: None,
                 },
             }
+            .encode()
+            .unwrap(),
+            Request::ExecPlan(ExecPlanRequest {
+                plan: "(divide (on s) (filter (>= q 2) (scan r)) (scan s))".into(),
+                deadline_ms: Some(750),
+                profile: true,
+            })
             .encode()
             .unwrap(),
         ];
@@ -2084,6 +2406,24 @@ mod tests {
                 tuples: vec![ints(&[5, 6])],
                 profile: Some(QueryProfile {
                     root: sample_profile_node(1),
+                }),
+            })))
+            .unwrap(),
+            encode_response(&Ok(Reply::Plan(PlanReply {
+                algorithms: vec![
+                    Algorithm::Naive,
+                    Algorithm::HashDivision {
+                        mode: HashDivisionMode::Standard,
+                    },
+                ],
+                cached: false,
+                micros: 9,
+                ops: OpSnapshot::default(),
+                relations: vec![("r".into(), 3), ("s".into(), 4)],
+                schema: schema2(),
+                tuples: Arc::new(vec![ints(&[5, 6])]),
+                profile: Some(QueryProfile {
+                    root: sample_profile_node(2),
                 }),
             })))
             .unwrap(),

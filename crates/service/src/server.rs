@@ -18,8 +18,8 @@ use parking_lot::{Condvar, Mutex};
 use reldiv_rel::Relation;
 
 use crate::error::ServiceError;
-use crate::proto::{self, DivideReply, PartialQuotientReply, Reply, Request, Response};
-use crate::service::{QueryOptions, Service, ShardInfo};
+use crate::proto::{self, DivideReply, PartialQuotientReply, PlanReply, Reply, Request, Response};
+use crate::service::{PlanOptions, QueryOptions, Service, ShardInfo};
 
 struct Shared {
     service: Arc<Service>,
@@ -203,6 +203,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 deadline: q.deadline_ms.map(std::time::Duration::from_millis),
                 profile: q.profile,
                 distribute: q.distribute,
+                restricted_divisor: q.restricted,
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::Divided(DivideReply {
@@ -250,6 +251,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 deadline: q.deadline_ms.map(std::time::Duration::from_millis),
                 profile: q.profile,
                 distribute: q.distribute,
+                restricted_divisor: q.restricted,
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::PartialQuotient(PartialQuotientReply {
@@ -261,6 +263,24 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                     ops: r.ops,
                     schema: r.schema,
                     tuples: r.tuples.as_ref().clone(),
+                    profile: r.profile,
+                })
+            })
+        }
+        Request::ExecPlan(p) => {
+            let options = PlanOptions {
+                deadline: p.deadline_ms.map(std::time::Duration::from_millis),
+                profile: p.profile,
+            };
+            service.exec_plan(&p.plan, &options).map(|r| {
+                Reply::Plan(PlanReply {
+                    algorithms: r.algorithms,
+                    cached: r.cached,
+                    micros: r.micros,
+                    ops: r.ops,
+                    relations: r.relations,
+                    schema: r.schema,
+                    tuples: r.tuples,
                     profile: r.profile,
                 })
             })

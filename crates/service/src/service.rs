@@ -38,12 +38,12 @@ use reldiv_rel::{Relation, Schema, Tuple};
 use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::FaultPlan;
 
-use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::cache::{CacheKey, CachedPlan, CachedResult, PlanCache, PlanCacheKey, ResultCache};
 use crate::catalog::{Catalog, RelationVersion};
 use crate::error::{Result, ServiceError};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::proto::algorithm_code;
-use crate::worker::{worker_loop, QueryJob};
+use crate::worker::{worker_loop, Job, PlanJob, QueryJob};
 
 /// Sizing knobs for a [`Service`].
 #[derive(Debug, Clone)]
@@ -112,6 +112,15 @@ pub struct QueryOptions {
     /// parallel machine implements nothing else — so an explicit
     /// conflicting `algorithm` is a [`ServiceError::BadRequest`].
     pub distribute: Option<Distribution>,
+    /// Client assertion about the restricted-divisor property. `None`
+    /// keeps the conservative default (`true`: dividend tuples may
+    /// reference values outside the divisor, so the aggregation plans
+    /// must join). `Some(false)` promises referential integrity,
+    /// unlocking the cheaper no-join aggregation plans — but the service
+    /// honors the promise only while no storage fault injection is
+    /// active: a fault-recovered relation may have dropped divisor
+    /// tuples, which would make the no-join plans silently wrong.
+    pub restricted_divisor: Option<bool>,
 }
 
 /// Shard coordinates recorded by [`Service::install_shard`]: which slice
@@ -153,16 +162,59 @@ pub struct QueryResponse {
     pub profile: Option<QueryProfile>,
 }
 
+/// How a plan should run: the per-request options of
+/// [`Service::exec_plan`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanOptions {
+    /// Per-query deadline, overriding the service's
+    /// [`default_deadline`](ServiceConfig::default_deadline).
+    pub deadline: Option<Duration>,
+    /// Profile the plan (`EXPLAIN ANALYZE`): the worker attaches a span
+    /// tree covering every operator to [`PlanResponse::profile`]. Cache
+    /// hits execute nothing and therefore carry no profile.
+    pub profile: bool,
+}
+
+/// A served plan result with its provenance.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// Result schema.
+    pub schema: Schema,
+    /// Result tuples (shared with the plan cache).
+    pub tuples: Arc<Vec<Tuple>>,
+    /// The algorithm each division in the plan ran with, in execution
+    /// order (empty for plans without a division).
+    pub algorithms: Vec<Algorithm>,
+    /// Whether the result came from the plan cache.
+    pub cached: bool,
+    /// The catalog relations the plan read and the versions it was
+    /// pinned to, sorted by name.
+    pub relations: Vec<(String, u64)>,
+    /// Abstract operations this execution performed (zero when cached).
+    pub ops: OpSnapshot,
+    /// End-to-end latency in microseconds, queue wait included; stamped
+    /// once by [`Service::exec_plan`], like [`QueryResponse::micros`].
+    pub micros: u64,
+    /// The whole-plan span tree, when the request asked for one and the
+    /// plan was actually executed (cache hits execute nothing).
+    pub profile: Option<QueryProfile>,
+}
+
 /// The embeddable division query service.
 pub struct Service {
     catalog: Catalog,
     cache: ResultCache,
+    plan_cache: PlanCache,
     metrics: Arc<ServiceMetrics>,
-    queue: Mutex<Option<Sender<QueryJob>>>,
+    queue: Mutex<Option<Sender<Job>>>,
     accepting: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     default_deadline: Option<Duration>,
     shards: Mutex<HashMap<String, ShardInfo>>,
+    /// Whether storage fault injection is active — if so, client
+    /// restricted-divisor assertions are ignored (see
+    /// [`QueryOptions::restricted_divisor`]).
+    faulty: bool,
 }
 
 impl Service {
@@ -171,7 +223,7 @@ impl Service {
     /// worker threads (already-spawned workers are shut down cleanly).
     pub fn start(config: ServiceConfig) -> Result<Arc<Service>> {
         let metrics = Arc::new(ServiceMetrics::new());
-        let (tx, rx) = bounded::<QueryJob>(config.queue_depth.max(1));
+        let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let worker_rx = rx.clone();
@@ -198,12 +250,14 @@ impl Service {
         Ok(Arc::new(Service {
             catalog: Catalog::new(),
             cache: ResultCache::new(config.cache_capacity),
+            plan_cache: PlanCache::new(config.cache_capacity),
             metrics,
             queue: Mutex::new(Some(tx)),
             accepting: AtomicBool::new(true),
             workers: Mutex::new(workers),
             default_deadline: config.default_deadline,
             shards: Mutex::new(HashMap::new()),
+            faulty: config.storage_faults.is_some(),
         }))
     }
 
@@ -224,6 +278,7 @@ impl Service {
         // shard, whose coordinates no longer describe the new contents.
         self.shards.lock().remove(name);
         self.cache.invalidate_relation(name);
+        self.plan_cache.invalidate_relation(name);
         Ok(version)
     }
 
@@ -235,6 +290,7 @@ impl Service {
         self.catalog.drop_relation(name)?;
         self.shards.lock().remove(name);
         self.cache.invalidate_relation(name);
+        self.plan_cache.invalidate_relation(name);
         Ok(())
     }
 
@@ -261,6 +317,7 @@ impl Service {
         let version = self.catalog.register(name, relation);
         self.shards.lock().insert(name.to_owned(), info);
         self.cache.invalidate_relation(name);
+        self.plan_cache.invalidate_relation(name);
         Ok(version)
     }
 
@@ -368,35 +425,48 @@ impl Service {
                 // stamped on the response and recorded in the histogram —
                 // workers and the cache path deliberately do not record
                 // latency, so each query contributes exactly one sample.
-                let micros = start.elapsed().as_micros() as u64;
-                response.micros = micros;
-                self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-                self.metrics.latency.record(micros);
-                if response.profile.is_some() {
-                    self.metrics
-                        .profiled_queries
-                        .fetch_add(1, Ordering::Relaxed);
-                }
+                response.micros = self.record_success(start, response.profile.is_some());
                 Ok(response)
             }
             Err(e) => {
-                match e {
-                    ServiceError::Overloaded => {
-                        self.metrics.rejections.fetch_add(1, Ordering::Relaxed);
-                    }
-                    ServiceError::ShuttingDown => {
-                        self.metrics.shed_shutdown.fetch_add(1, Ordering::Relaxed);
-                    }
-                    ServiceError::DeadlineExceeded => {
-                        self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {
-                        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                self.record_failure(&e);
                 Err(e)
             }
         }
+    }
+
+    /// Counts a failed query into the metric its error class owns.
+    fn record_failure(&self, e: &ServiceError) {
+        match e {
+            ServiceError::Overloaded => {
+                self.metrics.rejections.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::ShuttingDown => {
+                self.metrics.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::DeadlineExceeded => {
+                self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stamps a successful query into the shared latency/throughput
+    /// metrics and onto the response — exactly once per query, queue wait
+    /// included, shared by [`Service::divide`] and
+    /// [`Service::exec_plan`].
+    fn record_success(&self, start: Instant, profiled: bool) -> u64 {
+        let micros = start.elapsed().as_micros() as u64;
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.latency.record(micros);
+        if profiled {
+            self.metrics
+                .profiled_queries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        micros
     }
 
     fn divide_inner(
@@ -492,7 +562,7 @@ impl Service {
             let Some(tx) = queue.as_ref() else {
                 return Err(ServiceError::ShuttingDown);
             };
-            match tx.try_send(job) {
+            match tx.try_send(Job::Divide(job)) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => return Err(ServiceError::Overloaded),
                 Err(TrySendError::Disconnected(_)) => return Err(ServiceError::ShuttingDown),
@@ -506,6 +576,118 @@ impl Service {
             Arc::new(CachedResult {
                 schema: response.schema.clone(),
                 tuples: response.tuples.clone(),
+                ops: response.ops,
+            }),
+        );
+        Ok(response)
+    }
+
+    /// Parses, validates, and executes a composed query plan (the
+    /// s-expression language of `reldiv-plan`), blocking until the
+    /// result is ready, the request is rejected, or the plan fails.
+    ///
+    /// Every relation the plan reads is pinned at its current catalog
+    /// version before binding, so a plan and a concurrent update never
+    /// race; the plan cache keys on the canonical plan text plus those
+    /// exact pins.
+    pub fn exec_plan(&self, text: &str, options: &PlanOptions) -> Result<PlanResponse> {
+        let start = Instant::now();
+        match self.exec_plan_inner(text, options, start) {
+            Ok(mut response) => {
+                response.micros = self.record_success(start, response.profile.is_some());
+                Ok(response)
+            }
+            Err(e) => {
+                self.record_failure(&e);
+                Err(e)
+            }
+        }
+    }
+
+    fn exec_plan_inner(
+        &self,
+        text: &str,
+        options: &PlanOptions,
+        start: Instant,
+    ) -> Result<PlanResponse> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let deadline = options
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| start + d);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        if text.len() > crate::proto::MAX_PLAN_WIRE {
+            return Err(ServiceError::BadRequest(format!(
+                "plan text of {} bytes exceeds the {} byte limit",
+                text.len(),
+                crate::proto::MAX_PLAN_WIRE
+            )));
+        }
+        let plan = reldiv_plan::parse(text).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        // Pin every relation the plan reads at its current version
+        // (`Plan::relations` is sorted, so the pins — and the cache key
+        // built from them — are canonical).
+        let mut pinned = Vec::new();
+        for name in plan.relations() {
+            pinned.push(self.catalog.get(&name)?);
+        }
+        let bound = reldiv_plan::bind(&plan, &PinnedCatalog(&pinned))
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        let key = PlanCacheKey {
+            text: plan.print(),
+            pins: pinned.iter().map(|r| (r.name.clone(), r.version)).collect(),
+        };
+        if let Some(hit) = self.plan_cache.get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PlanResponse {
+                schema: hit.schema.clone(),
+                tuples: hit.tuples.clone(),
+                algorithms: hit.algorithms.clone(),
+                cached: true,
+                relations: key.pins.clone(),
+                ops: OpSnapshot::default(),
+                // Placeholder: `exec_plan` stamps the end-to-end latency.
+                micros: 0,
+                profile: None,
+            });
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = PlanJob {
+            bound,
+            pinned,
+            deadline,
+            profile: options.profile,
+            // Under fault injection a `(restricted no)` plan hint is
+            // ignored, for the same reason client divide assertions are.
+            honor_hints: !self.faulty,
+            reply: reply_tx,
+        };
+        {
+            let queue = self.queue.lock();
+            let Some(tx) = queue.as_ref() else {
+                return Err(ServiceError::ShuttingDown);
+            };
+            match tx.try_send(Job::Plan(job)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => return Err(ServiceError::Overloaded),
+                Err(TrySendError::Disconnected(_)) => return Err(ServiceError::ShuttingDown),
+            }
+        }
+        let response = reply_rx
+            .recv()
+            .map_err(|_| ServiceError::Internal("worker exited before replying".into()))??;
+        self.plan_cache.insert(
+            key,
+            Arc::new(CachedPlan {
+                schema: response.schema.clone(),
+                tuples: response.tuples.clone(),
+                algorithms: response.algorithms.clone(),
                 ops: response.ops,
             }),
         );
@@ -546,16 +728,23 @@ impl Service {
         let divisor_size = divisor.cardinality() as u64;
         let quotient_estimate = dividend_size / divisor_size.max(1);
         let _ = spec;
-        // `restricted_divisor: true` — client relations carry no
+        // Default `restricted_divisor: true` — client relations carry no
         // referential-integrity guarantee, and the no-join aggregation
         // plans silently return a wrong quotient when dividend tuples
         // reference values outside the divisor. Exactness beats the
-        // semi-join's cost.
+        // semi-join's cost. A client may assert integrity per query
+        // (`Some(false)`), but the assertion is ignored while fault
+        // injection is active: a fault-recovered relation may have lost
+        // divisor tuples the dividend still references.
+        let restricted = match options.restricted_divisor {
+            Some(claim) if !self.faulty => claim,
+            _ => true,
+        };
         Algorithm::recommend(
             divisor_size,
             quotient_estimate.max(1),
             Some(dividend_size),
-            true,
+            restricted,
             options.assume_unique,
         )
     }
@@ -565,9 +754,14 @@ impl Service {
         self.metrics.snapshot()
     }
 
-    /// Number of cached results.
+    /// Number of cached division results.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of cached plan results.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Whether the service still accepts work.
@@ -592,5 +786,18 @@ impl Service {
 impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Binds plans against the exact relation versions pinned at admission
+/// (not the live catalog, which a concurrent update may have moved on).
+struct PinnedCatalog<'a>(&'a [Arc<RelationVersion>]);
+
+impl reldiv_plan::CatalogSource for PinnedCatalog<'_> {
+    fn lookup(&self, name: &str) -> Option<(Schema, u64)> {
+        self.0
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| (r.schema.clone(), r.cardinality() as u64))
     }
 }

@@ -41,10 +41,21 @@ use reldiv_rel::counters::OpScope;
 use reldiv_rel::{RecordCodec, Relation};
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
+use reldiv_exec::profile::ProfileSink;
+use reldiv_plan::{Bound, ExecOptions, PlanError, SourceProvider};
+
 use crate::catalog::RelationVersion;
 use crate::error::{Result, ServiceError};
 use crate::metrics::ServiceMetrics;
-use crate::service::{QueryResponse, ServiceConfig};
+use crate::service::{PlanResponse, QueryResponse, ServiceConfig};
+
+/// Anything a worker can be asked to run.
+pub(crate) enum Job {
+    /// A single division (`Service::divide`).
+    Divide(QueryJob),
+    /// A composed plan (`Service::exec_plan`).
+    Plan(PlanJob),
+}
 
 /// One admitted query, travelling from the front end to a worker.
 pub(crate) struct QueryJob {
@@ -57,6 +68,16 @@ pub(crate) struct QueryJob {
     pub profile: bool,
     pub distribute: Option<Distribution>,
     pub reply: Sender<Result<QueryResponse>>,
+}
+
+/// One admitted plan, bound against the catalog versions it pinned.
+pub(crate) struct PlanJob {
+    pub bound: Bound,
+    pub pinned: Vec<Arc<RelationVersion>>,
+    pub deadline: Option<Instant>,
+    pub profile: bool,
+    pub honor_hints: bool,
+    pub reply: Sender<Result<PlanResponse>>,
 }
 
 /// Worker-local state: a private storage manager plus the record files it
@@ -204,6 +225,110 @@ impl WorkerState {
             profile,
         })
     }
+
+    fn execute_plan(&mut self, job: &PlanJob, metrics: &ServiceMetrics) -> Result<PlanResponse> {
+        if let Some(fp) = &self.fail_point {
+            if job.pinned.iter().any(|r| r.name == *fp) {
+                panic!("fail point hit: plan reads relation {fp:?}");
+            }
+        }
+        let cancel = match job.deadline {
+            Some(deadline) => {
+                if Instant::now() >= deadline {
+                    return Err(ServiceError::DeadlineExceeded);
+                }
+                CancelToken::at(deadline)
+            }
+            None => CancelToken::none(),
+        };
+        let sink = job.profile.then(ProfileSink::new);
+        let opts = ExecOptions {
+            storage: self.storage.clone(),
+            cancel,
+            profile: sink.clone(),
+            honor_restricted_hint: job.honor_hints,
+        };
+        let retries_before = {
+            let s = self.storage.borrow().buffer_stats();
+            s.read_retries + s.write_retries
+        };
+        let scope = OpScope::with_sink(&metrics.ops);
+        let (outcome, storage_failure) = {
+            let mut provider = PinnedSources {
+                state: self,
+                pinned: &job.pinned,
+                failure: None,
+            };
+            let outcome = reldiv_plan::execute(&job.bound, &mut provider, &opts);
+            (outcome, provider.failure)
+        };
+        let ops = scope.finish();
+        let retries_after = {
+            let s = self.storage.borrow().buffer_stats();
+            s.read_retries + s.write_retries
+        };
+        metrics.io_retries.fetch_add(
+            retries_after.saturating_sub(retries_before),
+            Ordering::Relaxed,
+        );
+        if let Some(e) = storage_failure {
+            // The provider's stashed error is the real failure; the plan
+            // error it returned in its place is just the unwinding vehicle.
+            return Err(e);
+        }
+        let output = outcome.map_err(plan_error)?;
+        let schema = output.relation.schema().clone();
+        Ok(PlanResponse {
+            schema,
+            tuples: Arc::new(output.relation.into_tuples()),
+            algorithms: output.choices.iter().map(|c| c.algorithm).collect(),
+            cached: false,
+            relations: job
+                .pinned
+                .iter()
+                .map(|r| (r.name.clone(), r.version))
+                .collect(),
+            ops,
+            // Placeholder, as for divisions: `Service::exec_plan` stamps
+            // the queue-inclusive end-to-end latency.
+            micros: 0,
+            profile: sink.map(|s| s.finish()),
+        })
+    }
+}
+
+/// Serves a plan's base relations from the worker's materialized record
+/// files, restricted to the versions the front end pinned at admission.
+/// A storage failure is stashed (`failure`) so the service error survives
+/// the trip through the plan crate's error type.
+struct PinnedSources<'a> {
+    state: &'a mut WorkerState,
+    pinned: &'a [Arc<RelationVersion>],
+    failure: Option<ServiceError>,
+}
+
+impl SourceProvider for PinnedSources<'_> {
+    fn source(&mut self, name: &str) -> reldiv_plan::Result<Source> {
+        let relation = self
+            .pinned
+            .iter()
+            .find(|r| r.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                PlanError::Validate(format!("relation {name:?} was not pinned for this plan"))
+            })?;
+        self.state.source_for(&relation).map_err(|e| {
+            self.failure = Some(e);
+            PlanError::Validate(format!("materializing relation {name:?} failed"))
+        })
+    }
+}
+
+fn plan_error(e: PlanError) -> ServiceError {
+    match e {
+        PlanError::Exec(e) => ServiceError::from(e),
+        other => ServiceError::BadRequest(other.to_string()),
+    }
 }
 
 /// Runs a query over the in-process parallel machine (Section 6):
@@ -255,27 +380,40 @@ fn execute_distributed(
 /// [`ServiceError::Internal`], the worker state is rebuilt, and the loop
 /// keeps serving.
 pub(crate) fn worker_loop(
-    rx: Receiver<QueryJob>,
+    rx: Receiver<Job>,
     metrics: Arc<ServiceMetrics>,
     config: ServiceConfig,
     index: usize,
 ) {
     let mut state = WorkerState::new(&config, index);
+    // On a panic the storage manager may be mid-operation; rebuild the
+    // worker's state from scratch rather than trust it. A client that
+    // gave up on the reply channel is not an error.
+    let panicked = |state: &mut WorkerState| {
+        metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+        *state = WorkerState::new(&config, index);
+        ServiceError::Internal(
+            "worker panicked while executing the query; the worker was replaced".into(),
+        )
+    };
     for job in rx.iter() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| state.execute(&job, &metrics)));
-        let result = match outcome {
-            Ok(result) => result,
-            Err(_) => {
-                metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-                // The storage manager may be mid-operation; rebuild the
-                // worker's state from scratch rather than trust it.
-                state = WorkerState::new(&config, index);
-                Err(ServiceError::Internal(
-                    "worker panicked while executing the query; the worker was replaced".into(),
-                ))
+        match job {
+            Job::Divide(job) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| state.execute(&job, &metrics)));
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(_) => Err(panicked(&mut state)),
+                };
+                let _ = job.reply.send(result);
             }
-        };
-        // A client that gave up on the reply is not an error.
-        let _ = job.reply.send(result);
+            Job::Plan(job) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| state.execute_plan(&job, &metrics)));
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(_) => Err(panicked(&mut state)),
+                };
+                let _ = job.reply.send(result);
+            }
+        }
     }
 }

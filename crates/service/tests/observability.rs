@@ -165,6 +165,7 @@ fn profiles_and_new_counters_travel_over_tcp() {
         deadline_ms: None,
         profile: true,
         distribute: None,
+        restricted: None,
     };
     let reply = client.divide(&request).unwrap();
     let profile = reply
@@ -187,6 +188,7 @@ fn profiles_and_new_counters_travel_over_tcp() {
             deadline_ms: None,
             profile: true,
             distribute: None,
+            restricted: None,
         })
         .unwrap();
     // The second identical request hits the cache → no profile; compare

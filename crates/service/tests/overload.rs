@@ -39,6 +39,7 @@ fn slow_options() -> QueryOptions {
         deadline: None,
         profile: false,
         distribute: None,
+        restricted_divisor: None,
     }
 }
 

@@ -52,6 +52,7 @@ fn check_all_columns(client: &mut impl DivisionClient) {
             deadline_ms: None,
             profile: false,
             distribute: None,
+            restricted: None,
         };
         let served = client.divide(&request).unwrap();
         let direct = divide_relations(&dividend, &divisor, algorithm).unwrap();
@@ -115,6 +116,7 @@ fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
         deadline_ms: None,
         profile: false,
         distribute: None,
+        restricted: None,
     };
     let first = client.divide(&auto).unwrap();
     assert!(!first.cached);
@@ -143,6 +145,7 @@ fn errors_travel_over_tcp() {
         deadline_ms: None,
         profile: false,
         distribute: None,
+        restricted: None,
     };
     assert!(matches!(
         client.divide(&request),

@@ -98,6 +98,7 @@ proptest! {
                         deadline_ms: None,
                         profile: false,
                         distribute: None,
+                        restricted: None,
                     }).unwrap();
                     let expected = brute_force_divide(
                         &model_dividend,
