@@ -17,6 +17,16 @@
 //!   wire stack, no parallelism) and anchored against the in-process
 //!   single-node divide.
 //!
+//! Two robustness sections ride along:
+//!
+//! * **`replication_overhead`** — the fault-free price of `k = 2`
+//!   replicated writes vs the `k = 1` baseline (registration latency and
+//!   bytes, and the per-query cost of replicating repartition temps),
+//! * **`failover`** — with `k = 2`, one node is killed and the section
+//!   records the first post-kill query latency (the failover itself:
+//!   reconnects, backoff, replica reads), the steady-state latency after
+//!   it, and the retry counters — every reply still oracle-exact.
+//!
 //! Every cluster reply is verified against a brute-force oracle; any
 //! mismatch fails the run.
 //!
@@ -27,9 +37,9 @@
 //! `--smoke` shrinks the grid to seconds for CI.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use reldiv_cluster::{ClusterQueryOptions, LocalCluster, Strategy};
+use reldiv_cluster::{ClusterQueryOptions, LocalCluster, RetryPolicy, Strategy};
 use reldiv_rel::Tuple;
 use reldiv_workload::{brute_force_divide, WorkloadSpec};
 
@@ -113,6 +123,180 @@ struct CellReport {
     filter_bits: usize,
     single_node_ms: f64,
     rows: Vec<Row>,
+}
+
+struct OverheadReport {
+    nodes: usize,
+    register_ms: [f64; 2],
+    register_bytes: [u64; 2],
+    query_cold_ms: [f64; 2],
+    query_cold_bytes: [u64; 2],
+    query_warm_ms: [f64; 2],
+}
+
+struct FailoverRow {
+    variant: &'static str,
+    healthy_warm_ms: f64,
+    first_failover_ms: f64,
+    steady_failover_ms: f64,
+    failovers: u64,
+    replica_retries: u64,
+}
+
+struct FailoverReport {
+    nodes: usize,
+    killed: usize,
+    rows: Vec<FailoverRow>,
+}
+
+/// Fault-free cost of replicated writes: the same registrations and
+/// divisor-partitioned queries at `k = 1` (the PR 4 baseline behavior)
+/// and `k = 2`. Index 0 of each pair is `k = 1`, index 1 is `k = 2`.
+fn measure_replication_overhead(nodes: usize, reps: u32, seed: u64) -> OverheadReport {
+    let w = WorkloadSpec {
+        divisor_size: 50,
+        quotient_size: 200,
+        incomplete_groups: 50,
+        incomplete_fill: 0.5,
+        noise_per_group: 4,
+        ..WorkloadSpec::default()
+    }
+    .generate(seed ^ 0x0E44);
+    let expected = canon(&brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]));
+    let mut report = OverheadReport {
+        nodes,
+        register_ms: [0.0; 2],
+        register_bytes: [0; 2],
+        query_cold_ms: [0.0; 2],
+        query_cold_bytes: [0; 2],
+        query_warm_ms: [f64::MAX; 2],
+    };
+    for (slot, k) in [1usize, 2].into_iter().enumerate() {
+        let cluster = LocalCluster::start(nodes).expect("start nodes");
+        let mut coord = cluster.coordinator(None).expect("connect");
+        coord.set_replication(k).expect("replication factor");
+        let t = Instant::now();
+        coord.register("r", &w.dividend, &[0]).expect("register r");
+        coord.register("s", &w.divisor, &[0]).expect("register s");
+        report.register_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
+        report.register_bytes[slot] = coord
+            .link_stats()
+            .iter()
+            .map(|l| l.bytes_sent + l.bytes_received)
+            .sum();
+        let options = ClusterQueryOptions {
+            strategy: Strategy::DivisorPartitioning,
+            bit_vector_bits: None,
+            spec: None,
+            profile: false,
+        };
+        for rep in 0..reps.max(2) {
+            let response = coord.divide("r", "s", &options).expect("divide");
+            assert_eq!(
+                canon(&response.tuples),
+                expected,
+                "replication overhead run diverged from the oracle (k={k})"
+            );
+            let ms = response.report.elapsed.as_secs_f64() * 1e3;
+            if rep == 0 {
+                report.query_cold_ms[slot] = ms;
+                report.query_cold_bytes[slot] = response.report.bytes;
+            } else {
+                report.query_warm_ms[slot] = report.query_warm_ms[slot].min(ms);
+            }
+        }
+    }
+    report
+}
+
+/// Failover latency: with `k = 2`, kill one node and price the first
+/// query that must route around it, the steady state after, and the
+/// retry counters — every reply still oracle-exact.
+fn measure_failover(nodes: usize, seed: u64) -> FailoverReport {
+    let w = WorkloadSpec {
+        divisor_size: 50,
+        quotient_size: 200,
+        incomplete_groups: 50,
+        incomplete_fill: 0.5,
+        noise_per_group: 4,
+        ..WorkloadSpec::default()
+    }
+    .generate(seed ^ 0xFA11);
+    let expected = canon(&brute_force_divide(&w.dividend, &w.divisor, &[1], &[0]));
+    let killed = 1 % nodes;
+    let mut rows = Vec::new();
+    for (variant, strategy) in [
+        ("quotient", Strategy::QuotientPartitioning),
+        ("divisor", Strategy::DivisorPartitioning),
+    ] {
+        let mut cluster = LocalCluster::start(nodes).expect("start nodes");
+        let mut coord = cluster
+            .coordinator(Some(Duration::from_secs(30)))
+            .expect("connect");
+        coord.set_retry_policy(RetryPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        });
+        coord.set_replication(2).expect("k=2");
+        coord.register("r", &w.dividend, &[0]).expect("register r");
+        coord.register("s", &w.divisor, &[0]).expect("register s");
+        let options = ClusterQueryOptions {
+            strategy,
+            bit_vector_bits: None,
+            spec: None,
+            profile: false,
+        };
+        let mut healthy_warm_ms = f64::MAX;
+        for _ in 0..3 {
+            let response = coord.divide("r", "s", &options).expect("healthy divide");
+            assert_eq!(canon(&response.tuples), expected, "healthy {variant}");
+            healthy_warm_ms = healthy_warm_ms.min(response.report.elapsed.as_secs_f64() * 1e3);
+        }
+
+        cluster.kill(killed);
+        let response = coord.divide("r", "s", &options).expect("failover divide");
+        assert_eq!(
+            canon(&response.tuples),
+            expected,
+            "first failover {variant}"
+        );
+        let first_failover_ms = response.report.elapsed.as_secs_f64() * 1e3;
+        let mut failovers = response.report.failovers;
+        let mut replica_retries = response.report.replica_retries;
+
+        let mut steady_failover_ms = f64::MAX;
+        for _ in 0..3 {
+            let response = coord.divide("r", "s", &options).expect("steady divide");
+            assert_eq!(
+                canon(&response.tuples),
+                expected,
+                "steady failover {variant}"
+            );
+            steady_failover_ms =
+                steady_failover_ms.min(response.report.elapsed.as_secs_f64() * 1e3);
+            failovers += response.report.failovers;
+            replica_retries += response.report.replica_retries;
+        }
+        rows.push(FailoverRow {
+            variant,
+            healthy_warm_ms,
+            first_failover_ms,
+            steady_failover_ms,
+            failovers,
+            replica_retries,
+        });
+        eprintln!(
+            "failover {variant:<9} nodes={nodes} healthy {healthy_warm_ms:8.2} ms  \
+             first-after-kill {first_failover_ms:8.2} ms  steady {steady_failover_ms:8.2} ms  \
+             ({failovers} failovers, {replica_retries} retries)"
+        );
+    }
+    FailoverReport {
+        nodes,
+        killed,
+        rows,
+    }
 }
 
 fn main() {
@@ -244,6 +428,12 @@ fn main() {
         });
     }
 
+    // Robustness sections: the fault-free price of replication, and the
+    // price of surviving a kill.
+    let overhead_nodes = if args.smoke { 2 } else { 4 };
+    let overhead = measure_replication_overhead(overhead_nodes, args.reps, args.seed);
+    let failover = measure_failover(overhead_nodes, args.seed);
+
     // Headline numbers: filtering's bytes reduction (cold runs, every
     // node count) and the best *cold* speedup vs the 1-node cluster —
     // cold is where the parallel division work actually happens; warm
@@ -317,6 +507,71 @@ fn main() {
         "  \"best_cold_speedup\": {{\"speedup\": {:.3}, \"nodes\": {}}},",
         best_speedup.0, best_speedup.1
     );
+    let write_overhead_pct = if overhead.register_bytes[0] > 0 {
+        (overhead.register_bytes[1] as f64 - overhead.register_bytes[0] as f64)
+            / overhead.register_bytes[0] as f64
+            * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(json, "  \"replication_overhead\": {{");
+    let _ = writeln!(json, "    \"nodes\": {},", overhead.nodes);
+    let _ = writeln!(
+        json,
+        "    \"register_ms\": {{\"k1\": {:.4}, \"k2\": {:.4}}},",
+        overhead.register_ms[0], overhead.register_ms[1]
+    );
+    let _ = writeln!(
+        json,
+        "    \"register_bytes\": {{\"k1\": {}, \"k2\": {}}},",
+        overhead.register_bytes[0], overhead.register_bytes[1]
+    );
+    let _ = writeln!(
+        json,
+        "    \"write_bytes_overhead_pct\": {write_overhead_pct:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"divisor_query_cold_ms\": {{\"k1\": {:.4}, \"k2\": {:.4}}},",
+        overhead.query_cold_ms[0], overhead.query_cold_ms[1]
+    );
+    let _ = writeln!(
+        json,
+        "    \"divisor_query_cold_bytes\": {{\"k1\": {}, \"k2\": {}}},",
+        overhead.query_cold_bytes[0], overhead.query_cold_bytes[1]
+    );
+    let _ = writeln!(
+        json,
+        "    \"divisor_query_warm_ms\": {{\"k1\": {:.4}, \"k2\": {:.4}}}",
+        overhead.query_warm_ms[0], overhead.query_warm_ms[1]
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"failover\": {{");
+    let _ = writeln!(json, "    \"nodes\": {},", failover.nodes);
+    let _ = writeln!(json, "    \"replication\": 2,");
+    let _ = writeln!(json, "    \"killed_node\": {},", failover.killed);
+    let _ = writeln!(json, "    \"rows\": [");
+    for (i, row) in failover.rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"variant\": \"{}\", \"healthy_warm_ms\": {:.4}, \
+             \"first_failover_ms\": {:.4}, \"steady_failover_ms\": {:.4}, \
+             \"failovers\": {}, \"replica_retries\": {}}}",
+            row.variant,
+            row.healthy_warm_ms,
+            row.first_failover_ms,
+            row.steady_failover_ms,
+            row.failovers,
+            row.replica_retries
+        );
+        let _ = writeln!(
+            json,
+            "{}",
+            if i + 1 < failover.rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cells\": [");
     for (i, cell) in reports.iter().enumerate() {
         let _ = writeln!(json, "    {{");
@@ -375,5 +630,10 @@ fn main() {
         node_counts.len(),
         best_speedup.0,
         best_speedup.1
+    );
+    println!(
+        "robustness: k=2 writes cost {write_overhead_pct:+.1}% bytes vs k=1; \
+         first failover query {:.1} ms vs {:.1} ms healthy (divisor strategy)",
+        failover.rows[1].first_failover_ms, failover.rows[1].healthy_warm_ms
     );
 }

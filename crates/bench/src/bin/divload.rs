@@ -95,6 +95,8 @@ struct Args {
     filter_bits: Option<usize>,
     shutdown_nodes: bool,
     plan_mode: bool,
+    kill_after: Option<u64>,
+    replication: Option<usize>,
 }
 
 impl Default for Args {
@@ -116,6 +118,8 @@ impl Default for Args {
             filter_bits: None,
             shutdown_nodes: false,
             plan_mode: false,
+            kill_after: None,
+            replication: None,
         }
     }
 }
@@ -126,7 +130,7 @@ fn usage() -> ! {
          [--cache N] [--update-every N] [--seed N] [--fault-rate P] [--deadline-ms MS] \
          [--profile]\n\
          cluster mode: [--cluster N | --node HOST:PORT ...] [--strategy quotient|divisor|both] \
-         [--filter-bits N] [--shutdown-nodes]\n\
+         [--filter-bits N] [--shutdown-nodes] [--replication K] [--kill-after N]\n\
          plan mode: --plan [--node HOST:PORT] [--queries N] ...\n\
          --fault-rate P injects transient disk faults with probability P per transfer\n\
          --deadline-ms MS applies a per-query deadline\n\
@@ -135,7 +139,10 @@ fn usage() -> ! {
          --cluster N spawns N in-process TCP nodes and divides through the coordinator\n\
          --node HOST:PORT uses an already-running node server (repeat per node)\n\
          --filter-bits N applies bit-vector filtering before tuples are shipped\n\
-         --shutdown-nodes sends every node a clean shutdown when the run ends"
+         --shutdown-nodes sends every node a clean shutdown when the run ends\n\
+         --replication K stores each fragment on K nodes (default 2 with --kill-after)\n\
+         --kill-after N hard-kills a random node once N requests completed; every \
+         in-flight and subsequent request must still verify (needs --cluster and K >= 2)"
     );
     std::process::exit(2);
 }
@@ -195,6 +202,8 @@ fn parse_args() -> Args {
             "--filter-bits" => parsed.filter_bits = Some(next("--filter-bits") as usize),
             "--shutdown-nodes" => parsed.shutdown_nodes = true,
             "--plan" => parsed.plan_mode = true,
+            "--kill-after" => parsed.kill_after = Some(next("--kill-after")),
+            "--replication" => parsed.replication = Some(next("--replication") as usize),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -299,11 +308,24 @@ fn canonical_bytes(codec: &RecordCodec, tuples: &[Tuple]) -> Vec<Vec<u8>> {
 fn run_cluster(args: &Args) -> ExitCode {
     use reldiv_cluster::{ClusterQueryOptions, Coordinator, LocalCluster, Strategy};
 
+    if args.kill_after.is_some() && args.cluster == 0 {
+        eprintln!("divload: --kill-after needs --cluster (it cannot kill external nodes)");
+        return ExitCode::FAILURE;
+    }
+    // A fragment must survive its primary dying: killing needs replicas.
+    let replication = args
+        .replication
+        .unwrap_or(if args.kill_after.is_some() { 2 } else { 1 });
+    if args.kill_after.is_some() && replication < 2 {
+        eprintln!("divload: --kill-after needs --replication >= 2 to keep every fragment alive");
+        return ExitCode::FAILURE;
+    }
+
     // Spawn local nodes or resolve external ones; either way the
     // coordinator only ever speaks TCP frames to them.
-    let local;
+    let local: Option<Arc<Mutex<LocalCluster>>>;
     let mut coordinator = if args.nodes.is_empty() {
-        local = match LocalCluster::start_with(args.cluster, |_| ServiceConfig {
+        let cluster = match LocalCluster::start_with(args.cluster, |_| ServiceConfig {
             workers: args.workers,
             queue_depth: args.queue,
             cache_capacity: args.cache,
@@ -315,14 +337,17 @@ fn run_cluster(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match local.coordinator(Some(Duration::from_secs(60))) {
+        let coordinator = match cluster.coordinator(Some(Duration::from_secs(60))) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("divload: cannot connect the coordinator: {e}");
                 return ExitCode::FAILURE;
             }
-        }
+        };
+        local = Some(Arc::new(Mutex::new(cluster)));
+        coordinator
     } else {
+        local = None;
         use std::net::ToSocketAddrs;
         let mut addrs = Vec::new();
         for node in &args.nodes {
@@ -342,6 +367,34 @@ fn run_cluster(args: &Args) -> ExitCode {
             }
         }
     };
+    if let Err(e) = coordinator.set_replication(replication) {
+        eprintln!("divload: --replication {replication}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // The chaos killer: once `--kill-after` queries have completed, a
+    // random node is hard-killed from another thread — possibly while a
+    // query is mid-flight. Failover must keep every reply exact.
+    let completed_queries = Arc::new(AtomicU64::new(0));
+    let killed_node = Arc::new(AtomicU64::new(u64::MAX));
+    let kill_done = Arc::new(AtomicBool::new(false));
+    let killer = args.kill_after.and_then(|after| {
+        let cluster = local.clone()?;
+        let completed = completed_queries.clone();
+        let killed = killed_node.clone();
+        let done = kill_done.clone();
+        let victim = StdRng::seed_from_u64(args.seed ^ 0x6B11).gen_range(0..args.cluster) as u64;
+        Some(std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                if completed.load(Ordering::Acquire) >= after {
+                    cluster.lock().unwrap().kill(victim as usize);
+                    killed.store(victim, Ordering::Release);
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }))
+    });
 
     // Current contents of every named relation, for oracle checks; the
     // expected-quotient memo is invalidated whenever a name updates.
@@ -430,8 +483,17 @@ fn run_cluster(args: &Args) -> ExitCode {
         bytes += response.report.bytes;
         messages += response.report.messages;
         filtered += response.report.filtered_tuples;
+        completed_queries.store(q + 1, Ordering::Release);
     }
     let elapsed = start.elapsed();
+    kill_done.store(true, Ordering::Release);
+    if let Some(handle) = killer {
+        let _ = handle.join();
+    }
+    let killed = match killed_node.load(Ordering::Acquire) {
+        u64::MAX => None,
+        node => Some(node as usize),
+    };
 
     latencies_us.sort_unstable();
     let pct = |p: f64| -> u64 {
@@ -466,6 +528,21 @@ fn run_cluster(args: &Args) -> ExitCode {
             link.messages_sent, link.bytes_sent, link.messages_received, link.bytes_received
         );
     }
+    let robustness = coordinator.robustness_metrics();
+    match killed {
+        Some(node) => println!(
+            "chaos:   node {node} killed after {} requests (replication {replication}); \
+             {} failovers, {} replica retries",
+            args.kill_after.unwrap_or(0),
+            robustness.failovers,
+            robustness.replica_retries
+        ),
+        None if replication > 1 => println!(
+            "robust:  replication {replication}, {} failovers, {} replica retries",
+            robustness.failovers, robustness.replica_retries
+        ),
+        None => {}
+    }
     println!(
         "verify:  {}/{completed} completed replies correct",
         completed - incorrect
@@ -473,11 +550,15 @@ fn run_cluster(args: &Args) -> ExitCode {
     if args.shutdown_nodes {
         for (node, result) in coordinator.shutdown_nodes().into_iter().enumerate() {
             if let Err(e) = result {
+                // The node the chaos killer took down cannot acknowledge.
+                if killed == Some(node) {
+                    continue;
+                }
                 eprintln!("divload: shutdown node {node}: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        println!("nodes:   all {} acknowledged shutdown", coordinator.nodes());
+        println!("nodes:   all surviving nodes acknowledged shutdown");
     }
     if incorrect > 0 {
         eprintln!("divload: FAILED — {incorrect} incorrect quotients");

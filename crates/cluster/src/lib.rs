@@ -19,6 +19,16 @@
 //!     own shard; only buckets cross the network), and the coordinator
 //!     runs the paper's collection-phase division over the tagged partial
 //!     quotients — the same [`CollectionSite`] the thread machine uses.
+//! * **Replication & failover** ([`catalog`], [`health`]) — each fragment lives on a primary plus `k − 1` replica
+//!   nodes (round-robin placement); every write fans out to all holders,
+//!   and reads/sub-queries fail over between holders with bounded,
+//!   jittered retries. With `k ≥ 2`, killing any single node at any
+//!   point during a query still returns the exact quotient.
+//! * **Elastic membership** — [`join_node`](Coordinator::join_node) /
+//!   [`remove_node`](Coordinator::remove_node) re-replicate fragments
+//!   under the new placement; a monotonically increasing *catalog epoch*
+//!   rides on every data-plane request so a stale coordinator gets a
+//!   typed `StaleEpoch` refusal, never a wrong quotient.
 //! * **Bit-vector filtering** ([`filter`](reldiv_parallel::filter)) —
 //!   each divisor-owning node builds a filter over its fragment, the
 //!   coordinator ORs them, and the union rides inside the dividend
@@ -27,7 +37,8 @@
 //! * [`NodeLink`] — a counted connection: per-link message and byte
 //!   totals in both directions, so the traffic Section 6 reasons about is
 //!   measurable per wire, and a read deadline so a dead node surfaces as
-//!   a typed [`ClusterError::NodeFailed`] instead of a hang.
+//!   a typed [`ClusterError::NodeFailed`] (with a classified
+//!   [`FailureKind`]) instead of a hang.
 //! * [`LocalCluster`] — spawns N in-process node servers on loopback for
 //!   tests and benchmarks, with a [`kill`](LocalCluster::kill) switch for
 //!   chaos testing.
@@ -38,7 +49,9 @@
 
 #![deny(missing_docs)]
 
+pub mod catalog;
 pub mod coordinator;
+pub mod health;
 pub mod link;
 pub mod local;
 
@@ -47,8 +60,10 @@ use std::fmt;
 use reldiv_service::ServiceError;
 
 pub use coordinator::{
-    ClusterQueryOptions, ClusterReport, ClusterResponse, Coordinator, ShardedRelation,
+    ClusterMetrics, ClusterQueryOptions, ClusterReport, ClusterResponse, Coordinator,
+    ShardedRelation,
 };
+pub use health::{FailureKind, Health, NodeHealth, RetryPolicy};
 pub use link::{LinkStats, NodeLink};
 pub use local::LocalCluster;
 pub use reldiv_parallel::Strategy;
@@ -57,17 +72,19 @@ pub use reldiv_parallel::Strategy;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
     /// A node stopped answering: the connection broke, timed out, or
-    /// returned bytes that do not parse. The query cannot complete; the
-    /// coordinator's catalog still names the node so a retry after
-    /// recovery is possible.
+    /// returned bytes that do not parse. Surfaced only after failover
+    /// exhausted every holder of the fragment; the coordinator's catalog
+    /// still names the node so a retry after recovery is possible.
     NodeFailed {
         /// Index of the failed node.
         node: usize,
+        /// How the failure presented on the wire.
+        kind: FailureKind,
         /// What the link observed.
         detail: String,
     },
     /// A node answered with a typed service error (bad request, unknown
-    /// relation, overload, …).
+    /// relation, overload, stale epoch, …).
     Node {
         /// Index of the answering node.
         node: usize,
@@ -81,11 +98,26 @@ pub enum ClusterError {
     Exec(String),
 }
 
+impl ClusterError {
+    /// Whether this error is a node's `StaleEpoch` refusal: the
+    /// coordinator's membership view is older than the cluster's and
+    /// must be [`refresh`](Coordinator::refresh)ed before retrying.
+    pub fn is_stale_epoch(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::Node {
+                error: ServiceError::StaleEpoch(_),
+                ..
+            }
+        )
+    }
+}
+
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClusterError::NodeFailed { node, detail } => {
-                write!(f, "node {node} failed: {detail}")
+            ClusterError::NodeFailed { node, kind, detail } => {
+                write!(f, "node {node} failed ({kind}): {detail}")
             }
             ClusterError::Node { node, error } => {
                 write!(f, "node {node} refused: {error}")

@@ -8,7 +8,12 @@
 //!
 //! Reads carry a deadline. A node that dies mid-query (process killed,
 //! cable pulled) surfaces as a typed [`ClusterError::NodeFailed`] when
-//! the read times out or the socket breaks — never as a hang.
+//! the read times out or the socket breaks — never as a hang. The
+//! failure is classified ([`FailureKind`]) so the coordinator's failover
+//! driver can tell a refused connection (node down before the request)
+//! from a mid-stream sever (node died *during* it), and a link can be
+//! [`reconnect`](NodeLink::reconnect)ed in place for a retry without
+//! losing its traffic counters.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -16,6 +21,7 @@ use std::time::Duration;
 
 use reldiv_service::proto::{self, Reply, Request};
 
+use crate::health::FailureKind;
 use crate::{ClusterError, Result};
 
 /// Per-link traffic counters. Byte counts cover the whole frame: the
@@ -50,11 +56,25 @@ impl LinkStats {
     }
 }
 
+/// Classifies an I/O error for failover decisions.
+fn classify_io(e: &io::Error) -> FailureKind {
+    match e.kind() {
+        io::ErrorKind::ConnectionRefused => FailureKind::Refused,
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FailureKind::Timeout,
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof => FailureKind::Severed,
+        _ => FailureKind::Other,
+    }
+}
+
 /// One coordinator → node connection with traffic accounting and a read
 /// deadline.
 pub struct NodeLink {
     node: usize,
     addr: SocketAddr,
+    read_timeout: Option<Duration>,
     stream: TcpStream,
     stats: LinkStats,
 }
@@ -68,22 +88,18 @@ impl NodeLink {
         addr: impl ToSocketAddrs,
         read_timeout: Option<Duration>,
     ) -> Result<NodeLink> {
-        let fail = |detail: String| ClusterError::NodeFailed { node, detail };
+        let fail =
+            |kind: FailureKind, detail: String| ClusterError::NodeFailed { node, kind, detail };
         let addr = addr
             .to_socket_addrs()
-            .map_err(|e| fail(format!("bad address: {e}")))?
+            .map_err(|e| fail(FailureKind::Other, format!("bad address: {e}")))?
             .next()
-            .ok_or_else(|| fail("address resolves to nothing".into()))?;
-        let stream = TcpStream::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| fail(format!("nodelay: {e}")))?;
-        stream
-            .set_read_timeout(read_timeout)
-            .map_err(|e| fail(format!("read timeout: {e}")))?;
+            .ok_or_else(|| fail(FailureKind::Other, "address resolves to nothing".into()))?;
+        let stream = open_stream(node, addr, read_timeout)?;
         Ok(NodeLink {
             node,
             addr,
+            read_timeout,
             stream,
             stats: LinkStats::default(),
         })
@@ -104,35 +120,75 @@ impl NodeLink {
         self.stats
     }
 
+    /// The read deadline this link was created with.
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout
+    }
+
+    /// Renumbers the link after a membership change (node indices are
+    /// positional; removing a node shifts everything after it).
+    pub(crate) fn renumber(&mut self, node: usize) {
+        self.node = node;
+    }
+
+    /// Re-dials the node, replacing the underlying stream. Used by the
+    /// failover driver before a same-node retry: a severed stream from an
+    /// earlier failure must not condemn a node that has since recovered.
+    /// Traffic counters survive the reconnect — they describe the link,
+    /// not one socket.
+    pub fn reconnect(&mut self) -> Result<()> {
+        self.stream = open_stream(self.node, self.addr, self.read_timeout)?;
+        Ok(())
+    }
+
     /// Sends one request and waits for the reply. Transport failures
     /// (broken socket, timeout, unparseable bytes) become
-    /// [`ClusterError::NodeFailed`]; a well-formed error reply becomes
-    /// [`ClusterError::Node`] with the node's typed error.
+    /// [`ClusterError::NodeFailed`] with a classified [`FailureKind`]; a
+    /// well-formed error reply becomes [`ClusterError::Node`] with the
+    /// node's typed error.
     pub fn call(&mut self, request: &Request) -> Result<Reply> {
         let node = self.node;
-        let fail = |detail: String| ClusterError::NodeFailed { node, detail };
+        let fail =
+            |kind: FailureKind, detail: String| ClusterError::NodeFailed { node, kind, detail };
         let payload = request
             .encode()
             .map_err(|e| ClusterError::BadRequest(format!("encoding request: {e}")))?;
-        proto::write_frame(&mut self.stream, &payload).map_err(|e| fail(format!("send: {e}")))?;
+        proto::write_frame(&mut self.stream, &payload)
+            .map_err(|e| fail(classify_io(&e), format!("send: {e}")))?;
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += payload.len() as u64 + 4;
         let frame = read_reply_frame(&mut self.stream).map_err(|e| {
             if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
-                fail("reply timed out".into())
+                fail(FailureKind::Timeout, "reply timed out".into())
             } else {
-                fail(format!("receive: {e}"))
+                fail(classify_io(&e), format!("receive: {e}"))
             }
         })?;
-        let frame = frame.ok_or_else(|| fail("node closed the connection".into()))?;
+        // EOF where a reply frame was due: the node died mid-request.
+        let frame =
+            frame.ok_or_else(|| fail(FailureKind::Severed, "node closed the connection".into()))?;
         self.stats.messages_received += 1;
         self.stats.bytes_received += frame.len() as u64 + 4;
         match proto::decode_response(&frame) {
             Ok(Ok(reply)) => Ok(reply),
             Ok(Err(error)) => Err(ClusterError::Node { node, error }),
-            Err(e) => Err(fail(format!("unparseable reply: {e}"))),
+            Err(e) => Err(fail(FailureKind::Other, format!("unparseable reply: {e}"))),
         }
     }
+}
+
+/// Dials `addr` and applies the link's socket options.
+fn open_stream(node: usize, addr: SocketAddr, read_timeout: Option<Duration>) -> Result<TcpStream> {
+    let fail = |kind: FailureKind, detail: String| ClusterError::NodeFailed { node, kind, detail };
+    let stream =
+        TcpStream::connect(addr).map_err(|e| fail(classify_io(&e), format!("connect: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| fail(FailureKind::Other, format!("nodelay: {e}")))?;
+    stream
+        .set_read_timeout(read_timeout)
+        .map_err(|e| fail(FailureKind::Other, format!("read timeout: {e}")))?;
+    Ok(stream)
 }
 
 /// Reads one reply frame, distinguishing clean EOF (`None`).

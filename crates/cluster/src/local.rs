@@ -18,6 +18,7 @@ use std::time::Duration;
 use reldiv_service::{ServerHandle, Service, ServiceConfig};
 
 use crate::coordinator::Coordinator;
+use crate::health::FailureKind;
 use crate::link::NodeLink;
 use crate::{ClusterError, Result};
 
@@ -44,6 +45,7 @@ impl LocalCluster {
             let server = ServerHandle::start(service, "127.0.0.1:0").map_err(|e| {
                 ClusterError::NodeFailed {
                     node,
+                    kind: FailureKind::Other,
                     detail: format!("bind: {e}"),
                 }
             })?;

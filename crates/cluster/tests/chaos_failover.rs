@@ -1,0 +1,339 @@
+//! The upgraded chaos invariant: with replication factor `k ≥ 2`, kill
+//! any single node at any point — before a query, mid-query, between
+//! queries — and the coordinator still returns the **byte-exact**
+//! quotient, verified against a single-node oracle, for both Section 6
+//! strategies across a Table 4 workload grid.
+//!
+//! (With `k = 1` a dead node is a typed error — that contract lives in
+//! `chaos.rs`. This suite is about the failure *disappearing*.)
+
+use std::time::{Duration, Instant};
+
+use reldiv_cluster::{ClusterQueryOptions, LocalCluster, RetryPolicy, Strategy};
+use reldiv_core::hash_division::HashDivisionMode;
+use reldiv_core::{divide_relations, Algorithm};
+use reldiv_rel::Tuple;
+use reldiv_workload::WorkloadSpec;
+
+fn canon(tuples: &[Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = tuples.iter().map(|t| format!("{t:?}")).collect();
+    out.sort();
+    out
+}
+
+fn options(strategy: Strategy, bits: Option<usize>) -> ClusterQueryOptions {
+    ClusterQueryOptions {
+        strategy,
+        bit_vector_bits: bits,
+        spec: None,
+        profile: false,
+    }
+}
+
+/// A failover schedule tight enough for tests: quick retries, quick
+/// exclusion decisions, deterministic jitter.
+fn fast_retries() -> RetryPolicy {
+    RetryPolicy {
+        node_attempts: 2,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    }
+}
+
+/// A small Table 4 grid: divisor cardinality × dividend shape, the axes
+/// Section 7 sweeps.
+fn table4_grid() -> Vec<(u64, WorkloadSpec)> {
+    vec![
+        (
+            61,
+            WorkloadSpec {
+                divisor_size: 1,
+                quotient_size: 40,
+                noise_per_group: 2,
+                ..WorkloadSpec::default()
+            },
+        ),
+        (
+            67,
+            WorkloadSpec {
+                divisor_size: 10,
+                quotient_size: 30,
+                incomplete_groups: 10,
+                incomplete_fill: 0.5,
+                noise_per_group: 2,
+                ..WorkloadSpec::default()
+            },
+        ),
+        (
+            71,
+            WorkloadSpec {
+                divisor_size: 100,
+                quotient_size: 20,
+                incomplete_groups: 8,
+                incomplete_fill: 0.3,
+                ..WorkloadSpec::default()
+            },
+        ),
+    ]
+}
+
+fn oracle(w: &reldiv_workload::Workload) -> Vec<String> {
+    canon(
+        divide_relations(
+            &w.dividend,
+            &w.divisor,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        )
+        .expect("oracle division")
+        .tuples(),
+    )
+}
+
+#[test]
+fn kill_any_single_node_before_the_query_and_the_quotient_is_exact() {
+    // Every node takes a turn dying, across the whole grid and both
+    // strategies (plus filtered divisor partitioning). Registration
+    // happens while all nodes are alive; the kill lands before the
+    // query, so every phase of the query must route around the corpse.
+    let nodes = 3;
+    for (seed, spec) in table4_grid() {
+        let w = spec.generate(seed);
+        let expected = oracle(&w);
+        for victim in 0..nodes {
+            let mut cluster = LocalCluster::start(nodes).expect("start nodes");
+            let mut coord = cluster
+                .coordinator(Some(Duration::from_secs(5)))
+                .expect("connect");
+            coord.set_retry_policy(fast_retries());
+            coord.set_replication(2).expect("k=2 fits 3 nodes");
+            coord.register("r", &w.dividend, &[0]).unwrap();
+            coord.register("s", &w.divisor, &[0]).unwrap();
+            cluster.kill(victim);
+            for (strategy, bits) in [
+                (Strategy::QuotientPartitioning, None),
+                (Strategy::DivisorPartitioning, None),
+                (Strategy::DivisorPartitioning, Some(2048)),
+            ] {
+                let response = coord
+                    .divide("r", "s", &options(strategy, bits))
+                    .expect("replication 2 must survive any single dead node");
+                assert_eq!(
+                    canon(&response.tuples),
+                    expected,
+                    "seed {seed} victim {victim} {strategy:?}: quotient must be exact"
+                );
+                assert_eq!(
+                    response.report.per_node_quotient[victim], 0,
+                    "a dead node cannot have contributed quotient tuples"
+                );
+            }
+            // The failovers are observable, not silent.
+            assert!(
+                coord.robustness_metrics().failovers > 0,
+                "seed {seed} victim {victim}: surviving a dead node requires failovers"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_a_node_mid_query_and_every_reply_stays_exact() {
+    // The kill lands *while* queries are streaming — whichever phase it
+    // interrupts (divisor replication, repartition, partial division,
+    // collection), the reply must still be the exact quotient. No typed
+    // failure is acceptable here: that is the k = 1 contract, and k = 2.
+    let w = WorkloadSpec {
+        divisor_size: 50,
+        quotient_size: 200,
+        incomplete_groups: 50,
+        incomplete_fill: 0.5,
+        noise_per_group: 4,
+        ..WorkloadSpec::default()
+    }
+    .generate(73);
+    let expected = oracle(&w);
+    for victim in 0..3usize {
+        let mut cluster = LocalCluster::start(3).expect("start nodes");
+        let mut coord = cluster
+            .coordinator(Some(Duration::from_secs(5)))
+            .expect("connect");
+        coord.set_retry_policy(fast_retries());
+        coord.set_replication(2).unwrap();
+        coord.register("r", &w.dividend, &[0]).unwrap();
+        coord.register("s", &w.divisor, &[0]).unwrap();
+
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            cluster.kill(victim);
+            cluster
+        });
+        // Keep querying until the kill has demonstrably landed (a
+        // failover happened) and then a few more for good measure.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut strategies = [
+            Strategy::QuotientPartitioning,
+            Strategy::DivisorPartitioning,
+        ]
+        .into_iter()
+        .cycle();
+        let mut after_kill = 0;
+        while after_kill < 4 {
+            assert!(
+                Instant::now() < deadline,
+                "victim {victim}: kill never surfaced as a failover"
+            );
+            let strategy = strategies.next().unwrap();
+            let response = coord
+                .divide("r", "s", &options(strategy, None))
+                .unwrap_or_else(|e| {
+                    panic!("victim {victim} {strategy:?}: query failed under k=2: {e}")
+                });
+            assert_eq!(
+                canon(&response.tuples),
+                expected,
+                "victim {victim} {strategy:?}: mid-kill reply must be exact"
+            );
+            if coord.robustness_metrics().failovers > 0 {
+                after_kill += 1;
+            }
+        }
+        let _cluster = killer.join().expect("killer thread");
+    }
+}
+
+#[test]
+fn kill_between_registration_and_update_and_rereads_stay_exact() {
+    // A node dies between queries, then the *inputs change* — the
+    // re-registration itself must survive the dead node (every fragment
+    // still collects an ack) and queries against the new version must be
+    // exact for the new oracle.
+    let spec = WorkloadSpec {
+        divisor_size: 10,
+        quotient_size: 30,
+        incomplete_groups: 10,
+        incomplete_fill: 0.5,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    };
+    let w1 = spec.clone().generate(79);
+    let w2 = spec.generate(83);
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.set_retry_policy(fast_retries());
+    coord.set_replication(2).unwrap();
+    coord.register("r", &w1.dividend, &[0]).unwrap();
+    coord.register("s", &w1.divisor, &[0]).unwrap();
+    let response = coord
+        .divide("r", "s", &options(Strategy::DivisorPartitioning, None))
+        .expect("healthy run");
+    assert_eq!(canon(&response.tuples), oracle(&w1));
+
+    cluster.kill(0);
+
+    // Update both relations under the dead node, then query both
+    // strategies against the new contents.
+    coord.register("r", &w2.dividend, &[0]).unwrap();
+    coord.register("s", &w2.divisor, &[0]).unwrap();
+    let expected = oracle(&w2);
+    for (strategy, bits) in [
+        (Strategy::QuotientPartitioning, None),
+        (Strategy::DivisorPartitioning, Some(1024)),
+    ] {
+        let response = coord
+            .divide("r", "s", &options(strategy, bits))
+            .expect("k=2 survives the dead node");
+        assert_eq!(
+            canon(&response.tuples),
+            expected,
+            "{strategy:?}: post-update quotient must track the new inputs"
+        );
+    }
+}
+
+#[test]
+fn empty_divisor_stays_vacuous_with_a_dead_node() {
+    // The empty-divisor edge (every quotient value qualifies) crosses
+    // the failover path too: participation falls back to every node, so
+    // the dead node's fragment must still be served by its replica.
+    let w = WorkloadSpec {
+        divisor_size: 10,
+        quotient_size: 25,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    }
+    .generate(89);
+    let empty = reldiv_rel::Relation::from_tuples(w.divisor.schema().clone(), Vec::new())
+        .expect("empty divisor");
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.set_retry_policy(fast_retries());
+    coord.set_replication(2).unwrap();
+    coord.register("r", &w.dividend, &[0]).unwrap();
+    coord.register("s", &empty, &[0]).unwrap();
+    let expected = canon(
+        divide_relations(
+            &w.dividend,
+            &empty,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+        )
+        .unwrap()
+        .tuples(),
+    );
+    cluster.kill(2);
+    for strategy in [
+        Strategy::QuotientPartitioning,
+        Strategy::DivisorPartitioning,
+    ] {
+        let response = coord
+            .divide("r", "s", &options(strategy, None))
+            .expect("vacuous division survives a dead node");
+        assert_eq!(canon(&response.tuples), expected, "{strategy:?}");
+    }
+}
+
+#[test]
+fn failover_reports_ride_in_the_query_report() {
+    // Per-query failover counters are deltas, not lifetime totals: a
+    // healthy query after a failing one reports zero.
+    let w = WorkloadSpec {
+        divisor_size: 10,
+        quotient_size: 20,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    }
+    .generate(97);
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.set_retry_policy(fast_retries());
+    coord.set_replication(2).unwrap();
+    coord.register("r", &w.dividend, &[0]).unwrap();
+    coord.register("s", &w.divisor, &[0]).unwrap();
+
+    let healthy = coord
+        .divide("r", "s", &options(Strategy::DivisorPartitioning, None))
+        .expect("healthy run");
+    assert_eq!(healthy.report.failovers, 0);
+    assert_eq!(healthy.report.replica_retries, 0);
+
+    cluster.kill(1);
+    let failed_over = coord
+        .divide("r", "s", &options(Strategy::QuotientPartitioning, None))
+        .expect("k=2 survives");
+    assert!(
+        failed_over.report.failovers > 0,
+        "the query that routed around the corpse reports its failovers"
+    );
+    let cumulative = coord.robustness_metrics();
+    assert!(cumulative.failovers >= failed_over.report.failovers);
+}

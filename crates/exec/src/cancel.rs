@@ -6,6 +6,7 @@
 //! use [`CancelToken::checkpoint`], which only consults the clock once
 //! every [`CHECK_STRIDE`] calls.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::{ExecError, Result};
@@ -19,24 +20,51 @@ pub const CHECK_STRIDE: u32 = 1024;
 
 /// A deadline carried through an operator tree.
 ///
-/// The token is `Copy` plain data (an optional [`Instant`]), so plumbing
-/// it through configs and operators costs nothing. A token without a
-/// deadline never cancels, which keeps non-service callers unaffected.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The token is `Copy` plain data (an optional [`Instant`] plus an
+/// optional abort flag reference), so plumbing it through configs and
+/// operators costs nothing. A token without a deadline or abort flag
+/// never cancels, which keeps non-service callers unaffected.
+///
+/// The abort flag is a `&'static AtomicBool` rather than an `Arc` so the
+/// token stays `Copy`; the owner (e.g. a service being hard-killed) leaks
+/// one flag for its lifetime and trips it to cancel every in-flight
+/// execution at the next checkpoint.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CancelToken {
     deadline: Option<Instant>,
+    abort: Option<&'static AtomicBool>,
 }
+
+// Manual equality: two tokens are equal when they share the same deadline
+// and the same abort flag *object* (pointer identity — an `AtomicBool`'s
+// current value is not part of the token's identity).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        self.deadline == other.deadline
+            && match (self.abort, other.abort) {
+                (None, None) => true,
+                (Some(a), Some(b)) => std::ptr::eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for CancelToken {}
 
 impl CancelToken {
     /// A token that never cancels (the default).
     pub fn none() -> CancelToken {
-        CancelToken { deadline: None }
+        CancelToken {
+            deadline: None,
+            abort: None,
+        }
     }
 
     /// A token that cancels once `timeout` has elapsed from now.
     pub fn after(timeout: Duration) -> CancelToken {
         CancelToken {
             deadline: Some(Instant::now() + timeout),
+            abort: None,
         }
     }
 
@@ -44,6 +72,18 @@ impl CancelToken {
     pub fn at(deadline: Instant) -> CancelToken {
         CancelToken {
             deadline: Some(deadline),
+            abort: None,
+        }
+    }
+
+    /// The same token, additionally cancelled whenever `flag` is set.
+    ///
+    /// Composes with any deadline already on the token: whichever trips
+    /// first cancels the execution.
+    pub fn with_abort(self, flag: &'static AtomicBool) -> CancelToken {
+        CancelToken {
+            deadline: self.deadline,
+            abort: Some(flag),
         }
     }
 
@@ -52,9 +92,14 @@ impl CancelToken {
         self.deadline
     }
 
-    /// Whether the deadline has passed. Reads the clock; use
-    /// [`CancelToken::checkpoint`] in per-tuple loops.
+    /// Whether the deadline has passed or the abort flag is set. Reads
+    /// the clock; use [`CancelToken::checkpoint`] in per-tuple loops.
     pub fn expired(&self) -> bool {
+        if let Some(flag) = self.abort {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
         match self.deadline {
             Some(d) => Instant::now() >= d,
             None => false,
@@ -84,7 +129,7 @@ impl CancelToken {
     /// ```
     #[inline]
     pub fn checkpoint(&self, budget: &mut u32) -> Result<()> {
-        if self.deadline.is_none() {
+        if self.deadline.is_none() && self.abort.is_none() {
             return Ok(());
         }
         if *budget == 0 {
@@ -126,6 +171,39 @@ mod tests {
         let t = CancelToken::after(Duration::from_secs(3600));
         assert!(!t.expired());
         assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn abort_flag_cancels_without_a_deadline() {
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let t = CancelToken::none().with_abort(flag);
+        assert!(!t.expired());
+        assert!(t.check().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert!(t.expired());
+        assert_eq!(t.check(), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn abort_flag_composes_with_a_future_deadline() {
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let t = CancelToken::after(Duration::from_secs(3600)).with_abort(flag);
+        assert!(!t.expired());
+        flag.store(true, Ordering::Relaxed);
+        // The deadline is an hour away but the abort flag trips first,
+        // and a checkpoint observes it within one stride.
+        let mut budget = CHECK_STRIDE;
+        let mut cancelled = false;
+        for _ in 0..=(CHECK_STRIDE + 1) {
+            if t.checkpoint(&mut budget).is_err() {
+                cancelled = true;
+                break;
+            }
+        }
+        assert!(
+            cancelled,
+            "a tripped abort flag must cancel within one stride"
+        );
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl TcpClient {
             name: name.to_owned(),
             keys: keys.to_vec(),
             bits,
+            epoch: None,
         };
         match self.call(&request)? {
             Reply::Filter { filter, insertions } => Ok((filter, insertions)),
@@ -194,6 +195,7 @@ impl TcpClient {
         let request = Request::DividePartial {
             tag,
             query: query.clone(),
+            epoch: None,
         };
         match self.call(&request)? {
             Reply::PartialQuotient(reply) => Ok(reply),

@@ -25,6 +25,12 @@ pub enum ServiceError {
     /// The query's deadline elapsed before the quotient was ready. The
     /// division was cancelled cooperatively; no partial result is served.
     DeadlineExceeded,
+    /// The request carried a cluster-catalog epoch that does not match
+    /// this node's: the coordinator holds a pre-rebalance routing table.
+    /// The node refuses the request rather than answer from fragments the
+    /// coordinator no longer describes correctly; the coordinator must
+    /// refresh its membership view and retry.
+    StaleEpoch(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -44,6 +50,7 @@ impl fmt::Display for ServiceError {
             ServiceError::DeadlineExceeded => {
                 write!(f, "deadline exceeded: query cancelled before completion")
             }
+            ServiceError::StaleEpoch(msg) => write!(f, "stale catalog epoch: {msg}"),
         }
     }
 }

@@ -46,11 +46,12 @@ pub use client::{BackoffPolicy, DivisionClient, InProcClient, RetryingClient, Tc
 pub use error::{Result, ServiceError};
 pub use metrics::MetricsSnapshot;
 pub use proto::{
-    DivideReply, DivideRequest, ExecPlanRequest, PartialQuotientReply, PlanReply,
-    RepartitionRequest, ShardRequest,
+    DivideReply, DivideRequest, EpochRequest, ExecPlanRequest, PartialQuotientReply, PlanReply,
+    RepartitionRequest, ReplicaWriteRequest, ShardRequest,
 };
 pub use reldiv_core::{ProfileNode, QueryProfile};
 pub use server::ServerHandle;
 pub use service::{
-    PlanOptions, PlanResponse, QueryOptions, QueryResponse, Service, ServiceConfig, ShardInfo,
+    ClusterEpochState, PlanOptions, PlanResponse, QueryOptions, QueryResponse, Service,
+    ServiceConfig, ShardInfo,
 };

@@ -198,6 +198,17 @@ pub struct MetricsSnapshot {
     pub latency_count: u64,
     /// Queries that requested (and produced) an execution profile.
     pub profiled_queries: u64,
+    /// Cluster coordinator: sub-requests retried against a replica holder
+    /// of the same fragment after the first holder failed.
+    pub replica_retries: u64,
+    /// Cluster coordinator: queries during which at least one fragment
+    /// was served by a replica instead of its primary.
+    pub failovers: u64,
+    /// Cluster coordinator: nodes excluded from routing by the health
+    /// checker (flapping or persistently unreachable).
+    pub nodes_excluded: u64,
+    /// Cluster coordinator: heartbeat probes that went unanswered.
+    pub heartbeats_missed: u64,
     /// Abstract operations performed by the worker pool, aggregated from
     /// the per-request [`OpScope`](reldiv_rel::counters::OpScope)s.
     pub ops: OpSnapshot,
@@ -241,6 +252,15 @@ pub struct ServiceMetrics {
     pub io_retries: AtomicU64,
     /// Queries that requested an execution profile.
     pub profiled_queries: AtomicU64,
+    /// Replica retries (always 0 on a plain node; the cluster coordinator
+    /// owns these four counters and folds them into its stats view).
+    pub replica_retries: AtomicU64,
+    /// Queries that failed over to a replica (0 on a plain node).
+    pub failovers: AtomicU64,
+    /// Nodes excluded by health checks (0 on a plain node).
+    pub nodes_excluded: AtomicU64,
+    /// Missed heartbeat probes (0 on a plain node).
+    pub heartbeats_missed: AtomicU64,
     /// Abstract-operation totals across all executed queries.
     pub ops: OpAccumulator,
 }
@@ -269,6 +289,10 @@ impl ServiceMetrics {
             latency_mean_us: self.latency.mean(),
             latency_count: self.latency.count(),
             profiled_queries: self.profiled_queries.load(Ordering::Relaxed),
+            replica_retries: self.replica_retries.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            nodes_excluded: self.nodes_excluded.load(Ordering::Relaxed),
+            heartbeats_missed: self.heartbeats_missed.load(Ordering::Relaxed),
             ops: self.ops.totals(),
         }
     }
@@ -387,6 +411,20 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.latency_count, 2);
         assert_eq!(s.profiled_queries, 1);
+    }
+
+    #[test]
+    fn snapshot_carries_cluster_robustness_counters() {
+        let m = ServiceMetrics::new();
+        m.replica_retries.store(4, Ordering::Relaxed);
+        m.failovers.store(2, Ordering::Relaxed);
+        m.nodes_excluded.store(1, Ordering::Relaxed);
+        m.heartbeats_missed.store(7, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.replica_retries, 4);
+        assert_eq!(s.failovers, 2);
+        assert_eq!(s.nodes_excluded, 1);
+        assert_eq!(s.heartbeats_missed, 7);
     }
 
     #[test]

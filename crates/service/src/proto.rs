@@ -95,6 +95,7 @@ pub fn error_code(err: &ServiceError) -> u8 {
         ServiceError::Protocol(_) => 6,
         ServiceError::Internal(_) => 7,
         ServiceError::DeadlineExceeded => 8,
+        ServiceError::StaleEpoch(_) => 9,
     }
 }
 
@@ -108,6 +109,7 @@ pub fn error_from_code(code: u8, message: String) -> ServiceError {
         5 => ServiceError::Exec(message),
         6 => ServiceError::Protocol(message),
         8 => ServiceError::DeadlineExceeded,
+        9 => ServiceError::StaleEpoch(message),
         _ => ServiceError::Internal(message),
     }
 }
@@ -157,6 +159,9 @@ pub enum Request {
         keys: Vec<usize>,
         /// Filter size in bits (bounded by [`MAX_FILTER_BITS`]).
         bits: u32,
+        /// Coordinator catalog epoch (trailing extension; absence skips
+        /// the staleness check).
+        epoch: Option<u64>,
     },
     /// Run a local division and tag the reply — one node's share of a
     /// cluster query. The tag travels back verbatim in
@@ -167,10 +172,70 @@ pub enum Request {
         tag: u16,
         /// The local division to run.
         query: DivideRequest,
+        /// Coordinator catalog epoch (trailing extension; absence skips
+        /// the staleness check).
+        epoch: Option<u64>,
     },
     /// Parse, validate, and execute a composed query plan (filters,
     /// joins, projections, divisions, HAVING COUNT) over the catalog.
     ExecPlan(ExecPlanRequest),
+    /// Liveness and health probe (cluster role): answered without going
+    /// through the worker queue, so a wedged pool still answers. The
+    /// reply carries the node's catalog epoch and whether it is
+    /// accepting queries.
+    Heartbeat,
+    /// Read or install the node's cluster-catalog epoch: the membership
+    /// view (epoch number, member addresses, replication factor) the
+    /// coordinator last pushed during a rebalance. Data-plane requests
+    /// carrying an older epoch are refused with
+    /// [`ServiceError::StaleEpoch`] so a pre-rebalance routing table can
+    /// never produce a wrong quotient.
+    ClusterEpoch(EpochRequest),
+    /// Install a replica copy of one fragment of a sharded relation. The
+    /// node stores it under the reserved `.replica.{fragment}.{name}`
+    /// catalog name so a coordinator can fail a fragment's sub-queries
+    /// over to this node when the primary dies.
+    ReplicaWrite(ReplicaWriteRequest),
+}
+
+/// The payload of a [`Request::ClusterEpoch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochRequest {
+    /// Read the node's current membership view.
+    Get,
+    /// Install a new membership view. The node refuses a `Set` whose
+    /// epoch is below its current one (a stale coordinator must not
+    /// roll the cluster backwards).
+    Set {
+        /// Monotonic catalog epoch; bumped by every membership change.
+        epoch: u64,
+        /// Member addresses in node-index order.
+        members: Vec<String>,
+        /// Replication factor k: every fragment lives on k nodes.
+        replication: u16,
+    },
+}
+
+/// The replica-install payload of a [`Request::ReplicaWrite`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaWriteRequest {
+    /// Base catalog name (the primary's name; the replica is stored
+    /// under `.replica.{fragment}.{name}`).
+    pub name: String,
+    /// Which fragment this is a replica of, `< of`.
+    pub fragment: u16,
+    /// Total fragment count (bounded by [`MAX_CLUSTER_NODES`]).
+    pub of: u16,
+    /// Columns the relation is hash-partitioned on.
+    pub shard_keys: Vec<usize>,
+    /// Relation schema (identical across fragments).
+    pub schema: Schema,
+    /// The fragment's tuples.
+    pub tuples: Vec<Tuple>,
+    /// Coordinator catalog epoch; mismatch is a typed
+    /// [`ServiceError::StaleEpoch`]. `None` skips the check (a peer
+    /// that predates epochs).
+    pub epoch: Option<u64>,
 }
 
 /// The plan-execution payload of a [`Request::ExecPlan`].
@@ -202,6 +267,9 @@ pub struct ShardRequest {
     pub schema: Schema,
     /// This shard's tuples.
     pub tuples: Vec<Tuple>,
+    /// Coordinator catalog epoch (trailing extension; absence skips the
+    /// staleness check, keeping pre-replication coordinators working).
+    pub epoch: Option<u64>,
 }
 
 /// The repartition payload of a [`Request::Repartition`].
@@ -217,6 +285,9 @@ pub struct RepartitionRequest {
     /// projection misses the filter are dropped at this site and only
     /// counted, never shipped.
     pub filter: Option<BitVectorFilter>,
+    /// Coordinator catalog epoch (trailing extension; absence skips the
+    /// staleness check).
+    pub epoch: Option<u64>,
 }
 
 /// The division query of a [`Request::Divide`].
@@ -301,6 +372,31 @@ pub enum Reply {
     PartialQuotient(PartialQuotientReply),
     /// Answer to [`Request::ExecPlan`].
     Plan(PlanReply),
+    /// Answer to [`Request::Heartbeat`].
+    HeartbeatAck {
+        /// The node's current cluster-catalog epoch.
+        epoch: u64,
+        /// Whether the node is accepting queries.
+        accepting: bool,
+    },
+    /// Answer to [`Request::ClusterEpoch`] (both `Get` and `Set`): the
+    /// node's membership view after the request.
+    Epoch {
+        /// The node's cluster-catalog epoch.
+        epoch: u64,
+        /// Member addresses in node-index order.
+        members: Vec<String>,
+        /// Replication factor k.
+        replication: u16,
+    },
+    /// Answer to [`Request::ReplicaWrite`]: the write acknowledgment the
+    /// coordinator tracks per fragment.
+    ReplicaAck {
+        /// The catalog version installed for the replica copy.
+        version: u64,
+        /// The fragment index, echoed for ack bookkeeping.
+        fragment: u16,
+    },
 }
 
 /// The result of a composed plan, answering [`Request::ExecPlan`].
@@ -769,6 +865,88 @@ const OP_REPARTITION: u8 = 0x08;
 const OP_BUILD_FILTER: u8 = 0x09;
 const OP_DIVIDE_PARTIAL: u8 = 0x0A;
 const OP_EXEC_PLAN: u8 = 0x0B;
+const OP_HEARTBEAT: u8 = 0x0C;
+const OP_CLUSTER_EPOCH: u8 = 0x0D;
+const OP_REPLICA_WRITE: u8 = 0x0E;
+
+/// Encodes the optional trailing catalog-epoch extension shared by the
+/// cluster data-plane requests: a presence byte, then the epoch. Peers
+/// that predate replication simply stop before it.
+fn put_epoch_ext(out: &mut Vec<u8>, epoch: Option<u64>) {
+    match epoch {
+        None => out.push(0),
+        Some(e) => {
+            out.push(1);
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes the trailing catalog-epoch extension; an exhausted reader
+/// means the peer predates it.
+fn get_epoch_ext(r: &mut Reader<'_>) -> PResult<Option<u64>> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        t => Err(perr(format!("unknown epoch tag {t}"))),
+    }
+}
+
+/// Encodes a membership view (epoch, member addresses, replication
+/// factor), shared by the `ClusterEpoch` request and the `Epoch` reply.
+fn put_membership(
+    out: &mut Vec<u8>,
+    epoch: u64,
+    members: &[String],
+    replication: u16,
+) -> PResult<()> {
+    if members.is_empty() || members.len() > MAX_CLUSTER_NODES {
+        return Err(perr(format!(
+            "{} members is outside 1..={MAX_CLUSTER_NODES}",
+            members.len()
+        )));
+    }
+    if replication == 0 || replication as usize > members.len() {
+        return Err(perr(format!(
+            "replication factor {replication} is outside 1..={}",
+            members.len()
+        )));
+    }
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(members.len() as u16).to_le_bytes());
+    for m in members {
+        put_str(out, m)?;
+    }
+    out.extend_from_slice(&replication.to_le_bytes());
+    Ok(())
+}
+
+/// Decodes a membership view, enforcing the same geometry bounds the
+/// encoder does so hostile frames never allocate per a lying count.
+fn get_membership(r: &mut Reader<'_>) -> PResult<(u64, Vec<String>, u16)> {
+    let epoch = r.u64()?;
+    let n = r.u16()? as usize;
+    if n == 0 || n > MAX_CLUSTER_NODES {
+        return Err(perr(format!(
+            "{n} members is outside 1..={MAX_CLUSTER_NODES}"
+        )));
+    }
+    let mut members = Vec::with_capacity(n);
+    for _ in 0..n {
+        members.push(r.str()?);
+    }
+    let replication = r.u16()?;
+    if replication == 0 || replication as usize > members.len() {
+        return Err(perr(format!(
+            "replication factor {replication} is outside 1..={}",
+            members.len()
+        )));
+    }
+    Ok((epoch, members, replication))
+}
 
 /// Encodes the body of a divide request (everything after the opcode),
 /// shared by [`Request::Divide`] and [`Request::DividePartial`].
@@ -945,6 +1123,7 @@ impl Request {
                 put_keys(&mut out, &s.shard_keys)?;
                 put_schema(&mut out, &s.schema)?;
                 put_tuples(&mut out, &s.schema, &s.tuples)?;
+                put_epoch_ext(&mut out, s.epoch);
             }
             Request::Repartition(p) => {
                 out.push(OP_REPARTITION);
@@ -964,8 +1143,14 @@ impl Request {
                         put_filter(&mut out, f)?;
                     }
                 }
+                put_epoch_ext(&mut out, p.epoch);
             }
-            Request::BuildFilter { name, keys, bits } => {
+            Request::BuildFilter {
+                name,
+                keys,
+                bits,
+                epoch,
+            } => {
                 out.push(OP_BUILD_FILTER);
                 if *bits == 0 || *bits as usize > MAX_FILTER_BITS {
                     return Err(perr(format!(
@@ -975,11 +1160,13 @@ impl Request {
                 put_str(&mut out, name)?;
                 put_keys(&mut out, keys)?;
                 out.extend_from_slice(&bits.to_le_bytes());
+                put_epoch_ext(&mut out, *epoch);
             }
-            Request::DividePartial { tag, query } => {
+            Request::DividePartial { tag, query, epoch } => {
                 out.push(OP_DIVIDE_PARTIAL);
                 out.extend_from_slice(&tag.to_le_bytes());
                 put_divide_body(&mut out, query)?;
+                put_epoch_ext(&mut out, *epoch);
             }
             Request::ExecPlan(p) => {
                 out.push(OP_EXEC_PLAN);
@@ -993,6 +1180,37 @@ impl Request {
                 out.extend_from_slice(p.plan.as_bytes());
                 out.extend_from_slice(&p.deadline_ms.unwrap_or(0).to_le_bytes());
                 out.push(u8::from(p.profile));
+            }
+            Request::Heartbeat => out.push(OP_HEARTBEAT),
+            Request::ClusterEpoch(e) => {
+                out.push(OP_CLUSTER_EPOCH);
+                match e {
+                    EpochRequest::Get => out.push(0),
+                    EpochRequest::Set {
+                        epoch,
+                        members,
+                        replication,
+                    } => {
+                        out.push(1);
+                        put_membership(&mut out, *epoch, members, *replication)?;
+                    }
+                }
+            }
+            Request::ReplicaWrite(w) => {
+                out.push(OP_REPLICA_WRITE);
+                if w.of == 0 || w.of as usize > MAX_CLUSTER_NODES || w.fragment >= w.of {
+                    return Err(perr(format!(
+                        "replica of fragment {}/{} is not a valid placement",
+                        w.fragment, w.of
+                    )));
+                }
+                put_str(&mut out, &w.name)?;
+                out.extend_from_slice(&w.fragment.to_le_bytes());
+                out.extend_from_slice(&w.of.to_le_bytes());
+                put_keys(&mut out, &w.shard_keys)?;
+                put_schema(&mut out, &w.schema)?;
+                put_tuples(&mut out, &w.schema, &w.tuples)?;
+                put_epoch_ext(&mut out, w.epoch);
             }
         }
         Ok(out)
@@ -1027,6 +1245,7 @@ impl Request {
                 let shard_keys = get_keys(&mut r)?;
                 let schema = get_schema(&mut r)?;
                 let tuples = get_tuples(&mut r, &schema)?;
+                let epoch = get_epoch_ext(&mut r)?;
                 Request::Shard(ShardRequest {
                     name,
                     shard,
@@ -1034,6 +1253,7 @@ impl Request {
                     shard_keys,
                     schema,
                     tuples,
+                    epoch,
                 })
             }
             OP_REPARTITION => {
@@ -1050,11 +1270,13 @@ impl Request {
                     1 => Some(get_filter(&mut r)?),
                     t => return Err(perr(format!("unknown filter tag {t}"))),
                 };
+                let epoch = get_epoch_ext(&mut r)?;
                 Request::Repartition(RepartitionRequest {
                     name,
                     keys,
                     parts,
                     filter,
+                    epoch,
                 })
             }
             OP_BUILD_FILTER => {
@@ -1066,14 +1288,19 @@ impl Request {
                         "filter of {bits} bits is outside 1..={MAX_FILTER_BITS}"
                     )));
                 }
-                Request::BuildFilter { name, keys, bits }
+                let epoch = get_epoch_ext(&mut r)?;
+                Request::BuildFilter {
+                    name,
+                    keys,
+                    bits,
+                    epoch,
+                }
             }
             OP_DIVIDE_PARTIAL => {
                 let tag = r.u16()?;
-                Request::DividePartial {
-                    tag,
-                    query: get_divide_body(&mut r)?,
-                }
+                let query = get_divide_body(&mut r)?;
+                let epoch = get_epoch_ext(&mut r)?;
+                Request::DividePartial { tag, query, epoch }
             }
             OP_EXEC_PLAN => {
                 let n = r.u32()? as usize;
@@ -1093,6 +1320,42 @@ impl Request {
                     plan,
                     deadline_ms,
                     profile,
+                })
+            }
+            OP_HEARTBEAT => Request::Heartbeat,
+            OP_CLUSTER_EPOCH => match r.u8()? {
+                0 => Request::ClusterEpoch(EpochRequest::Get),
+                1 => {
+                    let (epoch, members, replication) = get_membership(&mut r)?;
+                    Request::ClusterEpoch(EpochRequest::Set {
+                        epoch,
+                        members,
+                        replication,
+                    })
+                }
+                t => return Err(perr(format!("unknown epoch request tag {t}"))),
+            },
+            OP_REPLICA_WRITE => {
+                let name = r.str()?;
+                let fragment = r.u16()?;
+                let of = r.u16()?;
+                if of == 0 || of as usize > MAX_CLUSTER_NODES || fragment >= of {
+                    return Err(perr(format!(
+                        "replica of fragment {fragment}/{of} is not a valid placement"
+                    )));
+                }
+                let shard_keys = get_keys(&mut r)?;
+                let schema = get_schema(&mut r)?;
+                let tuples = get_tuples(&mut r, &schema)?;
+                let epoch = get_epoch_ext(&mut r)?;
+                Request::ReplicaWrite(ReplicaWriteRequest {
+                    name,
+                    fragment,
+                    of,
+                    shard_keys,
+                    schema,
+                    tuples,
+                    epoch,
                 })
             }
             op => return Err(perr(format!("unknown request opcode {op:#04x}"))),
@@ -1126,6 +1389,9 @@ const REPLY_REPARTITIONED: u8 = 0x09;
 const REPLY_FILTER: u8 = 0x0A;
 const REPLY_PARTIAL_QUOTIENT: u8 = 0x0B;
 const REPLY_PLAN: u8 = 0x0C;
+const REPLY_HEARTBEAT_ACK: u8 = 0x0D;
+const REPLY_EPOCH: u8 = 0x0E;
+const REPLY_REPLICA_ACK: u8 = 0x0F;
 
 /// Largest algorithm list accepted in a plan reply (a plan has at most
 /// [`MAX_PLAN_WIRE`]-bounded text, so thousands of divisions is already
@@ -1141,7 +1407,7 @@ const STATS_REQUIRED_FIELDS: usize = 13;
 
 /// The canonical counter order of a stats frame. Append-only: new
 /// counters go at the end so old decoders skip them.
-fn stats_fields(s: &MetricsSnapshot) -> [u64; 15] {
+fn stats_fields(s: &MetricsSnapshot) -> [u64; 19] {
     [
         s.queries,
         s.cache_hits,
@@ -1158,6 +1424,10 @@ fn stats_fields(s: &MetricsSnapshot) -> [u64; 15] {
         s.latency_mean_us,
         s.latency_count,
         s.profiled_queries,
+        s.replica_retries,
+        s.failovers,
+        s.nodes_excluded,
+        s.heartbeats_missed,
     ]
 }
 
@@ -1182,6 +1452,10 @@ fn stats_from_fields(vals: &[u64], ops: OpSnapshot) -> MetricsSnapshot {
         latency_mean_us: field(12),
         latency_count: field(13),
         profiled_queries: field(14),
+        replica_retries: field(15),
+        failovers: field(16),
+        nodes_excluded: field(17),
+        heartbeats_missed: field(18),
         ops,
     }
 }
@@ -1299,6 +1573,24 @@ pub fn encode_response(response: &Response) -> PResult<Vec<u8>> {
                             put_profile(&mut out, profile)?;
                         }
                     }
+                }
+                Reply::HeartbeatAck { epoch, accepting } => {
+                    out.push(REPLY_HEARTBEAT_ACK);
+                    out.extend_from_slice(&epoch.to_le_bytes());
+                    out.push(u8::from(*accepting));
+                }
+                Reply::Epoch {
+                    epoch,
+                    members,
+                    replication,
+                } => {
+                    out.push(REPLY_EPOCH);
+                    put_membership(&mut out, *epoch, members, *replication)?;
+                }
+                Reply::ReplicaAck { version, fragment } => {
+                    out.push(REPLY_REPLICA_ACK);
+                    out.extend_from_slice(&version.to_le_bytes());
+                    out.extend_from_slice(&fragment.to_le_bytes());
                 }
                 Reply::PartialQuotient(p) => {
                     out.push(REPLY_PARTIAL_QUOTIENT);
@@ -1503,6 +1795,24 @@ pub fn decode_response(payload: &[u8]) -> PResult<Response> {
                         profile,
                     })
                 }
+                REPLY_HEARTBEAT_ACK => {
+                    let epoch = r.u64()?;
+                    let accepting = r.u8()? != 0;
+                    Reply::HeartbeatAck { epoch, accepting }
+                }
+                REPLY_EPOCH => {
+                    let (epoch, members, replication) = get_membership(&mut r)?;
+                    Reply::Epoch {
+                        epoch,
+                        members,
+                        replication,
+                    }
+                }
+                REPLY_REPLICA_ACK => {
+                    let version = r.u64()?;
+                    let fragment = r.u16()?;
+                    Reply::ReplicaAck { version, fragment }
+                }
                 t => return Err(perr(format!("unknown reply tag {t:#04x}"))),
             };
             r.finish()?;
@@ -1577,6 +1887,10 @@ mod tests {
             latency_mean_us: 60,
             latency_count: 9,
             profiled_queries: 4,
+            replica_retries: 6,
+            failovers: 2,
+            nodes_excluded: 1,
+            heartbeats_missed: 5,
             ops: OpSnapshot {
                 comparisons: 1,
                 hashes: 2,
@@ -1611,6 +1925,10 @@ mod tests {
                 assert_eq!(s.latency_mean_us, 13);
                 assert_eq!(s.latency_count, 0, "unknown to the old server");
                 assert_eq!(s.profiled_queries, 0, "unknown to the old server");
+                assert_eq!(s.replica_retries, 0, "unknown to the old server");
+                assert_eq!(s.failovers, 0, "unknown to the old server");
+                assert_eq!(s.nodes_excluded, 0, "unknown to the old server");
+                assert_eq!(s.heartbeats_missed, 0, "unknown to the old server");
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -1622,8 +1940,8 @@ mod tests {
     #[test]
     fn future_stats_frame_with_extra_counters_decodes() {
         let mut frame = vec![STATUS_OK, REPLY_STATS_V2];
-        frame.extend_from_slice(&20u16.to_le_bytes());
-        for v in 1..=20u64 {
+        frame.extend_from_slice(&24u16.to_le_bytes());
+        for v in 1..=24u64 {
             frame.extend_from_slice(&v.to_le_bytes());
         }
         let ops = OpSnapshot {
@@ -1638,7 +1956,34 @@ mod tests {
                 assert_eq!(s.queries, 1);
                 assert_eq!(s.latency_count, 14);
                 assert_eq!(s.profiled_queries, 15);
+                assert_eq!(s.replica_retries, 16);
+                assert_eq!(s.failovers, 17);
+                assert_eq!(s.nodes_excluded, 18);
+                assert_eq!(s.heartbeats_missed, 19);
                 assert_eq!(s.ops, ops, "ops block read after skipping extras");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    /// A stats frame from a PR 4-era peer — versioned tag, 15 counters,
+    /// predating the replication counters — still decodes; the four
+    /// robustness counters it has never heard of read as zero.
+    #[test]
+    fn pre_replication_stats_frame_decodes_with_robustness_counters_zero() {
+        let mut frame = vec![STATUS_OK, REPLY_STATS_V2];
+        frame.extend_from_slice(&15u16.to_le_bytes());
+        for v in 1..=15u64 {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        put_ops(&mut frame, &OpSnapshot::default());
+        match decode_response(&frame).unwrap().unwrap() {
+            Reply::Stats(s) => {
+                assert_eq!(s.profiled_queries, 15, "last counter the peer knows");
+                assert_eq!(s.replica_retries, 0);
+                assert_eq!(s.failovers, 0);
+                assert_eq!(s.nodes_excluded, 0);
+                assert_eq!(s.heartbeats_missed, 0);
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -1839,23 +2184,27 @@ mod tests {
                 shard_keys: vec![0],
                 schema: schema2(),
                 tuples: vec![ints(&[1, 10]), ints(&[5, 50])],
+                epoch: Some(3),
             }),
             Request::Repartition(RepartitionRequest {
                 name: "transcript".into(),
                 keys: vec![1],
                 parts: 4,
                 filter: None,
+                epoch: None,
             }),
             Request::Repartition(RepartitionRequest {
                 name: "transcript".into(),
                 keys: vec![1],
                 parts: 3,
                 filter: Some(sample_filter()),
+                epoch: Some(9),
             }),
             Request::BuildFilter {
                 name: "courses".into(),
                 keys: vec![0],
                 bits: 1024,
+                epoch: Some(1),
             },
             Request::DividePartial {
                 tag: 7,
@@ -1872,7 +2221,33 @@ mod tests {
                     distribute: None,
                     restricted: Some(true),
                 },
+                epoch: Some(12),
             },
+            Request::Heartbeat,
+            Request::ClusterEpoch(EpochRequest::Get),
+            Request::ClusterEpoch(EpochRequest::Set {
+                epoch: 5,
+                members: vec!["127.0.0.1:7181".into(), "127.0.0.1:7182".into()],
+                replication: 2,
+            }),
+            Request::ReplicaWrite(ReplicaWriteRequest {
+                name: "transcript".into(),
+                fragment: 1,
+                of: 3,
+                shard_keys: vec![0],
+                schema: schema2(),
+                tuples: vec![ints(&[4, 40])],
+                epoch: Some(5),
+            }),
+            Request::ReplicaWrite(ReplicaWriteRequest {
+                name: "transcript".into(),
+                fragment: 0,
+                of: 2,
+                shard_keys: vec![],
+                schema: schema2(),
+                tuples: vec![],
+                epoch: None,
+            }),
             Request::ExecPlan(ExecPlanRequest {
                 plan: "(divide (on course-no) (scan transcript) \
                        (project (course-no) (filter (contains title \"database\") \
@@ -1988,10 +2363,31 @@ mod tests {
                 latency_mean_us: 120,
                 latency_count: 10,
                 profiled_queries: 3,
+                replica_retries: 8,
+                failovers: 4,
+                nodes_excluded: 2,
+                heartbeats_missed: 6,
                 ops: OpSnapshot::default(),
             })),
             Ok(Reply::ShuttingDown),
             Ok(Reply::Sharded { version: 99 }),
+            Ok(Reply::HeartbeatAck {
+                epoch: 7,
+                accepting: true,
+            }),
+            Ok(Reply::HeartbeatAck {
+                epoch: 0,
+                accepting: false,
+            }),
+            Ok(Reply::Epoch {
+                epoch: 4,
+                members: vec!["127.0.0.1:7181".into(), "127.0.0.1:7182".into()],
+                replication: 2,
+            }),
+            Ok(Reply::ReplicaAck {
+                version: 12,
+                fragment: 3,
+            }),
             Ok(Reply::Repartitioned {
                 schema: schema2(),
                 buckets: vec![
@@ -2073,6 +2469,9 @@ mod tests {
             Err(ServiceError::UnknownRelation(
                 "unknown relation \"x\"".into(),
             )),
+            Err(ServiceError::StaleEpoch(
+                "request epoch 2, node epoch 5".into(),
+            )),
         ];
         for resp in responses {
             let bytes = encode_response(&resp).unwrap();
@@ -2150,9 +2549,26 @@ mod tests {
                 shard_keys: vec![0],
                 schema: schema2(),
                 tuples: vec![],
+                epoch: None,
             });
             protocol_err(req.encode().map(|_| Request::Ping));
             let mut frame = vec![OP_SHARD];
+            put_str(&mut frame, "r").unwrap();
+            frame.extend_from_slice(&shard.to_le_bytes());
+            frame.extend_from_slice(&of.to_le_bytes());
+            protocol_err(Request::decode(&frame));
+            // The replica-write frame enforces the same placement bounds.
+            let req = Request::ReplicaWrite(ReplicaWriteRequest {
+                name: "r".into(),
+                fragment: shard,
+                of,
+                shard_keys: vec![0],
+                schema: schema2(),
+                tuples: vec![],
+                epoch: Some(1),
+            });
+            protocol_err(req.encode().map(|_| Request::Ping));
+            let mut frame = vec![OP_REPLICA_WRITE];
             put_str(&mut frame, "r").unwrap();
             frame.extend_from_slice(&shard.to_le_bytes());
             frame.extend_from_slice(&of.to_le_bytes());
@@ -2165,6 +2581,7 @@ mod tests {
                 keys: vec![0],
                 parts,
                 filter: None,
+                epoch: None,
             });
             protocol_err(req.encode().map(|_| Request::Ping));
             let mut frame = vec![OP_REPARTITION];
@@ -2202,6 +2619,7 @@ mod tests {
                 name: "r".into(),
                 keys: vec![0],
                 bits,
+                epoch: None,
             };
             protocol_err(req.encode().map(|_| Request::Ping));
             let mut frame = vec![OP_BUILD_FILTER];
@@ -2246,6 +2664,132 @@ mod tests {
             encode_response(&Ok(oversized_reply)),
             Err(ServiceError::Protocol(_))
         ));
+        // Membership geometry: zero members, too many members, and a
+        // replication factor of 0 or above the member count — on both
+        // the epoch request and the epoch reply, encode and decode.
+        let bad_memberships: Vec<(Vec<String>, u16)> = vec![
+            (vec![], 1),
+            (vec!["a".into(); MAX_CLUSTER_NODES + 1], 1),
+            (vec!["a".into(), "b".into()], 0),
+            (vec!["a".into(), "b".into()], 3),
+        ];
+        for (members, replication) in bad_memberships {
+            let req = Request::ClusterEpoch(EpochRequest::Set {
+                epoch: 1,
+                members: members.clone(),
+                replication,
+            });
+            protocol_err(req.encode().map(|_| Request::Ping));
+            let reply = Reply::Epoch {
+                epoch: 1,
+                members: members.clone(),
+                replication,
+            };
+            assert!(matches!(
+                encode_response(&Ok(reply)),
+                Err(ServiceError::Protocol(_))
+            ));
+            // Hand-built hostile frames for the decode side. Member
+            // counts above the u16 wire cannot be expressed, so only the
+            // in-range hostile values are built by hand.
+            if members.len() <= u16::MAX as usize {
+                let mut frame = vec![OP_CLUSTER_EPOCH, 1];
+                frame.extend_from_slice(&1u64.to_le_bytes());
+                frame.extend_from_slice(&(members.len() as u16).to_le_bytes());
+                for m in &members {
+                    put_str(&mut frame, m).unwrap();
+                }
+                frame.extend_from_slice(&replication.to_le_bytes());
+                protocol_err(Request::decode(&frame));
+            }
+        }
+        // A hostile member count claiming more than MAX_CLUSTER_NODES is
+        // refused before any per-member allocation.
+        let mut frame = vec![OP_CLUSTER_EPOCH, 1];
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.extend_from_slice(&(MAX_CLUSTER_NODES as u16 + 1).to_le_bytes());
+        protocol_err(Request::decode(&frame));
+    }
+
+    /// The trailing epoch extension on the cluster data-plane frames is
+    /// optional both ways: a frame cut before it (a pre-replication
+    /// peer) decodes with `epoch: None`, and an explicit absent tag
+    /// round-trips. Unknown tags are typed protocol errors.
+    #[test]
+    fn epoch_extension_is_optional_on_the_wire() {
+        let req = Request::Shard(ShardRequest {
+            name: "r".into(),
+            shard: 0,
+            of: 2,
+            shard_keys: vec![0],
+            schema: schema2(),
+            tuples: vec![ints(&[1, 2])],
+            epoch: Some(42),
+        });
+        let bytes = req.encode().unwrap();
+        // The extension is 9 trailing bytes: presence tag + u64 epoch.
+        match Request::decode(&bytes[..bytes.len() - 9]).unwrap() {
+            Request::Shard(s) => assert_eq!(s.epoch, None, "cut frame decodes epochless"),
+            other => panic!("expected shard, got {other:?}"),
+        }
+        match Request::decode(&bytes).unwrap() {
+            Request::Shard(s) => assert_eq!(s.epoch, Some(42)),
+            other => panic!("expected shard, got {other:?}"),
+        }
+        let mut mutated = bytes.clone();
+        let tag_at = bytes.len() - 9;
+        mutated[tag_at] = 7;
+        mutated.truncate(tag_at + 1);
+        assert!(matches!(
+            Request::decode(&mutated),
+            Err(ServiceError::Protocol(_))
+        ));
+        // Same for a divide-partial frame, whose body already ends in
+        // three older trailing extensions — the epoch stacks after them.
+        let req = Request::DividePartial {
+            tag: 1,
+            query: DivideRequest {
+                dividend: "r".into(),
+                divisor: "s".into(),
+                algorithm: None,
+                assume_unique: false,
+                spec: None,
+                deadline_ms: None,
+                profile: false,
+                distribute: None,
+                restricted: None,
+            },
+            epoch: Some(3),
+        };
+        let bytes = req.encode().unwrap();
+        match Request::decode(&bytes[..bytes.len() - 9]).unwrap() {
+            Request::DividePartial { epoch, .. } => assert_eq!(epoch, None),
+            other => panic!("expected divide-partial, got {other:?}"),
+        }
+        match Request::decode(&bytes).unwrap() {
+            Request::DividePartial { epoch, query, .. } => {
+                assert_eq!(epoch, Some(3));
+                assert_eq!(query.restricted, None, "older extensions unharmed");
+            }
+            other => panic!("expected divide-partial, got {other:?}"),
+        }
+    }
+
+    /// The stale-epoch error is typed on the wire in both directions:
+    /// code 9 encodes from the variant and decodes back to it, so a
+    /// coordinator can tell "refresh and retry" from a generic failure.
+    #[test]
+    fn stale_epoch_error_is_typed_on_the_wire() {
+        let resp: Response = Err(ServiceError::StaleEpoch(
+            "request epoch 1, node epoch 4".into(),
+        ));
+        let bytes = encode_response(&resp).unwrap();
+        match decode_response(&bytes).unwrap() {
+            Err(ServiceError::StaleEpoch(msg)) => {
+                assert!(msg.contains("node epoch 4"), "{msg}");
+            }
+            other => panic!("expected a stale-epoch error, got {other:?}"),
+        }
     }
 
     fn splitmix64(state: &mut u64) -> u64 {
@@ -2315,6 +2859,7 @@ mod tests {
                 shard_keys: vec![0, 1],
                 schema: schema2(),
                 tuples: vec![ints(&[1, 2]), ints(&[3, 4])],
+                epoch: Some(2),
             })
             .encode()
             .unwrap(),
@@ -2323,6 +2868,7 @@ mod tests {
                 keys: vec![1],
                 parts: 4,
                 filter: Some(sample_filter()),
+                epoch: Some(1),
             })
             .encode()
             .unwrap(),
@@ -2330,6 +2876,7 @@ mod tests {
                 name: "s".into(),
                 keys: vec![0],
                 bits: 2048,
+                epoch: None,
             }
             .encode()
             .unwrap(),
@@ -2346,7 +2893,28 @@ mod tests {
                     distribute: None,
                     restricted: None,
                 },
+                epoch: Some(6),
             }
+            .encode()
+            .unwrap(),
+            Request::Heartbeat.encode().unwrap(),
+            Request::ClusterEpoch(EpochRequest::Get).encode().unwrap(),
+            Request::ClusterEpoch(EpochRequest::Set {
+                epoch: 3,
+                members: vec!["127.0.0.1:7181".into(), "127.0.0.1:7182".into()],
+                replication: 2,
+            })
+            .encode()
+            .unwrap(),
+            Request::ReplicaWrite(ReplicaWriteRequest {
+                name: "r".into(),
+                fragment: 0,
+                of: 2,
+                shard_keys: vec![0],
+                schema: schema2(),
+                tuples: vec![ints(&[1, 2])],
+                epoch: Some(3),
+            })
             .encode()
             .unwrap(),
             Request::ExecPlan(ExecPlanRequest {
@@ -2426,6 +2994,22 @@ mod tests {
                     root: sample_profile_node(2),
                 }),
             })))
+            .unwrap(),
+            encode_response(&Ok(Reply::HeartbeatAck {
+                epoch: 4,
+                accepting: true,
+            }))
+            .unwrap(),
+            encode_response(&Ok(Reply::Epoch {
+                epoch: 4,
+                members: vec!["127.0.0.1:7181".into(), "127.0.0.1:7182".into()],
+                replication: 2,
+            }))
+            .unwrap(),
+            encode_response(&Ok(Reply::ReplicaAck {
+                version: 3,
+                fragment: 1,
+            }))
             .unwrap(),
         ];
         for resp in std::iter::once(&resp).chain(&cluster_replies) {

@@ -18,8 +18,10 @@ use parking_lot::{Condvar, Mutex};
 use reldiv_rel::Relation;
 
 use crate::error::ServiceError;
-use crate::proto::{self, DivideReply, PartialQuotientReply, PlanReply, Reply, Request, Response};
-use crate::service::{PlanOptions, QueryOptions, Service, ShardInfo};
+use crate::proto::{
+    self, DivideReply, EpochRequest, PartialQuotientReply, PlanReply, Reply, Request, Response,
+};
+use crate::service::{ClusterEpochState, PlanOptions, QueryOptions, Service, ShardInfo};
 
 struct Shared {
     service: Arc<Service>,
@@ -95,9 +97,11 @@ impl ServerHandle {
         self.shared.service.shutdown();
     }
 
-    /// Simulates node death: stops accepting and severs every live
-    /// connection mid-frame, so clients see a closed socket rather than
-    /// a graceful `ShuttingDown` refusal. Idempotent.
+    /// Simulates node death: stops accepting, severs every live
+    /// connection mid-frame (so clients see a closed socket rather than
+    /// a graceful `ShuttingDown` refusal), and aborts in-flight worker
+    /// executions — a killed node must stop computing, not finish its
+    /// quotients off-wire. Idempotent.
     pub fn kill(&mut self) {
         self.shared.stopping.store(true, Ordering::Release);
         *self.shared.shutdown_requested.lock() = true;
@@ -109,7 +113,7 @@ impl ServerHandle {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        self.shared.service.shutdown();
+        self.shared.service.abort();
     }
 }
 
@@ -219,8 +223,12 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 })
             })
         }
-        Request::Shard(s) => Relation::from_tuples(s.schema, s.tuples)
-            .map_err(|e| ServiceError::BadRequest(e.to_string()))
+        Request::Shard(s) => service
+            .check_epoch(s.epoch)
+            .and_then(|()| {
+                Relation::from_tuples(s.schema, s.tuples)
+                    .map_err(|e| ServiceError::BadRequest(e.to_string()))
+            })
             .and_then(|relation| {
                 service.install_shard(
                     &s.name,
@@ -234,16 +242,29 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
             })
             .map(|version| Reply::Sharded { version }),
         Request::Repartition(r) => service
-            .repartition(&r.name, &r.keys, r.parts as usize, r.filter.as_ref())
+            .check_epoch(r.epoch)
+            .and_then(|()| {
+                service.repartition(&r.name, &r.keys, r.parts as usize, r.filter.as_ref())
+            })
             .map(|(schema, buckets, filtered)| Reply::Repartitioned {
                 schema,
                 buckets,
                 filtered,
             }),
-        Request::BuildFilter { name, keys, bits } => service
-            .build_filter(&name, &keys, bits as usize)
+        Request::BuildFilter {
+            name,
+            keys,
+            bits,
+            epoch,
+        } => service
+            .check_epoch(epoch)
+            .and_then(|()| service.build_filter(&name, &keys, bits as usize))
             .map(|(filter, insertions)| Reply::Filter { filter, insertions }),
-        Request::DividePartial { tag, query: q } => {
+        Request::DividePartial {
+            tag,
+            query: q,
+            epoch,
+        } => service.check_epoch(epoch).and_then(|()| {
             let options = QueryOptions {
                 algorithm: q.algorithm,
                 assume_unique: q.assume_unique,
@@ -266,7 +287,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                     profile: r.profile,
                 })
             })
-        }
+        }),
         Request::ExecPlan(p) => {
             let options = PlanOptions {
                 deadline: p.deadline_ms.map(std::time::Duration::from_millis),
@@ -286,6 +307,62 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
             })
         }
         Request::Stats => Ok(Reply::Stats(service.stats())),
+        // Heartbeats bypass the worker queue entirely (this dispatch runs
+        // on the connection thread), so a node with a wedged pool still
+        // answers its coordinator's probes.
+        Request::Heartbeat => Ok(Reply::HeartbeatAck {
+            epoch: service.cluster_epoch().map_or(0, |s| s.epoch),
+            accepting: service.is_accepting(),
+        }),
+        Request::ClusterEpoch(EpochRequest::Get) => service
+            .cluster_epoch()
+            .ok_or_else(|| {
+                ServiceError::BadRequest("no cluster membership installed on this node".into())
+            })
+            .map(|s| Reply::Epoch {
+                epoch: s.epoch,
+                members: s.members,
+                replication: s.replication,
+            }),
+        Request::ClusterEpoch(EpochRequest::Set {
+            epoch,
+            members,
+            replication,
+        }) => service
+            .set_cluster_epoch(ClusterEpochState {
+                epoch,
+                members,
+                replication,
+            })
+            .map(|s| Reply::Epoch {
+                epoch: s.epoch,
+                members: s.members,
+                replication: s.replication,
+            }),
+        Request::ReplicaWrite(w) => service
+            .check_epoch(w.epoch)
+            .and_then(|()| {
+                Relation::from_tuples(w.schema, w.tuples)
+                    .map_err(|e| ServiceError::BadRequest(e.to_string()))
+            })
+            .and_then(|relation| {
+                // Replicas live under a reserved name keyed by fragment
+                // index, so one node can hold replicas of many fragments
+                // of the same relation without collisions.
+                service.install_shard(
+                    &format!(".replica.{}.{}", w.fragment, w.name),
+                    relation,
+                    ShardInfo {
+                        shard: w.fragment,
+                        of: w.of,
+                        shard_keys: w.shard_keys,
+                    },
+                )
+            })
+            .map(|version| Reply::ReplicaAck {
+                version,
+                fragment: w.fragment,
+            }),
         Request::Shutdown => return (Ok(Reply::ShuttingDown), true),
     };
     (response, false)

@@ -123,6 +123,21 @@ pub struct QueryOptions {
     pub restricted_divisor: Option<bool>,
 }
 
+/// The cluster membership view a coordinator pushes onto a node: the
+/// catalog epoch the node must enforce, plus the member list and
+/// replication factor behind it. Epochs are bumped on every membership
+/// change (join/remove), so a node can refuse data-plane requests from a
+/// coordinator whose routing table predates the current placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterEpochState {
+    /// Monotonically increasing catalog epoch.
+    pub epoch: u64,
+    /// Member addresses, in coordinator order (node index = position).
+    pub members: Vec<String>,
+    /// Replication factor k: each fragment lives on k nodes.
+    pub replication: u16,
+}
+
 /// Shard coordinates recorded by [`Service::install_shard`]: which slice
 /// of a hash-partitioned relation this node holds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,6 +226,11 @@ pub struct Service {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     default_deadline: Option<Duration>,
     shards: Mutex<HashMap<String, ShardInfo>>,
+    cluster_epoch: Mutex<Option<ClusterEpochState>>,
+    /// Trips every in-flight execution's cancel token ([`Service::abort`]).
+    /// Leaked so [`CancelToken`](reldiv_exec::CancelToken) stays `Copy`;
+    /// one `AtomicBool` per service lifetime.
+    abort_flag: &'static AtomicBool,
     /// Whether storage fault injection is active — if so, client
     /// restricted-divisor assertions are ignored (see
     /// [`QueryOptions::restricted_divisor`]).
@@ -223,6 +243,7 @@ impl Service {
     /// worker threads (already-spawned workers are shut down cleanly).
     pub fn start(config: ServiceConfig) -> Result<Arc<Service>> {
         let metrics = Arc::new(ServiceMetrics::new());
+        let abort_flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
         let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
@@ -231,7 +252,7 @@ impl Service {
             let worker_config = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("reldiv-worker-{i}"))
-                .spawn(move || worker_loop(worker_rx, metrics, worker_config, i));
+                .spawn(move || worker_loop(worker_rx, metrics, worker_config, i, abort_flag));
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -257,6 +278,8 @@ impl Service {
             workers: Mutex::new(workers),
             default_deadline: config.default_deadline,
             shards: Mutex::new(HashMap::new()),
+            cluster_epoch: Mutex::new(None),
+            abort_flag,
             faulty: config.storage_faults.is_some(),
         }))
     }
@@ -325,6 +348,60 @@ impl Service {
     /// [`Service::install_shard`] (a plain register clears them).
     pub fn shard_info(&self, name: &str) -> Option<ShardInfo> {
         self.shards.lock().get(name).cloned()
+    }
+
+    /// Installs the cluster membership view this node must enforce.
+    /// Epochs are monotonic: a view carrying an epoch below the installed
+    /// one is refused with [`ServiceError::StaleEpoch`] — a lagging
+    /// coordinator cannot roll the node back to a pre-rebalance
+    /// placement. Returns the installed view.
+    pub fn set_cluster_epoch(&self, state: ClusterEpochState) -> Result<ClusterEpochState> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let mut current = self.cluster_epoch.lock();
+        if let Some(installed) = current.as_ref() {
+            if state.epoch < installed.epoch {
+                return Err(ServiceError::StaleEpoch(format!(
+                    "refusing epoch {} below installed epoch {}",
+                    state.epoch, installed.epoch
+                )));
+            }
+        }
+        *current = Some(state.clone());
+        Ok(state)
+    }
+
+    /// The installed cluster membership view, if a coordinator has
+    /// pushed one.
+    pub fn cluster_epoch(&self) -> Option<ClusterEpochState> {
+        self.cluster_epoch.lock().clone()
+    }
+
+    /// Enforces the catalog epoch carried by a cluster data-plane
+    /// request. A request carrying `Some(epoch)` against a node holding
+    /// a *different* installed epoch is refused with
+    /// [`ServiceError::StaleEpoch`] in either direction: an older
+    /// request epoch means the coordinator's routing table predates the
+    /// current placement; a newer one means this node missed a
+    /// membership push and its fragments may be stale. Requests without
+    /// an epoch (older coordinators, plain clients) and nodes without an
+    /// installed view are exempt — the check only binds once both sides
+    /// speak epochs.
+    pub fn check_epoch(&self, epoch: Option<u64>) -> Result<()> {
+        let Some(requested) = epoch else {
+            return Ok(());
+        };
+        let current = self.cluster_epoch.lock();
+        match current.as_ref() {
+            Some(installed) if installed.epoch != requested => {
+                Err(ServiceError::StaleEpoch(format!(
+                    "request epoch {requested} vs node epoch {}",
+                    installed.epoch
+                )))
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Hash-partitions the stored relation's local tuples on `keys` into
@@ -767,6 +844,16 @@ impl Service {
     /// Whether the service still accepts work.
     pub fn is_accepting(&self) -> bool {
         self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Hard stop, simulating node death: trips the abort flag so every
+    /// in-flight execution cancels at its next checkpoint, then shuts
+    /// down. Unlike [`Service::shutdown`], admitted queries do *not* run
+    /// to completion — a killed node must stop writing spill pages, not
+    /// finish its quotients. Idempotent.
+    pub fn abort(&self) {
+        self.abort_flag.store(true, Ordering::Release);
+        self.shutdown();
     }
 
     /// Graceful shutdown: refuses new queries, then waits for every

@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -86,10 +86,15 @@ struct WorkerState {
     storage: StorageRef,
     files: HashMap<String, (u64, FileId)>,
     fail_point: Option<String>,
+    /// The service-wide abort flag (`Service::abort`): every execution's
+    /// cancel token carries it, so a hard kill cancels in-flight queries
+    /// at their next checkpoint instead of letting them keep writing
+    /// spill pages.
+    abort: &'static AtomicBool,
 }
 
 impl WorkerState {
-    fn new(config: &ServiceConfig, index: usize) -> WorkerState {
+    fn new(config: &ServiceConfig, index: usize, abort: &'static AtomicBool) -> WorkerState {
         let storage = StorageManager::shared(config.storage.clone());
         if let Some(plan) = &config.storage_faults {
             // Derive an independent fault stream per worker so the pool
@@ -103,6 +108,7 @@ impl WorkerState {
             storage,
             files: HashMap::new(),
             fail_point: config.fail_point_relation.clone(),
+            abort,
         }
     }
 
@@ -158,7 +164,12 @@ impl WorkerState {
                 CancelToken::at(deadline)
             }
             None => CancelToken::none(),
-        };
+        }
+        .with_abort(self.abort);
+        if self.abort.load(Ordering::Relaxed) {
+            // Killed while the job sat in the queue: refuse outright.
+            return Err(ServiceError::ShuttingDown);
+        }
         if let Some(dist) = job.distribute {
             return execute_distributed(job, dist, metrics);
         }
@@ -240,7 +251,11 @@ impl WorkerState {
                 CancelToken::at(deadline)
             }
             None => CancelToken::none(),
-        };
+        }
+        .with_abort(self.abort);
+        if self.abort.load(Ordering::Relaxed) {
+            return Err(ServiceError::ShuttingDown);
+        }
         let sink = job.profile.then(ProfileSink::new);
         let opts = ExecOptions {
             storage: self.storage.clone(),
@@ -384,14 +399,15 @@ pub(crate) fn worker_loop(
     metrics: Arc<ServiceMetrics>,
     config: ServiceConfig,
     index: usize,
+    abort: &'static AtomicBool,
 ) {
-    let mut state = WorkerState::new(&config, index);
+    let mut state = WorkerState::new(&config, index, abort);
     // On a panic the storage manager may be mid-operation; rebuild the
     // worker's state from scratch rather than trust it. A client that
     // gave up on the reply channel is not an error.
     let panicked = |state: &mut WorkerState| {
         metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-        *state = WorkerState::new(&config, index);
+        *state = WorkerState::new(&config, index, abort);
         ServiceError::Internal(
             "worker panicked while executing the query; the worker was replaced".into(),
         )

@@ -1,0 +1,169 @@
+//! Regression: `ServerHandle::kill()` must abort *in-flight* worker
+//! executions, not just sever the sockets. Before the fix, kill()
+//! severed connections but the workers kept computing the quotient
+//! off-wire to completion — a "dead" node that keeps writing spill
+//! pages, and a kill() that blocks for the rest of the query.
+//!
+//! The observable: kill() joins the worker pool, so if the in-flight
+//! query is not cancelled at its next checkpoint, kill() takes about as
+//! long as the query's remaining runtime. With the abort flag wired
+//! through, kill() returns in checkpoint time.
+
+use std::time::{Duration, Instant};
+
+use reldiv_core::Algorithm;
+use reldiv_service::{
+    DivideRequest, DivisionClient, ServerHandle, Service, ServiceConfig, TcpClient,
+};
+use reldiv_workload::WorkloadSpec;
+
+fn request() -> DivideRequest {
+    DivideRequest {
+        dividend: "r".into(),
+        divisor: "s".into(),
+        // Naive division: the slowest algorithm in the repertoire, so a
+        // mid-flight kill has the most runtime left to cut short.
+        algorithm: Some(Algorithm::Naive),
+        assume_unique: false,
+        spec: None,
+        deadline_ms: None,
+        profile: false,
+        distribute: None,
+        restricted: None,
+    }
+}
+
+#[test]
+fn kill_aborts_in_flight_worker_executions() {
+    // Scale the workload until the baseline query is slow enough that
+    // "kill returned quickly" and "kill waited for the query" are
+    // unmistakably different, whatever machine runs this.
+    let mut baseline = Duration::ZERO;
+    let mut workload = None;
+    for quotient_size in [2_000u64, 8_000, 32_000] {
+        let w = WorkloadSpec {
+            divisor_size: 48,
+            quotient_size,
+            noise_per_group: 4,
+            ..WorkloadSpec::default()
+        }
+        .generate(113);
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let mut server = ServerHandle::start(service, "127.0.0.1:0").expect("bind");
+        let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+        client.register("r", &w.dividend).expect("register r");
+        client.register("s", &w.divisor).expect("register s");
+        let started = Instant::now();
+        client.divide(&request()).expect("healthy baseline query");
+        baseline = started.elapsed();
+        server.shutdown();
+        if baseline >= Duration::from_millis(400) {
+            workload = Some(w);
+            break;
+        }
+    }
+    let w = workload.unwrap_or_else(|| {
+        panic!("even the largest workload ran in {baseline:?}; cannot calibrate")
+    });
+
+    // Fresh server, same workload. Launch the same query and kill the
+    // server while it is mid-execution. The timing bound is retried: a
+    // loaded machine can deschedule the worker past its checkpoint, but
+    // an *un-aborted* execution blocks kill() for the residual ~3/4 of
+    // the baseline on every attempt, so three slow attempts in a row
+    // mean the regression, not the scheduler.
+    let mut last = Duration::ZERO;
+    for attempt in 1..=3 {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let mut server = ServerHandle::start(service, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut client = TcpClient::connect(addr).expect("connect");
+        client.register("r", &w.dividend).expect("register r");
+        client.register("s", &w.divisor).expect("register s");
+
+        let query = std::thread::spawn(move || {
+            let mut client = TcpClient::connect(addr).expect("connect query client");
+            client.divide(&request())
+        });
+        // Let the query get well into execution, but nowhere near done.
+        std::thread::sleep(baseline / 4);
+
+        let killed_at = Instant::now();
+        server.kill();
+        let kill_took = killed_at.elapsed();
+
+        // The in-flight client saw the connection die, not a completed
+        // quotient — asserted on every attempt.
+        let outcome = query.join().expect("query thread");
+        assert!(
+            outcome.is_err(),
+            "a killed node must not deliver the quotient"
+        );
+        // The regression assertion: kill() returned in checkpoint time,
+        // not in remaining-query time.
+        if kill_took < baseline / 2 {
+            return;
+        }
+        eprintln!("attempt {attempt}: kill() took {kill_took:?} against a {baseline:?} query");
+        last = kill_took;
+    }
+    panic!(
+        "kill() took {last:?} against a {baseline:?} query on every attempt — \
+         the in-flight execution was not aborted"
+    );
+}
+
+#[test]
+fn kill_refuses_queued_but_unstarted_work() {
+    // A query still sitting in the admission queue when kill() lands
+    // must be refused at the checkpoint before execution starts — the
+    // abort flag is checked on dequeue, too.
+    let w = WorkloadSpec {
+        divisor_size: 32,
+        quotient_size: 4_000,
+        noise_per_group: 4,
+        ..WorkloadSpec::default()
+    }
+    .generate(127);
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 8,
+        ..ServiceConfig::default()
+    })
+    .expect("start service");
+    let mut server = ServerHandle::start(service, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut client = TcpClient::connect(addr).expect("connect");
+    client.register("r", &w.dividend).expect("register r");
+    client.register("s", &w.divisor).expect("register s");
+
+    // One worker: the first query occupies it, the rest queue behind.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                client.divide(&request())
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let killed_at = Instant::now();
+    server.kill();
+    let kill_took = killed_at.elapsed();
+    for handle in clients {
+        let outcome = handle.join().expect("client thread");
+        assert!(outcome.is_err(), "killed node must not answer");
+    }
+    assert!(
+        kill_took < Duration::from_secs(10),
+        "kill() with a full queue took {kill_took:?}; queued work must be refused, not run"
+    );
+}
