@@ -13,7 +13,10 @@
 //! name and never need rewriting.
 
 /// The catalog-name prefix under which replica copies are stored.
-pub const REPLICA_PREFIX: &str = ".replica.";
+/// Re-exported from `reldiv-service`, which owns the rule (its
+/// `ReplicaWrite` dispatch installs under the same name this module
+/// rewrites failover requests to).
+pub use reldiv_service::proto::REPLICA_PREFIX;
 
 /// The catalog-name prefix of full divisor replicas (quotient
 /// partitioning); these live on every node under the same name and are
@@ -34,7 +37,7 @@ pub fn placement(fragment: usize, nodes: usize, k: usize) -> Vec<usize> {
 /// The catalog name a *replica* copy of `base`'s `fragment` is stored
 /// under.
 pub fn replica_name(fragment: usize, base: &str) -> String {
-    format!("{REPLICA_PREFIX}{fragment}.{base}")
+    reldiv_service::proto::replica_name(fragment, base)
 }
 
 /// The catalog name node `node` stores `fragment` of `base` under: the

@@ -130,6 +130,12 @@ pub struct ShardedRelation {
     /// the failover candidates for reads and sub-queries on that
     /// fragment.
     pub holders: Vec<Vec<usize>>,
+    /// Tuples dropped at the sending sites when this relation was built
+    /// by a repartition (bit-vector filter plus non-participating
+    /// buckets). Zero for base relations. Reported again on every cache
+    /// hit so repeated queries account for the tuples the cached temp
+    /// excludes.
+    pub filtered_at_build: u64,
 }
 
 /// Robustness counters accumulated by the coordinator across its
@@ -227,6 +233,14 @@ struct WriteItem {
     fragment: usize,
     node: usize,
     request: Request,
+}
+
+/// A failed write settlement: the error to surface, plus whether any
+/// node acknowledged (and therefore already installed) part of the
+/// write — the caller's catalog entry then describes a mixed state.
+struct WriteFailure {
+    error: ClusterError,
+    any_acks: bool,
 }
 
 /// The cluster coordinator: replicated sharded catalog + strategy
@@ -425,7 +439,25 @@ impl Coordinator {
                 });
             }
         }
-        let (holders, versions) = self.settle_writes(items, n, k)?;
+        let (holders, versions) = match self.settle_writes(items, n, k) {
+            Ok(settled) => settled,
+            Err(WriteFailure { error, any_acks }) => {
+                // Nodes that did ack have already replaced their copy
+                // with the new version while others kept the old one;
+                // the existing catalog entry then describes no
+                // consistent placement. Drop it (and everything derived
+                // from it) so the next query fails fast with an unknown
+                // relation instead of silently mixing versions. With
+                // zero acks (every node refused — e.g. a StaleEpoch
+                // rejection of the whole fan-out) nothing was installed
+                // and the old entry is still good.
+                if any_acks {
+                    self.catalog.remove(name);
+                    self.forget_derivations_of(name);
+                }
+                return Err(error);
+            }
+        };
         self.next_stamp += 1;
         self.catalog.insert(
             name.to_owned(),
@@ -437,13 +469,11 @@ impl Coordinator {
                 per_node,
                 stamp: self.next_stamp,
                 holders,
+                filtered_at_build: 0,
             },
         );
         // Anything derived from the old version is stale.
-        let prefix_repl = format!(".repl.{name}.");
-        let prefix_part = format!(".part.{name}.");
-        self.installed.retain(|(_, t)| !t.starts_with(&prefix_repl));
-        self.catalog.retain(|t, _| !t.starts_with(&prefix_part));
+        self.forget_derivations_of(name);
         Ok(())
     }
 
@@ -557,7 +587,11 @@ impl Coordinator {
 
     /// Probes every node with a heartbeat and folds the answers into the
     /// health state machine: a miss turns the node Suspect (and counts
-    /// toward flap exclusion), an answer restores a Suspect node.
+    /// toward flap exclusion), an answer restores a Suspect node. A link
+    /// dirtied by an earlier failure re-dials before the probe
+    /// ([`NodeLink::call`] on a dirty link reconnects first), so a node
+    /// that died and came back *can* answer and be restored — the probe
+    /// is never wedged on the dead socket.
     /// Returns each node's `(epoch, accepting)` or `None` for a miss.
     pub fn heartbeat(&mut self) -> Vec<Option<(u64, bool)>> {
         let limit = self.policy.flap_limit;
@@ -778,6 +812,16 @@ impl Coordinator {
     fn forget_derived(&mut self) {
         self.installed.clear();
         self.catalog.retain(|name, _| !name.starts_with(".part."));
+    }
+
+    /// Forgets the derived temporaries and cached divisor replicas of
+    /// one relation: anything built from a version that is being (or
+    /// failed to be) replaced is stale.
+    fn forget_derivations_of(&mut self, name: &str) {
+        let prefix_repl = format!(".repl.{name}.");
+        let prefix_part = format!(".part.{name}.");
+        self.installed.retain(|(_, t)| !t.starts_with(&prefix_repl));
+        self.catalog.retain(|t, _| !t.starts_with(&prefix_part));
     }
 
     // -----------------------------------------------------------------
@@ -1084,21 +1128,24 @@ impl Coordinator {
     /// at least one acknowledgment (else the fragment is lost and the
     /// write fails, `StaleEpoch` preferred). Returns each fragment's
     /// acknowledging holders in placement order (primary first) and the
-    /// per-node catalog versions.
+    /// per-node catalog versions; a failure reports whether any node
+    /// acked, so the caller knows if the cluster is in a mixed state.
     fn settle_writes(
         &mut self,
         items: Vec<WriteItem>,
         fragments: usize,
         k: usize,
-    ) -> Result<(Vec<Vec<usize>>, Vec<u64>)> {
+    ) -> std::result::Result<(Vec<Vec<usize>>, Vec<u64>), WriteFailure> {
         let n = self.links.len();
         let mut holders: Vec<Vec<usize>> = vec![Vec::new(); fragments];
         let mut versions = vec![0u64; n];
         let mut stale: Option<ClusterError> = None;
         let mut frag_err: Vec<Option<ClusterError>> = (0..fragments).map(|_| None).collect();
+        let mut any_acks = false;
         for (fragment, node, result) in self.fan_out_writes(items) {
             match result {
                 Ok(Reply::Sharded { version }) | Ok(Reply::ReplicaAck { version, .. }) => {
+                    any_acks = true;
                     holders[fragment].push(node);
                     versions[node] = version;
                 }
@@ -1113,12 +1160,13 @@ impl Coordinator {
                 }
             }
         }
-        if let Some(e) = stale {
-            return Err(e);
+        if let Some(error) = stale {
+            return Err(WriteFailure { error, any_acks });
         }
         for (fragment, holder_set) in holders.iter_mut().enumerate() {
             if holder_set.is_empty() && frag_err[fragment].is_some() {
-                return Err(frag_err[fragment].take().expect("checked above"));
+                let error = frag_err[fragment].take().expect("checked above");
+                return Err(WriteFailure { error, any_acks });
             }
             let order = catalog::placement(fragment, n, k);
             holder_set
@@ -1279,7 +1327,10 @@ impl Coordinator {
                 .iter()
                 .all(|&f| !existing.holders[f].is_empty())
             {
-                return Ok((temp, 0));
+                // The cached temp was built by dropping tuples at the
+                // senders; a query served from it excludes them just the
+                // same, so report the build-time count, not zero.
+                return Ok((temp, existing.filtered_at_build));
             }
         }
         // Phase 1: each fragment is bucketed by one of its holders
@@ -1376,7 +1427,12 @@ impl Coordinator {
                 });
             }
         }
-        let (mut holders, versions) = self.settle_writes(items, nodes, k)?;
+        // A partial failure needs no catalog cleanup here: the temp is
+        // only recorded on success, and a retry rewrites every fragment
+        // under the same name.
+        let (mut holders, versions) = self
+            .settle_writes(items, nodes, k)
+            .map_err(|f| f.error)?;
         // A fragment that got no write at all (non-participating) keeps
         // an empty holder list — it never serves requests.
         for (j, h) in holders.iter_mut().enumerate() {
@@ -1398,6 +1454,7 @@ impl Coordinator {
                 per_node,
                 stamp: self.next_stamp,
                 holders,
+                filtered_at_build: filtered,
             },
         );
         Ok((temp, filtered))

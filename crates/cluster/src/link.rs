@@ -14,6 +14,13 @@
 //! from a mid-stream sever (node died *during* it), and a link can be
 //! [`reconnect`](NodeLink::reconnect)ed in place for a retry without
 //! losing its traffic counters.
+//!
+//! Any transport failure marks the link *dirty*: the socket may still
+//! carry a late reply from the failed exchange (a slow-but-alive node
+//! eventually answers a timed-out request), and reading that frame would
+//! answer a *different* request with stale data. A dirty link replaces
+//! its socket before the next call, so a stale frame can never be
+//! mistaken for the reply to the request that follows.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -76,6 +83,10 @@ pub struct NodeLink {
     addr: SocketAddr,
     read_timeout: Option<Duration>,
     stream: TcpStream,
+    /// A transport failure left the stream in an unknown position (a
+    /// late reply may still arrive on it); the next call must reconnect
+    /// before trusting anything it reads.
+    dirty: bool,
     stats: LinkStats,
 }
 
@@ -101,6 +112,7 @@ impl NodeLink {
             addr,
             read_timeout,
             stream,
+            dirty: false,
             stats: LinkStats::default(),
         })
     }
@@ -125,6 +137,12 @@ impl NodeLink {
         self.read_timeout
     }
 
+    /// Whether a transport failure left the stream untrustworthy, so the
+    /// next [`call`](NodeLink::call) will reconnect before sending.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
     /// Renumbers the link after a membership change (node indices are
     /// positional; removing a node shifts everything after it).
     pub(crate) fn renumber(&mut self, node: usize) {
@@ -137,7 +155,11 @@ impl NodeLink {
     /// Traffic counters survive the reconnect — they describe the link,
     /// not one socket.
     pub fn reconnect(&mut self) -> Result<()> {
+        // Stay dirty until the fresh socket is actually in place — a
+        // failed dial must not launder a stream with a stale reply on it.
+        self.dirty = true;
         self.stream = open_stream(self.node, self.addr, self.read_timeout)?;
+        self.dirty = false;
         Ok(())
     }
 
@@ -153,26 +175,48 @@ impl NodeLink {
         let payload = request
             .encode()
             .map_err(|e| ClusterError::BadRequest(format!("encoding request: {e}")))?;
-        proto::write_frame(&mut self.stream, &payload)
-            .map_err(|e| fail(classify_io(&e), format!("send: {e}")))?;
+        // A previous transport failure may have left a late reply in
+        // flight on this socket; reading it would answer *this* request
+        // with a stale frame. Replace the socket first.
+        if self.dirty {
+            self.reconnect()?;
+        }
+        if let Err(e) = proto::write_frame(&mut self.stream, &payload) {
+            self.dirty = true;
+            return Err(fail(classify_io(&e), format!("send: {e}")));
+        }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += payload.len() as u64 + 4;
-        let frame = read_reply_frame(&mut self.stream).map_err(|e| {
-            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
-                fail(FailureKind::Timeout, "reply timed out".into())
-            } else {
-                fail(classify_io(&e), format!("receive: {e}"))
+        let frame = match read_reply_frame(&mut self.stream) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.dirty = true;
+                return Err(
+                    if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+                    {
+                        fail(FailureKind::Timeout, "reply timed out".into())
+                    } else {
+                        fail(classify_io(&e), format!("receive: {e}"))
+                    },
+                );
             }
-        })?;
+        };
         // EOF where a reply frame was due: the node died mid-request.
-        let frame =
-            frame.ok_or_else(|| fail(FailureKind::Severed, "node closed the connection".into()))?;
+        let Some(frame) = frame else {
+            self.dirty = true;
+            return Err(fail(FailureKind::Severed, "node closed the connection".into()));
+        };
         self.stats.messages_received += 1;
         self.stats.bytes_received += frame.len() as u64 + 4;
         match proto::decode_response(&frame) {
             Ok(Ok(reply)) => Ok(reply),
             Ok(Err(error)) => Err(ClusterError::Node { node, error }),
-            Err(e) => Err(fail(FailureKind::Other, format!("unparseable reply: {e}"))),
+            Err(e) => {
+                // The stream is positioned after bytes we could not make
+                // sense of; nothing that follows can be trusted either.
+                self.dirty = true;
+                Err(fail(FailureKind::Other, format!("unparseable reply: {e}")))
+            }
         }
     }
 }
@@ -194,4 +238,71 @@ fn open_stream(node: usize, addr: SocketAddr, read_timeout: Option<Duration>) ->
 /// Reads one reply frame, distinguishing clean EOF (`None`).
 fn read_reply_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
     proto::read_frame(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Regression: a read timeout on a slow-but-alive node leaves its
+    /// late reply in flight on the old socket. The next call on the link
+    /// — possibly for a different request, from a different fragment
+    /// thread — must not read that stale frame as its answer.
+    #[test]
+    fn a_timed_out_link_discards_the_late_reply_instead_of_serving_it() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // Connection 1: answer the probe late — after the client's
+            // read deadline — with a distinguishable payload (epoch 1).
+            let (mut c1, _) = listener.accept().expect("accept 1");
+            let _ = proto::read_frame(&mut c1).expect("read 1");
+            std::thread::sleep(Duration::from_millis(120));
+            let late = proto::encode_response(&Ok(Reply::HeartbeatAck {
+                epoch: 1,
+                accepting: true,
+            }))
+            .expect("encode late");
+            let _ = proto::write_frame(&mut c1, &late);
+            // Connection 2 (the reconnect): answer promptly with epoch 2.
+            let (mut c2, _) = listener.accept().expect("accept 2");
+            let _ = proto::read_frame(&mut c2).expect("read 2");
+            let fresh = proto::encode_response(&Ok(Reply::HeartbeatAck {
+                epoch: 2,
+                accepting: true,
+            }))
+            .expect("encode fresh");
+            let _ = proto::write_frame(&mut c2, &fresh);
+            // Keep c1 alive until the end so its stale frame stays
+            // readable the whole time.
+            drop(c1);
+        });
+
+        let mut link =
+            NodeLink::connect(0, addr, Some(Duration::from_millis(30))).expect("connect");
+        let err = link.call(&Request::Heartbeat).expect_err("must time out");
+        assert!(
+            matches!(
+                err,
+                ClusterError::NodeFailed {
+                    kind: FailureKind::Timeout,
+                    ..
+                }
+            ),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(link.is_dirty(), "a timeout must mark the link dirty");
+
+        // Let the late reply land in the old socket's receive buffer.
+        std::thread::sleep(Duration::from_millis(150));
+        match link.call(&Request::Heartbeat).expect("fresh call succeeds") {
+            Reply::HeartbeatAck { epoch, .. } => {
+                assert_eq!(epoch, 2, "the stale epoch-1 frame must never be served");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(!link.is_dirty(), "a clean exchange clears the flag");
+        server.join().expect("server thread");
+    }
 }

@@ -292,3 +292,45 @@ fn traffic_accounting_stays_consistent_through_failures() {
         "the failed attempt's frames are still accounted"
     );
 }
+
+#[test]
+fn failed_reregistration_fails_queries_fast_instead_of_mixing_versions() {
+    // Regression: with k = 1 and a dead holder, a re-registration cannot
+    // collect an ack for the dead node's fragment — but the surviving
+    // nodes have already installed the *new* version. The old catalog
+    // entry no longer describes any consistent placement, so the
+    // coordinator must forget it: a later query gets a typed error,
+    // never a quotient silently mixing old and new fragments.
+    let spec = WorkloadSpec {
+        divisor_size: 8,
+        quotient_size: 20,
+        noise_per_group: 2,
+        ..WorkloadSpec::default()
+    };
+    let w1 = spec.clone().generate(101);
+    let w2 = spec.generate(103);
+    let mut cluster = LocalCluster::start(3).expect("start nodes");
+    let mut coord = cluster
+        .coordinator(Some(Duration::from_secs(5)))
+        .expect("connect");
+    coord.register("r", &w1.dividend, &[0]).unwrap();
+    coord.register("s", &w1.divisor, &[0]).unwrap();
+
+    cluster.kill(1);
+    coord
+        .register("r", &w2.dividend, &[0])
+        .expect_err("k = 1 cannot settle a write with a dead holder");
+    assert!(
+        coord.relation("r").is_none(),
+        "the torn entry must be forgotten, not left pointing at mixed versions"
+    );
+    let err = coord
+        .divide("r", "s", &options(Strategy::DivisorPartitioning, None))
+        .expect_err("queries on the torn relation fail fast");
+    assert!(
+        matches!(err, ClusterError::BadRequest(_)),
+        "expected an unknown-relation refusal, got {err:?}"
+    );
+    // The relation the failed write never touched is still intact.
+    assert!(coord.relation("s").is_some());
+}

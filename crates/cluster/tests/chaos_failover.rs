@@ -337,3 +337,43 @@ fn failover_reports_ride_in_the_query_report() {
     let cumulative = coord.robustness_metrics();
     assert!(cumulative.failovers >= failed_over.report.failovers);
 }
+
+#[test]
+fn a_node_that_died_and_recovered_answers_probes_again() {
+    // Regression: a probe to a dead node severs the coordinator's link;
+    // once the node comes back on the same address, the next probe must
+    // reach it on a fresh socket — "a later successful probe restores
+    // it" cannot hold if the probe stays wedged on the dead stream.
+    use reldiv_cluster::{Coordinator, Health};
+    use reldiv_service::{ServerHandle, Service, ServiceConfig};
+
+    let start_node = |addr: &str| -> ServerHandle {
+        let service = Service::start(ServiceConfig::default()).expect("service");
+        ServerHandle::start(service, addr).expect("bind")
+    };
+    let mut node0 = start_node("127.0.0.1:0");
+    let node1 = start_node("127.0.0.1:0");
+    let addrs = [node0.local_addr(), node1.local_addr()];
+    let mut coord =
+        Coordinator::connect(&addrs, Some(Duration::from_millis(500))).expect("connect");
+
+    let healthy = coord.heartbeat();
+    assert!(healthy.iter().all(Option::is_some), "all nodes answer");
+
+    node0.kill();
+    drop(node0);
+    let down = coord.heartbeat();
+    assert!(down[0].is_none(), "a dead node misses its probe");
+    assert_eq!(coord.health()[0].health, Health::Suspect);
+    assert!(down[1].is_some(), "the survivor still answers");
+
+    // Same address, fresh process.
+    let _revived = start_node(&addrs[0].to_string());
+    let back = coord.heartbeat();
+    assert!(
+        back[0].is_some(),
+        "a recovered node answers the probe on a reconnected link"
+    );
+    assert_eq!(coord.health()[0].health, Health::Healthy);
+    assert!(coord.robustness_metrics().heartbeats_missed >= 1);
+}

@@ -458,4 +458,11 @@ fn filtered_repartition_cache_is_keyed_by_divisor_identity() {
     let again = coord.divide("r", "s0", &opts).expect("repeat");
     assert_eq!(canon(&again.tuples), oracle(&w.dividend, &w2.divisor));
     assert!(again.report.bytes < third.report.bytes);
+    // A cache hit serves a temp whose tuples were pruned when it was
+    // built: the report must carry that build-time count, not zero.
+    assert!(third.report.filtered_tuples > 0, "noise must be pruned");
+    assert_eq!(
+        again.report.filtered_tuples, third.report.filtered_tuples,
+        "a cached temp reports the tuples dropped when it was built"
+    );
 }

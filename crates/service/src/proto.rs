@@ -28,6 +28,19 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// `parts` field would otherwise ask for an absurd bucket allocation.
 pub const MAX_CLUSTER_NODES: usize = 1024;
 
+/// The reserved catalog-name prefix under which replica copies of a
+/// sharded fragment are stored (see [`Request::ReplicaWrite`]).
+pub const REPLICA_PREFIX: &str = ".replica.";
+
+/// The catalog name a replica copy of `fragment` of `base` is stored
+/// under. This is the single definition of the rule: the server's
+/// `ReplicaWrite` dispatch installs under this name and a cluster
+/// coordinator rewrites failover requests to it — both sides must agree
+/// byte-for-byte or every failover read resolves to an unknown relation.
+pub fn replica_name(fragment: impl std::fmt::Display, base: &str) -> String {
+    format!("{REPLICA_PREFIX}{fragment}.{base}")
+}
+
 /// Largest bit-vector filter accepted on the wire (8 MiB of words).
 pub const MAX_FILTER_BITS: usize = 1 << 26;
 

@@ -350,7 +350,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 // index, so one node can hold replicas of many fragments
                 // of the same relation without collisions.
                 service.install_shard(
-                    &format!(".replica.{}.{}", w.fragment, w.name),
+                    &proto::replica_name(w.fragment, &w.name),
                     relation,
                     ShardInfo {
                         shard: w.fragment,
