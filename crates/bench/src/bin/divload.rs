@@ -97,6 +97,7 @@ struct Args {
     plan_mode: bool,
     kill_after: Option<u64>,
     replication: Option<usize>,
+    mem_budget: Option<u64>,
 }
 
 impl Default for Args {
@@ -120,6 +121,7 @@ impl Default for Args {
             plan_mode: false,
             kill_after: None,
             replication: None,
+            mem_budget: None,
         }
     }
 }
@@ -128,13 +130,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: divload [--queries N] [--clients N] [--workers N] [--queue N] \
          [--cache N] [--update-every N] [--seed N] [--fault-rate P] [--deadline-ms MS] \
-         [--profile]\n\
+         [--profile] [--mem-budget BYTES]\n\
          cluster mode: [--cluster N | --node HOST:PORT ...] [--strategy quotient|divisor|both] \
          [--filter-bits N] [--shutdown-nodes] [--replication K] [--kill-after N]\n\
          plan mode: --plan [--node HOST:PORT] [--queries N] ...\n\
          --fault-rate P injects transient disk faults with probability P per transfer\n\
          --deadline-ms MS applies a per-query deadline\n\
          --profile requests EXPLAIN ANALYZE span trees and prints one at the end\n\
+         --mem-budget BYTES caps each division's working memory, forcing adaptive \
+         degradation under contention (spill counters are printed at the end)\n\
          --plan drives ExecPlan with a composed-plan mix, oracle-verified per pinned version\n\
          --cluster N spawns N in-process TCP nodes and divides through the coordinator\n\
          --node HOST:PORT uses an already-running node server (repeat per node)\n\
@@ -203,6 +207,7 @@ fn parse_args() -> Args {
             "--shutdown-nodes" => parsed.shutdown_nodes = true,
             "--plan" => parsed.plan_mode = true,
             "--kill-after" => parsed.kill_after = Some(next("--kill-after")),
+            "--mem-budget" => parsed.mem_budget = Some(next("--mem-budget")),
             "--replication" => parsed.replication = Some(next("--replication") as usize),
             "--help" | "-h" => usage(),
             other => {
@@ -941,6 +946,7 @@ fn main() -> ExitCode {
             let target = args.queries;
             let seed = args.seed;
             let want_profile = args.profile;
+            let mem_budget = args.mem_budget;
             std::thread::spawn(move || {
                 let mut client = InProcClient::new(service);
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client_id as u64 * 7919));
@@ -957,6 +963,7 @@ fn main() -> ExitCode {
                         profile: want_profile,
                         distribute: None,
                         restricted: None,
+                        mem_budget,
                     };
                     match client.divide(&request) {
                         Ok(reply) => {
@@ -1049,6 +1056,12 @@ fn main() -> ExitCode {
             stats.timeouts,
             stats.io_retries,
             stats.worker_panics,
+        );
+    }
+    if args.mem_budget.is_some() {
+        println!(
+            "memory:  {} divisions degraded under the budget, {} bytes spooled to spill files",
+            stats.degraded_queries, stats.division_spill_bytes,
         );
     }
     println!(

@@ -1,0 +1,306 @@
+//! Adaptive hybrid vs. the static overflow ladder across memory budgets.
+//!
+//! For each per-query budget the sweep runs the same division twice: once
+//! with `OverflowPolicy::Adaptive` (incremental largest-victim spilling)
+//! and once emulating the pre-adaptive `Auto` ladder — divisor-partitioned
+//! rungs doubling 2..=256, then combined rungs 4..=256 — accumulating the
+//! elapsed time and spooled bytes of every abandoned rung, exactly as the
+//! static policy paid for them. Both arms are verified against the
+//! workload's brute-force quotient.
+//!
+//! ```text
+//! cargo run --release -p reldiv-bench --bin hybrid_sweep -- [--smoke] [--out BENCH_hybrid.json]
+//! ```
+//!
+//! Exits non-zero if the adaptive arm's throughput drops below the static
+//! ladder's at the 256 KB budget — the regression gate for the adaptive
+//! rung being a strict improvement where the ladder historically thrashed.
+
+use std::time::Instant;
+
+use reldiv_core::api::{divide_with_report, DivisionConfig, OverflowPolicy, Source};
+use reldiv_core::{Algorithm, DivisionSpec, HashDivisionMode};
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::StorageManager;
+use reldiv_workload::{Workload, WorkloadSpec};
+
+/// One measured arm at one budget.
+struct Arm {
+    elapsed_ms: f64,
+    spilled_bytes: u64,
+    retries: u32,
+    final_phase: String,
+}
+
+impl Arm {
+    fn throughput(&self, tuples: usize) -> f64 {
+        tuples as f64 / (self.elapsed_ms / 1000.0).max(1e-9)
+    }
+}
+
+type AttemptResult = Result<(usize, reldiv_core::DegradationReport), reldiv_exec::ExecError>;
+
+/// Runs one budgeted division. The second return is the bytes written to
+/// storage during the attempt — the inputs are memory-resident sources,
+/// so every write is spill traffic, which is how an *abandoned* rung's
+/// spools (no report survives the error) are still charged to the ladder.
+fn attempt(w: &Workload, budget: usize, policy: OverflowPolicy) -> (AttemptResult, u64) {
+    let config = StorageConfig::large();
+    let page = config.data_page_size as u64;
+    let storage = StorageManager::shared(config);
+    let spec = DivisionSpec::trailing_divisor(w.dividend.schema(), w.divisor.schema())
+        .expect("workload schemas divide");
+    let config = DivisionConfig {
+        overflow: policy,
+        mem_budget: Some(budget),
+        ..DivisionConfig::default()
+    };
+    let result = divide_with_report(
+        &storage,
+        &Source::from_relation(&w.dividend),
+        &Source::from_relation(&w.divisor),
+        &spec,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        &config,
+    )
+    .map(|(rel, report)| (rel.cardinality(), report));
+    let written = storage.borrow().io_stats().writes * page;
+    (result, written)
+}
+
+/// The adaptive arm: one run, one policy.
+fn run_adaptive(w: &Workload, budget: usize) -> Option<Arm> {
+    let start = Instant::now();
+    match attempt(w, budget, OverflowPolicy::Adaptive { fanout: 16 }).0 {
+        Ok((card, report)) => {
+            assert_eq!(card, w.expected_quotient.len(), "adaptive: wrong quotient");
+            Some(Arm {
+                elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+                spilled_bytes: report.spill_bytes + report.respool_bytes,
+                retries: report.retries,
+                final_phase: report.phases.last().cloned().unwrap_or_default(),
+            })
+        }
+        Err(e) if e.is_memory_exhausted() || e.is_recursion_limit() => None,
+        Err(e) => panic!("adaptive: unexpected error: {e}"),
+    }
+}
+
+/// The static arm: the pre-adaptive `Auto` ladder, paying for every
+/// abandoned rung (its spooled clusters included) before the one that
+/// fits.
+fn run_static(w: &Workload, budget: usize) -> Option<Arm> {
+    let mut ladder: Vec<OverflowPolicy> = Vec::new();
+    let mut k = 2usize;
+    while k <= 256 {
+        ladder.push(OverflowPolicy::DivisorPartition { partitions: k });
+        k *= 2;
+    }
+    let mut k = 4usize;
+    while k <= 256 {
+        ladder.push(OverflowPolicy::CombinedPartition {
+            divisor_partitions: k,
+            quotient_partitions: k,
+        });
+        k *= 2;
+    }
+
+    let start = Instant::now();
+    let mut spilled = 0u64;
+    let mut retries = 0u32;
+    for policy in ladder {
+        let (result, written) = attempt(w, budget, policy);
+        match result {
+            Ok((card, report)) => {
+                assert_eq!(card, w.expected_quotient.len(), "static: wrong quotient");
+                return Some(Arm {
+                    elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+                    spilled_bytes: spilled + report.spill_bytes + report.respool_bytes,
+                    retries,
+                    final_phase: report.phases.last().cloned().unwrap_or_default(),
+                });
+            }
+            Err(e) if e.is_memory_exhausted() => {
+                // An abandoned rung still wrote its clusters before the
+                // table overflowed; the ladder pays for them again on the
+                // next rung.
+                retries += 1;
+                spilled += written;
+            }
+            Err(e) => panic!("static: unexpected error: {e}"),
+        }
+    }
+    None
+}
+
+struct Row {
+    budget: usize,
+    adaptive: Option<Arm>,
+    static_ladder: Option<Arm>,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_hybrid.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A quotient table several times the mid-sweep budgets, so the static
+    // ladder has to climb while the adaptive rung spills incrementally.
+    let (q, reps) = if smoke { (4_000, 2) } else { (20_000, 3) };
+    let spec = WorkloadSpec {
+        divisor_size: 25,
+        quotient_size: q,
+        ..Default::default()
+    };
+    let w = spec.generate(0x5EED_4D1F);
+    let tuples = w.dividend.cardinality();
+    println!("workload: |S|=25, |Q|={q}, |R|={tuples}; best of {reps} reps per cell");
+
+    let budgets: &[usize] = if smoke {
+        &[64 << 10, 256 << 10, 1 << 20]
+    } else {
+        &[16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+    };
+
+    println!(
+        "{:>10} | {:>12} {:>12} {:>10} | {:>12} {:>12} {:>8} | {:>8}",
+        "budget KB",
+        "adapt tup/s",
+        "spill B",
+        "phase",
+        "static tup/s",
+        "spill B",
+        "rungs",
+        "speedup"
+    );
+    println!("{}", "-".repeat(108));
+
+    let mut rows = Vec::new();
+    for &budget in budgets {
+        let mut best_a: Option<Arm> = None;
+        let mut best_s: Option<Arm> = None;
+        for _ in 0..reps {
+            if let Some(a) = run_adaptive(&w, budget) {
+                if best_a.as_ref().is_none_or(|b| a.elapsed_ms < b.elapsed_ms) {
+                    best_a = Some(a);
+                }
+            }
+            if let Some(s) = run_static(&w, budget) {
+                if best_s.as_ref().is_none_or(|b| s.elapsed_ms < b.elapsed_ms) {
+                    best_s = Some(s);
+                }
+            }
+        }
+        let fmt = |arm: &Option<Arm>| match arm {
+            Some(a) => format!(
+                "{:>12.0} {:>12} {:>10}",
+                a.throughput(tuples),
+                a.spilled_bytes,
+                a.final_phase
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("?")
+                    .chars()
+                    .take(10)
+                    .collect::<String>()
+            ),
+            None => format!("{:>12} {:>12} {:>10}", "overflow", "-", "-"),
+        };
+        let speedup = match (&best_a, &best_s) {
+            (Some(a), Some(s)) => format!("{:>7.2}x", s.elapsed_ms / a.elapsed_ms),
+            _ => format!("{:>8}", "-"),
+        };
+        println!(
+            "{:>10} | {} | {:>12} {:>12} {:>8} | {}",
+            budget >> 10,
+            fmt(&best_a),
+            best_s.as_ref().map_or_else(
+                || "overflow".into(),
+                |s| format!("{:.0}", s.throughput(tuples))
+            ),
+            best_s
+                .as_ref()
+                .map_or_else(|| "-".into(), |s| s.spilled_bytes.to_string()),
+            best_s
+                .as_ref()
+                .map_or_else(|| "-".into(), |s| (s.retries + 1).to_string()),
+            speedup
+        );
+        rows.push(Row {
+            budget,
+            adaptive: best_a,
+            static_ladder: best_s,
+        });
+    }
+
+    // JSON out.
+    let arm_json = |arm: &Option<Arm>| {
+        match arm {
+        Some(a) => format!(
+            "{{\"throughput_tuples_per_s\": {:.1}, \"elapsed_ms\": {:.3}, \"spilled_bytes\": {}, \"retries\": {}, \"final_phase\": \"{}\"}}",
+            a.throughput(tuples),
+            a.elapsed_ms,
+            a.spilled_bytes,
+            a.retries,
+            a.final_phase
+        ),
+        None => "null".into(),
+    }
+    };
+    let mut json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"divisor_size\": 25,\n  \"quotient_size\": {q},\n  \"dividend_tuples\": {tuples},\n  \"reps\": {reps},\n  \"budgets\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"budget_bytes\": {}, \"adaptive\": {}, \"static_ladder\": {}}}{}\n",
+            r.budget,
+            arm_json(&r.adaptive),
+            arm_json(&r.static_ladder),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out}");
+
+    // Regression gate: at the 256 KB budget the adaptive rung must be at
+    // least as fast as the ladder it replaced at the top of `Auto`.
+    let gate = rows
+        .iter()
+        .find(|r| r.budget == 256 << 10)
+        .expect("sweep includes the 256 KB gate budget");
+    match (&gate.adaptive, &gate.static_ladder) {
+        (Some(a), Some(s)) => {
+            let (at, st) = (a.throughput(tuples), s.throughput(tuples));
+            if at < st {
+                eprintln!(
+                    "GATE FAIL: adaptive {at:.0} tup/s < static ladder {st:.0} tup/s at 256 KB"
+                );
+                std::process::exit(1);
+            }
+            println!("gate: adaptive {at:.0} tup/s >= static ladder {st:.0} tup/s at 256 KB");
+        }
+        (None, _) => {
+            eprintln!("GATE FAIL: adaptive arm overflowed at 256 KB");
+            std::process::exit(1);
+        }
+        (Some(_), None) => {
+            println!("gate: static ladder overflowed at 256 KB; adaptive succeeded");
+        }
+    }
+}

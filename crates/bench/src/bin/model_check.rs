@@ -32,13 +32,16 @@
 //! configuration.
 
 use reldiv_bench::{paper_sizes, try_run_division_experiment_checked, Measurement};
-use reldiv_core::api::DivisionConfig;
-use reldiv_core::Algorithm;
+use reldiv_core::api::{divide_with_report, DivisionConfig, Source};
+use reldiv_core::{Algorithm, DegradationReport, DivisionSpec, HashDivisionMode};
 use reldiv_costmodel::{
-    compare, CostModel, CostUnits, PlannedAlgorithm, SizeConfig, UnitComparison, UnitCounts,
+    compare, CostModel, CostUnits, HybridSizes, PlannedAlgorithm, SizeConfig, UnitComparison,
+    UnitCounts,
 };
 use reldiv_exec::scan::load_relation;
-use reldiv_rel::Relation;
+use reldiv_rel::schema::{Field, Schema};
+use reldiv_rel::tuple::ints;
+use reldiv_rel::{RecordCodec, Relation};
 use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::StorageManager;
 use reldiv_workload::WorkloadSpec;
@@ -92,6 +95,155 @@ fn measured_counts(m: &Measurement) -> UnitCounts {
         mv: m.ops.moves as f64,
         bit: m.ops.bitops as f64,
     }
+}
+
+/// Runs hash-division on `dividend ÷ divisor` with an optional per-query
+/// budget, returning the pool's peak and the degradation report.
+fn run_hybrid(
+    dividend: &Relation,
+    divisor: &Relation,
+    budget: Option<usize>,
+) -> (usize, DegradationReport, usize) {
+    let storage = StorageManager::shared(StorageConfig::large());
+    let pool = storage.borrow().memory();
+    let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema())
+        .expect("workload schemas divide");
+    let config = DivisionConfig {
+        mem_budget: budget,
+        ..DivisionConfig::default()
+    };
+    let (rel, report) = divide_with_report(
+        &storage,
+        &Source::from_relation(dividend),
+        &Source::from_relation(divisor),
+        &spec,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        &config,
+    )
+    .expect("budgeted hybrid division completes");
+    (pool.peak(), report, rel.cardinality())
+}
+
+/// One predicted-vs-measured point of the hybrid budget sweep.
+struct HybridCell {
+    label: &'static str,
+    budget: usize,
+    predicted_degrades: bool,
+    predicted_spill: f64,
+    predicted_partitions: u32,
+    measured: DegradationReport,
+}
+
+impl HybridCell {
+    fn spill_error(&self) -> f64 {
+        if self.predicted_spill > 0.0 {
+            (self.measured.spill_bytes as f64 - self.predicted_spill) / self.predicted_spill
+        } else if self.measured.spill_bytes == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Validates the hybrid spill formula (`reldiv_costmodel::hybrid`)
+/// against measured `DegradationReport`s across a budget sweep.
+///
+/// Calibration comes from two unbudgeted probe runs of the real stack: an
+/// empty-dividend run isolates the divisor-table bytes `D`, and a full
+/// run's pool peak gives `D + G·bytes-per-group`. The formula then
+/// predicts the sweep; the measured runs must agree on the degradation
+/// boundary at every budget, and — whenever the adaptive hybrid is the
+/// rung that actually produced the answer — on spill volume within a
+/// factor of 2. At starvation budgets the `Auto` ladder may abandon the
+/// hybrid for a static rung, whose abandoned spools dominate the measured
+/// bytes; only the boundary is checked there.
+fn validate_hybrid(seed: u64, smoke: bool) -> Vec<HybridCell> {
+    let (s, q) = if smoke {
+        (25u64, 200u64)
+    } else {
+        (25u64, 400u64)
+    };
+    let w = WorkloadSpec {
+        divisor_size: s,
+        quotient_size: q,
+        ..Default::default()
+    }
+    .generate(seed ^ 0x4879_6272);
+
+    // Probe 1: divisor table alone (empty dividend).
+    let empty = Relation::empty(w.dividend.schema().clone());
+    let (divisor_table_bytes, _, _) = run_hybrid(&empty, &w.divisor, None);
+    // Probe 2: everything resident.
+    let (peak, clean, _) = run_hybrid(&w.dividend, &w.divisor, None);
+    assert!(!clean.degraded, "unbudgeted probe must not spill");
+    let need = peak.saturating_sub(divisor_table_bytes);
+    let bytes_per_group = need as f64 / q as f64;
+
+    // Spill-record widths, mirroring the hybrid's two layouts: state =
+    // quotient + one Int per 64 divisor bits, delta = quotient + dno.
+    let int_record = |cols: usize| {
+        let fields = (0..cols).map(|i| Field::int(format!("c{i}"))).collect();
+        RecordCodec::new(Schema::new(fields)).record_width() as u64
+    };
+    let words = (s as usize).div_ceil(64);
+    let state_record_bytes = int_record(1 + words);
+    let delta_record_bytes = int_record(2);
+
+    let sizes = |budget: usize, matched: u64, hot: f64| HybridSizes {
+        budget_bytes: budget as u64,
+        divisor_table_bytes: divisor_table_bytes as u64,
+        table_bytes_per_group: bytes_per_group,
+        groups: q,
+        tuples_per_group: s as f64,
+        matched_tuples: matched,
+        state_record_bytes,
+        delta_record_bytes,
+        fanout: 16,
+        hot_fraction: hot,
+    };
+
+    let mut cells = Vec::new();
+    for frac in [1.25, 0.75, 0.5, 0.25, 0.125] {
+        let budget = divisor_table_bytes + (frac * need as f64) as usize;
+        let p = sizes(budget, s * q, 0.0).predict();
+        let (_, report, card) = run_hybrid(&w.dividend, &w.divisor, Some(budget));
+        assert_eq!(card as u64, q, "budget={budget}: wrong quotient");
+        cells.push(HybridCell {
+            label: "uniform",
+            budget,
+            predicted_degrades: p.degrades,
+            predicted_spill: p.spill_bytes,
+            predicted_partitions: p.partitions_spilled,
+            measured: report,
+        });
+    }
+
+    // Skew point: group 0 duplicated to ~50% of the matched tuples. The
+    // table (same groups) and the boundary stay put; the hot-group
+    // accumulator must keep the measured deltas near the cold prediction.
+    let mut rows: Vec<_> = w.dividend.tuples().to_vec();
+    let base = rows.len() as u64;
+    for i in 0..base.saturating_sub(s) {
+        rows.push(ints(&[0, 1_000_000 + (i % s) as i64]));
+    }
+    let hot_dividend = Relation::from_tuples(w.dividend.schema().clone(), rows).unwrap();
+    let matched = hot_dividend.cardinality() as u64;
+    let budget = divisor_table_bytes + need / 2;
+    let p = sizes(budget, matched, 0.5).predict();
+    let (_, report, card) = run_hybrid(&hot_dividend, &w.divisor, Some(budget));
+    assert_eq!(card as u64, q, "hot sweep: wrong quotient");
+    cells.push(HybridCell {
+        label: "hot-group",
+        budget,
+        predicted_degrades: p.degrades,
+        predicted_spill: p.spill_bytes,
+        predicted_partitions: p.partitions_spilled,
+        measured: report,
+    });
+    cells
 }
 
 struct CellReport {
@@ -245,6 +397,58 @@ fn main() {
         mean_abs_total * 100.0
     );
 
+    // The hybrid budget sweep: the spill formula against measured
+    // degradation reports. Boundary mismatches fail the check everywhere;
+    // spill volumes off by more than 2x fail it on runs the adaptive
+    // hybrid actually won (when a static ladder rung wins instead, its
+    // abandoned spools dominate the bytes and only the boundary holds).
+    println!("\nhybrid spill-formula validation:");
+    let hybrid_cells = validate_hybrid(seed, smoke);
+    let mut hybrid_ok = true;
+    for c in &hybrid_cells {
+        let adaptive_won = c
+            .measured
+            .phases
+            .last()
+            .is_some_and(|p| p.starts_with("adaptive-hybrid"));
+        println!(
+            "  {:<9} budget {:>8}  degrade predicted/measured {}/{}  spill predicted {:>9.0}  measured {:>9}  error {:>+7.1} %{}",
+            c.label,
+            c.budget,
+            c.predicted_degrades,
+            c.measured.degraded,
+            c.predicted_spill,
+            c.measured.spill_bytes,
+            c.spill_error() * 100.0,
+            if c.measured.degraded && !adaptive_won {
+                "  (static rung won; volume not compared)"
+            } else {
+                ""
+            }
+        );
+        if c.predicted_degrades != c.measured.degraded {
+            eprintln!(
+                "  FAIL: degradation boundary mismatch at budget {}",
+                c.budget
+            );
+            hybrid_ok = false;
+        }
+        if c.predicted_degrades && c.measured.degraded && adaptive_won {
+            let ratio = c.measured.spill_bytes as f64 / c.predicted_spill.max(1.0);
+            if !(0.5..=2.0).contains(&ratio) {
+                eprintln!(
+                    "  FAIL: spill volume off by {ratio:.2}x at budget {}",
+                    c.budget
+                );
+                hybrid_ok = false;
+            }
+        }
+    }
+    if !hybrid_ok {
+        eprintln!("hybrid spill-formula validation failed");
+        std::process::exit(1);
+    }
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"seed\": {seed},\n  \"smoke\": {smoke},\n  \"paper_geometry\": {paper_geometry},\n"
@@ -273,6 +477,22 @@ fn main() {
         json.push_str(&format!(
             "    ]}}{}\n",
             if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"hybrid\": [\n");
+    for (i, c) in hybrid_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"budget\": {}, \"predicted_degrades\": {}, \"measured_degraded\": {}, \"predicted_spill_bytes\": {}, \"measured_spill_bytes\": {}, \"predicted_partitions\": {}, \"measured_partitions\": {}, \"relative_error\": {}}}{}\n",
+            c.label,
+            c.budget,
+            c.predicted_degrades,
+            c.measured.degraded,
+            json_number(c.predicted_spill),
+            c.measured.spill_bytes,
+            c.predicted_partitions,
+            c.measured.partitions_spilled,
+            json_number(c.spill_error()),
+            if i + 1 == hybrid_cells.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

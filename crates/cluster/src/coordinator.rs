@@ -1430,9 +1430,7 @@ impl Coordinator {
         // A partial failure needs no catalog cleanup here: the temp is
         // only recorded on success, and a retry rewrites every fragment
         // under the same name.
-        let (mut holders, versions) = self
-            .settle_writes(items, nodes, k)
-            .map_err(|f| f.error)?;
+        let (mut holders, versions) = self.settle_writes(items, nodes, k).map_err(|f| f.error)?;
         // A fragment that got no write at all (non-participating) keeps
         // an empty holder list — it never serves requests.
         for (j, h) in holders.iter_mut().enumerate() {
@@ -1518,6 +1516,7 @@ impl Coordinator {
                         profile,
                         distribute: None,
                         restricted: None,
+                        mem_budget: None,
                     },
                     epoch: Some(epoch),
                 }),

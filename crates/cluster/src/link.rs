@@ -204,7 +204,10 @@ impl NodeLink {
         // EOF where a reply frame was due: the node died mid-request.
         let Some(frame) = frame else {
             self.dirty = true;
-            return Err(fail(FailureKind::Severed, "node closed the connection".into()));
+            return Err(fail(
+                FailureKind::Severed,
+                "node closed the connection".into(),
+            ));
         };
         self.stats.messages_received += 1;
         self.stats.bytes_received += frame.len() as u64 + 4;

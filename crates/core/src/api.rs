@@ -18,6 +18,7 @@ use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
 use crate::hash_division::{HashDivision, HashDivisionMode};
+use crate::hybrid;
 use crate::naive::naive_division_plan_profiled;
 use crate::overflow;
 use crate::report::DegradationReport;
@@ -208,8 +209,21 @@ pub enum OverflowPolicy {
         /// Number of quotient-attribute clusters per phase.
         quotient_partitions: usize,
     },
-    /// Try in memory, then retry with quotient partitioning, doubling the
-    /// cluster count until the division fits (up to 256 clusters).
+    /// Memory-adaptive hybrid hash-division: all quotient partitions start
+    /// memory-resident, victims spill incrementally under pressure and
+    /// revive when memory frees up, skewed groups get a hot-group
+    /// accumulator, and oversized partitions re-partition recursively (see
+    /// [`crate::hybrid`]). Unlike the static rungs, nothing restarts: one
+    /// pass over the dividend, spilling only what the actual input needs.
+    Adaptive {
+        /// Number of quotient-hash partitions (at least 2).
+        fanout: usize,
+    },
+    /// Adaptive hybrid first (its optimistic phase *is* the in-memory
+    /// attempt); if the divisor table itself does not fit — the one
+    /// pressure quotient-side spilling cannot relieve — divisor
+    /// partitioning with the cluster count doubling 2 → 256, then combined
+    /// partitioning 4 → 256.
     #[default]
     Auto,
 }
@@ -233,6 +247,12 @@ pub struct DivisionConfig {
     /// default — builds exactly the unprofiled plan: no wrapper operators,
     /// no dormant branches in per-tuple loops, zero cost.
     pub profile: Option<ProfileSink>,
+    /// Per-query memory budget in bytes for hash-division. `Some(b)` runs
+    /// the division against a child pool capped at `b` that still charges
+    /// the storage manager's shared pool, so concurrent queries contend
+    /// for the global budget while each respects its own. `None` uses the
+    /// shared pool directly.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for DivisionConfig {
@@ -243,6 +263,7 @@ impl Default for DivisionConfig {
             overflow: OverflowPolicy::Auto,
             cancel: CancelToken::none(),
             profile: None,
+            mem_budget: None,
         }
     }
 }
@@ -367,14 +388,26 @@ fn mark_exhausted(report: &mut DegradationReport) {
     }
 }
 
+/// Appends the adaptive path's failure reason to its last phase.
+fn mark_failed(report: &mut DegradationReport, e: &ExecError) {
+    if let Some(last) = report.phases.last_mut() {
+        if e.is_recursion_limit() {
+            last.push_str(": recursion limit");
+        } else {
+            last.push_str(": memory exhausted");
+        }
+    }
+}
+
 /// Hash-division with the configured overflow policy.
 ///
-/// Under `Auto` this walks the Section 3.4 degradation ladder at runtime:
-/// in-memory first; on memory exhaustion quotient partitioning with the
-/// cluster count doubling 2 → 256; if even 256 quotient clusters exhaust
-/// memory (the divisor table itself does not fit), divisor partitioning
-/// 2 → 256; and finally combined partitioning with both cluster counts
-/// doubling 4 → 256. Every rung is recorded in `report`.
+/// Under `Auto` this degrades at runtime: the memory-adaptive hybrid
+/// first — its optimistic phase is the in-memory fast path, and quotient
+/// pressure is absorbed by incremental spilling — then, if the divisor
+/// table itself does not fit (or a quotient group defeats re-partitioning,
+/// the recursion limit), divisor partitioning with the cluster count
+/// doubling 2 → 256, and finally combined partitioning 4 → 256. Every
+/// phase is recorded in `report`.
 fn hash_division_with_overflow(
     storage: &StorageRef,
     dividend: &Source,
@@ -384,7 +417,13 @@ fn hash_division_with_overflow(
     config: &DivisionConfig,
     report: &mut DegradationReport,
 ) -> Result<Relation> {
-    let pool = storage.borrow().memory();
+    let base_pool = storage.borrow().memory();
+    // A per-query budget is a child pool: capped at the budget, still
+    // charging the shared pool so concurrent queries contend.
+    let pool = match config.mem_budget {
+        Some(budget) => base_pool.child(budget),
+        None => base_pool,
+    };
     let cancel = config.cancel;
     let profile = config.profile.clone();
     let in_memory = |report: &mut DegradationReport| -> Result<Relation> {
@@ -429,13 +468,45 @@ fn hash_division_with_overflow(
             .as_ref()
             .map(|sink| SpanScope::enter(sink, label, SpanKind::Partition, Some(storage.clone())))
     };
+    // The adaptive hybrid: profiled scans feed `hybrid`, which opens its
+    // own "hash-division (adaptive)" span and records spills/revives.
+    let adaptive = |fanout: usize, report: &mut DegradationReport| -> Result<Relation> {
+        let dividend_scan = maybe_profile(
+            dividend.scan(storage),
+            profile.as_ref(),
+            "scan dividend",
+            SpanKind::Scan,
+            Some(storage),
+        );
+        let divisor_scan = maybe_profile(
+            divisor.scan(storage),
+            profile.as_ref(),
+            "scan divisor",
+            SpanKind::Scan,
+            Some(storage),
+        );
+        hybrid::adaptive_hybrid_report(
+            storage,
+            &pool,
+            dividend_scan,
+            divisor_scan,
+            spec,
+            mode,
+            fanout,
+            cancel,
+            profile.as_ref(),
+            report,
+        )
+    };
     match config.overflow {
         OverflowPolicy::Fail => in_memory(report),
+        OverflowPolicy::Adaptive { fanout } => adaptive(fanout, report),
         OverflowPolicy::QuotientPartition { partitions } => {
             report.note_phase(format!("quotient-partitioned k={partitions}"));
             let _rung = rung(&format!("quotient-partitioned k={partitions}"));
             overflow::quotient_partitioned_report(
                 storage,
+                &pool,
                 dividend.scan(storage),
                 divisor.scan(storage),
                 spec,
@@ -450,6 +521,7 @@ fn hash_division_with_overflow(
             let _rung = rung(&format!("divisor-partitioned k={partitions}"));
             overflow::divisor_partitioned_report(
                 storage,
+                &pool,
                 dividend.scan(storage),
                 divisor.scan(storage),
                 spec,
@@ -470,6 +542,7 @@ fn hash_division_with_overflow(
             ));
             overflow::combined_partitioned_report(
                 storage,
+                &pool,
                 dividend.scan(storage),
                 divisor.scan(storage),
                 spec,
@@ -480,43 +553,20 @@ fn hash_division_with_overflow(
             )
         }
         OverflowPolicy::Auto => {
-            let mut last = match in_memory(report) {
+            // Rung 1: the adaptive hybrid. Its optimistic phase is the
+            // in-memory attempt; quotient-table pressure is absorbed by
+            // incremental spilling, so it only fails when the divisor
+            // table itself does not fit or a single quotient group defeats
+            // re-partitioning (the recursion limit).
+            let mut last = match adaptive(hybrid::DEFAULT_FANOUT, report) {
                 Ok(rel) => return Ok(rel),
-                Err(e) if e.is_memory_exhausted() => {
-                    mark_exhausted(report);
+                Err(e) if e.is_memory_exhausted() || e.is_recursion_limit() => {
+                    mark_failed(report, &e);
                     e
                 }
                 Err(e) => return Err(e),
             };
-            // Rung 1: quotient partitioning (divisor table stays resident).
-            let mut k = 2usize;
-            while k <= 256 {
-                report.note_retry();
-                report.note_phase(format!("quotient-partitioned k={k}"));
-                let attempt = {
-                    let _rung = rung(&format!("quotient-partitioned k={k}"));
-                    overflow::quotient_partitioned_report(
-                        storage,
-                        dividend.scan(storage),
-                        divisor.scan(storage),
-                        spec,
-                        mode,
-                        k,
-                        cancel,
-                        report,
-                    )
-                };
-                match attempt {
-                    Ok(rel) => return Ok(rel),
-                    Err(e) if e.is_memory_exhausted() => {
-                        mark_exhausted(report);
-                        last = e;
-                        k *= 2;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            // Rung 2: the divisor table itself does not fit — partition it.
+            // Rung 2: the divisor table does not fit — partition it.
             let mut k = 2usize;
             while k <= 256 {
                 report.note_retry();
@@ -525,6 +575,7 @@ fn hash_division_with_overflow(
                     let _rung = rung(&format!("divisor-partitioned k={k}"));
                     overflow::divisor_partitioned_report(
                         storage,
+                        &pool,
                         dividend.scan(storage),
                         divisor.scan(storage),
                         spec,
@@ -552,6 +603,7 @@ fn hash_division_with_overflow(
                     let _rung = rung(&format!("combined-partitioned dk={k} qk={k}"));
                     overflow::combined_partitioned_report(
                         storage,
+                        &pool,
                         dividend.scan(storage),
                         divisor.scan(storage),
                         spec,
@@ -755,8 +807,9 @@ mod tests {
 
     #[test]
     fn auto_overflow_recovers_from_small_pool() {
-        // A pool too small for the quotient table: Auto retries with
-        // quotient partitioning and still produces the right answer.
+        // A pool too small for the quotient table: Auto's adaptive hybrid
+        // spills partitions incrementally and still produces the right
+        // answer, without restarting the division.
         let mut rows = Vec::new();
         for q in 0..2000 {
             rows.push([q, 1]);
@@ -783,14 +836,90 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.cardinality(), 2000);
-        // The runtime fallback is visible in the degradation report: the
-        // in-memory attempt was abandoned and a partitioned phase won.
+        // The runtime degradation is visible in the report: the optimistic
+        // phase hit the pool limit and the adaptive phase won.
         assert!(report.degraded);
         assert!(report.retries >= 1);
         assert_eq!(report.phases[0], "in-memory: memory exhausted");
         let winner = report.final_phase().unwrap();
-        assert!(winner.starts_with("quotient-partitioned"), "{winner}");
-        assert!(report.spill_bytes > 0, "partitioned phases spool clusters");
+        assert!(winner.starts_with("adaptive-hybrid"), "{winner}");
+        assert!(report.partitions_spilled > 0, "victims were evicted");
+        assert!(report.spill_bytes > 0, "spilled partitions hit disk");
+    }
+
+    #[test]
+    fn explicit_adaptive_policy_runs_through_divide() {
+        let mut rows = Vec::new();
+        for q in 0..500 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (q, report) = divide_with_report(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig {
+                overflow: OverflowPolicy::Adaptive { fanout: 8 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 500);
+        assert!(!report.degraded, "ample memory: clean adaptive run");
+        assert_eq!(report.final_phase(), Some("in-memory"));
+    }
+
+    #[test]
+    fn mem_budget_degrades_division_without_touching_shared_pool_config() {
+        // The same workload fits the shared pool but not the per-query
+        // budget: the budget alone must force (and survive) degradation.
+        let mut rows = Vec::new();
+        for q in 0..2000 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (q, report) = divide_with_report(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig {
+                mem_budget: Some(48 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 2000);
+        assert!(report.degraded, "the 48 KB budget must bite");
+        assert!(report.partitions_spilled > 0);
+        // And without the budget the identical division is clean.
+        let (_, clean) = divide_with_report(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig::default(),
+        )
+        .unwrap();
+        assert!(!clean.degraded);
     }
 
     #[test]
@@ -854,7 +983,7 @@ mod tests {
     }
 
     #[test]
-    fn profiled_overflow_ladder_gets_partition_spans() {
+    fn profiled_adaptive_overflow_gets_spill_spans() {
         let mut rows = Vec::new();
         for q in 0..2000 {
             rows.push([q, 1]);
@@ -882,19 +1011,29 @@ mod tests {
         .unwrap();
         assert_eq!(q.cardinality(), 2000);
         assert!(report.degraded);
-        // Every ladder rung the report walked appears as a Partition span
-        // under the root, and the spill bytes land on the root span.
-        let rungs: Vec<&str> = profile
+        // The adaptive hybrid appears as a HashDivision span under the
+        // root, its incremental evictions as nested Spill spans, and the
+        // spill bytes land on the root span.
+        let hybrid = profile
             .root
             .children
             .iter()
-            .filter(|c| c.kind == reldiv_exec::profile::SpanKind::Partition)
-            .map(|c| c.label.as_str())
-            .collect();
-        assert!(
-            rungs.iter().any(|r| r.starts_with("quotient-partitioned")),
-            "{rungs:?}"
-        );
+            .find(|c| c.label == "hash-division (adaptive)")
+            .expect("adaptive span");
+        assert_eq!(hybrid.kind, reldiv_exec::profile::SpanKind::HashDivision);
+        fn count_kind(
+            n: &reldiv_exec::profile::ProfileNode,
+            kind: reldiv_exec::profile::SpanKind,
+        ) -> usize {
+            usize::from(n.kind == kind)
+                + n.children
+                    .iter()
+                    .map(|c| count_kind(c, kind))
+                    .sum::<usize>()
+        }
+        let spills = count_kind(hybrid, reldiv_exec::profile::SpanKind::Spill);
+        assert!(spills > 0, "evictions must be profiled");
+        assert_eq!(spills, report.partitions_spilled as usize);
         assert_eq!(profile.root.spill_bytes, report.spill_bytes);
         assert_eq!(profile.root.phases.len(), report.phases.len());
     }

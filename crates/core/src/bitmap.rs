@@ -88,6 +88,22 @@ impl Bitmap {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The backing words, for spill-record serialization (adaptive-hybrid
+    /// overflow writes whole bit maps to partition files).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// OR-merges serialized `words` into this map, word at a time.
+    /// Extra trailing words in `words` are ignored; missing ones are
+    /// treated as zero.
+    pub fn or_words(&mut self, words: impl IntoIterator<Item = u64>) {
+        counters::count_bitops(self.words.len().max(1) as u64);
+        for (w, v) in self.words.iter_mut().zip(words) {
+            *w |= v;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1396 @@
+//! Memory-adaptive hybrid hash-division.
+//!
+//! The paper's Section 3.4 overflow story is a *static* ladder: a
+//! partitioning mode and cluster count are chosen up front (from size
+//! estimates) and the whole division restarts on every rung. This module
+//! replaces the quotient-side rungs with a *dynamic* hybrid in the style
+//! of robust dynamic hybrid hash-join:
+//!
+//! * **Optimistic start.** The dividend is routed into `fanout` quotient
+//!   partitions, all memory-resident. A division that fits never touches
+//!   disk and reports the clean `"in-memory"` phase.
+//! * **Incremental spill.** When the pool is exhausted, the *largest*
+//!   resident partition is evicted: its table is serialized to a partition
+//!   file and its memory freed. Only as many partitions spill as the
+//!   actual input requires.
+//! * **Skew handling.** A spilled partition keeps a one-entry *hot group*
+//!   accumulator: the first quotient key seen after the spill is adopted
+//!   and absorbs its tuples in memory, so one huge group (the classic
+//!   skew case) does not force a delta record per tuple. A miss streak
+//!   re-adopts the currently hot key.
+//! * **Revive.** Between tuples the driver watches the pool; when memory
+//!   frees up (another query finished), a spilled partition is re-admitted
+//!   with a fresh resident table.
+//! * **Bounded recursion.** After the input is consumed, each spilled
+//!   partition is merged back in memory; a partition that still does not
+//!   fit is re-partitioned by the next hash level and retried, down to
+//!   [`MAX_RECURSION_DEPTH`] levels, past which the typed
+//!   [`ExecError::RecursionLimit`] is returned.
+//!
+//! Spill files come in two fixed-width record layouts per partition: a
+//! *state* file of whole table entries (quotient columns + bit-map words,
+//! or an accumulated count in counter mode) and a *delta* file of single
+//! matched tuples (quotient columns + divisor number). Merging ORs state
+//! bit maps and sets delta bits, so duplicate dividend tuples stay
+//! harmless in the bit-map modes exactly as in Figure 1.
+//!
+//! Every decision is recorded: spills/revives/recursion in the
+//! [`DegradationReport`] and as [`SpanKind::Spill`]/[`SpanKind::Revive`]
+//! profile spans.
+
+use reldiv_exec::cancel::CancelToken;
+use reldiv_exec::hash_table::ChainedTable;
+use reldiv_exec::op::BoxedOp;
+use reldiv_exec::profile::{ProfileSink, SpanKind, SpanScope};
+use reldiv_rel::schema::Field;
+use reldiv_rel::{RecordCodec, Relation, Schema, Tuple, Value};
+use reldiv_storage::memory::Reservation;
+use reldiv_storage::{FileId, MemoryPool, StorageManager, StorageRef};
+
+use crate::bitmap::Bitmap;
+use crate::hash_division::{DivisorTable, HashDivisionMode};
+use crate::overflow::for_each_record;
+use crate::report::DegradationReport;
+use crate::spec::DivisionSpec;
+use crate::{ExecError, Result};
+
+/// Default number of quotient-hash partitions for the adaptive path.
+pub const DEFAULT_FANOUT: usize = 16;
+
+/// Re-partitioning recursion bound: a partition that still exceeds the
+/// budget after this many hash levels yields [`ExecError::RecursionLimit`]
+/// (the signal that the *divisor* side must be partitioned instead).
+pub const MAX_RECURSION_DEPTH: u32 = 6;
+
+/// Tuples between revive checks of the memory pool.
+const REVIVE_STRIDE: u64 = 256;
+
+/// Consecutive hot-group misses before the accumulator re-adopts.
+const HOT_MISS_LIMIT: u32 = 16;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Routes a quotient-key hash to a partition at recursion `level`. Each
+/// level remixes with a different seed so sub-partitions of one partition
+/// spread evenly.
+fn route(h: u64, level: u32, fanout: usize) -> usize {
+    (splitmix64(h ^ u64::from(level).wrapping_mul(0xA076_1D64_78BD_642F)) as usize) % fanout
+}
+
+/// One quotient group: candidate tuple plus its bit map (or counter).
+struct HEntry {
+    tuple: Tuple,
+    bitmap: Bitmap,
+    count: u32,
+}
+
+impl HEntry {
+    fn complete(&self, counter: bool, divisor_count: u32) -> bool {
+        if counter {
+            self.count == divisor_count
+        } else {
+            self.bitmap.all_set()
+        }
+    }
+}
+
+/// A resident partition's quotient table, memory-accounted like
+/// [`crate::hash_division::QuotientTable`] but exposing its footprint
+/// (victim policy) and entry iteration (spilling).
+struct HybridTable {
+    table: ChainedTable<HEntry>,
+    payload: Reservation,
+    counter: bool,
+    divisor_count: u32,
+    qcols: Vec<usize>,
+    entry_bytes: usize,
+}
+
+impl HybridTable {
+    fn new(
+        pool: &MemoryPool,
+        counter: bool,
+        divisor_count: u32,
+        quotient_arity: usize,
+        quotient_width: usize,
+    ) -> Result<Self> {
+        let bits = if counter { 0 } else { divisor_count as usize };
+        Ok(HybridTable {
+            table: ChainedTable::new(pool, 16)?,
+            payload: pool.reserve(0)?,
+            counter,
+            divisor_count,
+            qcols: (0..quotient_arity).collect(),
+            entry_bytes: quotient_width + Bitmap::heap_bytes(bits),
+        })
+    }
+
+    /// Accounted bytes: buckets, chain elements, tuples, bit maps.
+    fn footprint(&self) -> usize {
+        self.table.accounted_bytes() + self.payload.bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn entry(&self, idx: u32) -> &HEntry {
+        self.table.get(idx)
+    }
+
+    fn find_or_insert(&mut self, q: &Tuple, h: u64) -> Result<u32> {
+        if let Some(idx) = self
+            .table
+            .find(h, |e| q.eq_on(&self.qcols, &e.tuple, &self.qcols))
+        {
+            return Ok(idx);
+        }
+        self.payload.grow(self.entry_bytes)?;
+        let bits = if self.counter {
+            0
+        } else {
+            self.divisor_count as usize
+        };
+        self.table.insert(
+            h,
+            HEntry {
+                tuple: q.clone(),
+                bitmap: Bitmap::new(bits),
+                count: 0,
+            },
+        )
+    }
+
+    /// Absorbs one matched dividend tuple, already projected onto the
+    /// quotient columns. `None` means the divisor is empty (vacuous).
+    fn absorb(&mut self, q: &Tuple, h: u64, dno: Option<u32>) -> Result<()> {
+        let idx = self.find_or_insert(q, h)?;
+        let counter = self.counter;
+        let e = self.table.get_mut(idx);
+        match dno {
+            Some(d) if !counter => {
+                e.bitmap.set(d as usize);
+            }
+            Some(_) => e.count += 1,
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Merges a state record: whole bit-map words (or a count).
+    fn merge_state(&mut self, q: &Tuple, h: u64, words: &[u64], count: u32) -> Result<()> {
+        let idx = self.find_or_insert(q, h)?;
+        let counter = self.counter;
+        let e = self.table.get_mut(idx);
+        if counter {
+            e.count += count;
+        } else {
+            e.bitmap.or_words(words.iter().copied());
+        }
+        Ok(())
+    }
+
+    /// Merges a whole in-memory entry (a revived partition adopting its
+    /// hot group).
+    fn merge_entry(&mut self, entry: &HEntry, h: u64) -> Result<()> {
+        if self.counter {
+            self.merge_state(&entry.tuple, h, &[], entry.count)
+        } else {
+            self.merge_state(&entry.tuple, h, entry.bitmap.words(), 0)
+        }
+    }
+
+    /// Step 3: emits every complete candidate into `out`.
+    fn emit_complete(&self, out: &mut Relation) -> Result<()> {
+        for idx in 0..self.table.len() {
+            let e = self.table.get(idx as u32);
+            if e.complete(self.counter, self.divisor_count) {
+                out.push(e.tuple.clone()).map_err(ExecError::from)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The hot-group accumulator of a spilled partition.
+struct HotGroup {
+    entry: HEntry,
+    /// Accounts the entry's bytes so skew handling respects the budget.
+    _mem: Reservation,
+}
+
+/// One append-only spill file with its byte/record accounting.
+struct SpillFile {
+    file: FileId,
+    bytes: u64,
+}
+
+/// One quotient partition of the adaptive hybrid.
+#[derive(Default)]
+struct Partition {
+    /// The resident table; `None` when untouched or spilled.
+    resident: Option<HybridTable>,
+    /// Whether the partition has been evicted (distinguishes "spilled"
+    /// from "never touched").
+    spilled: bool,
+    /// Serialized table entries (quotient + bit-map words / count).
+    state: Option<SpillFile>,
+    /// Single matched tuples (quotient + divisor number).
+    delta: Option<SpillFile>,
+    hot: Option<HotGroup>,
+    hot_misses: u32,
+}
+
+/// Spill-record codecs shared by every partition and recursion level.
+struct SpillCodecs {
+    state: RecordCodec,
+    delta: RecordCodec,
+    /// Bit-map word columns in the state schema (0 in counter mode).
+    words: usize,
+    /// Quotient arity — the leading columns of both record layouts.
+    qar: usize,
+}
+
+impl SpillCodecs {
+    fn new(quotient_schema: &Schema, counter: bool, divisor_count: u32) -> Self {
+        let qar = quotient_schema.arity();
+        let words = if counter {
+            0
+        } else {
+            (divisor_count as usize).div_ceil(64)
+        };
+        let mut state_fields = quotient_schema.fields().to_vec();
+        if counter {
+            state_fields.push(Field::int("count"));
+        } else {
+            for w in 0..words {
+                state_fields.push(Field::int(format!("w{w}")));
+            }
+        }
+        let mut delta_fields = quotient_schema.fields().to_vec();
+        delta_fields.push(Field::int("dno"));
+        SpillCodecs {
+            state: RecordCodec::new(Schema::new(state_fields)),
+            delta: RecordCodec::new(Schema::new(delta_fields)),
+            words,
+            qar,
+        }
+    }
+
+    /// `(quotient projection, bit-map words, count)` of a state record.
+    fn decode_state(&self, t: &Tuple) -> (Tuple, Vec<u64>, u32) {
+        let q = t.project(&(0..self.qar).collect::<Vec<_>>());
+        if self.words == 0 && self.state.schema().arity() > self.qar {
+            let count = t.value(self.qar).as_int().unwrap_or(0) as u32;
+            (q, Vec::new(), count)
+        } else {
+            let words = (0..self.words)
+                .map(|w| t.value(self.qar + w).as_int().unwrap_or(0) as u64)
+                .collect();
+            (q, words, 0)
+        }
+    }
+
+    /// `(quotient projection, divisor number)` of a delta record; a
+    /// negative column means "no divisor number" (vacuous divisor).
+    fn decode_delta(&self, t: &Tuple) -> (Tuple, Option<u32>) {
+        let q = t.project(&(0..self.qar).collect::<Vec<_>>());
+        let dno = match t.value(self.qar).as_int() {
+            Some(d) if d >= 0 => Some(d as u32),
+            _ => None,
+        };
+        (q, dno)
+    }
+}
+
+/// The adaptive-hybrid driver state.
+struct Hybrid<'a> {
+    storage: &'a StorageRef,
+    pool: MemoryPool,
+    counter: bool,
+    divisor_count: u32,
+    quotient_schema: Schema,
+    qcols: Vec<usize>,
+    qwidth: usize,
+    codecs: SpillCodecs,
+    fanout: usize,
+    cancel: CancelToken,
+    budget: u32,
+    profile: Option<&'a ProfileSink>,
+    /// Pool headroom that triggers a revive.
+    revive_threshold: usize,
+    /// Every spill file ever created, deleted in one sweep at the end so
+    /// an abandoned run (fallback to divisor partitioning) cannot leak
+    /// temporary files.
+    created: Vec<FileId>,
+}
+
+impl<'a> Hybrid<'a> {
+    fn new_table(&self) -> Result<HybridTable> {
+        HybridTable::new(
+            &self.pool,
+            self.counter,
+            self.divisor_count,
+            self.qcols.len(),
+            self.qwidth,
+        )
+    }
+
+    fn span(&self, label: String, kind: SpanKind) -> Option<SpanScope> {
+        self.profile
+            .map(|sink| SpanScope::enter(sink, label, kind, Some(self.storage.clone())))
+    }
+
+    fn create_file(&mut self) -> FileId {
+        let f = self
+            .storage
+            .borrow_mut()
+            .create_file(StorageManager::DATA_DISK);
+        self.created.push(f);
+        f
+    }
+
+    /// Appends a state record for `entry`, creating the file on first use.
+    /// Returns the bytes written (the caller decides spill vs respool).
+    fn append_state(&mut self, slot: &mut Option<SpillFile>, entry: &HEntry) -> Result<u64> {
+        let mut vals = entry.tuple.clone().into_values();
+        if self.counter {
+            vals.push(Value::Int(i64::from(entry.count)));
+        } else {
+            for w in 0..self.codecs.words {
+                let word = entry.bitmap.words().get(w).copied().unwrap_or(0);
+                vals.push(Value::Int(word as i64));
+            }
+        }
+        let record = self.codecs.state.encode(&Tuple::new(vals))?;
+        if slot.is_none() {
+            let file = self.create_file();
+            *slot = Some(SpillFile { file, bytes: 0 });
+        }
+        let sf = slot.as_mut().expect("just created");
+        self.storage.borrow_mut().append(sf.file, &record)?;
+        sf.bytes += record.len() as u64;
+        Ok(record.len() as u64)
+    }
+
+    /// Appends a delta record for one matched tuple.
+    fn append_delta(
+        &mut self,
+        slot: &mut Option<SpillFile>,
+        q: &Tuple,
+        dno: Option<u32>,
+    ) -> Result<u64> {
+        let mut vals = q.clone().into_values();
+        vals.push(Value::Int(dno.map_or(-1, i64::from)));
+        let record = self.codecs.delta.encode(&Tuple::new(vals))?;
+        if slot.is_none() {
+            let file = self.create_file();
+            *slot = Some(SpillFile { file, bytes: 0 });
+        }
+        let sf = slot.as_mut().expect("just created");
+        self.storage.borrow_mut().append(sf.file, &record)?;
+        sf.bytes += record.len() as u64;
+        Ok(record.len() as u64)
+    }
+
+    /// Evicts the largest resident partition. Returns `false` when no
+    /// partition is resident (nothing left to evict).
+    fn spill_victim(
+        &mut self,
+        parts: &mut [Partition],
+        report: &mut DegradationReport,
+    ) -> Result<bool> {
+        let victim = parts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.resident.as_ref().map(|t| (i, t.footprint())))
+            .max_by_key(|&(_, f)| f);
+        let Some((vi, _)) = victim else {
+            return Ok(false);
+        };
+        let table = parts[vi].resident.take().expect("victim is resident");
+        parts[vi].spilled = true;
+        parts[vi].hot_misses = 0;
+        let _span = self.span(
+            format!("spill p{vi} ({} groups)", table.len()),
+            SpanKind::Spill,
+        );
+        let mut bytes = 0u64;
+        let mut state = parts[vi].state.take();
+        for idx in 0..table.len() {
+            self.cancel.checkpoint(&mut self.budget)?;
+            bytes += self.append_state(&mut state, table.entry(idx as u32))?;
+        }
+        parts[vi].state = state;
+        drop(table); // releases the partition's reservations
+        report.note_spill(bytes);
+        Ok(true)
+    }
+
+    /// Adopts `q` as the hot group of a spilled partition; falls back to a
+    /// delta record when even one entry does not fit.
+    fn adopt_hot(
+        &mut self,
+        part: &mut Partition,
+        q: Tuple,
+        dno: Option<u32>,
+        report: &mut DegradationReport,
+    ) -> Result<()> {
+        let bits = if self.counter {
+            0
+        } else {
+            self.divisor_count as usize
+        };
+        match self.pool.reserve(self.qwidth + Bitmap::heap_bytes(bits)) {
+            Ok(mem) => {
+                let mut bitmap = Bitmap::new(bits);
+                let mut count = 0;
+                match dno {
+                    Some(d) if !self.counter => {
+                        bitmap.set(d as usize);
+                    }
+                    Some(_) => count = 1,
+                    None => {}
+                }
+                part.hot = Some(HotGroup {
+                    entry: HEntry {
+                        tuple: q,
+                        bitmap,
+                        count,
+                    },
+                    _mem: mem,
+                });
+                Ok(())
+            }
+            Err(_) => {
+                let mut delta = part.delta.take();
+                let bytes = self.append_delta(&mut delta, &q, dno)?;
+                part.delta = delta;
+                report.spill_bytes += bytes;
+                Ok(())
+            }
+        }
+    }
+
+    /// Absorbs a matched tuple into a spilled partition: the hot-group
+    /// accumulator when the key matches, a delta record otherwise.
+    fn absorb_spilled(
+        &mut self,
+        parts: &mut [Partition],
+        p: usize,
+        q: Tuple,
+        dno: Option<u32>,
+        report: &mut DegradationReport,
+    ) -> Result<()> {
+        let part = &mut parts[p];
+        if let Some(hot) = &mut part.hot {
+            if hot.entry.tuple.eq_on(&self.qcols, &q, &self.qcols) {
+                match dno {
+                    Some(d) if !self.counter => {
+                        hot.entry.bitmap.set(d as usize);
+                    }
+                    Some(_) => hot.entry.count += 1,
+                    None => {}
+                }
+                part.hot_misses = 0;
+                return Ok(());
+            }
+            part.hot_misses += 1;
+            if part.hot_misses >= HOT_MISS_LIMIT {
+                // The adopted group went cold: flush it and re-adopt.
+                let hot = part.hot.take().expect("checked above");
+                let mut state = part.state.take();
+                let bytes = self.append_state(&mut state, &hot.entry)?;
+                let part = &mut parts[p];
+                part.state = state;
+                part.hot_misses = 0;
+                report.spill_bytes += bytes;
+                return self.adopt_hot(&mut parts[p], q, dno, report);
+            }
+            let mut delta = part.delta.take();
+            let bytes = self.append_delta(&mut delta, &q, dno)?;
+            let part = &mut parts[p];
+            part.delta = delta;
+            report.spill_bytes += bytes;
+            return Ok(());
+        }
+        self.adopt_hot(&mut parts[p], q, dno, report)
+    }
+
+    /// Routes one matched tuple, spilling victims until it lands.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        &mut self,
+        parts: &mut [Partition],
+        p: usize,
+        q: Tuple,
+        h: u64,
+        dno: Option<u32>,
+        spilled_yet: &mut bool,
+        report: &mut DegradationReport,
+    ) -> Result<()> {
+        loop {
+            if parts[p].spilled {
+                return self.absorb_spilled(parts, p, q, dno, report);
+            }
+            if parts[p].resident.is_none() {
+                match self.new_table() {
+                    Ok(t) => parts[p].resident = Some(t),
+                    Err(e) if e.is_memory_exhausted() => {
+                        self.note_first_spill(spilled_yet, report);
+                        if !self.spill_victim(parts, report)? {
+                            // Nothing to evict: even an empty table does
+                            // not fit. Run this partition spilled.
+                            parts[p].spilled = true;
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            match parts[p]
+                .resident
+                .as_mut()
+                .expect("just ensured")
+                .absorb(&q, h, dno)
+            {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_memory_exhausted() => {
+                    self.note_first_spill(spilled_yet, report);
+                    // The victim may be `p` itself (largest wins); the
+                    // next iteration lands on the spilled path then.
+                    if !self.spill_victim(parts, report)? {
+                        parts[p].spilled = true;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn note_first_spill(&self, spilled_yet: &mut bool, report: &mut DegradationReport) {
+        if *spilled_yet {
+            return;
+        }
+        *spilled_yet = true;
+        if let Some(last) = report.phases.last_mut() {
+            last.push_str(": memory exhausted");
+        }
+        report.note_retry();
+        report.note_phase(format!("adaptive-hybrid f={}", self.fanout));
+    }
+
+    /// Re-admits one spilled partition when the pool has headroom again.
+    fn maybe_revive(
+        &mut self,
+        parts: &mut [Partition],
+        report: &mut DegradationReport,
+    ) -> Result<()> {
+        if self.pool.available() < self.revive_threshold {
+            return Ok(());
+        }
+        let Some(vi) = parts.iter().position(|p| p.spilled) else {
+            return Ok(());
+        };
+        let mut table = match self.new_table() {
+            Ok(t) => t,
+            // The headroom estimate was optimistic; stay spilled.
+            Err(e) if e.is_memory_exhausted() => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let _span = self.span(format!("revive p{vi}"), SpanKind::Revive);
+        if let Some(hot) = parts[vi].hot.take() {
+            let h = hot.entry.tuple.hash_on(&self.qcols);
+            match table.merge_entry(&hot.entry, h) {
+                Ok(()) => {}
+                Err(e) if e.is_memory_exhausted() => {
+                    // Keep the hot group where it was and abort the revive.
+                    parts[vi].hot = Some(hot);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        parts[vi].resident = Some(table);
+        parts[vi].spilled = false;
+        parts[vi].hot_misses = 0;
+        report.note_revive();
+        Ok(())
+    }
+
+    /// Streams the partition's spill files into a fresh table. On memory
+    /// exhaustion the partial table is discarded (the files still hold
+    /// every record) and the caller re-partitions.
+    fn try_merge(
+        &mut self,
+        state: &Option<SpillFile>,
+        delta: &Option<SpillFile>,
+    ) -> Result<HybridTable> {
+        let mut table = self.new_table()?;
+        let cancel = self.cancel;
+        let mut budget = self.budget;
+        if let Some(sf) = state {
+            let codecs = &self.codecs;
+            let qcols = &self.qcols;
+            for_each_record(self.storage, sf.file, &codecs.state, |t| {
+                cancel.checkpoint(&mut budget)?;
+                let (q, words, count) = codecs.decode_state(&t);
+                let h = q.hash_on(qcols);
+                table.merge_state(&q, h, &words, count)
+            })?;
+        }
+        if let Some(df) = delta {
+            let codecs = &self.codecs;
+            let qcols = &self.qcols;
+            for_each_record(self.storage, df.file, &codecs.delta, |t| {
+                cancel.checkpoint(&mut budget)?;
+                let (q, dno) = codecs.decode_delta(&t);
+                let h = q.hash_on(qcols);
+                table.absorb(&q, h, dno)
+            })?;
+        }
+        self.budget = budget;
+        Ok(table)
+    }
+
+    /// Splits a partition's spill files into `fanout` sub-partitions with
+    /// the next hash level. The bytes are *re-spooled* (already spilled
+    /// once), so they land in `respool_bytes`, never `spill_bytes`.
+    fn repartition(
+        &mut self,
+        state: Option<SpillFile>,
+        delta: Option<SpillFile>,
+        level: u32,
+        report: &mut DegradationReport,
+    ) -> Result<Vec<(Option<SpillFile>, Option<SpillFile>)>> {
+        let _span = self.span(format!("repartition level={level}"), SpanKind::Spill);
+        let mut subs: Vec<(Option<SpillFile>, Option<SpillFile>)> =
+            (0..self.fanout).map(|_| (None, None)).collect();
+        let cancel = self.cancel;
+        let mut budget = self.budget;
+        let fanout = self.fanout;
+        if let Some(sf) = &state {
+            // Collect first: `for_each_record` holds the storage borrow.
+            let mut routed: Vec<(usize, Tuple)> = Vec::new();
+            {
+                let codecs = &self.codecs;
+                let qcols = &self.qcols;
+                for_each_record(self.storage, sf.file, &codecs.state, |t| {
+                    cancel.checkpoint(&mut budget)?;
+                    let (q, _, _) = codecs.decode_state(&t);
+                    let h = q.hash_on(qcols);
+                    routed.push((route(h, level, fanout), t));
+                    Ok(())
+                })?;
+            }
+            for (sub, t) in routed {
+                let record = self.codecs.state.encode(&t)?;
+                if subs[sub].0.is_none() {
+                    let file = self.create_file();
+                    subs[sub].0 = Some(SpillFile { file, bytes: 0 });
+                }
+                let slot = subs[sub].0.as_mut().expect("just created");
+                self.storage.borrow_mut().append(slot.file, &record)?;
+                slot.bytes += record.len() as u64;
+                report.respool_bytes += record.len() as u64;
+            }
+        }
+        if let Some(df) = &delta {
+            let mut routed: Vec<(usize, Tuple)> = Vec::new();
+            {
+                let codecs = &self.codecs;
+                let qcols = &self.qcols;
+                for_each_record(self.storage, df.file, &codecs.delta, |t| {
+                    cancel.checkpoint(&mut budget)?;
+                    let (q, _) = codecs.decode_delta(&t);
+                    let h = q.hash_on(qcols);
+                    routed.push((route(h, level, fanout), t));
+                    Ok(())
+                })?;
+            }
+            for (sub, t) in routed {
+                let record = self.codecs.delta.encode(&t)?;
+                if subs[sub].1.is_none() {
+                    let file = self.create_file();
+                    subs[sub].1 = Some(SpillFile { file, bytes: 0 });
+                }
+                let slot = subs[sub].1.as_mut().expect("just created");
+                self.storage.borrow_mut().append(slot.file, &record)?;
+                slot.bytes += record.len() as u64;
+                report.respool_bytes += record.len() as u64;
+            }
+        }
+        self.budget = budget;
+        Ok(subs)
+    }
+
+    /// Merges one partition's files, recursing on exhaustion. `depth` is
+    /// the current recursion level (0 for the first pass).
+    fn merge_files(
+        &mut self,
+        label: usize,
+        state: Option<SpillFile>,
+        delta: Option<SpillFile>,
+        depth: u32,
+        result: &mut Relation,
+        report: &mut DegradationReport,
+    ) -> Result<()> {
+        if state.is_none() && delta.is_none() {
+            return Ok(());
+        }
+        let span = self.span(format!("merge p{label} depth={depth}"), SpanKind::Partition);
+        match self.try_merge(&state, &delta) {
+            Ok(table) => {
+                table.emit_complete(result)?;
+                drop(span);
+                Ok(())
+            }
+            Err(e) if e.is_memory_exhausted() => {
+                drop(span);
+                if depth >= MAX_RECURSION_DEPTH {
+                    return Err(ExecError::RecursionLimit { depth });
+                }
+                report.note_recursion(depth + 1);
+                let subs = self.repartition(state, delta, depth + 1, report)?;
+                for (i, (s, d)) in subs.into_iter().enumerate() {
+                    self.merge_files(i, s, d, depth + 1, result, report)?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Finishes one partition after the input is consumed.
+    fn finish_partition(
+        &mut self,
+        parts: &mut [Partition],
+        p: usize,
+        result: &mut Relation,
+        report: &mut DegradationReport,
+    ) -> Result<()> {
+        let resident = parts[p].resident.take();
+        let hot = parts[p].hot.take();
+        let has_file = parts[p].state.is_some() || parts[p].delta.is_some();
+        if !has_file {
+            // Fully in-memory: emit straight from the table (and the hot
+            // group of a partition that spilled before writing anything).
+            if let Some(table) = resident {
+                table.emit_complete(result)?;
+            }
+            if let Some(hot) = hot {
+                if hot.entry.complete(self.counter, self.divisor_count) {
+                    result
+                        .push(hot.entry.tuple.clone())
+                        .map_err(ExecError::from)?;
+                }
+            }
+            return Ok(());
+        }
+        // Flush the in-memory remains so the files hold every record, then
+        // merge from disk (first-time spills: these bytes never hit a file
+        // before).
+        let mut state = parts[p].state.take();
+        if let Some(table) = resident {
+            let mut bytes = 0u64;
+            for idx in 0..table.len() {
+                self.cancel.checkpoint(&mut self.budget)?;
+                bytes += self.append_state(&mut state, table.entry(idx as u32))?;
+            }
+            report.spill_bytes += bytes;
+        }
+        if let Some(hot) = hot {
+            report.spill_bytes += self.append_state(&mut state, &hot.entry)?;
+        }
+        let delta = parts[p].delta.take();
+        self.merge_files(p, state, delta, 0, result, report)
+    }
+
+    fn run(
+        &mut self,
+        mut dividend: BoxedOp,
+        dt: &DivisorTable,
+        divisor_keys: &[usize],
+        quotient_keys: &[usize],
+        report: &mut DegradationReport,
+    ) -> Result<Relation> {
+        let mut parts: Vec<Partition> = (0..self.fanout).map(|_| Partition::default()).collect();
+        let mut result = Relation::empty(self.quotient_schema.clone());
+        let mut spilled_yet = false;
+        let mut seen = 0u64;
+        dividend.open()?;
+        while let Some(t) = dividend.next()? {
+            self.cancel.checkpoint(&mut self.budget)?;
+            let dno = if dt.count() == 0 {
+                None // empty divisor: vacuously matched
+            } else {
+                match dt.lookup(&t, divisor_keys) {
+                    Some(d) => Some(d),
+                    None => continue, // no divisor match: discard
+                }
+            };
+            let q = t.project(quotient_keys);
+            let h = q.hash_on(&self.qcols);
+            let p = route(h, 0, self.fanout);
+            self.absorb(&mut parts, p, q, h, dno, &mut spilled_yet, report)?;
+            seen += 1;
+            if spilled_yet && seen % REVIVE_STRIDE == 0 {
+                self.maybe_revive(&mut parts, report)?;
+            }
+        }
+        dividend.close()?;
+        for p in 0..self.fanout {
+            self.finish_partition(&mut parts, p, &mut result, report)?;
+        }
+        Ok(result)
+    }
+
+    /// Deletes every spill file created during the run, success or not.
+    fn cleanup(&mut self) {
+        let mut sm = self.storage.borrow_mut();
+        for f in self.created.drain(..) {
+            let _ = sm.delete_file(f);
+        }
+    }
+}
+
+/// Memory-adaptive hybrid hash-division with spill accounting into
+/// `report` and optional profiling.
+///
+/// The divisor table must fit in the pool (as with quotient partitioning,
+/// "the divisor table must be kept in main memory during all phases");
+/// `MemoryExhausted` from its build is the caller's cue to partition the
+/// divisor instead.
+#[allow(clippy::too_many_arguments)] // the full division context
+pub fn adaptive_hybrid_report(
+    storage: &StorageRef,
+    pool: &MemoryPool,
+    dividend: BoxedOp,
+    mut divisor: BoxedOp,
+    spec: &DivisionSpec,
+    mode: HashDivisionMode,
+    fanout: usize,
+    cancel: CancelToken,
+    profile: Option<&ProfileSink>,
+    report: &mut DegradationReport,
+) -> Result<Relation> {
+    if fanout < 2 {
+        return Err(ExecError::Plan("adaptive hybrid needs fanout >= 2".into()));
+    }
+    spec.validate(dividend.schema(), divisor.schema())?;
+    let quotient_schema = spec.quotient_schema(dividend.schema())?;
+    report.note_phase("in-memory");
+    let span = profile.map(|sink| {
+        SpanScope::enter(
+            sink,
+            "hash-division (adaptive)",
+            SpanKind::HashDivision,
+            Some(storage.clone()),
+        )
+    });
+
+    // Step 1 once: the divisor table stays resident for every phase.
+    let dt = DivisorTable::build(&mut divisor, pool)?;
+
+    // EarlyOut's incremental emission cannot survive a spill (a completed
+    // candidate would be re-emitted by the merge pass), so the adaptive
+    // path runs it as Standard; the quotient set is identical.
+    let counter = mode == HashDivisionMode::CounterOnly;
+    let mut hybrid = Hybrid {
+        storage,
+        pool: pool.clone(),
+        counter,
+        divisor_count: dt.count(),
+        qcols: (0..spec.quotient_keys.len()).collect(),
+        qwidth: quotient_schema.record_width(),
+        codecs: SpillCodecs::new(&quotient_schema, counter, dt.count()),
+        quotient_schema,
+        fanout,
+        cancel,
+        budget: 0,
+        profile,
+        // Two average partitions' worth of headroom: one spill frees about
+        // capacity/fanout, so a single-partition threshold would let every
+        // spill immediately trigger a revive (spill-revive churn). Real
+        // headroom (a neighbour query finishing) clears the bar.
+        revive_threshold: (2 * (pool.capacity() / fanout)).max(8 * 1024),
+        created: Vec::new(),
+    };
+    let result = hybrid.run(
+        dividend,
+        &dt,
+        &spec.divisor_keys,
+        &spec.quotient_keys,
+        report,
+    );
+    hybrid.cleanup();
+    drop(span);
+    result
+}
+
+/// [`adaptive_hybrid_report`] without cancellation, profiling, or an
+/// existing report — the plain entry point for tests and tools.
+pub fn adaptive_hybrid(
+    storage: &StorageRef,
+    pool: &MemoryPool,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: &DivisionSpec,
+    mode: HashDivisionMode,
+    fanout: usize,
+) -> Result<(Relation, DegradationReport)> {
+    let mut report = DegradationReport::new();
+    let rel = adaptive_hybrid_report(
+        storage,
+        pool,
+        dividend,
+        divisor,
+        spec,
+        mode,
+        fanout,
+        CancelToken::none(),
+        None,
+        &mut report,
+    )?;
+    Ok((rel, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldiv_exec::op::Operator;
+    use reldiv_exec::scan::MemScan;
+    use reldiv_rel::tuple::ints;
+    use reldiv_storage::manager::StorageConfig;
+
+    fn transcript(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("cno")]);
+        Relation::from_tuples(schema, rows.iter().map(|r| ints(r)).collect()).unwrap()
+    }
+
+    fn courses(nos: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Field::int("cno")]);
+        Relation::from_tuples(schema, nos.iter().map(|&n| ints(&[n])).collect()).unwrap()
+    }
+
+    fn storage() -> StorageRef {
+        StorageManager::shared(StorageConfig::large())
+    }
+
+    fn sids(rel: &Relation) -> Vec<i64> {
+        let mut v: Vec<i64> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn run_with_pool(
+        dividend: &Relation,
+        divisor: &Relation,
+        mode: HashDivisionMode,
+        pool: MemoryPool,
+    ) -> (Vec<i64>, DegradationReport) {
+        let st = storage();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (rel, report) = adaptive_hybrid(
+            &st,
+            &pool,
+            Box::new(MemScan::new(dividend.clone())),
+            Box::new(MemScan::new(divisor.clone())),
+            &spec,
+            mode,
+            DEFAULT_FANOUT,
+        )
+        .unwrap();
+        (sids(&rel), report)
+    }
+
+    fn workload() -> (Relation, Relation, Vec<i64>) {
+        let mut rows = Vec::new();
+        for s in 0..60i64 {
+            for c in 0..=(s % 13) {
+                rows.push([s, c]);
+            }
+        }
+        let expected: Vec<i64> = (0..60).filter(|s| s % 13 >= 7).collect();
+        (
+            transcript(&rows),
+            courses(&(0..8).collect::<Vec<_>>()),
+            expected,
+        )
+    }
+
+    #[test]
+    fn clean_run_spills_nothing() {
+        let (dividend, divisor, expected) = workload();
+        for mode in [HashDivisionMode::Standard, HashDivisionMode::EarlyOut] {
+            let (out, report) = run_with_pool(&dividend, &divisor, mode, MemoryPool::unbounded());
+            assert_eq!(out, expected, "{mode:?}");
+            assert!(!report.degraded, "{mode:?}");
+            assert_eq!(report.final_phase(), Some("in-memory"));
+            assert_eq!(report.spill_bytes, 0);
+            assert_eq!(report.partitions_spilled, 0);
+        }
+    }
+
+    /// Peak memory of a fully in-memory run, for picking budgets that
+    /// genuinely under- or over-provision the workload.
+    fn in_memory_peak(dividend: &Relation, divisor: &Relation, mode: HashDivisionMode) -> usize {
+        let pool = MemoryPool::unbounded();
+        run_with_pool(dividend, divisor, mode, pool.clone());
+        pool.peak()
+    }
+
+    #[test]
+    fn tight_budget_spills_and_still_matches() {
+        let mut rows = Vec::new();
+        for q in 0..3000i64 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let peak = in_memory_peak(&dividend, &divisor, HashDivisionMode::Standard);
+        for frac in [8, 4, 2] {
+            let budget = peak / frac;
+            let (out, report) = run_with_pool(
+                &dividend,
+                &divisor,
+                HashDivisionMode::Standard,
+                MemoryPool::new(budget),
+            );
+            assert_eq!(out.len(), 3000, "budget={budget}");
+            assert_eq!(out, (0..3000).collect::<Vec<_>>());
+            assert!(report.degraded, "budget={budget}");
+            assert!(report.partitions_spilled > 0, "budget={budget}");
+            assert!(report.spill_bytes > 0);
+            assert_eq!(report.phases[0], "in-memory: memory exhausted");
+            assert!(report.final_phase().unwrap().starts_with("adaptive-hybrid"));
+        }
+    }
+
+    #[test]
+    fn only_some_partitions_spill_under_mild_pressure() {
+        // A budget that holds most of the quotient table: the adaptive
+        // path must not evict all 16 partitions.
+        let mut rows = Vec::new();
+        for q in 0..2000i64 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let peak = in_memory_peak(&dividend, &divisor, HashDivisionMode::Standard);
+        let (out, report) = run_with_pool(
+            &dividend,
+            &divisor,
+            HashDivisionMode::Standard,
+            MemoryPool::new(peak * 7 / 8),
+        );
+        assert_eq!(out.len(), 2000);
+        assert!(report.partitions_spilled >= 1);
+        assert!(
+            report.partitions_spilled < DEFAULT_FANOUT as u32,
+            "incremental spill must keep some partitions resident: {}",
+            report.partitions_spilled
+        );
+    }
+
+    #[test]
+    fn counter_mode_matches_under_pressure() {
+        let mut rows = Vec::new();
+        for q in 0..2500i64 {
+            rows.push([q, 1]);
+            if q % 3 == 0 {
+                rows.push([q, 2]);
+            }
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let expected: Vec<i64> = (0..2500).filter(|q| q % 3 == 0).collect();
+        let (out, report) = run_with_pool(
+            &dividend,
+            &divisor,
+            HashDivisionMode::CounterOnly,
+            MemoryPool::new(32 * 1024),
+        );
+        assert_eq!(out, expected);
+        assert!(report.degraded);
+    }
+
+    #[test]
+    fn empty_divisor_is_vacuous() {
+        let dividend = transcript(&[[1, 10], [2, 20], [1, 30]]);
+        let divisor = courses(&[]);
+        let (out, _) = run_with_pool(
+            &dividend,
+            &divisor,
+            HashDivisionMode::Standard,
+            MemoryPool::unbounded(),
+        );
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_divisor_is_vacuous_under_pressure() {
+        let rows: Vec<[i64; 2]> = (0..4000i64).map(|q| [q, q % 7]).collect();
+        let dividend = transcript(&rows);
+        let divisor = courses(&[]);
+        let (out, report) = run_with_pool(
+            &dividend,
+            &divisor,
+            HashDivisionMode::Standard,
+            MemoryPool::new(24 * 1024),
+        );
+        assert_eq!(out, (0..4000).collect::<Vec<_>>());
+        assert!(report.degraded);
+    }
+
+    #[test]
+    fn empty_dividend_is_empty() {
+        let (out, report) = run_with_pool(
+            &transcript(&[]),
+            &courses(&[1]),
+            HashDivisionMode::Standard,
+            MemoryPool::new(16 * 1024),
+        );
+        assert!(out.is_empty());
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn duplicate_dividend_tuples_stay_harmless_across_spills() {
+        // Student 2 has duplicates of (2,1) but never took course 2; a
+        // count-based merge would wrongly qualify them.
+        let mut rows = vec![[1, 1], [1, 2]];
+        for _ in 0..50 {
+            rows.push([2, 1]);
+        }
+        for q in 3..2000i64 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let (out, report) = run_with_pool(
+            &dividend,
+            &divisor,
+            HashDivisionMode::Standard,
+            MemoryPool::new(24 * 1024),
+        );
+        let expected: Vec<i64> = std::iter::once(1).chain(3..2000).collect();
+        assert_eq!(out, expected);
+        assert!(report.degraded, "the workload must actually spill");
+    }
+
+    #[test]
+    fn skewed_hot_group_accumulates_instead_of_spilling_per_tuple() {
+        // One student holds ~50% of the dividend; the hot-group
+        // accumulator must keep the spill volume near the non-skewed
+        // tuples' share rather than one delta record per hot tuple.
+        let mut rows = Vec::new();
+        for c in 0..2000i64 {
+            rows.push([7, c % 4]); // hot group: 2000 tuples, 4 courses
+        }
+        for q in 0..500i64 {
+            rows.push([1000 + q, 0]);
+            rows.push([1000 + q, 1]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[0, 1, 2, 3]);
+        let (out, report) = run_with_pool(
+            &dividend,
+            &divisor,
+            HashDivisionMode::Standard,
+            MemoryPool::new(16 * 1024),
+        );
+        assert_eq!(out, vec![7], "only the hot student took all 4 courses");
+        assert!(report.degraded);
+        // 2000 hot tuples at ~24 bytes each would be ~48 KB of deltas if
+        // the hot group spilled per-tuple; the accumulator keeps the
+        // total well under that.
+        assert!(
+            report.spill_bytes < 40_000,
+            "hot group must not spill per-tuple: {} bytes",
+            report.spill_bytes
+        );
+    }
+
+    /// An operator that releases an external reservation after N tuples,
+    /// simulating a concurrent query finishing mid-stream.
+    struct Releasing {
+        inner: MemScan,
+        release_after: u64,
+        seen: u64,
+        held: Option<Reservation>,
+    }
+
+    impl Operator for Releasing {
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+        fn open(&mut self) -> Result<()> {
+            self.inner.open()
+        }
+        fn next(&mut self) -> Result<Option<Tuple>> {
+            self.seen += 1;
+            if self.seen == self.release_after {
+                self.held = None;
+            }
+            self.inner.next()
+        }
+        fn close(&mut self) -> Result<()> {
+            self.inner.close()
+        }
+    }
+
+    #[test]
+    fn freed_memory_revives_spilled_partitions() {
+        let mut rows = Vec::new();
+        for q in 0..4000i64 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let st = storage();
+        let pool = MemoryPool::new(256 * 1024);
+        // A neighbour hogs 90% of the pool for the first quarter of the
+        // stream, then finishes.
+        let held = pool.reserve(230 * 1024).unwrap();
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let scan = Releasing {
+            inner: MemScan::new(dividend),
+            release_after: 2000,
+            seen: 0,
+            held: Some(held),
+        };
+        let mut report = DegradationReport::new();
+        let rel = adaptive_hybrid_report(
+            &st,
+            &pool,
+            Box::new(scan),
+            Box::new(MemScan::new(divisor)),
+            &spec,
+            HashDivisionMode::Standard,
+            DEFAULT_FANOUT,
+            CancelToken::none(),
+            None,
+            &mut report,
+        )
+        .unwrap();
+        assert_eq!(sids(&rel), (0..4000).collect::<Vec<_>>());
+        assert!(report.partitions_spilled > 0, "must spill while squeezed");
+        assert!(
+            report.partitions_revived > 0,
+            "freed memory must revive spilled partitions: {report:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_budget_hits_the_recursion_limit() {
+        // A divisor so wide that a single bit map exceeds the pool: no
+        // amount of quotient re-partitioning can make a group fit, so the
+        // typed recursion error must surface (the Auto ladder's cue to
+        // partition the divisor instead).
+        let mut rows = Vec::new();
+        for d in 0..3000i64 {
+            rows.push([1, d]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&(0..3000).collect::<Vec<_>>());
+        let st = storage();
+        // Big enough for the divisor table, too small for any quotient
+        // entry's 3000-bit map plus table overhead... the divisor table
+        // for 3000 ints needs ~130 KB; give a pool that fits it with only
+        // a sliver to spare.
+        let dt_pool = MemoryPool::unbounded();
+        let mut probe: BoxedOp = Box::new(MemScan::new(divisor.clone()));
+        let dt = DivisorTable::build(&mut probe, &dt_pool).unwrap();
+        assert_eq!(dt.count(), 3000);
+        let needed = dt_pool.peak();
+        // Headroom fits an empty partition table but never a 3000-bit
+        // quotient entry (~384 bytes of bit map alone), at any depth.
+        let pool = MemoryPool::new(needed + 300);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let err = adaptive_hybrid(
+            &st,
+            &pool,
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            &spec,
+            HashDivisionMode::Standard,
+            4,
+        )
+        .unwrap_err();
+        assert!(err.is_recursion_limit(), "want RecursionLimit, got {err:?}");
+    }
+
+    #[test]
+    fn respool_bytes_stay_separate_from_spill_bytes() {
+        // Force recursion: a modest budget with a huge candidate count
+        // makes first-pass merges overflow and re-partition.
+        let rows: Vec<[i64; 2]> = (0..12_000i64).map(|q| [q, 1]).collect();
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1]);
+        let st = storage();
+        let pool = MemoryPool::new(12 * 1024);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (rel, report) = adaptive_hybrid(
+            &st,
+            &pool,
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            &spec,
+            HashDivisionMode::Standard,
+            4,
+        )
+        .unwrap();
+        assert_eq!(rel.cardinality(), 12_000);
+        assert!(report.recursion_depth >= 1, "{report:?}");
+        assert!(report.respool_bytes > 0, "{report:?}");
+        // Re-spooled bytes must not inflate the first-time spill count:
+        // every dividend tuple is spilled at most once (plus table-state
+        // flushes), so spill_bytes stays well under the total rewritten.
+        assert!(report.spill_bytes < report.spill_bytes + report.respool_bytes);
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let mut rows = Vec::new();
+        for q in 0..3000i64 {
+            rows.push([q, 1]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1]);
+        let st = storage();
+        let files_before = st.borrow().file_count();
+        let pool = MemoryPool::new(20 * 1024);
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (rel, report) = adaptive_hybrid(
+            &st,
+            &pool,
+            Box::new(MemScan::new(dividend)),
+            Box::new(MemScan::new(divisor)),
+            &spec,
+            HashDivisionMode::Standard,
+            DEFAULT_FANOUT,
+        )
+        .unwrap();
+        assert_eq!(rel.cardinality(), 3000);
+        assert!(report.degraded);
+        assert_eq!(
+            st.borrow().file_count(),
+            files_before,
+            "all spill files must be deleted"
+        );
+    }
+}

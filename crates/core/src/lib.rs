@@ -57,6 +57,7 @@ pub mod bitmap;
 pub mod contains;
 pub mod hash_agg;
 pub mod hash_division;
+pub mod hybrid;
 pub mod mem;
 pub mod naive;
 pub mod overflow;

@@ -23,11 +23,12 @@
 
 use reldiv_exec::cancel::CancelToken;
 use reldiv_exec::op::BoxedOp;
-use reldiv_rel::{RecordCodec, Relation, Schema, Tuple};
+use reldiv_rel::{RecordCodec, Relation, Schema, Tuple, Value};
 use reldiv_storage::file::ScanCursor;
-use reldiv_storage::{FileId, StorageManager, StorageRef};
+use reldiv_storage::{FileId, MemoryPool, StorageManager, StorageRef};
 
 use crate::hash_division::{DivisorTable, HashDivisionMode, QuotientTable};
+use crate::hybrid::{adaptive_hybrid_report, DEFAULT_FANOUT};
 use crate::report::DegradationReport;
 use crate::spec::DivisionSpec;
 use crate::{ExecError, Result};
@@ -73,8 +74,10 @@ impl ClusterWriter {
     }
 }
 
-/// Reads one cluster file back, tuple at a time.
-fn for_each_record(
+/// Reads one cluster file back, tuple at a time. Shared with the
+/// adaptive-hybrid module, which streams its state/delta spill files the
+/// same way.
+pub(crate) fn for_each_record(
     storage: &StorageRef,
     file: FileId,
     codec: &RecordCodec,
@@ -108,8 +111,10 @@ pub fn quotient_partitioned(
     partitions: usize,
 ) -> Result<Relation> {
     let mut report = DegradationReport::new();
+    let pool = storage.borrow().memory();
     quotient_partitioned_report(
         storage,
+        &pool,
         dividend,
         divisor,
         spec,
@@ -120,11 +125,35 @@ pub fn quotient_partitioned(
     )
 }
 
-/// [`quotient_partitioned`] with cooperative cancellation and spill
+/// [`quotient_partitioned`] with an explicit memory pool (per-query
+/// budgets use a child pool), cooperative cancellation, and spill
 /// accounting into `report`.
 #[allow(clippy::too_many_arguments)] // mirrors quotient_partitioned + context
 pub fn quotient_partitioned_report(
     storage: &StorageRef,
+    pool: &MemoryPool,
+    dividend: BoxedOp,
+    divisor: BoxedOp,
+    spec: &DivisionSpec,
+    mode: HashDivisionMode,
+    partitions: usize,
+    cancel: CancelToken,
+    report: &mut DegradationReport,
+) -> Result<Relation> {
+    quotient_partitioned_impl(
+        storage, pool, dividend, divisor, spec, mode, partitions, cancel, report, false,
+    )
+}
+
+/// The shared implementation. `respool` routes the cluster-file bytes to
+/// `report.respool_bytes` instead of `spill_bytes` — combined partitioning
+/// uses it for its inner per-phase divisions, whose inputs are cluster
+/// files that were already counted when first spooled (double-counting
+/// them as fresh spills was a long-standing accounting bug).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn quotient_partitioned_impl(
+    storage: &StorageRef,
+    pool: &MemoryPool,
     mut dividend: BoxedOp,
     mut divisor: BoxedOp,
     spec: &DivisionSpec,
@@ -132,6 +161,7 @@ pub fn quotient_partitioned_report(
     partitions: usize,
     cancel: CancelToken,
     report: &mut DegradationReport,
+    respool: bool,
 ) -> Result<Relation> {
     if partitions < 2 {
         return Err(ExecError::Plan(
@@ -140,10 +170,53 @@ pub fn quotient_partitioned_report(
     }
     spec.validate(dividend.schema(), divisor.schema())?;
     let quotient_schema = spec.quotient_schema(dividend.schema())?;
-    let pool = storage.borrow().memory();
 
-    // Step 1 once: the divisor table is resident for every phase.
-    let dt = DivisorTable::build(&mut divisor, &pool)?;
+    // Step 1 once: the divisor table is resident for every phase. Built
+    // before any temporary file exists, so its exhaustion leaks nothing.
+    let dt = DivisorTable::build(&mut divisor, pool)?;
+
+    let mut writer = ClusterWriter::new(storage, dividend.schema().clone(), partitions - 1);
+    let outcome = quotient_partitioned_phases(
+        storage,
+        pool,
+        &mut dividend,
+        &dt,
+        spec,
+        mode,
+        partitions,
+        cancel,
+        &mut writer,
+        &quotient_schema,
+    );
+    // Spooled bytes are accounted and the temporary cluster files deleted
+    // whether the rung succeeded or was abandoned mid-phase: an abandoned
+    // rung used to leak both the files and the byte count.
+    if respool {
+        report.respool_bytes += writer.spilled;
+    } else {
+        report.spill_bytes += writer.spilled;
+    }
+    let cleanup = writer.delete_all(storage);
+    let result = outcome?;
+    cleanup?;
+    Ok(result)
+}
+
+/// Streaming + per-cluster phases of quotient partitioning, separated so
+/// the caller can account and clean up on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn quotient_partitioned_phases(
+    storage: &StorageRef,
+    pool: &MemoryPool,
+    dividend: &mut BoxedOp,
+    dt: &DivisorTable,
+    spec: &DivisionSpec,
+    mode: HashDivisionMode,
+    partitions: usize,
+    cancel: CancelToken,
+    writer: &mut ClusterWriter,
+    quotient_schema: &Schema,
+) -> Result<Relation> {
     let lookup = |t: &Tuple| -> Option<Option<u32>> {
         if dt.count() == 0 {
             Some(None) // empty divisor: vacuously matched
@@ -163,13 +236,12 @@ pub fn quotient_partitioned_report(
     // Cluster 0 is processed while the dividend streams (hybrid style);
     // clusters 1..k are spooled on the quotient-attribute hash.
     let mut resident = QuotientTable::new(
-        &pool,
+        pool,
         mode,
         dt.count(),
         spec.quotient_keys.clone(),
         quotient_schema.record_width(),
     )?;
-    let mut writer = ClusterWriter::new(storage, dividend.schema().clone(), partitions - 1);
     let mut budget = 0u32;
     dividend.open()?;
     while let Some(t) = dividend.next()? {
@@ -194,7 +266,7 @@ pub fn quotient_partitioned_report(
     let codec = writer.codec.clone();
     for i in 0..partitions - 1 {
         let mut qt = QuotientTable::new(
-            &pool,
+            pool,
             mode,
             dt.count(),
             spec.quotient_keys.clone(),
@@ -215,8 +287,6 @@ pub fn quotient_partitioned_report(
         }
         emit(&mut qt, &mut result)?;
     }
-    report.spill_bytes += writer.spilled;
-    writer.delete_all(storage)?;
     Ok(result)
 }
 
@@ -229,8 +299,10 @@ pub fn divisor_partitioned(
     partitions: usize,
 ) -> Result<Relation> {
     let mut report = DegradationReport::new();
+    let pool = storage.borrow().memory();
     divisor_partitioned_report(
         storage,
+        &pool,
         dividend,
         divisor,
         spec,
@@ -240,10 +312,12 @@ pub fn divisor_partitioned(
     )
 }
 
-/// [`divisor_partitioned`] with cooperative cancellation and spill
-/// accounting into `report`.
+/// [`divisor_partitioned`] with an explicit memory pool, cooperative
+/// cancellation, and spill accounting into `report`.
+#[allow(clippy::too_many_arguments)] // mirrors divisor_partitioned + context
 pub fn divisor_partitioned_report(
     storage: &StorageRef,
+    pool: &MemoryPool,
     mut dividend: BoxedOp,
     mut divisor: BoxedOp,
     spec: &DivisionSpec,
@@ -258,11 +332,61 @@ pub fn divisor_partitioned_report(
     }
     spec.validate(dividend.schema(), divisor.schema())?;
     let quotient_schema = spec.quotient_schema(dividend.schema())?;
-    let pool = storage.borrow().memory();
 
+    let mut divisor_writer = ClusterWriter::new(storage, divisor.schema().clone(), partitions);
+    let mut dividend_writer = ClusterWriter::new(storage, dividend.schema().clone(), partitions);
+    let collection_file = storage.borrow_mut().create_file(StorageManager::DATA_DISK);
+    let mut collection_spilled = 0u64;
+    let outcome = divisor_partitioned_phases(
+        storage,
+        pool,
+        &mut dividend,
+        &mut divisor,
+        spec,
+        partitions,
+        cancel,
+        &quotient_schema,
+        &mut divisor_writer,
+        &mut dividend_writer,
+        collection_file,
+        &mut collection_spilled,
+        report,
+    );
+    // Spooled bytes (cluster files + the collection file) are accounted
+    // and the temporaries deleted on every exit path — a phase abandoned
+    // by memory exhaustion used to leak all three files and report none
+    // of the bytes it had already written.
+    report.spill_bytes += divisor_writer.spilled + dividend_writer.spilled + collection_spilled;
+    let cleanup_divisor = divisor_writer.delete_all(storage);
+    let cleanup_dividend = dividend_writer.delete_all(storage);
+    let cleanup_collection = storage.borrow_mut().delete_file(collection_file);
+    let result = outcome?;
+    cleanup_divisor?;
+    cleanup_dividend?;
+    cleanup_collection?;
+    Ok(result)
+}
+
+/// The phases of divisor partitioning, separated so the caller can
+/// account and clean up on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn divisor_partitioned_phases(
+    storage: &StorageRef,
+    pool: &MemoryPool,
+    dividend: &mut BoxedOp,
+    divisor: &mut BoxedOp,
+    spec: &DivisionSpec,
+    partitions: usize,
+    cancel: CancelToken,
+    quotient_schema: &Schema,
+    divisor_writer: &mut ClusterWriter,
+    dividend_writer: &mut ClusterWriter,
+    collection_file: FileId,
+    collection_spilled: &mut u64,
+    report: &mut DegradationReport,
+) -> Result<Relation> {
     // Partition the divisor and the dividend with the same function
     // applied to the divisor attributes.
-    let mut divisor_writer = ClusterWriter::new(storage, divisor.schema().clone(), partitions);
     let divisor_all = spec.divisor_all_columns();
     let mut divisor_cluster_sizes = vec![0u64; partitions];
     let mut budget = 0u32;
@@ -275,7 +399,6 @@ pub fn divisor_partitioned_report(
     }
     divisor.close()?;
 
-    let mut dividend_writer = ClusterWriter::new(storage, dividend.schema().clone(), partitions);
     dividend.open()?;
     while let Some(t) = dividend.next()? {
         cancel.checkpoint(&mut budget)?;
@@ -290,18 +413,16 @@ pub fn divisor_partitioned_report(
     collection_schema_fields.push(reldiv_rel::schema::Field::int("phase"));
     let collection_schema = Schema::new(collection_schema_fields);
     let collection_codec = RecordCodec::new(collection_schema.clone());
-    let collection_file = storage.borrow_mut().create_file(StorageManager::DATA_DISK);
 
     let empty_divisor = divisor_cluster_sizes.iter().all(|&n| n == 0);
     let mut phase_count: u32 = 0;
     let divisor_codec = divisor_writer.codec.clone();
     let dividend_codec = dividend_writer.codec.clone();
-    let mut collection_spilled = 0u64;
     let mut spool_q = |q: Tuple, phase: u32| -> Result<()> {
         let mut vals = q.into_values();
         vals.push(reldiv_rel::Value::Int(phase as i64));
         let record = collection_codec.encode(&Tuple::new(vals))?;
-        collection_spilled += record.len() as u64;
+        *collection_spilled += record.len() as u64;
         storage.borrow_mut().append(collection_file, &record)?;
         Ok(())
     };
@@ -322,11 +443,11 @@ pub fn divisor_partitioned_report(
                 divisor_writer.files[i],
                 divisor_codec.schema().clone(),
             ));
-            Some(DivisorTable::build(&mut scan, &pool)?)
+            Some(DivisorTable::build(&mut scan, pool)?)
         };
         let divisor_count = dt.as_ref().map_or(0, DivisorTable::count);
         let mut qt = QuotientTable::new(
-            &pool,
+            pool,
             HashDivisionMode::Standard,
             divisor_count,
             spec.quotient_keys.clone(),
@@ -357,38 +478,73 @@ pub fn divisor_partitioned_report(
     if empty_divisor {
         phase_count = 1;
     }
-    report.spill_bytes += divisor_writer.spilled + dividend_writer.spilled + collection_spilled;
-    divisor_writer.delete_all(storage)?;
-    dividend_writer.delete_all(storage)?;
 
     // Collection phase: divide the union of the quotient clusters by the
-    // set of phase numbers, using the phase number as the bit index
+    // set of phase numbers, using the phase number as the divisor value
     // (skipping step 1 of hash-division).
-    let mut collector = QuotientTable::new(
-        &pool,
-        HashDivisionMode::Standard,
+    collection_division(
+        storage,
+        pool,
+        collection_file,
+        &collection_schema,
         phase_count,
-        (0..quotient_schema.arity()).collect(),
-        quotient_schema.record_width(),
-    )?;
-    let phase_col = collection_schema.arity() - 1;
-    for_each_record(storage, collection_file, &collection_codec, |t| {
-        cancel.checkpoint(&mut budget)?;
-        let tag = t
-            .value(phase_col)
-            .as_int()
-            .ok_or_else(|| ExecError::Plan("collection-phase tag must be Int".into()))?
-            as u32;
-        let dno = if phase_count == 0 { None } else { Some(tag) };
-        let q = t.project(&(0..phase_col).collect::<Vec<_>>());
-        collector.absorb(&q, dno)?;
-        Ok(())
-    })?;
-    storage.borrow_mut().delete_file(collection_file)?;
+        cancel,
+        report,
+    )
+}
 
-    let mut result = Relation::empty(quotient_schema);
-    while let Some(q) = collector.next_complete() {
-        result.push(q).map_err(ExecError::from)?;
+/// The collection phase shared by divisor and combined partitioning —
+/// "this problem is exactly the division problem again": divide the
+/// tagged quotient clusters by the set of phase numbers.
+///
+/// It runs through the memory-adaptive hybrid, so a quotient-candidate
+/// set larger than memory spills incrementally instead of aborting the
+/// whole rung (divisor partitioning bounds the per-phase *divisor*
+/// table, never the candidate count). Its writes re-cluster records
+/// already counted when the collection file was spooled, so they fold
+/// into the caller's report as re-spools, never fresh spills.
+fn collection_division(
+    storage: &StorageRef,
+    pool: &MemoryPool,
+    collection_file: FileId,
+    collection_schema: &Schema,
+    phase_count: u32,
+    cancel: CancelToken,
+    report: &mut DegradationReport,
+) -> Result<Relation> {
+    let phases = Relation::from_tuples(
+        Schema::new(vec![reldiv_rel::schema::Field::int("phase")]),
+        (0..i64::from(phase_count))
+            .map(|p| Tuple::new(vec![Value::Int(p)]))
+            .collect(),
+    )
+    .map_err(ExecError::from)?;
+    let spec = DivisionSpec::trailing_divisor(collection_schema, phases.schema())?;
+    let dividend: BoxedOp = Box::new(reldiv_exec::scan::FileScan::new(
+        storage.clone(),
+        collection_file,
+        collection_schema.clone(),
+    ));
+    let divisor: BoxedOp = Box::new(reldiv_exec::scan::MemScan::new(phases));
+    let mut local = DegradationReport::new();
+    let result = adaptive_hybrid_report(
+        storage,
+        pool,
+        dividend,
+        divisor,
+        &spec,
+        HashDivisionMode::Standard,
+        DEFAULT_FANOUT,
+        cancel,
+        None,
+        &mut local,
+    )?;
+    if local.degraded {
+        report.respool_bytes += local.spill_bytes + local.respool_bytes;
+        report.partitions_spilled += local.partitions_spilled;
+        report.partitions_revived += local.partitions_revived;
+        report.recursion_depth = report.recursion_depth.max(local.recursion_depth);
+        report.note_phase("collection: adaptive");
     }
     Ok(result)
 }
@@ -414,8 +570,10 @@ pub fn combined_partitioned(
     quotient_partitions: usize,
 ) -> Result<Relation> {
     let mut report = DegradationReport::new();
+    let pool = storage.borrow().memory();
     combined_partitioned_report(
         storage,
+        &pool,
         dividend,
         divisor,
         spec,
@@ -426,11 +584,17 @@ pub fn combined_partitioned(
     )
 }
 
-/// [`combined_partitioned`] with cooperative cancellation and spill
-/// accounting into `report`.
+/// [`combined_partitioned`] with an explicit memory pool, cooperative
+/// cancellation, and spill accounting into `report`.
+///
+/// Accounting: the divisor/dividend cluster files and the collection
+/// records are first-time spills (`spill_bytes`); the inner per-phase
+/// quotient partitionings re-cluster data that is *already* in cluster
+/// files, so their bytes land in `respool_bytes`.
 #[allow(clippy::too_many_arguments)] // mirrors combined_partitioned + context
 pub fn combined_partitioned_report(
     storage: &StorageRef,
+    pool: &MemoryPool,
     mut dividend: BoxedOp,
     mut divisor: BoxedOp,
     spec: &DivisionSpec,
@@ -446,12 +610,60 @@ pub fn combined_partitioned_report(
     }
     spec.validate(dividend.schema(), divisor.schema())?;
     let quotient_schema = spec.quotient_schema(dividend.schema())?;
-    let pool = storage.borrow().memory();
     let k = divisor_partitions;
 
+    let mut divisor_writer = ClusterWriter::new(storage, divisor.schema().clone(), k);
+    let mut dividend_writer = ClusterWriter::new(storage, dividend.schema().clone(), k);
+    let collection_file = storage.borrow_mut().create_file(StorageManager::DATA_DISK);
+    let mut collection_spilled = 0u64;
+    let outcome = combined_partitioned_phases(
+        storage,
+        pool,
+        &mut dividend,
+        &mut divisor,
+        spec,
+        k,
+        quotient_partitions,
+        cancel,
+        &quotient_schema,
+        &mut divisor_writer,
+        &mut dividend_writer,
+        collection_file,
+        &mut collection_spilled,
+        report,
+    );
+    report.spill_bytes += divisor_writer.spilled + dividend_writer.spilled + collection_spilled;
+    let cleanup_divisor = divisor_writer.delete_all(storage);
+    let cleanup_dividend = dividend_writer.delete_all(storage);
+    let cleanup_collection = storage.borrow_mut().delete_file(collection_file);
+    let result = outcome?;
+    cleanup_divisor?;
+    cleanup_dividend?;
+    cleanup_collection?;
+    Ok(result)
+}
+
+/// The phases of combined partitioning, separated so the caller can
+/// account and clean up on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn combined_partitioned_phases(
+    storage: &StorageRef,
+    pool: &MemoryPool,
+    dividend: &mut BoxedOp,
+    divisor: &mut BoxedOp,
+    spec: &DivisionSpec,
+    k: usize,
+    quotient_partitions: usize,
+    cancel: CancelToken,
+    quotient_schema: &Schema,
+    divisor_writer: &mut ClusterWriter,
+    dividend_writer: &mut ClusterWriter,
+    collection_file: FileId,
+    collection_spilled: &mut u64,
+    report: &mut DegradationReport,
+) -> Result<Relation> {
     // Partition both inputs on the divisor attributes (as in
     // `divisor_partitioned`).
-    let mut divisor_writer = ClusterWriter::new(storage, divisor.schema().clone(), k);
     let divisor_all = spec.divisor_all_columns();
     let mut divisor_cluster_sizes = vec![0u64; k];
     let mut budget = 0u32;
@@ -463,7 +675,6 @@ pub fn combined_partitioned_report(
         divisor_writer.write(storage, cluster, &t)?;
     }
     divisor.close()?;
-    let mut dividend_writer = ClusterWriter::new(storage, dividend.schema().clone(), k);
     dividend.open()?;
     while let Some(t) = dividend.next()? {
         cancel.checkpoint(&mut budget)?;
@@ -477,7 +688,6 @@ pub fn combined_partitioned_report(
     collection_schema_fields.push(reldiv_rel::schema::Field::int("phase"));
     let collection_schema = Schema::new(collection_schema_fields);
     let collection_codec = RecordCodec::new(collection_schema.clone());
-    let collection_file = storage.borrow_mut().create_file(StorageManager::DATA_DISK);
     let mut phase_count: u32 = 0;
 
     #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
@@ -486,7 +696,9 @@ pub fn combined_partitioned_report(
             continue;
         }
         // Each phase is itself a quotient-partitioned hash-division of
-        // cluster i's dividend by cluster i's divisor.
+        // cluster i's dividend by cluster i's divisor. The phase re-reads
+        // and re-clusters data already spooled above, so its bytes are
+        // respool, not fresh spill.
         let dividend_scan: BoxedOp = Box::new(reldiv_exec::scan::FileScan::new(
             storage.clone(),
             dividend_writer.files[i],
@@ -497,8 +709,9 @@ pub fn combined_partitioned_report(
             divisor_writer.files[i],
             divisor_writer.codec.schema().clone(),
         ));
-        let phase_quotient = quotient_partitioned_report(
+        let phase_quotient = quotient_partitioned_impl(
             storage,
+            pool,
             dividend_scan,
             divisor_scan,
             spec,
@@ -506,13 +719,14 @@ pub fn combined_partitioned_report(
             quotient_partitions,
             cancel,
             report,
+            true,
         )?;
         let tag = if empty_divisor { 0 } else { phase_count };
         for q in phase_quotient.into_tuples() {
             let mut vals = q.into_values();
             vals.push(reldiv_rel::Value::Int(tag as i64));
             let record = collection_codec.encode(&Tuple::new(vals))?;
-            report.spill_bytes += record.len() as u64;
+            *collection_spilled += record.len() as u64;
             storage.borrow_mut().append(collection_file, &record)?;
         }
         if !empty_divisor {
@@ -522,36 +736,17 @@ pub fn combined_partitioned_report(
     if empty_divisor {
         phase_count = 1;
     }
-    report.spill_bytes += divisor_writer.spilled + dividend_writer.spilled;
-    divisor_writer.delete_all(storage)?;
-    dividend_writer.delete_all(storage)?;
 
     // Collection phase, identical to `divisor_partitioned`'s.
-    let mut collector = QuotientTable::new(
-        &pool,
-        HashDivisionMode::Standard,
+    collection_division(
+        storage,
+        pool,
+        collection_file,
+        &collection_schema,
         phase_count,
-        (0..quotient_schema.arity()).collect(),
-        quotient_schema.record_width(),
-    )?;
-    let phase_col = collection_schema.arity() - 1;
-    for_each_record(storage, collection_file, &collection_codec, |t| {
-        cancel.checkpoint(&mut budget)?;
-        let tag = t
-            .value(phase_col)
-            .as_int()
-            .ok_or_else(|| ExecError::Plan("collection-phase tag must be Int".into()))?
-            as u32;
-        let q = t.project(&(0..phase_col).collect::<Vec<_>>());
-        collector.absorb(&q, Some(tag))?;
-        Ok(())
-    })?;
-    storage.borrow_mut().delete_file(collection_file)?;
-    let mut result = Relation::empty(quotient_schema);
-    while let Some(q) = collector.next_complete() {
-        result.push(q).map_err(ExecError::from)?;
-    }
-    Ok(result)
+        cancel,
+        report,
+    )
 }
 
 #[cfg(test)]

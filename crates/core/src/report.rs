@@ -18,11 +18,27 @@ pub struct DegradationReport {
     /// is the phase that produced the result.
     pub phases: Vec<String>,
     /// Bytes spooled to temporary cluster/collection files by the
-    /// partitioned phases.
+    /// partitioned phases, counting each byte the first time it leaves
+    /// memory. Bytes re-clustered from a file that was already a spill
+    /// (combined partitioning's inner phases, hybrid recursion) are in
+    /// [`respool_bytes`](Self::respool_bytes) instead.
     pub spill_bytes: u64,
+    /// Bytes re-spooled from one temporary cluster file into another —
+    /// already-spilled data partitioned again. Kept apart from
+    /// `spill_bytes` so nested phases never double-count first-time
+    /// spills.
+    pub respool_bytes: u64,
     /// Fallback retries: attempts abandoned before the one that
     /// succeeded (or before giving up).
     pub retries: u32,
+    /// Adaptive hybrid: partitions evicted from memory mid-build.
+    pub partitions_spilled: u32,
+    /// Adaptive hybrid: spilled partitions re-admitted to memory after
+    /// the pool freed up.
+    pub partitions_revived: u32,
+    /// Adaptive hybrid: deepest re-partitioning recursion level needed
+    /// (0 when every partition fit after the first pass).
+    pub recursion_depth: u32,
 }
 
 impl DegradationReport {
@@ -47,6 +63,23 @@ impl DegradationReport {
     pub fn final_phase(&self) -> Option<&str> {
         self.phases.last().map(String::as_str)
     }
+
+    /// Records an adaptive-hybrid partition spill.
+    pub fn note_spill(&mut self, bytes: u64) {
+        self.partitions_spilled += 1;
+        self.spill_bytes += bytes;
+        self.degraded = true;
+    }
+
+    /// Records an adaptive-hybrid partition revive.
+    pub fn note_revive(&mut self) {
+        self.partitions_revived += 1;
+    }
+
+    /// Records that re-partitioning recursion reached `depth`.
+    pub fn note_recursion(&mut self, depth: u32) {
+        self.recursion_depth = self.recursion_depth.max(depth);
+    }
 }
 
 #[cfg(test)]
@@ -59,8 +92,27 @@ mod tests {
         assert!(!r.degraded);
         assert!(r.phases.is_empty());
         assert_eq!(r.spill_bytes, 0);
+        assert_eq!(r.respool_bytes, 0);
         assert_eq!(r.retries, 0);
+        assert_eq!(r.partitions_spilled, 0);
+        assert_eq!(r.partitions_revived, 0);
+        assert_eq!(r.recursion_depth, 0);
         assert_eq!(r.final_phase(), None);
+    }
+
+    #[test]
+    fn hybrid_counters_accumulate() {
+        let mut r = DegradationReport::new();
+        r.note_spill(100);
+        r.note_spill(50);
+        r.note_revive();
+        r.note_recursion(2);
+        r.note_recursion(1);
+        assert!(r.degraded);
+        assert_eq!(r.partitions_spilled, 2);
+        assert_eq!(r.spill_bytes, 150);
+        assert_eq!(r.partitions_revived, 1);
+        assert_eq!(r.recursion_depth, 2);
     }
 
     #[test]

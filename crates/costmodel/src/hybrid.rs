@@ -1,0 +1,245 @@
+//! Predicted cost of the memory-adaptive hybrid hash-division.
+//!
+//! Section 4.5 prices hash-division under the standing assumption
+//! `s + q < m` — the tables fit. The adaptive hybrid removes that
+//! assumption, so its cost model must predict *how much* spills as a
+//! function of the memory budget, the fanout, the quotient cardinality,
+//! and skew. The formula mirrors the implementation's mechanics
+//! (`reldiv-core`'s `hybrid` module) under the paper's easy case
+//! `R = Q × S` with the dividend shuffled:
+//!
+//! * **Fill point.** Quotient groups are discovered on first touch; with
+//!   `|S|` tuples per group arriving uniformly shuffled, the expected
+//!   number of distinct groups after consuming a fraction `t` of the
+//!   dividend is `G · (1 − (1 − t)^|S|)` — strongly front-loaded for
+//!   realistic `|S|`. Memory (`avail = B − D` bytes, `B` the budget, `D`
+//!   the divisor table) therefore fills within the first few percent of
+//!   the stream whenever it fills at all.
+//! * **Victims.** A fraction `σ` of the table must live on disk; victims
+//!   are whole partitions, so `k = ⌈σ·F⌉` of the `F` partitions spill,
+//!   carrying `k/F` of the groups. Each spilled group's table entry is
+//!   serialized about once (eviction, plus the final hot-group flush).
+//! * **Deltas.** Tuples routed to a spilled partition after its eviction
+//!   become delta records. The `i`-th victim is evicted when discovery
+//!   crosses its share of the deficit, i.e. at the `t` where
+//!   `1 − (1−t)^|S|` reaches table-fraction `x ∈ [1−σ, 1]`; averaging the
+//!   on-disk window `1 − t(x) = (1−x)^(1/|S|)` over that range gives the
+//!   closed form `w = |S|/(|S|+1) · σ^(1/|S|)` — close to the whole
+//!   stream, because discovery is front-loaded.
+//! * **Skew.** A `hot_fraction` of the matched tuples belonging to the
+//!   single hottest group is absorbed by the hot-group accumulator
+//!   instead of becoming deltas — the model's knob for the one-huge-group
+//!   case.
+//!
+//! The `model_check` bench calibrates `D` and the bytes-per-group from
+//! probe runs of the real stack, then validates predicted spill volume
+//! and the degradation boundary against measured [`DegradationReport`]s
+//! across a budget sweep.
+//!
+//! [`DegradationReport`]: ../../reldiv_core/struct.DegradationReport.html
+
+use crate::units::CostUnits;
+
+/// Calibrated sizes feeding the hybrid prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridSizes {
+    /// Per-query memory budget in bytes.
+    pub budget_bytes: u64,
+    /// Resident divisor-table bytes (step 1's table, never spillable).
+    pub divisor_table_bytes: u64,
+    /// Quotient-table bytes per distinct group, including hash-table
+    /// overhead (calibrated from an unbudgeted probe run).
+    pub table_bytes_per_group: f64,
+    /// Distinct quotient candidates `G`.
+    pub groups: u64,
+    /// Matched dividend tuples of a *typical* group (`|S|` in the easy
+    /// case) — drives the group-discovery curve, so it stays the typical
+    /// size even when one hot group is much larger.
+    pub tuples_per_group: f64,
+    /// Total matched dividend tuples (`G · |S|` in the easy case; larger
+    /// under skew, where the hot group repeats).
+    pub matched_tuples: u64,
+    /// Bytes of one serialized table entry (state record).
+    pub state_record_bytes: u64,
+    /// Bytes of one serialized matched tuple (delta record).
+    pub delta_record_bytes: u64,
+    /// Quotient-hash partitions.
+    pub fanout: usize,
+    /// Fraction of all matched tuples held by the single hottest group
+    /// (0 for uniform workloads). Absorbed by the hot-group accumulator,
+    /// never spilled per tuple.
+    pub hot_fraction: f64,
+}
+
+/// What the model expects the adaptive hybrid to do under a budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridPrediction {
+    /// Whether any spilling is expected at all.
+    pub degrades: bool,
+    /// Expected number of evicted partitions (`⌈σ·F⌉`).
+    pub partitions_spilled: u32,
+    /// Expected first-time spill volume in bytes (state + delta records).
+    pub spill_bytes: f64,
+    /// Whether first-pass merges are expected to overflow and recurse
+    /// (a single partition's share of the table exceeds the headroom).
+    pub expects_recursion: bool,
+}
+
+impl HybridSizes {
+    /// Quotient-table headroom left after the divisor table.
+    fn avail(&self) -> f64 {
+        self.budget_bytes.saturating_sub(self.divisor_table_bytes) as f64
+    }
+
+    /// Total quotient-table bytes if everything stayed resident.
+    fn need(&self) -> f64 {
+        self.groups as f64 * self.table_bytes_per_group
+    }
+
+    /// Evaluates the prediction.
+    pub fn predict(&self) -> HybridPrediction {
+        let avail = self.avail();
+        let need = self.need();
+        if need <= avail || self.groups == 0 {
+            return HybridPrediction {
+                degrades: false,
+                partitions_spilled: 0,
+                spill_bytes: 0.0,
+                expects_recursion: false,
+            };
+        }
+        // Spilled fraction of the table, and of the partitions.
+        let sigma = (1.0 - avail / need.max(1.0)).clamp(0.0, 1.0);
+        let fanout = self.fanout.max(2) as f64;
+        let k = (sigma * fanout).ceil().min(fanout);
+        let group_share = k / fanout;
+        let s = self.tuples_per_group.max(1.0);
+        // State records: each spilled group's entry serialized ~once.
+        let states = group_share * self.groups as f64 * self.state_record_bytes as f64;
+        // Delta records: matched tuples landing on a partition while it
+        // is on disk. Victims are evicted as group discovery crosses
+        // their share of the deficit; averaging the on-disk window over
+        // the deficit range gives w = s/(s+1) * sigma^(1/s) (see the
+        // module docs). The hottest group's share is absorbed by the
+        // accumulator instead.
+        let window = (s / (s + 1.0)) * sigma.powf(1.0 / s);
+        let matched = self.matched_tuples as f64;
+        let delta_tuples = matched * (1.0 - self.hot_fraction) * group_share * window;
+        let deltas = delta_tuples * self.delta_record_bytes as f64;
+        HybridPrediction {
+            degrades: true,
+            partitions_spilled: k as u32,
+            spill_bytes: states + deltas,
+            expects_recursion: need / fanout > avail,
+        }
+    }
+
+    /// Prices the predicted spill as milliseconds of sequential I/O:
+    /// every spilled byte is written once and read back once during the
+    /// merge pass. Added on top of Section 4.5's in-memory formula, this
+    /// is the hybrid's predicted total cost.
+    pub fn spill_ms(&self, units: &CostUnits, page_bytes: u64) -> f64 {
+        let pages = self.predict().spill_bytes / page_bytes.max(1) as f64;
+        2.0 * pages * units.sio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(budget: u64) -> HybridSizes {
+        HybridSizes {
+            budget_bytes: budget,
+            divisor_table_bytes: 4 * 1024,
+            table_bytes_per_group: 64.0,
+            groups: 1000,
+            tuples_per_group: 25.0,
+            matched_tuples: 25_000,
+            state_record_bytes: 16,
+            delta_record_bytes: 16,
+            fanout: 16,
+            hot_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn ample_budget_predicts_no_degradation() {
+        // need = 64 KB; budget 256 KB leaves plenty after the divisor.
+        let p = sizes(256 * 1024).predict();
+        assert!(!p.degrades);
+        assert_eq!(p.spill_bytes, 0.0);
+        assert_eq!(p.partitions_spilled, 0);
+        assert!(!p.expects_recursion);
+    }
+
+    #[test]
+    fn boundary_is_exactly_where_the_table_stops_fitting() {
+        let fits = sizes(4 * 1024 + 64_000).predict();
+        assert!(!fits.degrades);
+        let tight = sizes(4 * 1024 + 63_000).predict();
+        assert!(tight.degrades);
+        assert!(tight.spill_bytes > 0.0);
+    }
+
+    #[test]
+    fn spill_volume_shrinks_monotonically_with_budget() {
+        let mut last = f64::INFINITY;
+        for budget in [8, 16, 24, 32, 48, 64] {
+            let p = sizes(budget * 1024).predict();
+            assert!(
+                p.spill_bytes <= last,
+                "budget={budget}K: {} > {last}",
+                p.spill_bytes
+            );
+            last = p.spill_bytes;
+        }
+    }
+
+    #[test]
+    fn partitions_spill_in_proportion_to_the_deficit() {
+        // Half the table over budget -> about half the partitions spill.
+        let p = sizes(4 * 1024 + 32_000).predict();
+        assert!(p.degrades);
+        assert!(
+            (7..=9).contains(&p.partitions_spilled),
+            "{}",
+            p.partitions_spilled
+        );
+        // A starving budget spills everything.
+        let all = sizes(5 * 1024).predict();
+        assert_eq!(all.partitions_spilled, 16);
+    }
+
+    #[test]
+    fn hot_fraction_reduces_predicted_deltas() {
+        let cold = sizes(16 * 1024).predict();
+        let hot = HybridSizes {
+            hot_fraction: 0.5,
+            ..sizes(16 * 1024)
+        }
+        .predict();
+        assert!(hot.spill_bytes < cold.spill_bytes);
+        // States are unaffected; only the delta term shrinks.
+        assert!(hot.spill_bytes > 0.0);
+    }
+
+    #[test]
+    fn recursion_expected_only_when_a_partition_share_exceeds_headroom() {
+        // avail = 1 KB, need/F = 4 KB -> recursion.
+        let p = sizes(5 * 1024).predict();
+        assert!(p.expects_recursion);
+        // avail = 28 KB, need/F = 4 KB -> first-pass merges fit.
+        let q = sizes(32 * 1024).predict();
+        assert!(q.degrades);
+        assert!(!q.expects_recursion);
+    }
+
+    #[test]
+    fn spill_ms_prices_write_plus_readback() {
+        let s = sizes(16 * 1024);
+        let units = CostUnits::paper();
+        let pages = s.predict().spill_bytes / 8192.0;
+        assert!((s.spill_ms(&units, 8192) - 2.0 * pages * units.sio).abs() < 1e-9);
+    }
+}

@@ -32,12 +32,14 @@
 #![deny(missing_docs)]
 
 pub mod formulas;
+pub mod hybrid;
 pub mod planner;
 pub mod predicted;
 pub mod table2;
 pub mod units;
 
 pub use formulas::{CostModel, SizeConfig};
+pub use hybrid::{HybridPrediction, HybridSizes};
 pub use planner::{recommend, PlannedAlgorithm, PlannerInput};
 pub use predicted::{compare, UnitComparison, UnitCounts};
 pub use table2::{table2_configs, table2_row, Table2Row};

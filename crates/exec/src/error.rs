@@ -20,6 +20,15 @@ pub enum ExecError {
     /// The query was cooperatively cancelled (its deadline expired). Not a
     /// data error: the inputs are fine, the caller just stopped waiting.
     Cancelled,
+    /// Adaptive-hybrid overflow recursion exceeded its depth bound: a
+    /// partition still did not fit after `depth` re-partitioning levels.
+    /// Distinct from `MemoryExhausted` so the overflow ladder does not
+    /// keep retrying a strategy that cannot converge (e.g. one quotient
+    /// group that alone exceeds the memory budget).
+    RecursionLimit {
+        /// The depth bound that was exceeded.
+        depth: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -30,6 +39,11 @@ impl fmt::Display for ExecError {
             ExecError::Protocol(msg) => write!(f, "iterator protocol violation: {msg}"),
             ExecError::Plan(msg) => write!(f, "malformed plan: {msg}"),
             ExecError::Cancelled => write!(f, "query cancelled: deadline exceeded"),
+            ExecError::RecursionLimit { depth } => write!(
+                f,
+                "overflow recursion limit: a partition still exceeds the \
+                 memory budget after {depth} re-partitioning levels"
+            ),
         }
     }
 }
@@ -76,6 +90,11 @@ impl ExecError {
     /// were exhausted — the class of failure a client may retry whole.
     pub fn is_transient(&self) -> bool {
         matches!(self, ExecError::Storage(e) if e.is_transient())
+    }
+
+    /// Whether this error is the overflow-recursion depth bound.
+    pub fn is_recursion_limit(&self) -> bool {
+        matches!(self, ExecError::RecursionLimit { .. })
     }
 }
 

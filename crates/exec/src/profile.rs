@@ -77,6 +77,12 @@ pub enum SpanKind {
     Distinct,
     /// A `HAVING COUNT` post-filter in a composed plan.
     Having,
+    /// An adaptive-hybrid spill: a victim partition's table written to a
+    /// cluster file mid-build, or a spilled partition's post-pass merge.
+    Spill,
+    /// An adaptive-hybrid revive: a spilled partition re-admitted to
+    /// memory after the pool freed up.
+    Revive,
 }
 
 impl SpanKind {
@@ -100,6 +106,8 @@ impl SpanKind {
             SpanKind::Project => 14,
             SpanKind::Distinct => 15,
             SpanKind::Having => 16,
+            SpanKind::Spill => 17,
+            SpanKind::Revive => 18,
         }
     }
 
@@ -123,6 +131,8 @@ impl SpanKind {
             14 => SpanKind::Project,
             15 => SpanKind::Distinct,
             16 => SpanKind::Having,
+            17 => SpanKind::Spill,
+            18 => SpanKind::Revive,
             _ => SpanKind::Other,
         }
     }
@@ -147,6 +157,8 @@ impl SpanKind {
             SpanKind::Project => "project",
             SpanKind::Distinct => "distinct",
             SpanKind::Having => "having",
+            SpanKind::Spill => "spill",
+            SpanKind::Revive => "revive",
         }
     }
 }
@@ -881,6 +893,8 @@ mod tests {
             SpanKind::Project,
             SpanKind::Distinct,
             SpanKind::Having,
+            SpanKind::Spill,
+            SpanKind::Revive,
         ] {
             assert_eq!(SpanKind::from_code(kind.code()), kind);
         }

@@ -48,16 +48,23 @@ pub struct ExecOptions {
     /// dropped divisor tuples, silently breaking the no-join plans the
     /// hint unlocks.
     pub honor_restricted_hint: bool,
+    /// Per-query memory budget for division working state, in bytes.
+    /// When set, each division charges a child pool capped at this value
+    /// (on top of the shared pool), so one query's hash tables degrade
+    /// adaptively instead of starving the rest of the system.
+    pub mem_budget: Option<usize>,
 }
 
 impl ExecOptions {
-    /// Plain options: no deadline, no profiling, hints honored.
+    /// Plain options: no deadline, no profiling, hints honored, no
+    /// per-query memory budget.
     pub fn new(storage: StorageRef) -> ExecOptions {
         ExecOptions {
             storage,
             cancel: CancelToken::none(),
             profile: None,
             honor_restricted_hint: true,
+            mem_budget: None,
         }
     }
 }
@@ -81,6 +88,10 @@ pub struct DivisionChoice {
     /// True when an `(algorithm ...)` hint pinned the choice (the cost
     /// model was bypassed).
     pub pinned: bool,
+    /// What the division had to do to survive memory pressure: phases
+    /// attempted, partitions spilled/revived, bytes spooled. Clean runs
+    /// carry a non-degraded report.
+    pub report: reldiv_core::DegradationReport,
 }
 
 /// The result of executing a plan.
@@ -197,9 +208,10 @@ impl<'a> Lowerer<'a> {
             assume_unique: duplicate_free,
             cancel: self.opts.cancel,
             profile: self.opts.profile.clone(),
+            mem_budget: self.opts.mem_budget,
             ..DivisionConfig::default()
         };
-        let (rel, _report) = divide_with_report(
+        let (rel, report) = divide_with_report(
             &self.opts.storage,
             &dividend,
             &divisor,
@@ -215,6 +227,7 @@ impl<'a> Lowerer<'a> {
             quotient_rows: quotient_est.max(1),
             dividend_rows: d.dividend.rows.max(1),
             pinned,
+            report,
         });
         Ok(rel)
     }
@@ -530,6 +543,46 @@ mod tests {
                 "missing {want:?} in {labels:?}"
             );
         }
+    }
+
+    #[test]
+    fn mem_budget_reaches_division_and_report_surfaces() {
+        // A transcript big enough that its quotient table overflows a
+        // 32 KB per-query budget: the division must degrade adaptively
+        // (visible in the choice's report) yet answer correctly.
+        let mut c = MemCatalog::new();
+        let mut rows = Vec::new();
+        for s in 0..2000 {
+            rows.push(ints(&[s, 10]));
+            rows.push(ints(&[s, 11]));
+        }
+        let transcript = Relation::from_tuples(
+            Schema::new(vec![Field::int("student-id"), Field::int("course-no")]),
+            rows,
+        )
+        .unwrap();
+        let courses = Relation::from_tuples(
+            Schema::new(vec![Field::int("course-no")]),
+            vec![ints(&[10]), ints(&[11])],
+        )
+        .unwrap();
+        c.insert("transcript", transcript);
+        c.insert("courses", courses);
+        let text = "(divide (on course-no) (algorithm hash-div) \
+                      (scan transcript) (scan courses))";
+        let bound = bind(&parse(text).unwrap(), &c).unwrap();
+        let mut opts = ExecOptions::new(storage());
+        opts.mem_budget = Some(32 * 1024);
+        let mut provider = c.clone();
+        let out = execute(&bound, &mut provider, &opts).unwrap();
+        assert_eq!(out.relation.cardinality(), 2000);
+        assert!(out.choices[0].report.degraded, "32 KB budget must bite");
+        assert!(out.choices[0].report.partitions_spilled > 0);
+        // Without the budget the same plan runs clean.
+        let mut provider = c.clone();
+        let clean = execute(&bound, &mut provider, &ExecOptions::new(storage())).unwrap();
+        assert_eq!(clean.relation.cardinality(), 2000);
+        assert!(!clean.choices[0].report.degraded);
     }
 
     #[test]

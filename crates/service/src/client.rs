@@ -69,6 +69,7 @@ impl DivisionClient for InProcClient {
             profile: request.profile,
             distribute: request.distribute,
             restricted_divisor: request.restricted,
+            mem_budget: request.mem_budget.map(|b| b as usize),
         };
         let r = self
             .service
@@ -484,6 +485,7 @@ mod tests {
             profile: false,
             distribute: None,
             restricted: None,
+            mem_budget: None,
         }
     }
 

@@ -209,6 +209,12 @@ pub struct MetricsSnapshot {
     pub nodes_excluded: u64,
     /// Cluster coordinator: heartbeat probes that went unanswered.
     pub heartbeats_missed: u64,
+    /// Executed divisions that had to degrade under memory pressure
+    /// (adaptive partition spills or overflow-ladder fallbacks).
+    pub degraded_queries: u64,
+    /// Bytes divisions spooled to temporary spill files, first-time
+    /// spills and re-spools combined.
+    pub division_spill_bytes: u64,
     /// Abstract operations performed by the worker pool, aggregated from
     /// the per-request [`OpScope`](reldiv_rel::counters::OpScope)s.
     pub ops: OpSnapshot,
@@ -261,6 +267,10 @@ pub struct ServiceMetrics {
     pub nodes_excluded: AtomicU64,
     /// Missed heartbeat probes (0 on a plain node).
     pub heartbeats_missed: AtomicU64,
+    /// Divisions that degraded under memory pressure.
+    pub degraded_queries: AtomicU64,
+    /// Bytes divisions spooled to spill files (spills + re-spools).
+    pub division_spill_bytes: AtomicU64,
     /// Abstract-operation totals across all executed queries.
     pub ops: OpAccumulator,
 }
@@ -293,6 +303,8 @@ impl ServiceMetrics {
             failovers: self.failovers.load(Ordering::Relaxed),
             nodes_excluded: self.nodes_excluded.load(Ordering::Relaxed),
             heartbeats_missed: self.heartbeats_missed.load(Ordering::Relaxed),
+            degraded_queries: self.degraded_queries.load(Ordering::Relaxed),
+            division_spill_bytes: self.division_spill_bytes.load(Ordering::Relaxed),
             ops: self.ops.totals(),
         }
     }

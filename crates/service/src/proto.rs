@@ -338,6 +338,14 @@ pub struct DivideRequest {
     /// trailing byte after the distribution section; peers that predate
     /// it omit it and absence decodes as `None`.
     pub restricted: Option<bool>,
+    /// Per-query memory budget in bytes for the division's working
+    /// state. `Some(b)` makes the server charge the query against a
+    /// child pool capped at `b`, so a heavy division degrades adaptively
+    /// (spilling partitions) instead of starving concurrent queries.
+    /// Encoded as a trailing `u64` after the restricted byte, 0 for "no
+    /// budget"; peers that predate it omit it and absence decodes as
+    /// `None`.
+    pub mem_budget: Option<u64>,
 }
 
 /// A successful server → client payload.
@@ -1011,6 +1019,9 @@ fn put_divide_body(out: &mut Vec<u8>, q: &DivideRequest) -> PResult<()> {
         Some(false) => 0,
         Some(true) => 1,
     });
+    // Trailing extension (absent before the adaptive-memory revision):
+    // per-query memory budget in bytes, 0 for "no budget".
+    out.extend_from_slice(&q.mem_budget.unwrap_or(0).to_le_bytes());
     Ok(())
 }
 
@@ -1083,6 +1094,16 @@ fn get_divide_body(r: &mut Reader<'_>) -> PResult<DivideRequest> {
     } else {
         None
     };
+    // Pre-adaptive-memory clients stop here; absence (or an explicit 0)
+    // means "no budget".
+    let mem_budget = if r.remaining() > 0 {
+        match r.u64()? {
+            0 => None,
+            b => Some(b),
+        }
+    } else {
+        None
+    };
     Ok(DivideRequest {
         dividend,
         divisor,
@@ -1093,6 +1114,7 @@ fn get_divide_body(r: &mut Reader<'_>) -> PResult<DivideRequest> {
         profile,
         distribute,
         restricted,
+        mem_budget,
     })
 }
 
@@ -1420,7 +1442,7 @@ const STATS_REQUIRED_FIELDS: usize = 13;
 
 /// The canonical counter order of a stats frame. Append-only: new
 /// counters go at the end so old decoders skip them.
-fn stats_fields(s: &MetricsSnapshot) -> [u64; 19] {
+fn stats_fields(s: &MetricsSnapshot) -> [u64; 21] {
     [
         s.queries,
         s.cache_hits,
@@ -1441,6 +1463,8 @@ fn stats_fields(s: &MetricsSnapshot) -> [u64; 19] {
         s.failovers,
         s.nodes_excluded,
         s.heartbeats_missed,
+        s.degraded_queries,
+        s.division_spill_bytes,
     ]
 }
 
@@ -1469,6 +1493,8 @@ fn stats_from_fields(vals: &[u64], ops: OpSnapshot) -> MetricsSnapshot {
         failovers: field(16),
         nodes_excluded: field(17),
         heartbeats_missed: field(18),
+        degraded_queries: field(19),
+        division_spill_bytes: field(20),
         ops,
     }
 }
@@ -1904,6 +1930,8 @@ mod tests {
             failovers: 2,
             nodes_excluded: 1,
             heartbeats_missed: 5,
+            degraded_queries: 3,
+            division_spill_bytes: 65536,
             ops: OpSnapshot {
                 comparisons: 1,
                 hashes: 2,
@@ -2035,34 +2063,48 @@ mod tests {
             profile: true,
             distribute: None,
             restricted: None,
+            mem_budget: None,
         });
         let bytes = req.encode().unwrap();
-        // The frame tail is three trailing extensions, newest last:
-        // [profile byte][distribution tag][restricted byte]. Cut the
-        // restricted byte only (a distribution-era peer).
-        match Request::decode(&bytes[..bytes.len() - 1]).unwrap() {
+        // The frame tail is four trailing extensions, newest last:
+        // [profile byte][distribution tag][restricted byte][mem-budget
+        // u64]. Cut the mem-budget word only (a plan-era peer).
+        match Request::decode(&bytes[..bytes.len() - 8]).unwrap() {
             Request::Divide(q) => {
                 assert!(q.profile, "profile byte survives the shorter frame");
                 assert_eq!(q.distribute, None, "absent section decodes as None");
                 assert_eq!(q.restricted, None, "absent byte decodes as None");
+                assert_eq!(q.mem_budget, None, "absent word decodes as None");
+            }
+            other => panic!("expected divide, got {other:?}"),
+        }
+        // Cut the restricted byte too (a distribution-era peer).
+        match Request::decode(&bytes[..bytes.len() - 9]).unwrap() {
+            Request::Divide(q) => {
+                assert!(q.profile, "profile byte survives the shorter frame");
+                assert_eq!(q.distribute, None, "absent section decodes as None");
+                assert_eq!(q.restricted, None, "absent byte decodes as None");
+                assert_eq!(q.mem_budget, None);
             }
             other => panic!("expected divide, got {other:?}"),
         }
         // Cut the distribution tag too (a profile-era peer).
-        match Request::decode(&bytes[..bytes.len() - 2]).unwrap() {
+        match Request::decode(&bytes[..bytes.len() - 10]).unwrap() {
             Request::Divide(q) => {
                 assert!(q.profile, "profile byte survives the shorter frame");
                 assert_eq!(q.distribute, None, "absent section decodes as None");
                 assert_eq!(q.restricted, None);
+                assert_eq!(q.mem_budget, None);
             }
             other => panic!("expected divide, got {other:?}"),
         }
-        // Cut all three trailing extensions (an original-revision peer).
-        match Request::decode(&bytes[..bytes.len() - 3]).unwrap() {
+        // Cut all four trailing extensions (an original-revision peer).
+        match Request::decode(&bytes[..bytes.len() - 11]).unwrap() {
             Request::Divide(q) => {
                 assert!(!q.profile, "absent byte decodes as false");
                 assert_eq!(q.distribute, None);
                 assert_eq!(q.restricted, None);
+                assert_eq!(q.mem_budget, None);
             }
             other => panic!("expected divide, got {other:?}"),
         }
@@ -2161,6 +2203,7 @@ mod tests {
                 profile: true,
                 distribute: None,
                 restricted: None,
+                mem_budget: None,
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -2172,6 +2215,7 @@ mod tests {
                 profile: false,
                 distribute: None,
                 restricted: None,
+                mem_budget: None,
             }),
             Request::Divide(DivideRequest {
                 dividend: "r".into(),
@@ -2187,6 +2231,7 @@ mod tests {
                     bit_vector_bits: Some(4096),
                 }),
                 restricted: Some(false),
+                mem_budget: None,
             }),
             Request::Stats,
             Request::Shutdown,
@@ -2233,6 +2278,7 @@ mod tests {
                     profile: true,
                     distribute: None,
                     restricted: Some(true),
+                    mem_budget: None,
                 },
                 epoch: Some(12),
             },
@@ -2312,16 +2358,51 @@ mod tests {
             profile: false,
             distribute: None,
             restricted: Some(false),
+            mem_budget: None,
         })
         .encode()
         .unwrap();
-        assert_eq!(bytes[bytes.len() - 1], 0, "Some(false) encodes as 0");
+        // The restricted byte sits just before the trailing 8-byte
+        // mem-budget word.
+        let pos = bytes.len() - 9;
+        assert_eq!(bytes[pos], 0, "Some(false) encodes as 0");
         let mut mutated = bytes.clone();
-        *mutated.last_mut().unwrap() = 2;
+        mutated[pos] = 2;
         assert!(Request::decode(&mutated).is_err());
-        *mutated.last_mut().unwrap() = TRI_AUTO;
+        mutated[pos] = TRI_AUTO;
         match Request::decode(&mutated).unwrap() {
             Request::Divide(q) => assert_eq!(q.restricted, None),
+            other => panic!("expected divide, got {other:?}"),
+        }
+    }
+
+    /// The mem-budget trailing word: 0 means "no budget", a nonzero
+    /// value is the per-query cap in bytes.
+    #[test]
+    fn mem_budget_word_round_trips() {
+        let mut req = DivideRequest {
+            dividend: "r".into(),
+            divisor: "s".into(),
+            algorithm: None,
+            assume_unique: false,
+            spec: None,
+            deadline_ms: None,
+            profile: false,
+            distribute: None,
+            restricted: None,
+            mem_budget: Some(256 * 1024),
+        };
+        let bytes = Request::Divide(req.clone()).encode().unwrap();
+        match Request::decode(&bytes).unwrap() {
+            Request::Divide(q) => assert_eq!(q.mem_budget, Some(256 * 1024)),
+            other => panic!("expected divide, got {other:?}"),
+        }
+        // An explicit 0 on the wire decodes as "no budget".
+        req.mem_budget = None;
+        let bytes = Request::Divide(req).encode().unwrap();
+        assert_eq!(&bytes[bytes.len() - 8..], &[0u8; 8]);
+        match Request::decode(&bytes).unwrap() {
+            Request::Divide(q) => assert_eq!(q.mem_budget, None),
             other => panic!("expected divide, got {other:?}"),
         }
     }
@@ -2380,6 +2461,8 @@ mod tests {
                 failovers: 4,
                 nodes_excluded: 2,
                 heartbeats_missed: 6,
+                degraded_queries: 1,
+                division_spill_bytes: 4096,
                 ops: OpSnapshot::default(),
             })),
             Ok(Reply::ShuttingDown),
@@ -2771,6 +2854,7 @@ mod tests {
                 profile: false,
                 distribute: None,
                 restricted: None,
+                mem_budget: None,
             },
             epoch: Some(3),
         };
@@ -2845,6 +2929,7 @@ mod tests {
                 profile: true,
                 distribute: None,
                 restricted: None,
+                mem_budget: None,
             })
             .encode()
             .unwrap(),
@@ -2862,6 +2947,7 @@ mod tests {
                     bit_vector_bits: Some(1 << 12),
                 }),
                 restricted: Some(true),
+                mem_budget: None,
             })
             .encode()
             .unwrap(),
@@ -2905,6 +2991,7 @@ mod tests {
                     profile: false,
                     distribute: None,
                     restricted: None,
+                    mem_budget: None,
                 },
                 epoch: Some(6),
             }

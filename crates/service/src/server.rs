@@ -208,6 +208,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 profile: q.profile,
                 distribute: q.distribute,
                 restricted_divisor: q.restricted,
+                mem_budget: q.mem_budget.map(|b| b as usize),
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::Divided(DivideReply {
@@ -273,6 +274,7 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
                 profile: q.profile,
                 distribute: q.distribute,
                 restricted_divisor: q.restricted,
+                mem_budget: q.mem_budget.map(|b| b as usize),
             };
             service.divide(&q.dividend, &q.divisor, &options).map(|r| {
                 Reply::PartialQuotient(PartialQuotientReply {

@@ -121,6 +121,14 @@ pub struct QueryOptions {
     /// active: a fault-recovered relation may have dropped divisor
     /// tuples, which would make the no-join plans silently wrong.
     pub restricted_divisor: Option<bool>,
+    /// Per-query memory budget in bytes for the division's working
+    /// state. When set, the worker charges the query against a child
+    /// pool capped at this value on top of its shared pool, so a heavy
+    /// division degrades adaptively (spilling partitions to disk)
+    /// instead of starving concurrent queries. The quotient is identical
+    /// either way — only the execution strategy changes — which is why
+    /// budgeted and unbudgeted runs share cache entries.
+    pub mem_budget: Option<usize>,
 }
 
 /// The cluster membership view a coordinator pushes onto a node: the
@@ -632,6 +640,7 @@ impl Service {
             deadline,
             profile: options.profile,
             distribute: options.distribute,
+            mem_budget: options.mem_budget,
             reply: reply_tx,
         };
         {

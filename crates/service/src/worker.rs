@@ -67,6 +67,7 @@ pub(crate) struct QueryJob {
     pub deadline: Option<Instant>,
     pub profile: bool,
     pub distribute: Option<Distribution>,
+    pub mem_budget: Option<usize>,
     pub reply: Sender<Result<QueryResponse>>,
 }
 
@@ -178,6 +179,7 @@ impl WorkerState {
         let config = DivisionConfig {
             assume_unique: job.assume_unique,
             cancel,
+            mem_budget: job.mem_budget,
             ..DivisionConfig::default()
         };
         let retries_before = {
@@ -198,9 +200,9 @@ impl WorkerState {
                 job.algorithm,
                 &config,
             )
-            .map(|(quotient, _report, profile)| (quotient, Some(profile)))
+            .map(|(quotient, report, profile)| (quotient, report, Some(profile)))
         } else {
-            api::divide(
+            api::divide_with_report(
                 &self.storage,
                 &dividend,
                 &divisor,
@@ -208,7 +210,7 @@ impl WorkerState {
                 job.algorithm,
                 &config,
             )
-            .map(|quotient| (quotient, None))
+            .map(|(quotient, report)| (quotient, report, None))
         };
         let ops = scope.finish();
         let retries_after = {
@@ -219,7 +221,13 @@ impl WorkerState {
             retries_after.saturating_sub(retries_before),
             Ordering::Relaxed,
         );
-        let (quotient, profile) = outcome?;
+        let (quotient, report, profile) = outcome?;
+        if report.degraded {
+            metrics.degraded_queries.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .division_spill_bytes
+                .fetch_add(report.spill_bytes + report.respool_bytes, Ordering::Relaxed);
+        }
         Ok(QueryResponse {
             schema: quotient.schema().clone(),
             tuples: Arc::new(quotient.into_tuples()),
@@ -262,6 +270,9 @@ impl WorkerState {
             cancel,
             profile: sink.clone(),
             honor_restricted_hint: job.honor_hints,
+            // Plans run against the worker's shared pool; the per-query
+            // budget is a Divide-request feature for now.
+            mem_budget: None,
         };
         let retries_before = {
             let s = self.storage.borrow().buffer_stats();
@@ -292,6 +303,20 @@ impl WorkerState {
             return Err(e);
         }
         let output = outcome.map_err(plan_error)?;
+        let degraded = output.choices.iter().filter(|c| c.report.degraded).count() as u64;
+        if degraded > 0 {
+            metrics
+                .degraded_queries
+                .fetch_add(degraded, Ordering::Relaxed);
+            metrics.division_spill_bytes.fetch_add(
+                output
+                    .choices
+                    .iter()
+                    .map(|c| c.report.spill_bytes + c.report.respool_bytes)
+                    .sum(),
+                Ordering::Relaxed,
+            );
+        }
         let schema = output.relation.schema().clone();
         Ok(PlanResponse {
             schema,

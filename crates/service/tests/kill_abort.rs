@@ -30,6 +30,7 @@ fn request() -> DivideRequest {
         profile: false,
         distribute: None,
         restricted: None,
+        mem_budget: None,
     }
 }
 

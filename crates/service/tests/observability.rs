@@ -166,6 +166,7 @@ fn profiles_and_new_counters_travel_over_tcp() {
         profile: true,
         distribute: None,
         restricted: None,
+        mem_budget: None,
     };
     let reply = client.divide(&request).unwrap();
     let profile = reply
@@ -189,6 +190,7 @@ fn profiles_and_new_counters_travel_over_tcp() {
             profile: true,
             distribute: None,
             restricted: None,
+            mem_budget: None,
         })
         .unwrap();
     // The second identical request hits the cache → no profile; compare
@@ -200,4 +202,50 @@ fn profiles_and_new_counters_travel_over_tcp() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.latency_count, stats.queries);
     assert!(stats.profiled_queries >= 1);
+}
+
+/// A per-query memory budget forces the division to degrade adaptively
+/// — visible in the new stats counters — while the quotient stays
+/// identical to the unbudgeted run, so both populate the same cache
+/// entry.
+#[test]
+fn mem_budget_degrades_and_is_counted_in_stats() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    // Big enough that hash-division's tables overflow a 48 KB budget.
+    let w = WorkloadSpec {
+        divisor_size: 4,
+        quotient_size: 3000,
+        ..WorkloadSpec::default()
+    }
+    .generate(4242);
+    service.register("r", w.dividend).unwrap();
+    service.register("s", w.divisor).unwrap();
+
+    let budgeted = QueryOptions {
+        algorithm: Some(Algorithm::HashDivision {
+            mode: reldiv_core::HashDivisionMode::Standard,
+        }),
+        mem_budget: Some(48 * 1024),
+        ..QueryOptions::default()
+    };
+    let reply = service.divide("r", "s", &budgeted).unwrap();
+    assert!(!reply.cached);
+    let stats = service.stats();
+    assert_eq!(stats.degraded_queries, 1, "the 48 KB budget must bite");
+    assert!(stats.division_spill_bytes > 0);
+
+    // The identical query without a budget is answered from the cache —
+    // the quotient is the same relation either way.
+    let unbudgeted = QueryOptions {
+        algorithm: budgeted.algorithm,
+        ..QueryOptions::default()
+    };
+    let cached = service.divide("r", "s", &unbudgeted).unwrap();
+    assert!(cached.cached, "budgets do not fragment the result cache");
+    let stats = service.stats();
+    assert_eq!(stats.degraded_queries, 1, "cache hits execute nothing");
 }

@@ -40,6 +40,7 @@ fn slow_options() -> QueryOptions {
         profile: false,
         distribute: None,
         restricted_divisor: None,
+        mem_budget: None,
     }
 }
 

@@ -53,6 +53,7 @@ fn check_all_columns(client: &mut impl DivisionClient) {
             profile: false,
             distribute: None,
             restricted: None,
+            mem_budget: None,
         };
         let served = client.divide(&request).unwrap();
         let direct = divide_relations(&dividend, &divisor, algorithm).unwrap();
@@ -117,6 +118,7 @@ fn auto_algorithm_resolves_and_caches_like_the_explicit_choice() {
         profile: false,
         distribute: None,
         restricted: None,
+        mem_budget: None,
     };
     let first = client.divide(&auto).unwrap();
     assert!(!first.cached);
@@ -146,6 +148,7 @@ fn errors_travel_over_tcp() {
         profile: false,
         distribute: None,
         restricted: None,
+        mem_budget: None,
     };
     assert!(matches!(
         client.divide(&request),

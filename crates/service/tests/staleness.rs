@@ -99,6 +99,7 @@ proptest! {
                         profile: false,
                         distribute: None,
                         restricted: None,
+                        mem_budget: None,
                     }).unwrap();
                     let expected = brute_force_divide(
                         &model_dividend,

@@ -101,6 +101,13 @@ impl StorageManager {
         Ok(self.meta(file)?.disk)
     }
 
+    /// Number of files currently in the catalog. Overflow handling creates
+    /// and deletes temporary cluster/spill files; this lets callers (and
+    /// tests) verify none leak.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
     /// Appends a record to the file, returning its RID.
     ///
     /// Appends go to the file's last page while it has room, then move to

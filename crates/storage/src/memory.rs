@@ -46,6 +46,45 @@ struct PoolInner {
     capacity: usize,
     used: Cell<usize>,
     peak: Cell<usize>,
+    /// For child pools: the parent every reservation is also charged to.
+    parent: Option<Rc<PoolInner>>,
+}
+
+impl PoolInner {
+    /// Charges `bytes` to this pool and every ancestor, or fails with the
+    /// tightest pool's headroom without changing any of them.
+    fn charge(self: &Rc<Self>, bytes: usize) -> Result<()> {
+        let mut node = Some(self);
+        while let Some(p) = node {
+            let available = p.capacity - p.used.get();
+            if bytes > available {
+                return Err(StorageError::MemoryExhausted {
+                    requested: bytes,
+                    available,
+                });
+            }
+            node = p.parent.as_ref();
+        }
+        let mut node = Some(self);
+        while let Some(p) = node {
+            let now = p.used.get() + bytes;
+            p.used.set(now);
+            if now > p.peak.get() {
+                p.peak.set(now);
+            }
+            node = p.parent.as_ref();
+        }
+        Ok(())
+    }
+
+    /// Returns `bytes` to this pool and every ancestor.
+    fn release(self: &Rc<Self>, bytes: usize) {
+        let mut node = Some(self);
+        while let Some(p) = node {
+            p.used.set(p.used.get() - bytes);
+            node = p.parent.as_ref();
+        }
+    }
 }
 
 impl MemoryPool {
@@ -56,6 +95,24 @@ impl MemoryPool {
                 capacity,
                 used: Cell::new(0),
                 peak: Cell::new(0),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Creates a child pool capped at `capacity` bytes whose reservations
+    /// are also charged against this pool (and its ancestors).
+    ///
+    /// This is the per-query budget mechanism: a query given a child of
+    /// the storage manager's pool can never use more than its own cap,
+    /// while many concurrent queries still share the parent's total.
+    pub fn child(&self, capacity: usize) -> Self {
+        MemoryPool {
+            inner: Rc::new(PoolInner {
+                capacity,
+                used: Cell::new(0),
+                peak: Cell::new(0),
+                parent: Some(self.inner.clone()),
             }),
         }
     }
@@ -81,9 +138,16 @@ impl MemoryPool {
         self.inner.peak.get()
     }
 
-    /// Bytes still available.
+    /// Bytes still available: the tightest headroom along the chain of
+    /// this pool and its ancestors.
     pub fn available(&self) -> usize {
-        self.inner.capacity - self.inner.used.get()
+        let mut available = usize::MAX;
+        let mut node = Some(&self.inner);
+        while let Some(p) = node {
+            available = available.min(p.capacity - p.used.get());
+            node = p.parent.as_ref();
+        }
+        available
     }
 
     /// Reserves `bytes`, or reports exhaustion.
@@ -91,18 +155,7 @@ impl MemoryPool {
     /// Exhaustion is not fatal: it is the trigger for hash-table overflow
     /// handling.
     pub fn reserve(&self, bytes: usize) -> Result<Reservation> {
-        let used = self.inner.used.get();
-        if bytes > self.inner.capacity - used {
-            return Err(StorageError::MemoryExhausted {
-                requested: bytes,
-                available: self.inner.capacity - used,
-            });
-        }
-        let now = used + bytes;
-        self.inner.used.set(now);
-        if now > self.inner.peak.get() {
-            self.inner.peak.set(now);
-        }
+        self.inner.charge(bytes)?;
         Ok(Reservation {
             pool: self.inner.clone(),
             bytes,
@@ -130,17 +183,7 @@ impl Reservation {
 
     /// Grows the reservation by `more` bytes in place.
     pub fn grow(&mut self, more: usize) -> Result<()> {
-        let used = self.pool.used.get();
-        if more > self.pool.capacity - used {
-            return Err(StorageError::MemoryExhausted {
-                requested: more,
-                available: self.pool.capacity - used,
-            });
-        }
-        self.pool.used.set(used + more);
-        if used + more > self.pool.peak.get() {
-            self.pool.peak.set(used + more);
-        }
+        self.pool.charge(more)?;
         self.bytes += more;
         Ok(())
     }
@@ -148,7 +191,7 @@ impl Reservation {
 
 impl Drop for Reservation {
     fn drop(&mut self) {
-        self.pool.used.set(self.pool.used.get() - self.bytes);
+        self.pool.release(self.bytes);
     }
 }
 
@@ -218,6 +261,55 @@ mod tests {
         let pool = MemoryPool::unbounded();
         let _r = pool.reserve(1 << 40).unwrap();
         assert!(pool.would_fit(1 << 40));
+    }
+
+    #[test]
+    fn child_pool_enforces_its_own_cap() {
+        let parent = MemoryPool::new(1000);
+        let child = parent.child(100);
+        let _r = child.reserve(80).unwrap();
+        assert_eq!(child.used(), 80);
+        assert_eq!(parent.used(), 80, "child reservations charge the parent");
+        match child.reserve(30) {
+            Err(StorageError::MemoryExhausted { available: 20, .. }) => {}
+            other => panic!("expected child-cap exhaustion, got {other:?}"),
+        }
+        assert_eq!(
+            parent.used(),
+            80,
+            "failed child reserve leaves parent unchanged"
+        );
+    }
+
+    #[test]
+    fn child_pool_is_bounded_by_parent_headroom() {
+        let parent = MemoryPool::new(100);
+        let _outside = parent.reserve(90).unwrap();
+        let child = parent.child(50);
+        assert_eq!(child.available(), 10, "tightest headroom wins");
+        assert!(child.would_fit(10));
+        assert!(child.reserve(20).is_err());
+        let r = child.reserve(10).unwrap();
+        assert_eq!(parent.used(), 100);
+        drop(r);
+        assert_eq!(parent.used(), 90);
+        assert_eq!(child.used(), 0);
+    }
+
+    #[test]
+    fn child_reservation_release_returns_bytes_to_both_pools() {
+        let parent = MemoryPool::new(200);
+        let child = parent.child(100);
+        let mut r = child.reserve(40).unwrap();
+        r.grow(20).unwrap();
+        assert_eq!(child.used(), 60);
+        assert_eq!(parent.used(), 60);
+        assert!(r.grow(50).is_err(), "grow past child cap fails");
+        assert_eq!(child.used(), 60, "failed grow changes nothing");
+        drop(r);
+        assert_eq!(child.used(), 0);
+        assert_eq!(parent.used(), 0);
+        assert_eq!(child.peak(), 60);
     }
 
     #[test]
