@@ -1,0 +1,232 @@
+//! Vectorized (batch-at-a-time) vs. tuple-at-a-time hash-division over
+//! the paper's Table 4 grid.
+//!
+//! For every `(|S|, |Q|)` combination of {25, 100, 400} the same
+//! division runs twice through `divide_with_report`: once with
+//! `ExecMode::Tuple` (the Volcano open/next/close path) and once with
+//! `ExecMode::Batch` (1024-tuple batches through the packed-key hash
+//! kernels). Both arms use `OverflowPolicy::Fail`, so both run the
+//! in-memory operator — where the engine guarantees *byte-identical*
+//! quotients, asserted per cell — and the measured ratio is pure
+//! vectorization gain, not a policy difference.
+//!
+//! ```text
+//! cargo run --release -p reldiv-bench --bin vectorized_sweep -- [--smoke] [--out BENCH_vectorized.json]
+//! ```
+//!
+//! Exits non-zero if any cell's quotients differ between the paths, or
+//! if the batch arm's throughput drops below the tuple arm's on the
+//! largest grid configuration — the regression gate CI runs in smoke
+//! mode.
+
+use std::time::Instant;
+
+use reldiv_core::api::{divide_with_report, DivisionConfig, OverflowPolicy, Source};
+use reldiv_core::{Algorithm, DivisionSpec, ExecMode, HashDivisionMode};
+use reldiv_costmodel::table2_configs;
+use reldiv_rel::Relation;
+use reldiv_storage::manager::StorageConfig;
+use reldiv_storage::StorageManager;
+use reldiv_workload::{Workload, WorkloadSpec};
+
+/// One measured arm at one grid cell.
+struct Arm {
+    elapsed_ms: f64,
+    quotient: Relation,
+}
+
+impl Arm {
+    fn throughput(&self, tuples: usize) -> f64 {
+        tuples as f64 / (self.elapsed_ms / 1000.0).max(1e-9)
+    }
+}
+
+/// Runs one in-memory division on the given execution path. The storage
+/// manager is shared across arms and reps: allocating a fresh buffer
+/// pool per run would cold-start the caches inside every measurement,
+/// adding the same constant to both arms and compressing the ratio.
+fn run_arm(w: &Workload, storage: &reldiv_storage::StorageRef, exec: ExecMode) -> Arm {
+    let spec = DivisionSpec::trailing_divisor(w.dividend.schema(), w.divisor.schema())
+        .expect("workload schemas divide");
+    let config = DivisionConfig {
+        overflow: OverflowPolicy::Fail,
+        exec,
+        ..DivisionConfig::default()
+    };
+    // Source materialization is harness setup both arms would pay
+    // identically — keep it outside the timed region.
+    let dividend = Source::from_relation(&w.dividend);
+    let divisor = Source::from_relation(&w.divisor);
+    let start = Instant::now();
+    let (rel, report) = divide_with_report(
+        storage,
+        &dividend,
+        &divisor,
+        &spec,
+        Algorithm::HashDivision {
+            mode: HashDivisionMode::Standard,
+        },
+        &config,
+    )
+    .expect("in-memory division fits StorageConfig::large");
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    assert!(!report.degraded, "Fail policy never degrades");
+    assert_eq!(
+        rel.cardinality(),
+        w.expected_quotient.len(),
+        "{exec:?}: wrong quotient cardinality"
+    );
+    Arm {
+        elapsed_ms,
+        quotient: rel,
+    }
+}
+
+struct Row {
+    divisor_size: u64,
+    quotient_size: u64,
+    dividend_tuples: usize,
+    tuple: Arm,
+    batch: Arm,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.tuple.elapsed_ms / self.batch.elapsed_ms.max(1e-9)
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_vectorized.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The full sweep covers the paper's nine-cell grid; smoke keeps CI
+    // fast with the diagonal (the largest cell — the gate — included).
+    let configs: Vec<(u64, u64)> = if smoke {
+        vec![(25, 25), (100, 100), (400, 400)]
+    } else {
+        table2_configs().to_vec()
+    };
+    let reps = if smoke { 2 } else { 3 };
+
+    println!(
+        "{:>5} {:>5} {:>8} | {:>13} {:>13} | {:>8} | {:>9}",
+        "|S|", "|Q|", "|R|", "tuple tup/s", "batch tup/s", "speedup", "identical"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut rows = Vec::new();
+    for (i, (s, q)) in configs.iter().copied().enumerate() {
+        let w = WorkloadSpec {
+            divisor_size: s,
+            quotient_size: q,
+            ..Default::default()
+        }
+        .generate(0xBA7C4 + i as u64);
+        let tuples = w.dividend.cardinality();
+        let storage = StorageManager::shared(StorageConfig::large());
+
+        // One untimed warmup per arm, so the first rep is not charged
+        // for faulting in the workload and the allocator's arenas.
+        run_arm(&w, &storage, ExecMode::Tuple);
+        run_arm(&w, &storage, ExecMode::Batch);
+
+        let mut best_t: Option<Arm> = None;
+        let mut best_b: Option<Arm> = None;
+        for _ in 0..reps {
+            let t = run_arm(&w, &storage, ExecMode::Tuple);
+            let b = run_arm(&w, &storage, ExecMode::Batch);
+            // Both arms run the in-memory operator, whose output order is
+            // identical across paths: byte-identical, order included.
+            assert_eq!(
+                t.quotient, b.quotient,
+                "quotients differ at |S|={s} |Q|={q}: the batch path must \
+                 be byte-identical to the tuple path"
+            );
+            if best_t.as_ref().is_none_or(|x| t.elapsed_ms < x.elapsed_ms) {
+                best_t = Some(t);
+            }
+            if best_b.as_ref().is_none_or(|x| b.elapsed_ms < x.elapsed_ms) {
+                best_b = Some(b);
+            }
+        }
+        let row = Row {
+            divisor_size: s,
+            quotient_size: q,
+            dividend_tuples: tuples,
+            tuple: best_t.expect("reps >= 1"),
+            batch: best_b.expect("reps >= 1"),
+        };
+        println!(
+            "{:>5} {:>5} {:>8} | {:>13.0} {:>13.0} | {:>7.2}x | {:>9}",
+            s,
+            q,
+            tuples,
+            row.tuple.throughput(tuples),
+            row.batch.throughput(tuples),
+            row.speedup(),
+            "yes"
+        );
+        rows.push(row);
+    }
+
+    // JSON out (hand-rolled; the workspace carries no serde).
+    let mut json = format!("{{\n  \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"divisor_size\": {}, \"quotient_size\": {}, \"dividend_tuples\": {}, \
+             \"tuple\": {{\"throughput_tuples_per_s\": {:.1}, \"elapsed_ms\": {:.3}}}, \
+             \"batch\": {{\"throughput_tuples_per_s\": {:.1}, \"elapsed_ms\": {:.3}}}, \
+             \"speedup\": {:.3}, \"quotients_identical\": true}}{}\n",
+            r.divisor_size,
+            r.quotient_size,
+            r.dividend_tuples,
+            r.tuple.throughput(r.dividend_tuples),
+            r.tuple.elapsed_ms,
+            r.batch.throughput(r.dividend_tuples),
+            r.batch.elapsed_ms,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    let max_speedup = rows.iter().map(Row::speedup).fold(0.0f64, f64::max);
+    json.push_str(&format!("  ],\n  \"max_speedup\": {max_speedup:.3}\n}}\n"));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out} (max speedup {max_speedup:.2}x)");
+
+    // Regression gate: on the largest cell the vectorized path must be at
+    // least as fast as the tuple path it replaced as the default.
+    let gate = rows
+        .iter()
+        .max_by_key(|r| r.dividend_tuples)
+        .expect("sweep is non-empty");
+    let (tt, bt) = (
+        gate.tuple.throughput(gate.dividend_tuples),
+        gate.batch.throughput(gate.dividend_tuples),
+    );
+    if bt < tt {
+        eprintln!(
+            "GATE FAIL: batch {bt:.0} tup/s < tuple {tt:.0} tup/s at |S|={} |Q|={}",
+            gate.divisor_size, gate.quotient_size
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gate: batch {bt:.0} tup/s >= tuple {tt:.0} tup/s at |S|={} |Q|={}",
+        gate.divisor_size, gate.quotient_size
+    );
+}

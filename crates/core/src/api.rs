@@ -8,6 +8,9 @@
 
 use std::rc::Rc;
 
+use reldiv_exec::batch::profile::maybe_profile_batch;
+use reldiv_exec::batch::scan::BatchMemScan;
+use reldiv_exec::batch::{collect_batches, BoxedBatchOp, ExecMode, TupleToBatch};
 use reldiv_exec::cancel::CancelToken;
 use reldiv_exec::op::BoxedOp;
 use reldiv_exec::profile::{maybe_profile, ProfileSink, QueryProfile, SpanKind, SpanScope};
@@ -17,6 +20,7 @@ use reldiv_rel::{Relation, Schema, Tuple};
 use reldiv_storage::manager::StorageConfig;
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
+use crate::batch_div::BatchHashDivision;
 use crate::hash_division::{HashDivision, HashDivisionMode};
 use crate::hybrid;
 use crate::naive::naive_division_plan_profiled;
@@ -76,6 +80,18 @@ impl Source {
             }
             Source::Mem { schema, tuples } => {
                 Box::new(MemScan::shared(schema.clone(), tuples.clone()))
+            }
+        }
+    }
+
+    /// Opens a fresh batch scan over the relation: columnar for in-memory
+    /// sources, a bridged record-file scan (with its real I/O profile)
+    /// otherwise.
+    pub fn scan_batches(&self, storage: &StorageRef) -> BoxedBatchOp {
+        match self {
+            Source::File { .. } => Box::new(TupleToBatch::new(self.scan(storage))),
+            Source::Mem { schema, tuples } => {
+                Box::new(BatchMemScan::shared(schema.clone(), tuples.clone()))
             }
         }
     }
@@ -253,6 +269,13 @@ pub struct DivisionConfig {
     /// for the global budget while each respects its own. `None` uses the
     /// shared pool directly.
     pub mem_budget: Option<usize>,
+    /// Execution path for hash-division's in-memory case.
+    /// [`ExecMode::Batch`] runs the vectorized operator
+    /// ([`crate::batch_div::BatchHashDivision`]) — byte-identical
+    /// quotients and memory accounting, amortized per-tuple overheads.
+    /// The spilling overflow rungs always run tuple-at-a-time. The
+    /// default is [`ExecMode::Tuple`], the classic path.
+    pub exec: ExecMode,
 }
 
 impl Default for DivisionConfig {
@@ -264,20 +287,32 @@ impl Default for DivisionConfig {
             cancel: CancelToken::none(),
             profile: None,
             mem_budget: None,
+            exec: ExecMode::Tuple,
         }
     }
 }
 
 /// Drains an operator into a relation, polling `cancel` between tuples.
+///
+/// `close` runs on **every** exit, including mid-drain errors and
+/// cancellation, so operator resources (pinned pages, run files, pool
+/// reservations) are never leaked; the drain's error takes precedence
+/// over any close error.
 fn collect_cancel(mut op: BoxedOp, cancel: CancelToken) -> Result<Relation> {
-    op.open()?;
-    let mut rel = Relation::empty(op.schema().clone());
-    let mut budget = 0u32;
-    while let Some(t) = op.next()? {
-        cancel.checkpoint(&mut budget)?;
-        rel.push(t).map_err(ExecError::from)?;
+    fn drain(op: &mut BoxedOp, cancel: CancelToken) -> Result<Relation> {
+        op.open()?;
+        let mut rel = Relation::empty(op.schema().clone());
+        let mut budget = 0u32;
+        while let Some(t) = op.next()? {
+            cancel.checkpoint(&mut budget)?;
+            rel.push(t).map_err(ExecError::from)?;
+        }
+        Ok(rel)
     }
-    op.close()?;
+    let result = drain(&mut op, cancel);
+    let closed = op.close();
+    let rel = result?;
+    closed?;
     Ok(rel)
 }
 
@@ -428,6 +463,40 @@ fn hash_division_with_overflow(
     let profile = config.profile.clone();
     let in_memory = |report: &mut DegradationReport| -> Result<Relation> {
         report.note_phase("in-memory");
+        if config.exec == ExecMode::Batch {
+            // The vectorized path: same span labels, same hash-table
+            // layout, same memory accounting — byte-identical output.
+            let dividend_scan = maybe_profile_batch(
+                dividend.scan_batches(storage),
+                profile.as_ref(),
+                "scan dividend",
+                SpanKind::Scan,
+                Some(storage),
+            );
+            let divisor_scan = maybe_profile_batch(
+                divisor.scan_batches(storage),
+                profile.as_ref(),
+                "scan divisor",
+                SpanKind::Scan,
+                Some(storage),
+            );
+            let mut op = BatchHashDivision::new(
+                dividend_scan,
+                divisor_scan,
+                spec.clone(),
+                mode,
+                pool.clone(),
+            )?;
+            op.set_cancel(cancel);
+            let op = maybe_profile_batch(
+                Box::new(op),
+                profile.as_ref(),
+                "hash-division (in-memory)",
+                SpanKind::HashDivision,
+                Some(storage),
+            );
+            return collect_batches(op, cancel);
+        }
         let dividend_scan = maybe_profile(
             dividend.scan(storage),
             profile.as_ref(),
@@ -553,6 +622,20 @@ fn hash_division_with_overflow(
             )
         }
         OverflowPolicy::Auto => {
+            // Rung 0, batch mode only: the vectorized in-memory attempt.
+            // Its row-entry kernels share the tuple path's tables and
+            // memory accounting, so exhaustion fires at the same tuple
+            // and the ladder below is unchanged.
+            if config.exec == ExecMode::Batch {
+                match in_memory(report) {
+                    Ok(rel) => return Ok(rel),
+                    Err(e) if e.is_memory_exhausted() => {
+                        mark_exhausted(report);
+                        report.note_retry();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             // Rung 1: the adaptive hybrid. Its optimistic phase is the
             // in-memory attempt; quotient-table pressure is absorbed by
             // incremental spilling, so it only fails when the divisor
@@ -672,14 +755,27 @@ pub fn materialize(storage: &StorageRef, mut op: BoxedOp) -> Result<(FileId, Sch
     let schema = op.schema().clone();
     let codec = reldiv_rel::RecordCodec::new(schema.clone());
     let file = storage.borrow_mut().create_file(StorageManager::DATA_DISK);
-    op.open()?;
-    let mut buf = Vec::with_capacity(codec.record_width());
-    while let Some(t) = op.next()? {
-        buf.clear();
-        codec.encode_into(&t, &mut buf).map_err(ExecError::from)?;
-        storage.borrow_mut().append(file, &buf)?;
+    // `close` runs on every exit — a mid-drain encode or append failure
+    // must not leak what the plan holds (pinned pages, run files).
+    fn drain(
+        storage: &StorageRef,
+        op: &mut BoxedOp,
+        codec: &reldiv_rel::RecordCodec,
+        file: FileId,
+    ) -> Result<()> {
+        op.open()?;
+        let mut buf = Vec::with_capacity(codec.record_width());
+        while let Some(t) = op.next()? {
+            buf.clear();
+            codec.encode_into(&t, &mut buf).map_err(ExecError::from)?;
+            storage.borrow_mut().append(file, &buf)?;
+        }
+        Ok(())
     }
-    op.close()?;
+    let result = drain(storage, &mut op, &codec, file);
+    let closed = op.close();
+    result?;
+    closed?;
     Ok((file, schema))
 }
 
@@ -845,6 +941,166 @@ mod tests {
         assert!(winner.starts_with("adaptive-hybrid"), "{winner}");
         assert!(report.partitions_spilled > 0, "victims were evicted");
         assert!(report.spill_bytes > 0, "spilled partitions hit disk");
+    }
+
+    /// A workload with duplicates, noise rows, and a mix of complete and
+    /// incomplete candidates — enough structure to notice any divergence
+    /// between the execution paths.
+    fn noisy_workload() -> (Relation, Relation) {
+        let mut rows = Vec::new();
+        for sid in 0..200 {
+            for cno in 0..(sid % 5) + 1 {
+                rows.push([sid, cno]);
+            }
+            rows.push([sid, 900 + sid]); // no divisor match
+            rows.push([sid, 0]); // duplicate
+        }
+        (transcript(&rows), courses(&[0, 1, 2, 3]))
+    }
+
+    #[test]
+    fn batch_exec_matches_tuple_exec_byte_for_byte() {
+        let (dividend, divisor) = noisy_workload();
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        for mode in [HashDivisionMode::Standard, HashDivisionMode::EarlyOut] {
+            for overflow in [OverflowPolicy::Fail, OverflowPolicy::Auto] {
+                let run = |exec| {
+                    divide(
+                        &storage,
+                        &Source::from_relation(&dividend),
+                        &Source::from_relation(&divisor),
+                        &spec,
+                        Algorithm::HashDivision { mode },
+                        &DivisionConfig {
+                            overflow,
+                            exec,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                };
+                let tuple = run(ExecMode::Tuple);
+                let batch = run(ExecMode::Batch);
+                if overflow == OverflowPolicy::Fail {
+                    // Both paths run the in-memory operator: identical
+                    // hash kernels give identical insertion order, so
+                    // ordered equality, not just bag equality.
+                    assert_eq!(tuple, batch, "{mode:?} {overflow:?}");
+                } else {
+                    // Under Auto the tuple path's first rung is the
+                    // adaptive hybrid, whose partitioned emission order
+                    // legitimately differs; `divide` documents quotient
+                    // order as algorithm-dependent.
+                    assert_eq!(
+                        tuple.bag_counts(),
+                        batch.bag_counts(),
+                        "{mode:?} {overflow:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_auto_overflow_falls_down_the_ladder() {
+        // Same undersized pool as the tuple-path test above: the batch
+        // rung exhausts at the same tuple (shared memory accounting), and
+        // the unchanged tuple-path ladder finishes the job.
+        let mut rows = Vec::new();
+        for q in 0..2000 {
+            rows.push([q, 1]);
+            rows.push([q, 2]);
+        }
+        let dividend = transcript(&rows);
+        let divisor = courses(&[1, 2]);
+        let storage = StorageManager::shared(StorageConfig {
+            data_page_size: 8192,
+            run_page_size: 1024,
+            buffer_bytes: 1 << 22,
+            work_memory_bytes: 64 * 1024,
+        });
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (q, report) = divide_with_report(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig {
+                exec: ExecMode::Batch,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(q.cardinality(), 2000);
+        assert!(report.degraded);
+        assert!(report.retries >= 1);
+        assert_eq!(report.phases[0], "in-memory: memory exhausted");
+        let winner = report.final_phase().unwrap();
+        assert!(winner.starts_with("adaptive-hybrid"), "{winner}");
+    }
+
+    #[test]
+    fn batch_clean_division_reports_in_memory() {
+        let (dividend, divisor) = noisy_workload();
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (_, report) = divide_with_report(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig {
+                exec: ExecMode::Batch,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.degraded);
+        assert_eq!(report.final_phase().unwrap(), "in-memory");
+    }
+
+    #[test]
+    fn batch_profiled_run_keeps_the_span_labels() {
+        let (dividend, divisor) = noisy_workload();
+        let storage = StorageManager::shared(StorageConfig::large());
+        let spec = DivisionSpec::trailing_divisor(dividend.schema(), divisor.schema()).unwrap();
+        let (q, _, profile) = divide_profiled(
+            &storage,
+            &Source::from_relation(&dividend),
+            &Source::from_relation(&divisor),
+            &spec,
+            Algorithm::HashDivision {
+                mode: HashDivisionMode::Standard,
+            },
+            &DivisionConfig {
+                exec: ExecMode::Batch,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let root = &profile.root;
+        assert_eq!(root.phases, vec!["in-memory".to_string()]);
+        let labels: Vec<&str> = root.children.iter().map(|c| c.label.as_str()).collect();
+        assert!(
+            labels.contains(&"hash-division (in-memory)"),
+            "spans: {labels:?}"
+        );
+        let div = root
+            .children
+            .iter()
+            .find(|c| c.label == "hash-division (in-memory)")
+            .unwrap();
+        assert_eq!(div.tuples_out, q.cardinality() as u64);
+        let scan_labels: Vec<&str> = div.children.iter().map(|c| c.label.as_str()).collect();
+        assert!(scan_labels.contains(&"scan dividend"), "{scan_labels:?}");
+        assert!(scan_labels.contains(&"scan divisor"), "{scan_labels:?}");
     }
 
     #[test]

@@ -38,10 +38,11 @@
 //! against the storage manager's memory pool; exhaustion surfaces as
 //! `MemoryExhausted`, the trigger for the overflow strategies.
 
+use reldiv_exec::batch::BoxedBatchOp;
 use reldiv_exec::cancel::CancelToken;
 use reldiv_exec::hash_table::ChainedTable;
 use reldiv_exec::op::{BoxedOp, OpState, Operator};
-use reldiv_rel::{Schema, Tuple};
+use reldiv_rel::{Batch, Schema, Tuple};
 use reldiv_storage::memory::Reservation;
 use reldiv_storage::MemoryPool;
 
@@ -83,6 +84,9 @@ pub struct DivisorTable {
     table: ChainedTable<(Tuple, u32)>,
     count: u32,
     duplicates: u64,
+    /// `0..arity` of the stored divisor tuples, precomputed so the batch
+    /// path's per-row lookups allocate nothing.
+    key_cols: Vec<usize>,
     /// Accounts the stored divisor tuples' bytes.
     _payload: Reservation,
 }
@@ -115,6 +119,54 @@ impl DivisorTable {
             table,
             count,
             duplicates,
+            key_cols: all,
+            _payload: payload,
+        })
+    }
+
+    /// [`DivisorTable::build`] over a batch input: drains `divisor`
+    /// (opened and closed here) one batch at a time, hashing each batch
+    /// with the bulk kernel and polling `cancel` once per batch.
+    ///
+    /// The hash kernel is bit-identical to [`Tuple::hash_on`], so the
+    /// chain layout — and every divisor number — matches the tuple-path
+    /// build exactly; memory is accounted identically, so exhaustion
+    /// surfaces at the same tuple.
+    pub fn build_batch(
+        divisor: &mut BoxedBatchOp,
+        pool: &MemoryPool,
+        cancel: CancelToken,
+    ) -> Result<Self> {
+        divisor.open()?;
+        let width = divisor.schema().record_width();
+        let arity = divisor.schema().arity();
+        let key_cols: Vec<usize> = (0..arity).collect();
+        let mut table: ChainedTable<(Tuple, u32)> = ChainedTable::new(pool, 16)?;
+        let mut payload = pool.reserve(0)?;
+        let mut count: u32 = 0;
+        let mut duplicates: u64 = 0;
+        while let Some(batch) = divisor.next_batch()? {
+            cancel.check()?;
+            let hashes = batch.hash_rows(&key_cols);
+            for (row, &h) in hashes.iter().enumerate() {
+                if table
+                    .find_hashed(h, |(s, _)| batch.row_eq_tuple(&key_cols, row, s, &key_cols))
+                    .is_some()
+                {
+                    duplicates += 1;
+                    continue;
+                }
+                payload.grow(width)?;
+                table.insert(h, (batch.tuple(row), count))?;
+                count += 1;
+            }
+        }
+        divisor.close()?;
+        Ok(DivisorTable {
+            table,
+            count,
+            duplicates,
+            key_cols,
             _payload: payload,
         })
     }
@@ -140,6 +192,24 @@ impl DivisorTable {
             .map(|idx| self.table.get(idx).1)
     }
 
+    /// [`DivisorTable::lookup`] for one row of a batch: `h` is the row's
+    /// precomputed hash over `divisor_keys` (from the bulk kernel), and
+    /// the compare runs column-at-a-time against the batch — no tuple is
+    /// materialized and nothing is allocated.
+    pub fn lookup_row(
+        &self,
+        h: u64,
+        batch: &Batch,
+        row: usize,
+        divisor_keys: &[usize],
+    ) -> Option<u32> {
+        self.table
+            .find_hashed(h, |(s, _)| {
+                batch.row_eq_tuple(divisor_keys, row, s, &self.key_cols)
+            })
+            .map(|idx| self.table.get(idx).1)
+    }
+
     /// Iterates the distinct divisor tuples with their numbers.
     pub fn entries(&self) -> impl Iterator<Item = &(Tuple, u32)> {
         self.table.items()
@@ -160,6 +230,9 @@ pub struct QuotientTable {
     mode: HashDivisionMode,
     divisor_count: u32,
     quotient_keys: Vec<usize>,
+    /// `0..quotient_keys.len()` — the candidate tuples' own columns,
+    /// precomputed so the batch path's per-row probes allocate nothing.
+    qcols: Vec<usize>,
     quotient_width: usize,
     scan_pos: usize,
     stats_candidates: u64,
@@ -175,12 +248,14 @@ impl QuotientTable {
         quotient_keys: Vec<usize>,
         quotient_width: usize,
     ) -> Result<Self> {
+        let qcols: Vec<usize> = (0..quotient_keys.len()).collect();
         Ok(QuotientTable {
             table: ChainedTable::new(pool, 16)?,
             payload: pool.reserve(0)?,
             mode,
             divisor_count,
             quotient_keys,
+            qcols,
             quotient_width,
             scan_pos: 0,
             stats_candidates: 0,
@@ -205,68 +280,108 @@ impl QuotientTable {
             .find(h, |e| t.eq_on(&self.quotient_keys, &e.tuple, &qcols));
         match found {
             None => {
-                let bits = if self.mode == HashDivisionMode::CounterOnly {
-                    0
-                } else {
-                    self.divisor_count as usize
-                };
-                self.payload
-                    .grow(self.quotient_width + Bitmap::heap_bytes(bits))?;
-                let mut bitmap = Bitmap::new(bits);
-                let mut count = 0;
-                if let Some(d) = divisor_no {
-                    if self.mode != HashDivisionMode::CounterOnly {
-                        bitmap.set(d as usize);
-                    }
-                    count = 1;
-                }
                 let tuple = t.project(&self.quotient_keys);
-                self.stats_candidates += 1;
-                let complete = count == self.divisor_count;
-                let emit = tuple.clone();
-                self.table.insert(
-                    h,
-                    QEntry {
-                        tuple,
-                        bitmap,
-                        count,
-                    },
-                )?;
-                if self.mode == HashDivisionMode::EarlyOut && complete {
-                    return Ok(Some(emit));
+                self.absorb_miss(h, tuple, divisor_no)
+            }
+            Some(idx) => self.absorb_hit(idx, divisor_no),
+        }
+    }
+
+    /// [`QuotientTable::absorb`] for one row of a batch, already matched
+    /// to `divisor_no`: `h` is the row's precomputed hash over the
+    /// quotient attributes (from the bulk kernel); the probe compares
+    /// column-at-a-time against the batch, and the candidate tuple is
+    /// materialized only on a miss.
+    pub fn absorb_row(
+        &mut self,
+        h: u64,
+        batch: &Batch,
+        row: usize,
+        divisor_no: Option<u32>,
+    ) -> Result<Option<Tuple>> {
+        debug_assert!(divisor_no.is_some() || self.divisor_count == 0);
+        let found = self.table.find_hashed(h, |e| {
+            batch.row_eq_tuple(&self.quotient_keys, row, &e.tuple, &self.qcols)
+        });
+        match found {
+            None => {
+                let tuple = batch.tuple_projected(&self.quotient_keys, row);
+                self.absorb_miss(h, tuple, divisor_no)
+            }
+            Some(idx) => self.absorb_hit(idx, divisor_no),
+        }
+    }
+
+    /// Shared miss path: accounts and inserts a new candidate (already
+    /// projected onto the quotient attributes) under hash `h`.
+    fn absorb_miss(
+        &mut self,
+        h: u64,
+        tuple: Tuple,
+        divisor_no: Option<u32>,
+    ) -> Result<Option<Tuple>> {
+        let bits = if self.mode == HashDivisionMode::CounterOnly {
+            0
+        } else {
+            self.divisor_count as usize
+        };
+        self.payload
+            .grow(self.quotient_width + Bitmap::heap_bytes(bits))?;
+        let mut bitmap = Bitmap::new(bits);
+        let mut count = 0;
+        if let Some(d) = divisor_no {
+            if self.mode != HashDivisionMode::CounterOnly {
+                bitmap.set(d as usize);
+            }
+            count = 1;
+        }
+        self.stats_candidates += 1;
+        let complete = count == self.divisor_count;
+        let emit = if self.mode == HashDivisionMode::EarlyOut && complete {
+            Some(tuple.clone())
+        } else {
+            None
+        };
+        self.table.insert(
+            h,
+            QEntry {
+                tuple,
+                bitmap,
+                count,
+            },
+        )?;
+        Ok(emit)
+    }
+
+    /// Shared hit path: updates the existing candidate at `idx`.
+    fn absorb_hit(&mut self, idx: u32, divisor_no: Option<u32>) -> Result<Option<Tuple>> {
+        let divisor_count = self.divisor_count;
+        let e = self.table.get_mut(idx);
+        match self.mode {
+            HashDivisionMode::Standard => {
+                if let Some(d) = divisor_no {
+                    e.bitmap.set(d as usize);
                 }
                 Ok(None)
             }
-            Some(idx) => {
-                let divisor_count = self.divisor_count;
-                let e = self.table.get_mut(idx);
-                match self.mode {
-                    HashDivisionMode::Standard => {
-                        if let Some(d) = divisor_no {
-                            e.bitmap.set(d as usize);
+            HashDivisionMode::EarlyOut => {
+                if let Some(d) = divisor_no {
+                    // Test-and-set: an already-set bit means a duplicate
+                    // dividend tuple — discard it.
+                    if !e.bitmap.set(d as usize) {
+                        e.count += 1;
+                        if e.count == divisor_count {
+                            return Ok(Some(e.tuple.clone()));
                         }
-                        Ok(None)
-                    }
-                    HashDivisionMode::EarlyOut => {
-                        if let Some(d) = divisor_no {
-                            // Test-and-set: an already-set bit means a
-                            // duplicate dividend tuple — discard it.
-                            if !e.bitmap.set(d as usize) {
-                                e.count += 1;
-                                if e.count == divisor_count {
-                                    return Ok(Some(e.tuple.clone()));
-                                }
-                            }
-                        }
-                        Ok(None)
-                    }
-                    HashDivisionMode::CounterOnly => {
-                        if divisor_no.is_some() {
-                            e.count += 1;
-                        }
-                        Ok(None)
                     }
                 }
+                Ok(None)
+            }
+            HashDivisionMode::CounterOnly => {
+                if divisor_no.is_some() {
+                    e.count += 1;
+                }
+                Ok(None)
             }
         }
     }

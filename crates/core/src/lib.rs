@@ -28,6 +28,9 @@
 //! * [`overflow`] — hash-table overflow handling by quotient partitioning
 //!   and divisor partitioning, including the collection phase (Section
 //!   3.4),
+//! * [`batch_div`] — the vectorized (batch-at-a-time) hash-division
+//!   operator, byte-identical to the tuple path and selected with
+//!   [`DivisionConfig::exec`](api::DivisionConfig),
 //! * [`contains`] — the "contains clause" the paper's conclusion calls
 //!   for: a declarative for-all query builder with cost-based algorithm
 //!   choice,
@@ -53,6 +56,7 @@
 #![deny(missing_docs)]
 
 pub mod api;
+pub mod batch_div;
 pub mod bitmap;
 pub mod contains;
 pub mod hash_agg;
@@ -68,9 +72,11 @@ pub mod spec;
 pub use api::{
     divide, divide_profiled, divide_relations, divide_with_report, Algorithm, DivisionConfig,
 };
+pub use batch_div::BatchHashDivision;
 pub use bitmap::Bitmap;
 pub use contains::Contains;
 pub use hash_division::{HashDivision, HashDivisionMode};
+pub use reldiv_exec::batch::ExecMode;
 pub use reldiv_exec::profile::{ProfileNode, ProfileSink, QueryProfile, SpanKind};
 pub use report::DegradationReport;
 pub use spec::DivisionSpec;

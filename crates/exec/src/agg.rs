@@ -12,6 +12,7 @@ use reldiv_rel::schema::Field;
 use reldiv_rel::{counters, ColumnType, Schema, Tuple, Value};
 use reldiv_storage::{MemoryPool, StorageRef};
 
+use crate::cancel::CancelToken;
 use crate::hash_table::ChainedTable;
 use crate::op::{BoxedOp, OpState, Operator};
 use crate::sort::{Sort, SortConfig, SortMode};
@@ -115,6 +116,13 @@ impl SortCountAggregate {
         // The sort's keys are the group keys.
         (0..self.schema.arity() - 1).collect()
     }
+
+    /// Polls `cancel` inside the counting sort's run-generation and merge
+    /// loops.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.sort.set_cancel(cancel);
+        self
+    }
 }
 
 impl Operator for SortCountAggregate {
@@ -176,6 +184,7 @@ pub struct HashCountAggregate {
     spill: Option<reldiv_storage::StorageRef>,
     /// Group-hash clusters for the spill path.
     spill_partitions: usize,
+    cancel: CancelToken,
     state: OpState,
     drain: Option<std::vec::IntoIter<Tuple>>,
 }
@@ -202,9 +211,19 @@ impl HashCountAggregate {
             pool,
             spill: None,
             spill_partitions: 8,
+            cancel: CancelToken::none(),
             state: OpState::Created,
             drain: None,
         })
+    }
+
+    /// Polls `cancel` every checkpoint stride of tuples while `open`
+    /// drains the input into the aggregation table (and while spill
+    /// clusters are re-aggregated) — the whole aggregation happens before
+    /// the first `next`, so without this a deadline cannot interrupt it.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Enables partitioned overflow handling: when the aggregation table
@@ -279,7 +298,9 @@ impl Operator for HashCountAggregate {
             Ok(())
         };
 
+        let mut budget = 0u32;
         while let Some(t) = self.input.next()? {
+            self.cancel.checkpoint(&mut budget)?;
             let group = t.project(&self.group_keys);
             if let Some(files) = &mut clusters {
                 // Already spilling: route directly to the clusters.
@@ -328,6 +349,7 @@ impl Operator for HashCountAggregate {
                     let mut phase: ChainedTable<(Tuple, i64)> = ChainedTable::new(&self.pool, 16)?;
                     let mut cursor = ScanCursor::new(file);
                     loop {
+                        self.cancel.checkpoint(&mut budget)?;
                         let next = {
                             let mut sm = storage.borrow_mut();
                             cursor.next(&mut sm)?
@@ -378,6 +400,7 @@ pub struct ScalarCount {
     input: BoxedOp,
     distinct: bool,
     schema: Schema,
+    cancel: CancelToken,
     state: OpState,
     produced: bool,
     count: i64,
@@ -390,10 +413,17 @@ impl ScalarCount {
             input,
             distinct,
             schema: Schema::new(vec![Field::new("count", ColumnType::Int)]),
+            cancel: CancelToken::none(),
             state: OpState::Created,
             produced: false,
             count: 0,
         }
+    }
+
+    /// Polls `cancel` every checkpoint stride while `open` counts.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -407,7 +437,9 @@ impl Operator for ScalarCount {
         self.count = 0;
         self.produced = false;
         let mut seen = std::collections::HashSet::new();
+        let mut budget = 0u32;
         while let Some(t) = self.input.next()? {
+            self.cancel.checkpoint(&mut budget)?;
             if self.distinct {
                 if seen.insert(t) {
                     self.count += 1;
@@ -449,6 +481,7 @@ impl Operator for ScalarCount {
 pub struct HashDistinct {
     input: BoxedOp,
     pool: MemoryPool,
+    cancel: CancelToken,
     state: OpState,
     drain: Option<std::vec::IntoIter<Tuple>>,
 }
@@ -459,9 +492,17 @@ impl HashDistinct {
         HashDistinct {
             input,
             pool,
+            cancel: CancelToken::none(),
             state: OpState::Created,
             drain: None,
         }
+    }
+
+    /// Polls `cancel` every checkpoint stride while `open` builds the
+    /// distinct table.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -476,7 +517,9 @@ impl Operator for HashDistinct {
         let width = self.input.schema().record_width();
         let mut table: ChainedTable<Tuple> = ChainedTable::new(&self.pool, 16)?;
         let mut payload = self.pool.reserve(0)?;
+        let mut budget = 0u32;
         while let Some(t) = self.input.next()? {
+            self.cancel.checkpoint(&mut budget)?;
             let h = t.hash_on(&all);
             if table.find(h, |cand| t.eq_on(&all, cand, &all)).is_none() {
                 payload.grow(width)?;
@@ -508,6 +551,8 @@ pub struct HavingCount {
     input: BoxedOp,
     target: i64,
     schema: Schema,
+    cancel: CancelToken,
+    budget: u32,
 }
 
 impl HavingCount {
@@ -525,7 +570,15 @@ impl HavingCount {
             input,
             target,
             schema,
+            cancel: CancelToken::none(),
+            budget: 0,
         })
+    }
+
+    /// Polls `cancel` every checkpoint stride of rejected groups.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -546,6 +599,7 @@ impl Operator for HavingCount {
                 let cols: Vec<usize> = (0..count_col).collect();
                 return Ok(Some(t.project(&cols)));
             }
+            self.cancel.checkpoint(&mut self.budget)?;
         }
         Ok(None)
     }

@@ -1,0 +1,119 @@
+//! Vectorized `HAVING count = N` — the final step of division by
+//! aggregation on the batch path.
+//!
+//! The group-count aggregate itself stays on the tuple path (its
+//! spill-to-cluster-files overflow handling is semantics worth keeping in
+//! one place) and is bridged with [`super::BatchToTuple`] /
+//! [`super::TupleToBatch`]; only the post-filter is batch-native.
+
+use reldiv_rel::{counters, Batch, ColumnVec, Schema};
+
+use super::{BatchOperator, BoxedBatchOp};
+use crate::{ExecError, Result};
+
+/// Selects groups whose trailing count equals `target` and projects the
+/// count away — the batch analogue of [`crate::agg::HavingCount`].
+pub struct BatchHavingCount {
+    input: BoxedBatchOp,
+    target: i64,
+    keep: Vec<usize>,
+    schema: Schema,
+    selection: Vec<usize>,
+}
+
+impl BatchHavingCount {
+    /// Filters `(group..., count)` batches to rows with `count == target`.
+    pub fn new(input: BoxedBatchOp, target: i64) -> Result<Self> {
+        let arity = input.schema().arity();
+        if arity < 2 {
+            return Err(ExecError::Plan(
+                "HavingCount: input needs group + count columns".into(),
+            ));
+        }
+        let keep: Vec<usize> = (0..arity - 1).collect();
+        let schema = input.schema().project(&keep).map_err(ExecError::from)?;
+        Ok(BatchHavingCount {
+            input,
+            target,
+            keep,
+            schema,
+            selection: Vec::new(),
+        })
+    }
+}
+
+impl BatchOperator for BatchHavingCount {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        // One comparison per input row, like the tuple path.
+        counters::count_comparisons(batch.len() as u64);
+        self.selection.clear();
+        let count_col = batch.schema().arity() - 1;
+        if let ColumnVec::Int(counts) = batch.column(count_col) {
+            for (row, &c) in counts.iter().enumerate() {
+                if c == self.target {
+                    self.selection.push(row);
+                }
+            }
+        }
+        let out = batch
+            .gather(&self.selection)
+            .project(&self.keep)
+            .map_err(ExecError::from)?;
+        Ok(Some(out))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::collect_batches;
+    use crate::batch::scan::BatchMemScan;
+    use crate::CancelToken;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+    use reldiv_rel::Relation;
+
+    #[test]
+    fn having_count_selects_full_groups() {
+        let schema = Schema::new(vec![Field::int("sid"), Field::int("count")]);
+        let rel = Relation::from_tuples(schema, vec![ints(&[1, 2]), ints(&[2, 1]), ints(&[3, 2])])
+            .unwrap();
+        let out = collect_batches(
+            Box::new(BatchHavingCount::new(Box::new(BatchMemScan::new(rel)), 2).unwrap()),
+            CancelToken::none(),
+        )
+        .unwrap();
+        let sids: Vec<i64> = out
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(sids, vec![1, 3]);
+        assert_eq!(out.schema().arity(), 1, "count column projected away");
+    }
+
+    #[test]
+    fn single_column_input_is_a_plan_error() {
+        let schema = Schema::new(vec![Field::int("count")]);
+        let rel = Relation::from_tuples(schema, vec![ints(&[1])]).unwrap();
+        assert!(matches!(
+            BatchHavingCount::new(Box::new(BatchMemScan::new(rel)), 1),
+            Err(ExecError::Plan(_))
+        ));
+    }
+}

@@ -1,0 +1,287 @@
+//! Vectorized selection.
+//!
+//! The tuple path's [`crate::filter::Predicate`] is an opaque closure; a
+//! batch filter instead evaluates a structured [`BatchPredicate`] with a
+//! per-column kernel over the whole batch, producing a selection vector
+//! that one [`Batch::gather`] turns into the output batch. Semantics
+//! match the tuple path's predicate builders exactly: comparisons against
+//! a mistyped column select nothing, and substring matching is
+//! case-insensitive on both sides.
+
+use std::cmp::Ordering;
+
+use reldiv_rel::{Batch, ColumnVec, Schema};
+
+use super::{BatchOperator, BoxedBatchOp};
+use crate::Result;
+
+/// A comparison operator for [`BatchPredicate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchCmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl BatchCmp {
+    /// Whether an ordering outcome satisfies this comparison.
+    pub fn eval(self, ord: Ordering) -> bool {
+        matches!(
+            (self, ord),
+            (BatchCmp::Eq, Ordering::Equal)
+                | (BatchCmp::Ne, Ordering::Less | Ordering::Greater)
+                | (BatchCmp::Lt, Ordering::Less)
+                | (BatchCmp::Le, Ordering::Less | Ordering::Equal)
+                | (BatchCmp::Gt, Ordering::Greater)
+                | (BatchCmp::Ge, Ordering::Greater | Ordering::Equal)
+        )
+    }
+}
+
+/// A structured selection predicate with a vectorized evaluation kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchPredicate {
+    /// Compare an integer column against a literal; rows of a
+    /// non-integer column never match (mirroring the tuple path's
+    /// `as_int()` guard).
+    IntCompare {
+        /// Column index.
+        column: usize,
+        /// The comparison.
+        cmp: BatchCmp,
+        /// The literal.
+        target: i64,
+    },
+    /// Compare a string column against a literal; rows of a non-string
+    /// column never match.
+    StrCompare {
+        /// Column index.
+        column: usize,
+        /// The comparison.
+        cmp: BatchCmp,
+        /// The literal.
+        target: String,
+    },
+    /// Case-insensitive substring match on a string column; rows of a
+    /// non-string column never match. Construct with
+    /// [`BatchPredicate::str_contains`] so the needle is pre-lowercased.
+    StrContains {
+        /// Column index.
+        column: usize,
+        /// The needle, lowercased.
+        needle: String,
+    },
+}
+
+impl BatchPredicate {
+    /// Predicate: string column `column` contains `needle`
+    /// (case-insensitive) — the batch analogue of
+    /// [`crate::filter::str_contains`].
+    pub fn str_contains(column: usize, needle: &str) -> BatchPredicate {
+        BatchPredicate::StrContains {
+            column,
+            needle: needle.to_ascii_lowercase(),
+        }
+    }
+
+    /// Predicate: integer column `column` equals `target` — the batch
+    /// analogue of [`crate::filter::int_equals`].
+    pub fn int_equals(column: usize, target: i64) -> BatchPredicate {
+        BatchPredicate::IntCompare {
+            column,
+            cmp: BatchCmp::Eq,
+            target,
+        }
+    }
+
+    /// Appends the indices of matching rows to `rows`.
+    pub fn select(&self, batch: &Batch, rows: &mut Vec<usize>) {
+        match self {
+            BatchPredicate::IntCompare {
+                column,
+                cmp,
+                target,
+            } => {
+                if let ColumnVec::Int(vs) = batch.column(*column) {
+                    for (row, v) in vs.iter().enumerate() {
+                        if cmp.eval(v.cmp(target)) {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+            BatchPredicate::StrCompare {
+                column,
+                cmp,
+                target,
+            } => {
+                if let ColumnVec::Str(vs) = batch.column(*column) {
+                    for (row, s) in vs.iter().enumerate() {
+                        if cmp.eval(s.as_str().cmp(target.as_str())) {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+            BatchPredicate::StrContains { column, needle } => {
+                if let ColumnVec::Str(vs) = batch.column(*column) {
+                    for (row, s) in vs.iter().enumerate() {
+                        if s.to_ascii_lowercase().contains(needle.as_str()) {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Filters batches by a [`BatchPredicate`].
+///
+/// A batch in which no row matches yields an **empty** output batch
+/// rather than silently draining the input — that keeps the caller's
+/// per-batch cancellation poll firing even across long all-rejected
+/// stretches, the failure mode of the tuple path's
+/// [`crate::filter::Filter`] drain loop.
+pub struct BatchFilter {
+    input: BoxedBatchOp,
+    predicate: BatchPredicate,
+    selection: Vec<usize>,
+}
+
+impl BatchFilter {
+    /// Creates a filter over `input`.
+    pub fn new(input: BoxedBatchOp, predicate: BatchPredicate) -> BatchFilter {
+        BatchFilter {
+            input,
+            predicate,
+            selection: Vec::new(),
+        }
+    }
+}
+
+impl BatchOperator for BatchFilter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        self.selection.clear();
+        self.predicate.select(&batch, &mut self.selection);
+        if self.selection.len() == batch.len() {
+            return Ok(Some(batch));
+        }
+        Ok(Some(batch.gather(&self.selection)))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::collect_batches;
+    use crate::batch::scan::BatchMemScan;
+    use crate::CancelToken;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::{Relation, Tuple, Value};
+
+    fn courses() -> Relation {
+        let schema = Schema::new(vec![Field::int("course-no"), Field::str("title", 32)]);
+        let rows = [
+            (1, "Intro to Database Systems"),
+            (2, "Optics"),
+            (3, "database implementation"),
+            (4, "Compilers"),
+        ];
+        Relation::from_tuples(
+            schema,
+            rows.iter()
+                .map(|&(no, title)| Tuple::new(vec![Value::Int(no), Value::from(title)]))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn filtered(pred: BatchPredicate) -> Relation {
+        collect_batches(
+            Box::new(BatchFilter::new(
+                Box::new(BatchMemScan::new(courses())),
+                pred,
+            )),
+            CancelToken::none(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn str_contains_selects_database_courses() {
+        let out = filtered(BatchPredicate::str_contains(1, "Database"));
+        let nos: Vec<i64> = out
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(nos, vec![1, 3]);
+    }
+
+    #[test]
+    fn int_compare_selects_matching_rows() {
+        assert_eq!(filtered(BatchPredicate::int_equals(0, 2)).cardinality(), 1);
+        let ge = filtered(BatchPredicate::IntCompare {
+            column: 0,
+            cmp: BatchCmp::Ge,
+            target: 3,
+        });
+        assert_eq!(ge.cardinality(), 2);
+    }
+
+    #[test]
+    fn mistyped_column_matches_nothing() {
+        assert!(filtered(BatchPredicate::str_contains(0, "1")).is_empty());
+        assert!(filtered(BatchPredicate::int_equals(1, 1)).is_empty());
+    }
+
+    #[test]
+    fn str_compare_orders_lexicographically() {
+        let out = filtered(BatchPredicate::StrCompare {
+            column: 1,
+            cmp: BatchCmp::Lt,
+            target: "D".into(),
+        });
+        assert_eq!(out.cardinality(), 1, "only \"Compilers\" sorts before D");
+    }
+
+    #[test]
+    fn all_rejected_batches_still_flow_as_empties() {
+        let mut f = BatchFilter::new(
+            Box::new(BatchMemScan::new(courses()).with_batch_size(2)),
+            BatchPredicate::int_equals(0, 999),
+        );
+        f.open().unwrap();
+        // Two input batches, both fully rejected: two empty output
+        // batches before exhaustion — each an upstream cancel poll.
+        assert_eq!(f.next_batch().unwrap().unwrap().len(), 0);
+        assert_eq!(f.next_batch().unwrap().unwrap().len(), 0);
+        assert!(f.next_batch().unwrap().is_none());
+        f.close().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Batch scans over in-memory relations.
+//!
+//! File-backed scans are bridged into batch plans with
+//! [`super::TupleToBatch`] so they keep their real page-I/O profile; the
+//! in-memory scan below is batch-native and avoids the per-tuple clone of
+//! [`crate::scan::MemScan`].
+
+use std::rc::Rc;
+
+use reldiv_rel::{Batch, Relation, Schema, Tuple};
+
+use super::{BatchOperator, DEFAULT_BATCH_SIZE};
+use crate::op::OpState;
+use crate::Result;
+
+/// Scans an in-memory relation in batches. The batch analogue of
+/// [`crate::scan::MemScan`], sharing tuples cheaply between re-scans.
+pub struct BatchMemScan {
+    schema: Schema,
+    tuples: Rc<Vec<Tuple>>,
+    pos: usize,
+    batch_size: usize,
+    state: OpState,
+}
+
+impl BatchMemScan {
+    /// Creates a scan over a relation.
+    pub fn new(relation: Relation) -> BatchMemScan {
+        let schema = relation.schema().clone();
+        BatchMemScan::shared(schema, Rc::new(relation.into_tuples()))
+    }
+
+    /// Creates a scan sharing tuples with other scans (cheap re-scan).
+    pub fn shared(schema: Schema, tuples: Rc<Vec<Tuple>>) -> BatchMemScan {
+        BatchMemScan {
+            schema,
+            tuples,
+            pos: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+            state: OpState::Created,
+        }
+    }
+
+    /// Overrides the batch size (tests).
+    pub fn with_batch_size(mut self, batch_size: usize) -> BatchMemScan {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
+
+impl BatchOperator for BatchMemScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        self.state = OpState::Open;
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        self.state.require_open()?;
+        if self.pos >= self.tuples.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.batch_size).min(self.tuples.len());
+        let mut batch = Batch::with_capacity(self.schema.clone(), end - self.pos);
+        for t in &self.tuples[self.pos..end] {
+            batch.push_tuple(t);
+        }
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.state = OpState::Closed;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::collect_batches;
+    use crate::CancelToken;
+    use reldiv_rel::schema::Field;
+    use reldiv_rel::tuple::ints;
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::new(vec![Field::int("a"), Field::int("b")]);
+        Relation::from_tuples(schema, (0..n).map(|i| ints(&[i, i * 2])).collect()).unwrap()
+    }
+
+    #[test]
+    fn scan_produces_all_rows_across_batches() {
+        let out = collect_batches(
+            Box::new(BatchMemScan::new(rel(3000)).with_batch_size(256)),
+            CancelToken::none(),
+        )
+        .unwrap();
+        assert_eq!(out, rel(3000));
+    }
+
+    #[test]
+    fn scan_can_be_reopened() {
+        let mut scan = BatchMemScan::new(rel(3)).with_batch_size(2);
+        scan.open().unwrap();
+        assert_eq!(scan.next_batch().unwrap().unwrap().len(), 2);
+        assert_eq!(scan.next_batch().unwrap().unwrap().len(), 1);
+        assert!(scan.next_batch().unwrap().is_none());
+        scan.open().unwrap();
+        assert_eq!(scan.next_batch().unwrap().unwrap().len(), 2);
+        scan.close().unwrap();
+    }
+
+    #[test]
+    fn next_before_open_is_a_protocol_error() {
+        let mut scan = BatchMemScan::new(rel(1));
+        assert!(matches!(
+            scan.next_batch(),
+            Err(crate::ExecError::Protocol(_))
+        ));
+    }
+}

@@ -2,6 +2,7 @@
 
 use reldiv_rel::{Schema, Tuple, Value};
 
+use crate::cancel::CancelToken;
 use crate::op::{BoxedOp, Operator};
 use crate::Result;
 
@@ -13,15 +14,33 @@ pub type Predicate = Box<dyn Fn(&Tuple) -> bool>;
 /// The paper's second example restricts the divisor by "a prior selection"
 /// (courses whose title contains `"database"`); [`str_contains`] builds
 /// that predicate.
+///
+/// The rejection loop in `next` checkpoints its [`CancelToken`] every
+/// stride of rejected tuples — without it, a highly selective predicate
+/// over a large input drains arbitrarily long between the caller's
+/// per-returned-tuple cancellation polls.
 pub struct Filter {
     input: BoxedOp,
     predicate: Predicate,
+    cancel: CancelToken,
+    budget: u32,
 }
 
 impl Filter {
     /// Creates a filter over `input`.
     pub fn new(input: BoxedOp, predicate: Predicate) -> Self {
-        Filter { input, predicate }
+        Filter {
+            input,
+            predicate,
+            cancel: CancelToken::none(),
+            budget: 0,
+        }
+    }
+
+    /// Polls `cancel` every checkpoint stride of rejected tuples.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -39,6 +58,7 @@ impl Operator for Filter {
             if (self.predicate)(&t) {
                 return Ok(Some(t));
             }
+            self.cancel.checkpoint(&mut self.budget)?;
         }
         Ok(None)
     }

@@ -12,6 +12,7 @@
 
 use reldiv_rel::{Schema, Tuple};
 
+use crate::cancel::CancelToken;
 use crate::hash_table::ChainedTable;
 use crate::merge_join::JoinMode;
 use crate::op::{BoxedOp, OpState, Operator};
@@ -29,6 +30,8 @@ pub struct HashJoin {
     table: Option<ChainedTable<Tuple>>,
     /// Matches pending output for the current probe tuple (Inner mode).
     pending: Vec<Tuple>,
+    cancel: CancelToken,
+    budget: u32,
 }
 
 impl HashJoin {
@@ -69,7 +72,17 @@ impl HashJoin {
             state: OpState::Created,
             table: None,
             pending: Vec::new(),
+            cancel: CancelToken::none(),
+            budget: 0,
         })
+    }
+
+    /// Polls `cancel` every checkpoint stride during the build loop and
+    /// across unmatched probe tuples — without it a long build side or a
+    /// selective probe drains arbitrarily long between the caller's polls.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -80,6 +93,7 @@ impl HashJoin {
         self.inner.open()?;
         let mut table = ChainedTable::new(pool, 16)?;
         while let Some(t) = self.inner.next()? {
+            self.cancel.checkpoint(&mut self.budget)?;
             let h = t.hash_on(&self.inner_keys);
             table.insert(h, t)?;
         }
@@ -122,6 +136,7 @@ impl Operator for PooledHashJoin {
             let Some(outer) = self.join.outer.next()? else {
                 return Ok(None);
             };
+            self.join.cancel.checkpoint(&mut self.join.budget)?;
             let h = outer.hash_on(&self.join.outer_keys);
             match self.join.mode {
                 JoinMode::LeftSemi => {

@@ -132,6 +132,24 @@ impl<T> ChainedTable<T> {
         None
     }
 
+    /// [`ChainedTable::find`] with a packed-key prefilter: the predicate
+    /// runs only on chain elements whose stored 64-bit hash equals
+    /// `hash`. Because equal keys hash equally, this returns exactly the
+    /// element `find` would for key-equality predicates while skipping
+    /// the comparison on every hash-distinct collision in the chain —
+    /// the probe the vectorized kernels use.
+    pub fn find_hashed(&self, hash: u64, mut pred: impl FnMut(&T) -> bool) -> Option<u32> {
+        let mut cur = self.buckets[self.bucket_of(hash)];
+        while cur != NIL {
+            let e = &self.entries[cur as usize];
+            if e.hash == hash && pred(&e.item) {
+                return Some(cur);
+            }
+            cur = e.next;
+        }
+        None
+    }
+
     /// The element at a previously returned entry index.
     pub fn get(&self, idx: u32) -> &T {
         &self.entries[idx as usize].item

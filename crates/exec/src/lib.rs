@@ -26,7 +26,11 @@
 //! * [`hash_table`] — the bucket-chained hash table shared by the
 //!   hash-based operators and by hash-division in `reldiv-core`,
 //! * [`profile`] — per-operator `EXPLAIN ANALYZE` spans (wall time,
-//!   tuples, abstract ops, physical page I/O), zero-cost when disabled.
+//!   tuples, abstract ops, physical page I/O), zero-cost when disabled,
+//! * [`batch`] — the vectorized execution path: [`batch::BatchOperator`]
+//!   processes fixed-size columnar [`reldiv_rel::Batch`]es through the
+//!   packed-key hash and compare kernels, with per-batch cancellation and
+//!   profiling checkpoints, plus adapters bridging to the tuple path.
 //!
 //! All operators draw scratch memory from the storage manager's
 //! [`reldiv_storage::MemoryPool`] and count abstract operations through
@@ -36,6 +40,7 @@
 #![deny(missing_docs)]
 
 pub mod agg;
+pub mod batch;
 pub mod cancel;
 pub mod error;
 pub mod filter;
@@ -49,6 +54,7 @@ pub mod project;
 pub mod scan;
 pub mod sort;
 
+pub use batch::{collect_batches, BatchOperator, BoxedBatchOp, ExecMode};
 pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use op::{collect, BoxedOp, Operator};

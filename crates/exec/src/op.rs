@@ -28,14 +28,25 @@ pub trait Operator {
 pub type BoxedOp = Box<dyn Operator>;
 
 /// Runs an operator to completion: open, drain, close; returns a relation.
+///
+/// `close` runs on **every** exit, including when `open`, `next`, or the
+/// output push fails mid-drain — operators release resources (pinned
+/// buffer pages, run files, pool reservations) in `close`, so skipping it
+/// on the error path leaks them for the rest of the session.
 pub fn collect(mut op: BoxedOp) -> Result<Relation> {
-    op.open()?;
-    let mut out = Relation::empty(op.schema().clone());
-    while let Some(t) = op.next()? {
-        out.push(t).map_err(ExecError::from)?;
+    fn drain(op: &mut BoxedOp) -> Result<Relation> {
+        op.open()?;
+        let mut out = Relation::empty(op.schema().clone());
+        while let Some(t) = op.next()? {
+            out.push(t).map_err(ExecError::from)?;
+        }
+        Ok(out)
     }
-    op.close()?;
-    Ok(out)
+    let result = drain(&mut op);
+    let closed = op.close();
+    let rel = result?;
+    closed?;
+    Ok(rel)
 }
 
 /// Guards against protocol misuse; embedded by operators with phases.

@@ -567,14 +567,14 @@ impl QueryProfile {
     }
 }
 
-fn buffer_stats(storage: &Option<StorageRef>) -> BufferStats {
+pub(crate) fn buffer_stats(storage: &Option<StorageRef>) -> BufferStats {
     match storage {
         Some(s) => s.borrow().buffer_stats(),
         None => BufferStats::default(),
     }
 }
 
-fn io_delta(before: &BufferStats, after: &BufferStats) -> (u64, u64) {
+pub(crate) fn io_delta(before: &BufferStats, after: &BufferStats) -> (u64, u64) {
     let d = after.since(before);
     (d.misses, d.writebacks)
 }

@@ -24,6 +24,7 @@ use reldiv_rel::{RecordCodec, Schema, Tuple, Value};
 use reldiv_storage::file::ScanCursor;
 use reldiv_storage::{FileId, StorageManager, StorageRef};
 
+use crate::cancel::CancelToken;
 use crate::op::{BoxedOp, OpState, Operator};
 use crate::{ExecError, Result};
 
@@ -73,6 +74,7 @@ pub struct Sort {
     source: Source,
     /// Runs awaiting deletion at close.
     live_runs: Vec<FileId>,
+    cancel: CancelToken,
 }
 
 enum Source {
@@ -117,7 +119,22 @@ impl Sort {
             state: OpState::Created,
             source: Source::NotOpen,
             live_runs: Vec::new(),
+            cancel: CancelToken::none(),
         })
+    }
+
+    /// Polls `cancel` every checkpoint stride during run generation and
+    /// intermediate merge passes — both happen inside `open`, before the
+    /// caller sees a single tuple.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.set_cancel(cancel);
+        self
+    }
+
+    /// In-place variant of [`Sort::with_cancel`] for wrappers that own a
+    /// `Sort` directly (e.g. `SortCountAggregate`).
+    pub(crate) fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// The sort key columns (major to minor).
@@ -210,7 +227,9 @@ impl Operator for Sort {
 
         // Phase 1: run generation with quicksort (std's sort counts its
         // comparisons through Tuple::cmp_keys).
+        let mut budget = 0u32;
         while let Some(t) = self.input.next()? {
+            self.cancel.checkpoint(&mut budget)?;
             buffer.push(t);
             if buffer.len() >= capacity {
                 let keys = self.keys.clone();
@@ -261,6 +280,7 @@ impl Operator for Sort {
             };
             let mut buf = Vec::with_capacity(self.codec.record_width());
             while let Some(t) = merge.next(&self.storage)? {
+                self.cancel.checkpoint(&mut budget)?;
                 buf.clear();
                 self.codec.encode_into(&t, &mut buf)?;
                 self.storage.borrow_mut().append(run, &buf)?;

@@ -48,6 +48,7 @@ pub use error::{PlanError, Result};
 pub use lower::{execute, DivisionChoice, ExecOptions, PlanOutput, SourceProvider};
 pub use parse::parse;
 pub use reference::{canonical_bytes, evaluate, RelationSource};
+pub use reldiv_exec::ExecMode;
 pub use validate::{bind, Bound, BoundNode, CatalogSource};
 
 /// An in-memory catalog of named relations, usable as the

@@ -12,13 +12,21 @@
 use reldiv_core::api::Source;
 use reldiv_core::{divide_with_report, Algorithm, DivisionConfig, DivisionSpec};
 use reldiv_exec::agg::{HashCountAggregate, HashDistinct, HavingCount};
+use reldiv_exec::batch::agg::BatchHavingCount;
+use reldiv_exec::batch::distinct::BatchDistinct;
+use reldiv_exec::batch::filter::{BatchCmp, BatchFilter, BatchPredicate};
+use reldiv_exec::batch::join::BatchHashJoin;
+use reldiv_exec::batch::profile::maybe_profile_batch;
+use reldiv_exec::batch::project::BatchProject;
+use reldiv_exec::batch::scan::BatchMemScan;
+use reldiv_exec::batch::{collect_batches, BatchToTuple, TupleToBatch};
 use reldiv_exec::filter::{self, Filter, Predicate};
 use reldiv_exec::hash_join::HashJoin;
 use reldiv_exec::merge_join::JoinMode;
 use reldiv_exec::profile::{maybe_profile, ProfileSink, SpanScope};
 use reldiv_exec::project::Project;
 use reldiv_exec::scan::MemScan;
-use reldiv_exec::{BoxedOp, CancelToken, ExecError, SpanKind};
+use reldiv_exec::{BoxedBatchOp, BoxedOp, CancelToken, ExecError, ExecMode, SpanKind};
 use reldiv_rel::Relation;
 use reldiv_storage::StorageRef;
 
@@ -53,11 +61,17 @@ pub struct ExecOptions {
     /// (on top of the shared pool), so one query's hash tables degrade
     /// adaptively instead of starving the rest of the system.
     pub mem_budget: Option<usize>,
+    /// Which execution engine lowers the plan. [`ExecMode::Batch`] (the
+    /// default) runs the vectorized operators and hands divisions the
+    /// batch in-memory path; [`ExecMode::Tuple`] is the tuple-at-a-time
+    /// fallback. Both produce the same relation (bag-equal; row order may
+    /// differ where an operator's output order is unspecified).
+    pub exec: ExecMode,
 }
 
 impl ExecOptions {
     /// Plain options: no deadline, no profiling, hints honored, no
-    /// per-query memory budget.
+    /// per-query memory budget, batch execution.
     pub fn new(storage: StorageRef) -> ExecOptions {
         ExecOptions {
             storage,
@@ -65,6 +79,7 @@ impl ExecOptions {
             profile: None,
             honor_restricted_hint: true,
             mem_budget: None,
+            exec: ExecMode::Batch,
         }
     }
 }
@@ -104,17 +119,32 @@ pub struct PlanOutput {
 }
 
 /// Drains an operator into a relation, polling `cancel` between tuples.
+/// The operator is closed on every exit path — including mid-drain errors
+/// and cancellation — so profile spans finish and pinned pages unpin.
 /// (Mirrors the private helper in `reldiv-core`.)
 fn collect_cancel(mut op: BoxedOp, cancel: CancelToken) -> Result<Relation> {
-    op.open()?;
-    let mut rel = Relation::empty(op.schema().clone());
-    let mut budget = 0u32;
-    while let Some(t) = op.next()? {
-        cancel.checkpoint(&mut budget)?;
-        rel.push(t).map_err(ExecError::from)?;
+    fn drain(op: &mut BoxedOp, cancel: CancelToken) -> Result<Relation> {
+        op.open()?;
+        let mut rel = Relation::empty(op.schema().clone());
+        let mut budget = 0u32;
+        while let Some(t) = op.next()? {
+            cancel.checkpoint(&mut budget)?;
+            rel.push(t).map_err(ExecError::from)?;
+        }
+        Ok(rel)
     }
-    op.close()?;
+    let result = drain(&mut op, cancel);
+    let closed = op.close();
+    let rel = result?;
+    closed?;
     Ok(rel)
+}
+
+/// Batch-path counterpart of [`collect_cancel`]: the engine's
+/// `collect_batches` already polls once per batch and closes on all
+/// exits; this just adapts the error type.
+fn collect_batches_plan(op: BoxedBatchOp, cancel: CancelToken) -> Result<Relation> {
+    Ok(collect_batches(op, cancel)?)
 }
 
 fn compare_predicate(col: usize, cmp: Cmp, value: &Lit) -> Predicate {
@@ -145,6 +175,35 @@ fn predicate(pred: &BoundPred) -> Predicate {
     }
 }
 
+fn batch_cmp(cmp: Cmp) -> BatchCmp {
+    match cmp {
+        Cmp::Eq => BatchCmp::Eq,
+        Cmp::Ne => BatchCmp::Ne,
+        Cmp::Lt => BatchCmp::Lt,
+        Cmp::Le => BatchCmp::Le,
+        Cmp::Gt => BatchCmp::Gt,
+        Cmp::Ge => BatchCmp::Ge,
+    }
+}
+
+fn batch_predicate(pred: &BoundPred) -> BatchPredicate {
+    match pred {
+        BoundPred::Compare { col, cmp, value } => match value {
+            Lit::Int(target) => BatchPredicate::IntCompare {
+                column: *col,
+                cmp: batch_cmp(*cmp),
+                target: *target,
+            },
+            Lit::Str(target) => BatchPredicate::StrCompare {
+                column: *col,
+                cmp: batch_cmp(*cmp),
+                target: target.clone(),
+            },
+        },
+        BoundPred::Contains { col, needle } => BatchPredicate::str_contains(*col, needle),
+    }
+}
+
 struct Lowerer<'a> {
     provider: &'a mut dyn SourceProvider,
     opts: &'a ExecOptions,
@@ -162,16 +221,37 @@ impl<'a> Lowerer<'a> {
         )
     }
 
+    fn wrap_batch(&self, op: BoxedBatchOp, label: String, kind: SpanKind) -> BoxedBatchOp {
+        maybe_profile_batch(
+            op,
+            self.opts.profile.as_ref(),
+            label,
+            kind,
+            Some(&self.opts.storage),
+        )
+    }
+
     /// Materializes a division input: leaf scans pass their source straight
     /// through (file-backed scans keep their real I/O profile); anything
-    /// else runs to completion into a shared in-memory relation.
+    /// else runs to completion into a shared in-memory relation, on
+    /// whichever execution path the options select.
     fn division_input(&mut self, bound: &Bound, role: &str) -> Result<Source> {
         if let BoundNode::Scan { relation } = &bound.node {
             return self.provider.source(relation);
         }
-        let op = self.lower(bound)?;
-        let op = self.wrap(op, format!("materialize {role}"), SpanKind::Materialize);
-        let rel = collect_cancel(op, self.opts.cancel)?;
+        let label = format!("materialize {role}");
+        let rel = match self.opts.exec {
+            ExecMode::Tuple => {
+                let op = self.lower(bound)?;
+                let op = self.wrap(op, label, SpanKind::Materialize);
+                collect_cancel(op, self.opts.cancel)?
+            }
+            ExecMode::Batch => {
+                let op = self.lower_batch(bound)?;
+                let op = self.wrap_batch(op, label, SpanKind::Materialize);
+                collect_batches_plan(op, self.opts.cancel)?
+            }
+        };
         Ok(Source::from_relation(&rel))
     }
 
@@ -209,6 +289,7 @@ impl<'a> Lowerer<'a> {
             cancel: self.opts.cancel,
             profile: self.opts.profile.clone(),
             mem_budget: self.opts.mem_budget,
+            exec: self.opts.exec,
             ..DivisionConfig::default()
         };
         let (rel, report) = divide_with_report(
@@ -318,6 +399,104 @@ impl<'a> Lowerer<'a> {
             }
         })
     }
+
+    /// The vectorized twin of [`Lowerer::lower`]: same tree shape, same
+    /// span labels, batch operators throughout. Group-count keeps the
+    /// tuple engine's spill-capable aggregate behind bridge adapters; the
+    /// rest of the pipeline stays batch-at-a-time.
+    fn lower_batch(&mut self, bound: &Bound) -> Result<BoxedBatchOp> {
+        let pool = self.opts.storage.borrow().memory();
+        Ok(match &bound.node {
+            BoundNode::Scan { relation } => {
+                let source = self.provider.source(relation)?;
+                self.wrap_batch(
+                    source.scan_batches(&self.opts.storage),
+                    format!("scan {relation}"),
+                    SpanKind::Scan,
+                )
+            }
+            BoundNode::Filter { pred, input } => {
+                let label = format!("filter {}", pred.describe(&input.schema));
+                let child = self.lower_batch(input)?;
+                self.wrap_batch(
+                    Box::new(BatchFilter::new(child, batch_predicate(pred))),
+                    label,
+                    SpanKind::Filter,
+                )
+            }
+            BoundNode::Project { columns, input } => {
+                let child = self.lower_batch(input)?;
+                self.wrap_batch(
+                    Box::new(BatchProject::new(child, columns.clone())?),
+                    format!("project {columns:?}"),
+                    SpanKind::Project,
+                )
+            }
+            BoundNode::Distinct { input } => {
+                let child = self.lower_batch(input)?;
+                self.wrap_batch(
+                    Box::new(BatchDistinct::new(child, pool)),
+                    "distinct".to_owned(),
+                    SpanKind::Distinct,
+                )
+            }
+            BoundNode::Join {
+                left_keys,
+                right_keys,
+                left,
+                right,
+            } => {
+                let l = self.lower_batch(left)?;
+                let r = self.lower_batch(right)?;
+                let join = BatchHashJoin::new(l, r, left_keys.clone(), right_keys.clone(), pool)?;
+                self.wrap_batch(Box::new(join), "hash-join".to_owned(), SpanKind::HashJoin)
+            }
+            BoundNode::GroupCount { keys, input } => {
+                // The spill-capable count aggregate is tuple-at-a-time;
+                // bridge into and out of it so overflow handling stays
+                // identical on both paths.
+                let child = self.lower_batch(input)?;
+                let agg = HashCountAggregate::new(
+                    Box::new(BatchToTuple::new(child)),
+                    keys.clone(),
+                    pool,
+                )?
+                .with_spill(self.opts.storage.clone());
+                self.wrap_batch(
+                    Box::new(TupleToBatch::new(Box::new(agg))),
+                    format!("group-count {keys:?}"),
+                    SpanKind::Aggregation,
+                )
+            }
+            BoundNode::HavingCount { cmp, target, input } => {
+                let child = self.lower_batch(input)?;
+                let label = format!("having count {} {target}", cmp.token());
+                let op: BoxedBatchOp = if *cmp == Cmp::Eq {
+                    Box::new(BatchHavingCount::new(child, *target)?)
+                } else {
+                    // Same rewrite as the tuple path: filter on the count
+                    // column, then project it away.
+                    let count_col = child.schema().arity() - 1;
+                    let keep: Vec<usize> = (0..count_col).collect();
+                    let filtered = Box::new(BatchFilter::new(
+                        child,
+                        BatchPredicate::IntCompare {
+                            column: count_col,
+                            cmp: batch_cmp(*cmp),
+                            target: *target,
+                        },
+                    ));
+                    Box::new(BatchProject::new(filtered, keep)?)
+                };
+                self.wrap_batch(op, label, SpanKind::Having)
+            }
+            BoundNode::Divide(d) => {
+                let rel = self.divide(d, bound.rows)?;
+                let (schema, tuples) = (rel.schema().clone(), rel.into_tuples());
+                Box::new(BatchMemScan::shared(schema, std::rc::Rc::new(tuples)))
+            }
+        })
+    }
 }
 
 /// Executes a bound plan. When `opts.profile` is set, the whole run is
@@ -341,9 +520,14 @@ pub fn execute(
         opts,
         choices: Vec::new(),
     };
-    let result = lowerer
-        .lower(bound)
-        .and_then(|op| collect_cancel(op, opts.cancel));
+    let result = match opts.exec {
+        ExecMode::Tuple => lowerer
+            .lower(bound)
+            .and_then(|op| collect_cancel(op, opts.cancel)),
+        ExecMode::Batch => lowerer
+            .lower_batch(bound)
+            .and_then(|op| collect_batches_plan(op, opts.cancel)),
+    };
     let choices = lowerer.choices;
     if let Some(root) = root {
         root.finish();

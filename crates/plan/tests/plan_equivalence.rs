@@ -11,16 +11,24 @@
 //! degenerate: across the same grid it must pick at least two different
 //! division algorithms, and every choice must agree with the cost
 //! model's own ranking (`recommend` and the cheapest `candidates` row).
+//!
+//! A third family pins the vectorized engine: every composed plan shape,
+//! run once on the tuple path and once on the batch path, must produce
+//! the same bag on every grid configuration — and division-free plans
+//! must match byte-for-byte in output *order*, because each batch
+//! operator is specified to mirror its tuple twin's emission order.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use reldiv_core::Algorithm;
 use reldiv_costmodel::planner::candidates;
 use reldiv_costmodel::{recommend, table2_configs, PlannerInput};
-use reldiv_plan::{bind, canonical_bytes, evaluate, execute, parse, ExecOptions, MemCatalog};
+use reldiv_plan::{
+    bind, canonical_bytes, evaluate, execute, parse, ExecMode, ExecOptions, MemCatalog, PlanOutput,
+};
 use reldiv_rel::Value;
 use reldiv_storage::manager::StorageConfig;
-use reldiv_storage::StorageManager;
+use reldiv_storage::{StorageManager, StorageRef};
 use reldiv_workload::{exact_product, WorkloadSpec};
 
 /// Every composed plan shape over the experimental-study schema
@@ -94,6 +102,108 @@ fn composed_plans_match_the_oracle_on_every_table4_config() {
         assert_eq!(
             got, expected_quotient,
             "quotient ground truth at |S|={s} |Q|={q}"
+        );
+    }
+}
+
+fn opts(storage: &StorageRef, exec: ExecMode) -> ExecOptions {
+    let mut o = ExecOptions::new(storage.clone());
+    o.exec = exec;
+    o
+}
+
+fn run(catalog: &MemCatalog, text: &str, storage: &StorageRef, exec: ExecMode) -> PlanOutput {
+    let bound = bind(&parse(text).unwrap(), catalog).unwrap();
+    let mut provider = catalog.clone();
+    execute(&bound, &mut provider, &opts(storage, exec)).unwrap()
+}
+
+#[test]
+fn batch_and_tuple_paths_agree_on_every_table4_config() {
+    let storage = StorageManager::shared(StorageConfig::large());
+    for (i, (s, q)) in table2_configs().iter().copied().enumerate() {
+        let (catalog, _) = grid_catalog(s, q, 424 + i as u64);
+        for text in COMPOSED_PLANS {
+            let tuple = run(&catalog, text, &storage, ExecMode::Tuple);
+            let batch = run(&catalog, text, &storage, ExecMode::Batch);
+            assert_eq!(
+                canonical_bytes(&tuple.relation),
+                canonical_bytes(&batch.relation),
+                "exec modes disagree at |S|={s} |Q|={q} on {text}"
+            );
+            // The execution engine must not leak into planning: the same
+            // algorithms are chosen, in the same order, on both paths.
+            let algs = |out: &PlanOutput| {
+                out.choices
+                    .iter()
+                    .map(|c| (c.algorithm, c.pinned, c.restricted))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(algs(&tuple), algs(&batch), "planning drift on {text}");
+        }
+    }
+}
+
+/// Division-free plan shapes: each batch operator mirrors its tuple
+/// twin's emission order (same FNV hashing, same table insertion order),
+/// so the outputs must be byte-identical *including order*.
+#[test]
+fn division_free_plans_are_byte_identical_across_exec_modes() {
+    const PLANS: [&str; 6] = [
+        "(filter (>= quotient-id 5) (scan r))",
+        "(project (quotient-id) (scan r))",
+        "(distinct (project (quotient-id) (scan r)))",
+        "(join (on (divisor-id divisor-id)) (scan r) (scan s))",
+        "(group-count (quotient-id) (scan r))",
+        "(having-count >= 2 (group-count (quotient-id) (scan r)))",
+    ];
+    let storage = StorageManager::shared(StorageConfig::large());
+    let (catalog, _) = grid_catalog(100, 100, 2026);
+    for text in PLANS {
+        let tuple = run(&catalog, text, &storage, ExecMode::Tuple);
+        let batch = run(&catalog, text, &storage, ExecMode::Batch);
+        assert_eq!(tuple.relation, batch.relation, "ordered mismatch on {text}");
+    }
+}
+
+/// Both execution paths report the same operator spans with the same
+/// tuple flow: per-batch profiling checkpoints must not change *what* is
+/// counted, only how often the counters are updated.
+#[test]
+fn profiles_report_the_same_tuple_flow_on_both_exec_modes() {
+    let text = "(having-count >= 1 (group-count (quotient-id) \
+                  (filter (>= quotient-id 3) (scan r))))";
+    let (catalog, _) = grid_catalog(25, 100, 77);
+    let mut flows: Vec<BTreeMap<String, (u64, u64)>> = Vec::new();
+    for exec in [ExecMode::Tuple, ExecMode::Batch] {
+        let storage = StorageManager::shared(StorageConfig::large());
+        let sink = reldiv_exec::ProfileSink::new();
+        let mut o = opts(&storage, exec);
+        o.profile = Some(sink.clone());
+        let bound = bind(&parse(text).unwrap(), &catalog).unwrap();
+        let mut provider = catalog.clone();
+        execute(&bound, &mut provider, &o).unwrap();
+        let profile = sink.finish();
+        fn walk(n: &reldiv_exec::profile::ProfileNode, out: &mut BTreeMap<String, (u64, u64)>) {
+            out.insert(n.label.clone(), (n.tuples_in, n.tuples_out));
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        let mut flow = BTreeMap::new();
+        walk(&profile.root, &mut flow);
+        flows.push(flow);
+    }
+    let (tuple, batch) = (&flows[0], &flows[1]);
+    assert_eq!(
+        tuple.keys().collect::<Vec<_>>(),
+        batch.keys().collect::<Vec<_>>(),
+        "both paths must emit the same span labels"
+    );
+    for (label, t_flow) in tuple {
+        assert_eq!(
+            t_flow, &batch[label],
+            "tuple flow for span {label:?} differs between exec modes"
         );
     }
 }

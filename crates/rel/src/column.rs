@@ -1,0 +1,397 @@
+//! Columnar batches and the packed-key kernels of the vectorized path.
+//!
+//! A [`Batch`] holds up to a fixed number of rows of one schema in
+//! column-major [`ColumnVec`]s. The batch operators in `reldiv-exec`
+//! process whole batches at a time, paying one virtual call, one cancel
+//! poll, and one profile-span update per batch instead of per tuple.
+//!
+//! The kernels here are **bit-identical** to the tuple-at-a-time entry
+//! points on [`Tuple`]:
+//!
+//! * [`Batch::hash_rows`] folds exactly the byte stream of
+//!   [`Tuple::hash_on`] (the tagged FNV-1a encoding of each key value),
+//!   so hash-table bucket layouts — and therefore output orders — are
+//!   identical between the two execution paths;
+//! * [`Batch::row_eq_tuple`] applies the same total order as
+//!   [`Tuple::eq_on`].
+//!
+//! Abstract-operation accounting is bulk but equal in total: hashing a
+//! batch of `n` rows counts `n` `Hash` operations, the same as `n` calls
+//! to `hash_on`; each row-vs-tuple equality counts one `Comp`.
+
+use std::hash::{Hash, Hasher};
+
+use crate::counters;
+use crate::schema::{ColumnType, Schema};
+use crate::tuple::{Fnv1a, Tuple};
+use crate::value::Value;
+
+/// One column of a [`Batch`], in row order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnVec {
+    /// A column of 64-bit integers.
+    Int(Vec<i64>),
+    /// A column of strings.
+    Str(Vec<String>),
+}
+
+impl ColumnVec {
+    /// An empty column of the given type, with room for `capacity` rows.
+    pub fn with_capacity(ty: ColumnType, capacity: usize) -> ColumnVec {
+        match ty {
+            ColumnType::Int => ColumnVec::Int(Vec::with_capacity(capacity)),
+            ColumnType::Str(_) => ColumnVec::Str(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row`, cloned out of the column.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            ColumnVec::Int(v) => Value::Int(v[row]),
+            ColumnVec::Str(v) => Value::Str(v[row].clone()),
+        }
+    }
+
+    /// Appends a value; panics on a type mismatch (batch construction
+    /// sites validate against the schema).
+    pub fn push(&mut self, value: &Value) {
+        match (self, value) {
+            (ColumnVec::Int(v), Value::Int(i)) => v.push(*i),
+            (ColumnVec::Str(v), Value::Str(s)) => v.push(s.clone()),
+            (col, value) => panic!(
+                "column/value type mismatch: {} into {} column",
+                value.type_name(),
+                match col {
+                    ColumnVec::Int(_) => "Int",
+                    ColumnVec::Str(_) => "Str",
+                }
+            ),
+        }
+    }
+
+    fn push_from(&mut self, other: &ColumnVec, row: usize) {
+        match (self, other) {
+            (ColumnVec::Int(dst), ColumnVec::Int(src)) => dst.push(src[row]),
+            (ColumnVec::Str(dst), ColumnVec::Str(src)) => dst.push(src[row].clone()),
+            _ => panic!("column type mismatch in push_from"),
+        }
+    }
+}
+
+/// A fixed-capacity columnar chunk of rows sharing one schema.
+///
+/// The unit of work of the vectorized execution path: operators consume
+/// and produce batches, and the hash/compare kernels below run over a
+/// batch's key columns in tight per-column loops.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Schema,
+    columns: Vec<ColumnVec>,
+    len: usize,
+}
+
+impl Batch {
+    /// An empty batch for `schema`, with per-column room for `capacity`
+    /// rows.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnVec::with_capacity(f.ty, capacity))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            len: 0,
+        }
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The columns, in schema order.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.columns
+    }
+
+    /// The column at `index`.
+    pub fn column(&self, index: usize) -> &ColumnVec {
+        &self.columns[index]
+    }
+
+    /// Appends one row from a tuple; the tuple must conform to the
+    /// batch's schema.
+    #[inline]
+    pub fn push_tuple(&mut self, tuple: &Tuple) {
+        debug_assert_eq!(tuple.arity(), self.schema.arity());
+        for (col, value) in self.columns.iter_mut().zip(tuple.values()) {
+            col.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Appends row `row` of `other`; the schemas must have identical
+    /// column types (checked per column in debug builds).
+    #[inline]
+    pub fn push_row_from(&mut self, other: &Batch, row: usize) {
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.push_from(src, row);
+        }
+        self.len += 1;
+    }
+
+    /// Materializes row `row` as a [`Tuple`].
+    #[inline]
+    pub fn tuple(&self, row: usize) -> Tuple {
+        Tuple::new(self.columns.iter().map(|c| c.value(row)).collect())
+    }
+
+    /// Materializes row `row` projected onto `keys`, in that order —
+    /// the batch analogue of [`Tuple::project`].
+    #[inline]
+    pub fn tuple_projected(&self, keys: &[usize], row: usize) -> Tuple {
+        Tuple::new(keys.iter().map(|&k| self.columns[k].value(row)).collect())
+    }
+
+    /// Drains the batch into tuples, in row order.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        (0..self.len).map(|row| self.tuple(row)).collect()
+    }
+
+    /// A new batch with the columns at `keys`, in that order (row count
+    /// unchanged). Fails if an index is out of range.
+    pub fn project(&self, keys: &[usize]) -> crate::Result<Batch> {
+        let schema = self.schema.project(keys)?;
+        let columns = keys.iter().map(|&k| self.columns[k].clone()).collect();
+        Ok(Batch {
+            schema,
+            columns,
+            len: self.len,
+        })
+    }
+
+    /// A new batch keeping only the rows at `rows`, in that order.
+    pub fn gather(&self, rows: &[usize]) -> Batch {
+        let mut out = Batch::with_capacity(self.schema.clone(), rows.len());
+        for &row in rows {
+            out.push_row_from(self, row);
+        }
+        out
+    }
+
+    /// The packed-key hash kernel: FNV-1a over the tagged encoding of
+    /// the key columns, one output per row.
+    ///
+    /// Byte-for-byte the stream [`Tuple::hash_on`] folds, so the two
+    /// paths agree on every hash value. Counts one `Hash` per row (in
+    /// bulk).
+    pub fn hash_rows(&self, keys: &[usize]) -> Vec<u64> {
+        counters::count_hashes(self.len as u64);
+        let mut states: Vec<Fnv1a> = (0..self.len).map(|_| Fnv1a::new()).collect();
+        for &k in keys {
+            match &self.columns[k] {
+                ColumnVec::Int(vs) => {
+                    for (state, v) in states.iter_mut().zip(vs) {
+                        // Value::hash_into: tag byte 0, then i64::hash
+                        // (which writes the native-endian bytes).
+                        state.write_u8(0);
+                        state.write_u64(*v as u64);
+                    }
+                }
+                ColumnVec::Str(vs) => {
+                    for (state, s) in states.iter_mut().zip(vs) {
+                        // Value::hash_into: tag byte 1, then str::hash
+                        // (bytes plus a 0xff terminator).
+                        state.write_u8(1);
+                        s.as_str().hash(state);
+                    }
+                }
+            }
+        }
+        states.into_iter().map(|s| s.finish()).collect()
+    }
+
+    /// Hashes a single row's key columns — same stream as
+    /// [`Batch::hash_rows`], for the lazy second hash of hash-division
+    /// (quotient keys are only hashed for dividend rows that matched a
+    /// divisor). Counts one `Hash`.
+    #[inline]
+    pub fn hash_row(&self, keys: &[usize], row: usize) -> u64 {
+        counters::count_hashes(1);
+        let mut state = Fnv1a::new();
+        for &k in keys {
+            match &self.columns[k] {
+                ColumnVec::Int(vs) => {
+                    state.write_u8(0);
+                    state.write_u64(vs[row] as u64);
+                }
+                ColumnVec::Str(vs) => {
+                    state.write_u8(1);
+                    vs[row].as_str().hash(&mut state);
+                }
+            }
+        }
+        state.finish()
+    }
+
+    /// Equality of row `row` on `keys` against `other` on `other_keys`,
+    /// with the same cross-type total order as [`Tuple::eq_on`]. Counts
+    /// one `Comp`.
+    #[inline]
+    pub fn row_eq_tuple(
+        &self,
+        keys: &[usize],
+        row: usize,
+        other: &Tuple,
+        other_keys: &[usize],
+    ) -> bool {
+        counters::count_comparisons(1);
+        debug_assert_eq!(keys.len(), other_keys.len());
+        for (&a, &b) in keys.iter().zip(other_keys) {
+            let equal = match (&self.columns[a], other.value(b)) {
+                (ColumnVec::Int(vs), Value::Int(o)) => vs[row] == *o,
+                (ColumnVec::Str(vs), Value::Str(o)) => vs[row] == *o,
+                _ => false,
+            };
+            if !equal {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::tuple::ints;
+
+    fn mixed_schema() -> Schema {
+        Schema::new(vec![
+            Field::int("id"),
+            Field::str("name", 12),
+            Field::int("score"),
+        ])
+    }
+
+    fn mixed_rows() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![Value::Int(1), Value::from("ann"), Value::Int(-7)]),
+            Tuple::new(vec![Value::Int(2), Value::from(""), Value::Int(0)]),
+            Tuple::new(vec![Value::Int(-3), Value::from("barb"), Value::Int(99)]),
+        ]
+    }
+
+    fn batch_of(schema: Schema, rows: &[Tuple]) -> Batch {
+        let mut b = Batch::with_capacity(schema, rows.len());
+        for t in rows {
+            b.push_tuple(t);
+        }
+        b
+    }
+
+    #[test]
+    fn kernel_hashes_equal_tuple_hash_on() {
+        // The load-bearing identity: the vectorized hash kernel must
+        // reproduce Tuple::hash_on bit-for-bit on every key subset, so
+        // batch-built hash tables lay out identically.
+        let rows = mixed_rows();
+        let batch = batch_of(mixed_schema(), &rows);
+        for keys in [
+            vec![0usize],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![1, 0],
+            vec![0, 1, 2],
+            vec![2, 1],
+        ] {
+            let kernel = batch.hash_rows(&keys);
+            for (row, t) in rows.iter().enumerate() {
+                assert_eq!(kernel[row], t.hash_on(&keys), "keys {keys:?} row {row}");
+                assert_eq!(batch.hash_row(&keys, row), t.hash_on(&keys));
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_hash_counts_one_hash_per_row() {
+        let rows = mixed_rows();
+        let batch = batch_of(mixed_schema(), &rows);
+        counters::reset();
+        let _ = batch.hash_rows(&[0, 1]);
+        assert_eq!(counters::snapshot().hashes, rows.len() as u64);
+    }
+
+    #[test]
+    fn row_eq_tuple_matches_eq_on_and_counts_one_comp() {
+        let rows = mixed_rows();
+        let batch = batch_of(mixed_schema(), &rows);
+        let probe = Tuple::new(vec![Value::from("ann"), Value::Int(1)]);
+        counters::reset();
+        assert!(batch.row_eq_tuple(&[1, 0], 0, &probe, &[0, 1]));
+        assert!(!batch.row_eq_tuple(&[1, 0], 1, &probe, &[0, 1]));
+        assert_eq!(counters::snapshot().comparisons, 2);
+        // Cross-type mismatch is inequality, never a panic.
+        assert!(!batch.row_eq_tuple(&[0], 0, &Tuple::new(vec![Value::from("1")]), &[0]));
+    }
+
+    #[test]
+    fn round_trip_through_tuples() {
+        let rows = mixed_rows();
+        let batch = batch_of(mixed_schema(), &rows);
+        assert_eq!(batch.len(), 3);
+        for (row, t) in rows.iter().enumerate() {
+            assert_eq!(&batch.tuple(row), t);
+        }
+        assert_eq!(batch.clone().into_tuples(), rows);
+    }
+
+    #[test]
+    fn project_and_gather_select_columns_and_rows() {
+        let batch = batch_of(mixed_schema(), &mixed_rows());
+        let projected = batch.project(&[2, 0]).unwrap();
+        assert_eq!(projected.schema().fields()[0].name, "score");
+        assert_eq!(projected.tuple(0), ints(&[-7, 1]));
+        assert!(batch.project(&[9]).is_err());
+        let gathered = batch.gather(&[2, 0]);
+        assert_eq!(gathered.len(), 2);
+        assert_eq!(gathered.tuple(0), batch.tuple(2));
+        assert_eq!(gathered.tuple(1), batch.tuple(0));
+    }
+
+    #[test]
+    fn tuple_projected_matches_tuple_project() {
+        let rows = mixed_rows();
+        let batch = batch_of(mixed_schema(), &rows);
+        for (row, t) in rows.iter().enumerate() {
+            assert_eq!(batch.tuple_projected(&[2, 1], row), t.project(&[2, 1]));
+        }
+    }
+}

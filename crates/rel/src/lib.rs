@@ -13,6 +13,9 @@
 //!   projection helpers used by every operator in the system,
 //! * [`codec`] — encoding of tuples into byte records (the paper used
 //!   8-byte divisor/quotient records and 16-byte dividend records),
+//! * [`column`](mod@column) — columnar [`Batch`]es and the packed-key hash/compare
+//!   kernels behind the vectorized execution path, bit-identical to the
+//!   tuple-at-a-time entry points,
 //! * [`Relation`] — an in-memory relation used by workload generators,
 //!   tests, and the in-memory division API,
 //! * [`counters`] — thread-local counters for the abstract operations the
@@ -28,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod column;
 pub mod counters;
 pub mod error;
 pub mod relation;
@@ -36,6 +40,7 @@ pub mod tuple;
 pub mod value;
 
 pub use codec::RecordCodec;
+pub use column::{Batch, ColumnVec};
 pub use error::RelError;
 pub use relation::Relation;
 pub use schema::{ColumnType, Field, Schema};

@@ -273,6 +273,7 @@ impl WorkerState {
             // Plans run against the worker's shared pool; the per-query
             // budget is a Divide-request feature for now.
             mem_budget: None,
+            exec: reldiv_plan::ExecMode::Batch,
         };
         let retries_before = {
             let s = self.storage.borrow().buffer_stats();

@@ -257,6 +257,17 @@ impl BufferManager {
         self.stats
     }
 
+    /// Number of frames currently fixed (pin count > 0). A quiescent pool
+    /// — no scan or operator mid-flight — must report zero; tests use this
+    /// to prove error paths unfix everything they fixed.
+    pub fn pinned_frames(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|f| f.pin_count > 0)
+            .count()
+    }
+
     /// Resets statistics (not pool contents).
     pub fn reset_stats(&mut self) {
         self.stats = BufferStats::default();

@@ -183,6 +183,12 @@ impl StorageManager {
         self.buffer.stats()
     }
 
+    /// Number of buffer frames currently fixed; see
+    /// [`crate::buffer::BufferManager::pinned_frames`].
+    pub fn pinned_frames(&self) -> usize {
+        self.buffer.pinned_frames()
+    }
+
     /// Prices the current aggregate I/O statistics with `params`, as the
     /// paper priced its collected file-system statistics with Table 3.
     pub fn io_cost_ms(&self, params: &IoCostParams) -> f64 {
